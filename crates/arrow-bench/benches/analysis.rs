@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the analysis kernels themselves: the nearest-neighbour TSP
+//! construction, the Held–Karp exact optimum, the Manhattan-MST bound and the time
+//! compression transformation. These are the building blocks every competitive-ratio
+//! measurement uses, so their throughput determines how large the validation sweeps
+//! can go.
+
+use arrow_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::SimTime;
+use netgraph::{generators, RootedTree};
+use queuing_analysis::cost::RequestSet;
+use queuing_analysis::{compress_schedule, held_karp_path, mst_weight, nearest_neighbor_path};
+
+fn request_set(n_requests: usize) -> (RequestSchedule, RootedTree) {
+    let tree = RootedTree::from_tree_graph(&generators::balanced_binary_tree(63), 0);
+    let schedule = workload::uniform_random(63, n_requests, 50.0, 7);
+    let _ = SimTime::ZERO;
+    (schedule, tree)
+}
+
+fn bench_nn_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_nearest_neighbor_path");
+    for &n in &[50usize, 200, 800] {
+        let (schedule, tree) = request_set(n);
+        let rs = RequestSet::new(&schedule, &tree);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| nearest_neighbor_path(&rs, RequestSet::cost_t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_held_karp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_held_karp_exact");
+    for &n in &[8usize, 12, 15] {
+        let (schedule, tree) = request_set(n);
+        let rs = RequestSet::new(&schedule, &tree);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| held_karp_path(&rs, RequestSet::cost_opt))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mst_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_manhattan_mst");
+    for &n in &[100usize, 400, 1600] {
+        let (schedule, tree) = request_set(n);
+        let rs = RequestSet::new(&schedule, &tree);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| mst_weight(&rs, RequestSet::cost_manhattan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_time_compression");
+    for &n in &[50usize, 200] {
+        let tree = RootedTree::from_tree_graph(&generators::balanced_binary_tree(63), 0);
+        // Bursty schedule with dead time so the transformation has work to do.
+        let schedule = workload::bursty_phases(63, 5, n / 5, 500.0, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| compress_schedule(&schedule, &tree))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_nn_path, bench_held_karp, bench_mst_bound, bench_compression
+}
+criterion_main!(benches);

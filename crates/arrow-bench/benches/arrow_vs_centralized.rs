@@ -1,0 +1,49 @@
+//! Criterion benchmark behind **Figure 10**: wall-clock time to simulate the
+//! closed-loop arrow vs. centralized workload at several system sizes, plus the
+//! simulated makespans (printed once per size so `cargo bench` output can be used to
+//! regenerate the figure's series).
+
+use arrow_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn closed_loop(protocol: ProtocolKind, n: usize, requests_per_node: u64) -> QueuingOutcome {
+    let service = 0.2;
+    let instance = Instance::complete_uniform(n, SpanningTreeKind::BalancedBinary);
+    let spec = ClosedLoopSpec {
+        requests_per_node,
+        local_service_time: service,
+    };
+    run(
+        &instance,
+        &Workload::ClosedLoop(spec),
+        &RunConfig::experiment(protocol, service),
+    )
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let requests_per_node = 200;
+    let mut group = c.benchmark_group("fig10_closed_loop");
+    for &n in &[8usize, 16, 32, 64] {
+        // Print the simulated series (the actual Figure 10 quantities) once.
+        let arrow = closed_loop(ProtocolKind::Arrow, n, requests_per_node);
+        let central = closed_loop(ProtocolKind::Centralized, n, requests_per_node);
+        println!(
+            "fig10 n={n}: arrow makespan {:.2}, centralized makespan {:.2} (simulated time units)",
+            arrow.makespan, central.makespan
+        );
+        group.bench_with_input(BenchmarkId::new("arrow", n), &n, |b, &n| {
+            b.iter(|| closed_loop(ProtocolKind::Arrow, n, requests_per_node))
+        });
+        group.bench_with_input(BenchmarkId::new("centralized", n), &n, |b, &n| {
+            b.iter(|| closed_loop(ProtocolKind::Centralized, n, requests_per_node))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig10
+}
+criterion_main!(benches);

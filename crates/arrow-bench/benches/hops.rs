@@ -1,0 +1,40 @@
+//! Criterion benchmark behind **Figure 11**: hops per queuing operation of the arrow
+//! protocol under the closed-loop workload, across system sizes.
+
+use arrow_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn arrow_hops(n: usize, requests_per_node: u64) -> f64 {
+    let service = 0.2;
+    let instance = Instance::complete_uniform(n, SpanningTreeKind::BalancedBinary);
+    let spec = ClosedLoopSpec {
+        requests_per_node,
+        local_service_time: service,
+    };
+    let outcome = run(
+        &instance,
+        &Workload::ClosedLoop(spec),
+        &RunConfig::experiment(ProtocolKind::Arrow, service),
+    );
+    outcome.hops_per_request
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let requests_per_node = 200;
+    let mut group = c.benchmark_group("fig11_hops_per_request");
+    for &n in &[8usize, 16, 32, 64, 76] {
+        let hops = arrow_hops(n, requests_per_node);
+        println!("fig11 n={n}: {hops:.3} inter-processor queue() messages per request");
+        group.bench_with_input(BenchmarkId::new("arrow", n), &n, |b, &n| {
+            b.iter(|| arrow_hops(n, requests_per_node))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig11
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark behind **Figure 9 / Theorem 4.1**: the adversarial lower-bound
+//! instance, sweeping the path diameter. The measured competitive ratios are printed
+//! alongside the timing.
+
+use arrow_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use queuing_analysis::lower_bound::{recommended_layers, theorem_4_1_instance};
+use queuing_analysis::measure_ratio;
+
+fn lower_bound_ratio(diameter: usize) -> f64 {
+    let k = recommended_layers(diameter);
+    let (instance, schedule) = theorem_4_1_instance(diameter, k);
+    measure_ratio(
+        &instance,
+        &schedule,
+        &RunConfig::analysis(ProtocolKind::Arrow),
+    )
+    .ratio
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_lower_bound_instance");
+    for &d in &[16usize, 64, 256] {
+        let ratio = lower_bound_ratio(d);
+        println!("fig9 D={d}: measured competitive ratio {ratio:.3}");
+        group.bench_with_input(BenchmarkId::new("arrow_on_adversarial_path", d), &d, |b, &d| {
+            b.iter(|| lower_bound_ratio(d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig9
+}
+criterion_main!(benches);

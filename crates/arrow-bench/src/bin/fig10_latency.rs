@@ -1,0 +1,50 @@
+//! Reproduction of **Figure 10**: total latency of the arrow protocol versus the
+//! centralized protocol for a closed-loop workload, as the number of processors grows.
+//!
+//! ```text
+//! cargo run --release -p arrow-bench --bin fig10_latency -- [requests_per_node] [service_time]
+//! ```
+//!
+//! The paper uses 100,000 enqueues per processor on an IBM SP2; the default here is
+//! 2,000 per processor, which reaches the same steady state (the reported quantities
+//! are per-request). Pass `100000` as the first argument to run the full-size
+//! experiment.
+
+use arrow_bench::{figure_10, table::f, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let requests_per_node: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let service_time: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.2);
+    // The paper sweeps 2..76 processors on the SP2.
+    let processor_counts = [2, 4, 8, 16, 24, 32, 48, 64, 76];
+
+    println!("Figure 10: total latency for {requests_per_node} enqueues per processor");
+    println!("(complete graph, balanced binary spanning tree, local service time {service_time})");
+    println!();
+
+    let rows = figure_10(&processor_counts, requests_per_node, service_time);
+    let mut table = Table::new(&[
+        "processors",
+        "arrow makespan",
+        "centralized makespan",
+        "arrow mean latency",
+        "centralized mean latency",
+        "centralized/arrow",
+    ]);
+    for row in &rows {
+        table.push(vec![
+            row.processors.to_string(),
+            f(row.arrow_makespan),
+            f(row.centralized_makespan),
+            f(row.arrow_mean_latency),
+            f(row.centralized_mean_latency),
+            f(row.centralized_makespan / row.arrow_makespan.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper's observation: the centralized protocol slows down linearly with the \
+         system size while arrow stays nearly constant."
+    );
+}

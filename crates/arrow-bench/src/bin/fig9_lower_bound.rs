@@ -1,0 +1,53 @@
+//! Reproduction of **Figure 9 / Theorem 4.1**: the adversarial request pattern on a
+//! path that forces the arrow protocol to pay `k · D` while the optimal offline
+//! ordering pays only `O(D)`, yielding a competitive ratio of `Ω(log D / log log D)`.
+//!
+//! ```text
+//! cargo run --release -p arrow-bench --bin fig9_lower_bound -- [max_diameter]
+//! ```
+
+use arrow_bench::{figure_9, table::f, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_diameter: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let mut diameters = Vec::new();
+    let mut d = 16;
+    while d <= max_diameter {
+        diameters.push(d);
+        d *= 2;
+    }
+
+    println!("Figure 9 / Theorem 4.1: adversarial lower-bound instances on a path (G = T)");
+    println!("(the paper's example instance uses D = 64, k = 6)");
+    println!();
+
+    let rows = figure_9(&diameters);
+    let mut table = Table::new(&[
+        "D",
+        "k",
+        "requests",
+        "predicted arrow (kD)",
+        "measured arrow",
+        "opt lower bound",
+        "measured ratio",
+        "log D / log log D",
+    ]);
+    for row in &rows {
+        table.push(vec![
+            row.diameter.to_string(),
+            row.layers.to_string(),
+            row.requests.to_string(),
+            f(row.predicted_arrow_cost),
+            f(row.measured_arrow_cost),
+            f(row.opt_lower_bound),
+            f(row.ratio),
+            f(row.predicted_ratio_shape),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper's observation: arrow's cost tracks k·D while the optimum stays O(D), so \
+         the ratio grows with the diameter like log D / log log D."
+    );
+}

@@ -1,0 +1,497 @@
+//! The arrow protocol node automaton (Section 2 of the paper).
+//!
+//! Every node `v` keeps a pointer `link(v)` to a neighbour in the pre-selected
+//! spanning tree (or to itself, in which case `v` is the *sink*), and `id(v)`, the id
+//! of the last queuing request issued by `v` (`⊥` if none; the initial root holds the
+//! virtual request `r0`).
+//!
+//! * When `v` **issues** a request `a` it atomically sets `id(v) ← a`, sends
+//!   `queue(a)` to `link(v)` and sets `link(v) ← v`.
+//! * When `u` **receives** `queue(a)` from `w` it atomically flips `link(u) ← w`; if
+//!   the old link pointed to another node it forwards `queue(a)` there, otherwise `u`
+//!   was the sink and `a` has been queued behind `id(u)` — the queuing of `a` is
+//!   complete.
+//!
+//! The node also implements the optional requester acknowledgement used by the
+//! paper's experiment, per-message local service time (see
+//! [`crate::protocol::ServiceQueue`]) and the closed-loop workload of Section 5.
+
+use crate::order::OrderRecord;
+use crate::protocol::{ProtoMsg, ServiceQueue, WorkItem, SERVICE_TIMER_TAG};
+use crate::request::RequestId;
+use crate::workload::ClosedLoopSpec;
+use desim::{Context, Process, SimTime};
+use netgraph::NodeId;
+
+/// Per-node state of the arrow protocol.
+#[derive(Debug)]
+pub struct ArrowNode {
+    me: NodeId,
+    /// `link(v)`: a tree neighbour, or `me` when this node is a sink.
+    link: NodeId,
+    /// `id(v)`: the last request issued by this node (`None` = ⊥). The initial root
+    /// starts with the virtual request [`RequestId::ROOT`].
+    last_id: Option<RequestId>,
+    /// Whether to send a [`ProtoMsg::Found`] ack back to the requester.
+    send_ack: bool,
+    /// Local per-message service time model.
+    service: ServiceQueue,
+    /// Closed-loop workload state: requests still to issue and the issue sequence.
+    closed_loop: Option<ClosedLoopState>,
+    /// Successor notifications recorded at this node (it was the sink).
+    records: Vec<OrderRecord>,
+    /// Requests issued by this node and their issue times.
+    issued: Vec<(RequestId, SimTime)>,
+    /// Completions of this node's own requests (ack received or locally satisfied),
+    /// with the completion time — used by the closed-loop experiment.
+    own_completions: Vec<(RequestId, SimTime)>,
+    /// Number of `queue()` messages this node sent to *another* node (inter-processor
+    /// hops, the quantity of Figure 11).
+    queue_hops: u64,
+}
+
+#[derive(Debug)]
+struct ClosedLoopState {
+    remaining: u64,
+    next_seq: u64,
+    total_nodes: u64,
+}
+
+impl ClosedLoopState {
+    fn next_request_id(&mut self, node: NodeId) -> RequestId {
+        // Unique across nodes: interleave by node id. +1 keeps ids disjoint from the
+        // reserved root id 0.
+        let id = 1 + node as u64 + self.next_seq * self.total_nodes;
+        self.next_seq += 1;
+        RequestId(id)
+    }
+}
+
+impl ArrowNode {
+    /// Create the arrow automaton for node `me`.
+    ///
+    /// * `initial_link` — the initial pointer: the tree parent of `me`, or `me` itself
+    ///   for the initial root (which then also holds the virtual request `r0`).
+    /// * `send_ack` — send `Found` acknowledgements back to requesters.
+    /// * `service_time` — local per-message service time in time units (0 = free).
+    pub fn new(me: NodeId, initial_link: NodeId, send_ack: bool, service_time: f64) -> Self {
+        let is_root = initial_link == me;
+        ArrowNode {
+            me,
+            link: initial_link,
+            last_id: if is_root { Some(RequestId::ROOT) } else { None },
+            send_ack,
+            service: ServiceQueue::new(service_time),
+            closed_loop: None,
+            records: Vec::new(),
+            issued: Vec::new(),
+            own_completions: Vec::new(),
+            queue_hops: 0,
+        }
+    }
+
+    /// Enable the closed-loop workload: this node will issue `spec.requests_per_node`
+    /// requests, the first at time 0 and each subsequent one as soon as the previous
+    /// completes (plus the local service time).
+    pub fn enable_closed_loop(&mut self, spec: &ClosedLoopSpec, total_nodes: usize) {
+        assert!(
+            spec.local_service_time > 0.0,
+            "closed-loop workloads need a positive local service time \
+             (otherwise a node would issue its whole budget in a single instant)"
+        );
+        self.closed_loop = Some(ClosedLoopState {
+            remaining: spec.requests_per_node,
+            next_seq: 0,
+            total_nodes: total_nodes as u64,
+        });
+        self.service = ServiceQueue::new(spec.local_service_time);
+    }
+
+    /// Current link pointer (`me` when this node is a sink).
+    pub fn link(&self) -> NodeId {
+        self.link
+    }
+
+    /// True if this node is currently a sink (`link(v) = v`).
+    pub fn is_sink(&self) -> bool {
+        self.link == self.me
+    }
+
+    /// `id(v)`: the last request issued here (`None` = ⊥).
+    pub fn last_request(&self) -> Option<RequestId> {
+        self.last_id
+    }
+
+    /// Successor notifications recorded at this node.
+    pub fn records(&self) -> &[OrderRecord] {
+        &self.records
+    }
+
+    /// Requests issued by this node with their issue times.
+    pub fn issued(&self) -> &[(RequestId, SimTime)] {
+        &self.issued
+    }
+
+    /// Completions of this node's own requests (only tracked when acks are enabled
+    /// or the request completed locally).
+    pub fn own_completions(&self) -> &[(RequestId, SimTime)] {
+        &self.own_completions
+    }
+
+    /// Inter-processor `queue()` messages sent by this node.
+    pub fn queue_hops(&self) -> u64 {
+        self.queue_hops
+    }
+
+    /// The actual protocol logic, invoked once the service queue releases a work item.
+    fn process(&mut self, ctx: &mut Context<ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Issue { req } => self.handle_issue(ctx, req),
+            ProtoMsg::Queue { req, origin } => self.handle_queue(ctx, from, req, origin),
+            ProtoMsg::Found { req, pred } => self.handle_found(ctx, req, pred),
+            other => panic!("arrow node received non-arrow message {other:?}"),
+        }
+    }
+
+    /// Node `v` issues request `a` (paper, Section 2):
+    /// `id(v) ← a`; send `queue(a)` to `link(v)`; `link(v) ← v`.
+    fn handle_issue(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId) {
+        assert!(!req.is_root(), "cannot issue the virtual root request");
+        self.issued.push((req, ctx.now()));
+        let previous = self.last_id;
+        self.last_id = Some(req);
+        if self.link == self.me {
+            // v is the sink: the request is queued behind id(v) without any message.
+            let pred = previous.expect(
+                "a sink always holds an id: either the virtual root request or \
+                 a request it issued earlier",
+            );
+            self.complete_queuing(ctx, req, pred, self.me);
+        } else {
+            let target = self.link;
+            self.link = self.me;
+            self.queue_hops += 1;
+            ctx.send(
+                target,
+                ProtoMsg::Queue {
+                    req,
+                    origin: self.me,
+                },
+            );
+        }
+    }
+
+    /// Node `u` receives `queue(a)` from `w`: flip `link(u) ← w`; forward to the old
+    /// link target unless `u` was the sink, in which case `a` is queued behind `id(u)`.
+    fn handle_queue(
+        &mut self,
+        ctx: &mut Context<ProtoMsg>,
+        from: NodeId,
+        req: RequestId,
+        origin: NodeId,
+    ) {
+        let old_link = self.link;
+        self.link = from;
+        if old_link == self.me {
+            // This node was the sink: req is queued behind id(u).
+            let pred = self.last_id.expect(
+                "a sink always holds an id: either the virtual root request or \
+                 a request it issued earlier",
+            );
+            self.complete_queuing(ctx, req, pred, origin);
+        } else {
+            if old_link != self.me {
+                self.queue_hops += 1;
+            }
+            ctx.send(old_link, ProtoMsg::Queue { req, origin });
+        }
+    }
+
+    /// The queuing of `req` behind `pred` completed at this node; record it, notify the
+    /// requester if acks are on, and feed the closed-loop workload.
+    fn complete_queuing(
+        &mut self,
+        ctx: &mut Context<ProtoMsg>,
+        req: RequestId,
+        pred: RequestId,
+        origin: NodeId,
+    ) {
+        self.records.push(OrderRecord {
+            predecessor: pred,
+            successor: req,
+            at_node: self.me,
+            informed_at: ctx.now(),
+        });
+        ctx.record_completion(req.0);
+        if origin == self.me {
+            // The requester is local: its request completed right here.
+            self.note_own_completion(ctx, req);
+        } else if self.send_ack {
+            ctx.send(origin, ProtoMsg::Found { req, pred });
+        }
+    }
+
+    fn handle_found(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId, _pred: RequestId) {
+        self.note_own_completion(ctx, req);
+    }
+
+    /// One of this node's own requests completed; in closed-loop mode, issue the next.
+    fn note_own_completion(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId) {
+        self.own_completions.push((req, ctx.now()));
+        if let Some(cl) = &mut self.closed_loop {
+            if cl.remaining > 0 {
+                cl.remaining -= 1;
+                if cl.remaining > 0 {
+                    let next = cl.next_request_id(self.me);
+                    // Route the next issue through the service queue so it pays the
+                    // local service time before being processed.
+                    if let Some((f, m)) = self.service.offer(ctx, (self.me, ProtoMsg::Issue { req: next })) {
+                        self.process(ctx, f, m);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Process<ProtoMsg> for ArrowNode {
+    fn on_start(&mut self, ctx: &mut Context<ProtoMsg>) {
+        // Closed-loop mode: issue the first request at time zero.
+        if let Some(cl) = &mut self.closed_loop {
+            if cl.remaining > 0 {
+                let first = cl.next_request_id(self.me);
+                let item: WorkItem = (self.me, ProtoMsg::Issue { req: first });
+                if let Some((f, m)) = self.service.offer(ctx, item) {
+                    self.process(ctx, f, m);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        if let Some((f, m)) = self.service.offer(ctx, (from, msg)) {
+            self.process(ctx, f, m);
+        }
+    }
+
+    fn on_external(&mut self, ctx: &mut Context<ProtoMsg>, input: ProtoMsg) {
+        let me = self.me;
+        if let Some((f, m)) = self.service.offer(ctx, (me, input)) {
+            self.process(ctx, f, m);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<ProtoMsg>, tag: u64) {
+        if tag == SERVICE_TIMER_TAG {
+            if let Some((f, m)) = self.service.on_timer(ctx) {
+                self.process(ctx, f, m);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::{SimConfig, SimTime, Simulator};
+
+    /// Build arrow nodes for a path 0 - 1 - 2 - 3 rooted at node 0
+    /// (all links initially point towards 0).
+    fn path_nodes(n: usize, root: usize, ack: bool) -> Vec<ArrowNode> {
+        (0..n)
+            .map(|v| {
+                let link = if v == root {
+                    v
+                } else if v > root {
+                    v - 1
+                } else {
+                    v + 1
+                };
+                ArrowNode::new(v, link, ack, 0.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_root_is_sink_with_virtual_request() {
+        let nodes = path_nodes(4, 0, false);
+        assert!(nodes[0].is_sink());
+        assert_eq!(nodes[0].last_request(), Some(RequestId::ROOT));
+        assert!(!nodes[1].is_sink());
+        assert_eq!(nodes[1].last_request(), None);
+        assert_eq!(nodes[1].link(), 0);
+    }
+
+    #[test]
+    fn single_remote_request_travels_to_root_and_reverses_path() {
+        let mut sim = Simulator::new(path_nodes(4, 0, false), SimConfig::synchronous());
+        sim.schedule_external(
+            SimTime::ZERO,
+            3,
+            ProtoMsg::Issue {
+                req: RequestId(1),
+            },
+        );
+        sim.run();
+        // The request from node 3 is ordered behind the virtual root request at node 0.
+        let recs = sim.node(0).records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].predecessor, RequestId::ROOT);
+        assert_eq!(recs[0].successor, RequestId(1));
+        assert_eq!(recs[0].informed_at, SimTime::from_units(3));
+        // All pointers now lead to node 3 (the new tail).
+        assert_eq!(sim.node(0).link(), 1);
+        assert_eq!(sim.node(1).link(), 2);
+        assert_eq!(sim.node(2).link(), 3);
+        assert!(sim.node(3).is_sink());
+        // 3 inter-processor queue hops.
+        let hops: u64 = (0..4).map(|v| sim.node(v).queue_hops()).sum();
+        assert_eq!(hops, 3);
+    }
+
+    #[test]
+    fn local_request_at_root_completes_without_messages() {
+        let mut sim = Simulator::new(path_nodes(3, 0, false), SimConfig::synchronous());
+        sim.schedule_external(
+            SimTime::ZERO,
+            0,
+            ProtoMsg::Issue {
+                req: RequestId(1),
+            },
+        );
+        sim.run();
+        assert_eq!(sim.stats().messages_delivered, 0);
+        let recs = sim.node(0).records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].predecessor, RequestId::ROOT);
+        // The root remains the sink and its id is now the new request.
+        assert!(sim.node(0).is_sink());
+        assert_eq!(sim.node(0).last_request(), Some(RequestId(1)));
+        assert_eq!(sim.node(0).own_completions().len(), 1);
+    }
+
+    #[test]
+    fn two_sequential_requests_chain_correctly() {
+        let mut sim = Simulator::new(path_nodes(4, 0, false), SimConfig::synchronous());
+        sim.schedule_external(
+            SimTime::ZERO,
+            3,
+            ProtoMsg::Issue {
+                req: RequestId(1),
+            },
+        );
+        sim.schedule_external(
+            SimTime::from_units(100),
+            1,
+            ProtoMsg::Issue {
+                req: RequestId(2),
+            },
+        );
+        sim.run();
+        // Request 1 behind root (recorded at node 0), request 2 behind request 1
+        // (recorded at node 3, which holds request 1).
+        assert_eq!(sim.node(0).records().len(), 1);
+        let rec3 = sim.node(3).records();
+        assert_eq!(rec3.len(), 1);
+        assert_eq!(rec3[0].predecessor, RequestId(1));
+        assert_eq!(rec3[0].successor, RequestId(2));
+        // d_T(1, 3) = 2, issued at t=100 => informed at t=102.
+        assert_eq!(rec3[0].informed_at, SimTime::from_units(102));
+    }
+
+    #[test]
+    fn concurrent_requests_are_all_queued_exactly_once() {
+        let n = 8;
+        // Path 0-1-...-7 rooted at 0.
+        let mut sim = Simulator::new(path_nodes(n, 0, false), SimConfig::synchronous());
+        for v in 1..n {
+            sim.schedule_external(
+                SimTime::ZERO,
+                v,
+                ProtoMsg::Issue {
+                    req: RequestId(v as u64),
+                },
+            );
+        }
+        sim.run();
+        let mut successors: Vec<RequestId> = (0..n)
+            .flat_map(|v| sim.node(v).records().iter().map(|r| r.successor))
+            .collect();
+        successors.sort();
+        successors.dedup();
+        assert_eq!(successors.len(), n - 1, "every request queued exactly once");
+        // Exactly one node is the final sink.
+        let sinks = (0..n).filter(|&v| sim.node(v).is_sink()).count();
+        assert_eq!(sinks, 1);
+    }
+
+    #[test]
+    fn ack_reaches_the_requester() {
+        let mut sim = Simulator::new(path_nodes(4, 0, true), SimConfig::synchronous());
+        sim.schedule_external(
+            SimTime::ZERO,
+            2,
+            ProtoMsg::Issue {
+                req: RequestId(1),
+            },
+        );
+        sim.run();
+        let completions = sim.node(2).own_completions();
+        assert_eq!(completions.len(), 1);
+        // 2 hops to reach the root plus 1 hop (direct) back.
+        assert_eq!(completions[0].1, SimTime::from_units(3));
+    }
+
+    #[test]
+    fn closed_loop_issues_the_configured_number_of_requests() {
+        let spec = ClosedLoopSpec {
+            requests_per_node: 5,
+            local_service_time: 0.1,
+        };
+        let mut nodes = path_nodes(3, 0, true);
+        for node in &mut nodes {
+            node.enable_closed_loop(&spec, 3);
+        }
+        let mut sim = Simulator::new(nodes, SimConfig::synchronous());
+        sim.run();
+        let total_issued: usize = (0..3).map(|v| sim.node(v).issued().len()).sum();
+        assert_eq!(total_issued, 15);
+        let total_recorded: usize = (0..3).map(|v| sim.node(v).records().len()).sum();
+        assert_eq!(total_recorded, 15);
+        // Ids are globally unique.
+        let mut ids: Vec<u64> = (0..3)
+            .flat_map(|v| sim.node(v).issued().iter().map(|(r, _)| r.0))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive local service time")]
+    fn closed_loop_requires_positive_service_time() {
+        let mut node = ArrowNode::new(0, 0, true, 0.0);
+        node.enable_closed_loop(
+            &ClosedLoopSpec {
+                requests_per_node: 10,
+                local_service_time: 0.0,
+            },
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-arrow message")]
+    fn central_message_panics_on_arrow_node() {
+        let mut node = ArrowNode::new(0, 0, false, 0.0);
+        let mut ctx = Context::new(0, SimTime::ZERO);
+        node.on_message(
+            &mut ctx,
+            1,
+            ProtoMsg::CentralEnqueue {
+                req: RequestId(1),
+                origin: 1,
+            },
+        );
+    }
+}

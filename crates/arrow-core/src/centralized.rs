@@ -1,0 +1,340 @@
+//! The centralized (home-based) queuing protocol — the baseline of Section 5.
+//!
+//! "A globally known central node always stored the current tail of the total order.
+//! Every queuing request was completed using only two messages, one to the central
+//! node, and one back." The central node is a serial bottleneck: it must process one
+//! message per request regardless of where requests originate, which is why its total
+//! latency grows linearly with the number of processors in Figure 10 while the arrow
+//! protocol's stays nearly flat.
+
+use crate::order::OrderRecord;
+use crate::protocol::{ProtoMsg, ServiceQueue, WorkItem, SERVICE_TIMER_TAG};
+use crate::request::RequestId;
+use crate::workload::ClosedLoopSpec;
+use desim::{Context, Process, SimTime};
+use netgraph::NodeId;
+
+/// Per-node state of the centralized protocol.
+///
+/// Every node knows the identity of the central node; the central node additionally
+/// stores the current tail of the queue.
+#[derive(Debug)]
+pub struct CentralizedNode {
+    me: NodeId,
+    central: NodeId,
+    /// Tail of the queue; only meaningful at the central node.
+    tail: RequestId,
+    service: ServiceQueue,
+    closed_loop: Option<ClosedLoopState>,
+    records: Vec<OrderRecord>,
+    issued: Vec<(RequestId, SimTime)>,
+    own_completions: Vec<(RequestId, SimTime)>,
+    /// Messages this node sent to a different node.
+    remote_messages: u64,
+}
+
+#[derive(Debug)]
+struct ClosedLoopState {
+    remaining: u64,
+    next_seq: u64,
+    total_nodes: u64,
+}
+
+impl ClosedLoopState {
+    fn next_request_id(&mut self, node: NodeId) -> RequestId {
+        let id = 1 + node as u64 + self.next_seq * self.total_nodes;
+        self.next_seq += 1;
+        RequestId(id)
+    }
+}
+
+impl CentralizedNode {
+    /// Create the automaton for node `me` with the given central node.
+    pub fn new(me: NodeId, central: NodeId, service_time: f64) -> Self {
+        CentralizedNode {
+            me,
+            central,
+            tail: RequestId::ROOT,
+            service: ServiceQueue::new(service_time),
+            closed_loop: None,
+            records: Vec::new(),
+            issued: Vec::new(),
+            own_completions: Vec::new(),
+            remote_messages: 0,
+        }
+    }
+
+    /// Enable the closed-loop workload (see [`ClosedLoopSpec`]).
+    pub fn enable_closed_loop(&mut self, spec: &ClosedLoopSpec, total_nodes: usize) {
+        assert!(
+            spec.local_service_time > 0.0,
+            "closed-loop workloads need a positive local service time"
+        );
+        self.closed_loop = Some(ClosedLoopState {
+            remaining: spec.requests_per_node,
+            next_seq: 0,
+            total_nodes: total_nodes as u64,
+        });
+        self.service = ServiceQueue::new(spec.local_service_time);
+    }
+
+    /// Successor notifications recorded at this node (non-empty only at the center).
+    pub fn records(&self) -> &[OrderRecord] {
+        &self.records
+    }
+
+    /// Requests issued by this node with issue times.
+    pub fn issued(&self) -> &[(RequestId, SimTime)] {
+        &self.issued
+    }
+
+    /// Completions (reply received) of this node's own requests.
+    pub fn own_completions(&self) -> &[(RequestId, SimTime)] {
+        &self.own_completions
+    }
+
+    /// Messages sent to other nodes by this node.
+    pub fn remote_messages(&self) -> u64 {
+        self.remote_messages
+    }
+
+    /// True if this node is the central node.
+    pub fn is_central(&self) -> bool {
+        self.me == self.central
+    }
+
+    fn process(&mut self, ctx: &mut Context<ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Issue { req } => self.handle_issue(ctx, req),
+            ProtoMsg::CentralEnqueue { req, origin } => self.handle_enqueue(ctx, req, origin),
+            ProtoMsg::CentralReply { req, pred } => self.handle_reply(ctx, from, req, pred),
+            other => panic!("centralized node received unexpected message {other:?}"),
+        }
+    }
+
+    fn handle_issue(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId) {
+        assert!(!req.is_root(), "cannot issue the virtual root request");
+        self.issued.push((req, ctx.now()));
+        if self.is_central() {
+            // Local request: enqueue directly.
+            self.handle_enqueue(ctx, req, self.me);
+        } else {
+            self.remote_messages += 1;
+            ctx.send(
+                self.central,
+                ProtoMsg::CentralEnqueue {
+                    req,
+                    origin: self.me,
+                },
+            );
+        }
+    }
+
+    fn handle_enqueue(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId, origin: NodeId) {
+        assert!(self.is_central(), "only the central node enqueues requests");
+        let pred = self.tail;
+        self.tail = req;
+        self.records.push(OrderRecord {
+            predecessor: pred,
+            successor: req,
+            at_node: self.me,
+            informed_at: ctx.now(),
+        });
+        ctx.record_completion(req.0);
+        if origin == self.me {
+            self.note_own_completion(ctx, req);
+        } else {
+            self.remote_messages += 1;
+            ctx.send(origin, ProtoMsg::CentralReply { req, pred });
+        }
+    }
+
+    fn handle_reply(
+        &mut self,
+        ctx: &mut Context<ProtoMsg>,
+        _from: NodeId,
+        req: RequestId,
+        _pred: RequestId,
+    ) {
+        self.note_own_completion(ctx, req);
+    }
+
+    fn note_own_completion(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId) {
+        self.own_completions.push((req, ctx.now()));
+        if let Some(cl) = &mut self.closed_loop {
+            if cl.remaining > 0 {
+                cl.remaining -= 1;
+                if cl.remaining > 0 {
+                    let next = cl.next_request_id(self.me);
+                    if let Some((f, m)) =
+                        self.service.offer(ctx, (self.me, ProtoMsg::Issue { req: next }))
+                    {
+                        self.process(ctx, f, m);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Process<ProtoMsg> for CentralizedNode {
+    fn on_start(&mut self, ctx: &mut Context<ProtoMsg>) {
+        if let Some(cl) = &mut self.closed_loop {
+            if cl.remaining > 0 {
+                let first = cl.next_request_id(self.me);
+                let item: WorkItem = (self.me, ProtoMsg::Issue { req: first });
+                if let Some((f, m)) = self.service.offer(ctx, item) {
+                    self.process(ctx, f, m);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        if let Some((f, m)) = self.service.offer(ctx, (from, msg)) {
+            self.process(ctx, f, m);
+        }
+    }
+
+    fn on_external(&mut self, ctx: &mut Context<ProtoMsg>, input: ProtoMsg) {
+        let me = self.me;
+        if let Some((f, m)) = self.service.offer(ctx, (me, input)) {
+            self.process(ctx, f, m);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<ProtoMsg>, tag: u64) {
+        if tag == SERVICE_TIMER_TAG {
+            if let Some((f, m)) = self.service.on_timer(ctx) {
+                self.process(ctx, f, m);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::{SimConfig, SimTime, Simulator};
+
+    fn nodes(n: usize, central: usize, service: f64) -> Vec<CentralizedNode> {
+        (0..n)
+            .map(|v| CentralizedNode::new(v, central, service))
+            .collect()
+    }
+
+    #[test]
+    fn remote_request_takes_two_messages() {
+        let mut sim = Simulator::new(nodes(4, 0, 0.0), SimConfig::synchronous());
+        sim.schedule_external(
+            SimTime::ZERO,
+            2,
+            ProtoMsg::Issue {
+                req: RequestId(1),
+            },
+        );
+        sim.run();
+        assert_eq!(sim.stats().messages_delivered, 2);
+        let recs = sim.node(0).records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].predecessor, RequestId::ROOT);
+        // Reply received one unit after the enqueue reached the center.
+        assert_eq!(sim.node(2).own_completions()[0].1, SimTime::from_units(2));
+    }
+
+    #[test]
+    fn local_request_at_center_is_free() {
+        let mut sim = Simulator::new(nodes(3, 1, 0.0), SimConfig::synchronous());
+        sim.schedule_external(
+            SimTime::ZERO,
+            1,
+            ProtoMsg::Issue {
+                req: RequestId(1),
+            },
+        );
+        sim.run();
+        assert_eq!(sim.stats().messages_delivered, 0);
+        assert_eq!(sim.node(1).records().len(), 1);
+        assert_eq!(sim.node(1).own_completions().len(), 1);
+    }
+
+    #[test]
+    fn center_orders_requests_in_arrival_order() {
+        let mut sim = Simulator::new(nodes(5, 0, 0.0), SimConfig::synchronous());
+        for v in 1..5 {
+            sim.schedule_external(
+                SimTime::ZERO,
+                v,
+                ProtoMsg::Issue {
+                    req: RequestId(v as u64),
+                },
+            );
+        }
+        sim.run();
+        let recs = sim.node(0).records();
+        assert_eq!(recs.len(), 4);
+        // First record is behind the root; the chain is total.
+        assert_eq!(recs[0].predecessor, RequestId::ROOT);
+        for w in recs.windows(2) {
+            assert_eq!(w[1].predecessor, w[0].successor);
+        }
+    }
+
+    #[test]
+    fn service_time_serialises_the_center() {
+        // 4 remote requests arrive simultaneously; with a service time of 1 unit the
+        // center releases replies 1 unit apart.
+        let mut sim = Simulator::new(nodes(5, 0, 1.0), SimConfig::synchronous());
+        for v in 1..5 {
+            sim.schedule_external(
+                SimTime::ZERO,
+                v,
+                ProtoMsg::Issue {
+                    req: RequestId(v as u64),
+                },
+            );
+        }
+        let outcome = sim.run();
+        // Last enqueue processed at 1 + 4 (arrival at 1, four service slots), reply +1.
+        assert!(outcome.final_time >= SimTime::from_units(5));
+        let recs = sim.node(0).records();
+        assert_eq!(recs.len(), 4);
+        let mut times: Vec<f64> = recs.iter().map(|r| r.informed_at.as_units_f64()).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in times.windows(2) {
+            assert!(w[1] - w[0] >= 1.0 - 1e-9, "center served two requests within one service time");
+        }
+    }
+
+    #[test]
+    fn closed_loop_issues_all_requests() {
+        let spec = ClosedLoopSpec {
+            requests_per_node: 3,
+            local_service_time: 0.2,
+        };
+        let mut ns = nodes(3, 0, 0.2);
+        for n in &mut ns {
+            n.enable_closed_loop(&spec, 3);
+        }
+        let mut sim = Simulator::new(ns, SimConfig::synchronous());
+        sim.run();
+        let total_issued: usize = (0..3).map(|v| sim.node(v).issued().len()).sum();
+        assert_eq!(total_issued, 9);
+        assert_eq!(sim.node(0).records().len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected message")]
+    fn arrow_message_panics_on_centralized_node() {
+        let mut node = CentralizedNode::new(0, 0, 0.0);
+        let mut ctx = Context::new(0, SimTime::ZERO);
+        node.on_message(
+            &mut ctx,
+            1,
+            ProtoMsg::Queue {
+                req: RequestId(1),
+                origin: 1,
+            },
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! # arrow-core — the arrow distributed queuing protocol
+//!
+//! A faithful implementation of the arrow protocol (Raymond '89; Demmer–Herlihy '98)
+//! as analysed in *"Dynamic Analysis of the Arrow Distributed Protocol"* (Herlihy,
+//! Kuhn, Tirthapura, Wattenhofer), together with the centralized queuing baseline the
+//! paper compares against, workload generators, and a harness that measures the
+//! quantities the paper reports.
+//!
+//! ## What distributed queuing is
+//!
+//! Nodes of a message-passing network asynchronously request to join a total order
+//! (a distributed queue). The protocol must inform the issuer of each request of the
+//! identity of its *successor*. This primitive directly supports distributed mutual
+//! exclusion (pass a token down the queue), distributed directories (move the object
+//! down the queue) and totally ordered multicast.
+//!
+//! ## How arrow works
+//!
+//! A spanning tree `T` of the network is fixed in advance. Every node `v` keeps a
+//! pointer `link(v)` to a tree neighbour (or to itself — then `v` is the *sink*),
+//! initialised so that following pointers from anywhere leads to the root. To queue a
+//! request, a node sends a `queue()` message along the pointers; every node the
+//! message visits flips its pointer back towards the requester (*path reversal*).
+//! When the message reaches a sink, the request has found its predecessor. Concurrent
+//! requests chase each other's reversed paths and are ordered without any central
+//! coordination.
+//!
+//! ## Crate layout
+//!
+//! * [`request`] / [`workload`] — queuing requests, schedules, workload generators.
+//! * [`arrow`] — the arrow node automaton (runs on the [`desim`] simulator).
+//! * [`centralized`] — the home-based baseline protocol.
+//! * [`order`] — queuing orders, successor records, validation, latency accounting.
+//! * [`run`] — the harness: run a protocol on `(graph, tree, workload)` and collect
+//!   cost/hop statistics.
+//! * [`live`] — a real-concurrency runtime (one OS thread per node, crossbeam
+//!   channels) plus a [`live::DistributedLock`] built on the queue.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use arrow_core::prelude::*;
+//! use desim::SimTime;
+//!
+//! // The paper's experimental platform: complete graph, balanced binary tree.
+//! let instance = Instance::complete_uniform(8, SpanningTreeKind::BalancedBinary);
+//! // All eight nodes request simultaneously.
+//! let nodes: Vec<usize> = (0..8).collect();
+//! let schedule = workload::one_shot_burst(&nodes, SimTime::ZERO);
+//! let outcome = run(
+//!     &instance,
+//!     &Workload::OpenLoop(schedule),
+//!     &RunConfig::analysis(ProtocolKind::Arrow),
+//! );
+//! assert_eq!(outcome.order.len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrow;
+pub mod centralized;
+pub mod live;
+pub mod order;
+pub mod protocol;
+pub mod request;
+pub mod run;
+pub mod workload;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::order::{OrderRecord, QueuingOrder};
+    pub use crate::protocol::{ProtoMsg, ProtocolKind};
+    pub use crate::request::{Request, RequestId, RequestSchedule};
+    pub use crate::run::{run, Instance, QueuingOutcome, RunConfig, SyncMode};
+    pub use crate::workload::{self, ClosedLoopSpec, Workload};
+    pub use netgraph::spanning::SpanningTreeKind;
+}
+
+pub use prelude::*;

@@ -1,0 +1,21 @@
+//! Real-concurrency runtime: the arrow protocol over OS threads and channels.
+//!
+//! The discrete-event simulator ([`crate::run`]) is the right tool for measurement —
+//! it is deterministic and can run millions of requests. This module is the
+//! complementary demonstration that the protocol is a practical building block: every
+//! node is a real OS thread, messages travel over crossbeam channels (point-to-point
+//! FIFO links, exactly the paper's communication model), and the queue is used the way
+//! the paper's introduction motivates — to pass an exclusive token from each request
+//! to its successor, i.e. distributed mutual exclusion.
+//!
+//! * [`ArrowRuntime`] — spawns one thread per node of a spanning tree and exposes a
+//!   [`NodeHandle`] per node with `acquire()` / `release()` token operations.
+//! * [`DistributedLock`] — a guard-style wrapper around a handle.
+//! * [`CriticalSectionLog`] — a shared log used by tests and examples to verify the
+//!   mutual-exclusion invariant.
+
+mod lock;
+mod runtime;
+
+pub use lock::{CriticalSectionLog, DistributedLock, LockGuard, SectionRecord};
+pub use runtime::{ArrowRuntime, NodeHandle, RuntimeStats};

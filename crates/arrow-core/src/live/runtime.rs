@@ -1,0 +1,382 @@
+//! One-thread-per-node arrow runtime over crossbeam channels.
+//!
+//! Each node thread runs the arrow automaton (link pointer + path reversal) and a
+//! token manager: when a node learns that request `succ` has been queued behind its
+//! own request `pred`, it forwards the exclusion token to `succ`'s origin as soon as
+//! the local application has released `pred`. The initial token sits at the tree root
+//! (holding the virtual request `r0`), already released.
+
+use crate::request::RequestId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use netgraph::{NodeId, RootedTree};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Messages exchanged between node threads (and commands from handles).
+#[derive(Debug, Clone)]
+enum LiveMsg {
+    /// The arrow `queue()` message.
+    Queue { req: RequestId, origin: NodeId },
+    /// The exclusion token, granted to the node that issued `req`.
+    Token { req: RequestId },
+    /// Application command: acquire the token; reply on the given channel once held.
+    Acquire { reply: Sender<RequestId> },
+    /// Application command: release the token held for `req`.
+    Release { req: RequestId },
+    /// Stop the node thread.
+    Shutdown,
+}
+
+/// Counters shared by all node threads.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Arrow `queue()` messages sent between different nodes.
+    pub queue_messages: AtomicU64,
+    /// Token transfer messages sent between different nodes.
+    pub token_messages: AtomicU64,
+    /// Total acquisitions granted.
+    pub acquisitions: AtomicU64,
+}
+
+impl RuntimeStats {
+    /// Snapshot of (queue messages, token messages, acquisitions).
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.queue_messages.load(Ordering::Relaxed),
+            self.token_messages.load(Ordering::Relaxed),
+            self.acquisitions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Per-own-request token bookkeeping at the issuing node.
+#[derive(Debug, Default)]
+struct TokenState {
+    /// The token for this request has been (or never needed to be) released.
+    released: bool,
+    /// The successor of this request, once known: `(request, origin node)`.
+    successor: Option<(RequestId, NodeId)>,
+}
+
+struct NodeState {
+    me: NodeId,
+    link: NodeId,
+    last_id: RequestId,
+    /// Outstanding local acquires: request id -> reply channel.
+    waiting: HashMap<RequestId, Sender<RequestId>>,
+    /// Token bookkeeping for requests issued by this node (keyed by request id).
+    tokens: HashMap<RequestId, TokenState>,
+    senders: Vec<Sender<(NodeId, LiveMsg)>>,
+    stats: Arc<RuntimeStats>,
+    next_seq: u64,
+    total_nodes: u64,
+}
+
+impl NodeState {
+    fn send(&self, to: NodeId, msg: LiveMsg) {
+        if let LiveMsg::Queue { .. } = msg {
+            if to != self.me {
+                self.stats.queue_messages.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let LiveMsg::Token { .. } = msg {
+            if to != self.me {
+                self.stats.token_messages.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Sending to self is delivered through the same channel to preserve ordering.
+        let _ = self.senders[to].send((self.me, msg));
+    }
+
+    fn fresh_request_id(&mut self) -> RequestId {
+        let id = 1 + self.me as u64 + self.next_seq * self.total_nodes;
+        self.next_seq += 1;
+        RequestId(id)
+    }
+
+    /// Issue a queuing request for the local application.
+    fn handle_acquire(&mut self, reply: Sender<RequestId>) {
+        let req = self.fresh_request_id();
+        self.waiting.insert(req, reply);
+        self.tokens.insert(req, TokenState::default());
+        let previous = self.last_id;
+        self.last_id = req;
+        if self.link == self.me {
+            // Local sink: req is queued directly behind our previous request.
+            self.queuing_complete(previous, req, self.me);
+        } else {
+            let target = self.link;
+            self.link = self.me;
+            self.send(
+                target,
+                LiveMsg::Queue {
+                    req,
+                    origin: self.me,
+                },
+            );
+        }
+    }
+
+    /// Arrow path reversal.
+    fn handle_queue(&mut self, from: NodeId, req: RequestId, origin: NodeId) {
+        let old_link = self.link;
+        self.link = from;
+        if old_link == self.me {
+            let pred = self.last_id;
+            self.queuing_complete(pred, req, origin);
+        } else {
+            self.send(old_link, LiveMsg::Queue { req, origin });
+        }
+    }
+
+    /// Request `succ` (from `origin`) has been queued behind `pred`, which lives here.
+    fn queuing_complete(&mut self, pred: RequestId, succ: RequestId, origin: NodeId) {
+        if pred.is_root() {
+            // The token has been sitting at the initial root, already free.
+            self.grant(succ, origin);
+            return;
+        }
+        let state = self.tokens.entry(pred).or_default();
+        if state.released {
+            self.tokens.remove(&pred);
+            self.grant(succ, origin);
+        } else {
+            state.successor = Some((succ, origin));
+        }
+    }
+
+    /// Hand the token to the node that issued `req`.
+    fn grant(&mut self, req: RequestId, origin: NodeId) {
+        if origin == self.me {
+            self.handle_token(req);
+        } else {
+            self.send(origin, LiveMsg::Token { req });
+        }
+    }
+
+    /// The token arrived for our request `req`: wake the waiting application.
+    fn handle_token(&mut self, req: RequestId) {
+        self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if let Some(reply) = self.waiting.remove(&req) {
+            let _ = reply.send(req);
+        }
+    }
+
+    /// The application released the token it held for `req`.
+    fn handle_release(&mut self, req: RequestId) {
+        let state = self.tokens.entry(req).or_default();
+        if let Some((succ, origin)) = state.successor.take() {
+            self.tokens.remove(&req);
+            self.grant(succ, origin);
+        } else {
+            state.released = true;
+        }
+    }
+}
+
+/// The live arrow runtime: one thread per node of a rooted spanning tree.
+pub struct ArrowRuntime {
+    senders: Vec<Sender<(NodeId, LiveMsg)>>,
+    threads: Vec<JoinHandle<()>>,
+    stats: Arc<RuntimeStats>,
+    n: usize,
+}
+
+impl ArrowRuntime {
+    /// Spawn the runtime over the given rooted spanning tree. The tree root initially
+    /// holds the token.
+    pub fn spawn(tree: &RootedTree) -> Self {
+        let n = tree.node_count();
+        let stats = Arc::new(RuntimeStats::default());
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<(NodeId, LiveMsg)>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut threads = Vec::with_capacity(n);
+        for (v, rx) in receivers.into_iter().enumerate() {
+            let root = tree.root();
+            let link = if v == root {
+                v
+            } else {
+                tree.parent(v).expect("non-root node has a parent")
+            };
+            let mut state = NodeState {
+                me: v,
+                link,
+                last_id: if v == root {
+                    RequestId::ROOT
+                } else {
+                    // Never read before this node issues or completes a request:
+                    // a non-root node can only become a sink by issuing a request.
+                    RequestId::ROOT
+                },
+                waiting: HashMap::new(),
+                tokens: HashMap::new(),
+                senders: senders.clone(),
+                stats: Arc::clone(&stats),
+                next_seq: 0,
+                total_nodes: n as u64,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("arrow-node-{v}"))
+                .spawn(move || {
+                    while let Ok((from, msg)) = rx.recv() {
+                        match msg {
+                            LiveMsg::Shutdown => break,
+                            LiveMsg::Queue { req, origin } => state.handle_queue(from, req, origin),
+                            LiveMsg::Token { req } => state.handle_token(req),
+                            LiveMsg::Acquire { reply } => state.handle_acquire(reply),
+                            LiveMsg::Release { req } => state.handle_release(req),
+                        }
+                    }
+                })
+                .expect("failed to spawn node thread");
+            threads.push(handle);
+        }
+        ArrowRuntime {
+            senders,
+            threads,
+            stats,
+            n,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Shared runtime statistics.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// A handle for the application running at node `v`.
+    pub fn handle(&self, v: NodeId) -> NodeHandle {
+        assert!(v < self.n, "node {v} out of range");
+        NodeHandle {
+            node: v,
+            sender: self.senders[v].clone(),
+        }
+    }
+
+    /// Stop all node threads and wait for them to finish.
+    pub fn shutdown(mut self) {
+        for (v, tx) in self.senders.iter().enumerate() {
+            let _ = tx.send((v, LiveMsg::Shutdown));
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The application-facing handle of one node: blocking token acquire/release.
+#[derive(Debug, Clone)]
+pub struct NodeHandle {
+    node: NodeId,
+    sender: Sender<(NodeId, LiveMsg)>,
+}
+
+impl NodeHandle {
+    /// This handle's node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Issue a queuing request and block until this node holds the token.
+    /// Returns the id of the granted request, which must be passed to [`release`].
+    ///
+    /// [`release`]: NodeHandle::release
+    pub fn acquire(&self) -> RequestId {
+        let (reply_tx, reply_rx) = unbounded();
+        self.sender
+            .send((self.node, LiveMsg::Acquire { reply: reply_tx }))
+            .expect("runtime has shut down");
+        reply_rx.recv().expect("runtime has shut down")
+    }
+
+    /// Release the token held for `req`, letting it move on to the successor.
+    pub fn release(&self, req: RequestId) {
+        self.sender
+            .send((self.node, LiveMsg::Release { req }))
+            .expect("runtime has shut down");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+
+    fn tree(n: usize) -> RootedTree {
+        RootedTree::from_tree_graph(&generators::balanced_binary_tree(n), 0)
+    }
+
+    #[test]
+    fn single_acquire_release_at_root() {
+        let rt = ArrowRuntime::spawn(&tree(3));
+        let h = rt.handle(0);
+        let req = h.acquire();
+        h.release(req);
+        assert_eq!(rt.stats().snapshot().2, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn remote_acquire_gets_the_token() {
+        let rt = ArrowRuntime::spawn(&tree(7));
+        let h = rt.handle(6);
+        let req = h.acquire();
+        h.release(req);
+        let (queue_msgs, token_msgs, acqs) = rt.stats().snapshot();
+        assert_eq!(acqs, 1);
+        assert!(queue_msgs >= 1, "request from a leaf must cross links");
+        assert!(token_msgs >= 1, "token must travel to the leaf");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn sequential_acquires_from_many_nodes() {
+        let rt = ArrowRuntime::spawn(&tree(7));
+        for v in 0..7 {
+            let h = rt.handle(v);
+            let req = h.acquire();
+            h.release(req);
+        }
+        assert_eq!(rt.stats().snapshot().2, 7);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn concurrent_acquires_all_complete() {
+        let rt = Arc::new(ArrowRuntime::spawn(&tree(15)));
+        let mut joins = Vec::new();
+        for v in 0..15 {
+            let h = rt.handle(v);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let req = h.acquire();
+                    h.release(req);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(rt.stats().snapshot().2, 150);
+        Arc::try_unwrap(rt).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn handle_for_missing_node_panics() {
+        let rt = ArrowRuntime::spawn(&tree(3));
+        let _ = rt.handle(9);
+    }
+}

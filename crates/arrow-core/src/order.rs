@@ -1,0 +1,251 @@
+//! Queuing orders: the output of a distributed queuing protocol.
+//!
+//! A queuing protocol must arrange all requests into a total order starting at the
+//! virtual root request `r0`, and inform the issuer of each request of the identity of
+//! its *successor* (Section 2). [`OrderRecord`] captures one such notification (who
+//! got queued behind whom, and when the predecessor's node learnt it);
+//! [`QueuingOrder`] assembles the records into the total order and validates it.
+
+use crate::request::{RequestId, RequestSchedule};
+use desim::{SimDuration, SimTime};
+use netgraph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One successor notification: request `successor` was queued immediately behind
+/// `predecessor`, and the node holding `predecessor` learnt this at `informed_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrderRecord {
+    /// The earlier request in the queue (possibly [`RequestId::ROOT`]).
+    pub predecessor: RequestId,
+    /// The request queued immediately behind `predecessor`.
+    pub successor: RequestId,
+    /// Node at which the notification happened (where `predecessor` lives).
+    pub at_node: NodeId,
+    /// Time the notification happened — the end point of the latency of `successor`
+    /// per Definition 3.2.
+    pub informed_at: SimTime,
+}
+
+/// Errors that make a set of order records an invalid queuing order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OrderError {
+    /// A request appears as a successor in more than one record.
+    DuplicateSuccessor(RequestId),
+    /// A request appears as a predecessor in more than one record.
+    DuplicatePredecessor(RequestId),
+    /// A request from the schedule never appears as a successor (it was never queued).
+    MissingRequest(RequestId),
+    /// A record references a request id that is not in the schedule.
+    UnknownRequest(RequestId),
+    /// Following successor links from the root does not visit every request
+    /// (the records contain a cycle or a disconnected chain).
+    BrokenChain {
+        /// How many requests were reachable from the root.
+        reached: usize,
+        /// How many requests the schedule contains.
+        expected: usize,
+    },
+}
+
+/// A validated total queuing order together with its notification records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueuingOrder {
+    /// Request ids in queue order, starting with the request queued directly behind
+    /// the root (the root itself is not included).
+    order: Vec<RequestId>,
+    /// Records indexed by successor id.
+    by_successor: HashMap<RequestId, OrderRecord>,
+}
+
+impl QueuingOrder {
+    /// Assemble and validate a queuing order from notification records.
+    ///
+    /// Every request in `schedule` must appear exactly once as a successor, each
+    /// predecessor (including the root) at most once, and the successor chain starting
+    /// from [`RequestId::ROOT`] must visit every request.
+    pub fn from_records(
+        records: &[OrderRecord],
+        schedule: &RequestSchedule,
+    ) -> Result<Self, OrderError> {
+        let known: std::collections::HashSet<RequestId> =
+            schedule.requests().iter().map(|r| r.id).collect();
+
+        let mut by_successor: HashMap<RequestId, OrderRecord> = HashMap::new();
+        let mut by_predecessor: HashMap<RequestId, OrderRecord> = HashMap::new();
+        for rec in records {
+            if !known.contains(&rec.successor) {
+                return Err(OrderError::UnknownRequest(rec.successor));
+            }
+            if !rec.predecessor.is_root() && !known.contains(&rec.predecessor) {
+                return Err(OrderError::UnknownRequest(rec.predecessor));
+            }
+            if by_successor.insert(rec.successor, *rec).is_some() {
+                return Err(OrderError::DuplicateSuccessor(rec.successor));
+            }
+            if by_predecessor.insert(rec.predecessor, *rec).is_some() {
+                return Err(OrderError::DuplicatePredecessor(rec.predecessor));
+            }
+        }
+        for r in schedule.requests() {
+            if !by_successor.contains_key(&r.id) {
+                return Err(OrderError::MissingRequest(r.id));
+            }
+        }
+
+        // Walk the chain from the root.
+        let mut order = Vec::with_capacity(schedule.len());
+        let mut cur = RequestId::ROOT;
+        while let Some(rec) = by_predecessor.get(&cur) {
+            order.push(rec.successor);
+            cur = rec.successor;
+        }
+        if order.len() != schedule.len() {
+            return Err(OrderError::BrokenChain {
+                reached: order.len(),
+                expected: schedule.len(),
+            });
+        }
+        Ok(QueuingOrder {
+            order,
+            by_successor,
+        })
+    }
+
+    /// The total order (excluding the virtual root request).
+    pub fn order(&self) -> &[RequestId] {
+        &self.order
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if no requests were queued.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The notification record for a given successor request.
+    pub fn record_for(&self, successor: RequestId) -> Option<&OrderRecord> {
+        self.by_successor.get(&successor)
+    }
+
+    /// The predecessor of a request in the queue.
+    pub fn predecessor_of(&self, successor: RequestId) -> Option<RequestId> {
+        self.by_successor.get(&successor).map(|r| r.predecessor)
+    }
+
+    /// Latency of each request per Definition 3.2: the time from its issue to the
+    /// moment its predecessor's node is informed of the succession. Returns pairs
+    /// `(request, latency)` in queue order.
+    pub fn latencies(&self, schedule: &RequestSchedule) -> Vec<(RequestId, SimDuration)> {
+        self.order
+            .iter()
+            .map(|&id| {
+                let rec = self.by_successor[&id];
+                let issue = schedule
+                    .get(id)
+                    .expect("validated order only contains scheduled requests")
+                    .time;
+                (id, rec.informed_at - issue)
+            })
+            .collect()
+    }
+
+    /// Total latency (Definition 3.3): the sum of individual latencies.
+    pub fn total_latency(&self, schedule: &RequestSchedule) -> SimDuration {
+        self.latencies(schedule).into_iter().map(|(_, l)| l).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimTime;
+
+    fn schedule3() -> RequestSchedule {
+        RequestSchedule::from_pairs(&[
+            (0, SimTime::from_units(0)),
+            (1, SimTime::from_units(1)),
+            (2, SimTime::from_units(2)),
+        ])
+    }
+
+    fn rec(pred: u64, succ: u64, at: u64) -> OrderRecord {
+        OrderRecord {
+            predecessor: RequestId(pred),
+            successor: RequestId(succ),
+            at_node: 0,
+            informed_at: SimTime::from_units(at),
+        }
+    }
+
+    #[test]
+    fn valid_chain_builds_order() {
+        let records = vec![rec(0, 1, 1), rec(1, 2, 3), rec(2, 3, 5)];
+        let order = QueuingOrder::from_records(&records, &schedule3()).unwrap();
+        assert_eq!(
+            order.order(),
+            &[RequestId(1), RequestId(2), RequestId(3)]
+        );
+        assert_eq!(order.predecessor_of(RequestId(2)), Some(RequestId(1)));
+        assert_eq!(order.len(), 3);
+        assert!(!order.is_empty());
+    }
+
+    #[test]
+    fn latencies_and_total_latency() {
+        // issue times 0,1,2; informed at 1,3,5 => latencies 1,2,3 => total 6
+        let records = vec![rec(0, 1, 1), rec(1, 2, 3), rec(2, 3, 5)];
+        let s = schedule3();
+        let order = QueuingOrder::from_records(&records, &s).unwrap();
+        let lats = order.latencies(&s);
+        let units: Vec<f64> = lats.iter().map(|(_, l)| l.as_units_f64()).collect();
+        assert_eq!(units, vec![1.0, 2.0, 3.0]);
+        assert_eq!(order.total_latency(&s), SimDuration::from_units(6));
+    }
+
+    #[test]
+    fn missing_request_detected() {
+        let records = vec![rec(0, 1, 1), rec(1, 2, 3)];
+        let err = QueuingOrder::from_records(&records, &schedule3()).unwrap_err();
+        assert_eq!(err, OrderError::MissingRequest(RequestId(3)));
+    }
+
+    #[test]
+    fn duplicate_successor_detected() {
+        let records = vec![rec(0, 1, 1), rec(1, 1, 2), rec(1, 2, 3), rec(2, 3, 4)];
+        let err = QueuingOrder::from_records(&records, &schedule3()).unwrap_err();
+        assert_eq!(err, OrderError::DuplicateSuccessor(RequestId(1)));
+    }
+
+    #[test]
+    fn forked_predecessor_detected() {
+        let records = vec![rec(0, 1, 1), rec(1, 2, 3), rec(1, 3, 4)];
+        let err = QueuingOrder::from_records(&records, &schedule3()).unwrap_err();
+        assert_eq!(err, OrderError::DuplicatePredecessor(RequestId(1)));
+    }
+
+    #[test]
+    fn cycle_is_a_broken_chain() {
+        // 1 <- 2, 2 <- 3, 3 <- 1 : no link from the root at all.
+        let records = vec![rec(1, 2, 1), rec(2, 3, 2), rec(3, 1, 3)];
+        let err = QueuingOrder::from_records(&records, &schedule3()).unwrap_err();
+        assert_eq!(
+            err,
+            OrderError::BrokenChain {
+                reached: 0,
+                expected: 3
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_request_detected() {
+        let records = vec![rec(0, 9, 1)];
+        let err = QueuingOrder::from_records(&records, &schedule3()).unwrap_err();
+        assert_eq!(err, OrderError::UnknownRequest(RequestId(9)));
+    }
+}

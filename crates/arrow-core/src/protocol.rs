@@ -1,0 +1,207 @@
+//! Protocol messages and shared node machinery.
+//!
+//! Both queuing protocols (arrow and the centralized baseline) exchange the message
+//! types defined here over the [`desim`] simulator. The module also provides
+//! [`ServiceQueue`], a small helper that models the per-message local service time of a
+//! processor: the paper's analysis treats local computation as free, but its
+//! *experiment* (Section 5) runs on real processors whose per-message CPU cost is what
+//! makes the centralized protocol degrade linearly with system size. Modelling that
+//! cost is required to reproduce the shape of Figure 10.
+
+use crate::request::RequestId;
+use desim::{Context, SimDuration};
+use netgraph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Messages exchanged by the queuing protocols (also used as external inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProtoMsg {
+    /// External input: the application at this node issues a queuing request.
+    Issue {
+        /// Pre-assigned request id (open-loop workloads).
+        req: RequestId,
+    },
+    /// The arrow `queue()` message, travelling towards the current sink and flipping
+    /// link pointers along the way.
+    Queue {
+        /// The request being queued.
+        req: RequestId,
+        /// Node that issued the request (carried for the optional ack).
+        origin: NodeId,
+    },
+    /// Optional notification sent back to the requester once its request has found its
+    /// predecessor ("the identity of the predecessor was returned to the processor",
+    /// Section 5). Not part of the queuing protocol cost in the analysis.
+    Found {
+        /// The request that has been queued.
+        req: RequestId,
+        /// Its predecessor in the total order.
+        pred: RequestId,
+    },
+    /// Centralized baseline: ask the central node to enqueue a request.
+    CentralEnqueue {
+        /// The request being queued.
+        req: RequestId,
+        /// Node that issued it.
+        origin: NodeId,
+    },
+    /// Centralized baseline: the central node's reply carrying the predecessor.
+    CentralReply {
+        /// The request that has been queued.
+        req: RequestId,
+        /// Its predecessor in the total order.
+        pred: RequestId,
+    },
+}
+
+/// Which queuing protocol to run; used by harness configuration and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// The arrow protocol (path reversal on a spanning tree).
+    Arrow,
+    /// The centralized (home-based) protocol: a single node holds the queue tail.
+    Centralized,
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolKind::Arrow => write!(f, "arrow"),
+            ProtocolKind::Centralized => write!(f, "centralized"),
+        }
+    }
+}
+
+/// Timer tag used by [`ServiceQueue`].
+pub const SERVICE_TIMER_TAG: u64 = 0xF00D;
+
+/// A unit of work waiting for the node's "CPU": a message from `from`.
+pub type WorkItem = (NodeId, ProtoMsg);
+
+/// Models a processor that takes `service_time` to handle each protocol message.
+///
+/// With `service_time == 0` the queue is pass-through: work is handed back for
+/// immediate processing. With a positive service time, arriving work is buffered and
+/// released one item per `service_time`, which caps the node's throughput at
+/// `1 / service_time` messages per time unit — the bottleneck behaviour of a real
+/// processor that the centralized baseline's home node suffers from.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceQueue {
+    service_time: SimDuration,
+    busy: bool,
+    pending: VecDeque<WorkItem>,
+    /// Total items that have passed through the queue.
+    processed: u64,
+}
+
+impl ServiceQueue {
+    /// Create a queue with the given per-item service time (in time units).
+    pub fn new(service_time_units: f64) -> Self {
+        ServiceQueue {
+            service_time: SimDuration::from_units_f64(service_time_units),
+            busy: false,
+            pending: VecDeque::new(),
+            processed: 0,
+        }
+    }
+
+    /// True if the service time is zero (pass-through mode).
+    pub fn is_passthrough(&self) -> bool {
+        self.service_time.is_zero()
+    }
+
+    /// Number of items processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of items currently waiting.
+    pub fn backlog(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Offer a work item. Returns `Some(item)` if the caller should process it right
+    /// now (pass-through mode); otherwise the item is buffered and a service timer is
+    /// scheduled if the server was idle.
+    pub fn offer(&mut self, ctx: &mut Context<ProtoMsg>, item: WorkItem) -> Option<WorkItem> {
+        if self.is_passthrough() {
+            self.processed += 1;
+            return Some(item);
+        }
+        self.pending.push_back(item);
+        if !self.busy {
+            self.busy = true;
+            ctx.set_timer(self.service_time, SERVICE_TIMER_TAG);
+        }
+        None
+    }
+
+    /// Handle a service-timer firing. Returns the item the caller must process now,
+    /// and schedules the next service slot if more work is waiting.
+    pub fn on_timer(&mut self, ctx: &mut Context<ProtoMsg>) -> Option<WorkItem> {
+        let item = self.pending.pop_front();
+        if item.is_some() {
+            self.processed += 1;
+        }
+        if self.pending.is_empty() {
+            self.busy = false;
+        } else {
+            ctx.set_timer(self.service_time, SERVICE_TIMER_TAG);
+        }
+        item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimTime;
+
+    fn msg(i: u64) -> ProtoMsg {
+        ProtoMsg::Issue { req: RequestId(i) }
+    }
+
+    #[test]
+    fn passthrough_returns_items_immediately() {
+        let mut q = ServiceQueue::new(0.0);
+        let mut ctx = Context::new(0, SimTime::ZERO);
+        assert!(q.is_passthrough());
+        let out = q.offer(&mut ctx, (1, msg(1)));
+        assert_eq!(out, Some((1, msg(1))));
+        assert_eq!(q.processed(), 1);
+        assert_eq!(q.backlog(), 0);
+    }
+
+    #[test]
+    fn positive_service_time_buffers_and_schedules() {
+        let mut q = ServiceQueue::new(0.5);
+        let mut ctx = Context::new(0, SimTime::ZERO);
+        assert!(q.offer(&mut ctx, (1, msg(1))).is_none());
+        assert!(q.offer(&mut ctx, (2, msg(2))).is_none());
+        assert_eq!(q.backlog(), 2);
+        assert_eq!(q.processed(), 0);
+
+        // First timer releases the first item and schedules another slot.
+        let mut ctx2 = Context::new(0, SimTime::from_units(1));
+        let first = q.on_timer(&mut ctx2);
+        assert_eq!(first, Some((1, msg(1))));
+        assert_eq!(q.backlog(), 1);
+
+        let mut ctx3 = Context::new(0, SimTime::from_units(2));
+        let second = q.on_timer(&mut ctx3);
+        assert_eq!(second, Some((2, msg(2))));
+        assert_eq!(q.backlog(), 0);
+        assert_eq!(q.processed(), 2);
+
+        // Spurious timer with empty queue is harmless.
+        let mut ctx4 = Context::new(0, SimTime::from_units(3));
+        assert!(q.on_timer(&mut ctx4).is_none());
+    }
+
+    #[test]
+    fn protocol_kind_display() {
+        assert_eq!(ProtocolKind::Arrow.to_string(), "arrow");
+        assert_eq!(ProtocolKind::Centralized.to_string(), "centralized");
+    }
+}

@@ -1,0 +1,294 @@
+//! Queuing requests and request schedules.
+//!
+//! In the paper's model (Section 3.1) a queuing request is an ordered pair `(v, t)`:
+//! the node `v` where it was issued and the time `t` at which it was issued. A problem
+//! instance is a finite set `R` of such requests, indexed in order of non-decreasing
+//! issue time. The special "virtual" request `r0 = (root, 0)` represents the initial
+//! tail of the queue held by the root.
+
+use desim::SimTime;
+use netgraph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique identifier of a queuing request.
+///
+/// Id `0` is reserved for the virtual root request `r0`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// The virtual root request `r0 = (root, 0)` that heads every queue.
+    pub const ROOT: RequestId = RequestId(0);
+
+    /// True if this is the virtual root request.
+    pub fn is_root(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_root() {
+            write!(f, "r0")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// A queuing request `(v, t)` with a unique id.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id (never [`RequestId::ROOT`] for real requests).
+    pub id: RequestId,
+    /// Node at which the request is issued.
+    pub node: NodeId,
+    /// Time at which the request is issued.
+    pub time: SimTime,
+}
+
+/// A finite set of queuing requests, stored in non-decreasing time order
+/// (the indexing convention of Section 3.1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RequestSchedule {
+    requests: Vec<Request>,
+    /// Index from request id to position in `requests`, for O(1) lookups on the very
+    /// large closed-loop schedules (millions of requests).
+    #[serde(skip)]
+    index: std::collections::HashMap<RequestId, usize>,
+}
+
+impl RequestSchedule {
+    fn build(requests: Vec<Request>) -> Self {
+        let index = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.id, i))
+            .collect();
+        RequestSchedule { requests, index }
+    }
+
+    /// Build a schedule from `(node, time)` pairs; ids are assigned `1..=len` in
+    /// non-decreasing time order.
+    pub fn from_pairs(pairs: &[(NodeId, SimTime)]) -> Self {
+        let mut indexed: Vec<(NodeId, SimTime)> = pairs.to_vec();
+        indexed.sort_by_key(|&(node, time)| (time, node));
+        let requests = indexed
+            .into_iter()
+            .enumerate()
+            .map(|(i, (node, time))| Request {
+                id: RequestId(i as u64 + 1),
+                node,
+                time,
+            })
+            .collect();
+        RequestSchedule::build(requests)
+    }
+
+    /// Build a schedule from explicit requests.
+    ///
+    /// # Panics
+    /// If ids are not unique, any id is the reserved root id, or the requests are not
+    /// sorted by non-decreasing time.
+    pub fn from_requests(requests: Vec<Request>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for r in &requests {
+            assert!(!r.id.is_root(), "request id 0 is reserved for the root");
+            assert!(seen.insert(r.id), "duplicate request id {:?}", r.id);
+        }
+        for w in requests.windows(2) {
+            assert!(
+                w[0].time <= w[1].time,
+                "requests must be sorted by non-decreasing time"
+            );
+        }
+        RequestSchedule::build(requests)
+    }
+
+    /// The requests in non-decreasing time order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if there are no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Look up a request by id in O(1).
+    pub fn get(&self, id: RequestId) -> Option<&Request> {
+        if let Some(&i) = self.index.get(&id) {
+            return self.requests.get(i);
+        }
+        // The index is skipped by serde; fall back to a scan for deserialized values.
+        self.requests.iter().find(|r| r.id == id)
+    }
+
+    /// Largest issue time in the schedule (`SimTime::ZERO` if empty) — the `t_|R|`
+    /// appearing in Lemmas 3.10 and 3.16.
+    pub fn last_issue_time(&self) -> SimTime {
+        self.requests
+            .iter()
+            .map(|r| r.time)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The distinct nodes that issue at least one request.
+    pub fn requesting_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.requests.iter().map(|r| r.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// True if no two requests are ever concurrently active given that a request
+    /// issued at time `t` completes within `diameter` time units — the *sequential*
+    /// setting analysed by Demmer and Herlihy (Section 1.1).
+    pub fn is_sequential(&self, diameter: f64) -> bool {
+        self.requests.windows(2).all(|w| {
+            let gap = (w[1].time - w[0].time).as_units_f64();
+            gap >= diameter
+        })
+    }
+
+    /// Shift every request issued at or after `threshold` earlier by `delta` units —
+    /// the time-compression transformation of Lemma 3.11 (used by the analysis tests).
+    pub fn shifted_back(&self, threshold: SimTime, delta: f64) -> RequestSchedule {
+        let shifted = self
+            .requests
+            .iter()
+            .map(|r| {
+                if r.time >= threshold {
+                    Request {
+                        time: SimTime::from_subticks(
+                            r.time
+                                .subticks()
+                                .saturating_sub(desim::SimDuration::from_units_f64(delta).subticks()),
+                        ),
+                        ..*r
+                    }
+                } else {
+                    *r
+                }
+            })
+            .collect::<Vec<_>>();
+        let mut sorted = shifted;
+        sorted.sort_by_key(|r| (r.time, r.id));
+        RequestSchedule::build(sorted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_assigned_in_time_order() {
+        let s = RequestSchedule::from_pairs(&[
+            (3, SimTime::from_units(5)),
+            (1, SimTime::from_units(0)),
+            (2, SimTime::from_units(2)),
+        ]);
+        let nodes: Vec<NodeId> = s.requests().iter().map(|r| r.node).collect();
+        assert_eq!(nodes, vec![1, 2, 3]);
+        let ids: Vec<u64> = s.requests().iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(s.last_issue_time(), SimTime::from_units(5));
+        assert_eq!(s.requesting_nodes(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn root_id_display_and_flags() {
+        assert!(RequestId::ROOT.is_root());
+        assert!(!RequestId(3).is_root());
+        assert_eq!(RequestId::ROOT.to_string(), "r0");
+        assert_eq!(RequestId(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn sequential_detection() {
+        let far = RequestSchedule::from_pairs(&[
+            (0, SimTime::from_units(0)),
+            (1, SimTime::from_units(100)),
+            (2, SimTime::from_units(200)),
+        ]);
+        assert!(far.is_sequential(10.0));
+        assert!(!far.is_sequential(150.0));
+
+        let burst =
+            RequestSchedule::from_pairs(&[(0, SimTime::ZERO), (1, SimTime::ZERO)]);
+        assert!(!burst.is_sequential(1.0));
+    }
+
+    #[test]
+    fn shifted_back_compresses_gap() {
+        let s = RequestSchedule::from_pairs(&[
+            (0, SimTime::from_units(0)),
+            (1, SimTime::from_units(100)),
+        ]);
+        let shifted = s.shifted_back(SimTime::from_units(50), 90.0);
+        assert_eq!(shifted.requests()[1].time, SimTime::from_units(10));
+        assert_eq!(shifted.requests()[0].time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let s = RequestSchedule::from_pairs(&[(4, SimTime::ZERO)]);
+        assert_eq!(s.get(RequestId(1)).unwrap().node, 4);
+        assert!(s.get(RequestId(9)).is_none());
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn root_id_in_schedule_panics() {
+        RequestSchedule::from_requests(vec![Request {
+            id: RequestId::ROOT,
+            node: 0,
+            time: SimTime::ZERO,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_ids_panic() {
+        RequestSchedule::from_requests(vec![
+            Request {
+                id: RequestId(1),
+                node: 0,
+                time: SimTime::ZERO,
+            },
+            Request {
+                id: RequestId(1),
+                node: 1,
+                time: SimTime::ZERO,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_times_panic() {
+        RequestSchedule::from_requests(vec![
+            Request {
+                id: RequestId(1),
+                node: 0,
+                time: SimTime::from_units(5),
+            },
+            Request {
+                id: RequestId(2),
+                node: 1,
+                time: SimTime::ZERO,
+            },
+        ]);
+    }
+}

@@ -1,0 +1,549 @@
+//! Harness: run a queuing protocol on a `(graph, spanning tree, workload)` instance
+//! and collect the quantities the paper reports.
+//!
+//! Two measurement modes matter:
+//!
+//! * **Analysis mode** ([`RunConfig::analysis`]) — no acknowledgements, no local
+//!   service time; the cost is the total latency of Definition 3.3 (for each request,
+//!   the time from its issue to the moment its predecessor's node learns who its
+//!   successor is). This is what the competitive-ratio experiments use.
+//! * **Experiment mode** ([`RunConfig::experiment`]) — reproduces Section 5: each
+//!   request is acknowledged back to the requester, nodes pay a per-message local
+//!   service time, and the workload is closed-loop. The reported quantities are the
+//!   makespan (Figure 10) and the average inter-processor hops per request
+//!   (Figure 11).
+
+use crate::arrow::ArrowNode;
+use crate::centralized::CentralizedNode;
+use crate::order::{OrderRecord, QueuingOrder};
+use crate::protocol::{ProtoMsg, ProtocolKind};
+use crate::request::{Request, RequestSchedule};
+use crate::workload::{ClosedLoopSpec, Workload};
+use desim::{LatencyModel, LocalOrder, SimConfig, SimTime, Simulator};
+use netgraph::spanning::{build_spanning_tree, SpanningTreeKind};
+use netgraph::{DistanceMatrix, Graph, NodeId, RootedTree, StretchReport};
+use serde::{Deserialize, Serialize};
+
+/// A problem instance: the communication graph and the pre-selected spanning tree.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The communication graph `G`.
+    pub graph: Graph,
+    /// The pre-selected rooted spanning tree `T`; its root holds the initial queue tail.
+    pub tree: RootedTree,
+}
+
+impl Instance {
+    /// Create an instance from a graph and a rooted spanning tree over the same nodes.
+    ///
+    /// # Panics
+    /// If the node counts differ or a tree edge is not a graph edge.
+    pub fn new(graph: Graph, tree: RootedTree) -> Self {
+        assert_eq!(
+            graph.node_count(),
+            tree.node_count(),
+            "graph and tree must have the same node set"
+        );
+        for v in 0..tree.node_count() {
+            if let Some(p) = tree.parent(v) {
+                assert!(
+                    graph.has_edge(v, p),
+                    "tree edge ({v},{p}) is not an edge of the graph"
+                );
+            }
+        }
+        Instance { graph, tree }
+    }
+
+    /// The platform of the paper's experiment: a complete graph with uniform unit
+    /// latency and the requested spanning tree rooted at node 0.
+    pub fn complete_uniform(n: usize, kind: SpanningTreeKind) -> Self {
+        let graph = netgraph::generators::complete(n, 1.0);
+        let tree = build_spanning_tree(&graph, 0, kind);
+        Instance { graph, tree }
+    }
+
+    /// An instance whose communication graph *is* the tree (`G = T`, stretch 1), as in
+    /// the lower-bound construction of Theorem 4.1.
+    pub fn tree_only(tree_graph: &Graph, root: NodeId) -> Self {
+        let tree = RootedTree::from_tree_graph(tree_graph, root);
+        Instance {
+            graph: tree_graph.clone(),
+            tree,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Stretch/diameter report of the tree relative to the graph.
+    pub fn stretch_report(&self) -> StretchReport {
+        netgraph::stretch(&self.graph, &self.tree)
+    }
+}
+
+/// Synchrony model for a run (Sections 3.1 and 3.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// Every message takes exactly the link weight (unit latency on unweighted graphs).
+    Synchronous,
+    /// Each message takes an adversarially random fraction of the link weight, with
+    /// the worst case normalised to the link weight; simultaneous arrivals are
+    /// processed in random order.
+    Asynchronous,
+}
+
+/// Configuration of a protocol run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Which protocol to run.
+    pub protocol: ProtocolKind,
+    /// Synchrony model.
+    pub sync: SyncMode,
+    /// PRNG seed (drives asynchronous delays and random local processing order).
+    pub seed: u64,
+    /// Send a `Found` acknowledgement back to each requester.
+    pub ack_to_requester: bool,
+    /// Per-message local service time in time units (0 = free local computation, the
+    /// assumption of the analysis).
+    pub local_service_time: f64,
+    /// Record a full message trace.
+    pub trace: bool,
+}
+
+impl RunConfig {
+    /// Analysis mode: the model of Section 3 (free local computation, no acks).
+    pub fn analysis(protocol: ProtocolKind) -> Self {
+        RunConfig {
+            protocol,
+            sync: SyncMode::Synchronous,
+            seed: 0,
+            ack_to_requester: false,
+            local_service_time: 0.0,
+            trace: false,
+        }
+    }
+
+    /// Experiment mode: the measurement setup of Section 5 (acknowledged requests,
+    /// per-message service time).
+    pub fn experiment(protocol: ProtocolKind, service_time: f64) -> Self {
+        RunConfig {
+            protocol,
+            sync: SyncMode::Synchronous,
+            seed: 0,
+            ack_to_requester: true,
+            local_service_time: service_time,
+            trace: false,
+        }
+    }
+
+    /// Switch to the asynchronous model with the given seed.
+    pub fn asynchronous(mut self, seed: u64) -> Self {
+        self.sync = SyncMode::Asynchronous;
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything measured in one protocol run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueuingOutcome {
+    /// Which protocol ran.
+    pub protocol: ProtocolKind,
+    /// The requests that were issued (for closed-loop workloads, reconstructed from
+    /// the run).
+    pub schedule: RequestSchedule,
+    /// The validated total order produced by the protocol.
+    pub order: QueuingOrder,
+    /// Total latency per Definitions 3.2/3.3, in time units.
+    pub total_latency: f64,
+    /// Virtual time at which the system became quiescent (the experiment's
+    /// "total latency for N enqueues" of Figure 10).
+    pub makespan: f64,
+    /// All messages delivered by the network.
+    pub total_messages: u64,
+    /// Inter-processor protocol messages: arrow `queue()` hops, or centralized
+    /// enqueue/reply messages.
+    pub protocol_messages: u64,
+    /// `protocol_messages / |R|` — the quantity of Figure 11.
+    pub hops_per_request: f64,
+    /// Mean time from a request's issue to its requester learning its predecessor
+    /// (only meaningful when acknowledgements are enabled).
+    pub mean_completion_latency: f64,
+}
+
+impl QueuingOutcome {
+    /// Number of requests handled.
+    pub fn request_count(&self) -> usize {
+        self.schedule.len()
+    }
+}
+
+fn sim_config(config: &RunConfig) -> SimConfig {
+    let (latency, local_order) = match config.sync {
+        SyncMode::Synchronous => (LatencyModel::EdgeWeight, LocalOrder::Fifo),
+        SyncMode::Asynchronous => (
+            LatencyModel::ScaledUniform { lo_factor: 0.05 },
+            LocalOrder::Random,
+        ),
+    };
+    SimConfig {
+        latency,
+        seed: config.seed,
+        local_order,
+        trace: config.trace,
+        max_events: None,
+        max_time: None,
+    }
+}
+
+/// Run a queuing protocol on an instance with the given workload and configuration.
+///
+/// # Panics
+/// If the protocol produces an invalid queuing order (which would be a protocol bug)
+/// or the workload/configuration combination is inconsistent (closed-loop without
+/// acknowledgements).
+pub fn run(instance: &Instance, workload: &Workload, config: &RunConfig) -> QueuingOutcome {
+    match config.protocol {
+        ProtocolKind::Arrow => run_arrow(instance, workload, config),
+        ProtocolKind::Centralized => run_centralized(instance, workload, config),
+    }
+}
+
+fn closed_loop_spec(workload: &Workload) -> Option<&ClosedLoopSpec> {
+    match workload {
+        Workload::ClosedLoop(spec) => Some(spec),
+        Workload::OpenLoop(_) => None,
+    }
+}
+
+fn schedule_open_loop(sim: &mut Simulator<ProtoMsg, impl desim::Process<ProtoMsg>>, workload: &Workload) {
+    if let Workload::OpenLoop(schedule) = workload {
+        for r in schedule.requests() {
+            sim.schedule_external(r.time, r.node, ProtoMsg::Issue { req: r.id });
+        }
+    }
+}
+
+fn run_arrow(instance: &Instance, workload: &Workload, config: &RunConfig) -> QueuingOutcome {
+    let n = instance.node_count();
+    let tree = &instance.tree;
+    let root = tree.root();
+    let closed = closed_loop_spec(workload);
+    if closed.is_some() {
+        assert!(
+            config.ack_to_requester,
+            "closed-loop workloads require acknowledgements (the requester must learn \
+             about completion to issue its next request)"
+        );
+    }
+
+    let mut nodes: Vec<ArrowNode> = (0..n)
+        .map(|v| {
+            let link = if v == root { v } else { tree.parent(v).unwrap() };
+            ArrowNode::new(v, link, config.ack_to_requester, config.local_service_time)
+        })
+        .collect();
+    if let Some(spec) = closed {
+        for node in &mut nodes {
+            node.enable_closed_loop(spec, n);
+        }
+    }
+
+    let mut sim = Simulator::new(nodes, sim_config(config));
+    // Tree edges carry the tree edge weight.
+    for v in 0..n {
+        if let Some(p) = tree.parent(v) {
+            sim.set_link_weight(v, p, tree.parent_edge_weight(v));
+        }
+    }
+    // Acknowledgements travel directly over the graph: weight = d_G.
+    if config.ack_to_requester {
+        let dm = DistanceMatrix::new(&instance.graph);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                // Keep tree-edge weights (protocol traffic) intact.
+                if tree.parent(u) != Some(v) && tree.parent(v) != Some(u) {
+                    sim.set_link_weight(u, v, dm.dist(u, v));
+                }
+            }
+        }
+    }
+    schedule_open_loop(&mut sim, workload);
+    let outcome = sim.run();
+
+    // Harvest per-node logs.
+    let mut records: Vec<OrderRecord> = Vec::new();
+    let mut issued: Vec<Request> = Vec::new();
+    let mut protocol_messages = 0u64;
+    let mut completion_latency_sum = 0.0;
+    let mut completion_count = 0u64;
+    for v in 0..n {
+        let node = sim.node(v);
+        records.extend_from_slice(node.records());
+        issued.extend(node.issued().iter().map(|&(id, time)| Request {
+            id,
+            node: v,
+            time,
+        }));
+        protocol_messages += node.queue_hops();
+        let issue_times: std::collections::HashMap<_, _> =
+            node.issued().iter().map(|&(r, t)| (r, t)).collect();
+        for &(req, done) in node.own_completions() {
+            if let Some(&issue_time) = issue_times.get(&req) {
+                completion_latency_sum += (done - issue_time).as_units_f64();
+                completion_count += 1;
+            }
+        }
+    }
+    finish(
+        ProtocolKind::Arrow,
+        issued,
+        records,
+        protocol_messages,
+        completion_latency_sum,
+        completion_count,
+        outcome.final_time,
+        sim.stats().messages_delivered,
+    )
+}
+
+fn run_centralized(instance: &Instance, workload: &Workload, config: &RunConfig) -> QueuingOutcome {
+    let n = instance.node_count();
+    // The central node is the tree root (the initial queue tail in both protocols).
+    let central = instance.tree.root();
+    let closed = closed_loop_spec(workload);
+
+    let mut nodes: Vec<CentralizedNode> = (0..n)
+        .map(|v| CentralizedNode::new(v, central, config.local_service_time))
+        .collect();
+    if let Some(spec) = closed {
+        for node in &mut nodes {
+            node.enable_closed_loop(spec, n);
+        }
+    }
+
+    let mut sim = Simulator::new(nodes, sim_config(config));
+    // Requests and replies travel directly over the graph: weight = d_G(v, central).
+    let dm = DistanceMatrix::new(&instance.graph);
+    for v in 0..n {
+        if v != central {
+            sim.set_link_weight(v, central, dm.dist(v, central));
+        }
+    }
+    schedule_open_loop(&mut sim, workload);
+    let outcome = sim.run();
+
+    let mut records: Vec<OrderRecord> = Vec::new();
+    let mut issued: Vec<Request> = Vec::new();
+    let mut protocol_messages = 0u64;
+    let mut completion_latency_sum = 0.0;
+    let mut completion_count = 0u64;
+    for v in 0..n {
+        let node = sim.node(v);
+        records.extend_from_slice(node.records());
+        issued.extend(node.issued().iter().map(|&(id, time)| Request {
+            id,
+            node: v,
+            time,
+        }));
+        protocol_messages += node.remote_messages();
+        let issue_times: std::collections::HashMap<_, _> =
+            node.issued().iter().map(|&(r, t)| (r, t)).collect();
+        for &(req, done) in node.own_completions() {
+            if let Some(&issue_time) = issue_times.get(&req) {
+                completion_latency_sum += (done - issue_time).as_units_f64();
+                completion_count += 1;
+            }
+        }
+    }
+    finish(
+        ProtocolKind::Centralized,
+        issued,
+        records,
+        protocol_messages,
+        completion_latency_sum,
+        completion_count,
+        outcome.final_time,
+        sim.stats().messages_delivered,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    protocol: ProtocolKind,
+    mut issued: Vec<Request>,
+    records: Vec<OrderRecord>,
+    protocol_messages: u64,
+    completion_latency_sum: f64,
+    completion_count: u64,
+    final_time: SimTime,
+    total_messages: u64,
+) -> QueuingOutcome {
+    issued.sort_by_key(|r| (r.time, r.id));
+    let schedule = RequestSchedule::from_requests(issued);
+    let order = QueuingOrder::from_records(&records, &schedule)
+        .expect("protocol produced an invalid queuing order");
+    let total_latency = order.total_latency(&schedule).as_units_f64();
+    let request_count = schedule.len().max(1);
+    QueuingOutcome {
+        protocol,
+        total_latency,
+        makespan: final_time.as_units_f64(),
+        total_messages,
+        protocol_messages,
+        hops_per_request: protocol_messages as f64 / request_count as f64,
+        mean_completion_latency: if completion_count > 0 {
+            completion_latency_sum / completion_count as f64
+        } else {
+            0.0
+        },
+        schedule,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    fn path_instance(n: usize) -> Instance {
+        Instance::tree_only(&netgraph::generators::path(n), 0)
+    }
+
+    #[test]
+    fn arrow_cost_equals_sum_of_tree_distances_between_consecutive_requests() {
+        // Equation (2) of the paper: with unit latencies and no concurrency-induced
+        // deflection ambiguity, the total latency is the sum of tree distances between
+        // consecutive requests in arrow's order.
+        let instance = path_instance(6);
+        let schedule = workload::sequential_round_robin(&[5, 2, 4], 3, 100.0);
+        let outcome = run(
+            &instance,
+            &Workload::OpenLoop(schedule),
+            &RunConfig::analysis(ProtocolKind::Arrow),
+        );
+        // Order is issue order (sequential): 5 behind root(0), 2 behind 5, 4 behind 2.
+        // d_T = 5 + 3 + 2 = 10.
+        assert_eq!(outcome.total_latency, 10.0);
+        assert_eq!(outcome.request_count(), 3);
+        assert_eq!(outcome.protocol_messages, 10);
+    }
+
+    #[test]
+    fn concurrent_burst_produces_valid_order_for_both_protocols() {
+        let instance = Instance::complete_uniform(12, SpanningTreeKind::BalancedBinary);
+        let nodes: Vec<NodeId> = (0..12).collect();
+        let schedule = workload::one_shot_burst(&nodes, SimTime::ZERO);
+        for protocol in [ProtocolKind::Arrow, ProtocolKind::Centralized] {
+            let outcome = run(
+                &instance,
+                &Workload::OpenLoop(schedule.clone()),
+                &RunConfig::analysis(protocol),
+            );
+            assert_eq!(outcome.request_count(), 12);
+            assert_eq!(outcome.order.len(), 12);
+            assert!(outcome.total_latency > 0.0);
+        }
+    }
+
+    #[test]
+    fn asynchronous_arrow_still_produces_a_valid_order() {
+        let instance = Instance::complete_uniform(10, SpanningTreeKind::BalancedBinary);
+        let schedule = workload::poisson(10, 1.0, 20.0, 3);
+        let count = schedule.len();
+        let outcome = run(
+            &instance,
+            &Workload::OpenLoop(schedule),
+            &RunConfig::analysis(ProtocolKind::Arrow).asynchronous(11),
+        );
+        assert_eq!(outcome.order.len(), count);
+    }
+
+    #[test]
+    fn closed_loop_experiment_runs_for_both_protocols() {
+        let instance = Instance::complete_uniform(8, SpanningTreeKind::BalancedBinary);
+        let spec = ClosedLoopSpec {
+            requests_per_node: 20,
+            local_service_time: 0.05,
+        };
+        let arrow = run(
+            &instance,
+            &Workload::ClosedLoop(spec),
+            &RunConfig::experiment(ProtocolKind::Arrow, spec.local_service_time),
+        );
+        let central = run(
+            &instance,
+            &Workload::ClosedLoop(spec),
+            &RunConfig::experiment(ProtocolKind::Centralized, spec.local_service_time),
+        );
+        assert_eq!(arrow.request_count(), 8 * 20);
+        assert_eq!(central.request_count(), 8 * 20);
+        assert!(arrow.makespan > 0.0);
+        assert!(central.makespan > 0.0);
+        // The centralized home node handles every request serially; arrow distributes
+        // the load, so with this many nodes its makespan should not be worse.
+        assert!(arrow.makespan <= central.makespan * 1.5);
+    }
+
+    #[test]
+    fn arrow_hops_per_request_are_low_under_high_contention() {
+        // Figure 11's observation: under closed-loop contention, most requests find
+        // their predecessor locally or nearby, so hops/request is small (< 2 even on
+        // small systems; < 1 for larger ones in the paper).
+        let instance = Instance::complete_uniform(16, SpanningTreeKind::BalancedBinary);
+        let spec = ClosedLoopSpec {
+            requests_per_node: 50,
+            local_service_time: 0.05,
+        };
+        let outcome = run(
+            &instance,
+            &Workload::ClosedLoop(spec),
+            &RunConfig::experiment(ProtocolKind::Arrow, spec.local_service_time),
+        );
+        assert!(
+            outcome.hops_per_request < 3.0,
+            "hops per request {}",
+            outcome.hops_per_request
+        );
+    }
+
+    #[test]
+    fn centralized_order_matches_arrival_order_for_sequential_requests() {
+        let instance = path_instance(5);
+        let schedule = workload::sequential_round_robin(&[4, 1, 3], 3, 50.0);
+        let outcome = run(
+            &instance,
+            &Workload::OpenLoop(schedule),
+            &RunConfig::analysis(ProtocolKind::Centralized),
+        );
+        let order_nodes: Vec<NodeId> = outcome
+            .order
+            .order()
+            .iter()
+            .map(|&id| outcome.schedule.get(id).unwrap().node)
+            .collect();
+        assert_eq!(order_nodes, vec![4, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "require acknowledgements")]
+    fn closed_loop_without_acks_panics() {
+        let instance = path_instance(3);
+        let spec = ClosedLoopSpec::default();
+        let mut cfg = RunConfig::analysis(ProtocolKind::Arrow);
+        cfg.local_service_time = 0.05;
+        run(&instance, &Workload::ClosedLoop(spec), &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an edge of the graph")]
+    fn instance_rejects_tree_not_in_graph() {
+        let graph = netgraph::generators::path(4);
+        let bad_tree = RootedTree::from_tree_graph(&netgraph::generators::star(4), 0);
+        Instance::new(graph, bad_tree);
+    }
+}

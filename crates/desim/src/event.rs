@@ -1,0 +1,190 @@
+//! The simulator's event queue.
+//!
+//! Events are totally ordered by `(time, sequence number)`. The sequence number is a
+//! monotonically increasing counter assigned at scheduling time, which makes executions
+//! deterministic: two events scheduled for the same instant are processed in the order
+//! they were scheduled (unless the configured local-processing policy reorders
+//! simultaneous *message deliveries* at a node — see [`crate::sim::LocalOrder`]).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The kinds of things that can happen inside the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind<M> {
+    /// Delivery of message `payload` sent by `from` to `to`.
+    Deliver {
+        /// Sender node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+        /// The message itself.
+        payload: M,
+    },
+    /// An external input (e.g. a queuing request issued by the application) arriving at
+    /// node `node`.
+    External {
+        /// Node receiving the input.
+        node: usize,
+        /// The input payload.
+        payload: M,
+    },
+    /// A timer previously set by `node` with user-chosen `tag` firing.
+    Timer {
+        /// Node that set the timer.
+        node: usize,
+        /// User-chosen tag to distinguish timers.
+        tag: u64,
+    },
+}
+
+/// A scheduled event: a time, a tie-breaking sequence number and the event kind.
+#[derive(Debug, Clone)]
+pub struct Event<M> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Scheduling sequence number; breaks ties deterministically.
+    pub seq: u64,
+    /// What happens.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of simulation events.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule an event at `time`. Returns the sequence number assigned to it.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind<M>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+        seq
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest scheduled event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ext(node: usize, v: u32) -> EventKind<u32> {
+        EventKind::External { node, payload: v }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_units(5), ext(0, 5));
+        q.schedule(SimTime::from_units(1), ext(0, 1));
+        q.schedule(SimTime::from_units(3), ext(0, 3));
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.whole_units())
+            .collect();
+        assert_eq!(times, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_units(2);
+        q.schedule(t, ext(0, 10));
+        q.schedule(t, ext(0, 11));
+        q.schedule(t, ext(0, 12));
+        let payloads: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::External { payload, .. } => payload,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(payloads, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_units(7), ext(1, 0));
+        q.schedule(SimTime::from_units(4), ext(2, 0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_units(4)));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_units(7)));
+    }
+
+    #[test]
+    fn scheduled_count_is_monotone() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.scheduled_count(), 0);
+        q.schedule(SimTime::ZERO, ext(0, 0));
+        q.schedule(SimTime::ZERO, ext(0, 1));
+        q.pop();
+        assert_eq!(q.scheduled_count(), 2);
+        assert!(!q.is_empty());
+    }
+}

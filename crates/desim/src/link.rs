@@ -1,0 +1,216 @@
+//! Communication links and their latency models.
+//!
+//! The paper analyses two communication models over point-to-point FIFO links:
+//!
+//! * the **synchronous** model, where every link has latency exactly one time unit
+//!   (Section 3.1), and
+//! * the **asynchronous** model, where each message is delayed by an arbitrary but
+//!   finite amount, normalised so that the slowest message takes at most one unit
+//!   (Section 3.8).
+//!
+//! [`LatencyModel`] captures both, plus weighted-link variants used when simulating
+//! a network whose edges have non-uniform cost. [`LinkState`] enforces the FIFO
+//! property per directed link regardless of the sampled latencies.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How long a message takes to traverse a link.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly one time unit (the paper's synchronous model).
+    #[default]
+    Unit,
+    /// Every message takes exactly `units` time units.
+    Fixed {
+        /// Latency in time units.
+        units: f64,
+    },
+    /// Every message on link (u,v) takes the link's weight in time units.
+    ///
+    /// Weights are supplied via [`LinkState::set_weight`]; unknown links fall back to 1.
+    EdgeWeight,
+    /// Each message independently takes a uniformly random latency in `[lo, hi]` units
+    /// (the asynchronous model; the paper normalises `hi` to 1).
+    Uniform {
+        /// Minimum latency in units.
+        lo: f64,
+        /// Maximum latency in units.
+        hi: f64,
+    },
+    /// Each message takes the link weight scaled by a uniformly random factor in
+    /// `[lo_factor, 1.0]` — an asynchronous model on a weighted network where the
+    /// *worst case* per link equals the weight, matching the paper's normalisation.
+    ScaledUniform {
+        /// Minimum scaling factor (clamped to `(0, 1]`).
+        lo_factor: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Sample the latency of one message on the directed link `(from, to)` whose
+    /// weight is `weight` time units.
+    pub fn sample(&self, weight: f64, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            LatencyModel::Unit => SimDuration::unit(),
+            LatencyModel::Fixed { units } => SimDuration::from_units_f64(units),
+            LatencyModel::EdgeWeight => SimDuration::from_units_f64(weight),
+            LatencyModel::Uniform { lo, hi } => {
+                SimDuration::from_units_f64(rng.uniform(lo, hi.max(lo)))
+            }
+            LatencyModel::ScaledUniform { lo_factor } => {
+                let lo = lo_factor.clamp(f64::EPSILON, 1.0);
+                SimDuration::from_units_f64(weight * rng.uniform(lo, 1.0))
+            }
+        }
+    }
+
+    /// An upper bound (in units) on the latency this model can produce for a link of
+    /// the given weight, used for normalisation in analysis.
+    pub fn worst_case_units(&self, weight: f64) -> f64 {
+        match *self {
+            LatencyModel::Unit => 1.0,
+            LatencyModel::Fixed { units } => units,
+            LatencyModel::EdgeWeight => weight,
+            LatencyModel::Uniform { lo, hi } => hi.max(lo),
+            LatencyModel::ScaledUniform { .. } => weight,
+        }
+    }
+}
+
+/// Per-directed-link bookkeeping: weights and FIFO enforcement.
+///
+/// FIFO links are a correctness requirement of the arrow protocol (the network is
+/// "a set of point-to-point FIFO communication links", Section 2). With random
+/// latencies, a later message could otherwise overtake an earlier one; we prevent
+/// that by never scheduling a delivery earlier than the previously scheduled
+/// delivery on the same directed link.
+#[derive(Debug, Default)]
+pub struct LinkState {
+    weights: HashMap<(usize, usize), f64>,
+    last_delivery: HashMap<(usize, usize), SimTime>,
+}
+
+impl LinkState {
+    /// Create empty link state (all weights default to 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the weight of the undirected link `{u, v}` (both directions).
+    pub fn set_weight(&mut self, u: usize, v: usize, weight: f64) {
+        self.weights.insert((u, v), weight);
+        self.weights.insert((v, u), weight);
+    }
+
+    /// Weight of directed link `(from, to)`; 1.0 if never set.
+    pub fn weight(&self, from: usize, to: usize) -> f64 {
+        *self.weights.get(&(from, to)).unwrap_or(&1.0)
+    }
+
+    /// Compute the delivery time for a message sent at `now` on `(from, to)` with the
+    /// given latency model, enforcing FIFO per directed link, and record it.
+    pub fn delivery_time(
+        &mut self,
+        from: usize,
+        to: usize,
+        now: SimTime,
+        model: &LatencyModel,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let weight = self.weight(from, to);
+        let latency = model.sample(weight, rng);
+        let naive = now + latency;
+        let fifo_floor = self
+            .last_delivery
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        let delivery = naive.max(fifo_floor);
+        self.last_delivery.insert((from, to), delivery);
+        delivery
+    }
+
+    /// Number of distinct directed links with an explicit weight.
+    pub fn weighted_link_count(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_model_is_one_unit() {
+        let mut rng = SimRng::new(1);
+        let d = LatencyModel::Unit.sample(5.0, &mut rng);
+        assert_eq!(d, SimDuration::unit());
+        assert_eq!(LatencyModel::Unit.worst_case_units(5.0), 1.0);
+    }
+
+    #[test]
+    fn edge_weight_model_uses_weight() {
+        let mut rng = SimRng::new(1);
+        let d = LatencyModel::EdgeWeight.sample(3.5, &mut rng);
+        assert!((d.as_units_f64() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_model_within_bounds() {
+        let mut rng = SimRng::new(2);
+        let m = LatencyModel::Uniform { lo: 0.25, hi: 1.0 };
+        for _ in 0..500 {
+            let d = m.sample(1.0, &mut rng).as_units_f64();
+            assert!((0.25..=1.0).contains(&d), "latency {d}");
+        }
+        assert_eq!(m.worst_case_units(1.0), 1.0);
+    }
+
+    #[test]
+    fn scaled_uniform_bounded_by_weight() {
+        let mut rng = SimRng::new(3);
+        let m = LatencyModel::ScaledUniform { lo_factor: 0.1 };
+        for _ in 0..500 {
+            let d = m.sample(4.0, &mut rng).as_units_f64();
+            assert!(d <= 4.0 + 1e-9 && d > 0.0);
+        }
+        assert_eq!(m.worst_case_units(4.0), 4.0);
+    }
+
+    #[test]
+    fn link_weights_are_symmetric_by_default_setter() {
+        let mut ls = LinkState::new();
+        ls.set_weight(1, 2, 2.5);
+        assert_eq!(ls.weight(1, 2), 2.5);
+        assert_eq!(ls.weight(2, 1), 2.5);
+        assert_eq!(ls.weight(0, 9), 1.0);
+    }
+
+    #[test]
+    fn fifo_is_enforced_under_random_latency() {
+        let mut ls = LinkState::new();
+        let mut rng = SimRng::new(4);
+        let model = LatencyModel::Uniform { lo: 0.01, hi: 1.0 };
+        let mut last = SimTime::ZERO;
+        // Send a burst of messages at the same instant; deliveries must be non-decreasing.
+        for _ in 0..200 {
+            let d = ls.delivery_time(0, 1, SimTime::from_units(10), &model, &mut rng);
+            assert!(d >= last, "FIFO violated: {d} < {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn fifo_applies_per_directed_link_only() {
+        let mut ls = LinkState::new();
+        let mut rng = SimRng::new(5);
+        let model = LatencyModel::Fixed { units: 1.0 };
+        let d1 = ls.delivery_time(0, 1, SimTime::from_units(100), &model, &mut rng);
+        // Opposite direction is unconstrained by the first delivery.
+        let d2 = ls.delivery_time(1, 0, SimTime::from_units(0), &model, &mut rng);
+        assert!(d2 < d1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Process (node) abstraction and the context handed to processes.
+//!
+//! A simulated distributed algorithm is a collection of [`Process`] implementations,
+//! one per node. The simulator calls into a process when a message, external input or
+//! timer arrives; the process reacts by sending messages / setting timers through the
+//! [`Context`]. Processes never see global state — exactly like a real message-passing
+//! algorithm.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a node in the simulated network (index into the node vector).
+pub type NodeId = usize;
+
+/// Outgoing actions a process can request during a single handler invocation.
+///
+/// The context buffers them; the simulator applies them (samples latencies, schedules
+/// events, updates statistics) after the handler returns. This keeps handler code pure
+/// with respect to the event queue and keeps borrow-checking simple.
+#[derive(Debug)]
+pub struct Context<M> {
+    node: NodeId,
+    now: SimTime,
+    /// Messages to send: (destination, payload).
+    pub(crate) outbox: Vec<(NodeId, M)>,
+    /// Timers to set: (delay, tag).
+    pub(crate) timers: Vec<(SimDuration, u64)>,
+    /// Application-level completion records (opaque to the simulator, drained by the
+    /// harness after the run). Each entry is (time recorded, user value).
+    pub(crate) completions: Vec<(SimTime, u64)>,
+}
+
+impl<M> Context<M> {
+    /// Create a free-standing context (useful for unit-testing [`Process`]
+    /// implementations outside a full simulation).
+    pub fn new(node: NodeId, now: SimTime) -> Self {
+        Context {
+            node,
+            now,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// The node this handler is running on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Send `msg` to `to`. Delivery time is determined by the simulator's latency model.
+    ///
+    /// Sending to `self.node()` is allowed and is delivered like any other message
+    /// (useful for testing), but distributed algorithms normally act locally instead.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Set a timer that fires after `delay` with the given user tag.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+
+    /// Record an application-level completion (e.g. "request `id` found its
+    /// predecessor"). The harness reads these back after the run via
+    /// [`crate::sim::Simulator::drain_completions`].
+    pub fn record_completion(&mut self, value: u64) {
+        self.completions.push((self.now, value));
+    }
+}
+
+/// A node's protocol automaton.
+///
+/// All handlers execute atomically with respect to simulated time: the paper's model
+/// allows a node to process up to `deg(v)` messages per time step and treats local
+/// processing as free (Section 3.1), which a discrete-event simulator models naturally
+/// by making handlers take zero virtual time.
+pub trait Process<M> {
+    /// Called once at simulation start (time 0), before any message is delivered.
+    fn on_start(&mut self, _ctx: &mut Context<M>) {}
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<M>, from: NodeId, msg: M);
+
+    /// Called when an external input (scheduled by the harness) arrives at this node.
+    ///
+    /// Defaults to treating the input like a message from the node itself.
+    fn on_external(&mut self, ctx: &mut Context<M>, input: M) {
+        let me = ctx.node();
+        self.on_message(ctx, me, input);
+    }
+
+    /// Called when a timer with `tag` fires.
+    fn on_timer(&mut self, _ctx: &mut Context<M>, _tag: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        heard: Vec<(NodeId, u32)>,
+    }
+
+    impl Process<u32> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<u32>, from: NodeId, msg: u32) {
+            self.heard.push((from, msg));
+            ctx.send(from, msg + 1);
+            ctx.set_timer(SimDuration::unit(), 7);
+            ctx.record_completion(msg as u64);
+        }
+    }
+
+    #[test]
+    fn context_buffers_actions() {
+        let mut ctx = Context::new(3, SimTime::from_units(5));
+        let mut p = Echo { heard: vec![] };
+        p.on_message(&mut ctx, 1, 41);
+        assert_eq!(ctx.node(), 3);
+        assert_eq!(ctx.now(), SimTime::from_units(5));
+        assert_eq!(ctx.outbox, vec![(1, 42)]);
+        assert_eq!(ctx.timers, vec![(SimDuration::unit(), 7)]);
+        assert_eq!(ctx.completions, vec![(SimTime::from_units(5), 41)]);
+        assert_eq!(p.heard, vec![(1, 41)]);
+    }
+
+    #[test]
+    fn default_external_forwards_to_on_message() {
+        let mut ctx = Context::new(2, SimTime::ZERO);
+        let mut p = Echo { heard: vec![] };
+        p.on_external(&mut ctx, 9);
+        // Treated as a message from the node itself.
+        assert_eq!(p.heard, vec![(2, 9)]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Deterministic random number generation for the simulator.
+//!
+//! All stochastic behaviour in the simulator (random link latencies, random local
+//! processing order) is driven by a single seedable PRNG so that a run is fully
+//! reproducible from `(configuration, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small wrapper around [`StdRng`] that remembers its seed.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform `u64` in `[lo, hi]` (inclusive).
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform `usize` in `[0, n)`. Returns 0 when `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..n)
+        }
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Exponentially distributed sample with the given mean (inverse rate).
+    ///
+    /// Used by Poisson-process workload generators.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Access the underlying [`Rng`] for uses not covered by the helpers.
+    pub fn inner(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(12345);
+        let mut b = SimRng::new(12345);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0, 1000), b.uniform_u64(0, 1000));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_sequence() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let sa: Vec<u64> = (0..32).map(|_| a.uniform_u64(0, u64::MAX - 1)).collect();
+        let sb: Vec<u64> = (0..32).map(|_| b.uniform_u64(0, u64::MAX - 1)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SimRng::new(7);
+        for _ in 0..1000 {
+            let x = r.uniform(0.25, 0.75);
+            assert!((0.25..0.75).contains(&x));
+        }
+        assert_eq!(r.uniform(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn index_handles_zero_and_one() {
+        let mut r = SimRng::new(9);
+        assert_eq!(r.index(0), 0);
+        assert_eq!(r.index(1), 0);
+        for _ in 0..100 {
+            assert!(r.index(5) < 5);
+        }
+    }
+
+    #[test]
+    fn exponential_is_positive_with_reasonable_mean() {
+        let mut r = SimRng::new(11);
+        let n = 20_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let empirical = sum / n as f64;
+        assert!(empirical > 0.0);
+        assert!((empirical - mean).abs() < 0.2, "empirical mean {empirical}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::new(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn seed_is_recorded() {
+        assert_eq!(SimRng::new(42).seed(), 42);
+    }
+}

@@ -1,0 +1,525 @@
+//! The simulation driver: owns the nodes, the event queue, the links and the clock,
+//! and runs the event loop until quiescence (or a configured limit).
+
+use crate::event::{EventKind, EventQueue};
+use crate::link::{LatencyModel, LinkState};
+use crate::node::{Context, NodeId, Process};
+use crate::rng::SimRng;
+use crate::stats::SimStats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// How a node orders messages that arrive at the very same instant.
+///
+/// The paper (Section 3.1) notes that its analysis holds irrespective of the order in
+/// which simultaneously arriving `queue()` messages are processed locally. The
+/// simulator therefore supports both a deterministic FIFO order and a seeded-random
+/// order, so experiments can confirm the claim empirically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocalOrder {
+    /// Simultaneous arrivals are processed in the order the sends were issued.
+    Fifo,
+    /// Simultaneous arrivals are processed in a pseudo-random order (implemented by a
+    /// sub-micro-unit scheduling jitter; it never reorders messages on the same link).
+    Random,
+}
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Link latency model.
+    pub latency: LatencyModel,
+    /// PRNG seed (controls random latencies, jitter and anything a process derives
+    /// from the RNG the harness hands it).
+    pub seed: u64,
+    /// Local processing order of simultaneous arrivals.
+    pub local_order: LocalOrder,
+    /// Whether to record a full [`Trace`].
+    pub trace: bool,
+    /// Safety valve: abort after this many events (None = unlimited).
+    pub max_events: Option<u64>,
+    /// Safety valve: abort once virtual time exceeds this (None = unlimited).
+    pub max_time: Option<SimTime>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency: LatencyModel::Unit,
+            seed: 0,
+            local_order: LocalOrder::Fifo,
+            trace: false,
+            max_events: None,
+            max_time: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The synchronous model of Section 3.1: unit latency, deterministic order.
+    pub fn synchronous() -> Self {
+        SimConfig::default()
+    }
+
+    /// The asynchronous model of Section 3.8: uniformly random latencies in `(0, 1]`,
+    /// random local processing order.
+    pub fn asynchronous(seed: u64) -> Self {
+        SimConfig {
+            latency: LatencyModel::Uniform { lo: 0.05, hi: 1.0 },
+            seed,
+            local_order: LocalOrder::Random,
+            trace: false,
+            max_events: None,
+            max_time: None,
+        }
+    }
+}
+
+/// Why the run loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The event queue drained — the system is quiescent.
+    Quiescent,
+    /// The configured `max_events` limit was hit.
+    EventLimit,
+    /// The configured `max_time` limit was hit.
+    TimeLimit,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Why the loop stopped.
+    pub stop: StopReason,
+    /// Number of events processed.
+    pub events: u64,
+    /// Virtual time of the last processed event.
+    pub final_time: SimTime,
+}
+
+/// A record of an application-level completion reported via
+/// [`Context::record_completion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Virtual time at which the completion was recorded.
+    pub time: SimTime,
+    /// Node that recorded it.
+    pub node: NodeId,
+    /// User-chosen value (e.g. a request id).
+    pub value: u64,
+}
+
+/// The discrete-event simulator.
+///
+/// Generic over the message type `M` and the per-node process type `P`. Heterogeneous
+/// networks can use `Box<dyn Process<M>>` for `P`.
+pub struct Simulator<M, P: Process<M>> {
+    nodes: Vec<P>,
+    queue: EventQueue<M>,
+    links: LinkState,
+    rng: SimRng,
+    config: SimConfig,
+    now: SimTime,
+    started: bool,
+    stats: SimStats,
+    trace: Trace,
+    completions: Vec<Completion>,
+    events_processed: u64,
+}
+
+impl<M: Clone + std::fmt::Debug, P: Process<M>> Simulator<M, P> {
+    /// Create a simulator over the given per-node processes.
+    pub fn new(nodes: Vec<P>, config: SimConfig) -> Self {
+        let n = nodes.len();
+        let trace = if config.trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+        Simulator {
+            nodes,
+            queue: EventQueue::new(),
+            links: LinkState::new(),
+            rng: SimRng::new(config.seed),
+            config,
+            now: SimTime::ZERO,
+            started: false,
+            stats: SimStats::new(n),
+            trace,
+            completions: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Set the weight (latency in units under weighted models) of link `{u, v}`.
+    pub fn set_link_weight(&mut self, u: NodeId, v: NodeId, weight: f64) {
+        self.links.set_weight(u, v, weight);
+    }
+
+    /// Schedule an external input for `node` at absolute virtual time `time`.
+    pub fn schedule_external(&mut self, time: SimTime, node: NodeId, payload: M) {
+        assert!(node < self.nodes.len(), "node {node} out of range");
+        self.queue
+            .schedule(time, EventKind::External { node, payload });
+    }
+
+    /// Immutable access to a node's process (for post-run inspection).
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node's process (for pre-run setup).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.nodes[id]
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The trace (empty unless tracing was enabled in the config).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Completions recorded so far, in recording order. Draining resets the buffer.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Completions recorded so far without draining.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    fn jitter(&mut self) -> SimDuration {
+        match self.config.local_order {
+            LocalOrder::Fifo => SimDuration::ZERO,
+            // Sub-micro-unit jitter: at most 1e-4 of a unit, enough to randomise the
+            // processing order of simultaneous arrivals without measurably changing
+            // latencies.
+            LocalOrder::Random => SimDuration::from_subticks(self.rng.uniform_u64(0, 100)),
+        }
+    }
+
+    fn apply_context(&mut self, node: NodeId, ctx: Context<M>) {
+        let Context {
+            outbox,
+            timers,
+            completions,
+            ..
+        } = ctx;
+        for (to, msg) in outbox {
+            let delivery =
+                self.links
+                    .delivery_time(node, to, self.now, &self.config.latency, &mut self.rng)
+                    + self.jitter();
+            self.stats.note_send(node, to, delivery - self.now);
+            if self.trace.is_enabled() {
+                self.trace.push(TraceEvent::Send {
+                    time: self.now,
+                    from: node,
+                    to,
+                    delivery,
+                    label: format!("{msg:?}"),
+                });
+            }
+            self.queue.schedule(
+                delivery,
+                EventKind::Deliver {
+                    from: node,
+                    to,
+                    payload: msg,
+                },
+            );
+        }
+        for (delay, tag) in timers {
+            self.queue
+                .schedule(self.now + delay, EventKind::Timer { node, tag });
+        }
+        for (time, value) in completions {
+            self.completions.push(Completion { time, node, value });
+        }
+    }
+
+    fn start_nodes(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let mut ctx = Context::new(i, SimTime::ZERO);
+            self.nodes[i].on_start(&mut ctx);
+            self.apply_context(i, ctx);
+        }
+    }
+
+    /// Process a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        self.start_nodes();
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(event.time);
+        self.events_processed += 1;
+        self.stats.events_processed += 1;
+        match event.kind {
+            EventKind::Deliver { from, to, payload } => {
+                self.stats.note_delivery(to);
+                if self.trace.is_enabled() {
+                    self.trace.push(TraceEvent::Deliver {
+                        time: self.now,
+                        from,
+                        to,
+                        label: format!("{payload:?}"),
+                    });
+                }
+                let mut ctx = Context::new(to, self.now);
+                self.nodes[to].on_message(&mut ctx, from, payload);
+                self.apply_context(to, ctx);
+            }
+            EventKind::External { node, payload } => {
+                self.stats.external_inputs += 1;
+                if self.trace.is_enabled() {
+                    self.trace.push(TraceEvent::External {
+                        time: self.now,
+                        node,
+                        label: format!("{payload:?}"),
+                    });
+                }
+                let mut ctx = Context::new(node, self.now);
+                self.nodes[node].on_external(&mut ctx, payload);
+                self.apply_context(node, ctx);
+            }
+            EventKind::Timer { node, tag } => {
+                self.stats.timer_firings += 1;
+                if self.trace.is_enabled() {
+                    self.trace.push(TraceEvent::Timer {
+                        time: self.now,
+                        node,
+                        tag,
+                    });
+                }
+                let mut ctx = Context::new(node, self.now);
+                self.nodes[node].on_timer(&mut ctx, tag);
+                self.apply_context(node, ctx);
+            }
+        }
+        true
+    }
+
+    /// Run until quiescence or a configured limit; returns a summary.
+    pub fn run(&mut self) -> RunOutcome {
+        self.start_nodes();
+        loop {
+            if let Some(limit) = self.config.max_events {
+                if self.events_processed >= limit {
+                    return RunOutcome {
+                        stop: StopReason::EventLimit,
+                        events: self.events_processed,
+                        final_time: self.now,
+                    };
+                }
+            }
+            if let (Some(limit), Some(next)) = (self.config.max_time, self.queue.peek_time()) {
+                if next > limit {
+                    return RunOutcome {
+                        stop: StopReason::TimeLimit,
+                        events: self.events_processed,
+                        final_time: self.now,
+                    };
+                }
+            }
+            if !self.step() {
+                return RunOutcome {
+                    stop: StopReason::Quiescent,
+                    events: self.events_processed,
+                    final_time: self.now,
+                };
+            }
+        }
+    }
+}
+
+impl<M> Process<M> for Box<dyn Process<M>> {
+    fn on_start(&mut self, ctx: &mut Context<M>) {
+        (**self).on_start(ctx)
+    }
+    fn on_message(&mut self, ctx: &mut Context<M>, from: NodeId, msg: M) {
+        (**self).on_message(ctx, from, msg)
+    }
+    fn on_external(&mut self, ctx: &mut Context<M>, input: M) {
+        (**self).on_external(ctx, input)
+    }
+    fn on_timer(&mut self, ctx: &mut Context<M>, tag: u64) {
+        (**self).on_timer(ctx, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A node that forwards a counter message to the next node until it reaches zero.
+    #[derive(Debug)]
+    struct Relay {
+        n: usize,
+        received: Vec<u32>,
+    }
+
+    impl Process<u32> for Relay {
+        fn on_message(&mut self, ctx: &mut Context<u32>, _from: NodeId, msg: u32) {
+            self.received.push(msg);
+            if msg > 0 {
+                let next = (ctx.node() + 1) % self.n;
+                ctx.send(next, msg - 1);
+            } else {
+                ctx.record_completion(ctx.node() as u64);
+            }
+        }
+    }
+
+    fn ring(n: usize, config: SimConfig) -> Simulator<u32, Relay> {
+        let nodes = (0..n)
+            .map(|_| Relay {
+                n,
+                received: vec![],
+            })
+            .collect();
+        Simulator::new(nodes, config)
+    }
+
+    #[test]
+    fn message_relay_around_ring_takes_unit_latency_each_hop() {
+        let mut sim = ring(5, SimConfig::synchronous());
+        sim.schedule_external(SimTime::ZERO, 0, 10);
+        let outcome = sim.run();
+        assert_eq!(outcome.stop, StopReason::Quiescent);
+        // 10 hops, each of unit latency.
+        assert_eq!(outcome.final_time, SimTime::from_units(10));
+        assert_eq!(sim.stats().messages_delivered, 10);
+        assert_eq!(sim.stats().external_inputs, 1);
+        let completions = sim.drain_completions();
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].node, 0); // 10 hops from node 0 around a 5-ring
+        assert_eq!(completions[0].time, SimTime::from_units(10));
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = |seed| {
+            let mut cfg = SimConfig::asynchronous(seed);
+            cfg.trace = true;
+            let mut sim = ring(7, cfg);
+            sim.schedule_external(SimTime::ZERO, 3, 25);
+            sim.run();
+            sim.trace().render()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn event_limit_stops_the_run() {
+        let mut cfg = SimConfig::synchronous();
+        cfg.max_events = Some(3);
+        let mut sim = ring(4, cfg);
+        sim.schedule_external(SimTime::ZERO, 0, 1000);
+        let outcome = sim.run();
+        assert_eq!(outcome.stop, StopReason::EventLimit);
+        assert_eq!(outcome.events, 3);
+    }
+
+    #[test]
+    fn time_limit_stops_the_run() {
+        let mut cfg = SimConfig::synchronous();
+        cfg.max_time = Some(SimTime::from_units(5));
+        let mut sim = ring(4, cfg);
+        sim.schedule_external(SimTime::ZERO, 0, 1000);
+        let outcome = sim.run();
+        assert_eq!(outcome.stop, StopReason::TimeLimit);
+        assert!(outcome.final_time <= SimTime::from_units(5));
+    }
+
+    #[test]
+    fn weighted_links_change_latency() {
+        let mut cfg = SimConfig::synchronous();
+        cfg.latency = LatencyModel::EdgeWeight;
+        let mut sim = ring(3, cfg);
+        sim.set_link_weight(0, 1, 4.0);
+        sim.set_link_weight(1, 2, 2.0);
+        sim.schedule_external(SimTime::ZERO, 0, 2);
+        let outcome = sim.run();
+        // 0 -> 1 takes 4 units, 1 -> 2 takes 2 units.
+        assert_eq!(outcome.final_time, SimTime::from_units(6));
+    }
+
+    #[test]
+    fn async_latencies_never_exceed_one_unit_per_hop_plus_jitter() {
+        let mut sim = ring(6, SimConfig::asynchronous(5));
+        sim.schedule_external(SimTime::ZERO, 0, 30);
+        let outcome = sim.run();
+        // 30 hops at <= ~1 unit each.
+        assert!(outcome.final_time <= SimTime::from_units(31));
+        assert_eq!(sim.stats().messages_delivered, 30);
+    }
+
+    #[test]
+    fn trace_records_sends_and_deliveries() {
+        let mut cfg = SimConfig::synchronous();
+        cfg.trace = true;
+        let mut sim = ring(3, cfg);
+        sim.schedule_external(SimTime::ZERO, 0, 2);
+        sim.run();
+        let trace = sim.trace();
+        let sends = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Send { .. }))
+            .count();
+        let delivers = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Deliver { .. }))
+            .count();
+        assert_eq!(sends, 2);
+        assert_eq!(delivers, 2);
+    }
+
+    #[test]
+    fn boxed_processes_work() {
+        struct Sink {
+            got: u32,
+        }
+        impl Process<u32> for Sink {
+            fn on_message(&mut self, _ctx: &mut Context<u32>, _from: NodeId, msg: u32) {
+                self.got += msg;
+            }
+        }
+        let nodes: Vec<Box<dyn Process<u32>>> =
+            vec![Box::new(Sink { got: 0 }), Box::new(Sink { got: 0 })];
+        let mut sim = Simulator::new(nodes, SimConfig::synchronous());
+        sim.schedule_external(SimTime::ZERO, 1, 5);
+        sim.run();
+        assert_eq!(sim.stats().external_inputs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scheduling_for_missing_node_panics() {
+        let mut sim = ring(2, SimConfig::synchronous());
+        sim.schedule_external(SimTime::ZERO, 5, 1);
+    }
+}

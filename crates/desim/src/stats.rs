@@ -1,0 +1,251 @@
+//! Simulation statistics: message counts, per-node and per-link counters, and
+//! latency/hop histograms.
+//!
+//! The paper's experimental section reports two quantities (Figures 10 and 11):
+//! total latency for a fixed number of enqueues, and the average number of
+//! inter-processor messages ("hops") per queuing operation. [`SimStats`] collects the
+//! raw counts needed to derive both, plus general-purpose histograms for richer
+//! reporting.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A simple fixed-bucket histogram over non-negative `f64` samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Create a histogram with the given bucket width (must be positive).
+    pub fn new(bucket_width: f64) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        Histogram {
+            bucket_width,
+            counts: Vec::new(),
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample (negative samples are clamped to zero).
+    pub fn record(&mut self, sample: f64) {
+        let s = sample.max(0.0);
+        let bucket = (s / self.bucket_width) as usize;
+        if bucket >= self.counts.len() {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum += s;
+        self.min = self.min.min(s);
+        self.max = self.max.max(s);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Minimum sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate p-th percentile (`p` in `[0,100]`), computed from bucket boundaries.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (p.clamp(0.0, 100.0) / 100.0 * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return (i as f64 + 1.0) * self.bucket_width;
+            }
+        }
+        self.max
+    }
+}
+
+/// Counters collected during a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total messages delivered (excluding external inputs and timers).
+    pub messages_delivered: u64,
+    /// Messages a node "sent to itself" via the network (normally zero).
+    pub self_messages: u64,
+    /// External inputs injected.
+    pub external_inputs: u64,
+    /// Timer firings.
+    pub timer_firings: u64,
+    /// Events processed in total.
+    pub events_processed: u64,
+    /// Per-node count of messages sent.
+    pub sent_per_node: Vec<u64>,
+    /// Per-node count of messages received.
+    pub received_per_node: Vec<u64>,
+    /// Per-directed-link message counts.
+    pub per_link: HashMap<(usize, usize), u64>,
+    /// Histogram of sampled message latencies (in time units).
+    pub latency_hist: Histogram,
+}
+
+impl SimStats {
+    /// Create zeroed statistics for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        SimStats {
+            messages_delivered: 0,
+            self_messages: 0,
+            external_inputs: 0,
+            timer_firings: 0,
+            events_processed: 0,
+            sent_per_node: vec![0; n],
+            received_per_node: vec![0; n],
+            per_link: HashMap::new(),
+            latency_hist: Histogram::new(0.05),
+        }
+    }
+
+    pub(crate) fn note_send(&mut self, from: usize, to: usize, latency: SimDuration) {
+        self.sent_per_node[from] += 1;
+        *self.per_link.entry((from, to)).or_insert(0) += 1;
+        self.latency_hist.record(latency.as_units_f64());
+        if from == to {
+            self.self_messages += 1;
+        }
+    }
+
+    pub(crate) fn note_delivery(&mut self, to: usize) {
+        self.messages_delivered += 1;
+        self.received_per_node[to] += 1;
+    }
+
+    /// Total messages sent across all nodes.
+    pub fn total_sent(&self) -> u64 {
+        self.sent_per_node.iter().sum()
+    }
+
+    /// Messages that actually crossed between two *different* nodes — the paper's
+    /// "inter-processor messages" of Figure 11.
+    pub fn interprocessor_messages(&self) -> u64 {
+        self.total_sent() - self.self_messages
+    }
+
+    /// The busiest node by received messages, `(node, count)`. `None` if no traffic.
+    pub fn hottest_receiver(&self) -> Option<(usize, u64)> {
+        self.received_per_node
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .filter(|&(_, c)| c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_min_max() {
+        let mut h = Histogram::new(1.0);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 4.0);
+        assert!((h.sum() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentile_is_monotone() {
+        let mut h = Histogram::new(0.5);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0);
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p99 <= h.max() + 0.5);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new(1.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn negative_samples_clamp_to_zero() {
+        let mut h = Histogram::new(1.0);
+        h.record(-5.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stats_counters_track_sends_and_deliveries() {
+        let mut s = SimStats::new(3);
+        s.note_send(0, 1, SimDuration::unit());
+        s.note_send(0, 2, SimDuration::unit());
+        s.note_send(1, 1, SimDuration::unit());
+        s.note_delivery(1);
+        s.note_delivery(2);
+        assert_eq!(s.total_sent(), 3);
+        assert_eq!(s.self_messages, 1);
+        assert_eq!(s.interprocessor_messages(), 2);
+        assert_eq!(s.sent_per_node, vec![2, 1, 0]);
+        assert_eq!(s.received_per_node, vec![0, 1, 1]);
+        assert_eq!(s.per_link[&(0, 1)], 1);
+        assert_eq!(s.hottest_receiver().map(|(_, c)| c), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_width_panics() {
+        let _ = Histogram::new(0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Virtual simulation time.
+//!
+//! The paper's synchronous model uses unit-latency links and integer time steps;
+//! the asynchronous model (Section 3.8) allows arbitrary message delays in `(0, 1]`.
+//! To support both deterministically we represent time as a fixed-point value:
+//! one *time unit* is subdivided into [`SUBTICKS_PER_UNIT`] sub-ticks. All arithmetic
+//! is exact integer arithmetic, so simulation runs are bit-for-bit reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Number of sub-ticks per logical time unit.
+///
+/// `1_000_000` gives micro-unit resolution which is far finer than any latency model
+/// in this crate needs, while leaving room for ~584 billion units in a `u64`.
+pub const SUBTICKS_PER_UNIT: u64 = 1_000_000;
+
+/// A point in virtual time, measured in sub-ticks since the start of the simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of virtual time (non-negative), measured in sub-ticks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// Time zero, the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct a time from a whole number of time units.
+    pub fn from_units(units: u64) -> Self {
+        SimTime(units * SUBTICKS_PER_UNIT)
+    }
+
+    /// Construct a time from raw sub-ticks.
+    pub fn from_subticks(subticks: u64) -> Self {
+        SimTime(subticks)
+    }
+
+    /// Raw sub-tick count.
+    pub fn subticks(self) -> u64 {
+        self.0
+    }
+
+    /// Time expressed in (possibly fractional) units.
+    pub fn as_units_f64(self) -> f64 {
+        self.0 as f64 / SUBTICKS_PER_UNIT as f64
+    }
+
+    /// Whole-unit part of the time (rounded down).
+    pub fn whole_units(self) -> u64 {
+        self.0 / SUBTICKS_PER_UNIT
+    }
+
+    /// Duration elapsed since an earlier time. Saturates at zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Duration of a whole number of time units.
+    pub fn from_units(units: u64) -> Self {
+        SimDuration(units * SUBTICKS_PER_UNIT)
+    }
+
+    /// Duration from raw sub-ticks.
+    pub fn from_subticks(subticks: u64) -> Self {
+        SimDuration(subticks)
+    }
+
+    /// Duration from a fractional number of units (rounded to nearest sub-tick).
+    ///
+    /// Negative inputs are clamped to zero.
+    pub fn from_units_f64(units: f64) -> Self {
+        if units <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((units * SUBTICKS_PER_UNIT as f64).round() as u64)
+    }
+
+    /// One time unit — the unit link latency of the synchronous model.
+    pub fn unit() -> Self {
+        SimDuration(SUBTICKS_PER_UNIT)
+    }
+
+    /// Raw sub-tick count.
+    pub fn subticks(self) -> u64 {
+        self.0
+    }
+
+    /// Duration expressed in (possibly fractional) units.
+    pub fn as_units_f64(self) -> f64 {
+        self.0 as f64 / SUBTICKS_PER_UNIT as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// True if this is the zero duration.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_units_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_units_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversion_round_trips() {
+        let t = SimTime::from_units(42);
+        assert_eq!(t.whole_units(), 42);
+        assert_eq!(t.subticks(), 42 * SUBTICKS_PER_UNIT);
+        assert!((t.as_units_f64() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = SimTime::from_units(1) + SimDuration::from_units(2);
+        assert_eq!(t, SimTime::from_units(3));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = SimTime::from_units(1);
+        let b = SimTime::from_units(5);
+        assert_eq!(a - b, SimDuration::ZERO);
+        assert_eq!(b - a, SimDuration::from_units(4));
+    }
+
+    #[test]
+    fn fractional_durations_are_exact_subticks() {
+        let d = SimDuration::from_units_f64(0.5);
+        assert_eq!(d.subticks(), SUBTICKS_PER_UNIT / 2);
+        let neg = SimDuration::from_units_f64(-3.0);
+        assert!(neg.is_zero());
+    }
+
+    #[test]
+    fn since_and_max() {
+        let a = SimTime::from_units(3);
+        let b = SimTime::from_units(7);
+        assert_eq!(b.since(a), SimDuration::from_units(4));
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn ordering_is_by_subticks() {
+        assert!(SimTime::from_subticks(5) < SimTime::from_subticks(6));
+        assert!(SimDuration::from_units(1) > SimDuration::from_units_f64(0.999999));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_units).sum();
+        assert_eq!(total, SimDuration::from_units(10));
+    }
+}

@@ -1,0 +1,216 @@
+//! Structured tracing of simulation runs.
+//!
+//! A [`Trace`] is an ordered log of interesting occurrences (message sends, deliveries,
+//! external inputs, timer firings). It is optional — tracing every message of a large
+//! run is expensive — and is enabled by the harness when a test or experiment needs to
+//! inspect the exact interleaving (e.g. to check FIFO behaviour or to visualise a run).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One traced occurrence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A message was handed to the network.
+    Send {
+        /// Virtual time of the send.
+        time: SimTime,
+        /// Sender.
+        from: usize,
+        /// Destination.
+        to: usize,
+        /// Scheduled delivery time (after latency + FIFO adjustment).
+        delivery: SimTime,
+        /// Short description of the payload.
+        label: String,
+    },
+    /// A message was delivered and processed.
+    Deliver {
+        /// Virtual time of delivery.
+        time: SimTime,
+        /// Sender.
+        from: usize,
+        /// Destination.
+        to: usize,
+        /// Short description of the payload.
+        label: String,
+    },
+    /// An external input was processed.
+    External {
+        /// Virtual time.
+        time: SimTime,
+        /// Node receiving the input.
+        node: usize,
+        /// Short description of the payload.
+        label: String,
+    },
+    /// A timer fired.
+    Timer {
+        /// Virtual time.
+        time: SimTime,
+        /// Node whose timer fired.
+        node: usize,
+        /// Timer tag.
+        tag: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The virtual time of the event.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceEvent::Send { time, .. }
+            | TraceEvent::Deliver { time, .. }
+            | TraceEvent::External { time, .. }
+            | TraceEvent::Timer { time, .. } => time,
+        }
+    }
+}
+
+/// An append-only log of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A disabled trace: `push` is a no-op.
+    pub fn disabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// An enabled trace that records every event pushed into it.
+    pub fn enabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events filtered to deliveries at a given node, in order.
+    pub fn deliveries_at(&self, node: usize) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Deliver { to, .. } if *to == node))
+            .collect()
+    }
+
+    /// Render the trace as a human-readable multi-line string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let line = match e {
+                TraceEvent::Send {
+                    time,
+                    from,
+                    to,
+                    delivery,
+                    label,
+                } => format!("{time} SEND {from} -> {to} (delivery {delivery}): {label}"),
+                TraceEvent::Deliver {
+                    time,
+                    from,
+                    to,
+                    label,
+                } => format!("{time} DELIVER {from} -> {to}: {label}"),
+                TraceEvent::External { time, node, label } => {
+                    format!("{time} EXTERNAL @{node}: {label}")
+                }
+                TraceEvent::Timer { time, node, tag } => {
+                    format!("{time} TIMER @{node} tag={tag}")
+                }
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(TraceEvent::Timer {
+            time: SimTime::ZERO,
+            node: 0,
+            tag: 1,
+        });
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.push(TraceEvent::External {
+            time: SimTime::from_units(1),
+            node: 2,
+            label: "req".into(),
+        });
+        t.push(TraceEvent::Deliver {
+            time: SimTime::from_units(2),
+            from: 2,
+            to: 3,
+            label: "queue".into(),
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].time(), SimTime::from_units(1));
+        assert_eq!(t.deliveries_at(3).len(), 1);
+        assert_eq!(t.deliveries_at(4).len(), 0);
+    }
+
+    #[test]
+    fn render_contains_all_event_kinds() {
+        let mut t = Trace::enabled();
+        t.push(TraceEvent::Send {
+            time: SimTime::ZERO,
+            from: 0,
+            to: 1,
+            delivery: SimTime::from_units(1),
+            label: "m".into(),
+        });
+        t.push(TraceEvent::Timer {
+            time: SimTime::from_units(3),
+            node: 1,
+            tag: 9,
+        });
+        let s = t.render();
+        assert!(s.contains("SEND 0 -> 1"));
+        assert!(s.contains("TIMER @1 tag=9"));
+    }
+}

@@ -1,0 +1,354 @@
+//! Network topology generators.
+//!
+//! The experiments need several families: the paper's own experiment (Section 5) uses a
+//! complete graph with uniform latencies (the SP2's interconnect), the lower bound of
+//! Theorem 4.1 lives on a path, and the competitive-ratio sweeps exercise grids, random
+//! geometric graphs and Erdős–Rényi graphs to vary stretch and diameter independently.
+
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A path `0 - 1 - ... - (n-1)` with unit weights.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// A cycle on `n >= 3` nodes with unit weights.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// A star with node 0 at the center and `n - 1` leaves, unit weights.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(0, i);
+    }
+    g
+}
+
+/// The complete graph on `n` nodes with uniform edge weight `weight`.
+///
+/// This is the topology of the paper's experimental platform: "the message latency
+/// between any pair of nodes in the SP2 machine was roughly the same, [so] we could
+/// treat the network as a complete graph with all edges having the same weight".
+pub fn complete(n: usize, weight: f64) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_weighted_edge(u, v, weight);
+        }
+    }
+    g
+}
+
+/// A `rows × cols` 2D grid with unit weights.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut g = Graph::new(n);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// A `rows × cols` 2D torus (grid with wraparound), unit weights. Needs `rows, cols >= 3`.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+    let n = rows * cols;
+    let mut g = Graph::new(n);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(id(r, c), id(r, (c + 1) % cols));
+            g.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    g
+}
+
+/// A `d`-dimensional hypercube (`2^d` nodes), unit weights.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if u < v {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A complete (perfectly balanced) binary tree on `n` nodes with unit weights.
+///
+/// Node `i`'s children are `2i + 1` and `2i + 2` (heap layout); the root is node 0.
+/// This is the spanning tree used in the paper's experiment ("a perfectly balanced
+/// binary tree (log2 n depth for n nodes)").
+pub fn balanced_binary_tree(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i, (i - 1) / 2);
+    }
+    g
+}
+
+/// A uniformly random labelled tree on `n` nodes (via a random Prüfer sequence),
+/// unit weights.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    if n <= 1 {
+        return Graph::new(n);
+    }
+    if n == 2 {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        return g;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prufer: Vec<NodeId> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &p in &prufer {
+        degree[p] += 1;
+    }
+    let mut g = Graph::new(n);
+    let mut leaves: std::collections::BTreeSet<NodeId> = (0..n).filter(|&v| degree[v] == 1).collect();
+    for &p in &prufer {
+        let leaf = *leaves.iter().next().expect("prufer decoding invariant");
+        leaves.remove(&leaf);
+        g.add_edge(leaf, p);
+        degree[p] -= 1;
+        if degree[p] == 1 {
+            leaves.insert(p);
+        }
+    }
+    let rest: Vec<NodeId> = leaves.into_iter().collect();
+    g.add_edge(rest[0], rest[1]);
+    g
+}
+
+/// An Erdős–Rényi `G(n, p)` graph, patched to be connected by adding a random
+/// spanning-tree backbone first. Unit weights.
+pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
+    let mut g = random_tree(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e3779b97f4a7c15));
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(u, v) && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A random geometric graph: `n` points uniform in the unit square, connected when
+/// within Euclidean distance `radius`; edge weights are the Euclidean distances.
+/// A minimum-spanning-tree-like backbone (nearest unconnected point chain) is added to
+/// guarantee connectivity.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
+    let dist = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = dist(points[u], points[v]);
+            if d <= radius && d > 0.0 {
+                g.add_weighted_edge(u, v, d);
+            }
+        }
+    }
+    // Guarantee connectivity: greedily connect each unreached node to its nearest
+    // reached node (a Prim-like backbone), if it is not already connected.
+    let mut reached = vec![false; n.max(1)];
+    if n > 0 {
+        reached[0] = true;
+    }
+    let mut frontier = vec![0usize];
+    while let Some(u) = frontier.pop() {
+        for &(v, _) in g.neighbors(u) {
+            if !reached[v] {
+                reached[v] = true;
+                frontier.push(v);
+            }
+        }
+    }
+    for v in 0..n {
+        if !reached[v] {
+            // nearest reached node
+            let (best, d) = (0..n)
+                .filter(|&u| reached[u])
+                .map(|u| (u, dist(points[u], points[v])))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .expect("at least node 0 is reached");
+            let w = if d > 0.0 { d } else { 1e-6 };
+            if !g.has_edge(best, v) {
+                g.add_weighted_edge(best, v, w);
+            }
+            // Mark v's whole component reached.
+            reached[v] = true;
+            let mut stack = vec![v];
+            while let Some(u) = stack.pop() {
+                for &(x, _) in g.neighbors(u) {
+                    if !reached[x] {
+                        reached[x] = true;
+                        stack.push(x);
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each with `legs` pendant leaves.
+/// Useful for constructing trees with large stretch when embedded in denser graphs.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut g = Graph::new(n);
+    for i in 1..spine {
+        g.add_edge(i - 1, i);
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            g.add_edge(s, spine + s * legs + l);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortest::DistanceMatrix;
+
+    #[test]
+    fn path_cycle_star_shapes() {
+        let p = path(6);
+        assert_eq!(p.edge_count(), 5);
+        assert!(p.is_tree());
+
+        let c = cycle(6);
+        assert_eq!(c.edge_count(), 6);
+        assert!(c.is_connected());
+        assert!(!c.is_tree());
+
+        let s = star(6);
+        assert!(s.is_tree());
+        assert_eq!(s.degree(0), 5);
+        assert_eq!(s.degree(3), 1);
+    }
+
+    #[test]
+    fn complete_graph_edge_count_and_weight() {
+        let g = complete(10, 2.0);
+        assert_eq!(g.edge_count(), 45);
+        assert_eq!(g.edge_weight(3, 7), Some(2.0));
+        let dm = DistanceMatrix::new(&g);
+        assert_eq!(dm.diameter(), 2.0);
+    }
+
+    #[test]
+    fn grid_and_torus_diameters() {
+        let g = grid(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert!(g.is_connected());
+        let dm = DistanceMatrix::new(&g);
+        assert_eq!(dm.diameter(), 3.0 + 4.0);
+
+        let t = torus(4, 4);
+        assert!(t.is_connected());
+        let dmt = DistanceMatrix::new(&t);
+        assert_eq!(dmt.diameter(), 4.0); // 2 + 2 wraparound
+    }
+
+    #[test]
+    fn hypercube_properties() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert_eq!(g.max_degree(), 4);
+        let dm = DistanceMatrix::new(&g);
+        assert_eq!(dm.diameter(), 4.0);
+    }
+
+    #[test]
+    fn balanced_binary_tree_depth() {
+        let g = balanced_binary_tree(15);
+        assert!(g.is_tree());
+        let dm = DistanceMatrix::new(&g);
+        // depth 3 on both sides of the root
+        assert_eq!(dm.diameter(), 6.0);
+        assert_eq!(dm.eccentricity(0), 3.0);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree_for_various_sizes() {
+        for n in [1usize, 2, 3, 5, 17, 64] {
+            let g = random_tree(n, 42);
+            if n >= 1 {
+                assert!(g.is_tree(), "n = {n}");
+            }
+        }
+        // Determinism
+        let a = random_tree(20, 7);
+        let b = random_tree(20, 7);
+        assert_eq!(a.edges().len(), b.edges().len());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((ea.u, ea.v), (eb.u, eb.v));
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_is_connected() {
+        for seed in 0..5 {
+            let g = erdos_renyi_connected(30, 0.05, seed);
+            assert!(g.is_connected());
+            assert!(g.edge_count() >= 29);
+        }
+    }
+
+    #[test]
+    fn random_geometric_is_connected_with_positive_weights() {
+        for seed in 0..5 {
+            let g = random_geometric(40, 0.2, seed);
+            assert!(g.is_connected(), "seed {seed}");
+            assert!(g.edges().iter().all(|e| e.weight > 0.0));
+        }
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.node_count(), 12);
+        assert!(g.is_tree());
+        assert_eq!(g.degree(0), 3); // one spine neighbor + 2 legs
+        assert_eq!(g.degree(1), 4); // two spine neighbors + 2 legs
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        cycle(2);
+    }
+}

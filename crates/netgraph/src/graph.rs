@@ -1,0 +1,247 @@
+//! Weighted undirected graphs.
+//!
+//! The paper models the network as a graph `G = (V, E)` of processors and
+//! point-to-point FIFO links, and runs the arrow protocol on a pre-selected spanning
+//! tree `T` of `G`. [`Graph`] is the shared representation used by the topology
+//! generators, the spanning-tree constructors, the distance/stretch computations and
+//! the protocol harness.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Node identifier — an index in `0..graph.node_count()`.
+pub type NodeId = usize;
+
+/// An undirected edge with a positive weight (latency in time units).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: NodeId,
+    /// Other endpoint.
+    pub v: NodeId,
+    /// Edge weight (latency). Must be positive.
+    pub weight: f64,
+}
+
+/// A weighted undirected graph stored as adjacency lists.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    /// adjacency[u] = list of (neighbor, weight)
+    adjacency: Vec<Vec<(NodeId, f64)>>,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Create a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            adjacency: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterate over the nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n
+    }
+
+    /// Add an undirected edge `{u, v}` with unit weight.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.add_weighted_edge(u, v, 1.0);
+    }
+
+    /// Add an undirected edge `{u, v}` with the given positive weight.
+    ///
+    /// # Panics
+    /// If `u == v`, if either endpoint is out of range, if the weight is not positive
+    /// and finite, or if the edge already exists.
+    pub fn add_weighted_edge(&mut self, u: NodeId, v: NodeId, weight: f64) {
+        assert!(u != v, "self-loops are not allowed ({u})");
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "edge weight must be positive and finite, got {weight}"
+        );
+        assert!(
+            !self.has_edge(u, v),
+            "edge ({u},{v}) already present; parallel edges are not allowed"
+        );
+        self.adjacency[u].push((v, weight));
+        self.adjacency[v].push((u, weight));
+        self.edges.push(Edge { u, v, weight });
+    }
+
+    /// True if the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u < self.n && self.adjacency[u].iter().any(|&(w, _)| w == v)
+    }
+
+    /// Weight of edge `{u, v}` if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        if u >= self.n {
+            return None;
+        }
+        self.adjacency[u]
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, weight)| weight)
+    }
+
+    /// Neighbors of `u` with edge weights.
+    pub fn neighbors(&self, u: NodeId) -> &[(NodeId, f64)] {
+        &self.adjacency[u]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// True if every edge has weight exactly 1.
+    pub fn is_unweighted(&self) -> bool {
+        self.edges.iter().all(|e| e.weight == 1.0)
+    }
+
+    /// True if the graph is connected (the empty graph and 1-node graph are connected).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in &self.adjacency[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    /// True if the graph is a tree: connected with exactly `n - 1` edges.
+    pub fn is_tree(&self) -> bool {
+        self.n > 0 && self.edge_count() == self.n - 1 && self.is_connected()
+    }
+
+    /// Build a graph from an explicit edge list over `n` nodes.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId, f64)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v, w) in edges {
+            g.add_weighted_edge(u, v, w);
+        }
+        g
+    }
+
+    /// The set of nodes incident to at least one edge.
+    pub fn non_isolated_nodes(&self) -> BTreeSet<NodeId> {
+        self.edges.iter().flat_map(|e| [e.u, e.v]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_node_graphs_are_connected() {
+        assert!(Graph::new(0).is_connected());
+        assert!(Graph::new(1).is_connected());
+        assert!(!Graph::new(2).is_connected());
+    }
+
+    #[test]
+    fn add_edge_updates_adjacency_both_ways() {
+        let mut g = Graph::new(3);
+        g.add_weighted_edge(0, 2, 2.5);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.edge_weight(2, 0), Some(2.5));
+        assert_eq!(g.edge_weight(0, 1), None);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.max_degree(), 1);
+    }
+
+    #[test]
+    fn path_graph_is_a_tree() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        assert!(g.is_tree());
+        assert!(g.is_connected());
+        assert!(g.is_unweighted());
+        assert_eq!(g.total_weight(), 3.0);
+    }
+
+    #[test]
+    fn cycle_is_not_a_tree() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        assert!(!g.is_tree());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        assert!(!g.is_connected());
+        assert!(!g.is_tree());
+        assert_eq!(g.non_isolated_nodes().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        Graph::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::new(2).add_edge(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_weight_panics() {
+        Graph::new(2).add_weighted_edge(0, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn parallel_edge_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+    }
+}

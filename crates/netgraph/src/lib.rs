@@ -1,0 +1,52 @@
+//! # netgraph — graphs, spanning trees and tree metrics
+//!
+//! The network-topology substrate for the reproduction of *"Dynamic Analysis of the
+//! Arrow Distributed Protocol"*. The arrow protocol runs on a pre-selected spanning
+//! tree `T` of the communication graph `G`; its competitive ratio is `O(s · log D)`
+//! where `s` is the stretch of `T` (Definition 3.1) and `D` its diameter. This crate
+//! provides:
+//!
+//! * [`graph::Graph`] — weighted undirected graphs;
+//! * [`generators`] — the topology families used in the experiments (complete graph,
+//!   path, grid, torus, hypercube, random geometric, Erdős–Rényi, balanced binary
+//!   tree, …);
+//! * [`shortest`] — BFS/Dijkstra, all-pairs distances, diameter/radius;
+//! * [`tree::RootedTree`] — rooted spanning trees with LCA, tree distances, tree paths
+//!   and next-hop routing;
+//! * [`spanning`] — spanning-tree constructors (shortest-path tree, MST, star,
+//!   balanced binary, minimum-communication heuristic);
+//! * [`stretch`] — stretch computation (Definition 3.1) and the paper's bound constant;
+//! * [`metric`] — finite metric spaces and a metric-axiom checker used by tests.
+//!
+//! ## Example: the experiment topology of Section 5
+//!
+//! ```
+//! use netgraph::generators::complete;
+//! use netgraph::spanning::{build_spanning_tree, SpanningTreeKind};
+//! use netgraph::stretch::stretch;
+//!
+//! // 16 processors, uniform latency, balanced binary spanning tree.
+//! let g = complete(16, 1.0);
+//! let t = build_spanning_tree(&g, 0, SpanningTreeKind::BalancedBinary);
+//! let report = stretch(&g, &t);
+//! assert_eq!(report.graph_diameter, 1.0);
+//! assert!(report.max_stretch >= 2.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generators;
+pub mod graph;
+pub mod metric;
+pub mod shortest;
+pub mod spanning;
+pub mod stretch;
+pub mod tree;
+
+pub use graph::{Edge, Graph, NodeId};
+pub use metric::{check_metric_axioms, ExplicitMetric, FiniteMetric, GraphMetric, TreeMetric};
+pub use shortest::{bfs, shortest_paths, DistanceMatrix, ShortestPaths};
+pub use spanning::{build_spanning_tree, DisjointSet, SpanningTreeKind};
+pub use stretch::{stretch, StretchReport};
+pub use tree::RootedTree;

@@ -1,0 +1,205 @@
+//! Finite metric spaces.
+//!
+//! The analysis juggles several distance functions — the graph metric `d_G`, the tree
+//! metric `d_T`, and the space–time Manhattan metric `c_M` built on top of `d_T`
+//! (Definition 3.14). This module provides a small trait for finite (pseudo)metrics,
+//! concrete implementations backed by a [`DistanceMatrix`] or a [`RootedTree`], and a
+//! checker for the metric axioms used by the property tests.
+
+use crate::graph::NodeId;
+use crate::shortest::DistanceMatrix;
+use crate::tree::RootedTree;
+
+/// A symmetric distance function on the points `0..len()`.
+pub trait FiniteMetric {
+    /// Number of points.
+    fn len(&self) -> usize;
+    /// Distance between points `a` and `b`.
+    fn dist(&self, a: usize, b: usize) -> f64;
+    /// True if there are no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The shortest-path metric of a graph.
+#[derive(Debug, Clone)]
+pub struct GraphMetric {
+    dm: DistanceMatrix,
+}
+
+impl GraphMetric {
+    /// Wrap a precomputed distance matrix.
+    pub fn new(dm: DistanceMatrix) -> Self {
+        GraphMetric { dm }
+    }
+}
+
+impl FiniteMetric for GraphMetric {
+    fn len(&self) -> usize {
+        self.dm.node_count()
+    }
+    fn dist(&self, a: usize, b: usize) -> f64 {
+        self.dm.dist(a, b)
+    }
+}
+
+/// The path metric of a (rooted) tree.
+#[derive(Debug, Clone)]
+pub struct TreeMetric<'a> {
+    tree: &'a RootedTree,
+}
+
+impl<'a> TreeMetric<'a> {
+    /// Wrap a rooted tree.
+    pub fn new(tree: &'a RootedTree) -> Self {
+        TreeMetric { tree }
+    }
+}
+
+impl FiniteMetric for TreeMetric<'_> {
+    fn len(&self) -> usize {
+        self.tree.node_count()
+    }
+    fn dist(&self, a: usize, b: usize) -> f64 {
+        self.tree.distance(a, b)
+    }
+}
+
+/// An explicit metric given by a dense symmetric matrix (row-major, `n*n` entries).
+#[derive(Debug, Clone)]
+pub struct ExplicitMetric {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl ExplicitMetric {
+    /// Build from a closure evaluated on every ordered pair.
+    pub fn from_fn(n: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut d = vec![0.0; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                d[a * n + b] = f(a, b);
+            }
+        }
+        ExplicitMetric { n, d }
+    }
+}
+
+impl FiniteMetric for ExplicitMetric {
+    fn len(&self) -> usize {
+        self.n
+    }
+    fn dist(&self, a: usize, b: usize) -> f64 {
+        self.d[a * self.n + b]
+    }
+}
+
+/// Ways a candidate distance function can fail to be a metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricViolation {
+    /// `d(a, a) != 0`.
+    NonZeroSelfDistance(NodeId),
+    /// `d(a, b) < 0`.
+    Negative(NodeId, NodeId),
+    /// `d(a, b) != d(b, a)`.
+    Asymmetric(NodeId, NodeId),
+    /// `d(a, c) > d(a, b) + d(b, c)` beyond tolerance.
+    TriangleInequality(NodeId, NodeId, NodeId),
+}
+
+/// Check the (pseudo)metric axioms exhaustively. `O(n^3)` — intended for tests on
+/// small spaces. Returns all violations found (empty means the axioms hold).
+pub fn check_metric_axioms<M: FiniteMetric>(m: &M, tolerance: f64) -> Vec<MetricViolation> {
+    let n = m.len();
+    let mut violations = Vec::new();
+    for a in 0..n {
+        if m.dist(a, a).abs() > tolerance {
+            violations.push(MetricViolation::NonZeroSelfDistance(a));
+        }
+        for b in 0..n {
+            if m.dist(a, b) < -tolerance {
+                violations.push(MetricViolation::Negative(a, b));
+            }
+            if (m.dist(a, b) - m.dist(b, a)).abs() > tolerance {
+                violations.push(MetricViolation::Asymmetric(a, b));
+            }
+        }
+    }
+    for a in 0..n {
+        for b in 0..n {
+            for c in 0..n {
+                if m.dist(a, c) > m.dist(a, b) + m.dist(b, c) + tolerance {
+                    violations.push(MetricViolation::TriangleInequality(a, b, c));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::spanning::{build_spanning_tree, SpanningTreeKind};
+
+    #[test]
+    fn graph_metric_satisfies_axioms() {
+        let g = generators::grid(3, 4);
+        let m = GraphMetric::new(DistanceMatrix::new(&g));
+        assert_eq!(m.len(), 12);
+        assert!(!m.is_empty());
+        assert!(check_metric_axioms(&m, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn tree_metric_satisfies_axioms_and_dominates_graph_metric() {
+        let g = generators::cycle(9);
+        let t = build_spanning_tree(&g, 0, SpanningTreeKind::ShortestPath);
+        let tm = TreeMetric::new(&t);
+        let gm = GraphMetric::new(DistanceMatrix::new(&g));
+        assert!(check_metric_axioms(&tm, 1e-9).is_empty());
+        for a in 0..9 {
+            for b in 0..9 {
+                assert!(tm.dist(a, b) >= gm.dist(a, b) - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_metric_detects_violations() {
+        // Asymmetric, non-zero diagonal and triangle violation all at once.
+        let bad = ExplicitMetric::from_fn(3, |a, b| {
+            if a == b {
+                1.0
+            } else if (a, b) == (0, 1) {
+                5.0
+            } else if (a, b) == (1, 0) {
+                1.0
+            } else {
+                1.0
+            }
+        });
+        let violations = check_metric_axioms(&bad, 1e-9);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, MetricViolation::NonZeroSelfDistance(_))));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, MetricViolation::Asymmetric(_, _))));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, MetricViolation::TriangleInequality(_, _, _))));
+    }
+
+    #[test]
+    fn manhattan_style_explicit_metric_is_a_metric() {
+        // points = (position, time); distance = |dx| + |dt| — the shape of c_M.
+        let pts: [(f64, f64); 4] = [(0.0, 0.0), (1.0, 3.0), (4.0, 1.0), (2.0, 2.0)];
+        let m = ExplicitMetric::from_fn(pts.len(), |a, b| {
+            (pts[a].0 - pts[b].0).abs() + (pts[a].1 - pts[b].1).abs()
+        });
+        assert!(check_metric_axioms(&m, 1e-9).is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Shortest paths, distance matrices, eccentricities, diameter and radius.
+//!
+//! The analysis of the arrow protocol is phrased in terms of the graph distance
+//! `d_G(u, v)` and the tree distance `d_T(u, v)` (Section 3.1); the competitive bounds
+//! depend on the tree's diameter `D` and its stretch `s`. This module provides the
+//! distance machinery: Dijkstra (weighted), BFS (unweighted fast path) and all-pairs
+//! distance matrices.
+
+use crate::graph::{Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest path computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// Source node.
+    pub source: NodeId,
+    /// Distance from the source to each node (`f64::INFINITY` if unreachable).
+    pub dist: Vec<f64>,
+    /// Predecessor of each node on a shortest path from the source (`None` for the
+    /// source itself and unreachable nodes).
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// Reconstruct a shortest path from the source to `target` (inclusive of both
+    /// endpoints). Returns `None` if `target` is unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[target].is_infinite() {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by distance; tie-break on node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Single-source shortest paths with Dijkstra's algorithm.
+///
+/// Runs in `O((n + m) log n)`. Falls back to BFS automatically when the graph is
+/// unweighted (all weights exactly 1).
+pub fn shortest_paths(graph: &Graph, source: NodeId) -> ShortestPaths {
+    assert!(source < graph.node_count(), "source out of range");
+    if graph.is_unweighted() {
+        return bfs(graph, source);
+    }
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in graph.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                parent[v] = Some(u);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+    }
+}
+
+/// Single-source shortest paths by breadth-first search (unit edge weights assumed).
+pub fn bfs(graph: &Graph, source: NodeId) -> ShortestPaths {
+    assert!(source < graph.node_count(), "source out of range");
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source] = 0.0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in graph.neighbors(u) {
+            if dist[v].is_infinite() {
+                dist[v] = dist[u] + 1.0;
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+    }
+}
+
+/// All-pairs distance matrix, `n` single-source computations.
+///
+/// Memory is `O(n^2)`; fine up to a few thousand nodes which covers every experiment
+/// in the paper (the largest is 76 processors).
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Compute all-pairs shortest-path distances of `graph`.
+    pub fn new(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut dist = vec![f64::INFINITY; n * n];
+        for s in 0..n {
+            let sp = shortest_paths(graph, s);
+            dist[s * n..(s + 1) * n].copy_from_slice(&sp.dist);
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between `u` and `v` (`INFINITY` if disconnected).
+    pub fn dist(&self, u: NodeId, v: NodeId) -> f64 {
+        self.dist[u * self.n + v]
+    }
+
+    /// Eccentricity of `u`: max distance to any other node.
+    pub fn eccentricity(&self, u: NodeId) -> f64 {
+        (0..self.n)
+            .map(|v| self.dist(u, v))
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Diameter: max eccentricity over all nodes. 0 for graphs with < 2 nodes.
+    pub fn diameter(&self) -> f64 {
+        (0..self.n).map(|u| self.eccentricity(u)).fold(0.0, f64::max)
+    }
+
+    /// Radius: min eccentricity over all nodes.
+    pub fn radius(&self) -> f64 {
+        (0..self.n)
+            .map(|u| self.eccentricity(u))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// A node with minimum eccentricity (a "center"), breaking ties by smallest id.
+    pub fn center(&self) -> Option<NodeId> {
+        (0..self.n).min_by(|&a, &b| {
+            self.eccentricity(a)
+                .partial_cmp(&self.eccentricity(b))
+                .unwrap_or(Ordering::Equal)
+        })
+    }
+
+    /// True if every pair of nodes is at finite distance.
+    pub fn is_connected(&self) -> bool {
+        self.dist.iter().all(|d| d.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let g = path_graph(5);
+        let sp = shortest_paths(&g, 0);
+        assert_eq!(sp.dist, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(sp.path_to(4), Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(sp.path_to(0), Some(vec![0]));
+    }
+
+    #[test]
+    fn dijkstra_prefers_lighter_path() {
+        // 0 -1- 1 -1- 2  and a heavy direct edge 0 -5- 2
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]);
+        let sp = shortest_paths(&g, 0);
+        assert_eq!(sp.dist[2], 2.0);
+        assert_eq!(sp.path_to(2), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_infinite_distance() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let sp = shortest_paths(&g, 0);
+        assert!(sp.dist[2].is_infinite());
+        assert_eq!(sp.path_to(2), None);
+    }
+
+    #[test]
+    fn distance_matrix_diameter_radius_center() {
+        let g = path_graph(7);
+        let dm = DistanceMatrix::new(&g);
+        assert_eq!(dm.diameter(), 6.0);
+        assert_eq!(dm.radius(), 3.0);
+        assert_eq!(dm.center(), Some(3));
+        assert!(dm.is_connected());
+        assert_eq!(dm.dist(1, 5), 4.0);
+        assert_eq!(dm.dist(5, 1), 4.0);
+    }
+
+    #[test]
+    fn distance_matrix_weighted() {
+        let g = Graph::from_edges(4, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0), (0, 3, 20.0)]);
+        let dm = DistanceMatrix::new(&g);
+        assert_eq!(dm.dist(0, 3), 9.0);
+        assert_eq!(dm.diameter(), 9.0);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = Graph::new(1);
+        let dm = DistanceMatrix::new(&g);
+        assert_eq!(dm.diameter(), 0.0);
+        assert_eq!(dm.radius(), 0.0);
+        assert!(dm.is_connected());
+    }
+
+    #[test]
+    fn eccentricity_of_path_endpoint() {
+        let g = path_graph(5);
+        let dm = DistanceMatrix::new(&g);
+        assert_eq!(dm.eccentricity(0), 4.0);
+        assert_eq!(dm.eccentricity(2), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn out_of_range_source_panics() {
+        shortest_paths(&Graph::new(2), 7);
+    }
+}

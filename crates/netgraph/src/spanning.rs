@@ -1,0 +1,306 @@
+//! Spanning-tree construction.
+//!
+//! The arrow protocol runs on a *pre-selected* spanning tree whose choice determines
+//! its competitive ratio (the stretch `s` and diameter `D` both appear in the bound).
+//! Section 1.1 of the paper surveys the options: Demmer–Herlihy suggest a minimum
+//! spanning tree, Peleg–Reshef a minimum communication spanning tree, and the paper's
+//! own experiment uses a balanced binary tree over a complete graph. This module
+//! provides all of those constructors so the benchmark harness can ablate the choice.
+
+use crate::graph::{Graph, NodeId};
+use crate::shortest::{shortest_paths, DistanceMatrix};
+use crate::tree::RootedTree;
+use serde::{Deserialize, Serialize};
+
+/// Which spanning tree to build; used by harness configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanningTreeKind {
+    /// Breadth-first / shortest-path tree from the root.
+    ShortestPath,
+    /// Kruskal minimum spanning tree (by edge weight), rooted at the given root.
+    MinimumWeight,
+    /// A star centred at the root (only valid when the root is adjacent to everyone,
+    /// e.g. on a complete graph) — the "centralized-like" extreme.
+    Star,
+    /// A balanced binary tree in node-id heap order (ignores graph edges; only valid
+    /// on a complete graph) — the tree used in the paper's experiment.
+    BalancedBinary,
+    /// Greedy approximation of a minimum *communication* spanning tree: the
+    /// shortest-path tree rooted at the node minimising total distance to all others
+    /// (the 1-median), per Peleg–Reshef's recommendation for the sequential case.
+    MinimumCommunication,
+}
+
+/// Build the requested spanning tree of `graph`, rooted at `root`.
+///
+/// # Panics
+/// If the graph is disconnected, or the kind's structural requirements are not met
+/// (e.g. `Star` when the root is not adjacent to every node).
+pub fn build_spanning_tree(graph: &Graph, root: NodeId, kind: SpanningTreeKind) -> RootedTree {
+    assert!(graph.is_connected(), "graph must be connected");
+    assert!(root < graph.node_count(), "root out of range");
+    match kind {
+        SpanningTreeKind::ShortestPath => shortest_path_tree(graph, root),
+        SpanningTreeKind::MinimumWeight => minimum_spanning_tree(graph, root),
+        SpanningTreeKind::Star => star_tree(graph, root),
+        SpanningTreeKind::BalancedBinary => balanced_binary_spanning_tree(graph, root),
+        SpanningTreeKind::MinimumCommunication => minimum_communication_tree(graph),
+    }
+}
+
+/// Shortest-path (BFS/Dijkstra) tree rooted at `root`.
+pub fn shortest_path_tree(graph: &Graph, root: NodeId) -> RootedTree {
+    let sp = shortest_paths(graph, root);
+    let parents: Vec<Option<(NodeId, f64)>> = (0..graph.node_count())
+        .map(|v| {
+            sp.parent[v].map(|p| {
+                let w = graph
+                    .edge_weight(v, p)
+                    .expect("shortest-path parent must be adjacent");
+                (p, w)
+            })
+        })
+        .collect();
+    RootedTree::from_parents(&parents)
+}
+
+/// Kruskal minimum spanning tree (total edge weight), rooted at `root`.
+pub fn minimum_spanning_tree(graph: &Graph, root: NodeId) -> RootedTree {
+    let n = graph.node_count();
+    let mut edges: Vec<(f64, NodeId, NodeId)> = graph
+        .edges()
+        .iter()
+        .map(|e| (e.weight, e.u, e.v))
+        .collect();
+    // Deterministic order: by weight, then endpoints.
+    edges.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    let mut dsu = DisjointSet::new(n);
+    let mut tree = Graph::new(n);
+    for (w, u, v) in edges {
+        if dsu.union(u, v) {
+            tree.add_weighted_edge(u, v, w);
+        }
+    }
+    RootedTree::from_tree_graph(&tree, root)
+}
+
+/// A star spanning tree centred at `root` (requires the root to be adjacent to every
+/// other node, e.g. on a complete graph).
+pub fn star_tree(graph: &Graph, root: NodeId) -> RootedTree {
+    let n = graph.node_count();
+    let parents: Vec<Option<(NodeId, f64)>> = (0..n)
+        .map(|v| {
+            if v == root {
+                None
+            } else {
+                let w = graph.edge_weight(v, root).unwrap_or_else(|| {
+                    panic!("star tree requires root {root} adjacent to node {v}")
+                });
+                Some((root, w))
+            }
+        })
+        .collect();
+    RootedTree::from_parents(&parents)
+}
+
+/// The balanced binary spanning tree used in the paper's experiment: node `i`'s parent
+/// is `(i-1)/2` after relabelling so that `root` gets label 0. Every tree edge must be
+/// a graph edge (true on a complete graph).
+pub fn balanced_binary_spanning_tree(graph: &Graph, root: NodeId) -> RootedTree {
+    let n = graph.node_count();
+    // Relabel: position 0 is the root, the rest keep their relative order.
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.retain(|&v| v != root);
+    order.insert(0, root);
+    // order[pos] = node at heap position pos; parent of pos is (pos-1)/2.
+    let mut parents: Vec<Option<(NodeId, f64)>> = vec![None; n];
+    for pos in 1..n {
+        let node = order[pos];
+        let parent = order[(pos - 1) / 2];
+        let w = graph.edge_weight(node, parent).unwrap_or_else(|| {
+            panic!("balanced binary tree requires edge ({node},{parent}) in the graph")
+        });
+        parents[node] = Some((parent, w));
+    }
+    RootedTree::from_parents(&parents)
+}
+
+/// Greedy minimum *communication* spanning tree: the shortest-path tree rooted at the
+/// 1-median of the graph (the node minimising the sum of distances to all others).
+pub fn minimum_communication_tree(graph: &Graph) -> RootedTree {
+    let dm = DistanceMatrix::new(graph);
+    let n = graph.node_count();
+    let median = (0..n)
+        .min_by(|&a, &b| {
+            let sa: f64 = (0..n).map(|v| dm.dist(a, v)).sum();
+            let sb: f64 = (0..n).map(|v| dm.dist(b, v)).sum();
+            sa.partial_cmp(&sb).unwrap()
+        })
+        .expect("graph must be non-empty");
+    shortest_path_tree(graph, median)
+}
+
+/// Union-find with path compression and union by size.
+#[derive(Debug, Clone)]
+pub struct DisjointSet {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl DisjointSet {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSet {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    /// Merge the sets of `a` and `b`. Returns `true` if they were different sets.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn shortest_path_tree_preserves_root_distances() {
+        let g = generators::grid(4, 4);
+        let t = shortest_path_tree(&g, 0);
+        let sp = shortest_paths(&g, 0);
+        for v in 0..16 {
+            assert_eq!(t.root_distance(v), sp.dist[v], "node {v}");
+        }
+    }
+
+    #[test]
+    fn mst_total_weight_is_minimal_on_small_example() {
+        //  weights chosen so the MST is {0-1 (1), 1-2 (2), 2-3 (1)} = 4, not the direct 0-3 (10)
+        let g = Graph::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 3, 10.0), (0, 2, 5.0)],
+        );
+        let t = minimum_spanning_tree(&g, 0);
+        let total: f64 = (0..4).map(|v| t.parent_edge_weight(v)).sum();
+        assert_eq!(total, 4.0);
+    }
+
+    #[test]
+    fn mst_of_unweighted_graph_is_a_spanning_tree() {
+        let g = generators::erdos_renyi_connected(25, 0.2, 3);
+        let t = minimum_spanning_tree(&g, 0);
+        assert_eq!(t.node_count(), 25);
+        assert!(t.to_graph().is_tree());
+        // All tree edges are graph edges.
+        for v in 0..25 {
+            if let Some(p) = t.parent(v) {
+                assert!(g.has_edge(v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn star_tree_on_complete_graph() {
+        let g = generators::complete(8, 1.0);
+        let t = star_tree(&g, 3);
+        assert_eq!(t.root(), 3);
+        for v in 0..8 {
+            if v != 3 {
+                assert_eq!(t.parent(v), Some(3));
+            }
+        }
+        assert_eq!(t.hop_diameter(), 2);
+    }
+
+    #[test]
+    fn balanced_binary_tree_on_complete_graph_has_log_depth() {
+        let g = generators::complete(15, 1.0);
+        let t = balanced_binary_spanning_tree(&g, 4);
+        assert_eq!(t.root(), 4);
+        assert_eq!(t.node_count(), 15);
+        // depth of a 15-node complete binary tree is 3
+        let max_depth = (0..15).map(|v| t.depth(v)).max().unwrap();
+        assert_eq!(max_depth, 3);
+    }
+
+    #[test]
+    fn minimum_communication_tree_picks_central_root_on_path() {
+        let g = generators::path(9);
+        let t = minimum_communication_tree(&g);
+        assert_eq!(t.root(), 4);
+    }
+
+    #[test]
+    fn build_spanning_tree_dispatches() {
+        let g = generators::complete(10, 1.0);
+        for kind in [
+            SpanningTreeKind::ShortestPath,
+            SpanningTreeKind::MinimumWeight,
+            SpanningTreeKind::Star,
+            SpanningTreeKind::BalancedBinary,
+            SpanningTreeKind::MinimumCommunication,
+        ] {
+            let t = build_spanning_tree(&g, 0, kind);
+            assert_eq!(t.node_count(), 10);
+            assert!(t.to_graph().is_tree(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn disjoint_set_union_find() {
+        let mut d = DisjointSet::new(5);
+        assert!(d.union(0, 1));
+        assert!(d.union(1, 2));
+        assert!(!d.union(0, 2));
+        assert!(d.connected(0, 2));
+        assert!(!d.connected(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent")]
+    fn star_tree_requires_adjacency() {
+        let g = generators::path(5);
+        star_tree(&g, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_graph_panics() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        build_spanning_tree(&g, 0, SpanningTreeKind::ShortestPath);
+    }
+}

@@ -1,0 +1,337 @@
+//! The cost measures of Section 3.
+//!
+//! For two requests `r_i = (v_i, t_i)` and `r_j = (v_j, t_j)` the paper defines:
+//!
+//! * `c_A(r_i, r_j) = d_T(v_i, v_j)` — the latency arrow pays when it orders `r_j`
+//!   immediately after `r_i` (equation (1));
+//! * `c_T(r_i, r_j)` — the asymmetric "nearest-neighbour" cost (Definition 3.5):
+//!   `t_j - t_i + d_T(v_i, v_j)` when that is non-negative, else
+//!   `t_i - t_j + d_T(v_i, v_j)` (which makes `c_T ≥ 0`, Fact 3.6);
+//! * `c_M(r_i, r_j) = d_T(v_i, v_j) + |t_i - t_j|` — the Manhattan metric
+//!   (Definition 3.14);
+//! * `c_O(r_i, r_j) = max{d_T(v_i, v_j), t_i - t_j}` and
+//!   `c_Opt(r_i, r_j) = max{d_G(v_i, v_j), t_i - t_j}` — the lower bounds on the
+//!   latency an optimal offline algorithm pays for ordering `r_j` right after `r_i`
+//!   (equation (3)); note these are costs *of the edge into `r_j`*, so the time term
+//!   is `t_i - t_j` (positive only when the predecessor is issued later).
+//!
+//! The functions here operate on a [`RequestSet`] view which pairs the schedule with
+//! the tree (and optionally graph) distances and includes the virtual root request
+//! `r_0 = (root, 0)` at index 0, following the paper's indexing.
+
+use arrow_core::{Request, RequestId, RequestSchedule};
+use desim::SimTime;
+use netgraph::{DistanceMatrix, NodeId, RootedTree};
+use serde::{Deserialize, Serialize};
+
+/// A request set `R ∪ {r0}` together with the distance structures needed to evaluate
+/// the paper's cost functions. Index 0 is always the virtual root request.
+#[derive(Debug, Clone)]
+pub struct RequestSet {
+    /// Requests; index 0 is the virtual root request `(root, 0)`.
+    points: Vec<Request>,
+    /// The spanning tree (for `d_T`).
+    tree: RootedTree,
+    /// Graph distances (for `d_G`), if a graph distinct from the tree is relevant.
+    graph_dist: Option<DistanceMatrix>,
+}
+
+impl RequestSet {
+    /// Build a request set from a schedule and the spanning tree the protocol runs on.
+    pub fn new(schedule: &RequestSchedule, tree: &RootedTree) -> Self {
+        Self::with_graph_distances(schedule, tree, None)
+    }
+
+    /// Build a request set that also knows the graph metric `d_G` (needed for
+    /// `c_Opt`; when absent, `c_Opt` falls back to `c_O`, i.e. `d_G = d_T`).
+    pub fn with_graph_distances(
+        schedule: &RequestSchedule,
+        tree: &RootedTree,
+        graph_dist: Option<DistanceMatrix>,
+    ) -> Self {
+        let mut points = Vec::with_capacity(schedule.len() + 1);
+        points.push(Request {
+            id: RequestId::ROOT,
+            node: tree.root(),
+            time: SimTime::ZERO,
+        });
+        points.extend_from_slice(schedule.requests());
+        RequestSet {
+            points,
+            tree: tree.clone(),
+            graph_dist,
+        }
+    }
+
+    /// Number of points including the virtual root request.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if only the root request is present.
+    pub fn is_empty(&self) -> bool {
+        self.points.len() <= 1
+    }
+
+    /// The request at index `i` (index 0 is the root request).
+    pub fn request(&self, i: usize) -> &Request {
+        &self.points[i]
+    }
+
+    /// All points (root request first).
+    pub fn requests(&self) -> &[Request] {
+        &self.points
+    }
+
+    /// Index of a request id within this set.
+    pub fn index_of(&self, id: RequestId) -> Option<usize> {
+        self.points.iter().position(|r| r.id == id)
+    }
+
+    /// The spanning tree.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// Issue time of point `i` in time units.
+    pub fn time(&self, i: usize) -> f64 {
+        self.points[i].time.as_units_f64()
+    }
+
+    /// Node of point `i`.
+    pub fn node(&self, i: usize) -> NodeId {
+        self.points[i].node
+    }
+
+    /// Tree distance between the origins of points `i` and `j`.
+    pub fn d_tree(&self, i: usize, j: usize) -> f64 {
+        self.tree.distance(self.points[i].node, self.points[j].node)
+    }
+
+    /// Graph distance between the origins of points `i` and `j` (falls back to the
+    /// tree distance when no graph metric was supplied).
+    pub fn d_graph(&self, i: usize, j: usize) -> f64 {
+        match &self.graph_dist {
+            Some(dm) => dm.dist(self.points[i].node, self.points[j].node),
+            None => self.d_tree(i, j),
+        }
+    }
+
+    /// `c_A(r_i, r_j) = d_T(v_i, v_j)` — arrow's latency for ordering `r_j` right
+    /// after `r_i` (equation (1)).
+    pub fn cost_arrow(&self, i: usize, j: usize) -> f64 {
+        self.d_tree(i, j)
+    }
+
+    /// `c_T(r_i, r_j)` — the nearest-neighbour cost of Definition 3.5.
+    pub fn cost_t(&self, i: usize, j: usize) -> f64 {
+        let dt = self.d_tree(i, j);
+        let d = self.time(j) - self.time(i) + dt;
+        if d >= 0.0 {
+            d
+        } else {
+            self.time(i) - self.time(j) + dt
+        }
+    }
+
+    /// `c_M(r_i, r_j) = d_T + |Δt|` — the Manhattan metric of Definition 3.14.
+    pub fn cost_manhattan(&self, i: usize, j: usize) -> f64 {
+        self.d_tree(i, j) + (self.time(i) - self.time(j)).abs()
+    }
+
+    /// `c_O(r_i, r_j) = max{d_T(v_i, v_j), t_i - t_j}` (equation (3)): a lower bound on
+    /// the optimal latency of `r_j` when ordered right after `r_i`, measured on the tree.
+    pub fn cost_o(&self, i: usize, j: usize) -> f64 {
+        self.d_tree(i, j).max(self.time(i) - self.time(j)).max(0.0)
+    }
+
+    /// `c_Opt(r_i, r_j) = max{d_G(v_i, v_j), t_i - t_j}` (equation (3)): the same lower
+    /// bound measured on the communication graph.
+    pub fn cost_opt(&self, i: usize, j: usize) -> f64 {
+        self.d_graph(i, j).max(self.time(i) - self.time(j)).max(0.0)
+    }
+
+    /// Total cost of visiting the points in the order `perm` (a permutation of
+    /// `1..len()`, the root is the implicit start) under the given pairwise cost.
+    pub fn path_cost(&self, perm: &[usize], cost: impl Fn(&Self, usize, usize) -> f64) -> f64 {
+        let mut total = 0.0;
+        let mut prev = 0;
+        for &i in perm {
+            total += cost(self, prev, i);
+            prev = i;
+        }
+        total
+    }
+}
+
+/// Which cost function to use in generic helpers (harness configuration / reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostKind {
+    /// `c_A`: tree distance.
+    Arrow,
+    /// `c_T`: the asymmetric nearest-neighbour cost.
+    NearestNeighbor,
+    /// `c_M`: the Manhattan metric.
+    Manhattan,
+    /// `c_O`: `max{d_T, Δt}`.
+    OptimalTree,
+    /// `c_Opt`: `max{d_G, Δt}`.
+    OptimalGraph,
+}
+
+impl RequestSet {
+    /// Evaluate the chosen cost function on the pair `(i, j)`.
+    pub fn cost(&self, kind: CostKind, i: usize, j: usize) -> f64 {
+        match kind {
+            CostKind::Arrow => self.cost_arrow(i, j),
+            CostKind::NearestNeighbor => self.cost_t(i, j),
+            CostKind::Manhattan => self.cost_manhattan(i, j),
+            CostKind::OptimalTree => self.cost_o(i, j),
+            CostKind::OptimalGraph => self.cost_opt(i, j),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrow_core::workload;
+    use netgraph::generators;
+
+    /// Path 0-1-2-3-4 rooted at 0; requests at nodes 4 (t=0) and 1 (t=2).
+    fn small_set() -> RequestSet {
+        let tree_graph = generators::path(5);
+        let tree = RootedTree::from_tree_graph(&tree_graph, 0);
+        let schedule = RequestSchedule::from_pairs(&[
+            (4, SimTime::ZERO),
+            (1, SimTime::from_units(2)),
+        ]);
+        RequestSet::new(&schedule, &tree)
+    }
+
+    #[test]
+    fn indexing_and_basic_accessors() {
+        let rs = small_set();
+        assert_eq!(rs.len(), 3);
+        assert!(!rs.is_empty());
+        assert_eq!(rs.request(0).id, RequestId::ROOT);
+        assert_eq!(rs.node(0), 0);
+        assert_eq!(rs.node(1), 4);
+        assert_eq!(rs.time(2), 2.0);
+        assert_eq!(rs.index_of(RequestId::ROOT), Some(0));
+        assert_eq!(rs.index_of(RequestId(2)), Some(2));
+        assert_eq!(rs.index_of(RequestId(99)), None);
+    }
+
+    #[test]
+    fn arrow_cost_is_tree_distance() {
+        let rs = small_set();
+        assert_eq!(rs.cost_arrow(0, 1), 4.0);
+        assert_eq!(rs.cost_arrow(1, 2), 3.0);
+        assert_eq!(rs.cost_arrow(1, 1), 0.0);
+    }
+
+    #[test]
+    fn cost_t_matches_definition_3_5() {
+        let rs = small_set();
+        // r0 = (0, 0), r1 = (4, 0), r2 = (1, 2).
+        // c_T(r0, r1) = 0 - 0 + 4 = 4.
+        assert_eq!(rs.cost_t(0, 1), 4.0);
+        // c_T(r1, r2) = 2 - 0 + 3 = 5; c_T(r2, r1) = d = 0-2+3 = 1 >= 0 so 1.
+        assert_eq!(rs.cost_t(1, 2), 5.0);
+        assert_eq!(rs.cost_t(2, 1), 1.0);
+        // Asymmetry is expected.
+        assert_ne!(rs.cost_t(1, 2), rs.cost_t(2, 1));
+    }
+
+    #[test]
+    fn cost_t_negative_branch() {
+        // Request j issued *before* i by more than the distance: d < 0 branch.
+        let tree = RootedTree::from_tree_graph(&generators::path(3), 0);
+        let schedule = RequestSchedule::from_pairs(&[
+            (1, SimTime::ZERO),
+            (2, SimTime::from_units(10)),
+        ]);
+        let rs = RequestSet::new(&schedule, &tree);
+        // i = index of the later request (t=10, node 2), j = earlier (t=0, node 1).
+        // d = 0 - 10 + 1 = -9 < 0, so c_T = 10 - 0 + 1 = 11.
+        assert_eq!(rs.cost_t(2, 1), 11.0);
+        // Fact 3.6: c_T >= 0 for all pairs.
+        for i in 0..rs.len() {
+            for j in 0..rs.len() {
+                assert!(rs.cost_t(i, j) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn manhattan_and_optimal_costs() {
+        let rs = small_set();
+        // c_M(r1, r2) = 3 + |0 - 2| = 5.
+        assert_eq!(rs.cost_manhattan(1, 2), 5.0);
+        assert_eq!(rs.cost_manhattan(2, 1), 5.0);
+        // c_O(r1, r2) = max{3, 0 - 2} = 3 ; c_O(r2, r1) = max{3, 2 - 0} = 3.
+        assert_eq!(rs.cost_o(1, 2), 3.0);
+        assert_eq!(rs.cost_o(2, 1), 3.0);
+        // c_T dominates neither but is always <= c_M (used in Theorem 3.19's proof).
+        for i in 0..rs.len() {
+            for j in 0..rs.len() {
+                assert!(rs.cost_t(i, j) <= rs.cost_manhattan(i, j) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_opt_uses_graph_distances_when_available() {
+        // Cycle graph: tree is a path, so tree distance 4 but graph distance 1 for the
+        // endpoints.
+        let graph = generators::cycle(5);
+        let tree = netgraph::spanning::shortest_path_tree(&graph, 0);
+        let schedule = RequestSchedule::from_pairs(&[(4, SimTime::ZERO)]);
+        let rs = RequestSet::with_graph_distances(
+            &schedule,
+            &tree,
+            Some(DistanceMatrix::new(&graph)),
+        );
+        assert_eq!(rs.cost_o(0, 1), rs.d_tree(0, 1));
+        assert_eq!(rs.cost_opt(0, 1), 1.0);
+        assert!(rs.cost_opt(0, 1) <= rs.cost_o(0, 1));
+    }
+
+    #[test]
+    fn path_cost_sums_edges_in_order() {
+        let rs = small_set();
+        let cost = rs.path_cost(&[1, 2], RequestSet::cost_arrow);
+        assert_eq!(cost, 4.0 + 3.0);
+        let cost_rev = rs.path_cost(&[2, 1], RequestSet::cost_arrow);
+        assert_eq!(cost_rev, 1.0 + 3.0);
+    }
+
+    #[test]
+    fn cost_kind_dispatch_matches_direct_calls() {
+        let rs = small_set();
+        for i in 0..rs.len() {
+            for j in 0..rs.len() {
+                assert_eq!(rs.cost(CostKind::Arrow, i, j), rs.cost_arrow(i, j));
+                assert_eq!(rs.cost(CostKind::NearestNeighbor, i, j), rs.cost_t(i, j));
+                assert_eq!(rs.cost(CostKind::Manhattan, i, j), rs.cost_manhattan(i, j));
+                assert_eq!(rs.cost(CostKind::OptimalTree, i, j), rs.cost_o(i, j));
+                assert_eq!(rs.cost(CostKind::OptimalGraph, i, j), rs.cost_opt(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_burst_costs_are_symmetric_in_time() {
+        // With all requests at t=0, c_T = c_M = d_T.
+        let tree = RootedTree::from_tree_graph(&generators::balanced_binary_tree(7), 0);
+        let schedule = workload::one_shot_burst(&[1, 3, 6], SimTime::ZERO);
+        let rs = RequestSet::new(&schedule, &tree);
+        for i in 0..rs.len() {
+            for j in 0..rs.len() {
+                assert_eq!(rs.cost_t(i, j), rs.d_tree(i, j));
+                assert_eq!(rs.cost_manhattan(i, j), rs.d_tree(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # queuing-analysis — the competitive-analysis machinery of the paper
+//!
+//! Everything Section 3 and Section 4 of *"Dynamic Analysis of the Arrow Distributed
+//! Protocol"* need in executable form:
+//!
+//! * [`cost`] — the cost measures `c_A`, `c_T`, `c_M`, `c_O`, `c_Opt` over request
+//!   sets (Definitions 3.5, 3.14 and equation (3));
+//! * [`nn_tsp`] — nearest-neighbour TSP paths and the check behind the
+//!   characterisation of arrow's order (Lemma 3.8 / 3.20);
+//! * [`tsp_bounds`] — Held–Karp exact TSP paths, MST bounds, and the generalized
+//!   nearest-neighbour approximation factor of Theorem 3.18;
+//! * [`compress`] — the time-compression transformation of Lemma 3.11 / 3.12;
+//! * [`optimal`] — certified lower bounds on the optimal offline queuing cost
+//!   (Section 3.3, Lemma 3.17);
+//! * [`ratio`] — measured competitive ratios against the bound of Theorem 3.19/3.21;
+//! * [`lower_bound`] — the adversarial instances of Theorem 4.1 (Figure 9) and
+//!   Theorem 4.2;
+//! * [`theory`] — closed-form bound curves for plots.
+//!
+//! ## Example: verify the nearest-neighbour characterisation on a run
+//!
+//! ```
+//! use arrow_core::prelude::*;
+//! use desim::SimTime;
+//! use queuing_analysis::{cost::RequestSet, nn_tsp};
+//!
+//! let instance = Instance::complete_uniform(8, SpanningTreeKind::BalancedBinary);
+//! let schedule = workload::one_shot_burst(&(0..8).collect::<Vec<_>>(), SimTime::ZERO);
+//! let outcome = run(&instance, &Workload::OpenLoop(schedule.clone()),
+//!                   &RunConfig::analysis(ProtocolKind::Arrow));
+//!
+//! // Arrow's order, expressed as indices into the request set (root prepended)...
+//! let rs = RequestSet::new(&schedule, &instance.tree);
+//! let order: Vec<usize> = outcome.order.order().iter()
+//!     .map(|&id| rs.index_of(id).unwrap())
+//!     .collect();
+//! // ...is a nearest-neighbour TSP path under the cost c_T (Lemma 3.8).
+//! assert!(nn_tsp::check_nearest_neighbor(&rs, &order, RequestSet::cost_t, 1e-9).is_none());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compress;
+pub mod cost;
+pub mod lower_bound;
+pub mod nn_tsp;
+pub mod optimal;
+pub mod ratio;
+pub mod theory;
+pub mod tsp_bounds;
+
+pub use compress::{compress_schedule, is_compressed};
+pub use cost::{CostKind, RequestSet};
+pub use lower_bound::{theorem_4_1_instance, theorem_4_2_instance};
+pub use nn_tsp::{check_nearest_neighbor, nearest_neighbor_path};
+pub use optimal::{best_lower_bound, OptBound, OptBoundKind};
+pub use ratio::{measure_ratio, RatioReport};
+pub use tsp_bounds::{held_karp_path, mst_weight};

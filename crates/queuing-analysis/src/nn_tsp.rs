@@ -1,0 +1,195 @@
+//! Nearest-neighbour TSP paths over request sets.
+//!
+//! Lemma 3.8 (and Lemma 3.20 for the asynchronous model) is the heart of the paper's
+//! analysis: *the queuing order produced by the arrow protocol is a nearest-neighbour
+//! TSP path on `R ∪ {r0}` under the cost `c_T`, starting from the root request.* This
+//! module constructs nearest-neighbour paths for arbitrary cost functions and checks
+//! whether a given order satisfies the nearest-neighbour property — the latter is what
+//! the tests use to verify the protocol implementation against the characterisation
+//! (ties in `c_T` may be broken either way, so exact path equality is too strict).
+
+use crate::cost::RequestSet;
+
+/// A pairwise cost function over indices of a [`RequestSet`].
+pub type CostFn = fn(&RequestSet, usize, usize) -> f64;
+
+/// Build a nearest-neighbour path over all points of `rs`, starting at the root
+/// request (index 0) and using `cost` to pick the closest unvisited point at every
+/// step. Ties are broken towards the smaller index, which makes the construction
+/// deterministic.
+///
+/// Returns the visiting order of indices `1..rs.len()` (the root is implicit).
+pub fn nearest_neighbor_path(rs: &RequestSet, cost: CostFn) -> Vec<usize> {
+    let n = rs.len();
+    let mut visited = vec![false; n];
+    visited[0] = true;
+    let mut order = Vec::with_capacity(n.saturating_sub(1));
+    let mut current = 0usize;
+    for _ in 1..n {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 1..n {
+            if visited[j] {
+                continue;
+            }
+            let c = cost(rs, current, j);
+            match best {
+                None => best = Some((j, c)),
+                Some((_, bc)) if c < bc => best = Some((j, c)),
+                _ => {}
+            }
+        }
+        let (next, _) = best.expect("there is always an unvisited point left");
+        visited[next] = true;
+        order.push(next);
+        current = next;
+    }
+    order
+}
+
+/// Total cost of the path `0 → order[0] → order[1] → …` under `cost`.
+pub fn path_cost(rs: &RequestSet, order: &[usize], cost: CostFn) -> f64 {
+    let mut total = 0.0;
+    let mut prev = 0usize;
+    for &i in order {
+        total += cost(rs, prev, i);
+        prev = i;
+    }
+    total
+}
+
+/// A violation of the nearest-neighbour property at one step of a path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NnViolation {
+    /// Position in the order at which the violation occurs.
+    pub position: usize,
+    /// The point the path moved to.
+    pub chosen: usize,
+    /// The cost of that move.
+    pub chosen_cost: f64,
+    /// An unvisited point that was strictly closer.
+    pub closer: usize,
+    /// Its (strictly smaller) cost.
+    pub closer_cost: f64,
+}
+
+/// Check whether `order` (a permutation of `1..rs.len()`) is a nearest-neighbour path
+/// from the root under `cost`, allowing ties: at each step the chosen point's cost
+/// must be within `tolerance` of the minimum over all unvisited points.
+///
+/// Returns the first violation found, or `None` if the property holds.
+pub fn check_nearest_neighbor(
+    rs: &RequestSet,
+    order: &[usize],
+    cost: CostFn,
+    tolerance: f64,
+) -> Option<NnViolation> {
+    let n = rs.len();
+    assert_eq!(order.len(), n - 1, "order must cover every non-root point");
+    let mut visited = vec![false; n];
+    visited[0] = true;
+    let mut current = 0usize;
+    for (pos, &next) in order.iter().enumerate() {
+        let chosen_cost = cost(rs, current, next);
+        for j in 1..n {
+            if !visited[j] && j != next {
+                let c = cost(rs, current, j);
+                if c + tolerance < chosen_cost {
+                    return Some(NnViolation {
+                        position: pos,
+                        chosen: next,
+                        chosen_cost,
+                        closer: j,
+                        closer_cost: c,
+                    });
+                }
+            }
+        }
+        visited[next] = true;
+        current = next;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrow_core::RequestSchedule;
+    use desim::SimTime;
+    use netgraph::{generators, RootedTree};
+
+    fn line_set(positions: &[(usize, u64)]) -> RequestSet {
+        let tree = RootedTree::from_tree_graph(&generators::path(16), 0);
+        let schedule = RequestSchedule::from_pairs(
+            &positions
+                .iter()
+                .map(|&(v, t)| (v, SimTime::from_units(t)))
+                .collect::<Vec<_>>(),
+        );
+        RequestSet::new(&schedule, &tree)
+    }
+
+    #[test]
+    fn nn_path_on_simultaneous_requests_orders_by_distance() {
+        // Requests at nodes 2, 5, 9 at time 0: NN from the root (node 0) picks 2, 5, 9.
+        let rs = line_set(&[(5, 0), (2, 0), (9, 0)]);
+        let order = nearest_neighbor_path(&rs, RequestSet::cost_t);
+        let nodes: Vec<usize> = order.iter().map(|&i| rs.node(i)).collect();
+        assert_eq!(nodes, vec![2, 5, 9]);
+        assert!(check_nearest_neighbor(&rs, &order, RequestSet::cost_t, 1e-9).is_none());
+    }
+
+    #[test]
+    fn nn_path_accounts_for_time_offsets() {
+        // Node 1 requests very late: even though it is spatially closest to the root,
+        // c_T makes the earlier, farther request at node 9 come first.
+        let rs = line_set(&[(1, 100), (9, 0)]);
+        let order = nearest_neighbor_path(&rs, RequestSet::cost_t);
+        let nodes: Vec<usize> = order.iter().map(|&i| rs.node(i)).collect();
+        assert_eq!(nodes, vec![9, 1]);
+    }
+
+    #[test]
+    fn path_cost_matches_manual_sum() {
+        let rs = line_set(&[(3, 0), (7, 0)]);
+        let order = vec![1, 2];
+        let c = path_cost(&rs, &order, RequestSet::cost_arrow);
+        // root(0) -> node3 = 3, node3 -> node7 = 4.
+        assert_eq!(c, 7.0);
+    }
+
+    #[test]
+    fn violation_detected_for_non_nn_order() {
+        let rs = line_set(&[(2, 0), (9, 0)]);
+        // Visiting the far request first is not nearest-neighbour.
+        let bad_order = vec![2, 1];
+        let violation = check_nearest_neighbor(&rs, &bad_order, RequestSet::cost_t, 1e-9)
+            .expect("expected a violation");
+        assert_eq!(violation.position, 0);
+        assert!(violation.closer_cost < violation.chosen_cost);
+    }
+
+    #[test]
+    fn nn_construction_always_passes_its_own_check() {
+        for seed in 0..5u64 {
+            let positions: Vec<(usize, u64)> = (0..8)
+                .map(|i| (((seed as usize * 7 + i * 3) % 15) + 1, (i as u64 * seed) % 11))
+                .collect();
+            let rs = line_set(&positions);
+            for cost in [
+                RequestSet::cost_t as CostFn,
+                RequestSet::cost_manhattan as CostFn,
+                RequestSet::cost_arrow as CostFn,
+            ] {
+                let order = nearest_neighbor_path(&rs, cost);
+                assert!(check_nearest_neighbor(&rs, &order, cost, 1e-9).is_none());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every non-root point")]
+    fn short_order_panics() {
+        let rs = line_set(&[(2, 0), (9, 0)]);
+        check_nearest_neighbor(&rs, &[1], RequestSet::cost_t, 1e-9);
+    }
+}

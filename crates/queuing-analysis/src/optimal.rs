@@ -1,0 +1,205 @@
+//! Lower bounds on the cost of the optimal offline queuing algorithm.
+//!
+//! The optimal algorithm `Opt` of Section 3.3 knows all requests in advance, may pick
+//! any queuing order, and communicates over the graph `G`. Its total latency is lower
+//! bounded by `min_π Σ c_Opt(r_π(i-1), r_π(i)) ≥ (1/s) · min_π Σ c_O(...)`
+//! (equation (4)). The paper never runs `Opt` — it only ever uses these bounds — and
+//! neither do we: the measured competitive ratios divide arrow's real cost by a
+//! certified *lower bound* on `Opt`, so the reported ratios are upper bounds on the
+//! true ratio and can be compared directly against the `O(s · log D)` theorem.
+//!
+//! Estimators, from tight-and-expensive to loose-and-cheap:
+//!
+//! 1. [`exact_optimal_cost`] — Held–Karp over `c_Opt` (exact `min_π`, ≤ ~18 requests);
+//! 2. [`manhattan_mst_bound`] — `MST_{c_M} / 12`, via Lemma 3.17 (`C_M ≤ 12 C_O`) and
+//!    the fact that any path costs at least the MST weight;
+//! 3. [`distance_only_bound`] — `MST_{d_G} `, ignoring time altogether (every request
+//!    except possibly the first must be reached over the graph).
+
+use crate::cost::RequestSet;
+use crate::tsp_bounds::{held_karp_path, mst_weight};
+use serde::{Deserialize, Serialize};
+
+/// Which estimator produced an optimal-cost bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptBoundKind {
+    /// Exact Held–Karp minimisation of `Σ c_Opt` over all orders.
+    Exact,
+    /// `MST` under the Manhattan metric divided by 12 (Lemma 3.17).
+    ManhattanMst,
+    /// `MST` under the graph distance only.
+    DistanceMst,
+}
+
+/// A certified lower bound on the optimal offline cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptBound {
+    /// The bound value (total latency, in time units).
+    pub value: f64,
+    /// Which estimator produced it.
+    pub kind: OptBoundKind,
+}
+
+/// Exact optimal cost `min_π Σ c_Opt(π)` by Held–Karp. Only for small request sets.
+pub fn exact_optimal_cost(rs: &RequestSet) -> OptBound {
+    let (value, _) = held_karp_path(rs, RequestSet::cost_opt);
+    OptBound {
+        value,
+        kind: OptBoundKind::Exact,
+    }
+}
+
+/// The Manhattan-MST lower bound: any order's `c_M`-cost is at least the `c_M`-MST
+/// weight, and `C_M ≤ 12 C_O` for every order (Lemma 3.17), with `C_O ≤ s · C_Opt`
+/// handled by the caller via [`crate::ratio`]. So `Opt_T ≥ MST_{c_M} / 12` where
+/// `Opt_T` is the optimum measured with tree distances.
+pub fn manhattan_mst_bound(rs: &RequestSet) -> OptBound {
+    let value = mst_weight(rs, RequestSet::cost_manhattan) / 12.0;
+    OptBound {
+        value,
+        kind: OptBoundKind::ManhattanMst,
+    }
+}
+
+/// A purely spatial lower bound: the optimal algorithm must at least connect all
+/// request origins over the graph, so its total latency is at least the graph-distance
+/// MST weight of the request set.
+pub fn distance_only_bound(rs: &RequestSet) -> OptBound {
+    let value = mst_weight(rs, RequestSet::cost_opt_distance_only);
+    OptBound {
+        value,
+        kind: OptBoundKind::DistanceMst,
+    }
+}
+
+impl RequestSet {
+    /// Helper cost for [`distance_only_bound`]: just the graph distance.
+    pub fn cost_opt_distance_only(&self, i: usize, j: usize) -> f64 {
+        self.d_graph(i, j)
+    }
+}
+
+/// The best (largest) applicable lower bound for a request set: exact when the set is
+/// small enough, otherwise the max of the MST-based bounds.
+pub fn best_lower_bound(rs: &RequestSet) -> OptBound {
+    if rs.len() <= 15 {
+        let exact = exact_optimal_cost(rs);
+        // The exact bound dominates by definition, but guard against degenerate zero
+        // values (e.g. all requests at the root at time 0) to avoid division by zero
+        // downstream.
+        if exact.value > 0.0 {
+            return exact;
+        }
+    }
+    let a = manhattan_mst_bound(rs);
+    let b = distance_only_bound(rs);
+    if a.value >= b.value {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrow_core::RequestSchedule;
+    use desim::SimTime;
+    use netgraph::{generators, DistanceMatrix, RootedTree};
+
+    fn set_on_path(positions: &[(usize, u64)], n: usize) -> RequestSet {
+        let tree = RootedTree::from_tree_graph(&generators::path(n), 0);
+        let schedule = RequestSchedule::from_pairs(
+            &positions
+                .iter()
+                .map(|&(v, t)| (v, SimTime::from_units(t)))
+                .collect::<Vec<_>>(),
+        );
+        RequestSet::new(&schedule, &tree)
+    }
+
+    #[test]
+    fn exact_bound_on_a_simple_line() {
+        // Simultaneous requests at 2 and 6 on a path rooted at 0: Opt must reach node 2
+        // (cost >= 2) and then node 6 (cost >= 4) or vice versa; optimum is 2 + 4 = 6.
+        let rs = set_on_path(&[(2, 0), (6, 0)], 8);
+        let b = exact_optimal_cost(&rs);
+        assert_eq!(b.kind, OptBoundKind::Exact);
+        assert_eq!(b.value, 6.0);
+    }
+
+    #[test]
+    fn exact_bound_includes_waiting_time() {
+        // A single request at node 1 issued at t = 10: Opt cannot inform anyone before
+        // the request exists... but the latency of the first request only counts from
+        // its issue, so the bound is just the distance 1.
+        let rs = set_on_path(&[(1, 10)], 4);
+        assert_eq!(exact_optimal_cost(&rs).value, 1.0);
+        // Two requests at the same node, the second issued *before* the first in the
+        // chosen order costs the waiting time t_i - t_j.
+        let rs2 = set_on_path(&[(3, 0), (3, 5)], 6);
+        // Optimal order: (3,0) then (3,5): c = 3 (reach node 3) + 0 = 3.
+        assert_eq!(exact_optimal_cost(&rs2).value, 3.0);
+    }
+
+    #[test]
+    fn mst_bounds_never_exceed_exact() {
+        for seed in 0..5u64 {
+            let positions: Vec<(usize, u64)> = (0..7)
+                .map(|i| ((1 + (i * 3 + seed as usize) % 10), (i as u64 * 2 + seed) % 8))
+                .collect();
+            let rs = set_on_path(&positions, 12);
+            let exact = exact_optimal_cost(&rs).value;
+            let manhattan = manhattan_mst_bound(&rs).value;
+            let spatial = distance_only_bound(&rs).value;
+            assert!(
+                manhattan <= exact + 1e-9,
+                "seed {seed}: manhattan {manhattan} > exact {exact}"
+            );
+            // The distance-only bound uses d_G <= c_Opt edge-wise and MST <= any path.
+            assert!(
+                spatial <= exact + 1e-9,
+                "seed {seed}: spatial {spatial} > exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn best_lower_bound_picks_exact_for_small_sets() {
+        let rs = set_on_path(&[(2, 0), (6, 0)], 8);
+        let b = best_lower_bound(&rs);
+        assert_eq!(b.kind, OptBoundKind::Exact);
+    }
+
+    #[test]
+    fn best_lower_bound_uses_mst_for_large_sets() {
+        let positions: Vec<(usize, u64)> = (0..30).map(|i| (1 + i % 14, (i / 3) as u64)).collect();
+        let rs = set_on_path(&positions, 16);
+        let b = best_lower_bound(&rs);
+        assert!(matches!(
+            b.kind,
+            OptBoundKind::ManhattanMst | OptBoundKind::DistanceMst
+        ));
+        assert!(b.value > 0.0);
+    }
+
+    #[test]
+    fn graph_distances_tighten_the_spatial_bound() {
+        // On a cycle, the tree forces long detours but Opt can use the short way round.
+        let graph = generators::cycle(10);
+        let tree = netgraph::spanning::shortest_path_tree(&graph, 0);
+        let schedule = RequestSchedule::from_pairs(&[
+            (5, SimTime::ZERO),
+            (9, SimTime::ZERO),
+        ]);
+        let with_graph = RequestSet::with_graph_distances(
+            &schedule,
+            &tree,
+            Some(DistanceMatrix::new(&graph)),
+        );
+        let tree_only = RequestSet::new(&schedule, &tree);
+        assert!(
+            distance_only_bound(&with_graph).value < distance_only_bound(&tree_only).value
+        );
+    }
+}

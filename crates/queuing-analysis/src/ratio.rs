@@ -1,0 +1,158 @@
+//! Measured competitive ratios.
+//!
+//! Given an instance and a request schedule, run the arrow protocol, lower bound the
+//! optimal offline cost and report the ratio together with the theoretical bound it
+//! must stay under (Theorem 3.19 / 3.21). Because the denominator is a certified
+//! *lower bound* on the optimum, the reported ratio is an upper bound on the true
+//! competitive ratio — if it stays below the theorem's bound, the theorem is
+//! corroborated.
+
+use crate::compress::compress_schedule;
+use crate::cost::RequestSet;
+use crate::optimal::{best_lower_bound, OptBound};
+use crate::theory;
+use arrow_core::{run, Instance, ProtocolKind, RequestSchedule, RunConfig, Workload};
+use netgraph::DistanceMatrix;
+use serde::{Deserialize, Serialize};
+
+/// The result of one competitive-ratio measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatioReport {
+    /// Number of requests in the instance.
+    pub requests: usize,
+    /// Arrow's measured total latency (Definition 3.3).
+    pub arrow_cost: f64,
+    /// The certified lower bound on the optimal offline cost.
+    pub opt_lower_bound: f64,
+    /// Which estimator produced the bound.
+    pub opt_bound: OptBound,
+    /// `arrow_cost / opt_lower_bound` — an upper bound on the true competitive ratio.
+    pub ratio: f64,
+    /// Stretch of the spanning tree.
+    pub stretch: f64,
+    /// Diameter of the spanning tree.
+    pub tree_diameter: f64,
+    /// The constant-explicit upper bound of Theorem 3.19.
+    pub theorem_bound: f64,
+    /// The asymptotic reference curve `s · log₂ D`.
+    pub bound_shape: f64,
+}
+
+impl RatioReport {
+    /// True if the measured ratio respects the theorem's bound.
+    pub fn within_bound(&self) -> bool {
+        self.ratio <= self.theorem_bound + 1e-9
+    }
+}
+
+/// Measure the competitive ratio of the arrow protocol on one instance.
+///
+/// `config` should normally be [`RunConfig::analysis`] for [`ProtocolKind::Arrow`]
+/// (synchronous or asynchronous); the protocol field is overridden to Arrow.
+pub fn measure_ratio(
+    instance: &Instance,
+    schedule: &RequestSchedule,
+    config: &RunConfig,
+) -> RatioReport {
+    let mut config = config.clone();
+    config.protocol = ProtocolKind::Arrow;
+
+    let outcome = run(instance, &Workload::OpenLoop(schedule.clone()), &config);
+    let arrow_cost = outcome.total_latency;
+
+    // Lower bound the optimum on the *compressed* schedule (Lemma 3.11 justifies the
+    // transformation: it cannot increase the optimal cost), with graph distances.
+    let compressed = compress_schedule(schedule, &instance.tree);
+    let rs = RequestSet::with_graph_distances(
+        &compressed,
+        &instance.tree,
+        Some(DistanceMatrix::new(&instance.graph)),
+    );
+    let opt_bound = best_lower_bound(&rs);
+    let opt = opt_bound.value.max(f64::MIN_POSITIVE);
+
+    let report = instance.stretch_report();
+    RatioReport {
+        requests: schedule.len(),
+        arrow_cost,
+        opt_lower_bound: opt_bound.value,
+        opt_bound,
+        ratio: arrow_cost / opt,
+        stretch: report.max_stretch,
+        tree_diameter: report.tree_diameter,
+        theorem_bound: theory::upper_bound_constant(report.max_stretch, report.tree_diameter),
+        bound_shape: theory::upper_bound_shape(report.max_stretch, report.tree_diameter),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrow_core::workload;
+    use desim::SimTime;
+    use netgraph::spanning::SpanningTreeKind;
+
+    #[test]
+    fn sequential_requests_have_ratio_at_most_the_sequential_bound() {
+        // In the sequential case the ratio is at most the stretch (times slack from
+        // the lower-bound estimator).
+        let instance = Instance::complete_uniform(10, SpanningTreeKind::BalancedBinary);
+        let schedule = workload::sequential_round_robin(&(0..10).collect::<Vec<_>>(), 10, 50.0);
+        let report = measure_ratio(&instance, &schedule, &RunConfig::analysis(ProtocolKind::Arrow));
+        assert!(report.within_bound(), "ratio {} > bound {}", report.ratio, report.theorem_bound);
+        assert!(report.ratio >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn concurrent_burst_respects_theorem_bound() {
+        let instance = Instance::complete_uniform(12, SpanningTreeKind::BalancedBinary);
+        let nodes: Vec<usize> = (0..12).collect();
+        let schedule = workload::one_shot_burst(&nodes, SimTime::ZERO);
+        let report = measure_ratio(&instance, &schedule, &RunConfig::analysis(ProtocolKind::Arrow));
+        assert!(
+            report.within_bound(),
+            "ratio {} exceeds theorem bound {}",
+            report.ratio,
+            report.theorem_bound
+        );
+        assert_eq!(report.requests, 12);
+        assert!(report.opt_lower_bound > 0.0);
+    }
+
+    #[test]
+    fn random_workloads_respect_the_bound_sync_and_async() {
+        let instance = Instance::complete_uniform(8, SpanningTreeKind::BalancedBinary);
+        for seed in 0..3u64 {
+            let schedule = workload::poisson(8, 2.0, 12.0, seed);
+            if schedule.is_empty() {
+                continue;
+            }
+            let sync = measure_ratio(
+                &instance,
+                &schedule,
+                &RunConfig::analysis(ProtocolKind::Arrow),
+            );
+            assert!(sync.within_bound(), "sync seed {seed}: {}", sync.ratio);
+            let async_report = measure_ratio(
+                &instance,
+                &schedule,
+                &RunConfig::analysis(ProtocolKind::Arrow).asynchronous(seed),
+            );
+            assert!(
+                async_report.within_bound(),
+                "async seed {seed}: {}",
+                async_report.ratio
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_instance_shows_a_ratio_well_above_one() {
+        // On the Theorem 4.1 instance the ratio should be noticeably larger than 1
+        // (it grows like log D / log log D).
+        let (instance, schedule) = crate::lower_bound::theorem_4_1_instance(32, 4);
+        let report = measure_ratio(&instance, &schedule, &RunConfig::analysis(ProtocolKind::Arrow));
+        assert!(report.ratio > 1.5, "ratio only {}", report.ratio);
+        assert!(report.within_bound());
+    }
+}

@@ -1,0 +1,77 @@
+//! Closed-form expressions from the paper's theorems, used by the experiment harness
+//! to plot measured competitive ratios against the proven bounds.
+
+/// The explicit constant behind Theorem 3.19's `O(s · log D)`: following the proof,
+/// `cost_arrow ≤ (3⌈log₂(3D)⌉ + 1) · C_M` and `C_M ≤ 12 · C_O ≤ 12 · s · cost_Opt`,
+/// so the competitive ratio is at most `12 · s · (3⌈log₂(3D)⌉ + 1)`.
+/// (For plots we usually also show the un-constant-ed `s · log₂ D`.)
+pub fn upper_bound_constant(stretch: f64, tree_diameter: f64) -> f64 {
+    let d = tree_diameter.max(2.0);
+    12.0 * stretch * (3.0 * (3.0 * d).log2().ceil() + 1.0)
+}
+
+/// The asymptotic shape `s · log₂ D` of the upper bound (no constants), convenient as
+/// a reference curve.
+pub fn upper_bound_shape(stretch: f64, tree_diameter: f64) -> f64 {
+    stretch * tree_diameter.max(2.0).log2()
+}
+
+/// The lower-bound shape of Theorem 4.1: `s + log D / log log D`.
+pub fn lower_bound_shape(stretch: f64, tree_diameter: f64) -> f64 {
+    let d = tree_diameter.max(4.0);
+    stretch + d.log2() / d.log2().log2()
+}
+
+/// The lower-bound shape of Theorem 4.2: `s · log(D/s) / log log(D/s)`.
+pub fn lower_bound_shape_4_2(stretch: f64, tree_diameter: f64) -> f64 {
+    let x = (tree_diameter / stretch).max(4.0);
+    stretch * x.log2() / x.log2().log2()
+}
+
+/// The sequential-case competitive ratio of Demmer–Herlihy quoted in Section 1.1:
+/// exactly the stretch `s` of the spanning tree.
+pub fn sequential_ratio(stretch: f64) -> f64 {
+    stretch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_bound_grows_with_stretch_and_diameter() {
+        assert!(upper_bound_constant(2.0, 64.0) > upper_bound_constant(1.0, 64.0));
+        assert!(upper_bound_constant(1.0, 1024.0) > upper_bound_constant(1.0, 64.0));
+        assert!(upper_bound_shape(1.0, 64.0) >= 6.0 - 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_is_below_upper_bound() {
+        for &d in &[16.0, 64.0, 256.0, 1024.0, 65536.0] {
+            for &s in &[1.0, 2.0, 4.0, 8.0] {
+                assert!(
+                    lower_bound_shape(s, d) <= upper_bound_constant(s, d),
+                    "s={s}, D={d}"
+                );
+                assert!(lower_bound_shape_4_2(s, d) <= upper_bound_constant(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_produce_nan() {
+        for f in [
+            upper_bound_constant(1.0, 0.0),
+            upper_bound_shape(1.0, 1.0),
+            lower_bound_shape(1.0, 2.0),
+            lower_bound_shape_4_2(1.0, 1.0),
+        ] {
+            assert!(f.is_finite());
+        }
+    }
+
+    #[test]
+    fn sequential_ratio_is_the_stretch() {
+        assert_eq!(sequential_ratio(3.5), 3.5);
+    }
+}
