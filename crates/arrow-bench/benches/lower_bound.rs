@@ -23,9 +23,11 @@ fn bench_fig9(c: &mut Criterion) {
     for &d in &[16usize, 64, 256] {
         let ratio = lower_bound_ratio(d);
         println!("fig9 D={d}: measured competitive ratio {ratio:.3}");
-        group.bench_with_input(BenchmarkId::new("arrow_on_adversarial_path", d), &d, |b, &d| {
-            b.iter(|| lower_bound_ratio(d))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("arrow_on_adversarial_path", d),
+            &d,
+            |b, &d| b.iter(|| lower_bound_ratio(d)),
+        );
     }
     group.finish();
 }

@@ -1,0 +1,35 @@
+//! Benchmark of raw simulator throughput: full arrow protocol runs on the paper's
+//! experiment topology, reported as wall-clock per run (the events/sec number for the
+//! committed baseline comes from the `bench_baseline` binary, which times the same
+//! kernel via `arrow_bench::throughput`).
+
+use arrow_bench::throughput::throughput_workload;
+use arrow_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    for &(nodes, requests) in &[(64usize, 2_000usize), (256, 5_000), (512, 10_000)] {
+        let (instance, schedule) = throughput_workload(nodes, requests, 1);
+        let config = RunConfig::analysis(ProtocolKind::Arrow);
+        // Warm the cached distance structures so the bench times the simulator.
+        let warm = run_schedule(&instance, &schedule, &config);
+        println!(
+            "sim_throughput n={nodes} requests={requests}: {} events per run",
+            warm.sim_events
+        );
+        group.bench_with_input(
+            BenchmarkId::new("arrow", format!("n{nodes}_r{requests}")),
+            &nodes,
+            |b, _| b.iter(|| run_schedule(&instance, &schedule, &config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_throughput
+}
+criterion_main!(benches);

@@ -14,7 +14,10 @@ fn main() {
     let seeds: Vec<u64> = (1..=8).collect();
 
     println!("Theorem 3.21: synchronous vs. asynchronous executions of the arrow protocol");
-    println!("({nodes} nodes, {requests} requests, {} random seeds)", seeds.len());
+    println!(
+        "({nodes} nodes, {requests} requests, {} random seeds)",
+        seeds.len()
+    );
     println!();
 
     let rows = async_vs_sync(nodes, requests, &seeds);

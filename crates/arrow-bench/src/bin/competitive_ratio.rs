@@ -51,6 +51,10 @@ fn main() {
     println!("{}", table.render());
     println!(
         "All measured ratios within the Theorem 3.19 bound: {}",
-        if all_ok { "yes" } else { "NO — protocol or analysis bug" }
+        if all_ok {
+            "yes"
+        } else {
+            "NO — protocol or analysis bug"
+        }
     );
 }

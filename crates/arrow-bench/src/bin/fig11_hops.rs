@@ -14,7 +14,9 @@ fn main() {
     let service_time: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.2);
     let processor_counts = [2, 4, 8, 16, 24, 32, 48, 64, 76];
 
-    println!("Figure 11: average hops per queuing request, {requests_per_node} enqueues per processor");
+    println!(
+        "Figure 11: average hops per queuing request, {requests_per_node} enqueues per processor"
+    );
     println!();
 
     let rows = figure_11(&processor_counts, requests_per_node, service_time);

@@ -1,17 +1,38 @@
 //! The experiments of the paper's evaluation section, one function per figure.
 //!
 //! All functions are deterministic given their arguments (seeds included in the
-//! arguments where randomness is involved), so the binaries and the Criterion
-//! benchmarks report reproducible numbers.
+//! arguments where randomness is involved), so the binaries and the benchmarks report
+//! reproducible numbers.
+//!
+//! Every sweep is parallelized over its independent grid points (processor counts,
+//! diameters, seeds, topology×workload combinations) with rayon. Results are
+//! index-addressed — each grid point computes its row independently and rows are
+//! collected in input order — so the output is bit-identical to the serial
+//! evaluation regardless of thread count or scheduling. The `*_serial` variants run
+//! the same row functions without the thread pool; the determinism regression tests
+//! compare the two.
 
 use arrow_core::prelude::*;
 use desim::SimTime;
 use queuing_analysis::lower_bound;
 use queuing_analysis::{measure_ratio, RatioReport};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Map `items` through `f`, in parallel (deterministic, order-preserving) or
+/// serially. Both paths produce identical output; the serial path exists as the
+/// reference for the determinism regression tests.
+fn map_rows<T: Send, R: Send>(items: Vec<T>, parallel: bool, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    if parallel {
+        items.into_par_iter().map(f).collect()
+    } else {
+        items.into_iter().map(f).collect()
+    }
+}
 
 /// One row of the Figure 10 reproduction (total latency vs. number of processors).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Fig10Row {
     /// Number of processors.
     pub processors: usize,
@@ -27,6 +48,33 @@ pub struct Fig10Row {
     pub centralized_mean_latency: f64,
 }
 
+fn figure_10_row(n: usize, requests_per_node: u64, local_service_time: f64) -> Fig10Row {
+    let instance = Instance::complete_uniform(n, SpanningTreeKind::BalancedBinary);
+    let spec = ClosedLoopSpec {
+        requests_per_node,
+        local_service_time,
+    };
+    let workload = Workload::ClosedLoop(spec);
+    let arrow = run(
+        &instance,
+        &workload,
+        &RunConfig::experiment(ProtocolKind::Arrow, local_service_time),
+    );
+    let central = run(
+        &instance,
+        &workload,
+        &RunConfig::experiment(ProtocolKind::Centralized, local_service_time),
+    );
+    Fig10Row {
+        processors: n,
+        requests_per_node,
+        arrow_makespan: arrow.makespan,
+        centralized_makespan: central.makespan,
+        arrow_mean_latency: arrow.mean_completion_latency,
+        centralized_mean_latency: central.mean_completion_latency,
+    }
+}
+
 /// Reproduce Figure 10: closed-loop workload on a complete graph with a balanced
 /// binary spanning tree, arrow vs. centralized, sweeping the processor count.
 ///
@@ -38,39 +86,25 @@ pub fn figure_10(
     requests_per_node: u64,
     local_service_time: f64,
 ) -> Vec<Fig10Row> {
-    processor_counts
-        .iter()
-        .map(|&n| {
-            let instance = Instance::complete_uniform(n, SpanningTreeKind::BalancedBinary);
-            let spec = ClosedLoopSpec {
-                requests_per_node,
-                local_service_time,
-            };
-            let workload = Workload::ClosedLoop(spec);
-            let arrow = run(
-                &instance,
-                &workload,
-                &RunConfig::experiment(ProtocolKind::Arrow, local_service_time),
-            );
-            let central = run(
-                &instance,
-                &workload,
-                &RunConfig::experiment(ProtocolKind::Centralized, local_service_time),
-            );
-            Fig10Row {
-                processors: n,
-                requests_per_node,
-                arrow_makespan: arrow.makespan,
-                centralized_makespan: central.makespan,
-                arrow_mean_latency: arrow.mean_completion_latency,
-                centralized_mean_latency: central.mean_completion_latency,
-            }
-        })
-        .collect()
+    map_rows(processor_counts.to_vec(), true, |n| {
+        figure_10_row(n, requests_per_node, local_service_time)
+    })
+}
+
+/// Serial reference implementation of [`figure_10`] (identical output).
+#[doc(hidden)]
+pub fn figure_10_serial(
+    processor_counts: &[usize],
+    requests_per_node: u64,
+    local_service_time: f64,
+) -> Vec<Fig10Row> {
+    map_rows(processor_counts.to_vec(), false, |n| {
+        figure_10_row(n, requests_per_node, local_service_time)
+    })
 }
 
 /// One row of the Figure 11 reproduction (average hops per queuing operation).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Fig11Row {
     /// Number of processors.
     pub processors: usize,
@@ -83,6 +117,31 @@ pub struct Fig11Row {
     pub centralized_hops_per_request: f64,
 }
 
+fn figure_11_row(n: usize, requests_per_node: u64, local_service_time: f64) -> Fig11Row {
+    let instance = Instance::complete_uniform(n, SpanningTreeKind::BalancedBinary);
+    let spec = ClosedLoopSpec {
+        requests_per_node,
+        local_service_time,
+    };
+    let workload = Workload::ClosedLoop(spec);
+    let arrow = run(
+        &instance,
+        &workload,
+        &RunConfig::experiment(ProtocolKind::Arrow, local_service_time),
+    );
+    let central = run(
+        &instance,
+        &workload,
+        &RunConfig::experiment(ProtocolKind::Centralized, local_service_time),
+    );
+    Fig11Row {
+        processors: n,
+        requests_per_node,
+        arrow_hops_per_request: arrow.hops_per_request,
+        centralized_hops_per_request: central.hops_per_request,
+    }
+}
+
 /// Reproduce Figure 11: the average number of inter-processor messages per queuing
 /// operation under the same closed-loop workload as Figure 10.
 pub fn figure_11(
@@ -90,37 +149,25 @@ pub fn figure_11(
     requests_per_node: u64,
     local_service_time: f64,
 ) -> Vec<Fig11Row> {
-    processor_counts
-        .iter()
-        .map(|&n| {
-            let instance = Instance::complete_uniform(n, SpanningTreeKind::BalancedBinary);
-            let spec = ClosedLoopSpec {
-                requests_per_node,
-                local_service_time,
-            };
-            let workload = Workload::ClosedLoop(spec);
-            let arrow = run(
-                &instance,
-                &workload,
-                &RunConfig::experiment(ProtocolKind::Arrow, local_service_time),
-            );
-            let central = run(
-                &instance,
-                &workload,
-                &RunConfig::experiment(ProtocolKind::Centralized, local_service_time),
-            );
-            Fig11Row {
-                processors: n,
-                requests_per_node,
-                arrow_hops_per_request: arrow.hops_per_request,
-                centralized_hops_per_request: central.hops_per_request,
-            }
-        })
-        .collect()
+    map_rows(processor_counts.to_vec(), true, |n| {
+        figure_11_row(n, requests_per_node, local_service_time)
+    })
+}
+
+/// Serial reference implementation of [`figure_11`] (identical output).
+#[doc(hidden)]
+pub fn figure_11_serial(
+    processor_counts: &[usize],
+    requests_per_node: u64,
+    local_service_time: f64,
+) -> Vec<Fig11Row> {
+    map_rows(processor_counts.to_vec(), false, |n| {
+        figure_11_row(n, requests_per_node, local_service_time)
+    })
 }
 
 /// One row of the Figure 9 / Theorem 4.1 lower-bound experiment.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Fig9Row {
     /// Path length (tree diameter) `D`.
     pub diameter: usize,
@@ -140,6 +187,26 @@ pub struct Fig9Row {
     pub predicted_ratio_shape: f64,
 }
 
+fn figure_9_row(d: usize) -> Fig9Row {
+    let k = (d.max(4) as f64).log2().round() as usize;
+    let (instance, schedule) = lower_bound::theorem_4_1_instance(d, k);
+    let report = measure_ratio(
+        &instance,
+        &schedule,
+        &RunConfig::analysis(ProtocolKind::Arrow),
+    );
+    Fig9Row {
+        diameter: d,
+        layers: k,
+        requests: schedule.len(),
+        predicted_arrow_cost: lower_bound::predicted_arrow_cost(d, k),
+        measured_arrow_cost: report.arrow_cost,
+        opt_lower_bound: report.opt_lower_bound,
+        ratio: report.ratio,
+        predicted_ratio_shape: queuing_analysis::theory::lower_bound_shape(1.0, d as f64) - 1.0,
+    }
+}
+
 /// Reproduce the Figure 9 construction for a sweep of diameters and measure the
 /// competitive ratio the instance actually forces.
 ///
@@ -148,33 +215,17 @@ pub struct Fig9Row {
 /// `k = log D / log log D` ([`lower_bound::recommended_layers`]), which only separates
 /// from a constant at diameters far beyond what a table can show.
 pub fn figure_9(diameters: &[usize]) -> Vec<Fig9Row> {
-    diameters
-        .iter()
-        .map(|&d| {
-            let k = (d.max(4) as f64).log2().round() as usize;
-            let (instance, schedule) = lower_bound::theorem_4_1_instance(d, k);
-            let report = measure_ratio(
-                &instance,
-                &schedule,
-                &RunConfig::analysis(ProtocolKind::Arrow),
-            );
-            Fig9Row {
-                diameter: d,
-                layers: k,
-                requests: schedule.len(),
-                predicted_arrow_cost: lower_bound::predicted_arrow_cost(d, k),
-                measured_arrow_cost: report.arrow_cost,
-                opt_lower_bound: report.opt_lower_bound,
-                ratio: report.ratio,
-                predicted_ratio_shape: queuing_analysis::theory::lower_bound_shape(1.0, d as f64)
-                    - 1.0,
-            }
-        })
-        .collect()
+    map_rows(diameters.to_vec(), true, figure_9_row)
+}
+
+/// Serial reference implementation of [`figure_9`] (identical output).
+#[doc(hidden)]
+pub fn figure_9_serial(diameters: &[usize]) -> Vec<Fig9Row> {
+    map_rows(diameters.to_vec(), false, figure_9_row)
 }
 
 /// One row of the competitive-ratio validation sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RatioRow {
     /// Human-readable description of the topology / tree / workload combination.
     pub label: String,
@@ -182,13 +233,17 @@ pub struct RatioRow {
     pub report: RatioReport,
 }
 
-/// Theorem 3.19 validation: measure arrow's competitive ratio across topologies,
-/// spanning trees and workload shapes, and compare with the theorem's bound.
-pub fn ratio_sweep(nodes: usize, requests: usize, seed: u64) -> Vec<RatioRow> {
+/// Build the `(label, instance, schedule)` grid of the ratio sweep. Instances are
+/// shared per topology (behind `Arc`), so the cached distance matrix and stretch
+/// report are computed once per topology and reused by all four workloads.
+fn ratio_sweep_tasks(
+    nodes: usize,
+    requests: usize,
+    seed: u64,
+) -> Vec<(String, Arc<Instance>, RequestSchedule)> {
     use netgraph::generators;
     use netgraph::spanning::build_spanning_tree;
 
-    let mut rows = Vec::new();
     let horizon = 3.0 * nodes as f64;
 
     // Topology / tree combinations.
@@ -196,44 +251,45 @@ pub fn ratio_sweep(nodes: usize, requests: usize, seed: u64) -> Vec<RatioRow> {
     let side = (nodes as f64).sqrt().ceil() as usize;
     let grid = generators::grid(side, side);
     let cycle = generators::cycle(nodes.max(3));
-    let combos: Vec<(String, Instance)> = vec![
+    let combos: Vec<(String, Arc<Instance>)> = vec![
         (
             "complete + balanced binary tree".into(),
-            Instance::new(
+            Arc::new(Instance::new(
                 complete.clone(),
                 build_spanning_tree(&complete, 0, SpanningTreeKind::BalancedBinary),
-            ),
+            )),
         ),
         (
             "complete + star tree".into(),
-            Instance::new(
+            Arc::new(Instance::new(
                 complete.clone(),
                 build_spanning_tree(&complete, 0, SpanningTreeKind::Star),
-            ),
+            )),
         ),
         (
             "grid + shortest-path tree".into(),
-            Instance::new(
+            Arc::new(Instance::new(
                 grid.clone(),
                 build_spanning_tree(&grid, 0, SpanningTreeKind::ShortestPath),
-            ),
+            )),
         ),
         (
             "grid + minimum-communication tree".into(),
-            Instance::new(
+            Arc::new(Instance::new(
                 grid.clone(),
                 build_spanning_tree(&grid, 0, SpanningTreeKind::MinimumCommunication),
-            ),
+            )),
         ),
         (
             "cycle + shortest-path tree (max stretch)".into(),
-            Instance::new(
+            Arc::new(Instance::new(
                 cycle.clone(),
                 build_spanning_tree(&cycle, 0, SpanningTreeKind::ShortestPath),
-            ),
+            )),
         ),
     ];
 
+    let mut tasks = Vec::new();
     for (label, instance) in combos {
         let n = instance.node_count();
         let workloads: Vec<(String, RequestSchedule)> = vec![
@@ -262,22 +318,42 @@ pub fn ratio_sweep(nodes: usize, requests: usize, seed: u64) -> Vec<RatioRow> {
             if schedule.is_empty() {
                 continue;
             }
-            let report = measure_ratio(
-                &instance,
-                &schedule,
-                &RunConfig::analysis(ProtocolKind::Arrow),
-            );
-            rows.push(RatioRow {
-                label: format!("{label}, {wl_label}"),
-                report,
-            });
+            tasks.push((
+                format!("{label}, {wl_label}"),
+                Arc::clone(&instance),
+                schedule,
+            ));
         }
     }
-    rows
+    tasks
+}
+
+fn ratio_sweep_with(nodes: usize, requests: usize, seed: u64, parallel: bool) -> Vec<RatioRow> {
+    let tasks = ratio_sweep_tasks(nodes, requests, seed);
+    map_rows(tasks, parallel, |(label, instance, schedule)| {
+        let report = measure_ratio(
+            &instance,
+            &schedule,
+            &RunConfig::analysis(ProtocolKind::Arrow),
+        );
+        RatioRow { label, report }
+    })
+}
+
+/// Theorem 3.19 validation: measure arrow's competitive ratio across topologies,
+/// spanning trees and workload shapes, and compare with the theorem's bound.
+pub fn ratio_sweep(nodes: usize, requests: usize, seed: u64) -> Vec<RatioRow> {
+    ratio_sweep_with(nodes, requests, seed, true)
+}
+
+/// Serial reference implementation of [`ratio_sweep`] (identical output).
+#[doc(hidden)]
+pub fn ratio_sweep_serial(nodes: usize, requests: usize, seed: u64) -> Vec<RatioRow> {
+    ratio_sweep_with(nodes, requests, seed, false)
 }
 
 /// One row of the synchronous-vs-asynchronous comparison (Theorem 3.21).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SyncAsyncRow {
     /// Workload label.
     pub label: String,
@@ -293,18 +369,29 @@ pub struct SyncAsyncRow {
     pub theorem_bound: f64,
 }
 
-/// Section 3.8 validation: run the same request sets under worst-case (synchronous)
-/// and random asynchronous delays; both executions must respect the same
-/// `O(s · log D)` bound (Theorem 3.21). The asynchronous ordering may differ, so the
-/// costs are reported side by side rather than compared directly.
-pub fn async_vs_sync(nodes: usize, requests: usize, seeds: &[u64]) -> Vec<SyncAsyncRow> {
-    let instance = Instance::complete_uniform(nodes, SpanningTreeKind::BalancedBinary);
-    let mut rows = Vec::new();
-    for &seed in seeds {
-        let schedule = workload::uniform_random(nodes, requests, 2.0 * nodes as f64, seed);
-        if schedule.is_empty() {
-            continue;
-        }
+fn async_vs_sync_with(
+    nodes: usize,
+    requests: usize,
+    seeds: &[u64],
+    parallel: bool,
+) -> Vec<SyncAsyncRow> {
+    let instance = Arc::new(Instance::complete_uniform(
+        nodes,
+        SpanningTreeKind::BalancedBinary,
+    ));
+    // Schedules are generated up front (cheap) so empty seeds can be skipped while
+    // keeping output order identical to the input seed order.
+    let tasks: Vec<(u64, RequestSchedule)> = seeds
+        .iter()
+        .map(|&seed| {
+            (
+                seed,
+                workload::uniform_random(nodes, requests, 2.0 * nodes as f64, seed),
+            )
+        })
+        .filter(|(_, schedule)| !schedule.is_empty())
+        .collect();
+    map_rows(tasks, parallel, |(seed, schedule)| {
         let sync = measure_ratio(
             &instance,
             &schedule,
@@ -315,16 +402,29 @@ pub fn async_vs_sync(nodes: usize, requests: usize, seeds: &[u64]) -> Vec<SyncAs
             &schedule,
             &RunConfig::analysis(ProtocolKind::Arrow).asynchronous(seed),
         );
-        rows.push(SyncAsyncRow {
+        SyncAsyncRow {
             label: format!("uniform random, seed {seed}"),
             sync_cost: sync.arrow_cost,
             async_cost: asynchronous.arrow_cost,
             sync_ratio: sync.ratio,
             async_ratio: asynchronous.ratio,
             theorem_bound: sync.theorem_bound,
-        });
-    }
-    rows
+        }
+    })
+}
+
+/// Section 3.8 validation: run the same request sets under worst-case (synchronous)
+/// and random asynchronous delays; both executions must respect the same
+/// `O(s · log D)` bound (Theorem 3.21). The asynchronous ordering may differ, so the
+/// costs are reported side by side rather than compared directly.
+pub fn async_vs_sync(nodes: usize, requests: usize, seeds: &[u64]) -> Vec<SyncAsyncRow> {
+    async_vs_sync_with(nodes, requests, seeds, true)
+}
+
+/// Serial reference implementation of [`async_vs_sync`] (identical output).
+#[doc(hidden)]
+pub fn async_vs_sync_serial(nodes: usize, requests: usize, seeds: &[u64]) -> Vec<SyncAsyncRow> {
+    async_vs_sync_with(nodes, requests, seeds, false)
 }
 
 #[cfg(test)]

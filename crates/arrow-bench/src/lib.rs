@@ -17,9 +17,11 @@
 
 pub mod experiments;
 pub mod table;
+pub mod throughput;
 
 pub use experiments::{
-    async_vs_sync, figure_10, figure_11, figure_9, ratio_sweep, Fig9Row, Fig10Row, Fig11Row,
+    async_vs_sync, figure_10, figure_11, figure_9, ratio_sweep, Fig10Row, Fig11Row, Fig9Row,
     RatioRow, SyncAsyncRow,
 };
 pub use table::Table;
+pub use throughput::{measure_sim_throughput, ThroughputReport};

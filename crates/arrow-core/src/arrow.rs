@@ -245,7 +245,10 @@ impl ArrowNode {
                     let next = cl.next_request_id(self.me);
                     // Route the next issue through the service queue so it pays the
                     // local service time before being processed.
-                    if let Some((f, m)) = self.service.offer(ctx, (self.me, ProtoMsg::Issue { req: next })) {
+                    if let Some((f, m)) = self
+                        .service
+                        .offer(ctx, (self.me, ProtoMsg::Issue { req: next }))
+                    {
                         self.process(ctx, f, m);
                     }
                 }
@@ -325,13 +328,7 @@ mod tests {
     #[test]
     fn single_remote_request_travels_to_root_and_reverses_path() {
         let mut sim = Simulator::new(path_nodes(4, 0, false), SimConfig::synchronous());
-        sim.schedule_external(
-            SimTime::ZERO,
-            3,
-            ProtoMsg::Issue {
-                req: RequestId(1),
-            },
-        );
+        sim.schedule_external(SimTime::ZERO, 3, ProtoMsg::Issue { req: RequestId(1) });
         sim.run();
         // The request from node 3 is ordered behind the virtual root request at node 0.
         let recs = sim.node(0).records();
@@ -352,13 +349,7 @@ mod tests {
     #[test]
     fn local_request_at_root_completes_without_messages() {
         let mut sim = Simulator::new(path_nodes(3, 0, false), SimConfig::synchronous());
-        sim.schedule_external(
-            SimTime::ZERO,
-            0,
-            ProtoMsg::Issue {
-                req: RequestId(1),
-            },
-        );
+        sim.schedule_external(SimTime::ZERO, 0, ProtoMsg::Issue { req: RequestId(1) });
         sim.run();
         assert_eq!(sim.stats().messages_delivered, 0);
         let recs = sim.node(0).records();
@@ -373,19 +364,11 @@ mod tests {
     #[test]
     fn two_sequential_requests_chain_correctly() {
         let mut sim = Simulator::new(path_nodes(4, 0, false), SimConfig::synchronous());
-        sim.schedule_external(
-            SimTime::ZERO,
-            3,
-            ProtoMsg::Issue {
-                req: RequestId(1),
-            },
-        );
+        sim.schedule_external(SimTime::ZERO, 3, ProtoMsg::Issue { req: RequestId(1) });
         sim.schedule_external(
             SimTime::from_units(100),
             1,
-            ProtoMsg::Issue {
-                req: RequestId(2),
-            },
+            ProtoMsg::Issue { req: RequestId(2) },
         );
         sim.run();
         // Request 1 behind root (recorded at node 0), request 2 behind request 1
@@ -428,13 +411,7 @@ mod tests {
     #[test]
     fn ack_reaches_the_requester() {
         let mut sim = Simulator::new(path_nodes(4, 0, true), SimConfig::synchronous());
-        sim.schedule_external(
-            SimTime::ZERO,
-            2,
-            ProtoMsg::Issue {
-                req: RequestId(1),
-            },
-        );
+        sim.schedule_external(SimTime::ZERO, 2, ProtoMsg::Issue { req: RequestId(1) });
         sim.run();
         let completions = sim.node(2).own_completions();
         assert_eq!(completions.len(), 1);

@@ -166,8 +166,9 @@ impl CentralizedNode {
                 cl.remaining -= 1;
                 if cl.remaining > 0 {
                     let next = cl.next_request_id(self.me);
-                    if let Some((f, m)) =
-                        self.service.offer(ctx, (self.me, ProtoMsg::Issue { req: next }))
+                    if let Some((f, m)) = self
+                        .service
+                        .offer(ctx, (self.me, ProtoMsg::Issue { req: next }))
                     {
                         self.process(ctx, f, m);
                     }
@@ -226,13 +227,7 @@ mod tests {
     #[test]
     fn remote_request_takes_two_messages() {
         let mut sim = Simulator::new(nodes(4, 0, 0.0), SimConfig::synchronous());
-        sim.schedule_external(
-            SimTime::ZERO,
-            2,
-            ProtoMsg::Issue {
-                req: RequestId(1),
-            },
-        );
+        sim.schedule_external(SimTime::ZERO, 2, ProtoMsg::Issue { req: RequestId(1) });
         sim.run();
         assert_eq!(sim.stats().messages_delivered, 2);
         let recs = sim.node(0).records();
@@ -245,13 +240,7 @@ mod tests {
     #[test]
     fn local_request_at_center_is_free() {
         let mut sim = Simulator::new(nodes(3, 1, 0.0), SimConfig::synchronous());
-        sim.schedule_external(
-            SimTime::ZERO,
-            1,
-            ProtoMsg::Issue {
-                req: RequestId(1),
-            },
-        );
+        sim.schedule_external(SimTime::ZERO, 1, ProtoMsg::Issue { req: RequestId(1) });
         sim.run();
         assert_eq!(sim.stats().messages_delivered, 0);
         assert_eq!(sim.node(1).records().len(), 1);
@@ -302,7 +291,10 @@ mod tests {
         let mut times: Vec<f64> = recs.iter().map(|r| r.informed_at.as_units_f64()).collect();
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for w in times.windows(2) {
-            assert!(w[1] - w[0] >= 1.0 - 1e-9, "center served two requests within one service time");
+            assert!(
+                w[1] - w[0] >= 1.0 - 1e-9,
+                "center served two requests within one service time"
+            );
         }
     }
 

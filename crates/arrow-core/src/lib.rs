@@ -72,7 +72,7 @@ pub mod prelude {
     pub use crate::order::{OrderRecord, QueuingOrder};
     pub use crate::protocol::{ProtoMsg, ProtocolKind};
     pub use crate::request::{Request, RequestId, RequestSchedule};
-    pub use crate::run::{run, Instance, QueuingOutcome, RunConfig, SyncMode};
+    pub use crate::run::{run, run_schedule, Instance, QueuingOutcome, RunConfig, SyncMode};
     pub use crate::workload::{self, ClosedLoopSpec, Workload};
     pub use netgraph::spanning::SpanningTreeKind;
 }

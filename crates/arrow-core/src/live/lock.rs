@@ -9,8 +9,8 @@
 use super::runtime::NodeHandle;
 use crate::request::RequestId;
 use netgraph::NodeId;
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// One completed critical section.
@@ -40,28 +40,28 @@ impl CriticalSectionLog {
 
     /// Record one completed critical section.
     pub fn record(&self, record: SectionRecord) {
-        self.records.lock().push(record);
+        self.records.lock().unwrap().push(record);
     }
 
     /// All records so far.
     pub fn records(&self) -> Vec<SectionRecord> {
-        self.records.lock().clone()
+        self.records.lock().unwrap().clone()
     }
 
     /// Number of completed critical sections.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.records.lock().unwrap().len()
     }
 
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.records.lock().is_empty()
+        self.records.lock().unwrap().is_empty()
     }
 
     /// Check the mutual-exclusion invariant: no two recorded critical sections
     /// overlap in time. Returns the first offending pair if any.
     pub fn find_overlap(&self) -> Option<(SectionRecord, SectionRecord)> {
-        let mut records = self.records.lock().clone();
+        let mut records = self.records.lock().unwrap().clone();
         records.sort_by_key(|r| r.entered);
         for w in records.windows(2) {
             if w[1].entered < w[0].exited {
@@ -180,7 +180,7 @@ mod tests {
                 for _ in 0..20 {
                     lock.with(|| {
                         // A read-modify-write that is only correct under mutual exclusion.
-                        let mut guard = unsafe_counter.lock();
+                        let mut guard = unsafe_counter.lock().unwrap();
                         let v = *guard;
                         std::thread::yield_now();
                         *guard = v + 1;
@@ -193,7 +193,13 @@ mod tests {
             j.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::SeqCst), (n as u64) * 20);
-        assert_eq!(*Arc::get_mut(&mut unsafe_counter).unwrap().lock(), (n as u64) * 20);
+        assert_eq!(
+            *Arc::get_mut(&mut unsafe_counter)
+                .unwrap()
+                .get_mut()
+                .unwrap(),
+            (n as u64) * 20
+        );
         assert_eq!(log.len(), n * 20);
         assert!(
             log.find_overlap().is_none(),

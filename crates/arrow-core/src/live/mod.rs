@@ -3,7 +3,7 @@
 //! The discrete-event simulator ([`crate::run`]) is the right tool for measurement —
 //! it is deterministic and can run millions of requests. This module is the
 //! complementary demonstration that the protocol is a practical building block: every
-//! node is a real OS thread, messages travel over crossbeam channels (point-to-point
+//! node is a real OS thread, messages travel over std::sync::mpsc channels (point-to-point
 //! FIFO links, exactly the paper's communication model), and the queue is used the way
 //! the paper's introduction motivates — to pass an exclusive token from each request
 //! to its successor, i.e. distributed mutual exclusion.

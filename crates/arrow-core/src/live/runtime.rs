@@ -1,4 +1,4 @@
-//! One-thread-per-node arrow runtime over crossbeam channels.
+//! One-thread-per-node arrow runtime over std::sync::mpsc channels.
 //!
 //! Each node thread runs the arrow automaton (link pointer + path reversal) and a
 //! token manager: when a node learns that request `succ` has been queued behind its
@@ -7,10 +7,10 @@
 //! (holding the virtual request `r0`), already released.
 
 use crate::request::RequestId;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use netgraph::{NodeId, RootedTree};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -193,7 +193,7 @@ impl ArrowRuntime {
         let mut senders = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<(NodeId, LiveMsg)>> = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -294,7 +294,7 @@ impl NodeHandle {
     ///
     /// [`release`]: NodeHandle::release
     pub fn acquire(&self) -> RequestId {
-        let (reply_tx, reply_rx) = unbounded();
+        let (reply_tx, reply_rx) = channel();
         self.sender
             .send((self.node, LiveMsg::Acquire { reply: reply_tx }))
             .expect("runtime has shut down");

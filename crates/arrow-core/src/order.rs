@@ -186,10 +186,7 @@ mod tests {
     fn valid_chain_builds_order() {
         let records = vec![rec(0, 1, 1), rec(1, 2, 3), rec(2, 3, 5)];
         let order = QueuingOrder::from_records(&records, &schedule3()).unwrap();
-        assert_eq!(
-            order.order(),
-            &[RequestId(1), RequestId(2), RequestId(3)]
-        );
+        assert_eq!(order.order(), &[RequestId(1), RequestId(2), RequestId(3)]);
         assert_eq!(order.predecessor_of(RequestId(2)), Some(RequestId(1)));
         assert_eq!(order.len(), 3);
         assert!(!order.is_empty());

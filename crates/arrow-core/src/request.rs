@@ -162,24 +162,22 @@ impl RequestSchedule {
     /// Shift every request issued at or after `threshold` earlier by `delta` units —
     /// the time-compression transformation of Lemma 3.11 (used by the analysis tests).
     pub fn shifted_back(&self, threshold: SimTime, delta: f64) -> RequestSchedule {
-        let shifted = self
-            .requests
-            .iter()
-            .map(|r| {
-                if r.time >= threshold {
-                    Request {
-                        time: SimTime::from_subticks(
-                            r.time
-                                .subticks()
-                                .saturating_sub(desim::SimDuration::from_units_f64(delta).subticks()),
-                        ),
-                        ..*r
+        let shifted =
+            self.requests
+                .iter()
+                .map(|r| {
+                    if r.time >= threshold {
+                        Request {
+                            time: SimTime::from_subticks(r.time.subticks().saturating_sub(
+                                desim::SimDuration::from_units_f64(delta).subticks(),
+                            )),
+                            ..*r
+                        }
+                    } else {
+                        *r
                     }
-                } else {
-                    *r
-                }
-            })
-            .collect::<Vec<_>>();
+                })
+                .collect::<Vec<_>>();
         let mut sorted = shifted;
         sorted.sort_by_key(|r| (r.time, r.id));
         RequestSchedule::build(sorted)
@@ -223,8 +221,7 @@ mod tests {
         assert!(far.is_sequential(10.0));
         assert!(!far.is_sequential(150.0));
 
-        let burst =
-            RequestSchedule::from_pairs(&[(0, SimTime::ZERO), (1, SimTime::ZERO)]);
+        let burst = RequestSchedule::from_pairs(&[(0, SimTime::ZERO), (1, SimTime::ZERO)]);
         assert!(!burst.is_sequential(1.0));
     }
 

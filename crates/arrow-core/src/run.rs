@@ -23,14 +23,27 @@ use desim::{LatencyModel, LocalOrder, SimConfig, SimTime, Simulator};
 use netgraph::spanning::{build_spanning_tree, SpanningTreeKind};
 use netgraph::{DistanceMatrix, Graph, NodeId, RootedTree, StretchReport};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 /// A problem instance: the communication graph and the pre-selected spanning tree.
+///
+/// The all-pairs graph distances and the stretch report are computed lazily and
+/// cached, so a sweep that evaluates many runs (or many workloads) on one topology
+/// pays for them once instead of once per run. The caches are shared by `clone()`
+/// (the distance matrix sits behind an [`Arc`]) and are thread-safe, so one
+/// `Instance` can back a whole parallel sweep.
 #[derive(Debug, Clone)]
 pub struct Instance {
-    /// The communication graph `G`.
-    pub graph: Graph,
+    /// The communication graph `G`. Private: the cached distance matrix and stretch
+    /// report below are derived from it, so mutation after construction would make
+    /// them silently stale — build a new `Instance` instead.
+    graph: Graph,
     /// The pre-selected rooted spanning tree `T`; its root holds the initial queue tail.
-    pub tree: RootedTree,
+    tree: RootedTree,
+    /// Lazily computed all-pairs distances of `graph`.
+    dm: OnceLock<Arc<DistanceMatrix>>,
+    /// Lazily computed stretch report of `tree` relative to `graph`.
+    stretch: OnceLock<StretchReport>,
 }
 
 impl Instance {
@@ -52,7 +65,12 @@ impl Instance {
                 );
             }
         }
-        Instance { graph, tree }
+        Instance {
+            graph,
+            tree,
+            dm: OnceLock::new(),
+            stretch: OnceLock::new(),
+        }
     }
 
     /// The platform of the paper's experiment: a complete graph with uniform unit
@@ -60,17 +78,41 @@ impl Instance {
     pub fn complete_uniform(n: usize, kind: SpanningTreeKind) -> Self {
         let graph = netgraph::generators::complete(n, 1.0);
         let tree = build_spanning_tree(&graph, 0, kind);
-        Instance { graph, tree }
+        Instance {
+            graph,
+            tree,
+            dm: OnceLock::new(),
+            stretch: OnceLock::new(),
+        }
     }
 
     /// An instance whose communication graph *is* the tree (`G = T`, stretch 1), as in
-    /// the lower-bound construction of Theorem 4.1.
-    pub fn tree_only(tree_graph: &Graph, root: NodeId) -> Self {
-        let tree = RootedTree::from_tree_graph(tree_graph, root);
+    /// the lower-bound construction of Theorem 4.1. Takes the graph by value — the
+    /// callers own it, so no clone is needed.
+    pub fn tree_only(tree_graph: Graph, root: NodeId) -> Self {
+        let tree = RootedTree::from_tree_graph(&tree_graph, root);
         Instance {
-            graph: tree_graph.clone(),
+            graph: tree_graph,
             tree,
+            dm: OnceLock::new(),
+            stretch: OnceLock::new(),
         }
+    }
+
+    /// The communication graph `G`.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The pre-selected rooted spanning tree `T`.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// All-pairs shortest-path distances of the communication graph, computed on
+    /// first use and shared (cheaply clonable [`Arc`]) afterwards.
+    pub fn distances(&self) -> Arc<DistanceMatrix> {
+        Arc::clone(self.dm.get_or_init(|| DistanceMatrix::shared(&self.graph)))
     }
 
     /// Number of nodes.
@@ -78,9 +120,12 @@ impl Instance {
         self.graph.node_count()
     }
 
-    /// Stretch/diameter report of the tree relative to the graph.
+    /// Stretch/diameter report of the tree relative to the graph (computed once,
+    /// cached; reuses the cached distance matrix).
     pub fn stretch_report(&self) -> StretchReport {
-        netgraph::stretch(&self.graph, &self.tree)
+        *self.stretch.get_or_init(|| {
+            netgraph::stretch_with_distances(&self.graph, &self.tree, &self.distances())
+        })
     }
 }
 
@@ -164,6 +209,9 @@ pub struct QueuingOutcome {
     pub makespan: f64,
     /// All messages delivered by the network.
     pub total_messages: u64,
+    /// Simulator events processed (deliveries + external inputs + timer firings) —
+    /// the numerator of the events/sec throughput benchmarks.
+    pub sim_events: u64,
     /// Inter-processor protocol messages: arrow `queue()` hops, or centralized
     /// enqueue/reply messages.
     pub protocol_messages: u64,
@@ -206,28 +254,57 @@ fn sim_config(config: &RunConfig) -> SimConfig {
 /// or the workload/configuration combination is inconsistent (closed-loop without
 /// acknowledgements).
 pub fn run(instance: &Instance, workload: &Workload, config: &RunConfig) -> QueuingOutcome {
+    let workload = match workload {
+        Workload::OpenLoop(schedule) => WorkloadRef::Open(schedule),
+        Workload::ClosedLoop(spec) => WorkloadRef::Closed(spec),
+    };
+    run_ref(instance, workload, config)
+}
+
+/// Run a queuing protocol on an open-loop schedule without wrapping it in a
+/// [`Workload`] (and therefore without cloning it — schedules can hold millions of
+/// requests, and sweeps call this in a tight loop).
+pub fn run_schedule(
+    instance: &Instance,
+    schedule: &RequestSchedule,
+    config: &RunConfig,
+) -> QueuingOutcome {
+    run_ref(instance, WorkloadRef::Open(schedule), config)
+}
+
+/// Borrowed view of a workload, so harness entry points never clone schedules.
+#[derive(Clone, Copy)]
+enum WorkloadRef<'a> {
+    Open(&'a RequestSchedule),
+    Closed(&'a ClosedLoopSpec),
+}
+
+fn run_ref(instance: &Instance, workload: WorkloadRef<'_>, config: &RunConfig) -> QueuingOutcome {
     match config.protocol {
         ProtocolKind::Arrow => run_arrow(instance, workload, config),
         ProtocolKind::Centralized => run_centralized(instance, workload, config),
     }
 }
 
-fn closed_loop_spec(workload: &Workload) -> Option<&ClosedLoopSpec> {
+fn closed_loop_spec<'a>(workload: WorkloadRef<'a>) -> Option<&'a ClosedLoopSpec> {
     match workload {
-        Workload::ClosedLoop(spec) => Some(spec),
-        Workload::OpenLoop(_) => None,
+        WorkloadRef::Closed(spec) => Some(spec),
+        WorkloadRef::Open(_) => None,
     }
 }
 
-fn schedule_open_loop(sim: &mut Simulator<ProtoMsg, impl desim::Process<ProtoMsg>>, workload: &Workload) {
-    if let Workload::OpenLoop(schedule) = workload {
+fn schedule_open_loop(
+    sim: &mut Simulator<ProtoMsg, impl desim::Process<ProtoMsg>>,
+    workload: WorkloadRef<'_>,
+) {
+    if let WorkloadRef::Open(schedule) = workload {
         for r in schedule.requests() {
             sim.schedule_external(r.time, r.node, ProtoMsg::Issue { req: r.id });
         }
     }
 }
 
-fn run_arrow(instance: &Instance, workload: &Workload, config: &RunConfig) -> QueuingOutcome {
+fn run_arrow(instance: &Instance, workload: WorkloadRef<'_>, config: &RunConfig) -> QueuingOutcome {
     let n = instance.node_count();
     let tree = &instance.tree;
     let root = tree.root();
@@ -242,7 +319,11 @@ fn run_arrow(instance: &Instance, workload: &Workload, config: &RunConfig) -> Qu
 
     let mut nodes: Vec<ArrowNode> = (0..n)
         .map(|v| {
-            let link = if v == root { v } else { tree.parent(v).unwrap() };
+            let link = if v == root {
+                v
+            } else {
+                tree.parent(v).unwrap()
+            };
             ArrowNode::new(v, link, config.ack_to_requester, config.local_service_time)
         })
         .collect();
@@ -261,7 +342,7 @@ fn run_arrow(instance: &Instance, workload: &Workload, config: &RunConfig) -> Qu
     }
     // Acknowledgements travel directly over the graph: weight = d_G.
     if config.ack_to_requester {
-        let dm = DistanceMatrix::new(&instance.graph);
+        let dm = instance.distances();
         for u in 0..n {
             for v in (u + 1)..n {
                 // Keep tree-edge weights (protocol traffic) intact.
@@ -283,11 +364,11 @@ fn run_arrow(instance: &Instance, workload: &Workload, config: &RunConfig) -> Qu
     for v in 0..n {
         let node = sim.node(v);
         records.extend_from_slice(node.records());
-        issued.extend(node.issued().iter().map(|&(id, time)| Request {
-            id,
-            node: v,
-            time,
-        }));
+        issued.extend(
+            node.issued()
+                .iter()
+                .map(|&(id, time)| Request { id, node: v, time }),
+        );
         protocol_messages += node.queue_hops();
         let issue_times: std::collections::HashMap<_, _> =
             node.issued().iter().map(|&(r, t)| (r, t)).collect();
@@ -307,10 +388,15 @@ fn run_arrow(instance: &Instance, workload: &Workload, config: &RunConfig) -> Qu
         completion_count,
         outcome.final_time,
         sim.stats().messages_delivered,
+        outcome.events,
     )
 }
 
-fn run_centralized(instance: &Instance, workload: &Workload, config: &RunConfig) -> QueuingOutcome {
+fn run_centralized(
+    instance: &Instance,
+    workload: WorkloadRef<'_>,
+    config: &RunConfig,
+) -> QueuingOutcome {
     let n = instance.node_count();
     // The central node is the tree root (the initial queue tail in both protocols).
     let central = instance.tree.root();
@@ -327,7 +413,7 @@ fn run_centralized(instance: &Instance, workload: &Workload, config: &RunConfig)
 
     let mut sim = Simulator::new(nodes, sim_config(config));
     // Requests and replies travel directly over the graph: weight = d_G(v, central).
-    let dm = DistanceMatrix::new(&instance.graph);
+    let dm = instance.distances();
     for v in 0..n {
         if v != central {
             sim.set_link_weight(v, central, dm.dist(v, central));
@@ -344,11 +430,11 @@ fn run_centralized(instance: &Instance, workload: &Workload, config: &RunConfig)
     for v in 0..n {
         let node = sim.node(v);
         records.extend_from_slice(node.records());
-        issued.extend(node.issued().iter().map(|&(id, time)| Request {
-            id,
-            node: v,
-            time,
-        }));
+        issued.extend(
+            node.issued()
+                .iter()
+                .map(|&(id, time)| Request { id, node: v, time }),
+        );
         protocol_messages += node.remote_messages();
         let issue_times: std::collections::HashMap<_, _> =
             node.issued().iter().map(|&(r, t)| (r, t)).collect();
@@ -368,6 +454,7 @@ fn run_centralized(instance: &Instance, workload: &Workload, config: &RunConfig)
         completion_count,
         outcome.final_time,
         sim.stats().messages_delivered,
+        outcome.events,
     )
 }
 
@@ -381,6 +468,7 @@ fn finish(
     completion_count: u64,
     final_time: SimTime,
     total_messages: u64,
+    sim_events: u64,
 ) -> QueuingOutcome {
     issued.sort_by_key(|r| (r.time, r.id));
     let schedule = RequestSchedule::from_requests(issued);
@@ -393,6 +481,7 @@ fn finish(
         total_latency,
         makespan: final_time.as_units_f64(),
         total_messages,
+        sim_events,
         protocol_messages,
         hops_per_request: protocol_messages as f64 / request_count as f64,
         mean_completion_latency: if completion_count > 0 {
@@ -411,7 +500,7 @@ mod tests {
     use crate::workload;
 
     fn path_instance(n: usize) -> Instance {
-        Instance::tree_only(&netgraph::generators::path(n), 0)
+        Instance::tree_only(netgraph::generators::path(n), 0)
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub fn sequential_round_robin(nodes: &[NodeId], count: usize, gap: f64) -> Reque
             (
                 nodes[i % nodes.len()],
                 SimTime::from_subticks(
-                    (i as f64 * gap * desim::SUBTICKS_PER_UNIT as f64).round() as u64,
+                    (i as f64 * gap * desim::SUBTICKS_PER_UNIT as f64).round() as u64
                 ),
             )
         })
@@ -71,13 +71,19 @@ pub fn sequential_round_robin(nodes: &[NodeId], count: usize, gap: f64) -> Reque
 /// Poisson arrivals: each of the `n` nodes issues requests as an independent Poisson
 /// process with the given mean inter-arrival time, until `horizon` time units.
 pub fn poisson(n: usize, mean_interarrival: f64, horizon: f64, seed: u64) -> RequestSchedule {
-    assert!(mean_interarrival > 0.0, "mean inter-arrival must be positive");
+    assert!(
+        mean_interarrival > 0.0,
+        "mean inter-arrival must be positive"
+    );
     let mut rng = SimRng::new(seed);
     let mut pairs = Vec::new();
     for node in 0..n {
         let mut t = rng.exponential(mean_interarrival);
         while t < horizon {
-            pairs.push((node, SimTime::from_subticks((t * desim::SUBTICKS_PER_UNIT as f64) as u64)));
+            pairs.push((
+                node,
+                SimTime::from_subticks((t * desim::SUBTICKS_PER_UNIT as f64) as u64),
+            ));
             t += rng.exponential(mean_interarrival);
         }
     }
@@ -93,8 +99,8 @@ pub fn uniform_random(n: usize, count: usize, horizon: f64, seed: u64) -> Reques
             (
                 rng.index(n),
                 SimTime::from_subticks(
-                    (rng.uniform(0.0, horizon.max(f64::MIN_POSITIVE)) * desim::SUBTICKS_PER_UNIT as f64)
-                        as u64,
+                    (rng.uniform(0.0, horizon.max(f64::MIN_POSITIVE))
+                        * desim::SUBTICKS_PER_UNIT as f64) as u64,
                 ),
             )
         })
@@ -166,7 +172,10 @@ mod tests {
     fn one_shot_burst_is_simultaneous() {
         let s = one_shot_burst(&[0, 3, 5], SimTime::from_units(2));
         assert_eq!(s.len(), 3);
-        assert!(s.requests().iter().all(|r| r.time == SimTime::from_units(2)));
+        assert!(s
+            .requests()
+            .iter()
+            .all(|r| r.time == SimTime::from_units(2)));
         assert_eq!(s.requesting_nodes(), vec![0, 3, 5]);
     }
 
@@ -185,7 +194,11 @@ mod tests {
         let a = poisson(5, 2.0, 50.0, 7);
         let b = poisson(5, 2.0, 50.0, 7);
         assert_eq!(a.len(), b.len());
-        assert!(a.len() > 25, "expected on the order of 125 requests, got {}", a.len());
+        assert!(
+            a.len() > 25,
+            "expected on the order of 125 requests, got {}",
+            a.len()
+        );
         assert!(a
             .requests()
             .iter()

@@ -1,0 +1,196 @@
+//! Deterministic offline PRNG shim.
+//!
+//! Implements the slice of the `rand` 0.8 API this workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen_range` over the integer/float range types
+//! that appear in-tree, and `Rng::gen_bool` — on top of xoshiro256** seeded through
+//! SplitMix64. Streams are fully deterministic per seed (which is all the simulator
+//! requires); they do NOT bit-match the real `rand::rngs::StdRng`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+#[inline]
+fn u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u64 {
+    // Lemire-style scaled multiply; span <= 2^64 so the result fits in u64.
+    debug_assert!(span > 0 && span <= (1u128 << 64));
+    ((rng.next_u64() as u128 * span) >> 64) as u64
+}
+
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let x = self.start + unit_f64(rng) * (self.end - self.start);
+        // Guard against rounding up to the exclusive bound.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + u64_below(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + u64_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+int_range_impls!(u64, usize, u32);
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer or float range.
+    #[inline]
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(
+                a.gen_range(0u64..=u64::MAX - 1),
+                b.gen_range(0u64..=u64::MAX - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_range(5usize..17);
+            assert!((5..17).contains(&x));
+            let y = r.gen_range(0u64..=3);
+            assert!(y <= 3);
+            let f = r.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn uniform_mean_is_sane() {
+        let mut r = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic data-parallelism shim.
+//!
+//! Provides the rayon idioms the experiment harness uses — `into_par_iter().map(f)
+//! .collect::<Vec<_>>()` over owned vectors and index ranges — executed on
+//! `std::thread::scope` with one contiguous chunk per available core. Results are
+//! reassembled in input-index order, so output is bit-identical to the serial
+//! `iter().map().collect()` regardless of thread count or scheduling. On a
+//! single-core host the items run inline with zero thread overhead.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used for parallel execution.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator (rayon-compatible entry point).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// A collection of items ready for parallel mapping.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item through `f` (executed in parallel at collect time).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A pending parallel map, executed by [`ParMap::collect`].
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Execute the map across worker threads and collect results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(par_map_vec(self.items, &self.f))
+    }
+}
+
+/// Map `items` through `f` on up to `current_num_threads()` scoped threads,
+/// preserving input order in the output. The chunk partition depends only on the
+/// item count and thread count, and results are stitched back by chunk index, so
+/// the output is deterministic.
+pub fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, sized so every thread gets within one item of the others.
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, tail));
+    }
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        out = handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked"))
+            .collect();
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// The rayon prelude: glob-import to get `into_par_iter` in scope.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::par_map_vec;
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_serial_map_exactly() {
+        let inputs: Vec<u64> = (0..257).map(|i| i * 31 + 7).collect();
+        let f = |x: u64| x.wrapping_mul(0x9E3779B97F4A7C15) ^ (x >> 3);
+        let parallel = par_map_vec(inputs.clone(), &f);
+        let serial: Vec<u64> = inputs.into_iter().map(f).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn range_entry_point_works() {
+        let squares: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<i32> = vec![5].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![6]);
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace annotates its data types with serde derives so the real serde can be
+//! dropped in when a registry is available, but nothing in-tree performs serde-driven
+//! serialization (JSON artifacts are written by hand). These derives therefore expand
+//! to nothing; they only accept the `#[serde(...)]` helper attribute so existing
+//! annotations keep compiling.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(...)]` field/variant attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(...)]` field/variant attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

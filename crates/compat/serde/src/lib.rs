@@ -1,0 +1,13 @@
+//! Offline serde facade.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile without a registry. The marker traits
+//! are provided for code that writes `T: Serialize` bounds.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::ser::Serialize`.
+pub trait SerializeTrait {}
+
+/// Marker trait standing in for `serde::de::Deserialize`.
+pub trait DeserializeTrait {}

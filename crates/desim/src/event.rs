@@ -5,6 +5,12 @@
 //! deterministic: two events scheduled for the same instant are processed in the order
 //! they were scheduled (unless the configured local-processing policy reorders
 //! simultaneous *message deliveries* at a node — see [`crate::sim::LocalOrder`]).
+//!
+//! The queue is split into a binary heap of compact `(time, seq, slot)` keys and a
+//! slab of payloads with a free list. Heap sift operations therefore move 24-byte
+//! keys instead of whole [`EventKind`] payloads (which carry the message type `M`),
+//! and a drained slot's storage is reused by the next `schedule` — the steady state
+//! of a long run performs no allocation per event.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -65,7 +71,34 @@ impl<M> PartialOrd for Event<M> {
 
 impl<M> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted (latest first): `Event` keeps the seed crate's max-heap-oriented
+        // ordering so it can be pushed into a `BinaryHeap` and pop earliest-first.
+        // Plain `sort()` therefore yields reverse-chronological order.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Compact heap key; the payload lives in the slab at `slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapKey {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        // The slot never participates in ordering.
         other
             .time
             .cmp(&self.time)
@@ -74,9 +107,15 @@ impl<M> Ord for Event<M> {
 }
 
 /// A deterministic priority queue of simulation events.
+///
+/// Payloads are parked in a slab indexed by the heap keys, so the message type `M`
+/// needs no `Clone`/`Ord` bounds and is moved exactly twice: into the slab on
+/// `schedule` and out on `pop`.
 #[derive(Debug)]
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
+    heap: BinaryHeap<HeapKey>,
+    slots: Vec<Option<EventKind<M>>>,
+    free: Vec<u32>,
     next_seq: u64,
 }
 
@@ -91,6 +130,8 @@ impl<M> EventQueue<M> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
         }
     }
@@ -99,18 +140,39 @@ impl<M> EventQueue<M> {
     pub fn schedule(&mut self, time: SimTime, kind: EventKind<M>) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.slots[s as usize].is_none(), "free slot occupied");
+                self.slots[s as usize] = Some(kind);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("more than 2^32 pending events");
+                self.slots.push(Some(kind));
+                s
+            }
+        };
+        self.heap.push(HeapKey { time, seq, slot });
         seq
     }
 
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop()
+        let key = self.heap.pop()?;
+        let kind = self.slots[key.slot as usize]
+            .take()
+            .expect("heap key pointed at an empty slot");
+        self.free.push(key.slot);
+        Some(Event {
+            time: key.time,
+            seq: key.seq,
+            kind,
+        })
     }
 
     /// Time of the earliest scheduled event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|k| k.time)
     }
 
     /// Number of pending events.
@@ -186,5 +248,49 @@ mod tests {
         q.pop();
         assert_eq!(q.scheduled_count(), 2);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..100u32 {
+            q.schedule(SimTime::from_units(round as u64), ext(0, round));
+            let e = q.pop().unwrap();
+            assert!(matches!(e.kind, EventKind::External { payload, .. } if payload == round));
+        }
+        // One slot serviced all 100 events.
+        assert_eq!(q.slots.len(), 1);
+        assert_eq!(q.scheduled_count(), 100);
+    }
+
+    #[test]
+    fn non_clone_payloads_are_supported() {
+        // A message type without Clone/Ord: the slab queue must still move it through.
+        #[derive(Debug, PartialEq, Eq)]
+        struct Opaque(String);
+        let mut q = EventQueue::new();
+        q.schedule(
+            SimTime::from_units(1),
+            EventKind::External {
+                node: 0,
+                payload: Opaque("hello".into()),
+            },
+        );
+        let e = q.pop().unwrap();
+        assert!(matches!(e.kind, EventKind::External { payload, .. } if payload.0 == "hello"));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_units(10), ext(0, 10));
+        q.schedule(SimTime::from_units(2), ext(0, 2));
+        assert_eq!(q.pop().unwrap().time, SimTime::from_units(2));
+        q.schedule(SimTime::from_units(1), ext(0, 1));
+        q.schedule(SimTime::from_units(11), ext(0, 11));
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.whole_units())
+            .collect();
+        assert_eq!(times, vec![1, 10, 11]);
     }
 }

@@ -42,6 +42,18 @@ impl<M> Context<M> {
         }
     }
 
+    /// Re-point this context at a new handler invocation, clearing the buffered
+    /// actions but keeping their allocated capacity. Used by the simulator to reuse
+    /// one scratch context for every event instead of allocating three `Vec`s per
+    /// handler call.
+    pub(crate) fn reset(&mut self, node: NodeId, now: SimTime) {
+        self.node = node;
+        self.now = now;
+        self.outbox.clear();
+        self.timers.clear();
+        self.completions.clear();
+    }
+
     /// The node this handler is running on.
     pub fn node(&self) -> NodeId {
         self.node

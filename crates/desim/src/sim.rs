@@ -126,9 +126,12 @@ pub struct Simulator<M, P: Process<M>> {
     trace: Trace,
     completions: Vec<Completion>,
     events_processed: u64,
+    /// Reusable handler context: cleared (capacity kept) before every handler call,
+    /// so the steady state of the event loop allocates nothing per event.
+    scratch: Context<M>,
 }
 
-impl<M: Clone + std::fmt::Debug, P: Process<M>> Simulator<M, P> {
+impl<M: std::fmt::Debug, P: Process<M>> Simulator<M, P> {
     /// Create a simulator over the given per-node processes.
     pub fn new(nodes: Vec<P>, config: SimConfig) -> Self {
         let n = nodes.len();
@@ -149,6 +152,7 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> Simulator<M, P> {
             trace,
             completions: Vec::new(),
             events_processed: 0,
+            scratch: Context::new(0, SimTime::ZERO),
         }
     }
 
@@ -214,14 +218,8 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> Simulator<M, P> {
         }
     }
 
-    fn apply_context(&mut self, node: NodeId, ctx: Context<M>) {
-        let Context {
-            outbox,
-            timers,
-            completions,
-            ..
-        } = ctx;
-        for (to, msg) in outbox {
+    fn apply_context(&mut self, node: NodeId, ctx: &mut Context<M>) {
+        for (to, msg) in ctx.outbox.drain(..) {
             let delivery =
                 self.links
                     .delivery_time(node, to, self.now, &self.config.latency, &mut self.rng)
@@ -245,13 +243,25 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> Simulator<M, P> {
                 },
             );
         }
-        for (delay, tag) in timers {
+        for (delay, tag) in ctx.timers.drain(..) {
             self.queue
                 .schedule(self.now + delay, EventKind::Timer { node, tag });
         }
-        for (time, value) in completions {
+        for (time, value) in ctx.completions.drain(..) {
             self.completions.push(Completion { time, node, value });
         }
+    }
+
+    /// Take the scratch context out of `self`, re-pointed at `(node, now)`.
+    /// Must be paired with [`Simulator::put_scratch`].
+    fn take_scratch(&mut self, node: NodeId, now: SimTime) -> Context<M> {
+        let mut ctx = std::mem::replace(&mut self.scratch, Context::new(0, SimTime::ZERO));
+        ctx.reset(node, now);
+        ctx
+    }
+
+    fn put_scratch(&mut self, ctx: Context<M>) {
+        self.scratch = ctx;
     }
 
     fn start_nodes(&mut self) {
@@ -260,9 +270,10 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> Simulator<M, P> {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            let mut ctx = Context::new(i, SimTime::ZERO);
+            let mut ctx = self.take_scratch(i, SimTime::ZERO);
             self.nodes[i].on_start(&mut ctx);
-            self.apply_context(i, ctx);
+            self.apply_context(i, &mut ctx);
+            self.put_scratch(ctx);
         }
     }
 
@@ -286,9 +297,10 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> Simulator<M, P> {
                         label: format!("{payload:?}"),
                     });
                 }
-                let mut ctx = Context::new(to, self.now);
+                let mut ctx = self.take_scratch(to, self.now);
                 self.nodes[to].on_message(&mut ctx, from, payload);
-                self.apply_context(to, ctx);
+                self.apply_context(to, &mut ctx);
+                self.put_scratch(ctx);
             }
             EventKind::External { node, payload } => {
                 self.stats.external_inputs += 1;
@@ -299,9 +311,10 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> Simulator<M, P> {
                         label: format!("{payload:?}"),
                     });
                 }
-                let mut ctx = Context::new(node, self.now);
+                let mut ctx = self.take_scratch(node, self.now);
                 self.nodes[node].on_external(&mut ctx, payload);
-                self.apply_context(node, ctx);
+                self.apply_context(node, &mut ctx);
+                self.put_scratch(ctx);
             }
             EventKind::Timer { node, tag } => {
                 self.stats.timer_firings += 1;
@@ -312,9 +325,10 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> Simulator<M, P> {
                         tag,
                     });
                 }
-                let mut ctx = Context::new(node, self.now);
+                let mut ctx = self.take_scratch(node, self.now);
                 self.nodes[node].on_timer(&mut ctx, tag);
-                self.apply_context(node, ctx);
+                self.apply_context(node, &mut ctx);
+                self.put_scratch(ctx);
             }
         }
         true

@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 pub fn path(n: usize) -> Graph {
     let mut g = Graph::new(n);
     for i in 1..n {
-        g.add_edge(i - 1, i);
+        g.add_weighted_edge_unchecked(i - 1, i, 1.0);
     }
     g
 }
@@ -22,7 +22,7 @@ pub fn path(n: usize) -> Graph {
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "a cycle needs at least 3 nodes");
     let mut g = path(n);
-    g.add_edge(n - 1, 0);
+    g.add_weighted_edge_unchecked(n - 1, 0, 1.0);
     g
 }
 
@@ -30,7 +30,7 @@ pub fn cycle(n: usize) -> Graph {
 pub fn star(n: usize) -> Graph {
     let mut g = Graph::new(n);
     for i in 1..n {
-        g.add_edge(0, i);
+        g.add_weighted_edge_unchecked(0, i, 1.0);
     }
     g
 }
@@ -41,13 +41,10 @@ pub fn star(n: usize) -> Graph {
 /// between any pair of nodes in the SP2 machine was roughly the same, [so] we could
 /// treat the network as a complete graph with all edges having the same weight".
 pub fn complete(n: usize, weight: f64) -> Graph {
-    let mut g = Graph::new(n);
-    for u in 0..n {
-        for v in (u + 1)..n {
-            g.add_weighted_edge(u, v, weight);
-        }
-    }
-    g
+    let edges: Vec<(NodeId, NodeId, f64)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v, weight)))
+        .collect();
+    Graph::from_edges_unchecked(n, &edges)
 }
 
 /// A `rows × cols` 2D grid with unit weights.
@@ -58,10 +55,10 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                g.add_edge(id(r, c), id(r, c + 1));
+                g.add_weighted_edge_unchecked(id(r, c), id(r, c + 1), 1.0);
             }
             if r + 1 < rows {
-                g.add_edge(id(r, c), id(r + 1, c));
+                g.add_weighted_edge_unchecked(id(r, c), id(r + 1, c), 1.0);
             }
         }
     }
@@ -76,8 +73,8 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
     let id = |r: usize, c: usize| r * cols + c;
     for r in 0..rows {
         for c in 0..cols {
-            g.add_edge(id(r, c), id(r, (c + 1) % cols));
-            g.add_edge(id(r, c), id((r + 1) % rows, c));
+            g.add_weighted_edge_unchecked(id(r, c), id(r, (c + 1) % cols), 1.0);
+            g.add_weighted_edge_unchecked(id(r, c), id((r + 1) % rows, c), 1.0);
         }
     }
     g
@@ -91,7 +88,7 @@ pub fn hypercube(d: u32) -> Graph {
         for bit in 0..d {
             let v = u ^ (1 << bit);
             if u < v {
-                g.add_edge(u, v);
+                g.add_weighted_edge_unchecked(u, v, 1.0);
             }
         }
     }
@@ -106,7 +103,7 @@ pub fn hypercube(d: u32) -> Graph {
 pub fn balanced_binary_tree(n: usize) -> Graph {
     let mut g = Graph::new(n);
     for i in 1..n {
-        g.add_edge(i, (i - 1) / 2);
+        g.add_weighted_edge_unchecked(i, (i - 1) / 2, 1.0);
     }
     g
 }
@@ -129,18 +126,19 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
         degree[p] += 1;
     }
     let mut g = Graph::new(n);
-    let mut leaves: std::collections::BTreeSet<NodeId> = (0..n).filter(|&v| degree[v] == 1).collect();
+    let mut leaves: std::collections::BTreeSet<NodeId> =
+        (0..n).filter(|&v| degree[v] == 1).collect();
     for &p in &prufer {
         let leaf = *leaves.iter().next().expect("prufer decoding invariant");
         leaves.remove(&leaf);
-        g.add_edge(leaf, p);
+        g.add_weighted_edge_unchecked(leaf, p, 1.0);
         degree[p] -= 1;
         if degree[p] == 1 {
             leaves.insert(p);
         }
     }
     let rest: Vec<NodeId> = leaves.into_iter().collect();
-    g.add_edge(rest[0], rest[1]);
+    g.add_weighted_edge_unchecked(rest[0], rest[1], 1.0);
     g
 }
 
@@ -152,7 +150,7 @@ pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
     for u in 0..n {
         for v in (u + 1)..n {
             if !g.has_edge(u, v) && rng.gen_bool(p.clamp(0.0, 1.0)) {
-                g.add_edge(u, v);
+                g.add_weighted_edge_unchecked(u, v, 1.0);
             }
         }
     }
@@ -174,7 +172,7 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
         for v in (u + 1)..n {
             let d = dist(points[u], points[v]);
             if d <= radius && d > 0.0 {
-                g.add_weighted_edge(u, v, d);
+                g.add_weighted_edge_unchecked(u, v, d);
             }
         }
     }
@@ -203,7 +201,7 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
                 .expect("at least node 0 is reached");
             let w = if d > 0.0 { d } else { 1e-6 };
             if !g.has_edge(best, v) {
-                g.add_weighted_edge(best, v, w);
+                g.add_weighted_edge_unchecked(best, v, w);
             }
             // Mark v's whole component reached.
             reached[v] = true;
@@ -227,11 +225,11 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     let n = spine + spine * legs;
     let mut g = Graph::new(n);
     for i in 1..spine {
-        g.add_edge(i - 1, i);
+        g.add_weighted_edge_unchecked(i - 1, i, 1.0);
     }
     for s in 0..spine {
         for l in 0..legs {
-            g.add_edge(s, spine + s * legs + l);
+            g.add_weighted_edge_unchecked(s, spine + s * legs + l, 1.0);
         }
     }
     g

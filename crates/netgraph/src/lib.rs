@@ -48,5 +48,5 @@ pub use graph::{Edge, Graph, NodeId};
 pub use metric::{check_metric_axioms, ExplicitMetric, FiniteMetric, GraphMetric, TreeMetric};
 pub use shortest::{bfs, shortest_paths, DistanceMatrix, ShortestPaths};
 pub use spanning::{build_spanning_tree, DisjointSet, SpanningTreeKind};
-pub use stretch::{stretch, StretchReport};
+pub use stretch::{stretch, stretch_with_distances, StretchReport};
 pub use tree::RootedTree;

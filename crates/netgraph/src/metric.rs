@@ -175,8 +175,6 @@ mod tests {
                 1.0
             } else if (a, b) == (0, 1) {
                 5.0
-            } else if (a, b) == (1, 0) {
-                1.0
             } else {
                 1.0
             }

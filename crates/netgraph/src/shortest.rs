@@ -5,10 +5,17 @@
 //! depend on the tree's diameter `D` and its stretch `s`. This module provides the
 //! distance machinery: Dijkstra (weighted), BFS (unweighted fast path) and all-pairs
 //! distance matrices.
+//!
+//! The all-pairs computation is the hot path of every experiment sweep, so
+//! [`DistanceMatrix::new`] runs parent-free single-source kernels that write straight
+//! into the matrix rows and reuse one scratch heap/queue across all sources (no
+//! per-source allocation). Sweeps that evaluate many runs on one topology should
+//! compute the matrix once and share it via [`DistanceMatrix::shared`].
 
 use crate::graph::{Graph, NodeId};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// Result of a single-source shortest path computation.
 #[derive(Debug, Clone)]
@@ -68,7 +75,7 @@ impl Ord for HeapEntry {
 /// Single-source shortest paths with Dijkstra's algorithm.
 ///
 /// Runs in `O((n + m) log n)`. Falls back to BFS automatically when the graph is
-/// unweighted (all weights exactly 1).
+/// unweighted (all weights exactly 1; an O(1) check).
 pub fn shortest_paths(graph: &Graph, source: NodeId) -> ShortestPaths {
     assert!(source < graph.node_count(), "source out of range");
     if graph.is_unweighted() {
@@ -109,7 +116,7 @@ pub fn bfs(graph: &Graph, source: NodeId) -> ShortestPaths {
     let n = graph.node_count();
     let mut dist = vec![f64::INFINITY; n];
     let mut parent = vec![None; n];
-    let mut queue = std::collections::VecDeque::new();
+    let mut queue = VecDeque::new();
     dist[source] = 0.0;
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
@@ -128,10 +135,56 @@ pub fn bfs(graph: &Graph, source: NodeId) -> ShortestPaths {
     }
 }
 
+/// Parent-free BFS kernel writing distances into `dist` (must be `INFINITY`-filled,
+/// length `n`). `queue` is caller-owned scratch, cleared on entry.
+fn bfs_dist_into(graph: &Graph, source: NodeId, dist: &mut [f64], queue: &mut VecDeque<NodeId>) {
+    queue.clear();
+    dist[source] = 0.0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &(v, _) in graph.neighbors(u) {
+            if dist[v].is_infinite() {
+                dist[v] = du + 1.0;
+                queue.push_back(v);
+            }
+        }
+    }
+}
+
+/// Parent-free Dijkstra kernel writing distances into `dist` (must be
+/// `INFINITY`-filled, length `n`). `heap` is caller-owned scratch, cleared on entry.
+fn dijkstra_dist_into(
+    graph: &Graph,
+    source: NodeId,
+    dist: &mut [f64],
+    heap: &mut BinaryHeap<HeapEntry>,
+) {
+    heap.clear();
+    dist[source] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in graph.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+}
+
 /// All-pairs distance matrix, `n` single-source computations.
 ///
 /// Memory is `O(n^2)`; fine up to a few thousand nodes which covers every experiment
-/// in the paper (the largest is 76 processors).
+/// in the paper (the largest is 76 processors). The computation allocates the matrix
+/// once and reuses a single scratch heap/queue across all sources.
 #[derive(Debug, Clone)]
 pub struct DistanceMatrix {
     n: usize,
@@ -143,11 +196,24 @@ impl DistanceMatrix {
     pub fn new(graph: &Graph) -> Self {
         let n = graph.node_count();
         let mut dist = vec![f64::INFINITY; n * n];
-        for s in 0..n {
-            let sp = shortest_paths(graph, s);
-            dist[s * n..(s + 1) * n].copy_from_slice(&sp.dist);
+        if graph.is_unweighted() {
+            let mut queue = VecDeque::with_capacity(n);
+            for s in 0..n {
+                bfs_dist_into(graph, s, &mut dist[s * n..(s + 1) * n], &mut queue);
+            }
+        } else {
+            let mut heap = BinaryHeap::with_capacity(n);
+            for s in 0..n {
+                dijkstra_dist_into(graph, s, &mut dist[s * n..(s + 1) * n], &mut heap);
+            }
         }
         DistanceMatrix { n, dist }
+    }
+
+    /// Compute the matrix and wrap it in an [`Arc`] so sweeps can share one
+    /// computation per topology across many runs (and across threads).
+    pub fn shared(graph: &Graph) -> Arc<Self> {
+        Arc::new(DistanceMatrix::new(graph))
     }
 
     /// Number of nodes.
@@ -156,20 +222,28 @@ impl DistanceMatrix {
     }
 
     /// Distance between `u` and `v` (`INFINITY` if disconnected).
+    #[inline]
     pub fn dist(&self, u: NodeId, v: NodeId) -> f64 {
+        debug_assert!(u < self.n && v < self.n, "pair ({u},{v}) out of range");
         self.dist[u * self.n + v]
+    }
+
+    /// The distances from `u` to every node, as one contiguous row.
+    #[inline]
+    pub fn row(&self, u: NodeId) -> &[f64] {
+        &self.dist[u * self.n..(u + 1) * self.n]
     }
 
     /// Eccentricity of `u`: max distance to any other node.
     pub fn eccentricity(&self, u: NodeId) -> f64 {
-        (0..self.n)
-            .map(|v| self.dist(u, v))
-            .fold(0.0_f64, f64::max)
+        self.row(u).iter().copied().fold(0.0_f64, f64::max)
     }
 
     /// Diameter: max eccentricity over all nodes. 0 for graphs with < 2 nodes.
     pub fn diameter(&self) -> f64 {
-        (0..self.n).map(|u| self.eccentricity(u)).fold(0.0, f64::max)
+        (0..self.n)
+            .map(|u| self.eccentricity(u))
+            .fold(0.0, f64::max)
     }
 
     /// Radius: min eccentricity over all nodes.
@@ -248,6 +322,32 @@ mod tests {
         let dm = DistanceMatrix::new(&g);
         assert_eq!(dm.dist(0, 3), 9.0);
         assert_eq!(dm.diameter(), 9.0);
+    }
+
+    #[test]
+    fn matrix_rows_match_single_source_runs() {
+        // Weighted and unweighted matrices must agree with the allocating kernels.
+        let weighted = Graph::from_edges(5, &[(0, 1, 2.5), (1, 2, 1.0), (2, 3, 0.5), (3, 4, 4.0)]);
+        let unweighted = path_graph(6);
+        for g in [&weighted, &unweighted] {
+            let dm = DistanceMatrix::new(g);
+            for s in 0..g.node_count() {
+                let sp = shortest_paths(g, s);
+                assert_eq!(dm.row(s), &sp.dist[..], "source {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_matrix_is_the_same_data() {
+        let g = path_graph(4);
+        let dm = DistanceMatrix::shared(&g);
+        let plain = DistanceMatrix::new(&g);
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(dm.dist(u, v), plain.dist(u, v));
+            }
+        }
     }
 
     #[test]

@@ -67,11 +67,8 @@ pub fn shortest_path_tree(graph: &Graph, root: NodeId) -> RootedTree {
 /// Kruskal minimum spanning tree (total edge weight), rooted at `root`.
 pub fn minimum_spanning_tree(graph: &Graph, root: NodeId) -> RootedTree {
     let n = graph.node_count();
-    let mut edges: Vec<(f64, NodeId, NodeId)> = graph
-        .edges()
-        .iter()
-        .map(|e| (e.weight, e.u, e.v))
-        .collect();
+    let mut edges: Vec<(f64, NodeId, NodeId)> =
+        graph.edges().iter().map(|e| (e.weight, e.u, e.v)).collect();
     // Deterministic order: by weight, then endpoints.
     edges.sort_by(|a, b| {
         a.0.partial_cmp(&b.0)
@@ -212,7 +209,13 @@ mod tests {
         //  weights chosen so the MST is {0-1 (1), 1-2 (2), 2-3 (1)} = 4, not the direct 0-3 (10)
         let g = Graph::from_edges(
             4,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 3, 10.0), (0, 2, 5.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.0),
+                (0, 3, 10.0),
+                (0, 2, 5.0),
+            ],
         );
         let t = minimum_spanning_tree(&g, 0);
         let total: f64 = (0..4).map(|v| t.parent_edge_weight(v)).sum();

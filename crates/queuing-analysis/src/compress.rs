@@ -30,6 +30,27 @@ pub fn compress_schedule(schedule: &RequestSchedule, tree: &RootedTree) -> Reque
         time: SimTime::ZERO,
     };
 
+    // Pairwise tree distances between request origins, memoised once: the fixpoint
+    // loop below evaluates every crossing pair per gap per iteration, and only the
+    // *times* change across iterations — the origins (and hence distances) never do.
+    // Request identity is tracked by id so the memo survives re-sorting.
+    let mut points: Vec<Request> = Vec::with_capacity(requests.len() + 1);
+    points.push(root_anchor);
+    points.extend(requests.iter().copied());
+    let m = points.len();
+    let mut index_of_id = std::collections::HashMap::with_capacity(m);
+    for (i, r) in points.iter().enumerate() {
+        index_of_id.insert(r.id, i);
+    }
+    let mut pair_dist = vec![0.0f64; m * m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let d = tree.distance(points[i].node, points[j].node);
+            pair_dist[i * m + j] = d;
+            pair_dist[j * m + i] = d;
+        }
+    }
+
     loop {
         requests.sort_by_key(|r| (r.time, r.id));
         let mut shifted = false;
@@ -37,6 +58,7 @@ pub fn compress_schedule(schedule: &RequestSchedule, tree: &RootedTree) -> Reque
         let mut all: Vec<Request> = Vec::with_capacity(requests.len() + 1);
         all.push(root_anchor);
         all.extend(requests.iter().copied());
+        let idx: Vec<usize> = all.iter().map(|r| index_of_id[&r.id]).collect();
         for gap in 0..all.len() - 1 {
             let t_low = all[gap].time;
             let t_high = all[gap + 1].time;
@@ -45,9 +67,9 @@ pub fn compress_schedule(schedule: &RequestSchedule, tree: &RootedTree) -> Reque
             }
             // δ = min over pairs (a ≤ gap, b > gap) of (t_b - t_a - d_T(v_a, v_b)).
             let mut delta = f64::INFINITY;
-            for a in all.iter().take(gap + 1) {
-                for b in all.iter().skip(gap + 1) {
-                    let slack = (b.time - a.time).as_units_f64() - tree.distance(a.node, b.node);
+            for (ai, a) in all.iter().enumerate().take(gap + 1) {
+                for (bi, b) in all.iter().enumerate().skip(gap + 1) {
+                    let slack = (b.time - a.time).as_units_f64() - pair_dist[idx[ai] * m + idx[bi]];
                     if slack < delta {
                         delta = slack;
                     }
@@ -92,9 +114,9 @@ pub fn is_compressed(schedule: &RequestSchedule, tree: &RootedTree) -> bool {
             continue;
         }
         let ok = all.iter().take(gap + 1).any(|a| {
-            all.iter().skip(gap + 1).any(|b| {
-                tree.distance(a.node, b.node) >= (b.time - a.time).as_units_f64() - 1e-9
-            })
+            all.iter()
+                .skip(gap + 1)
+                .any(|b| tree.distance(a.node, b.node) >= (b.time - a.time).as_units_f64() - 1e-9)
         });
         if !ok {
             return false;
@@ -117,10 +139,8 @@ mod tests {
     fn dead_time_is_squeezed_out() {
         let tree = path_tree(8);
         // A request at node 7 at t = 0, then nothing for 1000 units, then node 1.
-        let schedule = RequestSchedule::from_pairs(&[
-            (7, SimTime::ZERO),
-            (1, SimTime::from_units(1000)),
-        ]);
+        let schedule =
+            RequestSchedule::from_pairs(&[(7, SimTime::ZERO), (1, SimTime::from_units(1000))]);
         assert!(!is_compressed(&schedule, &tree));
         let compressed = compress_schedule(&schedule, &tree);
         assert!(is_compressed(&compressed, &tree));
@@ -150,14 +170,14 @@ mod tests {
     fn compression_preserves_arrow_cost() {
         // Lemma 3.11's key claim: the transformation does not change arrow's cost.
         let tree_graph = generators::path(10);
-        let instance = Instance::tree_only(&tree_graph, 0);
+        let instance = Instance::tree_only(tree_graph, 0);
         let schedule = RequestSchedule::from_pairs(&[
             (9, SimTime::ZERO),
             (2, SimTime::from_units(500)),
             (6, SimTime::from_units(501)),
             (1, SimTime::from_units(2000)),
         ]);
-        let compressed = compress_schedule(&schedule, &instance.tree);
+        let compressed = compress_schedule(&schedule, instance.tree());
         let cfg = RunConfig::analysis(ProtocolKind::Arrow);
         let original = run(&instance, &Workload::OpenLoop(schedule), &cfg);
         let squeezed = run(&instance, &Workload::OpenLoop(compressed), &cfg);
@@ -180,7 +200,10 @@ mod tests {
         let compressed = compress_schedule(&schedule, &tree);
         let before = exact_optimal_cost(&RequestSet::new(&schedule, &tree)).value;
         let after = exact_optimal_cost(&RequestSet::new(&compressed, &tree)).value;
-        assert!(after <= before + 1e-9, "compression increased Opt: {before} -> {after}");
+        assert!(
+            after <= before + 1e-9,
+            "compression increased Opt: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ use arrow_core::{Request, RequestId, RequestSchedule};
 use desim::SimTime;
 use netgraph::{DistanceMatrix, NodeId, RootedTree};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A request set `R ∪ {r0}` together with the distance structures needed to evaluate
 /// the paper's cost functions. Index 0 is always the virtual root request.
@@ -33,7 +34,8 @@ pub struct RequestSet {
     /// The spanning tree (for `d_T`).
     tree: RootedTree,
     /// Graph distances (for `d_G`), if a graph distinct from the tree is relevant.
-    graph_dist: Option<DistanceMatrix>,
+    /// Shared, because the same all-pairs matrix typically backs a whole sweep.
+    graph_dist: Option<Arc<DistanceMatrix>>,
 }
 
 impl RequestSet {
@@ -47,7 +49,7 @@ impl RequestSet {
     pub fn with_graph_distances(
         schedule: &RequestSchedule,
         tree: &RootedTree,
-        graph_dist: Option<DistanceMatrix>,
+        graph_dist: Option<Arc<DistanceMatrix>>,
     ) -> Self {
         let mut points = Vec::with_capacity(schedule.len() + 1);
         points.push(Request {
@@ -202,10 +204,8 @@ mod tests {
     fn small_set() -> RequestSet {
         let tree_graph = generators::path(5);
         let tree = RootedTree::from_tree_graph(&tree_graph, 0);
-        let schedule = RequestSchedule::from_pairs(&[
-            (4, SimTime::ZERO),
-            (1, SimTime::from_units(2)),
-        ]);
+        let schedule =
+            RequestSchedule::from_pairs(&[(4, SimTime::ZERO), (1, SimTime::from_units(2))]);
         RequestSet::new(&schedule, &tree)
     }
 
@@ -248,10 +248,8 @@ mod tests {
     fn cost_t_negative_branch() {
         // Request j issued *before* i by more than the distance: d < 0 branch.
         let tree = RootedTree::from_tree_graph(&generators::path(3), 0);
-        let schedule = RequestSchedule::from_pairs(&[
-            (1, SimTime::ZERO),
-            (2, SimTime::from_units(10)),
-        ]);
+        let schedule =
+            RequestSchedule::from_pairs(&[(1, SimTime::ZERO), (2, SimTime::from_units(10))]);
         let rs = RequestSet::new(&schedule, &tree);
         // i = index of the later request (t=10, node 2), j = earlier (t=0, node 1).
         // d = 0 - 10 + 1 = -9 < 0, so c_T = 10 - 0 + 1 = 11.
@@ -291,7 +289,7 @@ mod tests {
         let rs = RequestSet::with_graph_distances(
             &schedule,
             &tree,
-            Some(DistanceMatrix::new(&graph)),
+            Some(DistanceMatrix::shared(&graph)),
         );
         assert_eq!(rs.cost_o(0, 1), rs.d_tree(0, 1));
         assert_eq!(rs.cost_opt(0, 1), 1.0);

@@ -30,7 +30,7 @@
 //!                   &RunConfig::analysis(ProtocolKind::Arrow));
 //!
 //! // Arrow's order, expressed as indices into the request set (root prepended)...
-//! let rs = RequestSet::new(&schedule, &instance.tree);
+//! let rs = RequestSet::new(&schedule, instance.tree());
 //! let order: Vec<usize> = outcome.order.order().iter()
 //!     .map(|&id| rs.index_of(id).unwrap())
 //!     .collect();

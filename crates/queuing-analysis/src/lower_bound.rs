@@ -28,7 +28,7 @@ pub fn recommended_layers(diameter: usize) -> usize {
     let d = diameter.max(4) as f64;
     let k = (d.log2() / d.log2().log2()).floor() as usize;
     let k = k.max(2);
-    if k % 2 == 0 {
+    if k.is_multiple_of(2) {
         k
     } else {
         k + 1
@@ -59,7 +59,10 @@ pub fn theorem_4_1_requests(diameter: usize, k: usize) -> Vec<(NodeId, u64)> {
         size: usize,
         dir: isize,
     ) {
-        debug_assert!(node >= 0 && node <= diameter as isize, "node {node} off the path");
+        debug_assert!(
+            node >= 0 && node <= diameter as isize,
+            "node {node} off the path"
+        );
         set.insert((node as NodeId, t));
         if t == 0 {
             return;
@@ -83,7 +86,7 @@ pub fn theorem_4_1_requests(diameter: usize, k: usize) -> Vec<(NodeId, u64)> {
 /// (rooted at `v_0`), and the request schedule.
 pub fn theorem_4_1_instance(diameter: usize, k: usize) -> (Instance, RequestSchedule) {
     let graph = generators::path(diameter + 1);
-    let instance = Instance::tree_only(&graph, 0);
+    let instance = Instance::tree_only(graph, 0);
     let pairs: Vec<(NodeId, SimTime)> = theorem_4_1_requests(diameter, k)
         .into_iter()
         .map(|(v, t)| (v, SimTime::from_units(t)))
@@ -105,7 +108,7 @@ pub fn theorem_4_2_instance(
 ) -> (Instance, RequestSchedule) {
     assert!(stretch >= 2, "use theorem_4_1_instance for stretch 1");
     assert!(
-        diameter % stretch == 0,
+        diameter.is_multiple_of(stretch),
         "stretch {stretch} must divide the diameter {diameter}"
     );
     let scaled = diameter / stretch;
@@ -193,14 +196,18 @@ mod tests {
         let at_k1 = count_at(k as u64 - 1);
         assert!((6..=8).contains(&at_k1), "layer k-1 has {at_k1} requests");
         // Layers are at most log^j D-ish; just verify the whole instance is modest.
-        assert!(reqs.len() < 400, "instance unexpectedly large: {}", reqs.len());
+        assert!(
+            reqs.len() < 400,
+            "instance unexpectedly large: {}",
+            reqs.len()
+        );
     }
 
     #[test]
     fn instance_construction_is_consistent() {
         let (instance, schedule) = theorem_4_1_instance(16, 4);
         assert_eq!(instance.node_count(), 17);
-        assert_eq!(instance.tree.root(), 0);
+        assert_eq!(instance.tree().root(), 0);
         assert!(schedule.len() > 8);
         let report = instance.stretch_report();
         assert_eq!(report.max_stretch, 1.0);

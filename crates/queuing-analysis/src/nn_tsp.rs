@@ -27,6 +27,7 @@ pub fn nearest_neighbor_path(rs: &RequestSet, cost: CostFn) -> Vec<usize> {
     let mut current = 0usize;
     for _ in 1..n {
         let mut best: Option<(usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)]
         for j in 1..n {
             if visited[j] {
                 continue;
@@ -90,6 +91,7 @@ pub fn check_nearest_neighbor(
     let mut current = 0usize;
     for (pos, &next) in order.iter().enumerate() {
         let chosen_cost = cost(rs, current, next);
+        #[allow(clippy::needless_range_loop)]
         for j in 1..n {
             if !visited[j] && j != next {
                 let c = cost(rs, current, j);
@@ -172,7 +174,12 @@ mod tests {
     fn nn_construction_always_passes_its_own_check() {
         for seed in 0..5u64 {
             let positions: Vec<(usize, u64)> = (0..8)
-                .map(|i| (((seed as usize * 7 + i * 3) % 15) + 1, (i as u64 * seed) % 11))
+                .map(|i| {
+                    (
+                        ((seed as usize * 7 + i * 3) % 15) + 1,
+                        (i as u64 * seed) % 11,
+                    )
+                })
                 .collect();
             let rs = line_set(&positions);
             for cost in [

@@ -146,7 +146,12 @@ mod tests {
     fn mst_bounds_never_exceed_exact() {
         for seed in 0..5u64 {
             let positions: Vec<(usize, u64)> = (0..7)
-                .map(|i| ((1 + (i * 3 + seed as usize) % 10), (i as u64 * 2 + seed) % 8))
+                .map(|i| {
+                    (
+                        (1 + (i * 3 + seed as usize) % 10),
+                        (i as u64 * 2 + seed) % 8,
+                    )
+                })
                 .collect();
             let rs = set_on_path(&positions, 12);
             let exact = exact_optimal_cost(&rs).value;
@@ -188,18 +193,13 @@ mod tests {
         // On a cycle, the tree forces long detours but Opt can use the short way round.
         let graph = generators::cycle(10);
         let tree = netgraph::spanning::shortest_path_tree(&graph, 0);
-        let schedule = RequestSchedule::from_pairs(&[
-            (5, SimTime::ZERO),
-            (9, SimTime::ZERO),
-        ]);
+        let schedule = RequestSchedule::from_pairs(&[(5, SimTime::ZERO), (9, SimTime::ZERO)]);
         let with_graph = RequestSet::with_graph_distances(
             &schedule,
             &tree,
-            Some(DistanceMatrix::new(&graph)),
+            Some(DistanceMatrix::shared(&graph)),
         );
         let tree_only = RequestSet::new(&schedule, &tree);
-        assert!(
-            distance_only_bound(&with_graph).value < distance_only_bound(&tree_only).value
-        );
+        assert!(distance_only_bound(&with_graph).value < distance_only_bound(&tree_only).value);
     }
 }

@@ -11,12 +11,11 @@ use crate::compress::compress_schedule;
 use crate::cost::RequestSet;
 use crate::optimal::{best_lower_bound, OptBound};
 use crate::theory;
-use arrow_core::{run, Instance, ProtocolKind, RequestSchedule, RunConfig, Workload};
-use netgraph::DistanceMatrix;
+use arrow_core::{run_schedule, Instance, ProtocolKind, RequestSchedule, RunConfig};
 use serde::{Deserialize, Serialize};
 
 /// The result of one competitive-ratio measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RatioReport {
     /// Number of requests in the instance.
     pub requests: usize,
@@ -57,17 +56,15 @@ pub fn measure_ratio(
     let mut config = config.clone();
     config.protocol = ProtocolKind::Arrow;
 
-    let outcome = run(instance, &Workload::OpenLoop(schedule.clone()), &config);
+    let outcome = run_schedule(instance, schedule, &config);
     let arrow_cost = outcome.total_latency;
 
     // Lower bound the optimum on the *compressed* schedule (Lemma 3.11 justifies the
-    // transformation: it cannot increase the optimal cost), with graph distances.
-    let compressed = compress_schedule(schedule, &instance.tree);
-    let rs = RequestSet::with_graph_distances(
-        &compressed,
-        &instance.tree,
-        Some(DistanceMatrix::new(&instance.graph)),
-    );
+    // transformation: it cannot increase the optimal cost), with graph distances
+    // shared from the instance's cached all-pairs matrix.
+    let compressed = compress_schedule(schedule, instance.tree());
+    let rs =
+        RequestSet::with_graph_distances(&compressed, instance.tree(), Some(instance.distances()));
     let opt_bound = best_lower_bound(&rs);
     let opt = opt_bound.value.max(f64::MIN_POSITIVE);
 
@@ -98,8 +95,17 @@ mod tests {
         // the lower-bound estimator).
         let instance = Instance::complete_uniform(10, SpanningTreeKind::BalancedBinary);
         let schedule = workload::sequential_round_robin(&(0..10).collect::<Vec<_>>(), 10, 50.0);
-        let report = measure_ratio(&instance, &schedule, &RunConfig::analysis(ProtocolKind::Arrow));
-        assert!(report.within_bound(), "ratio {} > bound {}", report.ratio, report.theorem_bound);
+        let report = measure_ratio(
+            &instance,
+            &schedule,
+            &RunConfig::analysis(ProtocolKind::Arrow),
+        );
+        assert!(
+            report.within_bound(),
+            "ratio {} > bound {}",
+            report.ratio,
+            report.theorem_bound
+        );
         assert!(report.ratio >= 1.0 - 1e-9);
     }
 
@@ -108,7 +114,11 @@ mod tests {
         let instance = Instance::complete_uniform(12, SpanningTreeKind::BalancedBinary);
         let nodes: Vec<usize> = (0..12).collect();
         let schedule = workload::one_shot_burst(&nodes, SimTime::ZERO);
-        let report = measure_ratio(&instance, &schedule, &RunConfig::analysis(ProtocolKind::Arrow));
+        let report = measure_ratio(
+            &instance,
+            &schedule,
+            &RunConfig::analysis(ProtocolKind::Arrow),
+        );
         assert!(
             report.within_bound(),
             "ratio {} exceeds theorem bound {}",
@@ -151,7 +161,11 @@ mod tests {
         // On the Theorem 4.1 instance the ratio should be noticeably larger than 1
         // (it grows like log D / log log D).
         let (instance, schedule) = crate::lower_bound::theorem_4_1_instance(32, 4);
-        let report = measure_ratio(&instance, &schedule, &RunConfig::analysis(ProtocolKind::Arrow));
+        let report = measure_ratio(
+            &instance,
+            &schedule,
+            &RunConfig::analysis(ProtocolKind::Arrow),
+        );
         assert!(report.ratio > 1.5, "ratio only {}", report.ratio);
         assert!(report.within_bound());
     }

@@ -98,6 +98,7 @@ pub fn mst_weight(rs: &RequestSet, cost: CostFn) -> f64 {
     let mut in_tree = vec![false; n];
     let mut best = vec![f64::INFINITY; n];
     in_tree[0] = true;
+    #[allow(clippy::needless_range_loop)]
     for j in 1..n {
         best[j] = cost(rs, 0, j);
     }
@@ -188,13 +189,21 @@ mod tests {
     fn held_karp_is_never_worse_than_nearest_neighbor() {
         for seed in 0..6u64 {
             let positions: Vec<(usize, u64)> = (0..7)
-                .map(|i| ((1 + (i * 3 + seed as usize * 5) % 14), (i as u64 * 2 + seed) % 9))
+                .map(|i| {
+                    (
+                        (1 + (i * 3 + seed as usize * 5) % 14),
+                        (i as u64 * 2 + seed) % 9,
+                    )
+                })
                 .collect();
             let rs = set_on_path(&positions, 16);
             let (opt_cost, _) = held_karp_path(&rs, RequestSet::cost_manhattan);
             let nn = nearest_neighbor_path(&rs, RequestSet::cost_manhattan);
             let nn_cost = path_cost(&rs, &nn, RequestSet::cost_manhattan);
-            assert!(opt_cost <= nn_cost + 1e-9, "seed {seed}: {opt_cost} > {nn_cost}");
+            assert!(
+                opt_cost <= nn_cost + 1e-9,
+                "seed {seed}: {opt_cost} > {nn_cost}"
+            );
         }
     }
 
@@ -215,7 +224,12 @@ mod tests {
     fn mst_lower_bounds_every_path() {
         for seed in 0..6u64 {
             let positions: Vec<(usize, u64)> = (0..8)
-                .map(|i| ((1 + (i * 5 + seed as usize * 3) % 14), (i as u64 + seed) % 7))
+                .map(|i| {
+                    (
+                        (1 + (i * 5 + seed as usize * 3) % 14),
+                        (i as u64 + seed) % 7,
+                    )
+                })
                 .collect();
             let rs = set_on_path(&positions, 16);
             let mst = mst_weight(&rs, RequestSet::cost_manhattan);
@@ -237,7 +251,12 @@ mod tests {
         // the paper uses when going from tours to paths.
         for seed in 0..6u64 {
             let positions: Vec<(usize, u64)> = (0..8)
-                .map(|i| ((1 + (i * 7 + seed as usize) % 14), (i as u64 * 3 + seed) % 13))
+                .map(|i| {
+                    (
+                        (1 + (i * 7 + seed as usize) % 14),
+                        (i as u64 * 3 + seed) % 13,
+                    )
+                })
                 .collect();
             let rs = set_on_path(&positions, 16);
             let nn_order = nearest_neighbor_path(&rs, RequestSet::cost_t);

@@ -14,7 +14,7 @@
 
 use arrow_core::prelude::*;
 use desim::SimTime;
-use netgraph::{generators, DistanceMatrix};
+use netgraph::generators;
 
 fn main() {
     // A 16-node random geometric network (e.g. machines in a data centre with
@@ -22,7 +22,7 @@ fn main() {
     // (the choice recommended by Demmer-Herlihy).
     let graph = generators::random_geometric(16, 0.45, 42);
     let tree = netgraph::spanning::build_spanning_tree(&graph, 0, SpanningTreeKind::MinimumWeight);
-    let instance = Instance::new(graph.clone(), tree);
+    let instance = Instance::new(graph, tree);
     let report = instance.stretch_report();
     println!(
         "network: 16-node random geometric graph; directory tree = MST \
@@ -45,7 +45,12 @@ fn main() {
     let schedule = RequestSchedule::from_pairs(
         &writers
             .iter()
-            .map(|&(v, t)| (v, SimTime::from_subticks((t * desim::SUBTICKS_PER_UNIT as f64) as u64)))
+            .map(|&(v, t)| {
+                (
+                    v,
+                    SimTime::from_subticks((t * desim::SUBTICKS_PER_UNIT as f64) as u64),
+                )
+            })
             .collect::<Vec<_>>(),
     );
 
@@ -56,9 +61,10 @@ fn main() {
     );
 
     // Replay the queue as object movements: the object starts at the root (node 0)
-    // and is shipped from each holder to the next writer in the queue.
-    let dm = DistanceMatrix::new(&graph);
-    let mut holder = instance.tree.root();
+    // and is shipped from each holder to the next writer in the queue. The distance
+    // matrix is the instance's cached one — computed at most once per topology.
+    let dm = instance.distances();
+    let mut holder = instance.tree().root();
     let mut transfer_cost = 0.0;
     println!("document movements (directory order):");
     for &id in outcome.order.order() {

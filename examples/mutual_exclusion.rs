@@ -1,6 +1,6 @@
 //! Distributed mutual exclusion — the application the arrow protocol was invented for
 //! (Raymond 1989), running on the real-concurrency runtime: one OS thread per node,
-//! crossbeam channels as the FIFO links, and the exclusion token passed down the
+//! std::sync::mpsc channels as the FIFO links, and the exclusion token passed down the
 //! distributed queue from each request to its successor.
 //!
 //! ```text
@@ -54,7 +54,11 @@ fn main() {
     println!("shared counter: {observed} (expected {expected})");
     println!(
         "overlapping critical sections detected: {}",
-        if log.find_overlap().is_some() { "YES (bug!)" } else { "none" }
+        if log.find_overlap().is_some() {
+            "YES (bug!)"
+        } else {
+            "none"
+        }
     );
     println!("arrow queue() messages: {queue_msgs}");
     println!("token transfer messages: {token_msgs}");
@@ -63,8 +67,14 @@ fn main() {
         queue_msgs as f64 / acquisitions as f64
     );
 
-    assert_eq!(observed, expected, "lost updates — mutual exclusion violated");
-    assert!(log.find_overlap().is_none(), "overlapping critical sections");
+    assert_eq!(
+        observed, expected,
+        "lost updates — mutual exclusion violated"
+    );
+    assert!(
+        log.find_overlap().is_none(),
+        "overlapping critical sections"
+    );
 
     Arc::try_unwrap(runtime)
         .ok()

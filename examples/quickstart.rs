@@ -21,7 +21,7 @@ fn main() {
     //     / \ / \
     //    3  4 5  6
     let tree_graph = generators::balanced_binary_tree(7);
-    let instance = Instance::tree_only(&tree_graph, 0);
+    let instance = Instance::tree_only(tree_graph, 0);
     println!("spanning tree: balanced binary tree on 7 nodes, root 0 holds the queue tail");
     println!(
         "tree diameter D = {}, stretch s = {} (G = T)",

@@ -31,7 +31,7 @@ fn lemma_3_8_nearest_neighbor_characterisation() {
         },
         // Staggered requests on a path (G = T).
         {
-            let instance = Instance::tree_only(&generators::path(16), 0);
+            let instance = Instance::tree_only(generators::path(16), 0);
             let s = RequestSchedule::from_pairs(&[
                 (15, SimTime::ZERO),
                 (3, SimTime::from_units(1)),
@@ -60,7 +60,7 @@ fn lemma_3_8_nearest_neighbor_characterisation() {
             &Workload::OpenLoop(schedule.clone()),
             &RunConfig::analysis(ProtocolKind::Arrow),
         );
-        let rs = RequestSet::new(&schedule, &instance.tree);
+        let rs = RequestSet::new(&schedule, instance.tree());
         let order = arrow_order_as_indices(&outcome, &rs);
         // Ties in c_T can legitimately be broken either way, so allow a tolerance of
         // one sub-tick-rounded unit step.
@@ -84,7 +84,7 @@ fn lemma_3_10_cost_identity() {
         &Workload::OpenLoop(schedule.clone()),
         &RunConfig::analysis(ProtocolKind::Arrow),
     );
-    let rs = RequestSet::new(&schedule, &instance.tree);
+    let rs = RequestSet::new(&schedule, instance.tree());
     let order = arrow_order_as_indices(&outcome, &rs);
 
     // Sum of tree distances along arrow's order (equation (2)).
@@ -123,7 +123,7 @@ fn lemma_3_10_cost_identity() {
 /// `r_j` by arrow.
 #[test]
 fn lemma_3_9_ordering_property() {
-    let instance = Instance::tree_only(&generators::balanced_binary_tree(15), 0);
+    let instance = Instance::tree_only(generators::balanced_binary_tree(15), 0);
     for seed in 0..5u64 {
         let schedule = workload::uniform_random(15, 25, 12.0, seed);
         let outcome = run(
@@ -144,7 +144,7 @@ fn lemma_3_9_ordering_property() {
                 if a.id == b.id {
                     continue;
                 }
-                let dt = instance.tree.distance(a.node, b.node);
+                let dt = instance.tree().distance(a.node, b.node);
                 let gap = (b.time - a.time).as_units_f64();
                 if gap > dt + 1e-9 {
                     assert!(
@@ -166,10 +166,10 @@ fn lemma_3_9_ordering_property() {
 /// measured competitive ratio respects Theorem 3.19 on every instance tried.
 #[test]
 fn measured_ratios_bracket_correctly() {
-    let instances = vec![
+    let instances = [
         Instance::complete_uniform(8, SpanningTreeKind::BalancedBinary),
         Instance::complete_uniform(8, SpanningTreeKind::Star),
-        Instance::tree_only(&generators::path(17), 0),
+        Instance::tree_only(generators::path(17), 0),
     ];
     for (i, instance) in instances.iter().enumerate() {
         let n = instance.node_count();

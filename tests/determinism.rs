@@ -1,0 +1,111 @@
+//! Determinism regression tests.
+//!
+//! The simulator's contract is that a run is a pure function of
+//! `(processes, config, seed, scheduled inputs)`: the same seed must produce a
+//! byte-identical trace and outcome, and the rayon-parallel experiment sweeps must
+//! produce exactly the rows their serial reference implementations do, in the same
+//! order, regardless of thread count or scheduling.
+
+use arrow_bench::experiments;
+use arrow_core::prelude::*;
+use desim::SimTime;
+
+/// Same `RunConfig` seed => identical queuing order, costs and event counts across
+/// two independent protocol runs, in both synchrony models. (Byte-identical *trace*
+/// output is pinned by `raw_simulator_trace_is_reproducible_per_seed` below, which
+/// drives the simulator directly — the harness does not expose its trace.)
+#[test]
+fn same_seed_produces_identical_outcome() {
+    let run_once = |sync: bool| {
+        let instance = Instance::complete_uniform(12, SpanningTreeKind::BalancedBinary);
+        let schedule = workload::uniform_random(12, 60, 20.0, 7);
+        let mut config = RunConfig::analysis(ProtocolKind::Arrow);
+        if !sync {
+            config = config.asynchronous(13);
+        }
+        let outcome = run(&instance, &Workload::OpenLoop(schedule), &config);
+        (
+            format!("{:?}", outcome.order.order()),
+            outcome.total_latency,
+            outcome.makespan,
+            outcome.sim_events,
+            outcome.protocol_messages,
+        )
+    };
+    for sync in [true, false] {
+        let a = run_once(sync);
+        let b = run_once(sync);
+        assert_eq!(a, b, "sync={sync}: identical seeds diverged");
+    }
+}
+
+/// The raw simulator (one level below the harness): same seed => identical trace
+/// text; different seed => allowed (and here, expected) to differ.
+#[test]
+fn raw_simulator_trace_is_reproducible_per_seed() {
+    use desim::{Context, NodeId, Process, SimConfig, Simulator};
+
+    #[derive(Debug)]
+    struct Relay {
+        n: usize,
+    }
+    impl Process<u32> for Relay {
+        fn on_message(&mut self, ctx: &mut Context<u32>, _from: NodeId, hops: u32) {
+            if hops > 0 {
+                let next = (ctx.node() + 1) % self.n;
+                ctx.send(next, hops - 1);
+            }
+        }
+    }
+
+    let render = |seed: u64| {
+        let mut cfg = SimConfig::asynchronous(seed);
+        cfg.trace = true;
+        let nodes = (0..6).map(|_| Relay { n: 6 }).collect();
+        let mut sim = Simulator::new(nodes, cfg);
+        sim.schedule_external(SimTime::ZERO, 0, 40);
+        let outcome = sim.run();
+        (sim.trace().render(), outcome.events, outcome.final_time)
+    };
+    assert_eq!(render(42), render(42));
+    assert_ne!(render(42).0, render(43).0);
+}
+
+/// Parallel sweeps return exactly the rows of the serial reference implementations,
+/// in the same order.
+#[test]
+fn parallel_sweeps_match_serial_reference_rows() {
+    assert_eq!(
+        experiments::ratio_sweep(9, 16, 3),
+        experiments::ratio_sweep_serial(9, 16, 3),
+        "ratio_sweep parallel/serial mismatch"
+    );
+    assert_eq!(
+        experiments::figure_9(&[16, 32]),
+        experiments::figure_9_serial(&[16, 32]),
+        "figure_9 parallel/serial mismatch"
+    );
+    assert_eq!(
+        experiments::figure_10(&[2, 4, 8], 15, 0.2),
+        experiments::figure_10_serial(&[2, 4, 8], 15, 0.2),
+        "figure_10 parallel/serial mismatch"
+    );
+    assert_eq!(
+        experiments::figure_11(&[2, 4, 8], 15, 0.2),
+        experiments::figure_11_serial(&[2, 4, 8], 15, 0.2),
+        "figure_11 parallel/serial mismatch"
+    );
+    assert_eq!(
+        experiments::async_vs_sync(6, 12, &[1, 2, 3]),
+        experiments::async_vs_sync_serial(6, 12, &[1, 2, 3]),
+        "async_vs_sync parallel/serial mismatch"
+    );
+}
+
+/// Repeated parallel sweeps are stable run-to-run (no dependence on thread timing).
+#[test]
+fn parallel_sweep_rows_are_stable_across_repeated_runs() {
+    let a = experiments::ratio_sweep(9, 12, 5);
+    let b = experiments::ratio_sweep(9, 12, 5);
+    assert_eq!(a, b);
+}

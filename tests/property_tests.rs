@@ -1,97 +1,76 @@
-//! Property-based tests (proptest) over randomly generated topologies, spanning
-//! trees and request schedules. These encode the paper's invariants as properties
-//! that must hold on *every* generated instance, not just hand-picked examples.
+//! Property-based tests over randomly generated topologies, spanning trees and
+//! request schedules. These encode the paper's invariants as properties that must
+//! hold on *every* generated instance, not just hand-picked examples.
+//!
+//! Cases are generated from a deterministic seeded PRNG (no external property-testing
+//! framework, which is unavailable offline), so every run exercises the exact same
+//! instance set and failures are reproducible from the printed case number alone.
 
 use arrow_core::prelude::*;
-use desim::SimTime;
+use desim::{SimRng, SimTime};
 use netgraph::spanning::build_spanning_tree;
 use netgraph::{generators, DistanceMatrix, FiniteMetric, TreeMetric};
-use proptest::prelude::*;
 use queuing_analysis::cost::RequestSet;
 use queuing_analysis::{check_nearest_neighbor, held_karp_path, mst_weight, nearest_neighbor_path};
 
-/// A random connected topology described compactly so proptest can shrink it.
-#[derive(Debug, Clone)]
-enum Topology {
-    Complete(usize),
-    Grid(usize, usize),
-    Cycle(usize),
-    RandomTree(usize, u64),
-    Geometric(usize, u64),
-}
+const CASES: u64 = 48;
 
-impl Topology {
-    fn build(&self) -> netgraph::Graph {
-        match *self {
-            Topology::Complete(n) => generators::complete(n, 1.0),
-            Topology::Grid(r, c) => generators::grid(r, c),
-            Topology::Cycle(n) => generators::cycle(n),
-            Topology::RandomTree(n, seed) => generators::random_tree(n, seed),
-            Topology::Geometric(n, seed) => generators::random_geometric(n, 0.5, seed),
-        }
+/// A random connected topology, chosen deterministically from the case seed.
+fn random_topology(rng: &mut SimRng) -> netgraph::Graph {
+    match rng.index(5) {
+        0 => generators::complete(4 + rng.index(16), 1.0),
+        1 => generators::grid(2 + rng.index(3), 2 + rng.index(3)),
+        2 => generators::cycle(4 + rng.index(16)),
+        3 => generators::random_tree(3 + rng.index(21), rng.uniform_u64(0, u64::MAX - 1)),
+        _ => generators::random_geometric(4 + rng.index(12), 0.5, rng.uniform_u64(0, u64::MAX - 1)),
     }
 }
 
-fn topology_strategy() -> impl Strategy<Value = Topology> {
-    prop_oneof![
-        (4usize..20).prop_map(Topology::Complete),
-        ((2usize..5), (2usize..5)).prop_map(|(r, c)| Topology::Grid(r, c)),
-        (4usize..20).prop_map(Topology::Cycle),
-        ((3usize..24), any::<u64>()).prop_map(|(n, s)| Topology::RandomTree(n, s)),
-        ((4usize..16), any::<u64>()).prop_map(|(n, s)| Topology::Geometric(n, s)),
-    ]
-}
-
-/// A schedule description: (node index modulo n, issue time in tenths of a unit).
-fn schedule_strategy() -> impl Strategy<Value = Vec<(usize, u32)>> {
-    proptest::collection::vec(((0usize..1000), (0u32..200)), 1..20)
-}
-
-fn make_schedule(raw: &[(usize, u32)], n: usize) -> RequestSchedule {
-    let pairs: Vec<(usize, SimTime)> = raw
-        .iter()
-        .map(|&(v, t)| {
+/// A random schedule of 1..20 requests with issue times in tenths of a unit.
+fn random_schedule(rng: &mut SimRng, n: usize, max_tenths: u64) -> RequestSchedule {
+    let count = 1 + rng.index(19);
+    let pairs: Vec<(usize, SimTime)> = (0..count)
+        .map(|_| {
             (
-                v % n,
-                SimTime::from_subticks(t as u64 * desim::SUBTICKS_PER_UNIT / 10),
+                rng.index(n),
+                SimTime::from_subticks(
+                    rng.uniform_u64(0, max_tenths) * desim::SUBTICKS_PER_UNIT / 10,
+                ),
             )
         })
         .collect();
     RequestSchedule::from_pairs(&pairs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The arrow protocol always queues every request exactly once, in a valid chain
-    /// from the root, and its synchronous cost equals the sum of tree distances
-    /// between consecutive requests (equation (2)).
-    #[test]
-    fn arrow_always_produces_a_valid_order_with_the_predicted_cost(
-        topo in topology_strategy(),
-        raw in schedule_strategy(),
-        tree_seed in 0u8..3,
-    ) {
-        let graph = topo.build();
+/// The arrow protocol always queues every request exactly once, in a valid chain
+/// from the root, and its synchronous cost equals the sum of tree distances
+/// between consecutive requests (equation (2)).
+#[test]
+fn arrow_always_produces_a_valid_order_with_the_predicted_cost() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xA110 + case);
+        let graph = random_topology(&mut rng);
         let n = graph.node_count();
-        prop_assume!(n >= 2);
-        let kind = match tree_seed {
+        if n < 2 {
+            continue;
+        }
+        let kind = match case % 3 {
             0 => SpanningTreeKind::ShortestPath,
             1 => SpanningTreeKind::MinimumWeight,
             _ => SpanningTreeKind::MinimumCommunication,
         };
         let tree = build_spanning_tree(&graph, 0, kind);
         let instance = Instance::new(graph, tree);
-        let schedule = make_schedule(&raw, n);
+        let schedule = random_schedule(&mut rng, n, 200);
         let outcome = run(
             &instance,
             &Workload::OpenLoop(schedule.clone()),
             &RunConfig::analysis(ProtocolKind::Arrow),
         );
         // Valid order covering every request.
-        prop_assert_eq!(outcome.order.len(), schedule.len());
+        assert_eq!(outcome.order.len(), schedule.len(), "case {case}");
         // Equation (2): cost = sum of tree distances along the order.
-        let rs = RequestSet::new(&schedule, &instance.tree);
+        let rs = RequestSet::new(&schedule, instance.tree());
         let mut d_sum = 0.0;
         let mut prev = 0usize;
         for &id in outcome.order.order() {
@@ -102,57 +81,67 @@ proptest! {
         // Tolerance: the simulator quantises time to sub-ticks (1e-6 of a unit), so
         // with fractional edge weights each hop can round by up to one sub-tick.
         let tolerance = 1e-3 + 1e-6 * d_sum.abs();
-        prop_assert!((outcome.total_latency - d_sum).abs() < tolerance,
-            "latency {} != distance sum {}", outcome.total_latency, d_sum);
+        assert!(
+            (outcome.total_latency - d_sum).abs() < tolerance,
+            "case {case}: latency {} != distance sum {}",
+            outcome.total_latency,
+            d_sum
+        );
     }
+}
 
-    /// Lemma 3.8 (one-shot / concurrent-burst case): with simultaneous requests the
-    /// order is a nearest-neighbour TSP path under c_T (which then equals d_T).
-    ///
-    /// The fully dynamic randomized version of this property (arbitrary fractional
-    /// issue times) occasionally finds executions whose order deviates from the
-    /// strict c_T-nearest-neighbour path when a request is issued while another
-    /// request's queue() message is mid-flight on the same tree path; the
-    /// deterministic staggered-time cases of `tests/analysis_integration.rs`
-    /// (`lemma_3_8_nearest_neighbor_characterisation`) cover the dynamic setting, and
-    /// the discrepancy on random fractional-time instances is recorded as an open
-    /// investigation item in EXPERIMENTS.md (E6).
-    #[test]
-    fn arrow_order_is_a_nearest_neighbor_path_for_concurrent_bursts(
-        origins in proptest::collection::vec(0usize..1000, 2..16),
-        n in 4usize..20,
-    ) {
+/// Lemma 3.8 (one-shot / concurrent-burst case): with simultaneous requests the
+/// order is a nearest-neighbour TSP path under c_T (which then equals d_T).
+///
+/// The fully dynamic version of this property (arbitrary fractional issue times)
+/// occasionally finds executions whose order deviates from the strict
+/// c_T-nearest-neighbour path when a request is issued while another request's
+/// queue() message is mid-flight on the same tree path; the deterministic
+/// staggered-time cases of `tests/analysis_integration.rs` cover the dynamic setting.
+#[test]
+fn arrow_order_is_a_nearest_neighbor_path_for_concurrent_bursts() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xB42 + case);
+        let n = 4 + rng.index(16);
         let graph = generators::random_tree(n, n as u64 * 31 + 7);
-        let instance = Instance::tree_only(&graph, 0);
-        let nodes: Vec<usize> = origins.iter().map(|&v| v % n).collect();
+        let instance = Instance::tree_only(graph, 0);
+        let count = 2 + rng.index(14);
+        let nodes: Vec<usize> = (0..count).map(|_| rng.index(n)).collect();
         let schedule = workload::one_shot_burst(&nodes, SimTime::ZERO);
         let outcome = run(
             &instance,
             &Workload::OpenLoop(schedule.clone()),
             &RunConfig::analysis(ProtocolKind::Arrow),
         );
-        let rs = RequestSet::new(&schedule, &instance.tree);
-        let order: Vec<usize> = outcome.order.order().iter()
+        let rs = RequestSet::new(&schedule, instance.tree());
+        let order: Vec<usize> = outcome
+            .order
+            .order()
+            .iter()
             .map(|&id| rs.index_of(id).unwrap())
             .collect();
         let violation = check_nearest_neighbor(&rs, &order, RequestSet::cost_t, 1e-6);
-        prop_assert!(violation.is_none(), "NN violation: {violation:?}, order {order:?}");
+        assert!(
+            violation.is_none(),
+            "case {case}: NN violation: {violation:?}, order {order:?}"
+        );
     }
+}
 
-    /// The cost measures satisfy the inequalities the analysis relies on:
-    /// 0 <= c_T <= c_M, c_O <= c_M, c_O >= d_T / 1, and c_Opt <= c_O.
-    #[test]
-    fn cost_measure_inequalities(
-        raw in schedule_strategy(),
-        n in 4usize..16,
-    ) {
+/// The cost measures satisfy the inequalities the analysis relies on:
+/// 0 <= c_T <= c_M, c_O <= c_M, and c_Opt <= c_O.
+#[test]
+fn cost_measure_inequalities() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xC057 + case);
+        let n = 4 + rng.index(12);
         let graph = generators::erdos_renyi_connected(n, 0.3, n as u64);
         let tree = build_spanning_tree(&graph, 0, SpanningTreeKind::ShortestPath);
-        let schedule = make_schedule(&raw, n);
+        let schedule = random_schedule(&mut rng, n, 200);
         let rs = RequestSet::with_graph_distances(
             &schedule,
             &tree,
-            Some(DistanceMatrix::new(&graph)),
+            Some(DistanceMatrix::shared(&graph)),
         );
         for i in 0..rs.len() {
             for j in 0..rs.len() {
@@ -160,52 +149,76 @@ proptest! {
                 let cm = rs.cost_manhattan(i, j);
                 let co = rs.cost_o(i, j);
                 let copt = rs.cost_opt(i, j);
-                prop_assert!(ct >= 0.0, "Fact 3.6 violated");
-                prop_assert!(ct <= cm + 1e-9, "c_T > c_M");
-                prop_assert!(co <= cm + 1e-9, "c_O > c_M");
-                prop_assert!(copt <= co + 1e-9, "c_Opt > c_O (d_G > d_T?)");
+                assert!(ct >= 0.0, "case {case}: Fact 3.6 violated");
+                assert!(ct <= cm + 1e-9, "case {case}: c_T > c_M");
+                assert!(co <= cm + 1e-9, "case {case}: c_O > c_M");
+                assert!(copt <= co + 1e-9, "case {case}: c_Opt > c_O (d_G > d_T?)");
                 // Equation (8) in Lemma 3.15: c_O >= (d_T + max{0, t_i - t_j}) / 2.
-                let dt_plus_wait =
-                    rs.d_tree(i, j) + (rs.time(i) - rs.time(j)).max(0.0);
-                prop_assert!(2.0 * co + 1e-9 >= dt_plus_wait, "equation (8) violated");
+                let dt_plus_wait = rs.d_tree(i, j) + (rs.time(i) - rs.time(j)).max(0.0);
+                assert!(
+                    2.0 * co + 1e-9 >= dt_plus_wait,
+                    "case {case}: equation (8) violated"
+                );
             }
         }
     }
+}
 
-    /// Spanning-tree facts: stretch is at least 1, the tree metric dominates the graph
-    /// metric, and the tree metric satisfies the metric axioms.
-    #[test]
-    fn spanning_tree_stretch_and_metric_axioms(
-        topo in topology_strategy(),
-    ) {
-        let graph = topo.build();
-        prop_assume!(graph.node_count() >= 2);
+/// Spanning-tree facts: stretch is at least 1, the tree metric dominates the graph
+/// metric, and the tree metric satisfies the metric axioms.
+#[test]
+fn spanning_tree_stretch_and_metric_axioms() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x57E7 + case);
+        let graph = random_topology(&mut rng);
+        if graph.node_count() < 2 {
+            continue;
+        }
         let tree = build_spanning_tree(&graph, 0, SpanningTreeKind::ShortestPath);
         let report = netgraph::stretch(&graph, &tree);
-        prop_assert!(report.max_stretch >= 1.0 - 1e-9);
-        prop_assert!(report.avg_stretch >= 1.0 - 1e-9);
-        prop_assert!(report.avg_stretch <= report.max_stretch + 1e-9);
-        prop_assert!(report.tree_diameter + 1e-9 >= report.graph_diameter);
+        assert!(report.max_stretch >= 1.0 - 1e-9, "case {case}");
+        assert!(report.avg_stretch >= 1.0 - 1e-9, "case {case}");
+        assert!(
+            report.avg_stretch <= report.max_stretch + 1e-9,
+            "case {case}"
+        );
+        assert!(
+            report.tree_diameter + 1e-9 >= report.graph_diameter,
+            "case {case}"
+        );
         let tm = TreeMetric::new(&tree);
-        prop_assert!(netgraph::check_metric_axioms(&tm, 1e-6).is_empty());
+        assert!(
+            netgraph::check_metric_axioms(&tm, 1e-6).is_empty(),
+            "case {case}"
+        );
         let dm = DistanceMatrix::new(&graph);
         for u in 0..graph.node_count() {
             for v in 0..graph.node_count() {
-                prop_assert!(tm.dist(u, v) + 1e-9 >= dm.dist(u, v));
+                assert!(tm.dist(u, v) + 1e-9 >= dm.dist(u, v), "case {case}");
             }
         }
     }
+}
 
-    /// TSP bound chain: MST <= Held-Karp optimum <= nearest-neighbour path cost, all
-    /// under the Manhattan metric.
-    #[test]
-    fn tsp_bound_chain(
-        raw in proptest::collection::vec(((0usize..1000), (0u32..100)), 1..10),
-        n in 4usize..16,
-    ) {
+/// TSP bound chain: MST <= Held-Karp optimum <= nearest-neighbour path cost, all
+/// under the Manhattan metric.
+#[test]
+fn tsp_bound_chain() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x75B + case);
+        let n = 4 + rng.index(12);
         let graph = generators::random_tree(n, 17 * n as u64 + 3);
         let tree = netgraph::RootedTree::from_tree_graph(&graph, 0);
-        let schedule = make_schedule(&raw, n);
+        let count = 1 + rng.index(9);
+        let pairs: Vec<(usize, SimTime)> = (0..count)
+            .map(|_| {
+                (
+                    rng.index(n),
+                    SimTime::from_subticks(rng.uniform_u64(0, 100) * desim::SUBTICKS_PER_UNIT / 10),
+                )
+            })
+            .collect();
+        let schedule = RequestSchedule::from_pairs(&pairs);
         let rs = RequestSet::new(&schedule, &tree);
         let mst = mst_weight(&rs, RequestSet::cost_manhattan);
         let (opt, _) = held_karp_path(&rs, RequestSet::cost_manhattan);
@@ -213,30 +226,53 @@ proptest! {
         let nn_cost = {
             let mut total = 0.0;
             let mut prev = 0;
-            for &i in &nn_order { total += rs.cost_manhattan(prev, i); prev = i; }
+            for &i in &nn_order {
+                total += rs.cost_manhattan(prev, i);
+                prev = i;
+            }
             total
         };
-        prop_assert!(mst <= opt + 1e-9, "MST {mst} > OPT {opt}");
-        prop_assert!(opt <= nn_cost + 1e-9, "OPT {opt} > NN {nn_cost}");
+        assert!(mst <= opt + 1e-9, "case {case}: MST {mst} > OPT {opt}");
+        assert!(
+            opt <= nn_cost + 1e-9,
+            "case {case}: OPT {opt} > NN {nn_cost}"
+        );
     }
+}
 
-    /// Time compression (Lemma 3.11) never increases the exact optimal cost and keeps
-    /// the schedule size unchanged.
-    #[test]
-    fn compression_is_sound(
-        raw in proptest::collection::vec(((0usize..1000), (0u32..400)), 1..10),
-        n in 4usize..12,
-    ) {
+/// Time compression (Lemma 3.11) never increases the exact optimal cost and keeps
+/// the schedule size unchanged.
+#[test]
+fn compression_is_sound() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xC03F + case);
+        let n = 4 + rng.index(8);
         let graph = generators::random_tree(n, 5 * n as u64 + 1);
         let tree = netgraph::RootedTree::from_tree_graph(&graph, 0);
-        let schedule = make_schedule(&raw, n);
+        let count = 1 + rng.index(9);
+        let pairs: Vec<(usize, SimTime)> = (0..count)
+            .map(|_| {
+                (
+                    rng.index(n),
+                    SimTime::from_subticks(rng.uniform_u64(0, 400) * desim::SUBTICKS_PER_UNIT / 10),
+                )
+            })
+            .collect();
+        let schedule = RequestSchedule::from_pairs(&pairs);
         let compressed = queuing_analysis::compress_schedule(&schedule, &tree);
-        prop_assert_eq!(compressed.len(), schedule.len());
-        prop_assert!(queuing_analysis::is_compressed(&compressed, &tree));
-        let before = queuing_analysis::optimal::exact_optimal_cost(
-            &RequestSet::new(&schedule, &tree)).value;
-        let after = queuing_analysis::optimal::exact_optimal_cost(
-            &RequestSet::new(&compressed, &tree)).value;
-        prop_assert!(after <= before + 1e-6, "compression increased Opt {before} -> {after}");
+        assert_eq!(compressed.len(), schedule.len(), "case {case}");
+        assert!(
+            queuing_analysis::is_compressed(&compressed, &tree),
+            "case {case}"
+        );
+        let before =
+            queuing_analysis::optimal::exact_optimal_cost(&RequestSet::new(&schedule, &tree)).value;
+        let after =
+            queuing_analysis::optimal::exact_optimal_cost(&RequestSet::new(&compressed, &tree))
+                .value;
+        assert!(
+            after <= before + 1e-6,
+            "case {case}: compression increased Opt {before} -> {after}"
+        );
     }
 }

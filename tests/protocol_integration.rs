@@ -16,8 +16,14 @@ fn arrow_produces_valid_orders_across_many_instances() {
         ("grid-4x4", generators::grid(4, 4)),
         ("cycle-15", generators::cycle(15)),
         ("hypercube-4", generators::hypercube(4)),
-        ("random-geometric-20", generators::random_geometric(20, 0.4, 7)),
-        ("erdos-renyi-18", generators::erdos_renyi_connected(18, 0.15, 3)),
+        (
+            "random-geometric-20",
+            generators::random_geometric(20, 0.4, 7),
+        ),
+        (
+            "erdos-renyi-18",
+            generators::erdos_renyi_connected(18, 0.15, 3),
+        ),
     ];
     let kinds = [
         SpanningTreeKind::ShortestPath,
@@ -132,7 +138,7 @@ fn centralized_message_accounting() {
 #[test]
 fn repeated_requests_from_one_node_become_local_after_the_first() {
     let graph = generators::path(12);
-    let instance = Instance::tree_only(&graph, 0);
+    let instance = Instance::tree_only(graph, 0);
     let schedule = workload::sequential_round_robin(&[11], 5, 30.0);
     let outcome = run(
         &instance,
@@ -159,7 +165,7 @@ fn live_runtime_agrees_with_simulation_guarantees() {
         let lock = DistributedLock::new(runtime.handle(v), log.clone());
         workers.push(std::thread::spawn(move || {
             for _ in 0..5 {
-                lock.with(|| std::thread::yield_now());
+                lock.with(std::thread::yield_now);
             }
         }));
     }
