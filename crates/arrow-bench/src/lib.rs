@@ -11,17 +11,22 @@
 //! | Adversarial lower-bound instance | Figure 9 / Thm 4.1 | `fig9_lower_bound` | [`experiments::figure_9`] |
 //! | Competitive-ratio validation | Thm 3.19 | `competitive_ratio` | [`experiments::ratio_sweep`] |
 //! | Synchronous vs. asynchronous | Thm 3.21 | `async_vs_sync` | [`experiments::async_vs_sync`] |
+//! | Multi-object directory throughput | directory setting (Sec. 1) | `bench_multi_object` | [`multi_object::multi_object_sweep`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod multi_object;
 pub mod table;
 pub mod throughput;
 
 pub use experiments::{
     async_vs_sync, figure_10, figure_11, figure_9, ratio_sweep, Fig10Row, Fig11Row, Fig9Row,
     RatioRow, SyncAsyncRow,
+};
+pub use multi_object::{
+    measure_multi_object, multi_object_sweep, MultiObjectReport, MultiObjectRow,
 };
 pub use table::Table;
 pub use throughput::{measure_sim_throughput, ThroughputReport};

@@ -1,47 +1,65 @@
-//! The arrow protocol node automaton (Section 2 of the paper).
+//! The arrow protocol node automaton (Section 2 of the paper), generalized to a
+//! multi-object directory.
 //!
-//! Every node `v` keeps a pointer `link(v)` to a neighbour in the pre-selected
-//! spanning tree (or to itself, in which case `v` is the *sink*), and `id(v)`, the id
-//! of the last queuing request issued by `v` (`⊥` if none; the initial root holds the
-//! virtual request `r0`).
+//! For every object `o` served by the directory, every node `v` keeps a pointer
+//! `link_o(v)` to a neighbour in the pre-selected spanning tree (or to itself, in
+//! which case `v` is object `o`'s *sink*), and `id_o(v)`, the id of the last queuing
+//! request for `o` issued by `v` (`⊥` if none; the object's initial root holds the
+//! virtual request `r0`). Single-object deployments are the `K = 1` special case and
+//! use the original constructors/accessors unchanged.
 //!
-//! * When `v` **issues** a request `a` it atomically sets `id(v) ← a`, sends
-//!   `queue(a)` to `link(v)` and sets `link(v) ← v`.
-//! * When `u` **receives** `queue(a)` from `w` it atomically flips `link(u) ← w`; if
-//!   the old link pointed to another node it forwards `queue(a)` there, otherwise `u`
-//!   was the sink and `a` has been queued behind `id(u)` — the queuing of `a` is
-//!   complete.
+//! * When `v` **issues** a request `a` for object `o` it atomically sets
+//!   `id_o(v) ← a`, sends `queue(a, o)` to `link_o(v)` and sets `link_o(v) ← v`.
+//! * When `u` **receives** `queue(a, o)` from `w` it atomically flips
+//!   `link_o(u) ← w`; if the old link pointed to another node it forwards
+//!   `queue(a, o)` there, otherwise `u` was `o`'s sink and `a` has been queued behind
+//!   `id_o(u)` — the queuing of `a` is complete.
+//!
+//! Objects interact only through the shared physical links and the shared local
+//! service queue; their link pointers and queues are fully independent.
 //!
 //! The node also implements the optional requester acknowledgement used by the
-//! paper's experiment, per-message local service time (see
+//! paper's experiment (routed over the graph metric `d_G` when a distance matrix is
+//! provided via [`ArrowNode::set_distances`]), per-message local service time (see
 //! [`crate::protocol::ServiceQueue`]) and the closed-loop workload of Section 5.
 
 use crate::order::OrderRecord;
 use crate::protocol::{ProtoMsg, ServiceQueue, WorkItem, SERVICE_TIMER_TAG};
-use crate::request::RequestId;
+use crate::request::{ObjectId, RequestId};
 use crate::workload::ClosedLoopSpec;
-use desim::{Context, Process, SimTime};
-use netgraph::NodeId;
+use desim::{Context, Process, SimDuration, SimTime};
+use netgraph::{DistanceMatrix, NodeId};
+use std::sync::Arc;
 
-/// Per-node state of the arrow protocol.
+/// Per-object arrow state at one node: the link pointer and the last issued id.
+#[derive(Debug, Clone, Copy)]
+struct ObjectState {
+    /// `link_o(v)`: a tree neighbour, or the node itself when it is the sink.
+    link: NodeId,
+    /// `id_o(v)`: the last request for this object issued here (`None` = ⊥). The
+    /// object's initial root starts with the virtual request [`RequestId::ROOT`].
+    last_id: Option<RequestId>,
+}
+
+/// Per-node state of the arrow protocol (one independent arrow automaton per object).
 #[derive(Debug)]
 pub struct ArrowNode {
     me: NodeId,
-    /// `link(v)`: a tree neighbour, or `me` when this node is a sink.
-    link: NodeId,
-    /// `id(v)`: the last request issued by this node (`None` = ⊥). The initial root
-    /// starts with the virtual request [`RequestId::ROOT`].
-    last_id: Option<RequestId>,
+    /// Per-object arrow state, indexed by [`ObjectId`].
+    objects: Vec<ObjectState>,
     /// Whether to send a [`ProtoMsg::Found`] ack back to the requester.
     send_ack: bool,
-    /// Local per-message service time model.
+    /// All-pairs graph distances: when present, acks travel as direct sends paying
+    /// `d_G(me, origin)` instead of whatever link happens to connect the pair.
+    distances: Option<Arc<DistanceMatrix>>,
+    /// Local per-message service time model (shared across objects — the CPU is one).
     service: ServiceQueue,
     /// Closed-loop workload state: requests still to issue and the issue sequence.
     closed_loop: Option<ClosedLoopState>,
     /// Successor notifications recorded at this node (it was the sink).
     records: Vec<OrderRecord>,
-    /// Requests issued by this node and their issue times.
-    issued: Vec<(RequestId, SimTime)>,
+    /// Requests issued by this node: `(request, object, issue time)`.
+    issued: Vec<(RequestId, ObjectId, SimTime)>,
     /// Completions of this node's own requests (ack received or locally satisfied),
     /// with the completion time — used by the closed-loop experiment.
     own_completions: Vec<(RequestId, SimTime)>,
@@ -68,19 +86,49 @@ impl ClosedLoopState {
 }
 
 impl ArrowNode {
-    /// Create the arrow automaton for node `me`.
+    /// Create the single-object arrow automaton for node `me`.
     ///
     /// * `initial_link` — the initial pointer: the tree parent of `me`, or `me` itself
     ///   for the initial root (which then also holds the virtual request `r0`).
     /// * `send_ack` — send `Found` acknowledgements back to requesters.
     /// * `service_time` — local per-message service time in time units (0 = free).
     pub fn new(me: NodeId, initial_link: NodeId, send_ack: bool, service_time: f64) -> Self {
-        let is_root = initial_link == me;
+        ArrowNode::new_multi(me, &[initial_link], send_ack, service_time)
+    }
+
+    /// Create the arrow automaton for node `me` serving `initial_links.len()` objects
+    /// over one tree. `initial_links[k]` is this node's initial pointer for object
+    /// `k`: its tree parent towards object `k`'s initial root, or `me` itself when
+    /// this node *is* that root (it then holds object `k`'s virtual request `r0`).
+    ///
+    /// # Panics
+    /// If `initial_links` is empty (a directory serves at least one object).
+    pub fn new_multi(
+        me: NodeId,
+        initial_links: &[NodeId],
+        send_ack: bool,
+        service_time: f64,
+    ) -> Self {
+        assert!(
+            !initial_links.is_empty(),
+            "a directory node serves at least one object"
+        );
+        let objects = initial_links
+            .iter()
+            .map(|&link| ObjectState {
+                link,
+                last_id: if link == me {
+                    Some(RequestId::ROOT)
+                } else {
+                    None
+                },
+            })
+            .collect();
         ArrowNode {
             me,
-            link: initial_link,
-            last_id: if is_root { Some(RequestId::ROOT) } else { None },
+            objects,
             send_ack,
+            distances: None,
             service: ServiceQueue::new(service_time),
             closed_loop: None,
             records: Vec::new(),
@@ -88,6 +136,36 @@ impl ArrowNode {
             own_completions: Vec::new(),
             queue_hops: 0,
         }
+    }
+
+    /// Provide the all-pairs graph distances; from then on `Found` acknowledgements
+    /// travel as direct sends paying exactly `d_G(me, requester)` — the cost model of
+    /// Section 5 — instead of the weight of whatever single link joins the pair.
+    ///
+    /// Note that direct sends bypass the simulator's latency model: even under the
+    /// asynchronous model, acks take deterministically `d_G`. Acks are not part of
+    /// the protocol cost the analysis randomises, so this only sharpens the
+    /// completion-latency measurement.
+    pub fn set_distances(&mut self, distances: Arc<DistanceMatrix>) {
+        self.distances = Some(distances);
+    }
+
+    /// Number of objects this node serves.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn object(&self, obj: ObjectId) -> &ObjectState {
+        self.objects
+            .get(obj.0 as usize)
+            .unwrap_or_else(|| panic!("node {} does not serve object {obj}", self.me))
+    }
+
+    fn object_mut(&mut self, obj: ObjectId) -> &mut ObjectState {
+        let me = self.me;
+        self.objects
+            .get_mut(obj.0 as usize)
+            .unwrap_or_else(|| panic!("node {me} does not serve object {obj}"))
     }
 
     /// Enable the closed-loop workload: this node will issue `spec.requests_per_node`
@@ -107,19 +185,34 @@ impl ArrowNode {
         self.service = ServiceQueue::new(spec.local_service_time);
     }
 
-    /// Current link pointer (`me` when this node is a sink).
+    /// Current link pointer of the default object (`me` when this node is its sink).
     pub fn link(&self) -> NodeId {
-        self.link
+        self.link_for(ObjectId::DEFAULT)
     }
 
-    /// True if this node is currently a sink (`link(v) = v`).
+    /// Current link pointer for `obj` (`me` when this node is that object's sink).
+    pub fn link_for(&self, obj: ObjectId) -> NodeId {
+        self.object(obj).link
+    }
+
+    /// True if this node is currently the default object's sink (`link(v) = v`).
     pub fn is_sink(&self) -> bool {
-        self.link == self.me
+        self.is_sink_for(ObjectId::DEFAULT)
     }
 
-    /// `id(v)`: the last request issued here (`None` = ⊥).
+    /// True if this node is currently the sink of `obj` (`link_o(v) = v`).
+    pub fn is_sink_for(&self, obj: ObjectId) -> bool {
+        self.object(obj).link == self.me
+    }
+
+    /// `id(v)` of the default object: the last request issued here (`None` = ⊥).
     pub fn last_request(&self) -> Option<RequestId> {
-        self.last_id
+        self.last_request_for(ObjectId::DEFAULT)
+    }
+
+    /// `id_o(v)`: the last request for `obj` issued here (`None` = ⊥).
+    pub fn last_request_for(&self, obj: ObjectId) -> Option<RequestId> {
+        self.object(obj).last_id
     }
 
     /// Successor notifications recorded at this node.
@@ -127,8 +220,8 @@ impl ArrowNode {
         &self.records
     }
 
-    /// Requests issued by this node with their issue times.
-    pub fn issued(&self) -> &[(RequestId, SimTime)] {
+    /// Requests issued by this node: `(request, object, issue time)`.
+    pub fn issued(&self) -> &[(RequestId, ObjectId, SimTime)] {
         &self.issued
     }
 
@@ -146,64 +239,69 @@ impl ArrowNode {
     /// The actual protocol logic, invoked once the service queue releases a work item.
     fn process(&mut self, ctx: &mut Context<ProtoMsg>, from: NodeId, msg: ProtoMsg) {
         match msg {
-            ProtoMsg::Issue { req } => self.handle_issue(ctx, req),
-            ProtoMsg::Queue { req, origin } => self.handle_queue(ctx, from, req, origin),
-            ProtoMsg::Found { req, pred } => self.handle_found(ctx, req, pred),
+            ProtoMsg::Issue { req, obj } => self.handle_issue(ctx, req, obj),
+            ProtoMsg::Queue { req, obj, origin } => self.handle_queue(ctx, from, req, obj, origin),
+            ProtoMsg::Found { req, pred, .. } => self.handle_found(ctx, req, pred),
             other => panic!("arrow node received non-arrow message {other:?}"),
         }
     }
 
-    /// Node `v` issues request `a` (paper, Section 2):
-    /// `id(v) ← a`; send `queue(a)` to `link(v)`; `link(v) ← v`.
-    fn handle_issue(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId) {
+    /// Node `v` issues request `a` for object `o` (paper, Section 2):
+    /// `id_o(v) ← a`; send `queue(a, o)` to `link_o(v)`; `link_o(v) ← v`.
+    fn handle_issue(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId, obj: ObjectId) {
         assert!(!req.is_root(), "cannot issue the virtual root request");
-        self.issued.push((req, ctx.now()));
-        let previous = self.last_id;
-        self.last_id = Some(req);
-        if self.link == self.me {
-            // v is the sink: the request is queued behind id(v) without any message.
+        self.issued.push((req, obj, ctx.now()));
+        let me = self.me;
+        let state = self.object_mut(obj);
+        let previous = state.last_id;
+        state.last_id = Some(req);
+        if state.link == me {
+            // v is the sink: the request is queued behind id_o(v) without any message.
             let pred = previous.expect(
                 "a sink always holds an id: either the virtual root request or \
                  a request it issued earlier",
             );
-            self.complete_queuing(ctx, req, pred, self.me);
+            self.complete_queuing(ctx, req, obj, pred, me);
         } else {
-            let target = self.link;
-            self.link = self.me;
+            let target = state.link;
+            state.link = me;
             self.queue_hops += 1;
             ctx.send(
                 target,
                 ProtoMsg::Queue {
                     req,
-                    origin: self.me,
+                    obj,
+                    origin: me,
                 },
             );
         }
     }
 
-    /// Node `u` receives `queue(a)` from `w`: flip `link(u) ← w`; forward to the old
-    /// link target unless `u` was the sink, in which case `a` is queued behind `id(u)`.
+    /// Node `u` receives `queue(a, o)` from `w`: flip `link_o(u) ← w`; forward to the
+    /// old link target unless `u` was `o`'s sink, in which case `a` is queued behind
+    /// `id_o(u)`.
     fn handle_queue(
         &mut self,
         ctx: &mut Context<ProtoMsg>,
         from: NodeId,
         req: RequestId,
+        obj: ObjectId,
         origin: NodeId,
     ) {
-        let old_link = self.link;
-        self.link = from;
-        if old_link == self.me {
-            // This node was the sink: req is queued behind id(u).
-            let pred = self.last_id.expect(
+        let me = self.me;
+        let state = self.object_mut(obj);
+        let old_link = state.link;
+        state.link = from;
+        if old_link == me {
+            // This node was the sink: req is queued behind id_o(u).
+            let pred = state.last_id.expect(
                 "a sink always holds an id: either the virtual root request or \
                  a request it issued earlier",
             );
-            self.complete_queuing(ctx, req, pred, origin);
+            self.complete_queuing(ctx, req, obj, pred, origin);
         } else {
-            if old_link != self.me {
-                self.queue_hops += 1;
-            }
-            ctx.send(old_link, ProtoMsg::Queue { req, origin });
+            self.queue_hops += 1;
+            ctx.send(old_link, ProtoMsg::Queue { req, obj, origin });
         }
     }
 
@@ -213,12 +311,14 @@ impl ArrowNode {
         &mut self,
         ctx: &mut Context<ProtoMsg>,
         req: RequestId,
+        obj: ObjectId,
         pred: RequestId,
         origin: NodeId,
     ) {
         self.records.push(OrderRecord {
             predecessor: pred,
             successor: req,
+            obj,
             at_node: self.me,
             informed_at: ctx.now(),
         });
@@ -227,7 +327,18 @@ impl ArrowNode {
             // The requester is local: its request completed right here.
             self.note_own_completion(ctx, req);
         } else if self.send_ack {
-            ctx.send(origin, ProtoMsg::Found { req, pred });
+            let found = ProtoMsg::Found { req, obj, pred };
+            match &self.distances {
+                // With a graph metric available, the ack pays d_G(me, origin): the
+                // notification travels over the shortest graph path, not over the
+                // (possibly heavier) single link joining the pair.
+                Some(dm) => ctx.send_direct(
+                    origin,
+                    found,
+                    SimDuration::from_units_f64(dm.dist(self.me, origin)),
+                ),
+                None => ctx.send(origin, found),
+            }
         }
     }
 
@@ -244,11 +355,13 @@ impl ArrowNode {
                 if cl.remaining > 0 {
                     let next = cl.next_request_id(self.me);
                     // Route the next issue through the service queue so it pays the
-                    // local service time before being processed.
-                    if let Some((f, m)) = self
-                        .service
-                        .offer(ctx, (self.me, ProtoMsg::Issue { req: next }))
-                    {
+                    // local service time before being processed. Closed-loop
+                    // workloads drive the default object only.
+                    let issue = ProtoMsg::Issue {
+                        req: next,
+                        obj: ObjectId::DEFAULT,
+                    };
+                    if let Some((f, m)) = self.service.offer(ctx, (self.me, issue)) {
                         self.process(ctx, f, m);
                     }
                 }
@@ -263,7 +376,13 @@ impl Process<ProtoMsg> for ArrowNode {
         if let Some(cl) = &mut self.closed_loop {
             if cl.remaining > 0 {
                 let first = cl.next_request_id(self.me);
-                let item: WorkItem = (self.me, ProtoMsg::Issue { req: first });
+                let item: WorkItem = (
+                    self.me,
+                    ProtoMsg::Issue {
+                        req: first,
+                        obj: ObjectId::DEFAULT,
+                    },
+                );
                 if let Some((f, m)) = self.service.offer(ctx, item) {
                     self.process(ctx, f, m);
                 }
@@ -298,6 +417,13 @@ mod tests {
     use super::*;
     use desim::{SimConfig, SimTime, Simulator};
 
+    fn issue(i: u64) -> ProtoMsg {
+        ProtoMsg::Issue {
+            req: RequestId(i),
+            obj: ObjectId::DEFAULT,
+        }
+    }
+
     /// Build arrow nodes for a path 0 - 1 - 2 - 3 rooted at node 0
     /// (all links initially point towards 0).
     fn path_nodes(n: usize, root: usize, ack: bool) -> Vec<ArrowNode> {
@@ -328,7 +454,7 @@ mod tests {
     #[test]
     fn single_remote_request_travels_to_root_and_reverses_path() {
         let mut sim = Simulator::new(path_nodes(4, 0, false), SimConfig::synchronous());
-        sim.schedule_external(SimTime::ZERO, 3, ProtoMsg::Issue { req: RequestId(1) });
+        sim.schedule_external(SimTime::ZERO, 3, issue(1));
         sim.run();
         // The request from node 3 is ordered behind the virtual root request at node 0.
         let recs = sim.node(0).records();
@@ -349,7 +475,7 @@ mod tests {
     #[test]
     fn local_request_at_root_completes_without_messages() {
         let mut sim = Simulator::new(path_nodes(3, 0, false), SimConfig::synchronous());
-        sim.schedule_external(SimTime::ZERO, 0, ProtoMsg::Issue { req: RequestId(1) });
+        sim.schedule_external(SimTime::ZERO, 0, issue(1));
         sim.run();
         assert_eq!(sim.stats().messages_delivered, 0);
         let recs = sim.node(0).records();
@@ -364,12 +490,8 @@ mod tests {
     #[test]
     fn two_sequential_requests_chain_correctly() {
         let mut sim = Simulator::new(path_nodes(4, 0, false), SimConfig::synchronous());
-        sim.schedule_external(SimTime::ZERO, 3, ProtoMsg::Issue { req: RequestId(1) });
-        sim.schedule_external(
-            SimTime::from_units(100),
-            1,
-            ProtoMsg::Issue { req: RequestId(2) },
-        );
+        sim.schedule_external(SimTime::ZERO, 3, issue(1));
+        sim.schedule_external(SimTime::from_units(100), 1, issue(2));
         sim.run();
         // Request 1 behind root (recorded at node 0), request 2 behind request 1
         // (recorded at node 3, which holds request 1).
@@ -388,13 +510,7 @@ mod tests {
         // Path 0-1-...-7 rooted at 0.
         let mut sim = Simulator::new(path_nodes(n, 0, false), SimConfig::synchronous());
         for v in 1..n {
-            sim.schedule_external(
-                SimTime::ZERO,
-                v,
-                ProtoMsg::Issue {
-                    req: RequestId(v as u64),
-                },
-            );
+            sim.schedule_external(SimTime::ZERO, v, issue(v as u64));
         }
         sim.run();
         let mut successors: Vec<RequestId> = (0..n)
@@ -409,9 +525,93 @@ mod tests {
     }
 
     #[test]
+    fn per_object_arrow_state_is_independent() {
+        // Two objects on a path 0 - 1 - 2 - 3, both rooted at node 0. A request for
+        // object 1 must flip only object 1's pointers.
+        let nodes: Vec<ArrowNode> = (0..4)
+            .map(|v| {
+                let link = if v == 0 { v } else { v - 1 };
+                ArrowNode::new_multi(v, &[link, link], false, 0.0)
+            })
+            .collect();
+        let mut sim = Simulator::new(nodes, SimConfig::synchronous());
+        sim.schedule_external(
+            SimTime::ZERO,
+            3,
+            ProtoMsg::Issue {
+                req: RequestId(1),
+                obj: ObjectId(1),
+            },
+        );
+        sim.run();
+        // Object 1's pointers now lead to node 3; object 0's still lead to node 0.
+        assert!(sim.node(3).is_sink_for(ObjectId(1)));
+        assert!(!sim.node(3).is_sink_for(ObjectId(0)));
+        assert!(sim.node(0).is_sink_for(ObjectId(0)));
+        assert_eq!(sim.node(0).link_for(ObjectId(1)), 1);
+        // The record belongs to object 1.
+        let recs = sim.node(0).records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].obj, ObjectId(1));
+        assert_eq!(recs[0].predecessor, RequestId::ROOT);
+    }
+
+    #[test]
+    fn concurrent_requests_for_different_objects_do_not_interfere() {
+        // Simultaneous requests for K distinct objects each complete against their
+        // own virtual root request — no cross-object queuing.
+        let k = 4;
+        let n = 6;
+        let links: Vec<Vec<NodeId>> = (0..n)
+            .map(|v| (0..k).map(|_| if v == 0 { 0 } else { v - 1 }).collect())
+            .collect();
+        let nodes: Vec<ArrowNode> = (0..n)
+            .map(|v| ArrowNode::new_multi(v, &links[v], false, 0.0))
+            .collect();
+        let mut sim = Simulator::new(nodes, SimConfig::synchronous());
+        for o in 0..k {
+            sim.schedule_external(
+                SimTime::ZERO,
+                n - 1 - o,
+                ProtoMsg::Issue {
+                    req: RequestId(1 + o as u64),
+                    obj: ObjectId(o as u32),
+                },
+            );
+        }
+        sim.run();
+        let recs: Vec<OrderRecord> = (0..n)
+            .flat_map(|v| sim.node(v).records().iter().copied())
+            .collect();
+        assert_eq!(recs.len(), k);
+        for rec in &recs {
+            // Every request queues directly behind its own object's root request.
+            assert_eq!(rec.predecessor, RequestId::ROOT, "record {rec:?}");
+        }
+        let mut objs: Vec<ObjectId> = recs.iter().map(|r| r.obj).collect();
+        objs.sort();
+        objs.dedup();
+        assert_eq!(objs.len(), k, "one completion per object");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not serve object")]
+    fn request_for_unknown_object_panics() {
+        let mut node = ArrowNode::new(0, 0, false, 0.0);
+        let mut ctx = Context::new(0, SimTime::ZERO);
+        node.on_external(
+            &mut ctx,
+            ProtoMsg::Issue {
+                req: RequestId(1),
+                obj: ObjectId(3),
+            },
+        );
+    }
+
+    #[test]
     fn ack_reaches_the_requester() {
         let mut sim = Simulator::new(path_nodes(4, 0, true), SimConfig::synchronous());
-        sim.schedule_external(SimTime::ZERO, 2, ProtoMsg::Issue { req: RequestId(1) });
+        sim.schedule_external(SimTime::ZERO, 2, issue(1));
         sim.run();
         let completions = sim.node(2).own_completions();
         assert_eq!(completions.len(), 1);
@@ -437,7 +637,7 @@ mod tests {
         assert_eq!(total_recorded, 15);
         // Ids are globally unique.
         let mut ids: Vec<u64> = (0..3)
-            .flat_map(|v| sim.node(v).issued().iter().map(|(r, _)| r.0))
+            .flat_map(|v| sim.node(v).issued().iter().map(|(r, _, _)| r.0))
             .collect();
         ids.sort_unstable();
         ids.dedup();
@@ -467,6 +667,7 @@ mod tests {
             1,
             ProtoMsg::CentralEnqueue {
                 req: RequestId(1),
+                obj: ObjectId::DEFAULT,
                 origin: 1,
             },
         );

@@ -9,10 +9,11 @@
 
 use crate::order::OrderRecord;
 use crate::protocol::{ProtoMsg, ServiceQueue, WorkItem, SERVICE_TIMER_TAG};
-use crate::request::RequestId;
+use crate::request::{ObjectId, RequestId};
 use crate::workload::ClosedLoopSpec;
 use desim::{Context, Process, SimTime};
 use netgraph::NodeId;
+use std::collections::HashMap;
 
 /// Per-node state of the centralized protocol.
 ///
@@ -22,12 +23,13 @@ use netgraph::NodeId;
 pub struct CentralizedNode {
     me: NodeId,
     central: NodeId,
-    /// Tail of the queue; only meaningful at the central node.
-    tail: RequestId,
+    /// Per-object tail of the queue; only meaningful at the central node. Objects
+    /// never seen before implicitly have the virtual root request as their tail.
+    tails: HashMap<ObjectId, RequestId>,
     service: ServiceQueue,
     closed_loop: Option<ClosedLoopState>,
     records: Vec<OrderRecord>,
-    issued: Vec<(RequestId, SimTime)>,
+    issued: Vec<(RequestId, ObjectId, SimTime)>,
     own_completions: Vec<(RequestId, SimTime)>,
     /// Messages this node sent to a different node.
     remote_messages: u64,
@@ -54,7 +56,7 @@ impl CentralizedNode {
         CentralizedNode {
             me,
             central,
-            tail: RequestId::ROOT,
+            tails: HashMap::new(),
             service: ServiceQueue::new(service_time),
             closed_loop: None,
             records: Vec::new(),
@@ -83,8 +85,8 @@ impl CentralizedNode {
         &self.records
     }
 
-    /// Requests issued by this node with issue times.
-    pub fn issued(&self) -> &[(RequestId, SimTime)] {
+    /// Requests issued by this node: `(request, object, issue time)`.
+    pub fn issued(&self) -> &[(RequestId, ObjectId, SimTime)] {
         &self.issued
     }
 
@@ -105,38 +107,49 @@ impl CentralizedNode {
 
     fn process(&mut self, ctx: &mut Context<ProtoMsg>, from: NodeId, msg: ProtoMsg) {
         match msg {
-            ProtoMsg::Issue { req } => self.handle_issue(ctx, req),
-            ProtoMsg::CentralEnqueue { req, origin } => self.handle_enqueue(ctx, req, origin),
-            ProtoMsg::CentralReply { req, pred } => self.handle_reply(ctx, from, req, pred),
+            ProtoMsg::Issue { req, obj } => self.handle_issue(ctx, req, obj),
+            ProtoMsg::CentralEnqueue { req, obj, origin } => {
+                self.handle_enqueue(ctx, req, obj, origin)
+            }
+            ProtoMsg::CentralReply { req, pred, .. } => self.handle_reply(ctx, from, req, pred),
             other => panic!("centralized node received unexpected message {other:?}"),
         }
     }
 
-    fn handle_issue(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId) {
+    fn handle_issue(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId, obj: ObjectId) {
         assert!(!req.is_root(), "cannot issue the virtual root request");
-        self.issued.push((req, ctx.now()));
+        self.issued.push((req, obj, ctx.now()));
         if self.is_central() {
             // Local request: enqueue directly.
-            self.handle_enqueue(ctx, req, self.me);
+            self.handle_enqueue(ctx, req, obj, self.me);
         } else {
             self.remote_messages += 1;
             ctx.send(
                 self.central,
                 ProtoMsg::CentralEnqueue {
                     req,
+                    obj,
                     origin: self.me,
                 },
             );
         }
     }
 
-    fn handle_enqueue(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId, origin: NodeId) {
+    fn handle_enqueue(
+        &mut self,
+        ctx: &mut Context<ProtoMsg>,
+        req: RequestId,
+        obj: ObjectId,
+        origin: NodeId,
+    ) {
         assert!(self.is_central(), "only the central node enqueues requests");
-        let pred = self.tail;
-        self.tail = req;
+        let tail = self.tails.entry(obj).or_insert(RequestId::ROOT);
+        let pred = *tail;
+        *tail = req;
         self.records.push(OrderRecord {
             predecessor: pred,
             successor: req,
+            obj,
             at_node: self.me,
             informed_at: ctx.now(),
         });
@@ -145,7 +158,7 @@ impl CentralizedNode {
             self.note_own_completion(ctx, req);
         } else {
             self.remote_messages += 1;
-            ctx.send(origin, ProtoMsg::CentralReply { req, pred });
+            ctx.send(origin, ProtoMsg::CentralReply { req, obj, pred });
         }
     }
 
@@ -166,10 +179,11 @@ impl CentralizedNode {
                 cl.remaining -= 1;
                 if cl.remaining > 0 {
                     let next = cl.next_request_id(self.me);
-                    if let Some((f, m)) = self
-                        .service
-                        .offer(ctx, (self.me, ProtoMsg::Issue { req: next }))
-                    {
+                    let issue = ProtoMsg::Issue {
+                        req: next,
+                        obj: ObjectId::DEFAULT,
+                    };
+                    if let Some((f, m)) = self.service.offer(ctx, (self.me, issue)) {
                         self.process(ctx, f, m);
                     }
                 }
@@ -183,7 +197,13 @@ impl Process<ProtoMsg> for CentralizedNode {
         if let Some(cl) = &mut self.closed_loop {
             if cl.remaining > 0 {
                 let first = cl.next_request_id(self.me);
-                let item: WorkItem = (self.me, ProtoMsg::Issue { req: first });
+                let item: WorkItem = (
+                    self.me,
+                    ProtoMsg::Issue {
+                        req: first,
+                        obj: ObjectId::DEFAULT,
+                    },
+                );
                 if let Some((f, m)) = self.service.offer(ctx, item) {
                     self.process(ctx, f, m);
                 }
@@ -224,10 +244,17 @@ mod tests {
             .collect()
     }
 
+    fn issue(i: u64) -> ProtoMsg {
+        ProtoMsg::Issue {
+            req: RequestId(i),
+            obj: ObjectId::DEFAULT,
+        }
+    }
+
     #[test]
     fn remote_request_takes_two_messages() {
         let mut sim = Simulator::new(nodes(4, 0, 0.0), SimConfig::synchronous());
-        sim.schedule_external(SimTime::ZERO, 2, ProtoMsg::Issue { req: RequestId(1) });
+        sim.schedule_external(SimTime::ZERO, 2, issue(1));
         sim.run();
         assert_eq!(sim.stats().messages_delivered, 2);
         let recs = sim.node(0).records();
@@ -240,7 +267,7 @@ mod tests {
     #[test]
     fn local_request_at_center_is_free() {
         let mut sim = Simulator::new(nodes(3, 1, 0.0), SimConfig::synchronous());
-        sim.schedule_external(SimTime::ZERO, 1, ProtoMsg::Issue { req: RequestId(1) });
+        sim.schedule_external(SimTime::ZERO, 1, issue(1));
         sim.run();
         assert_eq!(sim.stats().messages_delivered, 0);
         assert_eq!(sim.node(1).records().len(), 1);
@@ -251,13 +278,7 @@ mod tests {
     fn center_orders_requests_in_arrival_order() {
         let mut sim = Simulator::new(nodes(5, 0, 0.0), SimConfig::synchronous());
         for v in 1..5 {
-            sim.schedule_external(
-                SimTime::ZERO,
-                v,
-                ProtoMsg::Issue {
-                    req: RequestId(v as u64),
-                },
-            );
+            sim.schedule_external(SimTime::ZERO, v, issue(v as u64));
         }
         sim.run();
         let recs = sim.node(0).records();
@@ -275,13 +296,7 @@ mod tests {
         // center releases replies 1 unit apart.
         let mut sim = Simulator::new(nodes(5, 0, 1.0), SimConfig::synchronous());
         for v in 1..5 {
-            sim.schedule_external(
-                SimTime::ZERO,
-                v,
-                ProtoMsg::Issue {
-                    req: RequestId(v as u64),
-                },
-            );
+            sim.schedule_external(SimTime::ZERO, v, issue(v as u64));
         }
         let outcome = sim.run();
         // Last enqueue processed at 1 + 4 (arrival at 1, four service slots), reply +1.
@@ -296,6 +311,35 @@ mod tests {
                 "center served two requests within one service time"
             );
         }
+    }
+
+    #[test]
+    fn center_keeps_independent_tails_per_object() {
+        let mut sim = Simulator::new(nodes(3, 0, 0.0), SimConfig::synchronous());
+        sim.schedule_external(
+            SimTime::ZERO,
+            1,
+            ProtoMsg::Issue {
+                req: RequestId(1),
+                obj: ObjectId(0),
+            },
+        );
+        sim.schedule_external(
+            SimTime::ZERO,
+            2,
+            ProtoMsg::Issue {
+                req: RequestId(2),
+                obj: ObjectId(1),
+            },
+        );
+        sim.run();
+        let recs = sim.node(0).records();
+        assert_eq!(recs.len(), 2);
+        // Both requests queue behind their own object's virtual root request.
+        for rec in recs {
+            assert_eq!(rec.predecessor, RequestId::ROOT, "record {rec:?}");
+        }
+        assert_ne!(recs[0].obj, recs[1].obj);
     }
 
     #[test]
@@ -325,6 +369,7 @@ mod tests {
             1,
             ProtoMsg::Queue {
                 req: RequestId(1),
+                obj: ObjectId::DEFAULT,
                 origin: 1,
             },
         );

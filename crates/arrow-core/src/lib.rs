@@ -25,16 +25,31 @@
 //! requests chase each other's reversed paths and are ordered without any central
 //! coordination.
 //!
+//! ## Multi-object directories
+//!
+//! One tree can serve any number of mobile objects (the Demmer–Herlihy directory
+//! setting): every [`ObjectId`] gets its own independent link pointers and its own
+//! queue at every node, sharing only the physical links. Single-object APIs are the
+//! `K = 1` special case ([`ObjectId::DEFAULT`]) and work unchanged; multi-object
+//! workloads name objects per request ([`RequestSchedule::from_object_pairs`],
+//! [`workload::zipf_objects`]) and [`QueuingOutcome::orders`] carries one
+//! independently validated order per object.
+//!
 //! ## Crate layout
 //!
-//! * [`request`] / [`workload`] — queuing requests, schedules, workload generators.
-//! * [`arrow`] — the arrow node automaton (runs on the [`desim`] simulator).
-//! * [`centralized`] — the home-based baseline protocol.
-//! * [`order`] — queuing orders, successor records, validation, latency accounting.
-//! * [`run`] — the harness: run a protocol on `(graph, tree, workload)` and collect
-//!   cost/hop statistics.
-//! * [`live`] — a real-concurrency runtime (one OS thread per node, crossbeam
-//!   channels) plus a [`live::DistributedLock`] built on the queue.
+//! * [`request`] / [`workload`] — queuing requests (with their [`ObjectId`]),
+//!   schedules, workload generators (incl. Zipf object popularity and migrating
+//!   per-object hotspots).
+//! * [`arrow`] — the arrow node automaton (runs on the [`desim`] simulator), one
+//!   independent arrow state per object.
+//! * [`centralized`] — the home-based baseline protocol (per-object queue tails).
+//! * [`order`] — queuing orders, successor records, per-object validation, latency
+//!   accounting.
+//! * [`mod@run`] — the harness: run a protocol on `(graph, tree, workload)` and collect
+//!   cost/hop statistics plus the per-object orders.
+//! * [`live`] — a real-concurrency runtime (one OS thread per node, std mpsc
+//!   channels) whose node threads multiplex the per-object automata and exclusion
+//!   tokens, plus a [`live::DistributedLock`] built on the queue.
 //!
 //! ## Quick example
 //!
@@ -71,7 +86,7 @@ pub mod workload;
 pub mod prelude {
     pub use crate::order::{OrderRecord, QueuingOrder};
     pub use crate::protocol::{ProtoMsg, ProtocolKind};
-    pub use crate::request::{Request, RequestId, RequestSchedule};
+    pub use crate::request::{ObjectId, Request, RequestId, RequestSchedule};
     pub use crate::run::{run, run_schedule, Instance, QueuingOutcome, RunConfig, SyncMode};
     pub use crate::workload::{self, ClosedLoopSpec, Workload};
     pub use netgraph::spanning::SpanningTreeKind;

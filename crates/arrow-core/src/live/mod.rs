@@ -1,6 +1,6 @@
 //! Real-concurrency runtime: the arrow protocol over OS threads and channels.
 //!
-//! The discrete-event simulator ([`crate::run`]) is the right tool for measurement —
+//! The discrete-event simulator ([`mod@crate::run`]) is the right tool for measurement —
 //! it is deterministic and can run millions of requests. This module is the
 //! complementary demonstration that the protocol is a practical building block: every
 //! node is a real OS thread, messages travel over std::sync::mpsc channels (point-to-point

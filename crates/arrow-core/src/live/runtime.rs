@@ -1,12 +1,15 @@
-//! One-thread-per-node arrow runtime over std::sync::mpsc channels.
+//! One-thread-per-node arrow runtime over std::sync::mpsc channels, serving `K`
+//! mobile objects over one spanning tree.
 //!
-//! Each node thread runs the arrow automaton (link pointer + path reversal) and a
-//! token manager: when a node learns that request `succ` has been queued behind its
-//! own request `pred`, it forwards the exclusion token to `succ`'s origin as soon as
-//! the local application has released `pred`. The initial token sits at the tree root
-//! (holding the virtual request `r0`), already released.
+//! Each node thread multiplexes `K` independent arrow automata (per-object link
+//! pointer + path reversal) over a single inbound channel, plus a per-object token
+//! manager: when a node learns that request `succ` has been queued behind its own
+//! request `pred` in object `o`'s queue, it forwards object `o`'s exclusion token to
+//! `succ`'s origin as soon as the local application has released `pred`. Each
+//! object's initial token sits at the tree root (holding that object's virtual
+//! request `r0`), already released.
 
-use crate::request::RequestId;
+use crate::request::{ObjectId, RequestId};
 use netgraph::{NodeId, RootedTree};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,14 +20,21 @@ use std::thread::JoinHandle;
 /// Messages exchanged between node threads (and commands from handles).
 #[derive(Debug, Clone)]
 enum LiveMsg {
-    /// The arrow `queue()` message.
-    Queue { req: RequestId, origin: NodeId },
-    /// The exclusion token, granted to the node that issued `req`.
-    Token { req: RequestId },
-    /// Application command: acquire the token; reply on the given channel once held.
-    Acquire { reply: Sender<RequestId> },
-    /// Application command: release the token held for `req`.
-    Release { req: RequestId },
+    /// The arrow `queue()` message for one object.
+    Queue {
+        obj: ObjectId,
+        req: RequestId,
+        origin: NodeId,
+    },
+    /// Object `obj`'s exclusion token, granted to the node that issued `req`.
+    Token { obj: ObjectId, req: RequestId },
+    /// Application command: acquire `obj`'s token; reply on the channel once held.
+    Acquire {
+        obj: ObjectId,
+        reply: Sender<RequestId>,
+    },
+    /// Application command: release `obj`'s token held for `req`.
+    Release { obj: ObjectId, req: RequestId },
     /// Stop the node thread.
     Shutdown,
 }
@@ -32,11 +42,11 @@ enum LiveMsg {
 /// Counters shared by all node threads.
 #[derive(Debug, Default)]
 pub struct RuntimeStats {
-    /// Arrow `queue()` messages sent between different nodes.
+    /// Arrow `queue()` messages sent between different nodes (all objects).
     pub queue_messages: AtomicU64,
-    /// Token transfer messages sent between different nodes.
+    /// Token transfer messages sent between different nodes (all objects).
     pub token_messages: AtomicU64,
-    /// Total acquisitions granted.
+    /// Total acquisitions granted (all objects).
     pub acquisitions: AtomicU64,
 }
 
@@ -60,14 +70,26 @@ struct TokenState {
     successor: Option<(RequestId, NodeId)>,
 }
 
+/// Per-object arrow state at one node of the live runtime.
+#[derive(Debug)]
+struct ObjectState {
+    /// `link_o(v)`: a tree neighbour, or the node itself when it is the sink.
+    link: NodeId,
+    /// `id_o(v)`: the last request for this object issued here. Initialised to the
+    /// virtual root request at every node — see the invariant note in
+    /// [`ArrowRuntime::spawn_multi`].
+    last_id: RequestId,
+}
+
 struct NodeState {
     me: NodeId,
-    link: NodeId,
-    last_id: RequestId,
-    /// Outstanding local acquires: request id -> reply channel.
-    waiting: HashMap<RequestId, Sender<RequestId>>,
-    /// Token bookkeeping for requests issued by this node (keyed by request id).
-    tokens: HashMap<RequestId, TokenState>,
+    /// Per-object arrow state, indexed by [`ObjectId`].
+    objects: Vec<ObjectState>,
+    /// Outstanding local acquires: (object, request id) -> reply channel.
+    waiting: HashMap<(ObjectId, RequestId), Sender<RequestId>>,
+    /// Token bookkeeping for requests issued by this node, keyed by
+    /// (object, request id).
+    tokens: HashMap<(ObjectId, RequestId), TokenState>,
     senders: Vec<Sender<(NodeId, LiveMsg)>>,
     stats: Arc<RuntimeStats>,
     next_seq: u64,
@@ -91,103 +113,138 @@ impl NodeState {
     }
 
     fn fresh_request_id(&mut self) -> RequestId {
+        // Unique across nodes (interleaved by node id) and across this node's
+        // objects (one shared sequence). +1 keeps ids disjoint from the root id 0.
         let id = 1 + self.me as u64 + self.next_seq * self.total_nodes;
         self.next_seq += 1;
         RequestId(id)
     }
 
-    /// Issue a queuing request for the local application.
-    fn handle_acquire(&mut self, reply: Sender<RequestId>) {
+    fn object_mut(&mut self, obj: ObjectId) -> &mut ObjectState {
+        let me = self.me;
+        self.objects
+            .get_mut(obj.0 as usize)
+            .unwrap_or_else(|| panic!("node {me} does not serve object {obj}"))
+    }
+
+    /// Issue a queuing request for `obj` on behalf of the local application.
+    fn handle_acquire(&mut self, obj: ObjectId, reply: Sender<RequestId>) {
         let req = self.fresh_request_id();
-        self.waiting.insert(req, reply);
-        self.tokens.insert(req, TokenState::default());
-        let previous = self.last_id;
-        self.last_id = req;
-        if self.link == self.me {
+        self.waiting.insert((obj, req), reply);
+        self.tokens.insert((obj, req), TokenState::default());
+        let me = self.me;
+        let state = self.object_mut(obj);
+        let previous = state.last_id;
+        state.last_id = req;
+        if state.link == me {
             // Local sink: req is queued directly behind our previous request.
-            self.queuing_complete(previous, req, self.me);
+            self.queuing_complete(obj, previous, req, me);
         } else {
-            let target = self.link;
-            self.link = self.me;
+            let target = state.link;
+            state.link = me;
             self.send(
                 target,
                 LiveMsg::Queue {
+                    obj,
                     req,
-                    origin: self.me,
+                    origin: me,
                 },
             );
         }
     }
 
-    /// Arrow path reversal.
-    fn handle_queue(&mut self, from: NodeId, req: RequestId, origin: NodeId) {
-        let old_link = self.link;
-        self.link = from;
-        if old_link == self.me {
-            let pred = self.last_id;
-            self.queuing_complete(pred, req, origin);
+    /// Arrow path reversal for one object.
+    fn handle_queue(&mut self, from: NodeId, obj: ObjectId, req: RequestId, origin: NodeId) {
+        let me = self.me;
+        let state = self.object_mut(obj);
+        let old_link = state.link;
+        state.link = from;
+        if old_link == me {
+            let pred = state.last_id;
+            self.queuing_complete(obj, pred, req, origin);
         } else {
-            self.send(old_link, LiveMsg::Queue { req, origin });
+            self.send(old_link, LiveMsg::Queue { obj, req, origin });
         }
     }
 
-    /// Request `succ` (from `origin`) has been queued behind `pred`, which lives here.
-    fn queuing_complete(&mut self, pred: RequestId, succ: RequestId, origin: NodeId) {
+    /// Request `succ` (from `origin`) has been queued behind `pred` in `obj`'s queue,
+    /// and `pred` lives here.
+    fn queuing_complete(
+        &mut self,
+        obj: ObjectId,
+        pred: RequestId,
+        succ: RequestId,
+        origin: NodeId,
+    ) {
         if pred.is_root() {
-            // The token has been sitting at the initial root, already free.
-            self.grant(succ, origin);
+            // The token has been sitting at the object's initial root, already free.
+            self.grant(obj, succ, origin);
             return;
         }
-        let state = self.tokens.entry(pred).or_default();
+        let state = self.tokens.entry((obj, pred)).or_default();
         if state.released {
-            self.tokens.remove(&pred);
-            self.grant(succ, origin);
+            self.tokens.remove(&(obj, pred));
+            self.grant(obj, succ, origin);
         } else {
             state.successor = Some((succ, origin));
         }
     }
 
-    /// Hand the token to the node that issued `req`.
-    fn grant(&mut self, req: RequestId, origin: NodeId) {
+    /// Hand `obj`'s token to the node that issued `req`.
+    fn grant(&mut self, obj: ObjectId, req: RequestId, origin: NodeId) {
         if origin == self.me {
-            self.handle_token(req);
+            self.handle_token(obj, req);
         } else {
-            self.send(origin, LiveMsg::Token { req });
+            self.send(origin, LiveMsg::Token { obj, req });
         }
     }
 
-    /// The token arrived for our request `req`: wake the waiting application.
-    fn handle_token(&mut self, req: RequestId) {
+    /// `obj`'s token arrived for our request `req`: wake the waiting application.
+    fn handle_token(&mut self, obj: ObjectId, req: RequestId) {
         self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
-        if let Some(reply) = self.waiting.remove(&req) {
+        if let Some(reply) = self.waiting.remove(&(obj, req)) {
             let _ = reply.send(req);
         }
     }
 
-    /// The application released the token it held for `req`.
-    fn handle_release(&mut self, req: RequestId) {
-        let state = self.tokens.entry(req).or_default();
+    /// The application released `obj`'s token it held for `req`.
+    fn handle_release(&mut self, obj: ObjectId, req: RequestId) {
+        let state = self.tokens.entry((obj, req)).or_default();
         if let Some((succ, origin)) = state.successor.take() {
-            self.tokens.remove(&req);
-            self.grant(succ, origin);
+            self.tokens.remove(&(obj, req));
+            self.grant(obj, succ, origin);
         } else {
             state.released = true;
         }
     }
 }
 
-/// The live arrow runtime: one thread per node of a rooted spanning tree.
+/// The live arrow runtime: one thread per node of a rooted spanning tree, serving
+/// `K` objects whose per-object arrow state the node threads multiplex.
 pub struct ArrowRuntime {
     senders: Vec<Sender<(NodeId, LiveMsg)>>,
     threads: Vec<JoinHandle<()>>,
     stats: Arc<RuntimeStats>,
     n: usize,
+    k: usize,
 }
 
 impl ArrowRuntime {
-    /// Spawn the runtime over the given rooted spanning tree. The tree root initially
-    /// holds the token.
+    /// Spawn a single-object runtime over the given rooted spanning tree. The tree
+    /// root initially holds the (only) token.
     pub fn spawn(tree: &RootedTree) -> Self {
+        ArrowRuntime::spawn_multi(tree, 1)
+    }
+
+    /// Spawn the runtime over the given rooted spanning tree, serving `objects`
+    /// independent mobile objects. Every object's token initially sits at the tree
+    /// root, already released (each object's queue starts at its own virtual request
+    /// `r0` held by the root).
+    ///
+    /// # Panics
+    /// If `objects` is zero.
+    pub fn spawn_multi(tree: &RootedTree, objects: usize) -> Self {
+        assert!(objects > 0, "a directory serves at least one object");
         let n = tree.node_count();
         let stats = Arc::new(RuntimeStats::default());
         let mut senders = Vec::with_capacity(n);
@@ -205,16 +262,19 @@ impl ArrowRuntime {
             } else {
                 tree.parent(v).expect("non-root node has a parent")
             };
+            let per_object = (0..objects)
+                .map(|_| ObjectState {
+                    link,
+                    // Invariant: every node starts with last_id = r0, but only the
+                    // root's value is ever read before being overwritten — a non-root
+                    // node can only become a sink by issuing a request (which sets
+                    // last_id first), so its initial value is never observed.
+                    last_id: RequestId::ROOT,
+                })
+                .collect();
             let mut state = NodeState {
                 me: v,
-                link,
-                last_id: if v == root {
-                    RequestId::ROOT
-                } else {
-                    // Never read before this node issues or completes a request:
-                    // a non-root node can only become a sink by issuing a request.
-                    RequestId::ROOT
-                },
+                objects: per_object,
                 waiting: HashMap::new(),
                 tokens: HashMap::new(),
                 senders: senders.clone(),
@@ -228,10 +288,12 @@ impl ArrowRuntime {
                     while let Ok((from, msg)) = rx.recv() {
                         match msg {
                             LiveMsg::Shutdown => break,
-                            LiveMsg::Queue { req, origin } => state.handle_queue(from, req, origin),
-                            LiveMsg::Token { req } => state.handle_token(req),
-                            LiveMsg::Acquire { reply } => state.handle_acquire(reply),
-                            LiveMsg::Release { req } => state.handle_release(req),
+                            LiveMsg::Queue { obj, req, origin } => {
+                                state.handle_queue(from, obj, req, origin)
+                            }
+                            LiveMsg::Token { obj, req } => state.handle_token(obj, req),
+                            LiveMsg::Acquire { obj, reply } => state.handle_acquire(obj, reply),
+                            LiveMsg::Release { obj, req } => state.handle_release(obj, req),
                         }
                     }
                 })
@@ -243,12 +305,18 @@ impl ArrowRuntime {
             threads,
             stats,
             n,
+            k: objects,
         }
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.n
+    }
+
+    /// Number of objects served.
+    pub fn object_count(&self) -> usize {
+        self.k
     }
 
     /// Shared runtime statistics.
@@ -261,6 +329,7 @@ impl ArrowRuntime {
         assert!(v < self.n, "node {v} out of range");
         NodeHandle {
             node: v,
+            objects: self.k,
             sender: self.senders[v].clone(),
         }
     }
@@ -276,10 +345,12 @@ impl ArrowRuntime {
     }
 }
 
-/// The application-facing handle of one node: blocking token acquire/release.
+/// The application-facing handle of one node: blocking token acquire/release, per
+/// object.
 #[derive(Debug, Clone)]
 pub struct NodeHandle {
     node: NodeId,
+    objects: usize,
     sender: Sender<(NodeId, LiveMsg)>,
 }
 
@@ -289,22 +360,48 @@ impl NodeHandle {
         self.node
     }
 
-    /// Issue a queuing request and block until this node holds the token.
-    /// Returns the id of the granted request, which must be passed to [`release`].
+    /// Issue a queuing request for the default object and block until this node holds
+    /// its token. Returns the id of the granted request, which must be passed to
+    /// [`release`].
     ///
     /// [`release`]: NodeHandle::release
     pub fn acquire(&self) -> RequestId {
+        self.acquire_object(ObjectId::DEFAULT)
+    }
+
+    /// Issue a queuing request for `obj` and block until this node holds that
+    /// object's token. Returns the id of the granted request, which must be passed to
+    /// [`release_object`] with the same object.
+    ///
+    /// [`release_object`]: NodeHandle::release_object
+    pub fn acquire_object(&self, obj: ObjectId) -> RequestId {
+        assert!(
+            (obj.0 as usize) < self.objects,
+            "object {obj} out of range (runtime serves {} objects)",
+            self.objects
+        );
         let (reply_tx, reply_rx) = channel();
         self.sender
-            .send((self.node, LiveMsg::Acquire { reply: reply_tx }))
+            .send((
+                self.node,
+                LiveMsg::Acquire {
+                    obj,
+                    reply: reply_tx,
+                },
+            ))
             .expect("runtime has shut down");
         reply_rx.recv().expect("runtime has shut down")
     }
 
-    /// Release the token held for `req`, letting it move on to the successor.
+    /// Release the default object's token held for `req`.
     pub fn release(&self, req: RequestId) {
+        self.release_object(ObjectId::DEFAULT, req);
+    }
+
+    /// Release `obj`'s token held for `req`, letting it move on to the successor.
+    pub fn release_object(&self, obj: ObjectId, req: RequestId) {
         self.sender
-            .send((self.node, LiveMsg::Release { req }))
+            .send((self.node, LiveMsg::Release { obj, req }))
             .expect("runtime has shut down");
     }
 }
@@ -342,6 +439,26 @@ mod tests {
     }
 
     #[test]
+    fn leaf_first_acquire_queues_behind_the_roots_virtual_request() {
+        // The root's virtual request r0 starts released, so a leaf's very first
+        // acquire must be granted without anyone calling release() — its request is
+        // queued directly behind r0 and inherits the free token.
+        let rt = ArrowRuntime::spawn(&tree(7));
+        let leaf = rt.handle(6);
+        let req = leaf.acquire(); // would deadlock if r0 were not released
+        assert!(!req.is_root());
+        let (queue_msgs, token_msgs, acqs) = rt.stats().snapshot();
+        assert_eq!(acqs, 1);
+        assert!(queue_msgs >= 1);
+        assert!(
+            token_msgs >= 1,
+            "the root's free token travelled to the leaf"
+        );
+        leaf.release(req);
+        rt.shutdown();
+    }
+
+    #[test]
     fn sequential_acquires_from_many_nodes() {
         let rt = ArrowRuntime::spawn(&tree(7));
         for v in 0..7 {
@@ -374,9 +491,55 @@ mod tests {
     }
 
     #[test]
+    fn two_objects_can_be_held_simultaneously() {
+        // Object tokens are independent: two different nodes can hold the tokens of
+        // two different objects at the same time without either releasing.
+        let rt = ArrowRuntime::spawn_multi(&tree(7), 2);
+        assert_eq!(rt.object_count(), 2);
+        let a = rt.handle(5);
+        let b = rt.handle(6);
+        let ra = a.acquire_object(ObjectId(0));
+        let rb = b.acquire_object(ObjectId(1)); // would block forever on one object
+        a.release_object(ObjectId(0), ra);
+        b.release_object(ObjectId(1), rb);
+        assert_eq!(rt.stats().snapshot().2, 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn concurrent_multi_object_acquires_all_complete() {
+        let k = 4;
+        let rt = Arc::new(ArrowRuntime::spawn_multi(&tree(15), k));
+        let mut joins = Vec::new();
+        for v in 0..15 {
+            let h = rt.handle(v);
+            joins.push(std::thread::spawn(move || {
+                for round in 0..8 {
+                    let obj = ObjectId(((v + round) % k) as u32);
+                    let req = h.acquire_object(obj);
+                    h.release_object(obj, req);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(rt.stats().snapshot().2, 15 * 8);
+        Arc::try_unwrap(rt).ok().unwrap().shutdown();
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn handle_for_missing_node_panics() {
         let rt = ArrowRuntime::spawn(&tree(3));
         let _ = rt.handle(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn acquire_for_missing_object_panics() {
+        let rt = ArrowRuntime::spawn_multi(&tree(3), 2);
+        let h = rt.handle(0);
+        let _ = h.acquire_object(ObjectId(2));
     }
 }

@@ -6,20 +6,24 @@
 //! got queued behind whom, and when the predecessor's node learnt it);
 //! [`QueuingOrder`] assembles the records into the total order and validates it.
 
-use crate::request::{RequestId, RequestSchedule};
+use crate::request::{ObjectId, RequestId, RequestSchedule};
 use desim::{SimDuration, SimTime};
 use netgraph::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One successor notification: request `successor` was queued immediately behind
-/// `predecessor`, and the node holding `predecessor` learnt this at `informed_at`.
+/// `predecessor` in the queue of object `obj`, and the node holding `predecessor`
+/// learnt this at `informed_at`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OrderRecord {
     /// The earlier request in the queue (possibly [`RequestId::ROOT`]).
     pub predecessor: RequestId,
     /// The request queued immediately behind `predecessor`.
     pub successor: RequestId,
+    /// The object whose queue this notification belongs to (each object has its own
+    /// independent total order; [`ObjectId::DEFAULT`] for single-object runs).
+    pub obj: ObjectId,
     /// Node at which the notification happened (where `predecessor` lives).
     pub at_node: NodeId,
     /// Time the notification happened — the end point of the latency of `successor`
@@ -46,6 +50,10 @@ pub enum OrderError {
         /// How many requests the schedule contains.
         expected: usize,
     },
+    /// The records span more than one object: each object has its own independent
+    /// queue, so a single [`QueuingOrder`] must be assembled per object (from the
+    /// object's records against its [`RequestSchedule::for_object`] sub-schedule).
+    MixedObjects(ObjectId, ObjectId),
 }
 
 /// A validated total queuing order together with its notification records.
@@ -70,6 +78,12 @@ impl QueuingOrder {
     ) -> Result<Self, OrderError> {
         let known: std::collections::HashSet<RequestId> =
             schedule.requests().iter().map(|r| r.id).collect();
+
+        if let Some(first) = records.first() {
+            if let Some(other) = records.iter().find(|r| r.obj != first.obj) {
+                return Err(OrderError::MixedObjects(first.obj, other.obj));
+            }
+        }
 
         let mut by_successor: HashMap<RequestId, OrderRecord> = HashMap::new();
         let mut by_predecessor: HashMap<RequestId, OrderRecord> = HashMap::new();
@@ -177,6 +191,7 @@ mod tests {
         OrderRecord {
             predecessor: RequestId(pred),
             successor: RequestId(succ),
+            obj: ObjectId::DEFAULT,
             at_node: 0,
             informed_at: SimTime::from_units(at),
         }
@@ -244,5 +259,16 @@ mod tests {
         let records = vec![rec(0, 9, 1)];
         let err = QueuingOrder::from_records(&records, &schedule3()).unwrap_err();
         assert_eq!(err, OrderError::UnknownRequest(RequestId(9)));
+    }
+
+    #[test]
+    fn mixed_objects_detected() {
+        let mut records = vec![rec(0, 1, 1), rec(1, 2, 3), rec(2, 3, 5)];
+        records[1].obj = ObjectId(4);
+        let err = QueuingOrder::from_records(&records, &schedule3()).unwrap_err();
+        assert_eq!(
+            err,
+            OrderError::MixedObjects(ObjectId::DEFAULT, ObjectId(4))
+        );
     }
 }

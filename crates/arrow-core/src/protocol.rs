@@ -8,25 +8,33 @@
 //! makes the centralized protocol degrade linearly with system size. Modelling that
 //! cost is required to reproduce the shape of Figure 10.
 
-use crate::request::RequestId;
+use crate::request::{ObjectId, RequestId};
 use desim::{Context, SimDuration};
 use netgraph::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Messages exchanged by the queuing protocols (also used as external inputs).
+///
+/// Every message names the [`ObjectId`] it concerns: a directory serves many mobile
+/// objects over one tree, and each object's queue is fully independent — a `queue()`
+/// message for object `o` only ever reads or flips object `o`'s link pointers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ProtoMsg {
     /// External input: the application at this node issues a queuing request.
     Issue {
         /// Pre-assigned request id (open-loop workloads).
         req: RequestId,
+        /// Object being requested.
+        obj: ObjectId,
     },
-    /// The arrow `queue()` message, travelling towards the current sink and flipping
-    /// link pointers along the way.
+    /// The arrow `queue()` message, travelling towards the object's current sink and
+    /// flipping that object's link pointers along the way.
     Queue {
         /// The request being queued.
         req: RequestId,
+        /// Object being requested.
+        obj: ObjectId,
         /// Node that issued the request (carried for the optional ack).
         origin: NodeId,
     },
@@ -36,13 +44,17 @@ pub enum ProtoMsg {
     Found {
         /// The request that has been queued.
         req: RequestId,
-        /// Its predecessor in the total order.
+        /// Object being requested.
+        obj: ObjectId,
+        /// Its predecessor in the object's total order.
         pred: RequestId,
     },
     /// Centralized baseline: ask the central node to enqueue a request.
     CentralEnqueue {
         /// The request being queued.
         req: RequestId,
+        /// Object being requested.
+        obj: ObjectId,
         /// Node that issued it.
         origin: NodeId,
     },
@@ -50,7 +62,9 @@ pub enum ProtoMsg {
     CentralReply {
         /// The request that has been queued.
         req: RequestId,
-        /// Its predecessor in the total order.
+        /// Object being requested.
+        obj: ObjectId,
+        /// Its predecessor in the object's total order.
         pred: RequestId,
     },
 }
@@ -159,7 +173,10 @@ mod tests {
     use desim::SimTime;
 
     fn msg(i: u64) -> ProtoMsg {
-        ProtoMsg::Issue { req: RequestId(i) }
+        ProtoMsg::Issue {
+            req: RequestId(i),
+            obj: ObjectId::DEFAULT,
+        }
     }
 
     #[test]

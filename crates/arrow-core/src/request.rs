@@ -5,10 +5,38 @@
 //! instance is a finite set `R` of such requests, indexed in order of non-decreasing
 //! issue time. The special "virtual" request `r0 = (root, 0)` represents the initial
 //! tail of the queue held by the root.
+//!
+//! A *directory* deployment (the Demmer–Herlihy setting the paper builds on) serves
+//! many mobile objects over one spanning tree, each object with its own independent
+//! arrow state and hence its own queue. [`ObjectId`] names the object a request is
+//! for; single-object workloads use [`ObjectId::DEFAULT`] throughout and never need
+//! to mention it.
 
 use desim::SimTime;
 use netgraph::NodeId;
 use serde::{Deserialize, Serialize};
+
+/// Identifier of a mobile object served by the directory tree.
+///
+/// Every object has fully independent arrow state (per-object `link`/`id` at every
+/// node) and its own total queuing order; objects share only the spanning tree and
+/// the physical links. Object `0` is the [`ObjectId::DEFAULT`] used by all
+/// single-object APIs.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The object implied by all single-object APIs.
+    pub const DEFAULT: ObjectId = ObjectId(0);
+}
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
 
 /// Globally unique identifier of a queuing request.
 ///
@@ -38,15 +66,18 @@ impl std::fmt::Display for RequestId {
     }
 }
 
-/// A queuing request `(v, t)` with a unique id.
+/// A queuing request `(v, t)` with a unique id, for one object of the directory.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// Unique id (never [`RequestId::ROOT`] for real requests).
+    /// Unique id (never [`RequestId::ROOT`] for real requests). Ids are unique across
+    /// the whole schedule, not merely per object.
     pub id: RequestId,
     /// Node at which the request is issued.
     pub node: NodeId,
     /// Time at which the request is issued.
     pub time: SimTime,
+    /// The object being requested ([`ObjectId::DEFAULT`] for single-object runs).
+    pub obj: ObjectId,
 }
 
 /// A finite set of queuing requests, stored in non-decreasing time order
@@ -70,18 +101,30 @@ impl RequestSchedule {
         RequestSchedule { requests, index }
     }
 
-    /// Build a schedule from `(node, time)` pairs; ids are assigned `1..=len` in
-    /// non-decreasing time order.
+    /// Build a single-object schedule from `(node, time)` pairs; ids are assigned
+    /// `1..=len` in non-decreasing time order and every request is for
+    /// [`ObjectId::DEFAULT`].
     pub fn from_pairs(pairs: &[(NodeId, SimTime)]) -> Self {
-        let mut indexed: Vec<(NodeId, SimTime)> = pairs.to_vec();
-        indexed.sort_by_key(|&(node, time)| (time, node));
+        let triples: Vec<(NodeId, SimTime, ObjectId)> = pairs
+            .iter()
+            .map(|&(node, time)| (node, time, ObjectId::DEFAULT))
+            .collect();
+        RequestSchedule::from_object_pairs(&triples)
+    }
+
+    /// Build a multi-object schedule from `(node, time, object)` triples; ids are
+    /// assigned `1..=len` in non-decreasing time order, globally across objects.
+    pub fn from_object_pairs(triples: &[(NodeId, SimTime, ObjectId)]) -> Self {
+        let mut indexed: Vec<(NodeId, SimTime, ObjectId)> = triples.to_vec();
+        indexed.sort_by_key(|&(node, time, obj)| (time, node, obj));
         let requests = indexed
             .into_iter()
             .enumerate()
-            .map(|(i, (node, time))| Request {
+            .map(|(i, (node, time, obj))| Request {
                 id: RequestId(i as u64 + 1),
                 node,
                 time,
+                obj,
             })
             .collect();
         RequestSchedule::build(requests)
@@ -149,6 +192,42 @@ impl RequestSchedule {
         nodes
     }
 
+    /// The distinct objects requested at least once, in ascending id order.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        let mut objs: Vec<ObjectId> = self.requests.iter().map(|r| r.obj).collect();
+        objs.sort_unstable();
+        objs.dedup();
+        objs
+    }
+
+    /// Size of the directory this schedule needs: `max object id + 1` (at least 1,
+    /// so an empty schedule still describes a single-object system). This bounds the
+    /// per-node state to allocate and can exceed [`RequestSchedule::objects`]`.len()`
+    /// when object ids are sparse; the number of objects *touched* is
+    /// `objects().len()` (which is also what [`QueuingOutcome::object_count`]
+    /// reports after a run).
+    ///
+    /// [`QueuingOutcome::object_count`]: crate::run::QueuingOutcome::object_count
+    pub fn object_id_bound(&self) -> usize {
+        self.requests
+            .iter()
+            .map(|r| r.obj.0 as usize + 1)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// The sub-schedule of requests for one object (ids and times preserved).
+    /// Per-object queuing orders are validated against these sub-schedules.
+    pub fn for_object(&self, obj: ObjectId) -> RequestSchedule {
+        RequestSchedule::build(
+            self.requests
+                .iter()
+                .filter(|r| r.obj == obj)
+                .copied()
+                .collect(),
+        )
+    }
+
     /// True if no two requests are ever concurrently active given that a request
     /// issued at time `t` completes within `diameter` time units — the *sequential*
     /// setting analysed by Demmer and Herlihy (Section 1.1).
@@ -204,6 +283,35 @@ mod tests {
     }
 
     #[test]
+    fn multi_object_schedule_splits_per_object() {
+        let s = RequestSchedule::from_object_pairs(&[
+            (0, SimTime::from_units(0), ObjectId(1)),
+            (1, SimTime::from_units(1), ObjectId(0)),
+            (2, SimTime::from_units(2), ObjectId(1)),
+            (3, SimTime::from_units(3), ObjectId(3)),
+        ]);
+        assert_eq!(s.objects(), vec![ObjectId(0), ObjectId(1), ObjectId(3)]);
+        assert_eq!(s.object_id_bound(), 4);
+        let o1 = s.for_object(ObjectId(1));
+        assert_eq!(o1.len(), 2);
+        assert!(o1.requests().iter().all(|r| r.obj == ObjectId(1)));
+        // Ids are preserved from the parent schedule, so lookups still work.
+        for r in o1.requests() {
+            assert_eq!(s.get(r.id).unwrap().node, r.node);
+        }
+        assert!(s.for_object(ObjectId(2)).is_empty());
+    }
+
+    #[test]
+    fn single_object_pairs_use_the_default_object() {
+        let s = RequestSchedule::from_pairs(&[(0, SimTime::ZERO), (1, SimTime::ZERO)]);
+        assert!(s.requests().iter().all(|r| r.obj == ObjectId::DEFAULT));
+        assert_eq!(s.objects(), vec![ObjectId::DEFAULT]);
+        assert_eq!(s.object_id_bound(), 1);
+        assert_eq!(ObjectId(5).to_string(), "o5");
+    }
+
+    #[test]
     fn root_id_display_and_flags() {
         assert!(RequestId::ROOT.is_root());
         assert!(!RequestId(3).is_root());
@@ -252,6 +360,7 @@ mod tests {
             id: RequestId::ROOT,
             node: 0,
             time: SimTime::ZERO,
+            obj: ObjectId::DEFAULT,
         }]);
     }
 
@@ -263,11 +372,13 @@ mod tests {
                 id: RequestId(1),
                 node: 0,
                 time: SimTime::ZERO,
+                obj: ObjectId::DEFAULT,
             },
             Request {
                 id: RequestId(1),
                 node: 1,
                 time: SimTime::ZERO,
+                obj: ObjectId::DEFAULT,
             },
         ]);
     }
@@ -280,11 +391,13 @@ mod tests {
                 id: RequestId(1),
                 node: 0,
                 time: SimTime::from_units(5),
+                obj: ObjectId::DEFAULT,
             },
             Request {
                 id: RequestId(2),
                 node: 1,
                 time: SimTime::ZERO,
+                obj: ObjectId::DEFAULT,
             },
         ]);
     }

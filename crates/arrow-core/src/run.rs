@@ -17,7 +17,7 @@ use crate::arrow::ArrowNode;
 use crate::centralized::CentralizedNode;
 use crate::order::{OrderRecord, QueuingOrder};
 use crate::protocol::{ProtoMsg, ProtocolKind};
-use crate::request::{Request, RequestSchedule};
+use crate::request::{ObjectId, Request, RequestSchedule};
 use crate::workload::{ClosedLoopSpec, Workload};
 use desim::{LatencyModel, LocalOrder, SimConfig, SimTime, Simulator};
 use netgraph::spanning::{build_spanning_tree, SpanningTreeKind};
@@ -149,11 +149,17 @@ pub struct RunConfig {
     pub sync: SyncMode,
     /// PRNG seed (drives asynchronous delays and random local processing order).
     pub seed: u64,
-    /// Send a `Found` acknowledgement back to each requester.
+    /// Send a `Found` acknowledgement back to each requester. Acks travel over the
+    /// graph metric (`d_G(sink, requester)`, deterministic even in the asynchronous
+    /// model — they are not part of the randomised protocol cost).
     pub ack_to_requester: bool,
     /// Per-message local service time in time units (0 = free local computation, the
     /// assumption of the analysis).
     pub local_service_time: f64,
+    /// Lower bound on asynchronous latencies, as a fraction of the link weight
+    /// (ignored in the synchronous model). Defaults to
+    /// [`desim::SimConfig::DEFAULT_ASYNC_LO`].
+    pub async_lo_factor: f64,
     /// Record a full message trace.
     pub trace: bool,
 }
@@ -167,6 +173,7 @@ impl RunConfig {
             seed: 0,
             ack_to_requester: false,
             local_service_time: 0.0,
+            async_lo_factor: SimConfig::DEFAULT_ASYNC_LO,
             trace: false,
         }
     }
@@ -180,6 +187,7 @@ impl RunConfig {
             seed: 0,
             ack_to_requester: true,
             local_service_time: service_time,
+            async_lo_factor: SimConfig::DEFAULT_ASYNC_LO,
             trace: false,
         }
     }
@@ -190,6 +198,14 @@ impl RunConfig {
         self.seed = seed;
         self
     }
+
+    /// Set the lower bound on asynchronous latencies (a fraction of the link weight
+    /// in `(0, 1]`; the paper's model only requires latencies to be positive and at
+    /// most the link weight).
+    pub fn with_async_floor(mut self, lo_factor: f64) -> Self {
+        self.async_lo_factor = lo_factor;
+        self
+    }
 }
 
 /// Everything measured in one protocol run.
@@ -198,11 +214,16 @@ pub struct QueuingOutcome {
     /// Which protocol ran.
     pub protocol: ProtocolKind,
     /// The requests that were issued (for closed-loop workloads, reconstructed from
-    /// the run).
+    /// the run), across all objects.
     pub schedule: RequestSchedule,
-    /// The validated total order produced by the protocol.
+    /// The validated total order of the default object ([`ObjectId::DEFAULT`]) —
+    /// i.e. *the* order of a single-object run. Empty if the workload never touched
+    /// object 0.
     pub order: QueuingOrder,
-    /// Total latency per Definitions 3.2/3.3, in time units.
+    /// The validated total order of every object, ascending by object id. Each
+    /// order is validated independently against the object's sub-schedule.
+    pub orders: Vec<(ObjectId, QueuingOrder)>,
+    /// Total latency per Definitions 3.2/3.3, in time units, summed over objects.
     pub total_latency: f64,
     /// Virtual time at which the system became quiescent (the experiment's
     /// "total latency for N enqueues" of Figure 10).
@@ -223,9 +244,22 @@ pub struct QueuingOutcome {
 }
 
 impl QueuingOutcome {
-    /// Number of requests handled.
+    /// Number of requests handled (across all objects).
     pub fn request_count(&self) -> usize {
         self.schedule.len()
+    }
+
+    /// Number of distinct objects that saw at least one request.
+    pub fn object_count(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// The validated queuing order of one object, if it saw any requests.
+    pub fn order_for(&self, obj: ObjectId) -> Option<&QueuingOrder> {
+        self.orders
+            .iter()
+            .find(|(o, _)| *o == obj)
+            .map(|(_, order)| order)
     }
 }
 
@@ -233,7 +267,9 @@ fn sim_config(config: &RunConfig) -> SimConfig {
     let (latency, local_order) = match config.sync {
         SyncMode::Synchronous => (LatencyModel::EdgeWeight, LocalOrder::Fifo),
         SyncMode::Asynchronous => (
-            LatencyModel::ScaledUniform { lo_factor: 0.05 },
+            LatencyModel::ScaledUniform {
+                lo_factor: config.async_lo_factor,
+            },
             LocalOrder::Random,
         ),
     };
@@ -299,7 +335,14 @@ fn schedule_open_loop(
 ) {
     if let WorkloadRef::Open(schedule) = workload {
         for r in schedule.requests() {
-            sim.schedule_external(r.time, r.node, ProtoMsg::Issue { req: r.id });
+            sim.schedule_external(
+                r.time,
+                r.node,
+                ProtoMsg::Issue {
+                    req: r.id,
+                    obj: r.obj,
+                },
+            );
         }
     }
 }
@@ -317,6 +360,21 @@ fn run_arrow(instance: &Instance, workload: WorkloadRef<'_>, config: &RunConfig)
         );
     }
 
+    // One independent arrow automaton per object, all rooted at the tree root (every
+    // object's virtual request starts there). K is whatever the workload names.
+    let k = match workload {
+        WorkloadRef::Open(schedule) => schedule.object_id_bound(),
+        WorkloadRef::Closed(_) => 1,
+    };
+    // Per-node arrow state is indexed by object id, so total state is n × K object
+    // slots. Object ids are expected to be dense (the generators produce 0..K);
+    // refuse pathologically sparse id spaces instead of allocating for them.
+    assert!(
+        k.saturating_mul(n) <= (1 << 26),
+        "object id space too large: max object id {} on {n} nodes would allocate \
+         {k} object states per node — use dense object ids starting at 0",
+        k - 1
+    );
     let mut nodes: Vec<ArrowNode> = (0..n)
         .map(|v| {
             let link = if v == root {
@@ -324,12 +382,26 @@ fn run_arrow(instance: &Instance, workload: WorkloadRef<'_>, config: &RunConfig)
             } else {
                 tree.parent(v).unwrap()
             };
-            ArrowNode::new(v, link, config.ack_to_requester, config.local_service_time)
+            let links = vec![link; k];
+            ArrowNode::new_multi(
+                v,
+                &links,
+                config.ack_to_requester,
+                config.local_service_time,
+            )
         })
         .collect();
     if let Some(spec) = closed {
         for node in &mut nodes {
             node.enable_closed_loop(spec, n);
+        }
+    }
+    // Acknowledgements travel over the graph metric: each ack is a direct send
+    // paying d_G(sink, requester), so only the tree links below need weights.
+    if config.ack_to_requester {
+        let dm = instance.distances();
+        for node in &mut nodes {
+            node.set_distances(Arc::clone(&dm));
         }
     }
 
@@ -338,18 +410,6 @@ fn run_arrow(instance: &Instance, workload: WorkloadRef<'_>, config: &RunConfig)
     for v in 0..n {
         if let Some(p) = tree.parent(v) {
             sim.set_link_weight(v, p, tree.parent_edge_weight(v));
-        }
-    }
-    // Acknowledgements travel directly over the graph: weight = d_G.
-    if config.ack_to_requester {
-        let dm = instance.distances();
-        for u in 0..n {
-            for v in (u + 1)..n {
-                // Keep tree-edge weights (protocol traffic) intact.
-                if tree.parent(u) != Some(v) && tree.parent(v) != Some(u) {
-                    sim.set_link_weight(u, v, dm.dist(u, v));
-                }
-            }
         }
     }
     schedule_open_loop(&mut sim, workload);
@@ -364,14 +424,15 @@ fn run_arrow(instance: &Instance, workload: WorkloadRef<'_>, config: &RunConfig)
     for v in 0..n {
         let node = sim.node(v);
         records.extend_from_slice(node.records());
-        issued.extend(
-            node.issued()
-                .iter()
-                .map(|&(id, time)| Request { id, node: v, time }),
-        );
+        issued.extend(node.issued().iter().map(|&(id, obj, time)| Request {
+            id,
+            node: v,
+            time,
+            obj,
+        }));
         protocol_messages += node.queue_hops();
         let issue_times: std::collections::HashMap<_, _> =
-            node.issued().iter().map(|&(r, t)| (r, t)).collect();
+            node.issued().iter().map(|&(r, _, t)| (r, t)).collect();
         for &(req, done) in node.own_completions() {
             if let Some(&issue_time) = issue_times.get(&req) {
                 completion_latency_sum += (done - issue_time).as_units_f64();
@@ -430,14 +491,15 @@ fn run_centralized(
     for v in 0..n {
         let node = sim.node(v);
         records.extend_from_slice(node.records());
-        issued.extend(
-            node.issued()
-                .iter()
-                .map(|&(id, time)| Request { id, node: v, time }),
-        );
+        issued.extend(node.issued().iter().map(|&(id, obj, time)| Request {
+            id,
+            node: v,
+            time,
+            obj,
+        }));
         protocol_messages += node.remote_messages();
         let issue_times: std::collections::HashMap<_, _> =
-            node.issued().iter().map(|&(r, t)| (r, t)).collect();
+            node.issued().iter().map(|&(r, _, t)| (r, t)).collect();
         for &(req, done) in node.own_completions() {
             if let Some(&issue_time) = issue_times.get(&req) {
                 completion_latency_sum += (done - issue_time).as_units_f64();
@@ -472,9 +534,28 @@ fn finish(
 ) -> QueuingOutcome {
     issued.sort_by_key(|r| (r.time, r.id));
     let schedule = RequestSchedule::from_requests(issued);
-    let order = QueuingOrder::from_records(&records, &schedule)
-        .expect("protocol produced an invalid queuing order");
-    let total_latency = order.total_latency(&schedule).as_units_f64();
+    // Each object's queue is validated independently against the object's
+    // sub-schedule: every request queued exactly once, one unbroken chain from that
+    // object's virtual root request.
+    let mut orders: Vec<(ObjectId, QueuingOrder)> = Vec::new();
+    let mut total_latency = 0.0;
+    for obj in schedule.objects() {
+        let sub = schedule.for_object(obj);
+        let recs: Vec<OrderRecord> = records.iter().filter(|r| r.obj == obj).copied().collect();
+        let order = QueuingOrder::from_records(&recs, &sub).unwrap_or_else(|e| {
+            panic!("protocol produced an invalid queuing order for {obj}: {e:?}")
+        });
+        total_latency += order.total_latency(&sub).as_units_f64();
+        orders.push((obj, order));
+    }
+    let order = orders
+        .iter()
+        .find(|(o, _)| *o == ObjectId::DEFAULT)
+        .map(|(_, order)| order.clone())
+        .unwrap_or_else(|| {
+            QueuingOrder::from_records(&[], &RequestSchedule::default())
+                .expect("an empty record set is a valid (empty) order")
+        });
     let request_count = schedule.len().max(1);
     QueuingOutcome {
         protocol,
@@ -491,6 +572,7 @@ fn finish(
         },
         schedule,
         order,
+        orders,
     }
 }
 
@@ -598,6 +680,88 @@ mod tests {
             "hops per request {}",
             outcome.hops_per_request
         );
+    }
+
+    #[test]
+    fn acks_pay_graph_distance_not_tree_edge_weight() {
+        // Triangle: the tree edge {0,1} weighs 5, but the graph path 1-2-0 costs 2.
+        // The queue() message must still pay the tree edge (protocol traffic follows
+        // tree links), while the acknowledgement back to the requester travels over
+        // the graph metric: d_G(0, 1) = 2.
+        let mut graph = netgraph::Graph::new(3);
+        graph.add_weighted_edge(0, 1, 5.0);
+        graph.add_weighted_edge(0, 2, 1.0);
+        graph.add_weighted_edge(1, 2, 1.0);
+        let mut tree_graph = netgraph::Graph::new(3);
+        tree_graph.add_weighted_edge(0, 1, 5.0);
+        tree_graph.add_weighted_edge(0, 2, 1.0);
+        let tree = RootedTree::from_tree_graph(&tree_graph, 0);
+        let instance = Instance::new(graph, tree);
+        let schedule = RequestSchedule::from_pairs(&[(1, SimTime::ZERO)]);
+        let outcome = run_schedule(
+            &instance,
+            &schedule,
+            &RunConfig::experiment(ProtocolKind::Arrow, 0.0),
+        );
+        // queue() 1 -> 0 over the tree edge: 5 units; Found 0 -> 1 over d_G: 2 units.
+        assert_eq!(outcome.mean_completion_latency, 7.0);
+    }
+
+    #[test]
+    fn multi_object_run_validates_each_object_independently() {
+        let instance = Instance::complete_uniform(12, SpanningTreeKind::BalancedBinary);
+        let k = 3;
+        let triples: Vec<(NodeId, SimTime, ObjectId)> = (0..24)
+            .map(|i| {
+                (
+                    i % 12,
+                    SimTime::from_units((i / 6) as u64),
+                    ObjectId((i % k) as u32),
+                )
+            })
+            .collect();
+        let schedule = RequestSchedule::from_object_pairs(&triples);
+        let outcome = run_schedule(
+            &instance,
+            &schedule,
+            &RunConfig::analysis(ProtocolKind::Arrow),
+        );
+        assert_eq!(outcome.object_count(), k);
+        let mut total = 0;
+        for (obj, order) in &outcome.orders {
+            let sub = outcome.schedule.for_object(*obj);
+            assert_eq!(order.len(), sub.len(), "object {obj}");
+            total += order.len();
+        }
+        assert_eq!(
+            total, 24,
+            "every request queued in exactly one object's order"
+        );
+        // The top-level `order` is object 0's.
+        assert_eq!(
+            outcome.order.order(),
+            outcome.order_for(ObjectId::DEFAULT).unwrap().order()
+        );
+        // The centralized baseline agrees on the multi-object contract.
+        let central = run_schedule(
+            &instance,
+            &schedule,
+            &RunConfig::analysis(ProtocolKind::Centralized),
+        );
+        assert_eq!(central.object_count(), k);
+    }
+
+    #[test]
+    fn async_floor_is_threaded_through_run_config() {
+        let instance = path_instance(5);
+        let schedule = workload::poisson(5, 1.0, 10.0, 3);
+        let count = schedule.len();
+        let cfg = RunConfig::analysis(ProtocolKind::Arrow)
+            .asynchronous(7)
+            .with_async_floor(0.9);
+        assert_eq!(cfg.async_lo_factor, 0.9);
+        let outcome = run_schedule(&instance, &schedule, &cfg);
+        assert_eq!(outcome.order.len(), count);
     }
 
     #[test]

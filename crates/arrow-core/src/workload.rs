@@ -10,7 +10,7 @@
 //! is therefore described by [`ClosedLoopSpec`] and generated inside the protocol
 //! nodes at run time.
 
-use crate::request::RequestSchedule;
+use crate::request::{ObjectId, RequestSchedule};
 use desim::{SimRng, SimTime};
 use netgraph::NodeId;
 use serde::{Deserialize, Serialize};
@@ -164,6 +164,109 @@ pub fn bursty_phases(
     RequestSchedule::from_pairs(&pairs)
 }
 
+/// Cumulative distribution over `k` objects with Zipf-skewed popularity: object `r`
+/// (0-indexed) has weight `1 / (r + 1)^s`. Higher `s` = heavier skew; `s = 0` is
+/// uniform.
+fn zipf_cdf(k: usize, s: f64) -> Vec<f64> {
+    assert!(k > 0, "need at least one object");
+    let mut cdf = Vec::with_capacity(k);
+    let mut acc = 0.0;
+    for r in 0..k {
+        acc += 1.0 / ((r + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = *cdf.last().expect("k > 0");
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+fn sample_cdf(cdf: &[f64], rng: &mut SimRng) -> usize {
+    let u = rng.uniform(0.0, 1.0);
+    cdf.partition_point(|&c| c <= u).min(cdf.len() - 1)
+}
+
+/// Multi-object workload with Zipf-skewed object popularity: `count` requests at
+/// uniformly random nodes and uniformly random times in `[0, horizon)`, each for one
+/// of `k` objects drawn from a Zipf distribution with exponent `s` (object 0 is the
+/// most popular; `s = 0` makes all objects equally popular).
+///
+/// This is the canonical directory workload: a few hot objects absorb most of the
+/// traffic while a long tail of cold objects sees occasional requests.
+pub fn zipf_objects(
+    n: usize,
+    k: usize,
+    s: f64,
+    count: usize,
+    horizon: f64,
+    seed: u64,
+) -> RequestSchedule {
+    let cdf = zipf_cdf(k, s);
+    let mut rng = SimRng::new(seed);
+    let triples: Vec<(NodeId, SimTime, ObjectId)> = (0..count)
+        .map(|_| {
+            let node = rng.index(n);
+            let obj = ObjectId(sample_cdf(&cdf, &mut rng) as u32);
+            let t = rng.uniform(0.0, horizon.max(f64::MIN_POSITIVE));
+            (
+                node,
+                SimTime::from_subticks((t * desim::SUBTICKS_PER_UNIT as f64) as u64),
+                obj,
+            )
+        })
+        .collect();
+    RequestSchedule::from_object_pairs(&triples)
+}
+
+/// Multi-object workload with per-object migrating hotspots: time is divided into
+/// `phases` windows of `phase_len` units; within each window, each of the `k` objects
+/// has its own hot node (chosen pseudo-randomly per `(object, phase)`) that issues a
+/// fraction `hot_fraction` of that object's requests, the rest coming from uniformly
+/// random nodes. Each phase sees `requests_per_phase` requests, spread uniformly over
+/// objects and over the window.
+///
+/// This models a directory whose objects' working sets drift: the paper's analysis
+/// (and arrow's locality) should keep per-object traffic near the current hotspot,
+/// re-rooting each object's arrows as the hotspot moves.
+pub fn object_hotspot_migration(
+    n: usize,
+    k: usize,
+    phases: usize,
+    requests_per_phase: usize,
+    phase_len: f64,
+    hot_fraction: f64,
+    seed: u64,
+) -> RequestSchedule {
+    assert!(k > 0, "need at least one object");
+    assert!(n > 0, "need at least one node");
+    let mut rng = SimRng::new(seed);
+    // Pre-draw each phase's per-object hot nodes so the migration path is part of
+    // the workload's deterministic identity.
+    let hot: Vec<Vec<NodeId>> = (0..phases)
+        .map(|_| (0..k).map(|_| rng.index(n)).collect())
+        .collect();
+    let mut triples = Vec::with_capacity(phases * requests_per_phase);
+    for (phase, hot_nodes) in hot.iter().enumerate() {
+        let base = phase as f64 * phase_len;
+        for i in 0..requests_per_phase {
+            let obj = i % k;
+            let node = if rng.chance(hot_fraction.clamp(0.0, 1.0)) {
+                hot_nodes[obj]
+            } else {
+                rng.index(n)
+            };
+            let t = base + rng.uniform(0.0, phase_len.max(f64::MIN_POSITIVE));
+            triples.push((
+                node,
+                SimTime::from_subticks((t * desim::SUBTICKS_PER_UNIT as f64) as u64),
+                ObjectId(obj as u32),
+            ));
+        }
+    }
+    RequestSchedule::from_object_pairs(&triples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +335,74 @@ mod tests {
             let t = r.time.as_units_f64();
             let phase = (t / 100.0).floor();
             assert!(t - phase * 100.0 < 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_objects_skews_towards_low_object_ids() {
+        let k = 8;
+        let s = zipf_objects(16, k, 1.2, 4000, 100.0, 9);
+        assert_eq!(s.len(), 4000);
+        assert_eq!(s.object_id_bound(), k);
+        let count_for = |o: u32| s.requests().iter().filter(|r| r.obj == ObjectId(o)).count();
+        let hottest = count_for(0);
+        let coldest = count_for(k as u32 - 1);
+        // Zipf(1.2) over 8 objects: object 0 gets ~40%, object 7 ~3%.
+        assert!(
+            hottest > 4 * coldest,
+            "expected heavy skew, got {hottest} vs {coldest}"
+        );
+        // Deterministic in the seed.
+        let again = zipf_objects(16, k, 1.2, 4000, 100.0, 9);
+        assert_eq!(s.requests(), again.requests());
+    }
+
+    #[test]
+    fn zipf_with_zero_exponent_is_roughly_uniform() {
+        let k = 4;
+        let s = zipf_objects(8, k, 0.0, 4000, 50.0, 3);
+        for o in 0..k as u32 {
+            let c = s.requests().iter().filter(|r| r.obj == ObjectId(o)).count();
+            assert!((800..1200).contains(&c), "object {o} got {c}/4000");
+        }
+    }
+
+    #[test]
+    fn hotspot_migration_concentrates_each_phase() {
+        let n = 20;
+        let k = 3;
+        let phases = 4;
+        let per_phase = 300;
+        let s = object_hotspot_migration(n, k, phases, per_phase, 50.0, 0.9, 7);
+        assert_eq!(s.len(), phases * per_phase);
+        assert_eq!(s.object_id_bound(), k);
+        // Within each (phase, object) bucket, some single node dominates.
+        for phase in 0..phases {
+            let lo = SimTime::from_subticks(
+                (phase as f64 * 50.0 * desim::SUBTICKS_PER_UNIT as f64) as u64,
+            );
+            let hi = SimTime::from_subticks(
+                ((phase + 1) as f64 * 50.0 * desim::SUBTICKS_PER_UNIT as f64) as u64,
+            );
+            for obj in 0..k as u32 {
+                let bucket: Vec<NodeId> = s
+                    .requests()
+                    .iter()
+                    .filter(|r| r.obj == ObjectId(obj) && r.time >= lo && r.time < hi)
+                    .map(|r| r.node)
+                    .collect();
+                assert!(!bucket.is_empty());
+                let mut counts = vec![0usize; n];
+                for &v in &bucket {
+                    counts[v] += 1;
+                }
+                let dominant = counts.iter().max().copied().unwrap_or(0);
+                assert!(
+                    dominant * 2 > bucket.len(),
+                    "phase {phase} object {obj}: no dominant hotspot ({dominant}/{})",
+                    bucket.len()
+                );
+            }
         }
     }
 

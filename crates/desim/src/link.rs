@@ -91,6 +91,11 @@ impl LatencyModel {
 pub struct LinkState {
     weights: HashMap<(usize, usize), f64>,
     last_delivery: HashMap<(usize, usize), SimTime>,
+    /// FIFO floors of the *direct* (explicit-latency) channel of each directed pair,
+    /// kept separate from `last_delivery` so out-of-band traffic (e.g. requester
+    /// acknowledgements routed over graph shortest paths) never delays — and is never
+    /// delayed by — the link-model protocol traffic on the same pair.
+    last_direct: HashMap<(usize, usize), SimTime>,
 }
 
 impl LinkState {
@@ -112,6 +117,11 @@ impl LinkState {
 
     /// Compute the delivery time for a message sent at `now` on `(from, to)` with the
     /// given latency model, enforcing FIFO per directed link, and record it.
+    ///
+    /// `jitter` is the scheduling jitter of [`crate::sim::LocalOrder::Random`]. It is
+    /// folded in *before* the FIFO floor is applied and the floored result is what
+    /// gets recorded, so jitter can never reorder two messages on the same directed
+    /// link — the floor always reflects the actual (jittered) delivery time.
     pub fn delivery_time(
         &mut self,
         from: usize,
@@ -119,10 +129,11 @@ impl LinkState {
         now: SimTime,
         model: &LatencyModel,
         rng: &mut SimRng,
+        jitter: SimDuration,
     ) -> SimTime {
         let weight = self.weight(from, to);
         let latency = model.sample(weight, rng);
-        let naive = now + latency;
+        let naive = now + latency + jitter;
         let fifo_floor = self
             .last_delivery
             .get(&(from, to))
@@ -130,6 +141,29 @@ impl LinkState {
             .unwrap_or(SimTime::ZERO);
         let delivery = naive.max(fifo_floor);
         self.last_delivery.insert((from, to), delivery);
+        delivery
+    }
+
+    /// Delivery time for a *direct* send: the message takes exactly `latency`
+    /// (plus jitter), independent of the link's weight and latency model. Direct
+    /// sends form their own FIFO channel per directed pair — see [`LinkState`]'s
+    /// `last_direct` field for why it is kept separate from link traffic.
+    pub fn direct_delivery_time(
+        &mut self,
+        from: usize,
+        to: usize,
+        now: SimTime,
+        latency: SimDuration,
+        jitter: SimDuration,
+    ) -> SimTime {
+        let naive = now + latency + jitter;
+        let fifo_floor = self
+            .last_direct
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        let delivery = naive.max(fifo_floor);
+        self.last_direct.insert((from, to), delivery);
         delivery
     }
 
@@ -197,7 +231,31 @@ mod tests {
         let mut last = SimTime::ZERO;
         // Send a burst of messages at the same instant; deliveries must be non-decreasing.
         for _ in 0..200 {
-            let d = ls.delivery_time(0, 1, SimTime::from_units(10), &model, &mut rng);
+            let d = ls.delivery_time(
+                0,
+                1,
+                SimTime::from_units(10),
+                &model,
+                &mut rng,
+                SimDuration::ZERO,
+            );
+            assert!(d >= last, "FIFO violated: {d} < {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn fifo_is_enforced_with_random_jitter() {
+        // Regression: jitter must be folded in *before* the FIFO floor. If it were
+        // added after, a small-jitter message could undercut the floored delivery of
+        // its large-jitter predecessor on the same directed link.
+        let mut ls = LinkState::new();
+        let mut rng = SimRng::new(6);
+        let model = LatencyModel::Uniform { lo: 0.05, hi: 1.0 };
+        let mut last = SimTime::ZERO;
+        for _ in 0..500 {
+            let jitter = SimDuration::from_subticks(rng.uniform_u64(0, 100));
+            let d = ls.delivery_time(0, 1, SimTime::from_units(3), &model, &mut rng, jitter);
             assert!(d >= last, "FIFO violated: {d} < {last}");
             last = d;
         }
@@ -208,9 +266,49 @@ mod tests {
         let mut ls = LinkState::new();
         let mut rng = SimRng::new(5);
         let model = LatencyModel::Fixed { units: 1.0 };
-        let d1 = ls.delivery_time(0, 1, SimTime::from_units(100), &model, &mut rng);
+        let d1 = ls.delivery_time(
+            0,
+            1,
+            SimTime::from_units(100),
+            &model,
+            &mut rng,
+            SimDuration::ZERO,
+        );
         // Opposite direction is unconstrained by the first delivery.
-        let d2 = ls.delivery_time(1, 0, SimTime::from_units(0), &model, &mut rng);
+        let d2 = ls.delivery_time(
+            1,
+            0,
+            SimTime::from_units(0),
+            &model,
+            &mut rng,
+            SimDuration::ZERO,
+        );
         assert!(d2 < d1);
+    }
+
+    #[test]
+    fn direct_channel_is_fifo_but_independent_of_link_traffic() {
+        let mut ls = LinkState::new();
+        let mut rng = SimRng::new(7);
+        let model = LatencyModel::Fixed { units: 10.0 };
+        // A slow link-model message must not delay a fast direct send on the same pair.
+        let slow = ls.delivery_time(0, 1, SimTime::ZERO, &model, &mut rng, SimDuration::ZERO);
+        let fast = ls.direct_delivery_time(
+            0,
+            1,
+            SimTime::ZERO,
+            SimDuration::from_units(1),
+            SimDuration::ZERO,
+        );
+        assert!(fast < slow);
+        // Direct sends among themselves are FIFO.
+        let later = ls.direct_delivery_time(
+            0,
+            1,
+            SimTime::ZERO,
+            SimDuration::from_units_f64(0.25),
+            SimDuration::ZERO,
+        );
+        assert!(later >= fast, "direct channel reordered: {later} < {fast}");
     }
 }

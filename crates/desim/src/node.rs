@@ -11,6 +11,30 @@ use crate::time::{SimDuration, SimTime};
 /// Identifier of a node in the simulated network (index into the node vector).
 pub type NodeId = usize;
 
+/// One buffered outgoing message: either a normal link send (latency sampled from the
+/// simulator's latency model) or a direct send with an explicit latency (used for
+/// out-of-band traffic such as acknowledgements routed over graph shortest paths).
+#[derive(Debug, PartialEq)]
+pub(crate) enum Outgoing<M> {
+    /// Deliver over the link `(sender, to)` using the configured latency model.
+    Link {
+        /// Destination node.
+        to: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// Deliver after exactly `latency` (plus local-order jitter), bypassing the link
+    /// latency model. Direct sends form their own FIFO channel per directed pair.
+    Direct {
+        /// Destination node.
+        to: NodeId,
+        /// Payload.
+        msg: M,
+        /// Explicit one-way latency.
+        latency: SimDuration,
+    },
+}
+
 /// Outgoing actions a process can request during a single handler invocation.
 ///
 /// The context buffers them; the simulator applies them (samples latencies, schedules
@@ -20,8 +44,8 @@ pub type NodeId = usize;
 pub struct Context<M> {
     node: NodeId,
     now: SimTime,
-    /// Messages to send: (destination, payload).
-    pub(crate) outbox: Vec<(NodeId, M)>,
+    /// Messages to send.
+    pub(crate) outbox: Vec<Outgoing<M>>,
     /// Timers to set: (delay, tag).
     pub(crate) timers: Vec<(SimDuration, u64)>,
     /// Application-level completion records (opaque to the simulator, drained by the
@@ -69,7 +93,18 @@ impl<M> Context<M> {
     /// Sending to `self.node()` is allowed and is delivered like any other message
     /// (useful for testing), but distributed algorithms normally act locally instead.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.outbox.push((to, msg));
+        self.outbox.push(Outgoing::Link { to, msg });
+    }
+
+    /// Send `msg` to `to` with an explicit one-way `latency`, bypassing the link
+    /// latency model. Intended for out-of-band traffic whose cost is defined by a
+    /// metric rather than by a single link — e.g. acknowledgements that travel over
+    /// the graph's shortest path, paying `d_G(from, to)` regardless of whether the
+    /// pair happens to share a (possibly heavier) tree edge. Direct sends are FIFO
+    /// among themselves per directed pair but do not interact with the FIFO floor of
+    /// normal link traffic.
+    pub fn send_direct(&mut self, to: NodeId, msg: M, latency: SimDuration) {
+        self.outbox.push(Outgoing::Direct { to, msg, latency });
     }
 
     /// Set a timer that fires after `delay` with the given user tag.
@@ -134,10 +169,24 @@ mod tests {
         p.on_message(&mut ctx, 1, 41);
         assert_eq!(ctx.node(), 3);
         assert_eq!(ctx.now(), SimTime::from_units(5));
-        assert_eq!(ctx.outbox, vec![(1, 42)]);
+        assert_eq!(ctx.outbox, vec![Outgoing::Link { to: 1, msg: 42 }]);
         assert_eq!(ctx.timers, vec![(SimDuration::unit(), 7)]);
         assert_eq!(ctx.completions, vec![(SimTime::from_units(5), 41)]);
         assert_eq!(p.heard, vec![(1, 41)]);
+    }
+
+    #[test]
+    fn send_direct_buffers_with_latency() {
+        let mut ctx: Context<u32> = Context::new(0, SimTime::ZERO);
+        ctx.send_direct(4, 9, SimDuration::from_units(3));
+        assert_eq!(
+            ctx.outbox,
+            vec![Outgoing::Direct {
+                to: 4,
+                msg: 9,
+                latency: SimDuration::from_units(3)
+            }]
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::event::{EventKind, EventQueue};
 use crate::link::{LatencyModel, LinkState};
-use crate::node::{Context, NodeId, Process};
+use crate::node::{Context, NodeId, Outgoing, Process};
 use crate::rng::SimRng;
 use crate::stats::SimStats;
 use crate::time::{SimDuration, SimTime};
@@ -57,16 +57,32 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// Default lower bound (in time units) on asynchronous message latencies. The
+    /// paper only requires latencies in `(0, 1]`; the positive floor keeps event
+    /// counts finite in closed-loop experiments.
+    pub const DEFAULT_ASYNC_LO: f64 = 0.05;
+
     /// The synchronous model of Section 3.1: unit latency, deterministic order.
     pub fn synchronous() -> Self {
         SimConfig::default()
     }
 
-    /// The asynchronous model of Section 3.8: uniformly random latencies in `(0, 1]`,
-    /// random local processing order.
+    /// The asynchronous model of Section 3.8: uniformly random latencies in
+    /// `[lo, 1.0]` with `lo = `[`SimConfig::DEFAULT_ASYNC_LO`], random local
+    /// processing order. Use [`SimConfig::asynchronous_with_floor`] to pick a
+    /// different lower bound.
     pub fn asynchronous(seed: u64) -> Self {
+        SimConfig::asynchronous_with_floor(seed, SimConfig::DEFAULT_ASYNC_LO)
+    }
+
+    /// The asynchronous model with an explicit lower latency bound: uniformly random
+    /// latencies in `[lo, 1.0]` (clamped to `(0, 1]`), random local processing order.
+    pub fn asynchronous_with_floor(seed: u64, lo: f64) -> Self {
         SimConfig {
-            latency: LatencyModel::Uniform { lo: 0.05, hi: 1.0 },
+            latency: LatencyModel::Uniform {
+                lo: lo.clamp(f64::EPSILON, 1.0),
+                hi: 1.0,
+            },
             seed,
             local_order: LocalOrder::Random,
             trace: false,
@@ -208,22 +224,37 @@ impl<M: std::fmt::Debug, P: Process<M>> Simulator<M, P> {
         &self.completions
     }
 
-    fn jitter(&mut self) -> SimDuration {
-        match self.config.local_order {
-            LocalOrder::Fifo => SimDuration::ZERO,
-            // Sub-micro-unit jitter: at most 1e-4 of a unit, enough to randomise the
-            // processing order of simultaneous arrivals without measurably changing
-            // latencies.
-            LocalOrder::Random => SimDuration::from_subticks(self.rng.uniform_u64(0, 100)),
-        }
-    }
-
     fn apply_context(&mut self, node: NodeId, ctx: &mut Context<M>) {
-        for (to, msg) in ctx.outbox.drain(..) {
-            let delivery =
-                self.links
-                    .delivery_time(node, to, self.now, &self.config.latency, &mut self.rng)
-                    + self.jitter();
+        for out in ctx.outbox.drain(..) {
+            // Jitter is folded into the FIFO floor (the floored, jittered delivery is
+            // what gets recorded), so random local processing order can never reorder
+            // two messages on the same directed channel.
+            let jitter = match self.config.local_order {
+                LocalOrder::Fifo => SimDuration::ZERO,
+                // Sub-micro-unit jitter: at most 1e-4 of a unit, enough to randomise
+                // the processing order of simultaneous arrivals without measurably
+                // changing latencies.
+                LocalOrder::Random => SimDuration::from_subticks(self.rng.uniform_u64(0, 100)),
+            };
+            let (to, msg, delivery) = match out {
+                Outgoing::Link { to, msg } => {
+                    let delivery = self.links.delivery_time(
+                        node,
+                        to,
+                        self.now,
+                        &self.config.latency,
+                        &mut self.rng,
+                        jitter,
+                    );
+                    (to, msg, delivery)
+                }
+                Outgoing::Direct { to, msg, latency } => {
+                    let delivery = self
+                        .links
+                        .direct_delivery_time(node, to, self.now, latency, jitter);
+                    (to, msg, delivery)
+                }
+            };
             self.stats.note_send(node, to, delivery - self.now);
             if self.trace.is_enabled() {
                 self.trace.push(TraceEvent::Send {
@@ -488,6 +519,76 @@ mod tests {
         // 30 hops at <= ~1 unit each.
         assert!(outcome.final_time <= SimTime::from_units(31));
         assert_eq!(sim.stats().messages_delivered, 30);
+    }
+
+    #[test]
+    fn random_local_order_never_reorders_a_directed_link() {
+        // Regression for the jitter-after-floor bug: jitter used to be added to the
+        // delivery time *after* LinkState::delivery_time had applied (and recorded)
+        // the FIFO floor, so two messages sent on the same directed link within 1e-4
+        // units could be delivered out of order. The fix folds jitter into the floor.
+        struct Burst {
+            received: Vec<u32>,
+        }
+        impl Process<u32> for Burst {
+            fn on_external(&mut self, ctx: &mut Context<u32>, count: u32) {
+                // Send `count` messages to node 1 in a single instant on one link.
+                for i in 0..count {
+                    ctx.send(1, i);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Context<u32>, _from: NodeId, msg: u32) {
+                self.received.push(msg);
+            }
+        }
+        for seed in 0..40 {
+            let nodes = (0..2).map(|_| Burst { received: vec![] }).collect();
+            let mut sim = Simulator::new(nodes, SimConfig::asynchronous(seed));
+            sim.schedule_external(SimTime::ZERO, 0, 30);
+            sim.run();
+            let received = &sim.node(1).received;
+            assert_eq!(received.len(), 30);
+            assert!(
+                received.windows(2).all(|w| w[0] < w[1]),
+                "seed {seed}: FIFO link reordered under random local order: {received:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn asynchronous_floor_is_configurable() {
+        let cfg = SimConfig::asynchronous_with_floor(1, 0.5);
+        match cfg.latency {
+            LatencyModel::Uniform { lo, hi } => {
+                assert_eq!(lo, 0.5);
+                assert_eq!(hi, 1.0);
+            }
+            other => panic!("unexpected latency model {other:?}"),
+        }
+        // The default keeps the documented 0.05 floor.
+        match SimConfig::asynchronous(1).latency {
+            LatencyModel::Uniform { lo, .. } => assert_eq!(lo, SimConfig::DEFAULT_ASYNC_LO),
+            other => panic!("unexpected latency model {other:?}"),
+        }
+    }
+
+    #[test]
+    fn direct_sends_take_the_requested_latency() {
+        struct Direct;
+        impl Process<u32> for Direct {
+            fn on_external(&mut self, ctx: &mut Context<u32>, _input: u32) {
+                ctx.send_direct(1, 7, SimDuration::from_units(5));
+            }
+            fn on_message(&mut self, ctx: &mut Context<u32>, _from: NodeId, msg: u32) {
+                ctx.record_completion(msg as u64);
+            }
+        }
+        let mut sim = Simulator::new(vec![Direct, Direct], SimConfig::synchronous());
+        sim.schedule_external(SimTime::ZERO, 0, 0);
+        let outcome = sim.run();
+        // One direct hop of 5 units, regardless of the unit link model.
+        assert_eq!(outcome.final_time, SimTime::from_units(5));
+        assert_eq!(sim.completions().len(), 1);
     }
 
     #[test]

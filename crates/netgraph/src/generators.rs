@@ -38,7 +38,7 @@ pub fn star(n: usize) -> Graph {
 /// The complete graph on `n` nodes with uniform edge weight `weight`.
 ///
 /// This is the topology of the paper's experimental platform: "the message latency
-/// between any pair of nodes in the SP2 machine was roughly the same, [so] we could
+/// between any pair of nodes in the SP2 machine was roughly the same, \[so\] we could
 /// treat the network as a complete graph with all edges having the same weight".
 pub fn complete(n: usize, weight: f64) -> Graph {
     let edges: Vec<(NodeId, NodeId, f64)> = (0..n)
@@ -348,5 +348,38 @@ mod tests {
     #[should_panic(expected = "at least 3")]
     fn tiny_cycle_panics() {
         cycle(2);
+    }
+
+    #[test]
+    fn one_row_grid_is_a_path() {
+        for k in [1usize, 2, 7] {
+            let g = grid(1, k);
+            assert_eq!(g.node_count(), k);
+            assert_eq!(g.edge_count(), k.saturating_sub(1));
+            assert!(g.is_tree(), "grid(1, {k}) should be a path");
+        }
+        // And the transpose: one column.
+        let g = grid(7, 1);
+        assert!(g.is_tree());
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    fn zero_dimensional_hypercube_is_a_single_node() {
+        let g = hypercube(0);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_connected());
+        assert!(g.is_tree());
+    }
+
+    #[test]
+    fn legless_caterpillar_is_its_spine() {
+        for spine in [1usize, 2, 5] {
+            let g = caterpillar(spine, 0);
+            assert_eq!(g.node_count(), spine);
+            assert_eq!(g.edge_count(), spine.saturating_sub(1));
+            assert!(g.is_tree(), "caterpillar({spine}, 0) should be a path");
+        }
     }
 }

@@ -15,7 +15,7 @@
 //!   and next-hop routing;
 //! * [`spanning`] — spanning-tree constructors (shortest-path tree, MST, star,
 //!   balanced binary, minimum-communication heuristic);
-//! * [`stretch`] — stretch computation (Definition 3.1) and the paper's bound constant;
+//! * [`mod@stretch`] — stretch computation (Definition 3.1) and the paper's bound constant;
 //! * [`metric`] — finite metric spaces and a metric-axiom checker used by tests.
 //!
 //! ## Example: the experiment topology of Section 5

@@ -28,6 +28,7 @@ pub fn compress_schedule(schedule: &RequestSchedule, tree: &RootedTree) -> Reque
         id: arrow_core::RequestId::ROOT,
         node: tree.root(),
         time: SimTime::ZERO,
+        obj: arrow_core::ObjectId::DEFAULT,
     };
 
     // Pairwise tree distances between request origins, memoised once: the fixpoint
@@ -106,6 +107,7 @@ pub fn is_compressed(schedule: &RequestSchedule, tree: &RootedTree) -> bool {
         id: arrow_core::RequestId::ROOT,
         node: tree.root(),
         time: SimTime::ZERO,
+        obj: arrow_core::ObjectId::DEFAULT,
     });
     all.extend(schedule.requests().iter().copied());
     all.sort_by_key(|r| (r.time, r.id));

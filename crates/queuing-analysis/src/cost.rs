@@ -56,6 +56,7 @@ impl RequestSet {
             id: RequestId::ROOT,
             node: tree.root(),
             time: SimTime::ZERO,
+            obj: arrow_core::ObjectId::DEFAULT,
         });
         points.extend_from_slice(schedule.requests());
         RequestSet {
