@@ -1,0 +1,65 @@
+//! Regenerate the committed socket-tier throughput baseline.
+//!
+//! ```text
+//! cargo run --release -p arrow-bench --bin bench_net -- [out_path]
+//! ```
+//!
+//! Runs the arrow-net closed-loop kernel — 64 socket peers on a balanced binary
+//! spanning tree, no injected latency — for K = 1, 4, 8 and 16 objects. Every
+//! `queue()` and token frame crosses a real loopback TCP connection; every
+//! per-object queuing order is validated at shutdown (the measurement panics
+//! otherwise). Writes `BENCH_net_throughput.json` (default: the current directory —
+//! run from the repository root to refresh the committed file).
+
+use arrow_bench::net_throughput::{net_sweep, NetReportJson};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_net_throughput.json".to_string());
+
+    let nodes = 64;
+    let workers_per_object = 4;
+    let acquires_per_worker = 50;
+    let seed = 1;
+    let objects_list = [1usize, 4, 8, 16];
+
+    // Warm-up pass (binds ports, spins the thread pools once), then the measurement.
+    let _ = net_sweep(nodes, &[1], workers_per_object, 10, seed);
+    let rows = net_sweep(
+        nodes,
+        &objects_list,
+        workers_per_object,
+        acquires_per_worker,
+        seed,
+    );
+
+    println!(
+        "socket-tier throughput ({nodes} loopback TCP peers, {workers_per_object} workers/object \
+         x {acquires_per_worker} acquires):"
+    );
+    for r in &rows {
+        println!(
+            "  K = {:>3} objects: {:>6} acquisitions, {:.3}s, {:>8.0} acq/sec, \
+             p50 {:.2} ms, p99 {:.2} ms, {} conns, {} KiB on the wire, {} valid orders",
+            r.objects,
+            r.acquisitions,
+            r.wall_seconds,
+            r.acquisitions_per_sec,
+            r.acquire_p50_ms,
+            r.acquire_p99_ms,
+            r.connections,
+            r.bytes_sent / 1024,
+            r.valid_orders
+        );
+        assert_eq!(
+            r.valid_orders, r.objects,
+            "K = {}: every object must produce a valid order",
+            r.objects
+        );
+    }
+
+    let report = NetReportJson { rows };
+    std::fs::write(&out_path, report.to_json()).expect("failed to write baseline file");
+    println!("baseline written to {out_path}");
+}

@@ -12,12 +12,14 @@
 //! | Competitive-ratio validation | Thm 3.19 | `competitive_ratio` | [`experiments::ratio_sweep`] |
 //! | Synchronous vs. asynchronous | Thm 3.21 | `async_vs_sync` | [`experiments::async_vs_sync`] |
 //! | Multi-object directory throughput | directory setting (Sec. 1) | `bench_multi_object` | [`multi_object::multi_object_sweep`] |
+//! | Socket-tier throughput (loopback TCP) | Section 5 platform | `bench_net` | [`net_throughput::net_sweep`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod multi_object;
+pub mod net_throughput;
 pub mod table;
 pub mod throughput;
 
@@ -28,5 +30,6 @@ pub use experiments::{
 pub use multi_object::{
     measure_multi_object, multi_object_sweep, MultiObjectReport, MultiObjectRow,
 };
+pub use net_throughput::{measure_net, net_sweep, NetReportJson, NetRow};
 pub use table::Table;
 pub use throughput::{measure_sim_throughput, ThroughputReport};

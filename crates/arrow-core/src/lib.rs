@@ -49,7 +49,10 @@
 //!   cost/hop statistics plus the per-object orders.
 //! * [`live`] — a real-concurrency runtime (one OS thread per node, std mpsc
 //!   channels) whose node threads multiplex the per-object automata and exclusion
-//!   tokens, plus a [`live::DistributedLock`] built on the queue.
+//!   tokens, plus a [`live::DistributedLock`] built on the queue. Its protocol
+//!   logic is the standalone [`live::ArrowCore`] state machine, also consumed by
+//!   the socket tier (the `arrow-net` crate) so the two real-concurrency runtimes
+//!   cannot drift.
 //!
 //! ## Quick example
 //!

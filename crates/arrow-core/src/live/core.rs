@@ -1,0 +1,475 @@
+//! The transport-agnostic per-node arrow state machine.
+//!
+//! Three execution tiers run the same protocol: the discrete-event simulator
+//! ([`crate::arrow`]), the in-process thread runtime ([`super::ArrowRuntime`]) and the
+//! socket runtime (`arrow-net`). The thread and socket tiers share *this* module —
+//! one [`ArrowCore`] per node holds the per-object link pointers, the path-reversal
+//! logic and the per-(object, request) token bookkeeping, and reports what the
+//! transport must do as a list of [`CoreAction`]s. The transport owns everything
+//! I/O-shaped: channels or sockets, the map from pending requests to application
+//! wakeups, latency, and statistics.
+//!
+//! Keeping the state machine in one place means the tiers cannot drift: a protocol
+//! change lands here once and both real-concurrency runtimes pick it up.
+//!
+//! # Invariants the transports rely on
+//!
+//! * [`CoreAction::SendQueue`] targets are always tree neighbours of this node
+//!   (`queue()` messages travel tree edges only).
+//! * [`CoreAction::SendToken`] targets are never this node — a token grant for a
+//!   local request surfaces as [`CoreAction::Granted`] instead.
+//! * [`CoreAction::Queued`] fires exactly once per request, at the node holding the
+//!   predecessor, when that node learns the successor's identity (Definition 3.2's
+//!   end point; transports can log it as an order record).
+
+use crate::request::{ObjectId, RequestId};
+use netgraph::{NodeId, RootedTree};
+use std::collections::HashMap;
+
+/// What a transport must do after feeding an input to [`ArrowCore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreAction {
+    /// Send the arrow `queue()` message for `obj` to tree neighbour `to`.
+    SendQueue {
+        /// Destination (a tree neighbour of this node; never this node itself).
+        to: NodeId,
+        /// Object whose queue the request joins.
+        obj: ObjectId,
+        /// The request being queued.
+        req: RequestId,
+        /// Node that issued the request.
+        origin: NodeId,
+    },
+    /// Send `obj`'s exclusion token to `to`, granting its request `req`.
+    SendToken {
+        /// Destination (the granted request's origin; never this node itself).
+        to: NodeId,
+        /// Object whose token moves.
+        obj: ObjectId,
+        /// The request being granted.
+        req: RequestId,
+    },
+    /// This node's own request `req` now holds `obj`'s token: wake the application.
+    Granted {
+        /// Object whose token arrived.
+        obj: ObjectId,
+        /// The local request being granted.
+        req: RequestId,
+    },
+    /// Request `succ` (issued at `origin`) was queued directly behind `pred` in
+    /// `obj`'s queue, and this node (holding `pred`) just learnt it.
+    Queued {
+        /// Object whose queue grew.
+        obj: ObjectId,
+        /// The earlier request (possibly [`RequestId::ROOT`]).
+        pred: RequestId,
+        /// The request queued behind it.
+        succ: RequestId,
+        /// Node that issued `succ`.
+        origin: NodeId,
+    },
+}
+
+/// Per-own-request token bookkeeping at the issuing node.
+#[derive(Debug, Default)]
+struct TokenState {
+    /// The token for this request has been (or never needed to be) released.
+    released: bool,
+    /// The successor of this request, once known: `(request, origin node)`.
+    successor: Option<(RequestId, NodeId)>,
+}
+
+/// Per-object arrow state at one node.
+#[derive(Debug)]
+struct ObjectState {
+    /// `link_o(v)`: a tree neighbour, or the node itself when it is the sink.
+    link: NodeId,
+    /// `id_o(v)`: the last request for this object issued here. Initialised to the
+    /// virtual root request at every node — see the invariant note in
+    /// [`ArrowCore::new`].
+    last_id: RequestId,
+}
+
+/// The per-node arrow automaton for `K` objects: link pointers, path reversal and
+/// token bookkeeping, independent of how messages actually travel.
+#[derive(Debug)]
+pub struct ArrowCore {
+    me: NodeId,
+    total_nodes: u64,
+    next_seq: u64,
+    objects: Vec<ObjectState>,
+    /// Token bookkeeping for requests issued by this node, keyed by
+    /// (object, request id).
+    tokens: HashMap<(ObjectId, RequestId), TokenState>,
+}
+
+impl ArrowCore {
+    /// Arrow state for node `me` of a system of `total_nodes` nodes, serving
+    /// `objects` objects whose link pointers all start at `initial_link` (the node's
+    /// tree parent, or `me` itself at the root).
+    ///
+    /// Every object starts with `last_id = r0`, but only the root's value is ever
+    /// read before being overwritten — a non-root node can only become a sink by
+    /// issuing a request (which sets `last_id` first), so its initial value is never
+    /// observed.
+    ///
+    /// # Panics
+    /// If `objects` is zero.
+    pub fn new(me: NodeId, initial_link: NodeId, objects: usize, total_nodes: usize) -> Self {
+        assert!(objects > 0, "a directory serves at least one object");
+        ArrowCore {
+            me,
+            total_nodes: total_nodes as u64,
+            next_seq: 0,
+            objects: (0..objects)
+                .map(|_| ObjectState {
+                    link: initial_link,
+                    last_id: RequestId::ROOT,
+                })
+                .collect(),
+            tokens: HashMap::new(),
+        }
+    }
+
+    /// Arrow state for node `me` of the given rooted spanning tree: the initial link
+    /// is the tree parent (or `me` itself at the root), so following pointers from
+    /// anywhere leads to the root, which holds every object's initial token.
+    pub fn for_tree(me: NodeId, tree: &RootedTree, objects: usize) -> Self {
+        let link = if me == tree.root() {
+            me
+        } else {
+            tree.parent(me).expect("non-root node has a parent")
+        };
+        ArrowCore::new(me, link, objects, tree.node_count())
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of objects served.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn fresh_request_id(&mut self) -> RequestId {
+        // Unique across nodes (interleaved by node id) and across this node's
+        // objects (one shared sequence). +1 keeps ids disjoint from the root id 0.
+        let id = 1 + self.me as u64 + self.next_seq * self.total_nodes;
+        self.next_seq += 1;
+        RequestId(id)
+    }
+
+    fn object_mut(&mut self, obj: ObjectId) -> &mut ObjectState {
+        let me = self.me;
+        self.objects
+            .get_mut(obj.0 as usize)
+            .unwrap_or_else(|| panic!("node {me} does not serve object {obj}"))
+    }
+
+    /// Issue a queuing request for `obj` on behalf of the local application.
+    /// Returns the fresh request id; the transport must remember it so a later
+    /// [`CoreAction::Granted`] can wake the right waiter (possibly among `actions`
+    /// already).
+    ///
+    /// # Panics
+    /// If `obj` is out of range for this node.
+    pub fn acquire(&mut self, obj: ObjectId, actions: &mut Vec<CoreAction>) -> RequestId {
+        let req = self.fresh_request_id();
+        self.tokens.insert((obj, req), TokenState::default());
+        let me = self.me;
+        let state = self.object_mut(obj);
+        let previous = state.last_id;
+        state.last_id = req;
+        if state.link == me {
+            // Local sink: req is queued directly behind our previous request.
+            self.queuing_complete(obj, previous, req, me, actions);
+        } else {
+            let target = state.link;
+            state.link = me;
+            actions.push(CoreAction::SendQueue {
+                to: target,
+                obj,
+                req,
+                origin: me,
+            });
+        }
+        req
+    }
+
+    /// Arrow path reversal for one object: a `queue()` message for request `req`
+    /// (issued at `origin`) arrived from tree neighbour `from`.
+    ///
+    /// # Panics
+    /// If `obj` is out of range for this node.
+    pub fn on_queue(
+        &mut self,
+        from: NodeId,
+        obj: ObjectId,
+        req: RequestId,
+        origin: NodeId,
+        actions: &mut Vec<CoreAction>,
+    ) {
+        let me = self.me;
+        let state = self.object_mut(obj);
+        let old_link = state.link;
+        state.link = from;
+        if old_link == me {
+            let pred = state.last_id;
+            self.queuing_complete(obj, pred, req, origin, actions);
+        } else {
+            actions.push(CoreAction::SendQueue {
+                to: old_link,
+                obj,
+                req,
+                origin,
+            });
+        }
+    }
+
+    /// `obj`'s exclusion token arrived for this node's own request `req`.
+    pub fn on_token(&mut self, obj: ObjectId, req: RequestId, actions: &mut Vec<CoreAction>) {
+        actions.push(CoreAction::Granted { obj, req });
+    }
+
+    /// The local application released `obj`'s token it held for `req`.
+    pub fn on_release(&mut self, obj: ObjectId, req: RequestId, actions: &mut Vec<CoreAction>) {
+        let state = self.tokens.entry((obj, req)).or_default();
+        if let Some((succ, origin)) = state.successor.take() {
+            self.tokens.remove(&(obj, req));
+            self.grant(obj, succ, origin, actions);
+        } else {
+            state.released = true;
+        }
+    }
+
+    /// Request `succ` (from `origin`) has been queued behind `pred` in `obj`'s queue,
+    /// and `pred` lives here.
+    fn queuing_complete(
+        &mut self,
+        obj: ObjectId,
+        pred: RequestId,
+        succ: RequestId,
+        origin: NodeId,
+        actions: &mut Vec<CoreAction>,
+    ) {
+        actions.push(CoreAction::Queued {
+            obj,
+            pred,
+            succ,
+            origin,
+        });
+        if pred.is_root() {
+            // The token has been sitting at the object's initial root, already free.
+            self.grant(obj, succ, origin, actions);
+            return;
+        }
+        let state = self.tokens.entry((obj, pred)).or_default();
+        if state.released {
+            self.tokens.remove(&(obj, pred));
+            self.grant(obj, succ, origin, actions);
+        } else {
+            state.successor = Some((succ, origin));
+        }
+    }
+
+    /// Hand `obj`'s token to the node that issued `req`.
+    fn grant(
+        &mut self,
+        obj: ObjectId,
+        req: RequestId,
+        origin: NodeId,
+        actions: &mut Vec<CoreAction>,
+    ) {
+        if origin == self.me {
+            self.on_token(obj, req, actions);
+        } else {
+            actions.push(CoreAction::SendToken {
+                to: origin,
+                obj,
+                req,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+
+    fn tree(n: usize) -> RootedTree {
+        RootedTree::from_tree_graph(&generators::balanced_binary_tree(n), 0)
+    }
+
+    #[test]
+    fn root_acquire_is_granted_locally() {
+        let mut core = ArrowCore::for_tree(0, &tree(3), 1);
+        let mut out = Vec::new();
+        let req = core.acquire(ObjectId::DEFAULT, &mut out);
+        // The root is the sink of its own virtual request r0, already released.
+        assert_eq!(
+            out,
+            vec![
+                CoreAction::Queued {
+                    obj: ObjectId::DEFAULT,
+                    pred: RequestId::ROOT,
+                    succ: req,
+                    origin: 0,
+                },
+                CoreAction::Granted {
+                    obj: ObjectId::DEFAULT,
+                    req,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn non_root_acquire_sends_queue_towards_parent() {
+        let t = tree(7);
+        let mut core = ArrowCore::for_tree(5, &t, 1);
+        let mut out = Vec::new();
+        let req = core.acquire(ObjectId::DEFAULT, &mut out);
+        assert_eq!(
+            out,
+            vec![CoreAction::SendQueue {
+                to: t.parent(5).unwrap(),
+                obj: ObjectId::DEFAULT,
+                req,
+                origin: 5,
+            }]
+        );
+    }
+
+    #[test]
+    fn queue_is_forwarded_along_old_link_with_path_reversal() {
+        let t = tree(7);
+        // Node 1's link initially points at its parent 0; a queue() arriving from
+        // child 3 must be forwarded to 0 and the link must flip to 3.
+        let mut core = ArrowCore::for_tree(1, &t, 1);
+        let mut out = Vec::new();
+        core.on_queue(3, ObjectId::DEFAULT, RequestId(9), 3, &mut out);
+        assert_eq!(
+            out,
+            vec![CoreAction::SendQueue {
+                to: 0,
+                obj: ObjectId::DEFAULT,
+                req: RequestId(9),
+                origin: 3,
+            }]
+        );
+        out.clear();
+        // A second queue() arriving from 0 must now chase the flipped link to 3.
+        core.on_queue(0, ObjectId::DEFAULT, RequestId(10), 6, &mut out);
+        assert_eq!(
+            out,
+            vec![CoreAction::SendQueue {
+                to: 3,
+                obj: ObjectId::DEFAULT,
+                req: RequestId(10),
+                origin: 6,
+            }]
+        );
+    }
+
+    #[test]
+    fn token_waits_for_release_then_travels_to_successor() {
+        let mut core = ArrowCore::for_tree(0, &tree(3), 1);
+        let mut out = Vec::new();
+        let own = core.acquire(ObjectId::DEFAULT, &mut out);
+        out.clear();
+        // A remote request queues behind ours before we release.
+        core.on_queue(1, ObjectId::DEFAULT, RequestId(40), 2, &mut out);
+        assert_eq!(
+            out,
+            vec![CoreAction::Queued {
+                obj: ObjectId::DEFAULT,
+                pred: own,
+                succ: RequestId(40),
+                origin: 2,
+            }],
+            "token is still held: no grant yet"
+        );
+        out.clear();
+        core.on_release(ObjectId::DEFAULT, own, &mut out);
+        assert_eq!(
+            out,
+            vec![CoreAction::SendToken {
+                to: 2,
+                obj: ObjectId::DEFAULT,
+                req: RequestId(40),
+            }]
+        );
+    }
+
+    #[test]
+    fn release_before_successor_known_hands_over_immediately_later() {
+        let mut core = ArrowCore::for_tree(0, &tree(3), 1);
+        let mut out = Vec::new();
+        let own = core.acquire(ObjectId::DEFAULT, &mut out);
+        out.clear();
+        core.on_release(ObjectId::DEFAULT, own, &mut out);
+        assert!(out.is_empty(), "no successor yet: nothing to do");
+        core.on_queue(1, ObjectId::DEFAULT, RequestId(7), 1, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                CoreAction::Queued {
+                    obj: ObjectId::DEFAULT,
+                    pred: own,
+                    succ: RequestId(7),
+                    origin: 1,
+                },
+                CoreAction::SendToken {
+                    to: 1,
+                    obj: ObjectId::DEFAULT,
+                    req: RequestId(7),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn objects_have_independent_links_and_ids() {
+        let t = tree(7);
+        let mut core = ArrowCore::for_tree(2, &t, 2);
+        assert_eq!(core.object_count(), 2);
+        let mut out = Vec::new();
+        let a = core.acquire(ObjectId(0), &mut out);
+        let b = core.acquire(ObjectId(1), &mut out);
+        assert_ne!(a, b, "one shared id sequence across objects");
+        // Both queues were sent towards the parent independently.
+        let targets: Vec<NodeId> = out
+            .iter()
+            .filter_map(|act| match act {
+                CoreAction::SendQueue { to, .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![t.parent(2).unwrap(), t.parent(2).unwrap()]);
+    }
+
+    #[test]
+    fn request_ids_are_disjoint_across_nodes() {
+        let t = tree(7);
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..7 {
+            let mut core = ArrowCore::for_tree(v, &t, 1);
+            for _ in 0..5 {
+                assert!(seen.insert(core.acquire(ObjectId::DEFAULT, &mut out)));
+            }
+        }
+        assert!(!seen.contains(&RequestId::ROOT));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not serve object")]
+    fn out_of_range_object_panics() {
+        let mut core = ArrowCore::for_tree(0, &tree(3), 1);
+        let mut out = Vec::new();
+        core.acquire(ObjectId(1), &mut out);
+    }
+}

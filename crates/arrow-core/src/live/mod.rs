@@ -8,14 +8,19 @@
 //! the paper's introduction motivates — to pass an exclusive token from each request
 //! to its successor, i.e. distributed mutual exclusion.
 //!
+//! * [`core`] — the transport-agnostic per-node arrow state machine
+//!   ([`core::ArrowCore`]), shared with the socket runtime in the `arrow-net` crate
+//!   so the real-concurrency tiers cannot drift.
 //! * [`ArrowRuntime`] — spawns one thread per node of a spanning tree and exposes a
 //!   [`NodeHandle`] per node with `acquire()` / `release()` token operations.
 //! * [`DistributedLock`] — a guard-style wrapper around a handle.
 //! * [`CriticalSectionLog`] — a shared log used by tests and examples to verify the
 //!   mutual-exclusion invariant.
 
+pub mod core;
 mod lock;
 mod runtime;
 
+pub use core::{ArrowCore, CoreAction};
 pub use lock::{CriticalSectionLog, DistributedLock, LockGuard, SectionRecord};
 pub use runtime::{ArrowRuntime, NodeHandle, RuntimeStats};

@@ -8,7 +8,12 @@
 //! `succ`'s origin as soon as the local application has released `pred`. Each
 //! object's initial token sits at the tree root (holding that object's virtual
 //! request `r0`), already released.
+//!
+//! The protocol logic itself lives in [`super::core::ArrowCore`], shared with the
+//! socket runtime (`arrow-net`); this module only supplies the transport: mpsc
+//! channels, node threads, and the map from pending requests to application wakeups.
 
+use super::core::{ArrowCore, CoreAction};
 use crate::request::{ObjectId, RequestId};
 use netgraph::{NodeId, RootedTree};
 use std::collections::HashMap;
@@ -61,161 +66,77 @@ impl RuntimeStats {
     }
 }
 
-/// Per-own-request token bookkeeping at the issuing node.
-#[derive(Debug, Default)]
-struct TokenState {
-    /// The token for this request has been (or never needed to be) released.
-    released: bool,
-    /// The successor of this request, once known: `(request, origin node)`.
-    successor: Option<(RequestId, NodeId)>,
-}
-
-/// Per-object arrow state at one node of the live runtime.
-#[derive(Debug)]
-struct ObjectState {
-    /// `link_o(v)`: a tree neighbour, or the node itself when it is the sink.
-    link: NodeId,
-    /// `id_o(v)`: the last request for this object issued here. Initialised to the
-    /// virtual root request at every node — see the invariant note in
-    /// [`ArrowRuntime::spawn_multi`].
-    last_id: RequestId,
-}
-
 struct NodeState {
     me: NodeId,
-    /// Per-object arrow state, indexed by [`ObjectId`].
-    objects: Vec<ObjectState>,
+    /// The shared per-node protocol automaton.
+    core: ArrowCore,
+    /// Scratch buffer for core actions (reused across events; steady state allocates
+    /// nothing).
+    actions: Vec<CoreAction>,
     /// Outstanding local acquires: (object, request id) -> reply channel.
     waiting: HashMap<(ObjectId, RequestId), Sender<RequestId>>,
-    /// Token bookkeeping for requests issued by this node, keyed by
-    /// (object, request id).
-    tokens: HashMap<(ObjectId, RequestId), TokenState>,
     senders: Vec<Sender<(NodeId, LiveMsg)>>,
     stats: Arc<RuntimeStats>,
-    next_seq: u64,
-    total_nodes: u64,
 }
 
 impl NodeState {
     fn send(&self, to: NodeId, msg: LiveMsg) {
-        if let LiveMsg::Queue { .. } = msg {
-            if to != self.me {
-                self.stats.queue_messages.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        if let LiveMsg::Token { .. } = msg {
-            if to != self.me {
-                self.stats.token_messages.fetch_add(1, Ordering::Relaxed);
-            }
-        }
         // Sending to self is delivered through the same channel to preserve ordering.
         let _ = self.senders[to].send((self.me, msg));
     }
 
-    fn fresh_request_id(&mut self) -> RequestId {
-        // Unique across nodes (interleaved by node id) and across this node's
-        // objects (one shared sequence). +1 keeps ids disjoint from the root id 0.
-        let id = 1 + self.me as u64 + self.next_seq * self.total_nodes;
-        self.next_seq += 1;
-        RequestId(id)
-    }
-
-    fn object_mut(&mut self, obj: ObjectId) -> &mut ObjectState {
-        let me = self.me;
-        self.objects
-            .get_mut(obj.0 as usize)
-            .unwrap_or_else(|| panic!("node {me} does not serve object {obj}"))
-    }
-
-    /// Issue a queuing request for `obj` on behalf of the local application.
-    fn handle_acquire(&mut self, obj: ObjectId, reply: Sender<RequestId>) {
-        let req = self.fresh_request_id();
-        self.waiting.insert((obj, req), reply);
-        self.tokens.insert((obj, req), TokenState::default());
-        let me = self.me;
-        let state = self.object_mut(obj);
-        let previous = state.last_id;
-        state.last_id = req;
-        if state.link == me {
-            // Local sink: req is queued directly behind our previous request.
-            self.queuing_complete(obj, previous, req, me);
-        } else {
-            let target = state.link;
-            state.link = me;
-            self.send(
-                target,
-                LiveMsg::Queue {
+    /// Translate the core's pending actions into channel sends and wakeups.
+    fn apply_actions(&mut self) {
+        let mut actions = std::mem::take(&mut self.actions);
+        for action in actions.drain(..) {
+            match action {
+                CoreAction::SendQueue {
+                    to,
                     obj,
                     req,
-                    origin: me,
-                },
-            );
+                    origin,
+                } => {
+                    // The core never queues or grants to itself (local cases surface
+                    // as Queued/Granted), so every send is inter-node.
+                    self.stats.queue_messages.fetch_add(1, Ordering::Relaxed);
+                    self.send(to, LiveMsg::Queue { obj, req, origin });
+                }
+                CoreAction::SendToken { to, obj, req } => {
+                    self.stats.token_messages.fetch_add(1, Ordering::Relaxed);
+                    self.send(to, LiveMsg::Token { obj, req });
+                }
+                CoreAction::Granted { obj, req } => {
+                    self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+                    if let Some(reply) = self.waiting.remove(&(obj, req)) {
+                        let _ = reply.send(req);
+                    }
+                }
+                CoreAction::Queued { .. } => {
+                    // The thread runtime verifies its queues through the token (see
+                    // CriticalSectionLog); order records are not collected here.
+                }
+            }
         }
+        self.actions = actions;
     }
 
-    /// Arrow path reversal for one object.
-    fn handle_queue(&mut self, from: NodeId, obj: ObjectId, req: RequestId, origin: NodeId) {
-        let me = self.me;
-        let state = self.object_mut(obj);
-        let old_link = state.link;
-        state.link = from;
-        if old_link == me {
-            let pred = state.last_id;
-            self.queuing_complete(obj, pred, req, origin);
-        } else {
-            self.send(old_link, LiveMsg::Queue { obj, req, origin });
+    fn handle(&mut self, from: NodeId, msg: LiveMsg) {
+        match msg {
+            LiveMsg::Queue { obj, req, origin } => {
+                self.core
+                    .on_queue(from, obj, req, origin, &mut self.actions)
+            }
+            LiveMsg::Token { obj, req } => self.core.on_token(obj, req, &mut self.actions),
+            LiveMsg::Acquire { obj, reply } => {
+                let req = self.core.acquire(obj, &mut self.actions);
+                // Register the waiter before applying actions: the grant may already
+                // be among them (local sink whose predecessor was released).
+                self.waiting.insert((obj, req), reply);
+            }
+            LiveMsg::Release { obj, req } => self.core.on_release(obj, req, &mut self.actions),
+            LiveMsg::Shutdown => unreachable!("handled by the event loop"),
         }
-    }
-
-    /// Request `succ` (from `origin`) has been queued behind `pred` in `obj`'s queue,
-    /// and `pred` lives here.
-    fn queuing_complete(
-        &mut self,
-        obj: ObjectId,
-        pred: RequestId,
-        succ: RequestId,
-        origin: NodeId,
-    ) {
-        if pred.is_root() {
-            // The token has been sitting at the object's initial root, already free.
-            self.grant(obj, succ, origin);
-            return;
-        }
-        let state = self.tokens.entry((obj, pred)).or_default();
-        if state.released {
-            self.tokens.remove(&(obj, pred));
-            self.grant(obj, succ, origin);
-        } else {
-            state.successor = Some((succ, origin));
-        }
-    }
-
-    /// Hand `obj`'s token to the node that issued `req`.
-    fn grant(&mut self, obj: ObjectId, req: RequestId, origin: NodeId) {
-        if origin == self.me {
-            self.handle_token(obj, req);
-        } else {
-            self.send(origin, LiveMsg::Token { obj, req });
-        }
-    }
-
-    /// `obj`'s token arrived for our request `req`: wake the waiting application.
-    fn handle_token(&mut self, obj: ObjectId, req: RequestId) {
-        self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
-        if let Some(reply) = self.waiting.remove(&(obj, req)) {
-            let _ = reply.send(req);
-        }
-    }
-
-    /// The application released `obj`'s token it held for `req`.
-    fn handle_release(&mut self, obj: ObjectId, req: RequestId) {
-        let state = self.tokens.entry((obj, req)).or_default();
-        if let Some((succ, origin)) = state.successor.take() {
-            self.tokens.remove(&(obj, req));
-            self.grant(obj, succ, origin);
-        } else {
-            state.released = true;
-        }
+        self.apply_actions();
     }
 }
 
@@ -256,45 +177,22 @@ impl ArrowRuntime {
         }
         let mut threads = Vec::with_capacity(n);
         for (v, rx) in receivers.into_iter().enumerate() {
-            let root = tree.root();
-            let link = if v == root {
-                v
-            } else {
-                tree.parent(v).expect("non-root node has a parent")
-            };
-            let per_object = (0..objects)
-                .map(|_| ObjectState {
-                    link,
-                    // Invariant: every node starts with last_id = r0, but only the
-                    // root's value is ever read before being overwritten — a non-root
-                    // node can only become a sink by issuing a request (which sets
-                    // last_id first), so its initial value is never observed.
-                    last_id: RequestId::ROOT,
-                })
-                .collect();
             let mut state = NodeState {
                 me: v,
-                objects: per_object,
+                core: ArrowCore::for_tree(v, tree, objects),
+                actions: Vec::new(),
                 waiting: HashMap::new(),
-                tokens: HashMap::new(),
                 senders: senders.clone(),
                 stats: Arc::clone(&stats),
-                next_seq: 0,
-                total_nodes: n as u64,
             };
             let handle = std::thread::Builder::new()
                 .name(format!("arrow-node-{v}"))
                 .spawn(move || {
                     while let Ok((from, msg)) = rx.recv() {
-                        match msg {
-                            LiveMsg::Shutdown => break,
-                            LiveMsg::Queue { obj, req, origin } => {
-                                state.handle_queue(from, obj, req, origin)
-                            }
-                            LiveMsg::Token { obj, req } => state.handle_token(obj, req),
-                            LiveMsg::Acquire { obj, reply } => state.handle_acquire(obj, reply),
-                            LiveMsg::Release { obj, req } => state.handle_release(obj, req),
+                        if let LiveMsg::Shutdown = msg {
+                            break;
                         }
+                        state.handle(from, msg);
                     }
                 })
                 .expect("failed to spawn node thread");

@@ -1,0 +1,62 @@
+//! # arrow-net — the arrow directory protocol over real sockets
+//!
+//! The third and most realistic of the repository's three execution tiers:
+//!
+//! 1. **Simulator** (`arrow-core::run` on [`desim`]) — deterministic discrete-event
+//!    runs, millions of requests, the measurement tool.
+//! 2. **Threads** (`arrow-core::live`) — one OS thread per node over in-process
+//!    mpsc channels, the concurrency demonstration.
+//! 3. **Sockets** (this crate) — each node is a process-independent peer whose
+//!    *only* protocol channel is loopback TCP. Throughput here pays for real
+//!    serialization, framing, kernel round-trips and (optionally) injected link
+//!    latency — the per-message cost that the paper's Section 5 experiment runs on
+//!    real processors to expose.
+//!
+//! All three tiers execute the same per-node state machine: the simulator's
+//! [`arrow_core::arrow`] automaton and the shared [`arrow_core::live::ArrowCore`]
+//! core that this crate and the thread runtime both consume.
+//!
+//! ## Architecture
+//!
+//! * [`wire`] — a compact hand-rolled binary codec: length-prefixed, versioned
+//!   frames for every [`arrow_core::prelude::ProtoMsg`] variant plus the mesh's
+//!   control frames (`Hello`/`Welcome` join handshake, `Goodbye` shutdown, `Token`
+//!   grants). No serde involved; the bytes are the contract.
+//! * [`mesh`] — peer bootstrap and link plumbing. Only the spanning-tree edges are
+//!   materialized eagerly (each non-root node dials its parent); direct token
+//!   channels are dialed lazily on first grant. Every established link gets a
+//!   reader thread and a *delay-queue writer* thread that injects the link's tree
+//!   distance × [`mesh::NetConfig::unit_latency`] (scaled by the seeded async
+//!   factor in the asynchronous model) before each frame, FIFO-preserving — so a
+//!   socket run obeys the same latency law as a simulator run.
+//! * [`runtime`] — the [`NetRuntime`]: one event loop per node, application-facing
+//!   [`NetHandle`]s with blocking `acquire`/`release` per object, and a shutdown
+//!   [`NetReport`] whose per-object queuing orders validate through the same
+//!   machinery as the simulator harness.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use arrow_net::{NetConfig, NetRuntime};
+//! use netgraph::{generators, RootedTree};
+//!
+//! let tree = RootedTree::from_tree_graph(&generators::balanced_binary_tree(7), 0);
+//! let rt = NetRuntime::spawn_multi(&tree, 2, NetConfig::instant());
+//! let handle = rt.handle(6);
+//! let req = handle.acquire(); // queue() frames travel real TCP sockets
+//! handle.release(req);
+//! let report = rt.shutdown();
+//! assert_eq!(report.stats().acquisitions, 1);
+//! assert!(report.validated_orders().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mesh;
+pub mod runtime;
+pub mod wire;
+
+pub use mesh::{NetConfig, NetStats, NetStatsSnapshot};
+pub use runtime::{NetHandle, NetReport, NetRuntime};
+pub use wire::{Frame, WireError, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION};

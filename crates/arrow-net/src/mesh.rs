@@ -1,0 +1,401 @@
+//! The peer mesh: loopback TCP connections, join/shutdown handshakes, and per-link
+//! latency injection.
+//!
+//! Topology is deliberately sparse: the mesh materializes only the spanning-tree
+//! edges (dialed eagerly at bootstrap — every non-root node dials its parent), plus
+//! *direct token channels* dialed lazily the first time one node grants a token to a
+//! non-neighbour. This mirrors the protocol's traffic pattern exactly: `queue()`
+//! messages travel tree edges only, while token grants jump straight to the granted
+//! request's origin (the socket analogue of the simulator's direct-ack sends).
+//!
+//! Every connection starts with a `Hello`/`Welcome` handshake so each side knows the
+//! peer's node id, and ends with a `Goodbye` notice at shutdown. Each established
+//! connection gets two service threads per endpoint:
+//!
+//! * a **reader** that decodes frames off the socket and forwards them to the node's
+//!   event loop, and
+//! * a **delay-queue writer** that injects link latency before each frame hits the
+//!   kernel: frame `i` is written at `max(due_{i-1}, now + delay_i)` where `delay_i`
+//!   is the link's tree distance scaled by [`NetConfig::unit_latency`] (and, in the
+//!   asynchronous model, by a seeded per-frame factor drawn from
+//!   `[lo_factor, 1.0]` — the same latency law and floor the simulator applies).
+//!   The running `due` maximum keeps every link FIFO, which the arrow protocol
+//!   requires.
+//!
+//! The runtime is handed only the spanning tree, so the tree *is* its
+//! communication graph: direct token channels pay the tree distance `d_T(u, v)`.
+//! That matches simulator runs on tree-only instances (`Instance::tree_only`,
+//! stretch 1) exactly; on a general graph the simulator's direct sends pay the
+//! graph distance `d_G`, which can be smaller than `d_T`.
+
+use crate::wire::{Frame, WireError};
+use arrow_core::prelude::{RunConfig, SyncMode};
+use desim::SimRng;
+use netgraph::NodeId;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a handshake partner may stall before the connection is abandoned.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Latency configuration of the socket runtime.
+///
+/// The delay injected before writing a frame on the link `{u, v}` is
+/// `d_T(u, v) × unit_latency × factor`, with `factor = 1` in the synchronous model
+/// and `factor ~ U[lo_factor, 1]` (seeded, per frame) in the asynchronous one. With
+/// [`NetConfig::instant`] no artificial delay is added and throughput reflects pure
+/// serialization + kernel cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Wall-clock duration of one simulated time unit (one unit of tree edge
+    /// weight). `Duration::ZERO` disables latency injection entirely.
+    pub unit_latency: Duration,
+    /// Asynchronous jitter: `Some((lo_factor, seed))` draws each frame's latency
+    /// factor uniformly from `[lo_factor, 1.0]` with a deterministic per-link stream
+    /// derived from `seed`; `None` is the synchronous model (factor exactly 1).
+    pub jitter: Option<(f64, u64)>,
+}
+
+impl NetConfig {
+    /// No injected latency: frames hit the socket as fast as the delay queue drains.
+    pub fn instant() -> Self {
+        NetConfig {
+            unit_latency: Duration::ZERO,
+            jitter: None,
+        }
+    }
+
+    /// Synchronous model: every frame on link `{u, v}` is delayed by exactly
+    /// `d_T(u, v) × unit_latency`.
+    pub fn synchronous(unit_latency: Duration) -> Self {
+        NetConfig {
+            unit_latency,
+            jitter: None,
+        }
+    }
+
+    /// Asynchronous model: each frame's delay factor is drawn from
+    /// `[lo_factor, 1.0]` (the async floor), seeded deterministically.
+    pub fn asynchronous(unit_latency: Duration, lo_factor: f64, seed: u64) -> Self {
+        NetConfig {
+            unit_latency,
+            jitter: Some((lo_factor, seed)),
+        }
+    }
+
+    /// Derive the socket latency model from a simulator [`RunConfig`], so socket
+    /// runs stay comparable to simulator runs on tree-only instances (see the
+    /// module docs for the `d_T` vs `d_G` caveat on general graphs): the synchrony
+    /// mode, the async floor (`async_lo_factor`) and the seed all carry over;
+    /// `unit_latency` sets the wall-clock scale of one simulated unit.
+    pub fn from_run_config(config: &RunConfig, unit_latency: Duration) -> Self {
+        match config.sync {
+            SyncMode::Synchronous => NetConfig::synchronous(unit_latency),
+            SyncMode::Asynchronous => {
+                NetConfig::asynchronous(unit_latency, config.async_lo_factor, config.seed)
+            }
+        }
+    }
+}
+
+/// Counters shared by all threads of one [`crate::NetRuntime`].
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Arrow `queue()` frames sent (all objects).
+    pub queue_frames: AtomicU64,
+    /// Token grant frames sent (all objects).
+    pub token_frames: AtomicU64,
+    /// Every frame written to a socket, handshakes and goodbyes included.
+    pub frames_sent: AtomicU64,
+    /// Total bytes written to sockets (wire encoding, length prefixes included).
+    pub bytes_sent: AtomicU64,
+    /// Connections this runtime's nodes dialed (tree edges + lazy token channels).
+    pub connections_dialed: AtomicU64,
+    /// Connections this runtime's nodes accepted.
+    pub connections_accepted: AtomicU64,
+    /// Acquisitions granted (all objects).
+    pub acquisitions: AtomicU64,
+    /// Frames that arrived outside the protocol (stray handshakes, unsupported
+    /// [`arrow_core::prelude::ProtoMsg`] variants); should stay zero.
+    pub unexpected_frames: AtomicU64,
+}
+
+/// A plain-number snapshot of [`NetStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Arrow `queue()` frames sent.
+    pub queue_frames: u64,
+    /// Token grant frames sent.
+    pub token_frames: u64,
+    /// Every frame written to a socket.
+    pub frames_sent: u64,
+    /// Total bytes written to sockets.
+    pub bytes_sent: u64,
+    /// Connections dialed.
+    pub connections_dialed: u64,
+    /// Connections accepted.
+    pub connections_accepted: u64,
+    /// Acquisitions granted.
+    pub acquisitions: u64,
+    /// Out-of-protocol frames received.
+    pub unexpected_frames: u64,
+}
+
+impl NetStats {
+    /// Read all counters at once (relaxed; exact once the runtime is quiescent).
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            queue_frames: self.queue_frames.load(Ordering::Relaxed),
+            token_frames: self.token_frames.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            connections_dialed: self.connections_dialed.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            unexpected_frames: self.unexpected_frames.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The sending half of one established link, backed by the delay-queue writer
+/// thread. Dropping the handle closes the channel; the writer drains what is queued,
+/// then shuts the socket down.
+#[derive(Debug)]
+pub(crate) struct LinkHandle {
+    tx: Sender<Frame>,
+}
+
+impl LinkHandle {
+    /// Queue a frame for (delayed) transmission. Returns false if the link is dead.
+    pub(crate) fn send(&self, frame: Frame) -> bool {
+        self.tx.send(frame).is_ok()
+    }
+}
+
+/// Per-frame latency policy of one writer thread.
+struct DelayPolicy {
+    base: Duration,
+    jitter: Option<(f64, SimRng)>,
+}
+
+impl DelayPolicy {
+    /// Build the policy for the link `{me, peer}` with tree distance `weight`.
+    fn new(cfg: &NetConfig, weight: f64, me: NodeId, peer: NodeId) -> Self {
+        let base = cfg.unit_latency.mul_f64(weight.max(0.0));
+        let jitter = cfg.jitter.map(|(lo, seed)| {
+            // One deterministic stream per directed link: mix the endpoints into the
+            // seed so links don't share jitter sequences.
+            let mix = seed
+                ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (peer as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+            (lo, SimRng::new(mix))
+        });
+        DelayPolicy { base, jitter }
+    }
+
+    fn sample(&mut self) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        match &mut self.jitter {
+            None => self.base,
+            Some((lo, rng)) => {
+                let factor = rng.uniform((*lo).clamp(0.0, 1.0), 1.0);
+                self.base.mul_f64(factor)
+            }
+        }
+    }
+}
+
+/// Spawn the delay-queue writer for an established connection and return the send
+/// handle. `weight` is the link's tree distance (its latency basis).
+pub(crate) fn spawn_writer(
+    stream: TcpStream,
+    me: NodeId,
+    peer: NodeId,
+    weight: f64,
+    cfg: &NetConfig,
+    stats: Arc<NetStats>,
+) -> LinkHandle {
+    let (tx, rx): (Sender<Frame>, Receiver<Frame>) = channel();
+    let mut policy = DelayPolicy::new(cfg, weight, me, peer);
+    std::thread::Builder::new()
+        .name(format!("arrow-net-writer-{me}-{peer}"))
+        .spawn(move || {
+            let mut stream = stream;
+            let mut due = Instant::now();
+            while let Ok(frame) = rx.recv() {
+                let now = Instant::now();
+                // FIFO floor: a frame is never written before its predecessor's due
+                // time, so injected jitter cannot reorder a link.
+                due = due.max(now + policy.sample());
+                let wait = due.saturating_duration_since(Instant::now());
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+                match frame.write_to(&mut stream) {
+                    Ok(n) => {
+                        stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        stats.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Close both directions so the peer's reader observes EOF promptly.
+            let _ = stream.shutdown(Shutdown::Both);
+        })
+        .expect("failed to spawn link writer thread");
+    LinkHandle { tx }
+}
+
+/// Spawn the reader for an established connection: decoded frames are forwarded to
+/// the node's event loop tagged with the peer they came from.
+pub(crate) fn spawn_reader<E, F>(mut stream: TcpStream, peer: NodeId, forward: F)
+where
+    F: Fn(NodeId, Frame) -> Result<(), E> + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("arrow-net-reader-{peer}"))
+        .spawn(move || loop {
+            match Frame::read_from(&mut stream) {
+                // Goodbye is the clean end of the connection; anything undecodable
+                // (or EOF) ends it too.
+                Ok(Frame::Goodbye) | Err(_) => break,
+                Ok(frame) => {
+                    if forward(peer, frame).is_err() {
+                        break;
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn link reader thread");
+}
+
+fn wire_to_io(e: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Dial a peer and run the join handshake: send `Hello{me}`, await `Welcome`.
+/// Returns the connected stream and the peer's confirmed node id.
+pub(crate) fn dial(addr: SocketAddr, me: NodeId) -> io::Result<(TcpStream, NodeId)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    Frame::Hello { node: me }.write_to(&mut stream)?;
+    let reply = Frame::read_from(&mut stream).map_err(wire_to_io)?;
+    stream.set_read_timeout(None)?;
+    match reply {
+        Frame::Welcome { node } => Ok((stream, node)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected Welcome during handshake, got {other:?}"),
+        )),
+    }
+}
+
+/// Accepter half of the join handshake: await `Hello`, reply `Welcome{me}`.
+/// Returns the stream and the dialing peer's node id.
+pub(crate) fn accept_handshake(
+    mut stream: TcpStream,
+    me: NodeId,
+) -> io::Result<(TcpStream, NodeId)> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    let hello = Frame::read_from(&mut stream).map_err(wire_to_io)?;
+    let peer = match hello {
+        Frame::Hello { node } => node,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Hello during handshake, got {other:?}"),
+            ))
+        }
+    };
+    Frame::Welcome { node: me }.write_to(&mut stream)?;
+    stream.set_read_timeout(None)?;
+    Ok((stream, peer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn handshake_exchanges_node_ids() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepter = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            accept_handshake(stream, 7).unwrap()
+        });
+        let (_stream, peer) = dial(addr, 3).unwrap();
+        assert_eq!(peer, 7);
+        let (_stream, dialer) = accepter.join().unwrap();
+        assert_eq!(dialer, 3);
+    }
+
+    #[test]
+    fn garbage_handshake_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepter = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            accept_handshake(stream, 0)
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        use std::io::Write;
+        stream.write_all(&[0xFF; 16]).unwrap();
+        assert!(accepter.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn synchronous_delay_policy_is_the_scaled_weight() {
+        let cfg = NetConfig::synchronous(Duration::from_millis(10));
+        let mut p = DelayPolicy::new(&cfg, 3.0, 0, 1);
+        assert_eq!(p.sample(), Duration::from_millis(30));
+        assert_eq!(p.sample(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn asynchronous_delay_respects_the_floor() {
+        let cfg = NetConfig::asynchronous(Duration::from_millis(100), 0.4, 11);
+        let mut p = DelayPolicy::new(&cfg, 1.0, 2, 5);
+        for _ in 0..200 {
+            let d = p.sample();
+            assert!(
+                d >= Duration::from_millis(40),
+                "{d:?} under the async floor"
+            );
+            assert!(
+                d <= Duration::from_millis(100),
+                "{d:?} over the link weight"
+            );
+        }
+    }
+
+    #[test]
+    fn instant_config_injects_nothing() {
+        let mut p = DelayPolicy::new(&NetConfig::instant(), 5.0, 0, 1);
+        assert_eq!(p.sample(), Duration::ZERO);
+    }
+
+    #[test]
+    fn from_run_config_carries_the_async_floor_and_seed() {
+        use arrow_core::prelude::ProtocolKind;
+        let sync = NetConfig::from_run_config(
+            &RunConfig::analysis(ProtocolKind::Arrow),
+            Duration::from_millis(2),
+        );
+        assert_eq!(sync, NetConfig::synchronous(Duration::from_millis(2)));
+        let run = RunConfig::analysis(ProtocolKind::Arrow)
+            .asynchronous(9)
+            .with_async_floor(0.25);
+        let net = NetConfig::from_run_config(&run, Duration::from_millis(2));
+        assert_eq!(net.jitter, Some((0.25, 9)));
+    }
+}

@@ -1,0 +1,662 @@
+//! The socket-tier arrow runtime: one event loop per node, protocol traffic over
+//! loopback TCP, application commands over local handles.
+//!
+//! Protocol logic is [`arrow_core::live::ArrowCore`] — the exact state machine the
+//! thread runtime uses — so the two real-concurrency tiers cannot drift. What this
+//! module adds is the distribution: each node owns a listener, an accept loop, and a
+//! set of established links (see [`crate::mesh`]); `queue()` frames travel the
+//! spanning-tree edges, token grants travel lazily-dialed direct channels.
+//!
+//! Unlike the thread runtime, every node here also journals its protocol history:
+//! which requests it issued (with wall-clock issue times) and which
+//! successor-notifications it observed. [`NetRuntime::shutdown`] assembles these
+//! into a [`NetReport`] whose per-object queuing orders validate through the same
+//! [`QueuingOrder`] machinery the simulator harness uses — so a socket run is held
+//! to the same correctness contract as a simulated one.
+
+use crate::mesh::{self, LinkHandle, NetConfig, NetStats, NetStatsSnapshot};
+use crate::wire::Frame;
+use arrow_core::live::{ArrowCore, CoreAction};
+use arrow_core::order::OrderError;
+use arrow_core::prelude::{
+    ObjectId, OrderRecord, ProtoMsg, QueuingOrder, Request, RequestId, RequestSchedule,
+};
+use desim::{SimTime, SUBTICKS_PER_UNIT};
+use netgraph::{NodeId, RootedTree};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Events multiplexed into one node's event loop.
+enum NetEvent {
+    /// A protocol frame arrived from an established link.
+    Frame { from: NodeId, frame: Frame },
+    /// The accept loop established an inbound link to `peer`.
+    LinkUp { peer: NodeId, link: LinkHandle },
+    /// Application command: acquire `obj`'s token; reply once held.
+    Acquire {
+        obj: ObjectId,
+        reply: Sender<RequestId>,
+    },
+    /// Application command: release `obj`'s token held for `req`.
+    Release { obj: ObjectId, req: RequestId },
+    /// Stop the node: send goodbyes, close links, report history.
+    Shutdown,
+}
+
+/// What one node thread hands back when it stops.
+struct NodeJournal {
+    issued: Vec<Request>,
+    records: Vec<OrderRecord>,
+}
+
+/// The state of one socket-tier node, driven by its event loop thread.
+struct NetNode {
+    me: NodeId,
+    core: ArrowCore,
+    actions: Vec<CoreAction>,
+    /// Outstanding local acquires: (object, request id) -> reply channel.
+    waiting: HashMap<(ObjectId, RequestId), Sender<RequestId>>,
+    /// Established send paths, one per peer.
+    links: HashMap<NodeId, LinkHandle>,
+    /// Redundant inbound links (simultaneous-dial races). Kept alive so the peer's
+    /// send path stays open; only dropped at shutdown.
+    spare_links: Vec<LinkHandle>,
+    addrs: Arc<Vec<SocketAddr>>,
+    tree: Arc<RootedTree>,
+    cfg: NetConfig,
+    stats: Arc<NetStats>,
+    /// Sender side of this node's own event channel, cloned into readers this node
+    /// spawns when it dials out.
+    events_tx: Sender<NetEvent>,
+    epoch: Instant,
+    journal: NodeJournal,
+}
+
+impl NetNode {
+    fn now(&self) -> SimTime {
+        let units = self.epoch.elapsed().as_secs_f64();
+        SimTime::from_subticks((units * SUBTICKS_PER_UNIT as f64) as u64)
+    }
+
+    /// The established link to `peer`, dialing a direct channel on first use.
+    /// Transient dial failures (ephemeral-port or fd pressure) are retried; a peer
+    /// that stays unreachable is a fatal protocol failure, because dropping the
+    /// frame would leave the granted request's acquirer blocked forever.
+    fn link_to(&mut self, peer: NodeId) -> &LinkHandle {
+        if !self.links.contains_key(&peer) {
+            let me = self.me;
+            let mut attempt = 0;
+            let (stream, confirmed) = loop {
+                match mesh::dial(self.addrs[peer], me) {
+                    Ok(pair) => break pair,
+                    Err(e) if attempt < 3 => {
+                        attempt += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(10 * attempt));
+                        let _ = e;
+                    }
+                    Err(e) => panic!("node {me}: failed to dial peer {peer}: {e}"),
+                }
+            };
+            debug_assert_eq!(confirmed, peer, "address table out of sync");
+            self.stats
+                .connections_dialed
+                .fetch_add(1, Ordering::Relaxed);
+            let weight = self.tree.distance(self.me, peer);
+            let reader_stream = stream
+                .try_clone()
+                .unwrap_or_else(|e| panic!("node {me}: failed to clone stream to {peer}: {e}"));
+            let link = mesh::spawn_writer(
+                stream,
+                self.me,
+                peer,
+                weight,
+                &self.cfg,
+                Arc::clone(&self.stats),
+            );
+            let events = self.events_tx.clone();
+            mesh::spawn_reader(reader_stream, peer, move |from, frame| {
+                events.send(NetEvent::Frame { from, frame })
+            });
+            self.links.insert(peer, link);
+        }
+        &self.links[&peer]
+    }
+
+    fn send_frame(&mut self, to: NodeId, frame: Frame) {
+        self.link_to(to).send(frame);
+    }
+
+    /// Translate the core's pending actions into wire frames and wakeups.
+    fn apply_actions(&mut self) {
+        let mut actions = std::mem::take(&mut self.actions);
+        for action in actions.drain(..) {
+            match action {
+                CoreAction::SendQueue {
+                    to,
+                    obj,
+                    req,
+                    origin,
+                } => {
+                    self.stats.queue_frames.fetch_add(1, Ordering::Relaxed);
+                    self.send_frame(to, Frame::Proto(ProtoMsg::Queue { req, obj, origin }));
+                }
+                CoreAction::SendToken { to, obj, req } => {
+                    self.stats.token_frames.fetch_add(1, Ordering::Relaxed);
+                    self.send_frame(to, Frame::Token { obj, req });
+                }
+                CoreAction::Granted { obj, req } => {
+                    self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+                    if let Some(reply) = self.waiting.remove(&(obj, req)) {
+                        let _ = reply.send(req);
+                    }
+                }
+                CoreAction::Queued {
+                    obj,
+                    pred,
+                    succ,
+                    origin,
+                } => {
+                    self.journal.records.push(OrderRecord {
+                        predecessor: pred,
+                        successor: succ,
+                        obj,
+                        at_node: self.me,
+                        informed_at: self.now(),
+                    });
+                    let _ = origin;
+                }
+            }
+        }
+        self.actions = actions;
+    }
+
+    fn handle(&mut self, event: NetEvent) {
+        match event {
+            NetEvent::Frame { from, frame } => match frame {
+                Frame::Proto(ProtoMsg::Queue { req, obj, origin }) => {
+                    if origin >= self.addrs.len() {
+                        // A corrupt origin decoded off the wire must not become an
+                        // out-of-bounds dial target when the token is granted.
+                        self.stats.unexpected_frames.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    self.core
+                        .on_queue(from, obj, req, origin, &mut self.actions)
+                }
+                Frame::Token { obj, req } => self.core.on_token(obj, req, &mut self.actions),
+                _ => {
+                    self.stats.unexpected_frames.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            NetEvent::LinkUp { peer, link } => {
+                // First link to a peer wins; a second connection from a
+                // simultaneous-dial race is parked so its socket stays open.
+                match self.links.entry(peer) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(link);
+                    }
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        self.spare_links.push(link);
+                    }
+                }
+            }
+            NetEvent::Acquire { obj, reply } => {
+                let time = self.now();
+                let req = self.core.acquire(obj, &mut self.actions);
+                // Register the waiter before applying actions: the grant may already
+                // be among them (local sink whose predecessor was released).
+                self.waiting.insert((obj, req), reply);
+                self.journal.issued.push(Request {
+                    id: req,
+                    node: self.me,
+                    time,
+                    obj,
+                });
+            }
+            NetEvent::Release { obj, req } => self.core.on_release(obj, req, &mut self.actions),
+            NetEvent::Shutdown => unreachable!("handled by the event loop"),
+        }
+        self.apply_actions();
+    }
+
+    /// Say goodbye on every link and drop the send handles, letting the writers
+    /// drain and close their sockets.
+    fn disconnect(&mut self) {
+        for link in self.links.values() {
+            link.send(Frame::Goodbye);
+        }
+        for link in &self.spare_links {
+            link.send(Frame::Goodbye);
+        }
+        self.links.clear();
+        self.spare_links.clear();
+    }
+}
+
+/// The distributed arrow directory runtime: every node of the spanning tree is an
+/// independent peer whose protocol traffic travels real loopback TCP sockets.
+///
+/// See the [crate docs](crate) for the architecture; see [`NetRuntime::shutdown`]
+/// for the validation story.
+pub struct NetRuntime {
+    events_txs: Vec<Sender<NetEvent>>,
+    node_threads: Vec<JoinHandle<NodeJournal>>,
+    accept_threads: Vec<JoinHandle<()>>,
+    addrs: Arc<Vec<SocketAddr>>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+    n: usize,
+    k: usize,
+}
+
+impl NetRuntime {
+    /// Spawn a single-object socket runtime over the given rooted spanning tree.
+    pub fn spawn(tree: &RootedTree, cfg: NetConfig) -> Self {
+        NetRuntime::spawn_multi(tree, 1, cfg)
+    }
+
+    /// Spawn the socket runtime over the given rooted spanning tree, serving
+    /// `objects` independent mobile objects. Every object's token initially sits at
+    /// the tree root, already released.
+    ///
+    /// Bootstrap: every node binds a loopback listener; once all listeners exist,
+    /// every non-root node dials its tree parent and runs the `Hello`/`Welcome`
+    /// handshake, materializing exactly the spanning-tree edges. Direct token
+    /// channels are dialed lazily on first grant.
+    ///
+    /// # Panics
+    /// If `objects` is zero, or a loopback socket cannot be bound.
+    pub fn spawn_multi(tree: &RootedTree, objects: usize, cfg: NetConfig) -> Self {
+        assert!(objects > 0, "a directory serves at least one object");
+        let n = tree.node_count();
+        let tree = Arc::new(tree.clone());
+        let stats = Arc::new(NetStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let epoch = Instant::now();
+
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("failed to bind loopback");
+            addrs.push(listener.local_addr().expect("listener has an address"));
+            listeners.push(listener);
+        }
+        let addrs = Arc::new(addrs);
+
+        let mut events_txs = Vec::with_capacity(n);
+        let mut events_rxs: Vec<Receiver<NetEvent>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            events_txs.push(tx);
+            events_rxs.push(rx);
+        }
+
+        // Accept loops first: once these run, any node can dial any listener.
+        let mut accept_threads = Vec::with_capacity(n);
+        for (me, listener) in listeners.into_iter().enumerate() {
+            let events = events_txs[me].clone();
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let tree = Arc::clone(&tree);
+            let handle = std::thread::Builder::new()
+                .name(format!("arrow-net-accept-{me}"))
+                .spawn(move || loop {
+                    let (stream, _) = match listener.accept() {
+                        Ok(pair) => pair,
+                        Err(_) => {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            // Back off on persistent errors (e.g. fd exhaustion)
+                            // instead of spinning the CPU the writers need.
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            continue;
+                        }
+                    };
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let (stream, peer) = match mesh::accept_handshake(stream, me) {
+                        Ok(pair) => pair,
+                        Err(_) => continue,
+                    };
+                    if peer >= tree.node_count() {
+                        // A dialer claiming an out-of-range id is not part of this
+                        // mesh; admitting it would index tree/address tables out of
+                        // bounds.
+                        stats.unexpected_frames.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                    let reader_stream = match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let weight = tree.distance(me, peer);
+                    let link =
+                        mesh::spawn_writer(stream, me, peer, weight, &cfg, Arc::clone(&stats));
+                    // Enqueue LinkUp before the reader exists so the link is always
+                    // registered before its first frame is processed.
+                    if events.send(NetEvent::LinkUp { peer, link }).is_err() {
+                        break;
+                    }
+                    let forward = events.clone();
+                    mesh::spawn_reader(reader_stream, peer, move |from, frame| {
+                        forward.send(NetEvent::Frame { from, frame })
+                    });
+                })
+                .expect("failed to spawn accept thread");
+            accept_threads.push(handle);
+        }
+
+        // Node event loops; each non-root node dials its parent during startup.
+        let mut node_threads = Vec::with_capacity(n);
+        for (me, rx) in events_rxs.into_iter().enumerate() {
+            let mut node = NetNode {
+                me,
+                core: ArrowCore::for_tree(me, &tree, objects),
+                actions: Vec::new(),
+                waiting: HashMap::new(),
+                links: HashMap::new(),
+                spare_links: Vec::new(),
+                addrs: Arc::clone(&addrs),
+                tree: Arc::clone(&tree),
+                cfg,
+                stats: Arc::clone(&stats),
+                events_tx: events_txs[me].clone(),
+                epoch,
+                journal: NodeJournal {
+                    issued: Vec::new(),
+                    records: Vec::new(),
+                },
+            };
+            let parent = tree.parent(me);
+            let handle = std::thread::Builder::new()
+                .name(format!("arrow-net-node-{me}"))
+                .spawn(move || {
+                    if let Some(p) = parent {
+                        // Materialize the tree edge to the parent eagerly.
+                        let _ = node.link_to(p);
+                    }
+                    while let Ok(event) = rx.recv() {
+                        if let NetEvent::Shutdown = event {
+                            break;
+                        }
+                        node.handle(event);
+                    }
+                    node.disconnect();
+                    node.journal
+                })
+                .expect("failed to spawn node thread");
+            node_threads.push(handle);
+        }
+
+        NetRuntime {
+            events_txs,
+            node_threads,
+            accept_threads,
+            addrs,
+            stop,
+            stats,
+            n,
+            k: objects,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of objects served.
+    pub fn object_count(&self) -> usize {
+        self.k
+    }
+
+    /// Shared runtime statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// A handle for the application running at node `v`.
+    pub fn handle(&self, v: NodeId) -> NetHandle {
+        assert!(v < self.n, "node {v} out of range");
+        NetHandle {
+            node: v,
+            objects: self.k,
+            sender: self.events_txs[v].clone(),
+        }
+    }
+
+    /// Stop every peer (goodbye handshakes, sockets closed) and assemble the run's
+    /// [`NetReport`]. Call only once all application-level acquires have returned —
+    /// a request still waiting for its token would never be granted.
+    pub fn shutdown(mut self) -> NetReport {
+        self.stop.store(true, Ordering::Relaxed);
+        for tx in &self.events_txs {
+            let _ = tx.send(NetEvent::Shutdown);
+        }
+        let mut issued = Vec::new();
+        let mut records = Vec::new();
+        for t in self.node_threads.drain(..) {
+            if let Ok(journal) = t.join() {
+                issued.extend(journal.issued);
+                records.extend(journal.records);
+            }
+        }
+        // Wake the accept loops: a bare connection that never handshakes makes
+        // accept() return, after which the loop observes the stop flag.
+        for addr in self.addrs.iter() {
+            let _ = TcpStream::connect(addr);
+        }
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+        issued.sort_by_key(|r| (r.time, r.id));
+        NetReport {
+            schedule: RequestSchedule::from_requests(issued),
+            records,
+            stats: self.stats.snapshot(),
+        }
+    }
+}
+
+/// The application-facing handle of one socket-tier node: blocking token
+/// acquire/release, per object (the same contract as the thread runtime's
+/// [`arrow_core::live::NodeHandle`]).
+#[derive(Debug, Clone)]
+pub struct NetHandle {
+    node: NodeId,
+    objects: usize,
+    sender: Sender<NetEvent>,
+}
+
+impl NetHandle {
+    /// This handle's node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Issue a queuing request for the default object and block until this node
+    /// holds its token.
+    pub fn acquire(&self) -> RequestId {
+        self.acquire_object(ObjectId::DEFAULT)
+    }
+
+    /// Issue a queuing request for `obj` and block until this node holds that
+    /// object's token. Returns the id of the granted request, which must be passed
+    /// to [`release_object`] with the same object.
+    ///
+    /// [`release_object`]: NetHandle::release_object
+    pub fn acquire_object(&self, obj: ObjectId) -> RequestId {
+        assert!(
+            (obj.0 as usize) < self.objects,
+            "object {obj} out of range (runtime serves {} objects)",
+            self.objects
+        );
+        let (reply_tx, reply_rx) = channel();
+        self.sender
+            .send(NetEvent::Acquire {
+                obj,
+                reply: reply_tx,
+            })
+            .expect("runtime has shut down");
+        reply_rx.recv().expect("runtime has shut down")
+    }
+
+    /// Release the default object's token held for `req`.
+    pub fn release(&self, req: RequestId) {
+        self.release_object(ObjectId::DEFAULT, req);
+    }
+
+    /// Release `obj`'s token held for `req`, letting it move on to the successor.
+    pub fn release_object(&self, obj: ObjectId, req: RequestId) {
+        self.sender
+            .send(NetEvent::Release { obj, req })
+            .expect("runtime has shut down");
+    }
+}
+
+/// Everything a socket run leaves behind: the reconstructed request schedule
+/// (wall-clock issue times, in seconds), the successor-notification records every
+/// node journaled, and the runtime statistics.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    schedule: RequestSchedule,
+    records: Vec<OrderRecord>,
+    stats: NetStatsSnapshot,
+}
+
+impl NetReport {
+    /// The requests issued during the run, in non-decreasing issue-time order.
+    /// Times are wall-clock seconds since the runtime was spawned.
+    pub fn schedule(&self) -> &RequestSchedule {
+        &self.schedule
+    }
+
+    /// The successor notifications journaled by all nodes.
+    pub fn records(&self) -> &[OrderRecord] {
+        &self.records
+    }
+
+    /// Runtime statistics at shutdown.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.stats
+    }
+
+    /// Assemble and validate the queuing order of every object that saw at least
+    /// one request — the same per-object validation contract the simulator harness
+    /// enforces: every request queued exactly once, one unbroken successor chain
+    /// from the object's virtual root request.
+    pub fn validated_orders(&self) -> Result<Vec<(ObjectId, QueuingOrder)>, OrderError> {
+        let mut orders = Vec::new();
+        for obj in self.schedule.objects() {
+            let sub = self.schedule.for_object(obj);
+            let recs: Vec<OrderRecord> = self
+                .records
+                .iter()
+                .filter(|r| r.obj == obj)
+                .copied()
+                .collect();
+            orders.push((obj, QueuingOrder::from_records(&recs, &sub)?));
+        }
+        Ok(orders)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+
+    fn tree(n: usize) -> RootedTree {
+        RootedTree::from_tree_graph(&generators::balanced_binary_tree(n), 0)
+    }
+
+    #[test]
+    fn spawn_and_shutdown_with_no_traffic() {
+        let rt = NetRuntime::spawn(&tree(5), NetConfig::instant());
+        assert_eq!(rt.node_count(), 5);
+        assert_eq!(rt.object_count(), 1);
+        let report = rt.shutdown();
+        assert!(report.schedule().is_empty());
+        assert!(report.records().is_empty());
+        assert_eq!(report.stats().acquisitions, 0);
+        // An immediate shutdown may race the bootstrap dials, but never exceeds the
+        // tree edges when no token ever moved.
+        assert!(report.stats().connections_dialed <= 4);
+    }
+
+    #[test]
+    fn single_remote_acquire_crosses_real_sockets() {
+        let rt = NetRuntime::spawn(&tree(7), NetConfig::instant());
+        let h = rt.handle(6);
+        let req = h.acquire();
+        h.release(req);
+        let report = rt.shutdown();
+        assert_eq!(report.stats().acquisitions, 1);
+        assert!(
+            report.stats().queue_frames >= 1,
+            "leaf request crossed links"
+        );
+        assert!(report.stats().token_frames >= 1, "token travelled back");
+        assert!(report.stats().bytes_sent > 0);
+        let orders = report.validated_orders().unwrap();
+        assert_eq!(orders.len(), 1);
+        assert_eq!(orders[0].1.len(), 1);
+    }
+
+    #[test]
+    fn sequential_acquires_from_every_node_validate() {
+        let rt = NetRuntime::spawn(&tree(7), NetConfig::instant());
+        for v in 0..7 {
+            let h = rt.handle(v);
+            let req = h.acquire();
+            h.release(req);
+        }
+        let report = rt.shutdown();
+        assert_eq!(report.stats().acquisitions, 7);
+        let orders = report.validated_orders().unwrap();
+        assert_eq!(orders[0].1.len(), 7);
+    }
+
+    #[test]
+    fn concurrent_multi_object_acquires_all_complete_and_validate() {
+        let k = 3;
+        let rt = Arc::new(NetRuntime::spawn_multi(&tree(7), k, NetConfig::instant()));
+        let mut joins = Vec::new();
+        for v in 0..7 {
+            let h = rt.handle(v);
+            joins.push(std::thread::spawn(move || {
+                for round in 0..4 {
+                    let obj = ObjectId(((v + round) % k) as u32);
+                    let req = h.acquire_object(obj);
+                    h.release_object(obj, req);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let rt = Arc::try_unwrap(rt).ok().unwrap();
+        let report = rt.shutdown();
+        assert_eq!(report.stats().acquisitions, 7 * 4);
+        let orders = report.validated_orders().unwrap();
+        assert_eq!(orders.len(), k);
+        let total: usize = orders.iter().map(|(_, o)| o.len()).sum();
+        assert_eq!(total, report.schedule().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn acquire_for_missing_object_panics() {
+        let rt = NetRuntime::spawn_multi(&tree(3), 2, NetConfig::instant());
+        let h = rt.handle(0);
+        let _ = h.acquire_object(ObjectId(2));
+    }
+}

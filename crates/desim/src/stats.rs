@@ -55,6 +55,22 @@ impl Histogram {
         self.total
     }
 
+    /// True if no samples have been recorded.
+    ///
+    /// On an empty histogram every summary statistic is *defined* to be `0.0` —
+    /// [`mean`], [`min`], [`max`], [`sum`] and [`percentile`] all return zero rather
+    /// than dividing by the zero sample count or reporting the infinities the
+    /// internal min/max trackers start from.
+    ///
+    /// [`mean`]: Histogram::mean
+    /// [`min`]: Histogram::min
+    /// [`max`]: Histogram::max
+    /// [`sum`]: Histogram::sum
+    /// [`percentile`]: Histogram::percentile
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
     /// Mean of recorded samples (0 if empty).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -87,7 +103,9 @@ impl Histogram {
         }
     }
 
-    /// Approximate p-th percentile (`p` in `[0,100]`), computed from bucket boundaries.
+    /// Approximate p-th percentile (`p` in `[0,100]`), computed from bucket
+    /// boundaries. Returns `0.0` on an empty histogram (see [`Histogram::is_empty`]
+    /// for the empty-histogram contract); `p` is clamped into `[0, 100]`.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
@@ -101,6 +119,16 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// The median (50th percentile); `0.0` if empty.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// The 99th percentile; `0.0` if empty.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
     }
 }
 
@@ -211,11 +239,37 @@ mod tests {
 
     #[test]
     fn empty_histogram_is_all_zeros() {
+        // The contract documented on Histogram::is_empty: every summary statistic of
+        // an empty histogram is exactly 0.0 — finite, no division by the zero count,
+        // no leaked sentinel infinities from the min/max trackers.
         let h = Histogram::new(1.0);
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.sum(), 0.0);
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
-        assert_eq!(h.percentile(99.0), 0.0);
+        for p in [0.0, 50.0, 99.0, 100.0, -3.0, 250.0] {
+            let v = h.percentile(p);
+            assert!(v == 0.0 && v.is_finite(), "percentile({p}) = {v}");
+        }
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn p50_p99_conveniences_match_percentile() {
+        let mut h = Histogram::new(0.5);
+        for i in 0..200 {
+            h.record(i as f64 / 20.0);
+        }
+        assert!(!h.is_empty());
+        assert_eq!(h.p50(), h.percentile(50.0));
+        assert_eq!(h.p99(), h.percentile(99.0));
+        assert!(h.p50() <= h.p99());
+        // Out-of-range percentiles clamp rather than panic or extrapolate.
+        assert_eq!(h.percentile(-10.0), h.percentile(0.0));
+        assert_eq!(h.percentile(1000.0), h.percentile(100.0));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Socket-tier integration tests: the arrow directory over real loopback TCP.
+//!
+//! The headline scenario is the ISSUE's acceptance case: a K = 4-object workload on
+//! 32 nodes runs over real sockets and every per-object queuing order validates —
+//! structurally (the same `QueuingOrder` contract the simulator harness enforces)
+//! and against `queuing-analysis` (each order's tree path cost must dominate the
+//! certified MST lower bound for that object's request set).
+
+use arrow_core::prelude::*;
+use arrow_net::{NetConfig, NetRuntime};
+use desim::SimRng;
+use netgraph::{generators, RootedTree};
+use queuing_analysis::cost::RequestSet;
+use queuing_analysis::tsp_bounds::mst_weight;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tree(n: usize) -> RootedTree {
+    RootedTree::from_tree_graph(&generators::balanced_binary_tree(n), 0)
+}
+
+/// Drive `workers_per_object` worker threads per object (at seeded-random nodes),
+/// each performing `acquires` acquire/release rounds, then shut down and return the
+/// report.
+fn drive(
+    rt: NetRuntime,
+    objects: usize,
+    workers_per_object: usize,
+    acquires: usize,
+    seed: u64,
+) -> arrow_net::NetReport {
+    let n = rt.node_count();
+    let rt = Arc::new(rt);
+    let mut rng = SimRng::new(seed);
+    let mut joins = Vec::new();
+    for obj in 0..objects {
+        for _ in 0..workers_per_object {
+            let node = rng.index(n);
+            let h = rt.handle(node);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..acquires {
+                    let req = h.acquire_object(ObjectId(obj as u32));
+                    std::thread::yield_now();
+                    h.release_object(ObjectId(obj as u32), req);
+                }
+            }));
+        }
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    Arc::try_unwrap(rt).ok().unwrap().shutdown()
+}
+
+/// The acceptance scenario: K = 4 objects on 32 nodes over real loopback TCP.
+/// Every per-object order must (a) validate as a queuing order over exactly that
+/// object's requests and (b) satisfy the queuing-analysis spatial lower bound: the
+/// order's tree path cost (sum of tree distances between consecutive requests,
+/// starting at the root — arrow's cost measure `c_A`) is at least the tree-distance
+/// MST weight of the object's request set, since any root-anchored visiting path
+/// dominates an MST.
+#[test]
+fn k4_on_32_nodes_over_loopback_validates_via_queuing_analysis() {
+    let n = 32;
+    let k = 4;
+    let t = tree(n);
+    let rt = NetRuntime::spawn_multi(&t, k, NetConfig::instant());
+    let report = drive(rt, k, 3, 5, 0xACCE);
+
+    let schedule = report.schedule();
+    assert_eq!(schedule.len(), k * 3 * 5, "every acquire was journaled");
+    assert_eq!(report.stats().acquisitions as usize, schedule.len());
+    assert_eq!(schedule.objects().len(), k, "all objects saw traffic");
+
+    let orders = report
+        .validated_orders()
+        .expect("socket run produced an invalid queuing order");
+    assert_eq!(orders.len(), k);
+
+    let mut covered = 0;
+    for (obj, order) in &orders {
+        let sub = schedule.for_object(*obj);
+        assert_eq!(order.len(), sub.len(), "object {obj}");
+        for &id in order.order() {
+            assert_eq!(schedule.get(id).unwrap().obj, *obj);
+        }
+        covered += order.len();
+
+        // queuing-analysis cross-check.
+        let rs = RequestSet::new(&sub, &t);
+        let perm: Vec<usize> = order
+            .order()
+            .iter()
+            .map(|&id| rs.index_of(id).expect("order id is in the sub-schedule"))
+            .collect();
+        let path = rs.path_cost(&perm, RequestSet::cost_arrow);
+        let mst = mst_weight(&rs, RequestSet::cost_arrow);
+        assert!(
+            path >= mst - 1e-9,
+            "object {obj}: socket order's tree path cost {path} undercuts the MST bound {mst}"
+        );
+    }
+    assert_eq!(covered, schedule.len(), "orders partition the requests");
+}
+
+/// Sequential acquires (one in flight at a time) must be queued in issue order —
+/// the same contract the simulator's centralized/sequential tests rely on.
+#[test]
+fn sequential_socket_acquires_queue_in_issue_order() {
+    let rt = NetRuntime::spawn(&tree(15), NetConfig::instant());
+    let sequence = [14usize, 3, 9, 0, 7];
+    for &v in &sequence {
+        let h = rt.handle(v);
+        let req = h.acquire();
+        h.release(req);
+    }
+    let report = rt.shutdown();
+    let orders = report.validated_orders().unwrap();
+    let order_nodes: Vec<usize> = orders[0]
+        .1
+        .order()
+        .iter()
+        .map(|&id| report.schedule().get(id).unwrap().node)
+        .collect();
+    assert_eq!(order_nodes, sequence);
+}
+
+/// Synchronous latency injection: on a two-node path with unit edge weight and a
+/// 60 ms unit latency, a remote acquire needs one queue() hop and one token hop, so
+/// it cannot complete in under ~120 ms. The instant config on the same topology
+/// stays far below that — the difference is the injected delay, not socket cost.
+#[test]
+fn synchronous_latency_injection_delays_remote_acquires() {
+    let t = RootedTree::from_tree_graph(&generators::path(2), 0);
+
+    let unit = Duration::from_millis(60);
+    let rt = NetRuntime::spawn(&t, NetConfig::synchronous(unit));
+    let h = rt.handle(1);
+    let start = Instant::now();
+    let req = h.acquire();
+    let delayed = start.elapsed();
+    h.release(req);
+    rt.shutdown();
+    assert!(
+        delayed >= Duration::from_millis(110),
+        "two injected 60 ms hops finished in {delayed:?}"
+    );
+
+    let rt = NetRuntime::spawn(&t, NetConfig::instant());
+    let h = rt.handle(1);
+    let start = Instant::now();
+    let req = h.acquire();
+    let instant = start.elapsed();
+    h.release(req);
+    rt.shutdown();
+    assert!(
+        instant < Duration::from_millis(110),
+        "undelayed loopback acquire took {instant:?}"
+    );
+}
+
+/// The asynchronous model derived from a simulator RunConfig honors the async
+/// floor: with `lo_factor = 0.9` every hop pays at least 90% of the link weight, so
+/// a two-hop acquire pays at least ~2 × 0.9 × unit.
+#[test]
+fn async_floor_from_run_config_bounds_injected_latency_below() {
+    let t = RootedTree::from_tree_graph(&generators::path(2), 0);
+    let run = RunConfig::analysis(ProtocolKind::Arrow)
+        .asynchronous(7)
+        .with_async_floor(0.9);
+    let unit = Duration::from_millis(60);
+    let cfg = NetConfig::from_run_config(&run, unit);
+    assert_eq!(cfg.jitter, Some((0.9, 7)));
+
+    let rt = NetRuntime::spawn(&t, cfg);
+    let h = rt.handle(1);
+    let start = Instant::now();
+    let req = h.acquire();
+    let elapsed = start.elapsed();
+    h.release(req);
+    rt.shutdown();
+    assert!(
+        elapsed >= Duration::from_millis(100),
+        "two hops floored at 54 ms each finished in {elapsed:?}"
+    );
+}
+
+/// The mesh materializes the tree edges at bootstrap and only grows by the direct
+/// token channels traffic actually needs — never the full n² mesh.
+#[test]
+fn mesh_stays_sparse() {
+    let n = 32;
+    let rt = NetRuntime::spawn_multi(&tree(n), 2, NetConfig::instant());
+    let report = drive(rt, 2, 2, 4, 0x5BA2);
+    let dialed = report.stats().connections_dialed;
+    // n-1 tree edges, plus at most one direct channel per (granter, origin) pair
+    // that actually exchanged a token; with 4 requester nodes that is far below n².
+    assert!(
+        dialed >= (n - 1) as u64,
+        "tree edges materialized: {dialed}"
+    );
+    assert!(
+        dialed < (n * n / 2) as u64,
+        "mesh degenerated into all-pairs: {dialed} connections"
+    );
+    assert_eq!(report.stats().unexpected_frames, 0);
+    report.validated_orders().unwrap();
+}

@@ -1,0 +1,196 @@
+//! Seeded property tests for the arrow-net wire codec: encode/decode roundtrips
+//! over randomized frames (every variant, extreme ids), plus rejection of
+//! truncated, length-tampered and corrupted frames.
+//!
+//! Deterministic seeded case loops stand in for proptest (no registry in the
+//! container), matching the style of `tests/property_tests.rs`.
+
+use arrow_core::prelude::{ObjectId, ProtoMsg, RequestId};
+use arrow_net::{Frame, WireError, WIRE_MAGIC};
+use desim::SimRng;
+
+/// Ids stressing the fixed-width encodings: zero (the root id), one, values around
+/// the u32 boundary, and the extremes.
+fn random_u64(rng: &mut SimRng) -> u64 {
+    match rng.index(6) {
+        0 => 0,
+        1 => 1,
+        2 => u32::MAX as u64,
+        3 => u32::MAX as u64 + 1,
+        4 => u64::MAX,
+        _ => rng.uniform_u64(0, u64::MAX - 1),
+    }
+}
+
+fn random_u32(rng: &mut SimRng) -> u32 {
+    match rng.index(4) {
+        0 => 0,
+        1 => 1,
+        2 => u32::MAX,
+        _ => rng.uniform_u64(0, u32::MAX as u64) as u32,
+    }
+}
+
+fn random_frame(rng: &mut SimRng) -> Frame {
+    let req = RequestId(random_u64(rng));
+    let obj = ObjectId(random_u32(rng));
+    let pred = RequestId(random_u64(rng));
+    let node = random_u32(rng) as usize;
+    match rng.index(9) {
+        0 => Frame::Hello { node },
+        1 => Frame::Welcome { node },
+        2 => Frame::Goodbye,
+        3 => Frame::Proto(ProtoMsg::Issue { req, obj }),
+        4 => Frame::Proto(ProtoMsg::Queue {
+            req,
+            obj,
+            origin: node,
+        }),
+        5 => Frame::Proto(ProtoMsg::Found { req, obj, pred }),
+        6 => Frame::Proto(ProtoMsg::CentralEnqueue {
+            req,
+            obj,
+            origin: node,
+        }),
+        7 => Frame::Proto(ProtoMsg::CentralReply { req, obj, pred }),
+        _ => Frame::Token { obj, req },
+    }
+}
+
+#[test]
+fn roundtrip_randomized_frames() {
+    let mut rng = SimRng::new(0xC0DEC);
+    for case in 0..2_000 {
+        let frame = random_frame(&mut rng);
+        let bytes = frame.encode();
+        let (decoded, consumed) = Frame::decode(&bytes)
+            .unwrap_or_else(|e| panic!("case {case}: {frame:?} failed to decode: {e}"));
+        assert_eq!(decoded, frame, "case {case}");
+        assert_eq!(consumed, bytes.len(), "case {case}: partial consumption");
+    }
+}
+
+#[test]
+fn roundtrip_through_a_concatenated_stream() {
+    // Frames written back to back decode in order from a single buffer, each
+    // consuming exactly its own bytes.
+    let mut rng = SimRng::new(0x57EA4);
+    for _ in 0..50 {
+        let frames: Vec<Frame> = (0..1 + rng.index(20))
+            .map(|_| random_frame(&mut rng))
+            .collect();
+        let mut buf = Vec::new();
+        for f in &frames {
+            buf.extend_from_slice(&f.encode());
+        }
+        let mut offset = 0;
+        for f in &frames {
+            let (decoded, consumed) = Frame::decode(&buf[offset..]).unwrap();
+            assert_eq!(decoded, *f);
+            offset += consumed;
+        }
+        assert_eq!(offset, buf.len());
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let mut rng = SimRng::new(0x7123);
+    for _ in 0..300 {
+        let frame = random_frame(&mut rng);
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Frame::decode(&bytes[..cut]).unwrap_err(),
+                WireError::Truncated,
+                "{frame:?} truncated to {cut}/{} bytes must be rejected",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_length_prefix_tampering_is_rejected() {
+    // On a buffer holding exactly one frame, any wrong length prefix must fail:
+    // larger claims run off the buffer (or exceed MAX_FRAME_LEN), smaller claims
+    // starve a fixed-width field or the header itself.
+    let mut rng = SimRng::new(0x1E47);
+    for _ in 0..100 {
+        let frame = random_frame(&mut rng);
+        let bytes = frame.encode();
+        let correct = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        for wrong in (0..=correct + 8).chain([arrow_net::MAX_FRAME_LEN + 1, u32::MAX]) {
+            if wrong == correct {
+                continue;
+            }
+            let mut tampered = bytes.clone();
+            tampered[..4].copy_from_slice(&wrong.to_le_bytes());
+            assert!(
+                Frame::decode(&tampered).is_err(),
+                "{frame:?} with length {wrong} (truth {correct}) must be rejected"
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_headers_are_rejected_with_the_right_error() {
+    let mut rng = SimRng::new(0xBAD);
+    for _ in 0..300 {
+        let frame = random_frame(&mut rng);
+        let bytes = frame.encode();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[4] ^= 0x5A;
+        assert_eq!(
+            Frame::decode(&bad_magic).unwrap_err(),
+            WireError::BadMagic(WIRE_MAGIC ^ 0x5A)
+        );
+
+        let mut bad_version = bytes.clone();
+        bad_version[5] ^= 0x80;
+        assert!(matches!(
+            Frame::decode(&bad_version).unwrap_err(),
+            WireError::UnsupportedVersion(_)
+        ));
+
+        let mut bad_kind = bytes.clone();
+        bad_kind[6] = 0x7F; // no frame kind lives at 0x7F
+        let err = Frame::decode(&bad_kind).unwrap_err();
+        assert!(
+            matches!(err, WireError::UnknownKind(0x7F)),
+            "{frame:?}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = SimRng::new(0xFA22);
+    for _ in 0..2_000 {
+        let len = rng.index(40);
+        let blob: Vec<u8> = (0..len).map(|_| rng.uniform_u64(0, 255) as u8).collect();
+        // Must return cleanly (an error in practice — a random blob that parses is
+        // astronomically unlikely but not unsound), never panic or over-read.
+        if let Ok((_, consumed)) = Frame::decode(&blob) {
+            assert!(consumed <= blob.len());
+        }
+    }
+}
+
+#[test]
+fn stream_reader_rejects_mid_frame_eof() {
+    let mut rng = SimRng::new(0xE0F1);
+    for _ in 0..200 {
+        let frame = random_frame(&mut rng);
+        let bytes = frame.encode();
+        for cut in 1..bytes.len() {
+            let mut cursor = std::io::Cursor::new(bytes[..cut].to_vec());
+            assert_eq!(
+                Frame::read_from(&mut cursor).unwrap_err(),
+                WireError::Truncated
+            );
+        }
+    }
+}
