@@ -1,0 +1,140 @@
+//! The cross-tier conformance sweep: seeded cases × (sim | sim-centralized |
+//! thread | net) × the shared invariant suite, with automatic shrinking and
+//! replay files for every failure.
+//!
+//! ```text
+//! cargo run --release -p arrow-bench --bin conformance -- --smoke
+//! cargo run --release -p arrow-bench --bin conformance -- --cases 128 --max-nodes 32
+//! cargo run --release -p arrow-bench --bin conformance -- --replay conformance-failures/case-42.replay
+//! ```
+//!
+//! Exits non-zero if any case violates any invariant (CI runs `--smoke`).
+
+use arrow_conformance::{run_replay, run_sweep, SweepOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: conformance [--smoke | --full] [--cases N] [--seed N] [--max-nodes N] \
+         [--max-requests N] [--no-thread] [--no-net] [--no-shrink] [--out DIR] \
+         [--replay FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut opts = SweepOptions::smoke();
+    opts.replay_dir = Some(PathBuf::from("conformance-failures"));
+    let mut replay_file: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            // Profile switches preserve an already-chosen --out directory (flag
+            // order must not silently change where replay files land).
+            "--smoke" => {
+                let dir = opts.replay_dir.clone();
+                opts = SweepOptions::smoke();
+                opts.replay_dir = dir;
+            }
+            "--full" => {
+                let dir = opts.replay_dir.clone();
+                opts = SweepOptions::full();
+                opts.replay_dir = dir;
+            }
+            "--cases" => opts.cases = num(&mut args),
+            "--seed" => {
+                opts.master_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-nodes" => opts.max_nodes = num(&mut args),
+            "--max-requests" => opts.max_requests = num(&mut args),
+            "--no-thread" => opts.include_thread = false,
+            "--no-net" => opts.include_net = false,
+            "--no-shrink" => opts.shrink_failures = false,
+            "--out" => {
+                opts.replay_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--replay" => replay_file = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = replay_file {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match run_replay(&text, &opts) {
+            Err(e) => {
+                eprintln!("bad replay file: {e}");
+                return ExitCode::from(2);
+            }
+            Ok((tiers, violations)) => {
+                println!("replay {} (tiers: {})", path.display(), tiers.join(", "));
+                if violations.is_empty() {
+                    println!("PASS: no invariant violations");
+                    return ExitCode::SUCCESS;
+                }
+                for v in &violations {
+                    println!("VIOLATION {v}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "conformance sweep: {} cases, master seed {:#x}, max {} nodes / {} requests, tiers: sim, sim-centralized{}{}",
+        opts.cases,
+        opts.master_seed,
+        opts.max_nodes,
+        opts.max_requests,
+        if opts.include_thread { ", thread" } else { "" },
+        if opts.include_net { ", net" } else { "" },
+    );
+    let report = run_sweep(&opts);
+    println!(
+        "ran {} cases / {} requests; per-tier: {}",
+        report.cases,
+        report.total_requests,
+        report
+            .tier_counts
+            .iter()
+            .map(|(t, c)| format!("{t}={c}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    if report.all_passed() {
+        println!("PASS: zero invariant violations across all tiers");
+        return ExitCode::SUCCESS;
+    }
+    for failure in &report.failures {
+        println!(
+            "FAIL case {} (seed {}, {} requests after shrinking):",
+            failure.index,
+            failure.case.spec.seed,
+            failure.case.requests.len()
+        );
+        for v in &failure.violations {
+            println!("  {v}");
+        }
+        if let Some(path) = &failure.replay_path {
+            println!(
+                "  replay: cargo run --release -p arrow-bench --bin conformance -- --replay {path}"
+            );
+        }
+    }
+    ExitCode::FAILURE
+}

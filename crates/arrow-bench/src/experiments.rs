@@ -482,12 +482,16 @@ mod tests {
         let rows = ratio_sweep(9, 20, 1);
         assert!(rows.len() >= 15);
         for row in &rows {
+            // certifies_bound, not within_bound: these workloads must produce a
+            // positive lower bound, so every row positively corroborates the
+            // theorem (a degenerate row slipping in here would be a sweep bug).
             assert!(
-                row.report.within_bound(),
-                "{}: ratio {} exceeds bound {}",
+                row.report.certifies_bound(),
+                "{}: ratio {} vs bound {} (degenerate: {})",
                 row.label,
                 row.report.ratio,
-                row.report.theorem_bound
+                row.report.theorem_bound,
+                row.report.opt_bound_degenerate
             );
         }
     }

@@ -1,0 +1,44 @@
+//! # arrow-conformance — the cross-tier conformance harness
+//!
+//! The repository executes the arrow protocol of the paper in three independent
+//! tiers — the discrete-event simulator, the in-process thread runtime and the
+//! loopback-TCP socket runtime — plus the centralized baseline. This crate is the
+//! correctness backstop that keeps them honest: it generates seeded random cases
+//! (topology × spanning tree × workload × object count × synchrony), runs each
+//! case through every applicable tier behind the shared
+//! [`arrow_core::driver::Driver`] seam, and checks one invariant suite on every
+//! outcome:
+//!
+//! * per-object queuing-order validity (via the typed checked run paths),
+//! * exactly-once queuing,
+//! * token conservation (one unbroken grant chain per object, no forks),
+//! * per-link FIFO delivery (simulator traces),
+//! * structural message-count bounds,
+//! * the Theorem 3.19 competitive-ratio bound where the analysis applies
+//!   (synchronous, single object, arrow, non-degenerate lower bound).
+//!
+//! Every failure is turned into a **replay file** ([`case::ReplayCase`]) — a tiny
+//! text artifact that pins the exact topology and request list — after automatic
+//! **shrinking** ([`shrink::shrink`]) dropped every request and node not needed to
+//! reproduce. `cargo run -p arrow-bench --bin conformance -- --replay <file>`
+//! re-runs it as a one-command repro.
+//!
+//! The `conformance` binary in `arrow-bench` drives [`sweep::run_sweep`]; CI runs
+//! the fixed-seed smoke profile ([`sweep::SweepOptions::smoke`]) on every change.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod case;
+pub mod invariants;
+pub mod net_driver;
+pub mod shrink;
+pub mod sweep;
+
+pub use case::{CaseSpec, GraphKind, ReplayCase, WorkloadKind};
+pub use invariants::{InvariantKind, Violation};
+pub use net_driver::NetDriver;
+pub use shrink::shrink;
+pub use sweep::{
+    derive_spec, run_case, run_replay, run_sweep, CaseResult, SweepOptions, SweepReport,
+};

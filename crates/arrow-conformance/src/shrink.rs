@@ -1,0 +1,128 @@
+//! Automatic case shrinking: make a failing case as small as it will go while the
+//! failure keeps reproducing.
+//!
+//! A delta-debugging-style loop over the explicit request list (drop halves, then
+//! quarters, … down to single requests), followed by a node-count reduction pass
+//! (rebuild the topology with just enough nodes to cover the surviving requests).
+//! The predicate is arbitrary — the sweep passes "re-running the case still
+//! produces at least one violation" — and every accepted step re-runs it, so the
+//! shrunk case is a genuine repro, not a guess.
+
+use crate::case::ReplayCase;
+
+/// Upper bound on predicate evaluations, so a flaky failure cannot spin the
+/// shrinker forever (live tiers are nondeterministic; a failure that reproduces
+/// only sometimes will simply shrink less).
+const MAX_CHECKS: usize = 200;
+
+/// Shrink `case` while `fails` keeps returning true for the candidate. Returns
+/// the smallest reproducing case found (possibly the input itself).
+pub fn shrink(case: &ReplayCase, mut fails: impl FnMut(&ReplayCase) -> bool) -> ReplayCase {
+    let mut current = case.clone();
+    let mut checks = 0usize;
+
+    // Pass 1: drop request chunks, halving the chunk size until single requests.
+    let mut chunk = current.requests.len().div_ceil(2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < current.requests.len() && checks < MAX_CHECKS {
+            let end = (start + chunk).min(current.requests.len());
+            let mut candidate = current.clone();
+            candidate.requests.drain(start..end);
+            if candidate.requests.is_empty() {
+                start = end;
+                continue;
+            }
+            checks += 1;
+            if fails(&candidate) {
+                current = candidate;
+                progressed = true;
+                // Do not advance: the next chunk slid into `start`.
+            } else {
+                start = end;
+            }
+        }
+        if checks >= MAX_CHECKS {
+            break;
+        }
+        if chunk == 1 {
+            if !progressed {
+                break;
+            }
+        } else {
+            chunk = chunk.div_ceil(2).max(1);
+        }
+    }
+
+    // Pass 2: shrink the node budget to just cover the surviving requests.
+    let max_node = current
+        .requests
+        .iter()
+        .map(|&(node, _, _)| node)
+        .max()
+        .unwrap_or(0);
+    if max_node + 1 < current.spec.nodes && checks < MAX_CHECKS {
+        let mut candidate = current.clone();
+        candidate.spec.nodes = (max_node + 1).max(2);
+        if fails(&candidate) {
+            current = candidate;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::{CaseSpec, GraphKind, WorkloadKind};
+    use arrow_core::prelude::SyncMode;
+    use netgraph::spanning::SpanningTreeKind;
+
+    fn case_with_requests(n: usize) -> ReplayCase {
+        let spec = CaseSpec {
+            seed: 1,
+            nodes: 12,
+            graph: GraphKind::Complete,
+            tree: SpanningTreeKind::BalancedBinary,
+            objects: 1,
+            requests: n,
+            workload: WorkloadKind::UniformRandom,
+            sync: SyncMode::Synchronous,
+            async_lo: 0.05,
+        };
+        ReplayCase::generate(spec)
+    }
+
+    #[test]
+    fn shrinks_to_the_single_triggering_request() {
+        // "Failure" = any request at node 5 present.
+        let case = case_with_requests(24);
+        assert!(case.requests.iter().any(|&(node, _, _)| node == 5));
+        let shrunk = shrink(&case, |c| c.requests.iter().any(|&(n, _, _)| n == 5));
+        assert_eq!(shrunk.requests.len(), 1, "{:?}", shrunk.requests);
+        assert_eq!(shrunk.requests[0].0, 5);
+        // Node budget shrank too (nodes above 5 are unused).
+        assert_eq!(shrunk.spec.nodes, 6);
+    }
+
+    #[test]
+    fn shrinking_a_non_reproducing_case_returns_it_unchanged() {
+        let case = case_with_requests(8);
+        let shrunk = shrink(&case, |_| false);
+        assert_eq!(shrunk, case);
+    }
+
+    #[test]
+    fn shrinking_needs_pairs_when_the_failure_needs_two_requests() {
+        // Failure requires at least two requests from distinct nodes.
+        let case = case_with_requests(20);
+        let shrunk = shrink(&case, |c| {
+            let mut nodes: Vec<usize> = c.requests.iter().map(|&(n, _, _)| n).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            nodes.len() >= 2
+        });
+        assert_eq!(shrunk.requests.len(), 2, "{:?}", shrunk.requests);
+    }
+}

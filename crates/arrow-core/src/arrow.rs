@@ -66,6 +66,10 @@ pub struct ArrowNode {
     /// Number of `queue()` messages this node sent to *another* node (inter-processor
     /// hops, the quantity of Figure 11).
     queue_hops: u64,
+    /// First protocol violation observed (e.g. a non-arrow message): the offending
+    /// input is dropped and described here instead of aborting the simulation, so
+    /// the harness can surface it as a typed [`crate::run::RunError`].
+    violation: Option<String>,
 }
 
 #[derive(Debug)]
@@ -135,6 +139,7 @@ impl ArrowNode {
             issued: Vec::new(),
             own_completions: Vec::new(),
             queue_hops: 0,
+            violation: None,
         }
     }
 
@@ -236,13 +241,26 @@ impl ArrowNode {
         self.queue_hops
     }
 
+    /// The first protocol violation this node observed, if any (the violating
+    /// message was dropped, not processed). The harness turns this into a typed
+    /// [`crate::run::RunError::ProtocolViolation`] instead of aborting.
+    pub fn protocol_violation(&self) -> Option<&str> {
+        self.violation.as_deref()
+    }
+
     /// The actual protocol logic, invoked once the service queue releases a work item.
     fn process(&mut self, ctx: &mut Context<ProtoMsg>, from: NodeId, msg: ProtoMsg) {
         match msg {
             ProtoMsg::Issue { req, obj } => self.handle_issue(ctx, req, obj),
             ProtoMsg::Queue { req, obj, origin } => self.handle_queue(ctx, from, req, obj, origin),
             ProtoMsg::Found { req, pred, .. } => self.handle_found(ctx, req, pred),
-            other => panic!("arrow node received non-arrow message {other:?}"),
+            other => {
+                // A non-arrow message is a protocol bug; record it (first one wins)
+                // and drop the message rather than tearing the whole process down.
+                self.violation.get_or_insert_with(|| {
+                    format!("arrow node received non-arrow message {other:?}")
+                });
+            }
         }
     }
 
@@ -658,10 +676,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-arrow message")]
-    fn central_message_panics_on_arrow_node() {
+    fn central_message_is_recorded_as_violation_not_processed() {
         let mut node = ArrowNode::new(0, 0, false, 0.0);
         let mut ctx = Context::new(0, SimTime::ZERO);
+        assert!(node.protocol_violation().is_none());
         node.on_message(
             &mut ctx,
             1,
@@ -671,5 +689,24 @@ mod tests {
                 origin: 1,
             },
         );
+        let violation = node.protocol_violation().expect("violation recorded");
+        assert!(violation.contains("non-arrow message"), "{violation}");
+        // The violating message was dropped: no record, no state change.
+        assert!(node.records().is_empty());
+        assert!(node.is_sink());
+        // A second violation does not overwrite the first.
+        node.on_message(
+            &mut ctx,
+            1,
+            ProtoMsg::CentralReply {
+                req: RequestId(2),
+                obj: ObjectId::DEFAULT,
+                pred: RequestId(1),
+            },
+        );
+        assert!(node
+            .protocol_violation()
+            .unwrap()
+            .contains("CentralEnqueue"));
     }
 }

@@ -33,6 +33,10 @@ pub struct CentralizedNode {
     own_completions: Vec<(RequestId, SimTime)>,
     /// Messages this node sent to a different node.
     remote_messages: u64,
+    /// First protocol violation observed (e.g. an arrow message): dropped and
+    /// described here instead of aborting, so the harness can report it as a typed
+    /// [`crate::run::RunError`].
+    violation: Option<String>,
 }
 
 #[derive(Debug)]
@@ -63,6 +67,7 @@ impl CentralizedNode {
             issued: Vec::new(),
             own_completions: Vec::new(),
             remote_messages: 0,
+            violation: None,
         }
     }
 
@@ -105,6 +110,13 @@ impl CentralizedNode {
         self.me == self.central
     }
 
+    /// The first protocol violation this node observed, if any (the violating
+    /// message was dropped, not processed). The harness turns this into a typed
+    /// [`crate::run::RunError::ProtocolViolation`] instead of aborting.
+    pub fn protocol_violation(&self) -> Option<&str> {
+        self.violation.as_deref()
+    }
+
     fn process(&mut self, ctx: &mut Context<ProtoMsg>, from: NodeId, msg: ProtoMsg) {
         match msg {
             ProtoMsg::Issue { req, obj } => self.handle_issue(ctx, req, obj),
@@ -112,7 +124,13 @@ impl CentralizedNode {
                 self.handle_enqueue(ctx, req, obj, origin)
             }
             ProtoMsg::CentralReply { req, pred, .. } => self.handle_reply(ctx, from, req, pred),
-            other => panic!("centralized node received unexpected message {other:?}"),
+            other => {
+                // An out-of-protocol message is a bug; record it (first one wins)
+                // and drop the message rather than tearing the whole process down.
+                self.violation.get_or_insert_with(|| {
+                    format!("centralized node received unexpected message {other:?}")
+                });
+            }
         }
     }
 
@@ -360,10 +378,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unexpected message")]
-    fn arrow_message_panics_on_centralized_node() {
+    fn arrow_message_is_recorded_as_violation_not_processed() {
         let mut node = CentralizedNode::new(0, 0, 0.0);
         let mut ctx = Context::new(0, SimTime::ZERO);
+        assert!(node.protocol_violation().is_none());
         node.on_message(
             &mut ctx,
             1,
@@ -373,5 +391,9 @@ mod tests {
                 origin: 1,
             },
         );
+        let violation = node.protocol_violation().expect("violation recorded");
+        assert!(violation.contains("unexpected message"), "{violation}");
+        // The violating message was dropped: nothing got enqueued.
+        assert!(node.records().is_empty());
     }
 }

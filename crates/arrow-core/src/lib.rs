@@ -78,6 +78,7 @@
 
 pub mod arrow;
 pub mod centralized;
+pub mod driver;
 pub mod live;
 pub mod order;
 pub mod protocol;
@@ -87,10 +88,14 @@ pub mod workload;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::driver::{Driver, SimDriver, ThreadDriver};
     pub use crate::order::{OrderRecord, QueuingOrder};
     pub use crate::protocol::{ProtoMsg, ProtocolKind};
     pub use crate::request::{ObjectId, Request, RequestId, RequestSchedule};
-    pub use crate::run::{run, run_schedule, Instance, QueuingOutcome, RunConfig, SyncMode};
+    pub use crate::run::{
+        outcome_from_records, run, run_checked, run_schedule, run_schedule_checked,
+        run_schedule_traced, Instance, QueuingOutcome, RunConfig, RunError, SyncMode,
+    };
     pub use crate::workload::{self, ClosedLoopSpec, Workload};
     pub use netgraph::spanning::SpanningTreeKind;
 }

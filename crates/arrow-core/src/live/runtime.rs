@@ -14,13 +14,16 @@
 //! channels, node threads, and the map from pending requests to application wakeups.
 
 use super::core::{ArrowCore, CoreAction};
-use crate::request::{ObjectId, RequestId};
+use crate::order::{OrderError, OrderRecord, QueuingOrder};
+use crate::request::{ObjectId, Request, RequestId, RequestSchedule};
+use desim::{SimTime, SUBTICKS_PER_UNIT};
 use netgraph::{NodeId, RootedTree};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Messages exchanged between node threads (and commands from handles).
 #[derive(Debug, Clone)]
@@ -66,6 +69,16 @@ impl RuntimeStats {
     }
 }
 
+/// What one node thread hands back when it stops: the protocol history this node
+/// observed, in the same shape the socket tier journals.
+#[derive(Debug, Default)]
+struct NodeJournal {
+    /// Requests issued here, with wall-clock issue times since the runtime epoch.
+    issued: Vec<Request>,
+    /// Successor notifications observed here (this node held the predecessor).
+    records: Vec<OrderRecord>,
+}
+
 struct NodeState {
     me: NodeId,
     /// The shared per-node protocol automaton.
@@ -77,9 +90,17 @@ struct NodeState {
     waiting: HashMap<(ObjectId, RequestId), Sender<RequestId>>,
     senders: Vec<Sender<(NodeId, LiveMsg)>>,
     stats: Arc<RuntimeStats>,
+    /// Shared runtime start instant: issue/record times are measured from it.
+    epoch: Instant,
+    journal: NodeJournal,
 }
 
 impl NodeState {
+    fn now(&self) -> SimTime {
+        let units = self.epoch.elapsed().as_secs_f64();
+        SimTime::from_subticks((units * SUBTICKS_PER_UNIT as f64) as u64)
+    }
+
     fn send(&self, to: NodeId, msg: LiveMsg) {
         // Sending to self is delivered through the same channel to preserve ordering.
         let _ = self.senders[to].send((self.me, msg));
@@ -111,9 +132,24 @@ impl NodeState {
                         let _ = reply.send(req);
                     }
                 }
-                CoreAction::Queued { .. } => {
-                    // The thread runtime verifies its queues through the token (see
-                    // CriticalSectionLog); order records are not collected here.
+                CoreAction::Queued {
+                    obj,
+                    pred,
+                    succ,
+                    origin,
+                } => {
+                    // Journal the successor notification so the run can be held to
+                    // the same per-object order validation as the other tiers
+                    // (the token-passing view is additionally verified through
+                    // CriticalSectionLog by tests that use it).
+                    self.journal.records.push(OrderRecord {
+                        predecessor: pred,
+                        successor: succ,
+                        obj,
+                        at_node: self.me,
+                        informed_at: self.now(),
+                    });
+                    let _ = origin;
                 }
             }
         }
@@ -128,10 +164,17 @@ impl NodeState {
             }
             LiveMsg::Token { obj, req } => self.core.on_token(obj, req, &mut self.actions),
             LiveMsg::Acquire { obj, reply } => {
+                let time = self.now();
                 let req = self.core.acquire(obj, &mut self.actions);
                 // Register the waiter before applying actions: the grant may already
                 // be among them (local sink whose predecessor was released).
                 self.waiting.insert((obj, req), reply);
+                self.journal.issued.push(Request {
+                    id: req,
+                    node: self.me,
+                    time,
+                    obj,
+                });
             }
             LiveMsg::Release { obj, req } => self.core.on_release(obj, req, &mut self.actions),
             LiveMsg::Shutdown => unreachable!("handled by the event loop"),
@@ -144,7 +187,7 @@ impl NodeState {
 /// `K` objects whose per-object arrow state the node threads multiplex.
 pub struct ArrowRuntime {
     senders: Vec<Sender<(NodeId, LiveMsg)>>,
-    threads: Vec<JoinHandle<()>>,
+    threads: Vec<JoinHandle<NodeJournal>>,
     stats: Arc<RuntimeStats>,
     n: usize,
     k: usize,
@@ -175,6 +218,7 @@ impl ArrowRuntime {
             senders.push(tx);
             receivers.push(rx);
         }
+        let epoch = Instant::now();
         let mut threads = Vec::with_capacity(n);
         for (v, rx) in receivers.into_iter().enumerate() {
             let mut state = NodeState {
@@ -184,6 +228,8 @@ impl ArrowRuntime {
                 waiting: HashMap::new(),
                 senders: senders.clone(),
                 stats: Arc::clone(&stats),
+                epoch,
+                journal: NodeJournal::default(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("arrow-node-{v}"))
@@ -194,6 +240,7 @@ impl ArrowRuntime {
                         }
                         state.handle(from, msg);
                     }
+                    state.journal
                 })
                 .expect("failed to spawn node thread");
             threads.push(handle);
@@ -233,13 +280,68 @@ impl ArrowRuntime {
     }
 
     /// Stop all node threads and wait for them to finish.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
+        let _ = self.shutdown_report();
+    }
+
+    /// Stop all node threads and assemble the run's [`LiveReport`]: the
+    /// reconstructed request schedule (wall-clock issue times since spawn) and the
+    /// successor-notification records every node journaled, ready for the same
+    /// per-object order validation the simulator harness applies. Call only once
+    /// all application-level acquires have returned.
+    pub fn shutdown_report(mut self) -> LiveReport {
         for (v, tx) in self.senders.iter().enumerate() {
             let _ = tx.send((v, LiveMsg::Shutdown));
         }
+        let mut issued = Vec::new();
+        let mut records = Vec::new();
         for t in self.threads.drain(..) {
-            let _ = t.join();
+            if let Ok(journal) = t.join() {
+                issued.extend(journal.issued);
+                records.extend(journal.records);
+            }
         }
+        issued.sort_by_key(|r| (r.time, r.id));
+        LiveReport {
+            schedule: RequestSchedule::from_requests(issued),
+            records,
+            stats: self.stats.snapshot(),
+        }
+    }
+}
+
+/// Everything a thread-runtime run leaves behind: the reconstructed request
+/// schedule (wall-clock issue times, in seconds since spawn), the
+/// successor-notification records every node journaled, and the runtime statistics
+/// — the thread-tier analogue of the socket tier's `NetReport`.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    schedule: RequestSchedule,
+    records: Vec<OrderRecord>,
+    stats: (u64, u64, u64),
+}
+
+impl LiveReport {
+    /// The requests issued during the run, in non-decreasing issue-time order.
+    pub fn schedule(&self) -> &RequestSchedule {
+        &self.schedule
+    }
+
+    /// The successor notifications journaled by all nodes.
+    pub fn records(&self) -> &[OrderRecord] {
+        &self.records
+    }
+
+    /// `(queue messages, token messages, acquisitions)` at shutdown.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        self.stats
+    }
+
+    /// Assemble and validate the queuing order of every object that saw at least
+    /// one request — the same per-object validation contract the simulator harness
+    /// enforces ([`crate::order::per_object_orders`]).
+    pub fn validated_orders(&self) -> Result<Vec<(ObjectId, QueuingOrder)>, OrderError> {
+        crate::order::per_object_orders(&self.records, &self.schedule).map_err(|(_, e)| e)
     }
 }
 
@@ -265,6 +367,36 @@ impl NodeHandle {
     /// [`release`]: NodeHandle::release
     pub fn acquire(&self) -> RequestId {
         self.acquire_object(ObjectId::DEFAULT)
+    }
+
+    /// Like [`acquire_object`], but give up after `timeout` — `None` means the
+    /// grant never arrived, which (absent an application that simply holds tokens
+    /// that long) indicates a lost token, i.e. a protocol bug. The conformance
+    /// drivers use this so a grant-chain deadlock becomes a recorded failure
+    /// instead of a hung sweep.
+    ///
+    /// [`acquire_object`]: NodeHandle::acquire_object
+    pub fn acquire_object_timeout(
+        &self,
+        obj: ObjectId,
+        timeout: std::time::Duration,
+    ) -> Option<RequestId> {
+        assert!(
+            (obj.0 as usize) < self.objects,
+            "object {obj} out of range (runtime serves {} objects)",
+            self.objects
+        );
+        let (reply_tx, reply_rx) = channel();
+        self.sender
+            .send((
+                self.node,
+                LiveMsg::Acquire {
+                    obj,
+                    reply: reply_tx,
+                },
+            ))
+            .expect("runtime has shut down");
+        reply_rx.recv_timeout(timeout).ok()
     }
 
     /// Issue a queuing request for `obj` and block until this node holds that
@@ -424,6 +556,26 @@ mod tests {
         }
         assert_eq!(rt.stats().snapshot().2, 15 * 8);
         Arc::try_unwrap(rt).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn shutdown_report_journals_a_validatable_order() {
+        let rt = ArrowRuntime::spawn_multi(&tree(7), 2);
+        for v in 0..7 {
+            let h = rt.handle(v);
+            for obj in [ObjectId(0), ObjectId(1)] {
+                let req = h.acquire_object(obj);
+                h.release_object(obj, req);
+            }
+        }
+        let report = rt.shutdown_report();
+        assert_eq!(report.schedule().len(), 14);
+        assert_eq!(report.records().len(), 14);
+        assert_eq!(report.stats().2, 14);
+        let orders = report.validated_orders().expect("both objects valid");
+        assert_eq!(orders.len(), 2);
+        let total: usize = orders.iter().map(|(_, o)| o.len()).sum();
+        assert_eq!(total, 14, "every request queued in exactly one order");
     }
 
     #[test]

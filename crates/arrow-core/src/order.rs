@@ -174,6 +174,26 @@ impl QueuingOrder {
     }
 }
 
+/// Assemble and validate the queuing order of every object touched by `schedule`,
+/// each against its own sub-schedule ([`RequestSchedule::for_object`]) — the one
+/// per-object validation contract shared by the simulator harness
+/// ([`crate::run::outcome_from_records`]), the thread runtime's `LiveReport` and
+/// the socket runtime's `NetReport`, so the tiers cannot drift on what "a valid
+/// run" means. Errors carry the offending object alongside the [`OrderError`].
+pub fn per_object_orders(
+    records: &[OrderRecord],
+    schedule: &RequestSchedule,
+) -> Result<Vec<(ObjectId, QueuingOrder)>, (ObjectId, OrderError)> {
+    let mut orders = Vec::new();
+    for obj in schedule.objects() {
+        let sub = schedule.for_object(obj);
+        let recs: Vec<OrderRecord> = records.iter().filter(|r| r.obj == obj).copied().collect();
+        let order = QueuingOrder::from_records(&recs, &sub).map_err(|e| (obj, e))?;
+        orders.push((obj, order));
+    }
+    Ok(orders)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -263,6 +263,64 @@ impl QueuingOutcome {
     }
 }
 
+/// A typed failure of a protocol run.
+///
+/// The historical entry points ([`run`], [`run_schedule`]) abort the process on a
+/// protocol bug, which is the right behaviour for experiments — a corrupted order
+/// must not silently feed a figure. The conformance harness, however, needs failures
+/// *as data*: a differential sweep records the failing case, shrinks it and moves on.
+/// The `*_checked` entry points ([`run_checked`], [`run_schedule_checked`]) return
+/// this error instead of panicking; the panicking wrappers delegate to them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunError {
+    /// The protocol produced an invalid queuing order for one object (see
+    /// [`crate::order::OrderError`] for what can go wrong with a record set).
+    InvalidOrder {
+        /// The object whose order failed validation.
+        obj: ObjectId,
+        /// Why the records do not assemble into a valid total order.
+        error: crate::order::OrderError,
+    },
+    /// A node observed a message that violates the protocol (e.g. an arrow node
+    /// receiving a centralized-protocol message). The offending message is dropped
+    /// and recorded rather than aborting the simulation.
+    ProtocolViolation {
+        /// The node that observed the violation.
+        node: NodeId,
+        /// Human-readable description of the violating input.
+        description: String,
+    },
+    /// A transport-level failure made the run unable to complete (used by the
+    /// live-tier drivers, e.g. a socket peer that stayed unreachable).
+    Transport {
+        /// The node that observed the failure.
+        node: NodeId,
+        /// Human-readable description of the failure.
+        description: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::InvalidOrder { obj, error } => {
+                write!(
+                    f,
+                    "protocol produced an invalid queuing order for {obj}: {error:?}"
+                )
+            }
+            RunError::ProtocolViolation { node, description } => {
+                write!(f, "protocol violation at node {node}: {description}")
+            }
+            RunError::Transport { node, description } => {
+                write!(f, "transport failure at node {node}: {description}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 fn sim_config(config: &RunConfig) -> SimConfig {
     let (latency, local_order) = match config.sync {
         SyncMode::Synchronous => (LatencyModel::EdgeWeight, LocalOrder::Fifo),
@@ -286,26 +344,65 @@ fn sim_config(config: &RunConfig) -> SimConfig {
 /// Run a queuing protocol on an instance with the given workload and configuration.
 ///
 /// # Panics
-/// If the protocol produces an invalid queuing order (which would be a protocol bug)
-/// or the workload/configuration combination is inconsistent (closed-loop without
-/// acknowledgements).
+/// If the protocol produces an invalid queuing order or violates the message
+/// contract (which would be a protocol bug — see [`run_checked`] for the
+/// non-aborting variant), or the workload/configuration combination is
+/// inconsistent (closed-loop without acknowledgements).
 pub fn run(instance: &Instance, workload: &Workload, config: &RunConfig) -> QueuingOutcome {
+    run_checked(instance, workload, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`run`], but protocol failures come back as a typed [`RunError`] instead of
+/// aborting the process — the form the conformance harness needs (failures as data).
+pub fn run_checked(
+    instance: &Instance,
+    workload: &Workload,
+    config: &RunConfig,
+) -> Result<QueuingOutcome, RunError> {
     let workload = match workload {
         Workload::OpenLoop(schedule) => WorkloadRef::Open(schedule),
         Workload::ClosedLoop(spec) => WorkloadRef::Closed(spec),
     };
-    run_ref(instance, workload, config)
+    run_ref(instance, workload, config).map(|(outcome, _)| outcome)
 }
 
 /// Run a queuing protocol on an open-loop schedule without wrapping it in a
 /// [`Workload`] (and therefore without cloning it — schedules can hold millions of
 /// requests, and sweeps call this in a tight loop).
+///
+/// # Panics
+/// On protocol bugs, like [`run`]; use [`run_schedule_checked`] to get a typed
+/// error instead.
 pub fn run_schedule(
     instance: &Instance,
     schedule: &RequestSchedule,
     config: &RunConfig,
 ) -> QueuingOutcome {
-    run_ref(instance, WorkloadRef::Open(schedule), config)
+    run_schedule_checked(instance, schedule, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`run_schedule`], but returns protocol failures as a typed [`RunError`]
+/// (invalid queuing order, dropped protocol-violating message) instead of panicking.
+pub fn run_schedule_checked(
+    instance: &Instance,
+    schedule: &RequestSchedule,
+    config: &RunConfig,
+) -> Result<QueuingOutcome, RunError> {
+    run_ref(instance, WorkloadRef::Open(schedule), config).map(|(outcome, _)| outcome)
+}
+
+/// Like [`run_schedule_checked`], but forces tracing on and returns the full
+/// message [`desim::Trace`] alongside the outcome — the conformance harness uses
+/// it to check transport-level invariants (e.g. per-link FIFO delivery) that the
+/// assembled [`QueuingOutcome`] cannot express.
+pub fn run_schedule_traced(
+    instance: &Instance,
+    schedule: &RequestSchedule,
+    config: &RunConfig,
+) -> Result<(QueuingOutcome, desim::Trace), RunError> {
+    let mut config = config.clone();
+    config.trace = true;
+    run_ref(instance, WorkloadRef::Open(schedule), &config)
 }
 
 /// Borrowed view of a workload, so harness entry points never clone schedules.
@@ -315,7 +412,11 @@ enum WorkloadRef<'a> {
     Closed(&'a ClosedLoopSpec),
 }
 
-fn run_ref(instance: &Instance, workload: WorkloadRef<'_>, config: &RunConfig) -> QueuingOutcome {
+fn run_ref(
+    instance: &Instance,
+    workload: WorkloadRef<'_>,
+    config: &RunConfig,
+) -> Result<(QueuingOutcome, desim::Trace), RunError> {
     match config.protocol {
         ProtocolKind::Arrow => run_arrow(instance, workload, config),
         ProtocolKind::Centralized => run_centralized(instance, workload, config),
@@ -347,7 +448,11 @@ fn schedule_open_loop(
     }
 }
 
-fn run_arrow(instance: &Instance, workload: WorkloadRef<'_>, config: &RunConfig) -> QueuingOutcome {
+fn run_arrow(
+    instance: &Instance,
+    workload: WorkloadRef<'_>,
+    config: &RunConfig,
+) -> Result<(QueuingOutcome, desim::Trace), RunError> {
     let n = instance.node_count();
     let tree = &instance.tree;
     let root = tree.root();
@@ -423,6 +528,12 @@ fn run_arrow(instance: &Instance, workload: WorkloadRef<'_>, config: &RunConfig)
     let mut completion_count = 0u64;
     for v in 0..n {
         let node = sim.node(v);
+        if let Some(description) = node.protocol_violation() {
+            return Err(RunError::ProtocolViolation {
+                node: v,
+                description: description.to_string(),
+            });
+        }
         records.extend_from_slice(node.records());
         issued.extend(node.issued().iter().map(|&(id, obj, time)| Request {
             id,
@@ -440,7 +551,7 @@ fn run_arrow(instance: &Instance, workload: WorkloadRef<'_>, config: &RunConfig)
             }
         }
     }
-    finish(
+    let result = finish(
         ProtocolKind::Arrow,
         issued,
         records,
@@ -450,14 +561,15 @@ fn run_arrow(instance: &Instance, workload: WorkloadRef<'_>, config: &RunConfig)
         outcome.final_time,
         sim.stats().messages_delivered,
         outcome.events,
-    )
+    )?;
+    Ok((result, sim.trace().clone()))
 }
 
 fn run_centralized(
     instance: &Instance,
     workload: WorkloadRef<'_>,
     config: &RunConfig,
-) -> QueuingOutcome {
+) -> Result<(QueuingOutcome, desim::Trace), RunError> {
     let n = instance.node_count();
     // The central node is the tree root (the initial queue tail in both protocols).
     let central = instance.tree.root();
@@ -490,6 +602,12 @@ fn run_centralized(
     let mut completion_count = 0u64;
     for v in 0..n {
         let node = sim.node(v);
+        if let Some(description) = node.protocol_violation() {
+            return Err(RunError::ProtocolViolation {
+                node: v,
+                description: description.to_string(),
+            });
+        }
         records.extend_from_slice(node.records());
         issued.extend(node.issued().iter().map(|&(id, obj, time)| Request {
             id,
@@ -507,7 +625,7 @@ fn run_centralized(
             }
         }
     }
-    finish(
+    let result = finish(
         ProtocolKind::Centralized,
         issued,
         records,
@@ -517,6 +635,33 @@ fn run_centralized(
         outcome.final_time,
         sim.stats().messages_delivered,
         outcome.events,
+    )?;
+    Ok((result, sim.trace().clone()))
+}
+
+/// Assemble a validated [`QueuingOutcome`] from externally journaled requests and
+/// successor records — the assembly half of the harness, exposed so the live-tier
+/// drivers (thread runtime, socket runtime) can hold their journals to exactly the
+/// same per-object validation contract the simulator output goes through. Returns
+/// [`RunError::InvalidOrder`] when any object's records fail validation.
+pub fn outcome_from_records(
+    protocol: ProtocolKind,
+    issued: Vec<Request>,
+    records: Vec<OrderRecord>,
+    protocol_messages: u64,
+    total_messages: u64,
+    makespan: SimTime,
+) -> Result<QueuingOutcome, RunError> {
+    finish(
+        protocol,
+        issued,
+        records,
+        protocol_messages,
+        0.0,
+        0,
+        makespan,
+        total_messages,
+        0,
     )
 }
 
@@ -531,22 +676,20 @@ fn finish(
     final_time: SimTime,
     total_messages: u64,
     sim_events: u64,
-) -> QueuingOutcome {
+) -> Result<QueuingOutcome, RunError> {
     issued.sort_by_key(|r| (r.time, r.id));
     let schedule = RequestSchedule::from_requests(issued);
     // Each object's queue is validated independently against the object's
-    // sub-schedule: every request queued exactly once, one unbroken chain from that
-    // object's virtual root request.
-    let mut orders: Vec<(ObjectId, QueuingOrder)> = Vec::new();
+    // sub-schedule (the tier-shared contract of `order::per_object_orders`): every
+    // request queued exactly once, one unbroken chain from that object's virtual
+    // root request.
+    let orders = crate::order::per_object_orders(&records, &schedule)
+        .map_err(|(obj, error)| RunError::InvalidOrder { obj, error })?;
     let mut total_latency = 0.0;
-    for obj in schedule.objects() {
-        let sub = schedule.for_object(obj);
-        let recs: Vec<OrderRecord> = records.iter().filter(|r| r.obj == obj).copied().collect();
-        let order = QueuingOrder::from_records(&recs, &sub).unwrap_or_else(|e| {
-            panic!("protocol produced an invalid queuing order for {obj}: {e:?}")
-        });
-        total_latency += order.total_latency(&sub).as_units_f64();
-        orders.push((obj, order));
+    for (_, order) in &orders {
+        // Latency lookups are by request id, which the full schedule resolves
+        // identically to the per-object sub-schedule — no need to rebuild subs.
+        total_latency += order.total_latency(&schedule).as_units_f64();
     }
     let order = orders
         .iter()
@@ -557,7 +700,7 @@ fn finish(
                 .expect("an empty record set is a valid (empty) order")
         });
     let request_count = schedule.len().max(1);
-    QueuingOutcome {
+    Ok(QueuingOutcome {
         protocol,
         total_latency,
         makespan: final_time.as_units_f64(),
@@ -573,7 +716,7 @@ fn finish(
         schedule,
         order,
         orders,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -780,6 +923,93 @@ mod tests {
             .map(|&id| outcome.schedule.get(id).unwrap().node)
             .collect();
         assert_eq!(order_nodes, vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn checked_path_reports_invalid_orders_as_data_not_aborts() {
+        // Pre-fix, an invalid record set aborted the process from inside `finish`;
+        // the checked assembly path must hand the same failure back as a typed
+        // `RunError` the conformance harness can record and shrink.
+        let schedule = RequestSchedule::from_pairs(&[
+            (1, SimTime::ZERO),
+            (2, SimTime::ZERO),
+            (3, SimTime::ZERO),
+        ]);
+        let issued: Vec<Request> = schedule.requests().to_vec();
+        // Drop request 3's record entirely: the chain is broken.
+        let records: Vec<OrderRecord> = [(0u64, 1u64), (1, 2)]
+            .iter()
+            .map(|&(pred, succ)| OrderRecord {
+                predecessor: crate::request::RequestId(pred),
+                successor: crate::request::RequestId(succ),
+                obj: ObjectId::DEFAULT,
+                at_node: 0,
+                informed_at: SimTime::from_units(1),
+            })
+            .collect();
+        let err = outcome_from_records(
+            ProtocolKind::Arrow,
+            issued,
+            records,
+            2,
+            2,
+            SimTime::from_units(5),
+        )
+        .unwrap_err();
+        match &err {
+            RunError::InvalidOrder { obj, error } => {
+                assert_eq!(*obj, ObjectId::DEFAULT);
+                assert_eq!(
+                    *error,
+                    crate::order::OrderError::MissingRequest(crate::request::RequestId(3))
+                );
+            }
+            other => panic!("expected InvalidOrder, got {other:?}"),
+        }
+        // The panicking wrappers preserve the historical abort message.
+        assert!(err.to_string().contains("invalid queuing order"));
+    }
+
+    #[test]
+    fn checked_path_surfaces_protocol_violations_from_nodes() {
+        // Drive the harness's own simulator setup, then inject an out-of-protocol
+        // message: the run must come back as RunError::ProtocolViolation, not abort.
+        use desim::Simulator;
+        let mut sim = Simulator::new(
+            vec![
+                ArrowNode::new(0, 0, false, 0.0),
+                ArrowNode::new(1, 0, false, 0.0),
+            ],
+            SimConfig::synchronous(),
+        );
+        sim.schedule_external(
+            SimTime::ZERO,
+            1,
+            ProtoMsg::CentralEnqueue {
+                req: crate::request::RequestId(1),
+                obj: ObjectId::DEFAULT,
+                origin: 1,
+            },
+        );
+        sim.run();
+        assert!(sim.node(0).protocol_violation().is_none());
+        let violation = sim.node(1).protocol_violation().expect("recorded");
+        let err = RunError::ProtocolViolation {
+            node: 1,
+            description: violation.to_string(),
+        };
+        assert!(err.to_string().contains("protocol violation at node 1"));
+    }
+
+    #[test]
+    fn checked_and_panicking_paths_agree_on_valid_runs() {
+        let instance = Instance::complete_uniform(8, SpanningTreeKind::BalancedBinary);
+        let schedule = workload::poisson(8, 1.0, 10.0, 5);
+        let cfg = RunConfig::analysis(ProtocolKind::Arrow);
+        let checked = run_schedule_checked(&instance, &schedule, &cfg).expect("valid run");
+        let panicking = run_schedule(&instance, &schedule, &cfg);
+        assert_eq!(checked.total_latency, panicking.total_latency);
+        assert_eq!(checked.order.order(), panicking.order.order());
     }
 
     #[test]

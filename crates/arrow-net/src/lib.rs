@@ -58,5 +58,5 @@ pub mod runtime;
 pub mod wire;
 
 pub use mesh::{NetConfig, NetStats, NetStatsSnapshot};
-pub use runtime::{NetHandle, NetReport, NetRuntime};
+pub use runtime::{NetFailure, NetHandle, NetReport, NetRuntime};
 pub use wire::{Frame, WireError, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION};

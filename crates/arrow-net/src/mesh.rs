@@ -58,14 +58,24 @@ pub struct NetConfig {
     /// factor uniformly from `[lo_factor, 1.0]` with a deterministic per-link stream
     /// derived from `seed`; `None` is the synchronous model (factor exactly 1).
     pub jitter: Option<(f64, u64)>,
+    /// How many times a failed dial is retried (with linear backoff) before the
+    /// node gives up and reports the peer unreachable. A peer that stays
+    /// unreachable fails the run *cleanly*: the node marks itself failed, pending
+    /// acquires on it error out, and the failure is surfaced in the shutdown
+    /// report — it no longer panics a node thread.
+    pub dial_retries: u32,
 }
 
 impl NetConfig {
+    /// Default dial retry budget (see [`NetConfig::dial_retries`]).
+    pub const DEFAULT_DIAL_RETRIES: u32 = 3;
+
     /// No injected latency: frames hit the socket as fast as the delay queue drains.
     pub fn instant() -> Self {
         NetConfig {
             unit_latency: Duration::ZERO,
             jitter: None,
+            dial_retries: Self::DEFAULT_DIAL_RETRIES,
         }
     }
 
@@ -75,6 +85,7 @@ impl NetConfig {
         NetConfig {
             unit_latency,
             jitter: None,
+            dial_retries: Self::DEFAULT_DIAL_RETRIES,
         }
     }
 
@@ -84,7 +95,14 @@ impl NetConfig {
         NetConfig {
             unit_latency,
             jitter: Some((lo_factor, seed)),
+            dial_retries: Self::DEFAULT_DIAL_RETRIES,
         }
+    }
+
+    /// Override the dial retry budget.
+    pub fn with_dial_retries(mut self, retries: u32) -> Self {
+        self.dial_retries = retries;
+        self
     }
 
     /// Derive the socket latency model from a simulator [`RunConfig`], so socket
@@ -122,6 +140,9 @@ pub struct NetStats {
     /// Frames that arrived outside the protocol (stray handshakes, unsupported
     /// [`arrow_core::prelude::ProtoMsg`] variants); should stay zero.
     pub unexpected_frames: AtomicU64,
+    /// Dials that exhausted their retry budget ([`NetConfig::dial_retries`]) and
+    /// marked the dialing node failed; should stay zero on a healthy mesh.
+    pub dial_failures: AtomicU64,
 }
 
 /// A plain-number snapshot of [`NetStats`].
@@ -143,6 +164,8 @@ pub struct NetStatsSnapshot {
     pub acquisitions: u64,
     /// Out-of-protocol frames received.
     pub unexpected_frames: u64,
+    /// Dials that exhausted their retry budget.
+    pub dial_failures: u64,
 }
 
 impl NetStats {
@@ -157,6 +180,7 @@ impl NetStats {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             acquisitions: self.acquisitions.load(Ordering::Relaxed),
             unexpected_frames: self.unexpected_frames.load(Ordering::Relaxed),
+            dial_failures: self.dial_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -277,6 +301,30 @@ where
 
 fn wire_to_io(e: WireError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Dial a peer and run the join handshake (send `Hello{me}`, await `Welcome`),
+/// retrying transient failures up to `retries` times with linear backoff before
+/// reporting the peer unreachable. This is the budgeted dial the runtime uses
+/// ([`NetConfig::dial_retries`]); it is public so failure-injection tests can
+/// exercise the budget against a refused address directly.
+pub fn dial_with_budget(
+    addr: SocketAddr,
+    me: NodeId,
+    retries: u32,
+) -> io::Result<(TcpStream, NodeId)> {
+    let mut attempt = 0;
+    loop {
+        match dial(addr, me) {
+            Ok(pair) => return Ok(pair),
+            Err(e) if attempt < retries => {
+                attempt += 1;
+                std::thread::sleep(Duration::from_millis(5 * attempt as u64));
+                let _ = e;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Dial a peer and run the join handshake: send `Hello{me}`, await `Welcome`.

@@ -37,21 +37,45 @@ enum NetEvent {
     Frame { from: NodeId, frame: Frame },
     /// The accept loop established an inbound link to `peer`.
     LinkUp { peer: NodeId, link: LinkHandle },
-    /// Application command: acquire `obj`'s token; reply once held.
+    /// Application command: acquire `obj`'s token; reply once held (or with the
+    /// node's failure if it can no longer reach the mesh).
     Acquire {
         obj: ObjectId,
-        reply: Sender<RequestId>,
+        reply: Sender<Result<RequestId, NetFailure>>,
     },
     /// Application command: release `obj`'s token held for `req`.
     Release { obj: ObjectId, req: RequestId },
+    /// Some node in the mesh failed (dial retry budget exhausted); the run cannot
+    /// complete, so every node fails its pending acquires instead of letting an
+    /// acquirer whose grant depended on a dropped frame block forever.
+    PeerFailed { failure: NetFailure },
     /// Stop the node: send goodbyes, close links, report history.
     Shutdown,
+}
+
+/// A node-level transport failure: the node exhausted its dial retry budget
+/// ([`NetConfig::dial_retries`]) against a peer and can no longer participate.
+/// Pending and future acquires on the node fail with this instead of blocking
+/// forever, and the failure is surfaced in [`NetReport::failures`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetFailure {
+    /// The node that observed the failure.
+    pub node: NodeId,
+    /// Human-readable description (peer and I/O error).
+    pub description: String,
+}
+
+impl std::fmt::Display for NetFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node {}: {}", self.node, self.description)
+    }
 }
 
 /// What one node thread hands back when it stops.
 struct NodeJournal {
     issued: Vec<Request>,
     records: Vec<OrderRecord>,
+    failures: Vec<NetFailure>,
 }
 
 /// The state of one socket-tier node, driven by its event loop thread.
@@ -60,7 +84,10 @@ struct NetNode {
     core: ArrowCore,
     actions: Vec<CoreAction>,
     /// Outstanding local acquires: (object, request id) -> reply channel.
-    waiting: HashMap<(ObjectId, RequestId), Sender<RequestId>>,
+    waiting: HashMap<(ObjectId, RequestId), Sender<Result<RequestId, NetFailure>>>,
+    /// Set once a dial exhausted its retry budget: the node stops sending, fails
+    /// all pending and future acquires, and reports the failure at shutdown.
+    failed: Option<NetFailure>,
     /// Established send paths, one per peer.
     links: HashMap<NodeId, LinkHandle>,
     /// Redundant inbound links (simultaneous-dial races). Kept alive so the peer's
@@ -73,6 +100,11 @@ struct NetNode {
     /// Sender side of this node's own event channel, cloned into readers this node
     /// spawns when it dials out.
     events_tx: Sender<NetEvent>,
+    /// Event channels of *every* node (self included), used only to broadcast
+    /// [`NetEvent::PeerFailed`] — a control-plane side channel, like the shared
+    /// stop flag, so one node's transport failure fails the whole run cleanly
+    /// instead of leaving remote acquirers blocked on frames that were dropped.
+    peers_tx: Arc<Vec<Sender<NetEvent>>>,
     epoch: Instant,
     journal: NodeJournal,
 }
@@ -84,32 +116,22 @@ impl NetNode {
     }
 
     /// The established link to `peer`, dialing a direct channel on first use.
-    /// Transient dial failures (ephemeral-port or fd pressure) are retried; a peer
-    /// that stays unreachable is a fatal protocol failure, because dropping the
-    /// frame would leave the granted request's acquirer blocked forever.
-    fn link_to(&mut self, peer: NodeId) -> &LinkHandle {
+    /// Transient dial failures (ephemeral-port or fd pressure) are retried up to
+    /// the configured budget ([`NetConfig::dial_retries`]); a peer that stays
+    /// unreachable marks this node failed (see [`NetNode::fail`]) — the frame that
+    /// needed the link cannot be delivered, so its acquirer must error out rather
+    /// than block forever.
+    fn link_to(&mut self, peer: NodeId) -> std::io::Result<&LinkHandle> {
         if !self.links.contains_key(&peer) {
             let me = self.me;
-            let mut attempt = 0;
-            let (stream, confirmed) = loop {
-                match mesh::dial(self.addrs[peer], me) {
-                    Ok(pair) => break pair,
-                    Err(e) if attempt < 3 => {
-                        attempt += 1;
-                        std::thread::sleep(std::time::Duration::from_millis(10 * attempt));
-                        let _ = e;
-                    }
-                    Err(e) => panic!("node {me}: failed to dial peer {peer}: {e}"),
-                }
-            };
+            let (stream, confirmed) =
+                mesh::dial_with_budget(self.addrs[peer], me, self.cfg.dial_retries)?;
             debug_assert_eq!(confirmed, peer, "address table out of sync");
             self.stats
                 .connections_dialed
                 .fetch_add(1, Ordering::Relaxed);
             let weight = self.tree.distance(self.me, peer);
-            let reader_stream = stream
-                .try_clone()
-                .unwrap_or_else(|e| panic!("node {me}: failed to clone stream to {peer}: {e}"));
+            let reader_stream = stream.try_clone()?;
             let link = mesh::spawn_writer(
                 stream,
                 self.me,
@@ -124,11 +146,55 @@ impl NetNode {
             });
             self.links.insert(peer, link);
         }
-        &self.links[&peer]
+        Ok(&self.links[&peer])
+    }
+
+    /// Mark this node failed: record the failure, stop accepting work, fail every
+    /// pending local acquire, and broadcast the failure to every other node — an
+    /// acquirer elsewhere may be waiting on a token grant whose frame this node
+    /// just dropped, and it must error out rather than block forever.
+    fn fail(&mut self, peer: NodeId, error: &std::io::Error) {
+        if self.failed.is_some() {
+            return;
+        }
+        let failure = NetFailure {
+            node: self.me,
+            description: format!("failed to dial peer {peer}: {error}"),
+        };
+        self.stats.dial_failures.fetch_add(1, Ordering::Relaxed);
+        self.journal.failures.push(failure.clone());
+        self.enter_failed_state(failure.clone());
+        for (v, tx) in self.peers_tx.iter().enumerate() {
+            if v != self.me {
+                let _ = tx.send(NetEvent::PeerFailed {
+                    failure: failure.clone(),
+                });
+            }
+        }
+    }
+
+    /// Fail all pending waiters and refuse future acquires (does not journal —
+    /// only the node that observed the dial failure reports it).
+    fn enter_failed_state(&mut self, failure: NetFailure) {
+        for (_, reply) in self.waiting.drain() {
+            let _ = reply.send(Err(failure.clone()));
+        }
+        self.failed = Some(failure);
     }
 
     fn send_frame(&mut self, to: NodeId, frame: Frame) {
-        self.link_to(to).send(frame);
+        // A failed node drops frames immediately: re-running the dial retry
+        // budget (with its backoff sleeps) for every frame would stall the event
+        // loop and record the same root cause over and over.
+        if self.failed.is_some() {
+            return;
+        }
+        match self.link_to(to) {
+            Ok(link) => {
+                link.send(frame);
+            }
+            Err(e) => self.fail(to, &e),
+        }
     }
 
     /// Translate the core's pending actions into wire frames and wakeups.
@@ -152,7 +218,7 @@ impl NetNode {
                 CoreAction::Granted { obj, req } => {
                     self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
                     if let Some(reply) = self.waiting.remove(&(obj, req)) {
-                        let _ = reply.send(req);
+                        let _ = reply.send(Ok(req));
                     }
                 }
                 CoreAction::Queued {
@@ -206,6 +272,12 @@ impl NetNode {
                 }
             }
             NetEvent::Acquire { obj, reply } => {
+                // A failed node cannot reach the mesh: error out immediately
+                // instead of issuing a request whose token can never arrive.
+                if let Some(failure) = &self.failed {
+                    let _ = reply.send(Err(failure.clone()));
+                    return;
+                }
                 let time = self.now();
                 let req = self.core.acquire(obj, &mut self.actions);
                 // Register the waiter before applying actions: the grant may already
@@ -219,6 +291,11 @@ impl NetNode {
                 });
             }
             NetEvent::Release { obj, req } => self.core.on_release(obj, req, &mut self.actions),
+            NetEvent::PeerFailed { failure } => {
+                if self.failed.is_none() {
+                    self.enter_failed_state(failure);
+                }
+            }
             NetEvent::Shutdown => unreachable!("handled by the event loop"),
         }
         self.apply_actions();
@@ -247,7 +324,9 @@ pub struct NetRuntime {
     events_txs: Vec<Sender<NetEvent>>,
     node_threads: Vec<JoinHandle<NodeJournal>>,
     accept_threads: Vec<JoinHandle<()>>,
-    addrs: Arc<Vec<SocketAddr>>,
+    /// The *real* listener addresses (shutdown wakes every accept loop through
+    /// them, even when the dial table advertises overridden addresses).
+    listen_addrs: Vec<SocketAddr>,
     stop: Arc<AtomicBool>,
     stats: Arc<NetStats>,
     n: usize,
@@ -272,6 +351,27 @@ impl NetRuntime {
     /// # Panics
     /// If `objects` is zero, or a loopback socket cannot be bound.
     pub fn spawn_multi(tree: &RootedTree, objects: usize, cfg: NetConfig) -> Self {
+        NetRuntime::spawn_multi_with_addr_overrides(tree, objects, cfg, &[])
+    }
+
+    /// Fault-injection variant of [`NetRuntime::spawn_multi`]: every entry of
+    /// `addr_overrides` replaces the advertised address of one node in the shared
+    /// address table, so every dial *towards* that node goes to the given address
+    /// instead of its real listener. Overriding with the address of a dropped
+    /// listener (connection refused) exercises the dial retry budget and the clean
+    /// failure path: the dialing node marks itself failed, its pending acquires
+    /// error out, and [`NetRuntime::shutdown`] still completes, reporting the
+    /// failure in [`NetReport::failures`].
+    ///
+    /// # Panics
+    /// If `objects` is zero, a loopback socket cannot be bound, or an override
+    /// names a node outside the tree.
+    pub fn spawn_multi_with_addr_overrides(
+        tree: &RootedTree,
+        objects: usize,
+        cfg: NetConfig,
+        addr_overrides: &[(NodeId, SocketAddr)],
+    ) -> Self {
         assert!(objects > 0, "a directory serves at least one object");
         let n = tree.node_count();
         let tree = Arc::new(tree.clone());
@@ -285,6 +385,11 @@ impl NetRuntime {
             let listener = TcpListener::bind("127.0.0.1:0").expect("failed to bind loopback");
             addrs.push(listener.local_addr().expect("listener has an address"));
             listeners.push(listener);
+        }
+        let listen_addrs = addrs.clone();
+        for &(node, addr) in addr_overrides {
+            assert!(node < n, "override names node {node} outside the tree");
+            addrs[node] = addr;
         }
         let addrs = Arc::new(addrs);
 
@@ -355,6 +460,7 @@ impl NetRuntime {
         }
 
         // Node event loops; each non-root node dials its parent during startup.
+        let peers_tx = Arc::new(events_txs.clone());
         let mut node_threads = Vec::with_capacity(n);
         for (me, rx) in events_rxs.into_iter().enumerate() {
             let mut node = NetNode {
@@ -362,6 +468,7 @@ impl NetRuntime {
                 core: ArrowCore::for_tree(me, &tree, objects),
                 actions: Vec::new(),
                 waiting: HashMap::new(),
+                failed: None,
                 links: HashMap::new(),
                 spare_links: Vec::new(),
                 addrs: Arc::clone(&addrs),
@@ -369,10 +476,12 @@ impl NetRuntime {
                 cfg,
                 stats: Arc::clone(&stats),
                 events_tx: events_txs[me].clone(),
+                peers_tx: Arc::clone(&peers_tx),
                 epoch,
                 journal: NodeJournal {
                     issued: Vec::new(),
                     records: Vec::new(),
+                    failures: Vec::new(),
                 },
             };
             let parent = tree.parent(me);
@@ -380,8 +489,13 @@ impl NetRuntime {
                 .name(format!("arrow-net-node-{me}"))
                 .spawn(move || {
                     if let Some(p) = parent {
-                        // Materialize the tree edge to the parent eagerly.
-                        let _ = node.link_to(p);
+                        // Materialize the tree edge to the parent eagerly. An
+                        // unreachable parent marks the node failed instead of
+                        // panicking the thread: the event loop still runs, so
+                        // acquires error out and shutdown joins stay clean.
+                        if let Err(e) = node.link_to(p) {
+                            node.fail(p, &e);
+                        }
                     }
                     while let Ok(event) = rx.recv() {
                         if let NetEvent::Shutdown = event {
@@ -400,7 +514,7 @@ impl NetRuntime {
             events_txs,
             node_threads,
             accept_threads,
-            addrs,
+            listen_addrs,
             stop,
             stats,
             n,
@@ -443,15 +557,19 @@ impl NetRuntime {
         }
         let mut issued = Vec::new();
         let mut records = Vec::new();
+        let mut failures = Vec::new();
         for t in self.node_threads.drain(..) {
             if let Ok(journal) = t.join() {
                 issued.extend(journal.issued);
                 records.extend(journal.records);
+                failures.extend(journal.failures);
             }
         }
         // Wake the accept loops: a bare connection that never handshakes makes
-        // accept() return, after which the loop observes the stop flag.
-        for addr in self.addrs.iter() {
+        // accept() return, after which the loop observes the stop flag. Use the
+        // real listener addresses — the dial table may carry fault-injection
+        // overrides that would miss the listeners.
+        for addr in &self.listen_addrs {
             let _ = TcpStream::connect(addr);
         }
         for t in self.accept_threads.drain(..) {
@@ -461,6 +579,7 @@ impl NetRuntime {
         NetReport {
             schedule: RequestSchedule::from_requests(issued),
             records,
+            failures,
             stats: self.stats.snapshot(),
         }
     }
@@ -492,8 +611,29 @@ impl NetHandle {
     /// object's token. Returns the id of the granted request, which must be passed
     /// to [`release_object`] with the same object.
     ///
+    /// # Panics
+    /// If the node failed to reach the mesh (see [`try_acquire_object`] for the
+    /// non-panicking variant) or the runtime has shut down.
+    ///
     /// [`release_object`]: NetHandle::release_object
+    /// [`try_acquire_object`]: NetHandle::try_acquire_object
     pub fn acquire_object(&self, obj: ObjectId) -> RequestId {
+        self.try_acquire_object(obj)
+            .unwrap_or_else(|failure| panic!("acquire failed: {failure}"))
+    }
+
+    /// Issue a queuing request for the default object; a node-level transport
+    /// failure comes back as [`NetFailure`] instead of blocking forever.
+    pub fn try_acquire(&self) -> Result<RequestId, NetFailure> {
+        self.try_acquire_object(ObjectId::DEFAULT)
+    }
+
+    /// Like [`acquire_object`], but a node that cannot reach the mesh (dial retry
+    /// budget exhausted) fails the acquire with a [`NetFailure`] instead of
+    /// panicking or blocking forever.
+    ///
+    /// [`acquire_object`]: NetHandle::acquire_object
+    pub fn try_acquire_object(&self, obj: ObjectId) -> Result<RequestId, NetFailure> {
         assert!(
             (obj.0 as usize) < self.objects,
             "object {obj} out of range (runtime serves {} objects)",
@@ -507,6 +647,41 @@ impl NetHandle {
             })
             .expect("runtime has shut down");
         reply_rx.recv().expect("runtime has shut down")
+    }
+
+    /// Like [`try_acquire_object`], but give up after `timeout` with a synthetic
+    /// [`NetFailure`] — a grant that never arrives (absent an application that
+    /// holds tokens that long) indicates a lost token, i.e. a protocol bug. The
+    /// conformance drivers use this so a grant-chain deadlock becomes a recorded
+    /// failure instead of a hung sweep.
+    ///
+    /// [`try_acquire_object`]: NetHandle::try_acquire_object
+    pub fn try_acquire_object_timeout(
+        &self,
+        obj: ObjectId,
+        timeout: std::time::Duration,
+    ) -> Result<RequestId, NetFailure> {
+        assert!(
+            (obj.0 as usize) < self.objects,
+            "object {obj} out of range (runtime serves {} objects)",
+            self.objects
+        );
+        let (reply_tx, reply_rx) = channel();
+        self.sender
+            .send(NetEvent::Acquire {
+                obj,
+                reply: reply_tx,
+            })
+            .expect("runtime has shut down");
+        match reply_rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(_) => Err(NetFailure {
+                node: self.node,
+                description: format!(
+                    "acquire of {obj} not granted within {timeout:?} — possible lost token"
+                ),
+            }),
+        }
     }
 
     /// Release the default object's token held for `req`.
@@ -529,6 +704,7 @@ impl NetHandle {
 pub struct NetReport {
     schedule: RequestSchedule,
     records: Vec<OrderRecord>,
+    failures: Vec<NetFailure>,
     stats: NetStatsSnapshot,
 }
 
@@ -544,6 +720,12 @@ impl NetReport {
         &self.records
     }
 
+    /// Transport failures observed during the run (empty on a healthy mesh): one
+    /// entry per node that exhausted its dial retry budget.
+    pub fn failures(&self) -> &[NetFailure] {
+        &self.failures
+    }
+
     /// Runtime statistics at shutdown.
     pub fn stats(&self) -> NetStatsSnapshot {
         self.stats
@@ -554,18 +736,7 @@ impl NetReport {
     /// enforces: every request queued exactly once, one unbroken successor chain
     /// from the object's virtual root request.
     pub fn validated_orders(&self) -> Result<Vec<(ObjectId, QueuingOrder)>, OrderError> {
-        let mut orders = Vec::new();
-        for obj in self.schedule.objects() {
-            let sub = self.schedule.for_object(obj);
-            let recs: Vec<OrderRecord> = self
-                .records
-                .iter()
-                .filter(|r| r.obj == obj)
-                .copied()
-                .collect();
-            orders.push((obj, QueuingOrder::from_records(&recs, &sub)?));
-        }
-        Ok(orders)
+        arrow_core::order::per_object_orders(&self.records, &self.schedule).map_err(|(_, e)| e)
     }
 }
 
@@ -658,5 +829,76 @@ mod tests {
         let rt = NetRuntime::spawn_multi(&tree(3), 2, NetConfig::instant());
         let h = rt.handle(0);
         let _ = h.acquire_object(ObjectId(2));
+    }
+
+    /// A loopback address with nothing listening on it (bind, read the address,
+    /// drop the listener — connections to it are refused from then on).
+    fn refused_addr() -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    }
+
+    #[test]
+    fn refused_parent_address_fails_the_run_cleanly() {
+        // Regression: a failed dial after the retry budget used to panic inside
+        // the node thread, leaving acquirers blocked and shutdown joins hanging.
+        // Now the child marks itself failed, the acquire errors out, and shutdown
+        // completes with the failure reported.
+        let cfg = NetConfig::instant().with_dial_retries(1);
+        let rt =
+            NetRuntime::spawn_multi_with_addr_overrides(&tree(2), 1, cfg, &[(0, refused_addr())]);
+        // Node 1 dialed its (unreachable) parent at bootstrap: the acquire must
+        // fail with a typed NetFailure, not block or panic.
+        let failure = rt.handle(1).try_acquire().unwrap_err();
+        assert_eq!(failure.node, 1);
+        assert!(failure.description.contains("failed to dial peer 0"));
+        // Further acquires on the failed node keep failing fast.
+        assert!(rt.handle(1).try_acquire_object(ObjectId(0)).is_err());
+        let report = rt.shutdown();
+        assert_eq!(report.failures().len(), 1, "one node reported the failure");
+        assert_eq!(report.stats().dial_failures, 1);
+        assert_eq!(report.stats().acquisitions, 0);
+        assert!(report.validated_orders().unwrap().is_empty());
+    }
+
+    #[test]
+    fn remote_acquirer_fails_cleanly_when_its_token_grant_cannot_be_delivered() {
+        // Leaf 3 of a 7-node balanced binary tree acquires; the queue() walks
+        // 3 -> 1 -> 0 over eagerly-established tree links, then the root must
+        // lazily dial node 3 to deliver the token — but node 3's advertised
+        // address is refused. Pre-fix, only the *root* failed its own (empty)
+        // waiter map and node 3's acquirer blocked forever; the PeerFailed
+        // broadcast must now fail node 3's acquire with a typed error.
+        let cfg = NetConfig::instant().with_dial_retries(1);
+        let rt =
+            NetRuntime::spawn_multi_with_addr_overrides(&tree(7), 1, cfg, &[(3, refused_addr())]);
+        let failure = rt.handle(3).try_acquire().unwrap_err();
+        assert_eq!(failure.node, 0, "the root observed the dial failure");
+        assert!(failure.description.contains("failed to dial peer 3"));
+        let report = rt.shutdown();
+        // Exactly one journaled failure (the root's), not one per affected node.
+        assert_eq!(report.failures().len(), 1);
+        assert_eq!(report.stats().dial_failures, 1);
+    }
+
+    #[test]
+    fn dial_budget_is_respected_against_a_refused_address() {
+        let addr = refused_addr();
+        let start = std::time::Instant::now();
+        let err = mesh::dial_with_budget(addr, 3, 2).unwrap_err();
+        // 2 retries × 5ms-linear backoff stays well under a second.
+        assert!(start.elapsed() < std::time::Duration::from_secs(2));
+        let _ = err;
+    }
+
+    #[test]
+    fn healthy_mesh_reports_no_failures() {
+        let rt = NetRuntime::spawn(&tree(5), NetConfig::instant());
+        let h = rt.handle(4);
+        let req = h.try_acquire().expect("healthy mesh grants");
+        h.release(req);
+        let report = rt.shutdown();
+        assert!(report.failures().is_empty());
+        assert_eq!(report.stats().dial_failures, 0);
     }
 }

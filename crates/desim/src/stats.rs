@@ -23,6 +23,13 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// Maximum number of regular buckets. Samples past the last regular bucket land
+    /// in a single shared *overflow* bucket, so one huge outlier (or a `NaN`-free
+    /// but absurd latency) can never make `record` allocate an unbounded counts
+    /// vector. Exact `min`/`max`/`sum` are tracked separately and are unaffected;
+    /// only the bucket resolution of percentiles saturates.
+    pub const MAX_BUCKETS: usize = 4096;
+
     /// Create a histogram with the given bucket width (must be positive).
     pub fn new(bucket_width: f64) -> Self {
         assert!(bucket_width > 0.0, "bucket width must be positive");
@@ -36,10 +43,11 @@ impl Histogram {
         }
     }
 
-    /// Record one sample (negative samples are clamped to zero).
+    /// Record one sample (negative samples are clamped to zero; samples beyond
+    /// [`Histogram::MAX_BUCKETS`] bucket widths share one overflow bucket).
     pub fn record(&mut self, sample: f64) {
         let s = sample.max(0.0);
-        let bucket = (s / self.bucket_width) as usize;
+        let bucket = ((s / self.bucket_width) as usize).min(Self::MAX_BUCKETS - 1);
         if bucket >= self.counts.len() {
             self.counts.resize(bucket + 1, 0);
         }
@@ -104,8 +112,11 @@ impl Histogram {
     }
 
     /// Approximate p-th percentile (`p` in `[0,100]`), computed from bucket
-    /// boundaries. Returns `0.0` on an empty histogram (see [`Histogram::is_empty`]
-    /// for the empty-histogram contract); `p` is clamped into `[0, 100]`.
+    /// boundaries and clamped into `[min, max]` — so `percentile(100.0)` never
+    /// exceeds [`Histogram::max`] and small percentiles never undercut
+    /// [`Histogram::min`], even though bucket *upper* edges are the raw estimate.
+    /// Returns `0.0` on an empty histogram (see [`Histogram::is_empty`] for the
+    /// empty-histogram contract); `p` is clamped into `[0, 100]`.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
@@ -115,7 +126,13 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target.max(1) {
-                return (i as f64 + 1.0) * self.bucket_width;
+                if i == Self::MAX_BUCKETS - 1 {
+                    // The overflow bucket has no meaningful upper edge; the exact
+                    // maximum is the tightest honest answer.
+                    return self.max;
+                }
+                let upper_edge = (i as f64 + 1.0) * self.bucket_width;
+                return upper_edge.clamp(self.min, self.max);
             }
         }
         self.max
@@ -270,6 +287,46 @@ mod tests {
         // Out-of-range percentiles clamp rather than panic or extrapolate.
         assert_eq!(h.percentile(-10.0), h.percentile(0.0));
         assert_eq!(h.percentile(1000.0), h.percentile(100.0));
+    }
+
+    #[test]
+    fn percentiles_stay_within_min_and_max() {
+        // Regression: the bucket *upper* edge used to leak out directly, so
+        // percentile(100) exceeded max() and percentile(epsilon) exceeded min().
+        let mut h = Histogram::new(1.0);
+        h.record(0.2);
+        h.record(0.3);
+        assert_eq!(h.percentile(100.0), h.max());
+        assert!(h.percentile(100.0) <= h.max());
+        assert!(h.percentile(0.001) >= h.min());
+        for p in [0.0, 0.001, 25.0, 50.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!(
+                (h.min()..=h.max()).contains(&v),
+                "percentile({p}) = {v} outside [{}, {}]",
+                h.min(),
+                h.max()
+            );
+        }
+    }
+
+    #[test]
+    fn huge_outlier_lands_in_the_overflow_bucket_without_huge_allocation() {
+        // Regression: a single absurd sample used to allocate sample/width buckets.
+        let mut h = Histogram::new(0.05);
+        h.record(1e12);
+        assert!(h.counts.len() <= Histogram::MAX_BUCKETS);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 1e12);
+        // Percentiles saturate to the exact max, not the overflow bucket edge.
+        assert_eq!(h.percentile(50.0), 1e12);
+        // Mixing in normal samples keeps ordinary percentiles sane.
+        for _ in 0..99 {
+            h.record(1.0);
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.percentile(50.0) <= 1.05 + 1e-9);
+        assert_eq!(h.percentile(100.0), 1e12);
     }
 
     #[test]

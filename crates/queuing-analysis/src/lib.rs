@@ -54,6 +54,6 @@ pub use compress::{compress_schedule, is_compressed};
 pub use cost::{CostKind, RequestSet};
 pub use lower_bound::{theorem_4_1_instance, theorem_4_2_instance};
 pub use nn_tsp::{check_nearest_neighbor, nearest_neighbor_path};
-pub use optimal::{best_lower_bound, OptBound, OptBoundKind};
-pub use ratio::{measure_ratio, RatioReport};
+pub use optimal::{best_lower_bound, OptBound, OptBoundKind, EXACT_CUTOFF};
+pub use ratio::{measure_ratio, measure_ratio_with_cost, RatioReport};
 pub use tsp_bounds::{held_karp_path, mst_weight};

@@ -10,7 +10,9 @@
 //!
 //! Estimators, from tight-and-expensive to loose-and-cheap:
 //!
-//! 1. [`exact_optimal_cost`] — Held–Karp over `c_Opt` (exact `min_π`, ≤ ~18 requests);
+//! 1. [`exact_optimal_cost`] — Held–Karp over `c_Opt` (exact `min_π`, affordable up
+//!    to [`EXACT_CUTOFF`] points including the virtual root, i.e. 15 real requests;
+//!    [`best_lower_bound`] switches estimator there);
 //! 2. [`manhattan_mst_bound`] — `MST_{c_M} / 12`, via Lemma 3.17 (`C_M ≤ 12 C_O`) and
 //!    the fact that any path costs at least the MST weight;
 //! 3. [`distance_only_bound`] — `MST_{d_G} `, ignoring time altogether (every request
@@ -79,25 +81,37 @@ impl RequestSet {
     }
 }
 
-/// The best (largest) applicable lower bound for a request set: exact when the set is
-/// small enough, otherwise the max of the MST-based bounds.
+/// Largest request-set size — in [`RequestSet::len`] terms, i.e. *including* the
+/// virtual root request at index 0 — for which [`best_lower_bound`] runs the exact
+/// Held–Karp estimator: up to 15 real requests. Held–Karp is `O(2^k · k²)`; this
+/// keeps a single evaluation in the low milliseconds, and past it only the
+/// MST-based bounds are used.
+pub const EXACT_CUTOFF: usize = 16;
+
+/// The best (largest) applicable lower bound for a request set: the max over every
+/// estimator that applies — the exact Held–Karp value (for sets of at most
+/// [`EXACT_CUTOFF`] requests) and both MST-based bounds.
+///
+/// Taking the max matters even when the exact bound is available: a degenerate
+/// instance (e.g. every request at the root at time 0) has exact optimum 0, and the
+/// MST bounds are 0 too — the caller must treat a zero bound as *degenerate* (no
+/// ratio can be certified against it) rather than clamp it; see
+/// [`crate::ratio::RatioReport::opt_bound_degenerate`].
 pub fn best_lower_bound(rs: &RequestSet) -> OptBound {
-    if rs.len() <= 15 {
+    let mut best = manhattan_mst_bound(rs);
+    let spatial = distance_only_bound(rs);
+    if spatial.value > best.value {
+        best = spatial;
+    }
+    if rs.len() <= EXACT_CUTOFF {
         let exact = exact_optimal_cost(rs);
-        // The exact bound dominates by definition, but guard against degenerate zero
-        // values (e.g. all requests at the root at time 0) to avoid division by zero
-        // downstream.
-        if exact.value > 0.0 {
-            return exact;
+        // ≥, not >: the exact value dominates the MST bounds by construction, so
+        // prefer reporting `Exact` on ties (including the all-zero degenerate case).
+        if exact.value >= best.value {
+            best = exact;
         }
     }
-    let a = manhattan_mst_bound(rs);
-    let b = distance_only_bound(rs);
-    if a.value >= b.value {
-        a
-    } else {
-        b
-    }
+    best
 }
 
 #[cfg(test)]
@@ -174,6 +188,43 @@ mod tests {
         let rs = set_on_path(&[(2, 0), (6, 0)], 8);
         let b = best_lower_bound(&rs);
         assert_eq!(b.kind, OptBoundKind::Exact);
+    }
+
+    #[test]
+    fn best_lower_bound_is_the_max_over_all_estimators() {
+        // Regression: best_lower_bound used to early-return the exact value for
+        // small sets; it must now report the max over every applicable estimator
+        // (the exact value dominates mathematically, so the max never loses to it).
+        for seed in 0..5u64 {
+            let positions: Vec<(usize, u64)> = (0..8)
+                .map(|i| ((1 + (i * 5 + seed as usize) % 11), (i as u64 + seed) % 6))
+                .collect();
+            let rs = set_on_path(&positions, 13);
+            let best = best_lower_bound(&rs);
+            let exact = exact_optimal_cost(&rs);
+            let manhattan = manhattan_mst_bound(&rs);
+            let spatial = distance_only_bound(&rs);
+            let expected = exact.value.max(manhattan.value).max(spatial.value);
+            assert_eq!(best.value, expected, "seed {seed}");
+            assert_eq!(best.kind, OptBoundKind::Exact, "exact dominates on ties");
+        }
+    }
+
+    #[test]
+    fn exact_cutoff_matches_the_documented_threshold() {
+        // A set one past the cutoff must use an MST bound; at the cutoff, exact.
+        // EXACT_CUTOFF counts RequestSet::len points, which include the virtual
+        // root request — so "at the cutoff" means EXACT_CUTOFF - 1 real requests.
+        let at: Vec<(usize, u64)> = (0..EXACT_CUTOFF - 1).map(|i| (1 + i % 9, 0)).collect();
+        let past: Vec<(usize, u64)> = (0..EXACT_CUTOFF).map(|i| (1 + i % 9, 0)).collect();
+        assert_eq!(
+            best_lower_bound(&set_on_path(&at, 11)).kind,
+            OptBoundKind::Exact
+        );
+        assert!(matches!(
+            best_lower_bound(&set_on_path(&past, 11)).kind,
+            OptBoundKind::ManhattanMst | OptBoundKind::DistanceMst
+        ));
     }
 
     #[test]

@@ -40,7 +40,7 @@ fn figure_9_small_instances_work() {
 fn ratio_sweep_and_async_comparison_run() {
     let rows = ratio_sweep(9, 12, 7);
     assert!(!rows.is_empty());
-    assert!(rows.iter().all(|r| r.report.within_bound()));
+    assert!(rows.iter().all(|r| r.report.certifies_bound()));
 
     let sync_async = async_vs_sync(6, 10, &[3]);
     assert_eq!(sync_async.len(), 1);
