@@ -1,63 +1,149 @@
 //! Regenerate the committed socket-tier throughput baseline.
 //!
 //! ```text
-//! cargo run --release -p arrow-bench --bin bench_net -- [out_path]
+//! cargo run --release -p arrow-bench --bin bench_net -- [--smoke] [out_path]
 //! ```
 //!
-//! Runs the arrow-net closed-loop kernel — 64 socket peers on a balanced binary
-//! spanning tree, no injected latency — for K = 1, 4, 8 and 16 objects. Every
-//! `queue()` and token frame crosses a real loopback TCP connection; every
+//! Default (baseline) profile:
+//!
+//! * **closed loop** — 64 socket peers on a balanced binary spanning tree, K = 1,
+//!   4, 8 and 16 objects, 4 worker threads per object × 50 acquires, pipeline
+//!   window 16 (each worker keeps 16 acquires in flight and reaps grants FIFO);
+//!   best of 5 runs per row, since wall-clock socket timings on small machines
+//!   are scheduling-noisy;
+//! * **large scale** — 256 peers × K = 64 objects, closed loop (2 workers/object
+//!   × 50 acquires) *and* an open-loop burst of 3,200 Zipf-distributed requests
+//!   (s = 1.1, object 0 hottest) issued without waiting for completions. The
+//!   burst size keeps the worst-case lazily-dialed token-channel count (two file
+//!   descriptors per connection, since every peer lives in this one process)
+//!   inside common `ulimit -n` budgets.
+//!
+//! Every `queue()` and token frame crosses a real loopback TCP connection; every
 //! per-object queuing order is validated at shutdown (the measurement panics
-//! otherwise). Writes `BENCH_net_throughput.json` (default: the current directory —
-//! run from the repository root to refresh the committed file).
+//! otherwise). Writes `BENCH_net_throughput.json` (default: the current directory
+//! — run from the repository root to refresh the committed file).
+//!
+//! `--smoke` runs a reduced-scale profile (16 nodes, K = 2, plus a tiny open-loop
+//! burst) and writes no file — CI uses it to catch socket-tier regressions that
+//! compile but would tank the batched hot path.
 
-use arrow_bench::net_throughput::{net_sweep, NetReportJson};
+use arrow_bench::net_throughput::{measure_net_open_loop, net_sweep, NetReportJson, NetRow};
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_net_throughput.json".to_string());
-
-    let nodes = 64;
-    let workers_per_object = 4;
-    let acquires_per_worker = 50;
-    let seed = 1;
-    let objects_list = [1usize, 4, 8, 16];
-
-    // Warm-up pass (binds ports, spins the thread pools once), then the measurement.
-    let _ = net_sweep(nodes, &[1], workers_per_object, 10, seed);
-    let rows = net_sweep(
-        nodes,
-        &objects_list,
-        workers_per_object,
-        acquires_per_worker,
-        seed,
-    );
-
-    println!(
-        "socket-tier throughput ({nodes} loopback TCP peers, {workers_per_object} workers/object \
-         x {acquires_per_worker} acquires):"
-    );
-    for r in &rows {
+fn print_rows(rows: &[NetRow]) {
+    for r in rows {
         println!(
-            "  K = {:>3} objects: {:>6} acquisitions, {:.3}s, {:>8.0} acq/sec, \
-             p50 {:.2} ms, p99 {:.2} ms, {} conns, {} KiB on the wire, {} valid orders",
+            "  {:>14} n={:>3} K={:>3}: {:>6} acquisitions, {:.3}s, {:>8.0} acq/sec, \
+             p50 {:.2} ms, p99 {:.2} ms, {:.1} frames/write, {} conns, {} KiB out / {} KiB in, \
+             {} valid orders",
+            r.workload,
+            r.nodes,
             r.objects,
             r.acquisitions,
             r.wall_seconds,
             r.acquisitions_per_sec,
             r.acquire_p50_ms,
             r.acquire_p99_ms,
+            r.frames_per_write,
             r.connections,
             r.bytes_sent / 1024,
+            r.bytes_received / 1024,
             r.valid_orders
         );
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_net_throughput.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("usage: bench_net [--smoke] [out_path] (unknown flag {flag})");
+                std::process::exit(2);
+            }
+            path => out_path = path.to_string(),
+        }
+    }
+
+    if smoke {
+        // CI profile: small enough for a shared runner, still exercising the
+        // pipelined closed loop, the open-loop burst and full order validation.
+        println!("socket-tier smoke (16 peers, K = 2):");
+        let mut rows = net_sweep(16, &[2], 2, 10, 4, 1);
+        rows.push(measure_net_open_loop(16, 2, 200, 1.1, 1));
+        print_rows(&rows);
+        for r in &rows {
+            assert!(r.valid_orders >= 1, "no object produced a valid order");
+            assert!(
+                r.frames_per_write >= 1.0,
+                "writer accounting broken: {} frames/write",
+                r.frames_per_write
+            );
+        }
+        println!("smoke OK (no baseline written)");
+        return;
+    }
+
+    let nodes = 64;
+    let workers_per_object = 4;
+    let acquires_per_worker = 50;
+    let pipeline = 16;
+    let seed = 1;
+    let objects_list = [1usize, 4, 8, 16];
+
+    // Warm-up pass (binds ports, spins the thread pools once), then the
+    // measurement: best of three runs per row — wall-clock socket timings on a
+    // small (possibly single-core) machine are scheduling-noisy, and the
+    // baseline should pin what the runtime can do, not what the scheduler did
+    // to one run.
+    let _ = net_sweep(nodes, &[1], workers_per_object, 10, pipeline, seed);
+    let mut rows = net_sweep(
+        nodes,
+        &objects_list,
+        workers_per_object,
+        acquires_per_worker,
+        pipeline,
+        seed,
+    );
+    for _ in 0..4 {
+        let rerun = net_sweep(
+            nodes,
+            &objects_list,
+            workers_per_object,
+            acquires_per_worker,
+            pipeline,
+            seed,
+        );
+        for (best, candidate) in rows.iter_mut().zip(rerun) {
+            if candidate.acquisitions_per_sec > best.acquisitions_per_sec {
+                *best = candidate;
+            }
+        }
+    }
+
+    println!(
+        "socket-tier throughput ({nodes} loopback TCP peers, {workers_per_object} workers/object \
+         x {acquires_per_worker} acquires, pipeline {pipeline}, best of 5):"
+    );
+    print_rows(&rows);
+    for r in &rows {
         assert_eq!(
             r.valid_orders, r.objects,
             "K = {}: every object must produce a valid order",
             r.objects
         );
     }
+
+    // Large scale: 256 peers, 64 objects — closed loop and the open-loop burst.
+    println!("large scale (256 peers, K = 64):");
+    let big_closed = net_sweep(256, &[64], 2, 50, pipeline, seed);
+    let big_open = measure_net_open_loop(256, 64, 3_200, 1.1, seed);
+    print_rows(&big_closed);
+    print_rows(std::slice::from_ref(&big_open));
+    assert_eq!(big_closed[0].valid_orders, 64);
+    rows.extend(big_closed);
+    rows.push(big_open);
 
     let report = NetReportJson { rows };
     std::fs::write(&out_path, report.to_json()).expect("failed to write baseline file");

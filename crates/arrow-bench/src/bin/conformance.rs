@@ -18,9 +18,61 @@ fn usage() -> ! {
     eprintln!(
         "usage: conformance [--smoke | --full] [--cases N] [--seed N] [--max-nodes N] \
          [--max-requests N] [--no-thread] [--no-net] [--no-shrink] [--out DIR] \
-         [--replay FILE]"
+         [--replay FILE]\n(try --help for the replay file format)"
     );
     std::process::exit(2);
+}
+
+fn help() -> ! {
+    println!(
+        "conformance — cross-tier differential sweep for the arrow protocol
+
+USAGE:
+    conformance [--smoke | --full] [OPTIONS]
+    conformance --replay FILE
+
+PROFILES:
+    --smoke              32 small fixed-seed cases, every tier (the CI profile; default)
+    --full               256 larger cases, every tier
+
+OPTIONS:
+    --cases N            number of generated cases
+    --seed N             master seed (case i derives from seed + i)
+    --max-nodes N        per-case node budget
+    --max-requests N     per-case request budget
+    --no-thread          skip the thread tier
+    --no-net             skip the socket tier
+    --no-shrink          report failures without shrinking them first
+    --out DIR            where failing cases' replay files go
+                         (default: conformance-failures/)
+    --replay FILE        re-run one previously written replay file
+    --help               this text
+
+REPLAY FILES:
+    Every failing case is shrunk (requests, then nodes, while the failure still
+    reproduces) and written as a line-based text file that pins the exact
+    topology and request list:
+
+        arrow-conformance-replay v1
+        seed 42                      derivation seed (labels the case)
+        nodes 12                     node budget handed to the graph builder
+        graph complete               complete|path|cycle|grid|random-tree|erdos-renyi
+        tree balanced-binary         shortest-path|minimum-weight|star|
+                                     balanced-binary|minimum-communication
+        objects 3                    directory objects (req lines name obj < K)
+        requests 24                  number of req lines that follow (exact)
+        workload zipf                burst|poisson|uniform|zipf|sequential
+        sync async                   sync|async timing model
+        async-lo 0.05                async delay floor in [0, 1]
+        req 7 1500000 2              one per request: node, time in subticks, object
+
+    Reproduce any failure with:
+        conformance --replay conformance-failures/case-<seed>.replay
+
+    Full grammar and field semantics: the arrow-conformance crate docs
+    (module `case`)."
+    );
+    std::process::exit(0);
 }
 
 fn main() -> ExitCode {
@@ -36,6 +88,7 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|| usage())
         };
         match arg.as_str() {
+            "--help" | "-h" => help(),
             // Profile switches preserve an already-chosen --out directory (flag
             // order must not silently change where replay files land).
             "--smoke" => {

@@ -13,6 +13,26 @@
 //! | Synchronous vs. asynchronous | Thm 3.21 | `async_vs_sync` | [`experiments::async_vs_sync`] |
 //! | Multi-object directory throughput | directory setting (Sec. 1) | `bench_multi_object` | [`multi_object::multi_object_sweep`] |
 //! | Socket-tier throughput (loopback TCP) | Section 5 platform | `bench_net` | [`net_throughput::net_sweep`] |
+//!
+//! ## Quick example
+//!
+//! Run a miniature Theorem 3.19 validation sweep — every measured competitive
+//! ratio must certify the bound (or be flagged degenerate, never silently
+//! clamped):
+//!
+//! ```
+//! use arrow_bench::ratio_sweep;
+//!
+//! let rows = ratio_sweep(8, 6, 1);
+//! assert!(!rows.is_empty());
+//! for row in &rows {
+//!     assert!(
+//!         row.report.within_bound(),
+//!         "{}: ratio {} exceeds the Theorem 3.19 bound {}",
+//!         row.label, row.report.ratio, row.report.theorem_bound
+//!     );
+//! }
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

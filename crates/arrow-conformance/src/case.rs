@@ -7,6 +7,8 @@
 //! the failure stopped reproducing) replays byte-for-byte without regenerating —
 //! the replay file *is* the repro.
 //!
+//! # The replay file format
+//!
 //! The replay format is a deliberately boring line-based text file (the workspace's
 //! serde is an offline no-op facade, and a format this small does not want a
 //! dependency anyway):
@@ -26,7 +28,45 @@
 //! ...
 //! ```
 //!
-//! Every `req` line is `node time-in-subticks object`.
+//! ## Line grammar
+//!
+//! One `key value` (or `req a b c`) statement per line, in this order:
+//!
+//! | Line | Value | Meaning |
+//! |---|---|---|
+//! | `arrow-conformance-replay v1` | — | Magic header; the only accepted version is `v1`. |
+//! | `seed N` | `u64` | The case's derivation seed. After shrinking it only labels the case (requests are explicit below), but topology randomness (`random-tree`, `erdos-renyi`) still derives from it. |
+//! | `nodes N` | `usize` | Node budget handed to the graph builder. The *actual* node count can differ (e.g. a grid rounds to its side lengths); `req` lines refer to actual node ids. |
+//! | `graph KIND` | `complete` \| `path` \| `cycle` \| `grid` \| `random-tree` \| `erdos-renyi` | Communication graph family ([`GraphKind`]). |
+//! | `tree KIND` | `shortest-path` \| `minimum-weight` \| `star` \| `balanced-binary` \| `minimum-communication` | Spanning-tree constructor ([`netgraph::spanning::SpanningTreeKind`]). |
+//! | `objects K` | `usize ≥ 1` | Number of directory objects. `req` lines must only name objects `< K`. |
+//! | `requests N` | `usize` | Number of `req` lines that follow (checked exactly). |
+//! | `workload KIND` | `burst` \| `poisson` \| `uniform` \| `zipf` \| `sequential` | The generator the requests came from ([`WorkloadKind`]); informational once requests are explicit. |
+//! | `sync MODE` | `sync` \| `async` | Timing model for the simulator tier and the socket tier's latency law. |
+//! | `async-lo F` | `f64` in `[0, 1]` | The asynchronous model's delay floor (only meaningful with `sync async`). |
+//! | `req NODE SUBTICKS OBJ` | `usize u64 u32` | One request: issuing node, issue time in [`desim::SimTime`] subticks, object id. Repeated exactly `requests` times; request ids are assigned densely in time order at load. |
+//!
+//! Unknown keys, missing keys, out-of-order `req` counts and non-numeric values
+//! are hard parse errors ([`ReplayCase::from_replay_text`] returns a message
+//! naming the offending line).
+//!
+//! ## One-command repro walkthrough
+//!
+//! When a sweep case fails, the harness shrinks it (drops requests, then nodes,
+//! while the violation still reproduces) and writes
+//! `conformance-failures/case-<seed>.replay`. To reproduce:
+//!
+//! ```text
+//! cargo run --release -p arrow-bench --bin conformance -- \
+//!     --replay conformance-failures/case-42.replay
+//! ```
+//!
+//! which re-runs exactly the pinned topology and request list through every
+//! tier the current options include and prints each invariant violation (exit
+//! code 1) or `PASS` (exit code 0). Because the requests are explicit, the
+//! file stays a faithful repro even if workload generators change; only the
+//! seeded *topology* builders must stay stable. `conformance --help` prints a
+//! compact version of this format summary.
 
 use arrow_core::prelude::*;
 use desim::{SimConfig, SimTime};

@@ -25,6 +25,27 @@
 //!
 //! The `conformance` binary in `arrow-bench` drives [`sweep::run_sweep`]; CI runs
 //! the fixed-seed smoke profile ([`sweep::SweepOptions::smoke`]) on every change.
+//!
+//! ## Quick example
+//!
+//! Derive one seeded case, round-trip it through the replay text format, and
+//! check it on the simulator tier:
+//!
+//! ```
+//! use arrow_conformance::{derive_spec, run_case, ReplayCase, SweepOptions};
+//!
+//! let mut opts = SweepOptions::smoke();
+//! opts.include_thread = false; // sim tier only: doctests stay fast
+//! opts.include_net = false;
+//!
+//! let case = ReplayCase::generate(derive_spec(&opts, 0));
+//! let text = case.to_replay_text();
+//! assert_eq!(ReplayCase::from_replay_text(&text).unwrap(), case);
+//!
+//! let (tiers, violations) = run_case(&case, &opts);
+//! assert!(tiers.iter().any(|t| t == "sim"));
+//! assert!(violations.is_empty(), "{violations:?}");
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

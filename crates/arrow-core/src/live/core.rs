@@ -21,6 +21,19 @@
 //! * [`CoreAction::Queued`] fires exactly once per request, at the node holding the
 //!   predecessor, when that node learns the successor's identity (Definition 3.2's
 //!   end point; transports can log it as an order record).
+//!
+//! # Batched draining
+//!
+//! Every input method appends to a caller-owned `Vec<CoreAction>` and never reads
+//! it back, so a transport may feed **many** inputs into the *same* actions vector
+//! and translate the accumulated list once — the actions of each input are
+//! contiguous and in input order, which preserves per-link FIFO as long as the
+//! transport emits sends in list order. Both the thread runtime and the socket
+//! runtime drain their inboxes in batches this way: it turns a burst of protocol
+//! traffic into one apply pass (and, on the socket tier, into coalesced writes)
+//! instead of one transport round-trip per message. The protocol itself does not
+//! care — a node is free to receive more messages before acting on earlier ones,
+//! because correctness only requires that each link delivers in FIFO order.
 
 use crate::request::{ObjectId, RequestId};
 use netgraph::{NodeId, RootedTree};

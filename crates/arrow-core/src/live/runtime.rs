@@ -156,6 +156,9 @@ impl NodeState {
         self.actions = actions;
     }
 
+    /// Feed one message into the node's state. Core actions accumulate in
+    /// `self.actions`; the event loop applies them once per drained batch (see
+    /// [`ArrowCore`]'s batching contract).
     fn handle(&mut self, from: NodeId, msg: LiveMsg) {
         match msg {
             LiveMsg::Queue { obj, req, origin } => {
@@ -179,9 +182,15 @@ impl NodeState {
             LiveMsg::Release { obj, req } => self.core.on_release(obj, req, &mut self.actions),
             LiveMsg::Shutdown => unreachable!("handled by the event loop"),
         }
-        self.apply_actions();
     }
 }
+
+/// Maximum messages one event-loop cycle drains before translating the
+/// accumulated core actions into channel sends. Bounds how long a grant can sit
+/// staged under sustained load while still letting bursts batch. Public so the
+/// socket tier uses the same batching policy (see the "Batched draining"
+/// contract in [`super::core`]).
+pub const EVENT_BATCH: usize = 256;
 
 /// The live arrow runtime: one thread per node of a rooted spanning tree, serving
 /// `K` objects whose per-object arrow state the node threads multiplex.
@@ -234,11 +243,29 @@ impl ArrowRuntime {
             let handle = std::thread::Builder::new()
                 .name(format!("arrow-node-{v}"))
                 .spawn(move || {
-                    while let Ok((from, msg)) = rx.recv() {
-                        if let LiveMsg::Shutdown = msg {
-                            break;
+                    // Batched draining: take one message (blocking), then drain
+                    // whatever else is already queued (bounded), and only then
+                    // translate the accumulated core actions into sends — a burst
+                    // of protocol traffic costs one apply pass, not one per
+                    // message.
+                    let mut stop = false;
+                    while !stop {
+                        let Ok(first) = rx.recv() else { break };
+                        let mut next = Some(first);
+                        let mut drained = 0;
+                        while let Some((from, msg)) = next.take() {
+                            if let LiveMsg::Shutdown = msg {
+                                stop = true;
+                                break;
+                            }
+                            state.handle(from, msg);
+                            drained += 1;
+                            if drained >= EVENT_BATCH {
+                                break;
+                            }
+                            next = rx.try_recv().ok();
                         }
-                        state.handle(from, msg);
+                        state.apply_actions();
                     }
                     state.journal
                 })

@@ -21,18 +21,24 @@
 //! * [`wire`] — a compact hand-rolled binary codec: length-prefixed, versioned
 //!   frames for every [`arrow_core::prelude::ProtoMsg`] variant plus the mesh's
 //!   control frames (`Hello`/`Welcome` join handshake, `Goodbye` shutdown, `Token`
-//!   grants). No serde involved; the bytes are the contract.
+//!   grants). No serde involved; the bytes are the contract. Encoding appends into
+//!   pooled buffers ([`Frame::encode_into`]); decoding scans complete frames out
+//!   of a growing receive buffer ([`Frame::scan`]).
 //! * [`mesh`] — peer bootstrap and link plumbing. Only the spanning-tree edges are
 //!   materialized eagerly (each non-root node dials its parent); direct token
-//!   channels are dialed lazily on first grant. Every established link gets a
-//!   reader thread and a *delay-queue writer* thread that injects the link's tree
-//!   distance × [`mesh::NetConfig::unit_latency`] (scaled by the seeded async
-//!   factor in the asynchronous model) before each frame, FIFO-preserving — so a
-//!   socket run obeys the same latency law as a simulator run.
-//! * [`runtime`] — the [`NetRuntime`]: one event loop per node, application-facing
-//!   [`NetHandle`]s with blocking `acquire`/`release` per object, and a shutdown
-//!   [`NetReport`] whose per-object queuing orders validate through the same
-//!   machinery as the simulator harness.
+//!   channels are dialed lazily on first grant. Each node runs **one** writer
+//!   thread for all of its links: frames are scheduled on a single binary-heap
+//!   timer at the link's tree distance × [`mesh::NetConfig::unit_latency`] (scaled
+//!   by the seeded async factor in the asynchronous model, FIFO-preserving — the
+//!   same latency law as a simulator run), and every flush coalesces all frames
+//!   due on one link into a single `write` syscall. Each connection's reader
+//!   pulls whole kernel buffers and scans frames out in batches.
+//! * [`runtime`] — the [`NetRuntime`]: one event loop per node draining its inbox
+//!   in batches, application-facing [`NetHandle`]s with blocking *and* pipelined
+//!   `acquire`/`release` per object ([`NetHandle::start_acquire_object`],
+//!   [`Grant`] routing for open-loop drivers), and a shutdown [`NetReport`] whose
+//!   per-object queuing orders validate through the same machinery as the
+//!   simulator harness.
 //!
 //! ## Quick example
 //!
@@ -58,5 +64,5 @@ pub mod runtime;
 pub mod wire;
 
 pub use mesh::{NetConfig, NetStats, NetStatsSnapshot};
-pub use runtime::{NetFailure, NetHandle, NetReport, NetRuntime};
+pub use runtime::{Grant, NetFailure, NetHandle, NetReport, NetRuntime, PendingAcquire};
 pub use wire::{Frame, WireError, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION};

@@ -3,9 +3,22 @@
 //!
 //! Protocol logic is [`arrow_core::live::ArrowCore`] — the exact state machine the
 //! thread runtime uses — so the two real-concurrency tiers cannot drift. What this
-//! module adds is the distribution: each node owns a listener, an accept loop, and a
-//! set of established links (see [`crate::mesh`]); `queue()` frames travel the
+//! module adds is the distribution: each node owns a listener, an accept loop, and
+//! its outbound links (see [`crate::mesh`]); `queue()` frames travel the
 //! spanning-tree edges, token grants travel lazily-dialed direct channels.
+//!
+//! # Hot-path shape
+//!
+//! The event loop drains its inbound channel in batches (up to `EVENT_BATCH`
+//! events per cycle) and translates the accumulated [`CoreAction`]s into frames
+//! once per batch. With no injected latency the event loop owns every socket
+//! write half itself and flushes each link's coalesced batch with one
+//! `write_all`; with injected latency the frames go to the node's single
+//! binary-heap timer thread, which coalesces everything due into one write per
+//! link. Applications that want to overlap round-trips use the pipelined acquire
+//! API ([`NetHandle::start_acquire_object`]): acquires issued from one node for
+//! one object are granted in issue order, so a worker can keep several requests
+//! in flight and reap grants FIFO instead of lock-stepping on each round trip.
 //!
 //! Unlike the thread runtime, every node here also journals its protocol history:
 //! which requests it issued (with wall-clock issue times) and which
@@ -14,7 +27,9 @@
 //! [`QueuingOrder`] machinery the simulator harness uses — so a socket run is held
 //! to the same correctness contract as a simulated one.
 
-use crate::mesh::{self, LinkHandle, NetConfig, NetStats, NetStatsSnapshot};
+use crate::mesh::{
+    self, LinkBatch, NetConfig, NetStats, NetStatsSnapshot, WriterCmd, WriterHandle,
+};
 use crate::wire::Frame;
 use arrow_core::live::{ArrowCore, CoreAction};
 use arrow_core::order::OrderError;
@@ -23,26 +38,36 @@ use arrow_core::prelude::{
 };
 use desim::{SimTime, SUBTICKS_PER_UNIT};
 use netgraph::{NodeId, RootedTree};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Maximum events one event-loop cycle drains before translating the accumulated
+/// core actions into frames — the same batching policy as the thread tier, per
+/// the "Batched draining" contract in [`arrow_core::live::core`].
+const EVENT_BATCH: usize = arrow_core::live::EVENT_BATCH;
 
 /// Events multiplexed into one node's event loop.
 enum NetEvent {
     /// A protocol frame arrived from an established link.
     Frame { from: NodeId, frame: Frame },
-    /// The accept loop established an inbound link to `peer`.
-    LinkUp { peer: NodeId, link: LinkHandle },
-    /// Application command: acquire `obj`'s token; reply once held (or with the
-    /// node's failure if it can no longer reach the mesh).
-    Acquire {
-        obj: ObjectId,
-        reply: Sender<Result<RequestId, NetFailure>>,
+    /// The accept loop established an inbound link to `peer`; the node registers
+    /// the write half (directly, or with its timer writer).
+    LinkUp {
+        peer: NodeId,
+        stream: TcpStream,
+        weight: f64,
     },
+    /// The node's timer writer dropped a link whose socket died; forget the
+    /// peer so a later frame re-dials (or fails the node cleanly).
+    LinkDown { peer: NodeId },
+    /// Application command: acquire `obj`'s token; deliver the [`Grant`] on the
+    /// reply channel once held (or once the node fails).
+    Acquire { obj: ObjectId, reply: Sender<Grant> },
     /// Application command: release `obj`'s token held for `req`.
     Release { obj: ObjectId, req: RequestId },
     /// Some node in the mesh failed (dial retry budget exhausted); the run cannot
@@ -51,6 +76,28 @@ enum NetEvent {
     PeerFailed { failure: NetFailure },
     /// Stop the node: send goodbyes, close links, report history.
     Shutdown,
+}
+
+/// The outcome of one acquire, delivered on the acquire's reply channel.
+///
+/// Carries enough context (`node`, `obj`) that many in-flight acquires — even from
+/// different nodes — can share one reply channel (see
+/// [`NetHandle::start_acquire_object_routed`]): the receiver knows which handle to
+/// release through without any out-of-band bookkeeping.
+#[derive(Debug)]
+pub struct Grant {
+    /// The node that issued the acquire.
+    pub node: NodeId,
+    /// The object that was acquired.
+    pub obj: ObjectId,
+    /// The granted request id, or the node-level failure that doomed the acquire.
+    pub result: Result<RequestId, NetFailure>,
+    /// Time from the node processing the acquire to the token arriving, measured
+    /// entirely at the issuing node (queue propagation + predecessor wait).
+    /// Exactly zero for an acquire rejected because the node had *already*
+    /// failed (it never waited); failed grants are otherwise not comparable
+    /// latency samples — filter on `result` before recording waits.
+    pub wait: Duration,
 }
 
 /// A node-level transport failure: the node exhausted its dial retry budget
@@ -78,21 +125,43 @@ struct NodeJournal {
     failures: Vec<NetFailure>,
 }
 
+/// How a node's frames reach its sockets.
+enum Outbound {
+    /// No injected latency: the event loop owns every write half and flushes each
+    /// link's coalesced batch with one `write_all` at the end of every drained
+    /// event batch — zero intermediate thread wakeups on the token critical path.
+    /// Blocking writes cannot deadlock the mesh: readers forward into unbounded
+    /// channels and never stall, so every TCP receive buffer always drains.
+    Direct {
+        links: HashMap<NodeId, LinkBatch>,
+        /// Redundant connections from simultaneous-dial races; kept open (the
+        /// peer may send on them) and told goodbye at shutdown.
+        spares: Vec<TcpStream>,
+        /// Peers with frames staged in this batch, in first-staged order.
+        dirty: Vec<NodeId>,
+    },
+    /// Injected latency: frames are scheduled on the node's single binary-heap
+    /// timer thread (see [`mesh::spawn_node_writer`]), which coalesces everything
+    /// due at flush time into one write per link.
+    Timed {
+        links: HashSet<NodeId>,
+        writer: WriterHandle,
+    },
+}
+
 /// The state of one socket-tier node, driven by its event loop thread.
 struct NetNode {
     me: NodeId,
     core: ArrowCore,
     actions: Vec<CoreAction>,
-    /// Outstanding local acquires: (object, request id) -> reply channel.
-    waiting: HashMap<(ObjectId, RequestId), Sender<Result<RequestId, NetFailure>>>,
+    /// Outstanding local acquires: (object, request id) -> (reply channel, issue
+    /// instant for the grant's `wait` measurement).
+    waiting: HashMap<(ObjectId, RequestId), (Sender<Grant>, Instant)>,
     /// Set once a dial exhausted its retry budget: the node stops sending, fails
     /// all pending and future acquires, and reports the failure at shutdown.
     failed: Option<NetFailure>,
-    /// Established send paths, one per peer.
-    links: HashMap<NodeId, LinkHandle>,
-    /// Redundant inbound links (simultaneous-dial races). Kept alive so the peer's
-    /// send path stays open; only dropped at shutdown.
-    spare_links: Vec<LinkHandle>,
+    /// The node's send paths.
+    out: Outbound,
     addrs: Arc<Vec<SocketAddr>>,
     tree: Arc<RootedTree>,
     cfg: NetConfig,
@@ -105,6 +174,8 @@ struct NetNode {
     /// stop flag, so one node's transport failure fails the whole run cleanly
     /// instead of leaving remote acquirers blocked on frames that were dropped.
     peers_tx: Arc<Vec<Sender<NetEvent>>>,
+    /// Shared registry of reader join handles (see [`NetRuntime::shutdown`]).
+    readers: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>>,
     epoch: Instant,
     journal: NodeJournal,
 }
@@ -115,38 +186,65 @@ impl NetNode {
         SimTime::from_subticks((units * SUBTICKS_PER_UNIT as f64) as u64)
     }
 
-    /// The established link to `peer`, dialing a direct channel on first use.
-    /// Transient dial failures (ephemeral-port or fd pressure) are retried up to
-    /// the configured budget ([`NetConfig::dial_retries`]); a peer that stays
-    /// unreachable marks this node failed (see [`NetNode::fail`]) — the frame that
-    /// needed the link cannot be delivered, so its acquirer must error out rather
-    /// than block forever.
-    fn link_to(&mut self, peer: NodeId) -> std::io::Result<&LinkHandle> {
-        if !self.links.contains_key(&peer) {
-            let me = self.me;
-            let (stream, confirmed) =
-                mesh::dial_with_budget(self.addrs[peer], me, self.cfg.dial_retries)?;
-            debug_assert_eq!(confirmed, peer, "address table out of sync");
-            self.stats
-                .connections_dialed
-                .fetch_add(1, Ordering::Relaxed);
-            let weight = self.tree.distance(self.me, peer);
-            let reader_stream = stream.try_clone()?;
-            let link = mesh::spawn_writer(
-                stream,
-                self.me,
-                peer,
-                weight,
-                &self.cfg,
-                Arc::clone(&self.stats),
-            );
-            let events = self.events_tx.clone();
-            mesh::spawn_reader(reader_stream, peer, move |from, frame| {
-                events.send(NetEvent::Frame { from, frame })
-            });
-            self.links.insert(peer, link);
+    fn has_link(&self, peer: NodeId) -> bool {
+        match &self.out {
+            Outbound::Direct { links, .. } => links.contains_key(&peer),
+            Outbound::Timed { links, .. } => links.contains(&peer),
         }
-        Ok(&self.links[&peer])
+    }
+
+    /// Register an established connection's write half (first connection to a
+    /// peer wins; later ones from simultaneous-dial races are parked as spares so
+    /// the peer's send path stays open).
+    fn register_link(&mut self, peer: NodeId, stream: TcpStream, weight: f64) {
+        match &mut self.out {
+            Outbound::Direct { links, spares, .. } => match links.entry(peer) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(LinkBatch::new(stream));
+                }
+                std::collections::hash_map::Entry::Occupied(_) => spares.push(stream),
+            },
+            Outbound::Timed { links, writer } => {
+                // The writer parks duplicate registrations as spares itself.
+                writer.send(WriterCmd::AddLink {
+                    peer,
+                    stream,
+                    weight,
+                });
+                links.insert(peer);
+            }
+        }
+    }
+
+    /// Make sure a send path to `peer` exists, dialing a direct channel on first
+    /// use. Transient dial failures (ephemeral-port or fd pressure) are retried up
+    /// to the configured budget ([`NetConfig::dial_retries`]); a peer that stays
+    /// unreachable is an error — the frame that needed the link cannot be
+    /// delivered, so its acquirer must error out rather than block forever.
+    fn ensure_link(&mut self, peer: NodeId) -> std::io::Result<()> {
+        if self.has_link(peer) {
+            return Ok(());
+        }
+        let (stream, confirmed) =
+            mesh::dial_with_budget(self.addrs[peer], self.me, self.cfg.dial_retries)?;
+        debug_assert_eq!(confirmed, peer, "address table out of sync");
+        self.stats
+            .connections_dialed
+            .fetch_add(1, Ordering::Relaxed);
+        let weight = self.tree.distance(self.me, peer);
+        let reader_stream = stream.try_clone()?;
+        // Register the write half before spawning the reader: any reply the peer
+        // provokes must find the link already known.
+        self.register_link(peer, stream, weight);
+        let events = self.events_tx.clone();
+        let reader = mesh::spawn_reader(
+            reader_stream,
+            peer,
+            Arc::clone(&self.stats),
+            move |from, frame| events.send(NetEvent::Frame { from, frame }),
+        );
+        self.readers.lock().expect("reader registry").push(reader);
+        Ok(())
     }
 
     /// Mark this node failed: record the failure, stop accepting work, fail every
@@ -176,12 +274,21 @@ impl NetNode {
     /// Fail all pending waiters and refuse future acquires (does not journal —
     /// only the node that observed the dial failure reports it).
     fn enter_failed_state(&mut self, failure: NetFailure) {
-        for (_, reply) in self.waiting.drain() {
-            let _ = reply.send(Err(failure.clone()));
+        for ((obj, _req), (reply, issued)) in self.waiting.drain() {
+            let _ = reply.send(Grant {
+                node: self.me,
+                obj,
+                result: Err(failure.clone()),
+                wait: issued.elapsed(),
+            });
         }
         self.failed = Some(failure);
     }
 
+    /// Stage one frame towards `to`: straight into the link's batch buffer
+    /// (instant config) or onto the node's timer writer (injected latency). The
+    /// batch buffers are flushed by [`flush_links`](NetNode::flush_links) at the
+    /// end of the current event batch.
     fn send_frame(&mut self, to: NodeId, frame: Frame) {
         // A failed node drops frames immediately: re-running the dial retry
         // budget (with its backoff sleeps) for every frame would stall the event
@@ -189,15 +296,50 @@ impl NetNode {
         if self.failed.is_some() {
             return;
         }
-        match self.link_to(to) {
-            Ok(link) => {
-                link.send(frame);
+        if let Err(e) = self.ensure_link(to) {
+            self.fail(to, &e);
+            return;
+        }
+        match &mut self.out {
+            Outbound::Direct { links, dirty, .. } => {
+                let link = links.get_mut(&to).expect("ensured above");
+                if link.stage(&frame) {
+                    dirty.push(to);
+                }
             }
-            Err(e) => self.fail(to, &e),
+            Outbound::Timed { writer, .. } => {
+                writer.send(WriterCmd::Send { peer: to, frame });
+            }
         }
     }
 
-    /// Translate the core's pending actions into wire frames and wakeups.
+    /// Write every link batch staged during this event cycle — one `write_all`
+    /// per dirty link. No-op in timed mode (the writer thread flushes on its own
+    /// clock) and between batches (nothing staged).
+    fn flush_links(&mut self) {
+        let Outbound::Direct { links, dirty, .. } = &mut self.out else {
+            return;
+        };
+        let mut dead = Vec::new();
+        for peer in dirty.drain(..) {
+            let Some(link) = links.get_mut(&peer) else {
+                continue;
+            };
+            if link.flush(&self.stats).is_err() {
+                dead.push(peer);
+            }
+        }
+        // A link whose socket errored is dropped; its peer observes EOF. A later
+        // frame towards that peer re-dials (and fails the node cleanly if the
+        // peer is really gone).
+        for peer in dead {
+            links.remove(&peer);
+        }
+    }
+
+    /// Translate the core's pending actions into wire frames and wakeups. Called
+    /// once per drained event batch: every frame staged here reaches the writer in
+    /// one burst and coalesces into at most one `write` per link.
     fn apply_actions(&mut self) {
         let mut actions = std::mem::take(&mut self.actions);
         for action in actions.drain(..) {
@@ -217,8 +359,13 @@ impl NetNode {
                 }
                 CoreAction::Granted { obj, req } => {
                     self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
-                    if let Some(reply) = self.waiting.remove(&(obj, req)) {
-                        let _ = reply.send(Ok(req));
+                    if let Some((reply, issued)) = self.waiting.remove(&(obj, req)) {
+                        let _ = reply.send(Grant {
+                            node: self.me,
+                            obj,
+                            result: Ok(req),
+                            wait: issued.elapsed(),
+                        });
                     }
                 }
                 CoreAction::Queued {
@@ -241,6 +388,8 @@ impl NetNode {
         self.actions = actions;
     }
 
+    /// Feed one event into the node's state. Core actions accumulate in
+    /// `self.actions`; the event loop applies them once per drained batch.
     fn handle(&mut self, event: NetEvent) {
         match event {
             NetEvent::Frame { from, frame } => match frame {
@@ -259,36 +408,43 @@ impl NetNode {
                     self.stats.unexpected_frames.fetch_add(1, Ordering::Relaxed);
                 }
             },
-            NetEvent::LinkUp { peer, link } => {
-                // First link to a peer wins; a second connection from a
-                // simultaneous-dial race is parked so its socket stays open.
-                match self.links.entry(peer) {
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(link);
-                    }
-                    std::collections::hash_map::Entry::Occupied(_) => {
-                        self.spare_links.push(link);
-                    }
-                }
+            NetEvent::LinkUp {
+                peer,
+                stream,
+                weight,
+            } => {
+                self.register_link(peer, stream, weight);
             }
             NetEvent::Acquire { obj, reply } => {
                 // A failed node cannot reach the mesh: error out immediately
                 // instead of issuing a request whose token can never arrive.
                 if let Some(failure) = &self.failed {
-                    let _ = reply.send(Err(failure.clone()));
+                    let _ = reply.send(Grant {
+                        node: self.me,
+                        obj,
+                        result: Err(failure.clone()),
+                        wait: Duration::ZERO,
+                    });
                     return;
                 }
                 let time = self.now();
                 let req = self.core.acquire(obj, &mut self.actions);
                 // Register the waiter before applying actions: the grant may already
                 // be among them (local sink whose predecessor was released).
-                self.waiting.insert((obj, req), reply);
+                self.waiting.insert((obj, req), (reply, Instant::now()));
                 self.journal.issued.push(Request {
                     id: req,
                     node: self.me,
                     time,
                     obj,
                 });
+            }
+            NetEvent::LinkDown { peer } => {
+                // Only the timer writer reports these (the direct-write mode
+                // drops dead links inline in flush_links).
+                if let Outbound::Timed { links, .. } = &mut self.out {
+                    links.remove(&peer);
+                }
             }
             NetEvent::Release { obj, req } => self.core.on_release(obj, req, &mut self.actions),
             NetEvent::PeerFailed { failure } => {
@@ -298,20 +454,37 @@ impl NetNode {
             }
             NetEvent::Shutdown => unreachable!("handled by the event loop"),
         }
-        self.apply_actions();
     }
 
-    /// Say goodbye on every link and drop the send handles, letting the writers
-    /// drain and close their sockets.
+    /// Say goodbye on every link and close the sockets: directly (instant
+    /// config), or by stopping the timer writer, which flushes everything still
+    /// scheduled first (injected latency).
     fn disconnect(&mut self) {
-        for link in self.links.values() {
-            link.send(Frame::Goodbye);
+        match &mut self.out {
+            Outbound::Direct { links, spares, .. } => {
+                for link in links.values_mut() {
+                    link.stage(&Frame::Goodbye);
+                    let _ = link.flush(&self.stats);
+                    link.shutdown();
+                }
+                links.clear();
+                for spare in spares.drain(..) {
+                    let mut spare = spare;
+                    let _ = Frame::Goodbye.write_to(&mut spare);
+                    let _ = spare.shutdown(std::net::Shutdown::Both);
+                }
+            }
+            Outbound::Timed { links, writer } => {
+                for &peer in links.iter() {
+                    writer.send(WriterCmd::Send {
+                        peer,
+                        frame: Frame::Goodbye,
+                    });
+                }
+                links.clear();
+                writer.send(WriterCmd::Shutdown);
+            }
         }
-        for link in &self.spare_links {
-            link.send(Frame::Goodbye);
-        }
-        self.links.clear();
-        self.spare_links.clear();
     }
 }
 
@@ -324,6 +497,12 @@ pub struct NetRuntime {
     events_txs: Vec<Sender<NetEvent>>,
     node_threads: Vec<JoinHandle<NodeJournal>>,
     accept_threads: Vec<JoinHandle<()>>,
+    writer_threads: Vec<JoinHandle<()>>,
+    /// Reader threads of every connection (pushed by accept loops and dialing
+    /// nodes); joined at shutdown so every socket fd is released before
+    /// [`NetRuntime::shutdown`] returns — back-to-back runtimes on one machine
+    /// would otherwise accumulate fds of still-exiting readers.
+    readers: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>>,
     /// The *real* listener addresses (shutdown wakes every accept loop through
     /// them, even when the dial table advertises overridden addresses).
     listen_addrs: Vec<SocketAddr>,
@@ -401,10 +580,31 @@ impl NetRuntime {
             events_rxs.push(rx);
         }
 
-        // Accept loops first: once these run, any node can dial any listener.
+        // With injected latency, one timer-writer thread per node serves all of
+        // the node's outbound links; with the instant config the event loops
+        // write directly and no writer threads exist at all.
+        let timed = !cfg.unit_latency.is_zero();
+        let mut writers = Vec::new();
+        let mut writer_threads = Vec::new();
+        if timed {
+            for (me, events_tx) in events_txs.iter().enumerate() {
+                let events = events_tx.clone();
+                let (handle, join) =
+                    mesh::spawn_node_writer(me, cfg, Arc::clone(&stats), move |peer| {
+                        let _ = events.send(NetEvent::LinkDown { peer });
+                    });
+                writers.push(handle);
+                writer_threads.push(join);
+            }
+        }
+
+        // Accept loops next: once these run, any node can dial any listener.
+        let readers: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut accept_threads = Vec::with_capacity(n);
         for (me, listener) in listeners.into_iter().enumerate() {
             let events = events_txs[me].clone();
+            let readers = Arc::clone(&readers);
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&stop);
             let tree = Arc::clone(&tree);
@@ -443,17 +643,28 @@ impl NetRuntime {
                         Err(_) => continue,
                     };
                     let weight = tree.distance(me, peer);
-                    let link =
-                        mesh::spawn_writer(stream, me, peer, weight, &cfg, Arc::clone(&stats));
-                    // Enqueue LinkUp before the reader exists so the link is always
-                    // registered before its first frame is processed.
-                    if events.send(NetEvent::LinkUp { peer, link }).is_err() {
+                    // Hand the write half to the event loop, then start reading:
+                    // a frame can only provoke a reply after the node processed
+                    // LinkUp, so the send path always exists before the first
+                    // send.
+                    if events
+                        .send(NetEvent::LinkUp {
+                            peer,
+                            stream,
+                            weight,
+                        })
+                        .is_err()
+                    {
                         break;
                     }
                     let forward = events.clone();
-                    mesh::spawn_reader(reader_stream, peer, move |from, frame| {
-                        forward.send(NetEvent::Frame { from, frame })
-                    });
+                    let reader = mesh::spawn_reader(
+                        reader_stream,
+                        peer,
+                        Arc::clone(&stats),
+                        move |from, frame| forward.send(NetEvent::Frame { from, frame }),
+                    );
+                    readers.lock().expect("reader registry").push(reader);
                 })
                 .expect("failed to spawn accept thread");
             accept_threads.push(handle);
@@ -469,14 +680,25 @@ impl NetRuntime {
                 actions: Vec::new(),
                 waiting: HashMap::new(),
                 failed: None,
-                links: HashMap::new(),
-                spare_links: Vec::new(),
+                out: if timed {
+                    Outbound::Timed {
+                        links: HashSet::new(),
+                        writer: writers[me].clone(),
+                    }
+                } else {
+                    Outbound::Direct {
+                        links: HashMap::new(),
+                        spares: Vec::new(),
+                        dirty: Vec::new(),
+                    }
+                },
                 addrs: Arc::clone(&addrs),
                 tree: Arc::clone(&tree),
                 cfg,
                 stats: Arc::clone(&stats),
                 events_tx: events_txs[me].clone(),
                 peers_tx: Arc::clone(&peers_tx),
+                readers: Arc::clone(&readers),
                 epoch,
                 journal: NodeJournal {
                     issued: Vec::new(),
@@ -493,15 +715,29 @@ impl NetRuntime {
                         // unreachable parent marks the node failed instead of
                         // panicking the thread: the event loop still runs, so
                         // acquires error out and shutdown joins stay clean.
-                        if let Err(e) = node.link_to(p) {
+                        if let Err(e) = node.ensure_link(p) {
                             node.fail(p, &e);
                         }
                     }
-                    while let Ok(event) = rx.recv() {
-                        if let NetEvent::Shutdown = event {
-                            break;
+                    let mut stop = false;
+                    while !stop {
+                        let Ok(first) = rx.recv() else { break };
+                        let mut next = Some(first);
+                        let mut drained = 0;
+                        while let Some(event) = next.take() {
+                            if matches!(event, NetEvent::Shutdown) {
+                                stop = true;
+                                break;
+                            }
+                            node.handle(event);
+                            drained += 1;
+                            if drained >= EVENT_BATCH {
+                                break;
+                            }
+                            next = rx.try_recv().ok();
                         }
-                        node.handle(event);
+                        node.apply_actions();
+                        node.flush_links();
                     }
                     node.disconnect();
                     node.journal
@@ -514,6 +750,8 @@ impl NetRuntime {
             events_txs,
             node_threads,
             accept_threads,
+            writer_threads,
+            readers,
             listen_addrs,
             stop,
             stats,
@@ -575,6 +813,19 @@ impl NetRuntime {
         for t in self.accept_threads.drain(..) {
             let _ = t.join();
         }
+        // Writers exit on the Shutdown command their node sent in disconnect()
+        // (or when the last command sender drops); joining them makes the
+        // frames/bytes counters final before the snapshot below.
+        for t in self.writer_threads.drain(..) {
+            let _ = t.join();
+        }
+        // Every node closed its sockets in disconnect(), so all readers observe
+        // EOF promptly; joining them releases their fds before this returns,
+        // keeping back-to-back runtimes inside the process fd budget.
+        let readers = std::mem::take(&mut *self.readers.lock().expect("reader registry"));
+        for t in readers {
+            let _ = t.join();
+        }
         issued.sort_by_key(|r| (r.time, r.id));
         NetReport {
             schedule: RequestSchedule::from_requests(issued),
@@ -585,9 +836,13 @@ impl NetRuntime {
     }
 }
 
-/// The application-facing handle of one socket-tier node: blocking token
-/// acquire/release, per object (the same contract as the thread runtime's
-/// [`arrow_core::live::NodeHandle`]).
+/// The application-facing handle of one socket-tier node: token acquire/release
+/// per object — blocking ([`acquire_object`]), failure-typed ([`try_acquire_object`])
+/// or pipelined ([`start_acquire_object`]).
+///
+/// [`acquire_object`]: NetHandle::acquire_object
+/// [`try_acquire_object`]: NetHandle::try_acquire_object
+/// [`start_acquire_object`]: NetHandle::start_acquire_object
 #[derive(Debug, Clone)]
 pub struct NetHandle {
     node: NodeId,
@@ -599,6 +854,14 @@ impl NetHandle {
     /// This handle's node.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    fn check_object(&self, obj: ObjectId) {
+        assert!(
+            (obj.0 as usize) < self.objects,
+            "object {obj} out of range (runtime serves {} objects)",
+            self.objects
+        );
     }
 
     /// Issue a queuing request for the default object and block until this node
@@ -634,19 +897,7 @@ impl NetHandle {
     ///
     /// [`acquire_object`]: NetHandle::acquire_object
     pub fn try_acquire_object(&self, obj: ObjectId) -> Result<RequestId, NetFailure> {
-        assert!(
-            (obj.0 as usize) < self.objects,
-            "object {obj} out of range (runtime serves {} objects)",
-            self.objects
-        );
-        let (reply_tx, reply_rx) = channel();
-        self.sender
-            .send(NetEvent::Acquire {
-                obj,
-                reply: reply_tx,
-            })
-            .expect("runtime has shut down");
-        reply_rx.recv().expect("runtime has shut down")
+        self.start_acquire_object(obj).wait()
     }
 
     /// Like [`try_acquire_object`], but give up after `timeout` with a synthetic
@@ -659,13 +910,24 @@ impl NetHandle {
     pub fn try_acquire_object_timeout(
         &self,
         obj: ObjectId,
-        timeout: std::time::Duration,
+        timeout: Duration,
     ) -> Result<RequestId, NetFailure> {
-        assert!(
-            (obj.0 as usize) < self.objects,
-            "object {obj} out of range (runtime serves {} objects)",
-            self.objects
-        );
+        self.start_acquire_object(obj).wait_timeout(timeout)
+    }
+
+    /// Issue a queuing request for `obj` **without blocking** and return a
+    /// [`PendingAcquire`] that resolves when the token arrives.
+    ///
+    /// This is the pipelining primitive: consecutive acquires issued through one
+    /// node's handles for one object are queued directly behind each other (the
+    /// node is its own sink after the first), so their grants arrive **in issue
+    /// order** and a worker can keep a window of requests in flight, reaping
+    /// grants FIFO, instead of paying a full queue/token round-trip per acquire.
+    ///
+    /// # Panics
+    /// If `obj` is out of range or the runtime has shut down.
+    pub fn start_acquire_object(&self, obj: ObjectId) -> PendingAcquire {
+        self.check_object(obj);
         let (reply_tx, reply_rx) = channel();
         self.sender
             .send(NetEvent::Acquire {
@@ -673,15 +935,33 @@ impl NetHandle {
                 reply: reply_tx,
             })
             .expect("runtime has shut down");
-        match reply_rx.recv_timeout(timeout) {
-            Ok(result) => result,
-            Err(_) => Err(NetFailure {
-                node: self.node,
-                description: format!(
-                    "acquire of {obj} not granted within {timeout:?} — possible lost token"
-                ),
-            }),
+        PendingAcquire {
+            node: self.node,
+            obj,
+            rx: reply_rx,
         }
+    }
+
+    /// Issue a queuing request for `obj` whose [`Grant`] is delivered on the
+    /// caller-supplied channel instead of a dedicated one.
+    ///
+    /// Because a [`Grant`] carries its issuing node and object, **many in-flight
+    /// acquires — across nodes and objects — can share one channel**: an open-loop
+    /// driver issues requests as its workload dictates and a single reaper
+    /// receives grants in arrival order, releasing each through the right handle.
+    /// Grants for one `(node, object)` stream arrive in issue order; grants across
+    /// streams arrive in whatever order the tokens land.
+    ///
+    /// # Panics
+    /// If `obj` is out of range or the runtime has shut down.
+    pub fn start_acquire_object_routed(&self, obj: ObjectId, reply: &Sender<Grant>) {
+        self.check_object(obj);
+        self.sender
+            .send(NetEvent::Acquire {
+                obj,
+                reply: reply.clone(),
+            })
+            .expect("runtime has shut down");
     }
 
     /// Release the default object's token held for `req`.
@@ -694,6 +974,52 @@ impl NetHandle {
         self.sender
             .send(NetEvent::Release { obj, req })
             .expect("runtime has shut down");
+    }
+}
+
+/// One in-flight acquire issued with [`NetHandle::start_acquire_object`]: a future
+/// for the [`Grant`], resolved by [`wait`](PendingAcquire::wait).
+#[derive(Debug)]
+pub struct PendingAcquire {
+    node: NodeId,
+    obj: ObjectId,
+    rx: Receiver<Grant>,
+}
+
+impl PendingAcquire {
+    /// The node the acquire was issued at.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The object being acquired.
+    pub fn obj(&self) -> ObjectId {
+        self.obj
+    }
+
+    /// Block until the token arrives (or the node fails).
+    pub fn wait(self) -> Result<RequestId, NetFailure> {
+        self.rx.recv().expect("runtime has shut down").result
+    }
+
+    /// Block until the token arrives, with the grant's queue-wait measurement.
+    pub fn wait_grant(self) -> Grant {
+        self.rx.recv().expect("runtime has shut down")
+    }
+
+    /// Like [`wait`](PendingAcquire::wait), but give up after `timeout` with a
+    /// synthetic [`NetFailure`].
+    pub fn wait_timeout(self, timeout: Duration) -> Result<RequestId, NetFailure> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(grant) => grant.result,
+            Err(_) => Err(NetFailure {
+                node: self.node,
+                description: format!(
+                    "acquire of {} not granted within {timeout:?} — possible lost token",
+                    self.obj
+                ),
+            }),
+        }
     }
 }
 
@@ -777,6 +1103,11 @@ mod tests {
         );
         assert!(report.stats().token_frames >= 1, "token travelled back");
         assert!(report.stats().bytes_sent > 0);
+        assert!(
+            report.stats().bytes_received > 0,
+            "readers count their bytes"
+        );
+        assert!(report.stats().socket_writes >= 1);
         let orders = report.validated_orders().unwrap();
         assert_eq!(orders.len(), 1);
         assert_eq!(orders[0].1.len(), 1);
@@ -821,6 +1152,59 @@ mod tests {
         assert_eq!(orders.len(), k);
         let total: usize = orders.iter().map(|(_, o)| o.len()).sum();
         assert_eq!(total, report.schedule().len());
+    }
+
+    #[test]
+    fn pipelined_acquires_grant_in_issue_order_per_stream() {
+        // The pipelining contract: consecutive acquires from one node for one
+        // object are granted in issue order, so a worker can keep a window in
+        // flight and reap FIFO.
+        let rt = NetRuntime::spawn(&tree(7), NetConfig::instant());
+        let h = rt.handle(5);
+        const WINDOW: usize = 8;
+        let pendings: Vec<PendingAcquire> = (0..WINDOW)
+            .map(|_| h.start_acquire_object(ObjectId::DEFAULT))
+            .collect();
+        let mut granted = Vec::new();
+        for p in pendings {
+            let grant = p.wait_grant();
+            let req = grant.result.expect("healthy mesh grants");
+            assert_eq!(grant.node, 5);
+            assert_eq!(grant.obj, ObjectId::DEFAULT);
+            granted.push(req);
+            h.release(req);
+        }
+        let report = rt.shutdown();
+        assert_eq!(report.stats().acquisitions, WINDOW as u64);
+        // The validated order lists exactly our stream, in issue order.
+        let orders = report.validated_orders().unwrap();
+        assert_eq!(orders[0].1.order(), granted.as_slice());
+    }
+
+    #[test]
+    fn routed_grants_share_one_channel_across_nodes_and_objects() {
+        let k = 2;
+        let rt = NetRuntime::spawn_multi(&tree(7), k, NetConfig::instant());
+        let (tx, rx) = channel();
+        let issued = 6;
+        // Interleave acquires from three nodes across two objects, all reporting
+        // into one channel.
+        for (v, obj) in [(1, 0u32), (4, 1), (2, 0), (6, 1), (3, 0), (5, 1)] {
+            rt.handle(v).start_acquire_object_routed(ObjectId(obj), &tx);
+        }
+        let mut seen = 0;
+        while seen < issued {
+            let grant = rx.recv().unwrap();
+            let req = grant.result.expect("healthy mesh grants");
+            // The grant tells the reaper everything needed to release.
+            rt.handle(grant.node).release_object(grant.obj, req);
+            seen += 1;
+        }
+        let report = rt.shutdown();
+        assert_eq!(report.stats().acquisitions, issued as u64);
+        let orders = report.validated_orders().unwrap();
+        let total: usize = orders.iter().map(|(_, o)| o.len()).sum();
+        assert_eq!(total, issued);
     }
 
     #[test]

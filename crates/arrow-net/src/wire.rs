@@ -209,38 +209,51 @@ impl Frame {
     /// If a node id exceeds `u32::MAX` (the wire range).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(32);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the frame's wire encoding (length prefix included) to `out`,
+    /// leaving existing bytes in place. This is the zero-allocation encode path:
+    /// the writer keeps one reusable buffer per link and appends every frame of a
+    /// coalesced batch before a single `write_all`, so steady-state encoding
+    /// performs no heap allocation at all.
+    ///
+    /// # Panics
+    /// If a node id exceeds `u32::MAX` (the wire range).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let base = out.len();
         out.extend_from_slice(&[0, 0, 0, 0]); // length prefix, patched below
         out.push(WIRE_MAGIC);
         out.push(WIRE_VERSION);
         out.push(self.kind());
         match *self {
-            Frame::Hello { node } | Frame::Welcome { node } => put_node(&mut out, node),
+            Frame::Hello { node } | Frame::Welcome { node } => put_node(out, node),
             Frame::Goodbye => {}
             Frame::Proto(ProtoMsg::Issue { req, obj }) => {
-                put_u64(&mut out, req.0);
-                put_u32(&mut out, obj.0);
+                put_u64(out, req.0);
+                put_u32(out, obj.0);
             }
             Frame::Proto(ProtoMsg::Queue { req, obj, origin })
             | Frame::Proto(ProtoMsg::CentralEnqueue { req, obj, origin }) => {
-                put_u64(&mut out, req.0);
-                put_u32(&mut out, obj.0);
-                put_node(&mut out, origin);
+                put_u64(out, req.0);
+                put_u32(out, obj.0);
+                put_node(out, origin);
             }
             Frame::Proto(ProtoMsg::Found { req, obj, pred })
             | Frame::Proto(ProtoMsg::CentralReply { req, obj, pred }) => {
-                put_u64(&mut out, req.0);
-                put_u32(&mut out, obj.0);
-                put_u64(&mut out, pred.0);
+                put_u64(out, req.0);
+                put_u32(out, obj.0);
+                put_u64(out, pred.0);
             }
             Frame::Token { obj, req } => {
-                put_u32(&mut out, obj.0);
-                put_u64(&mut out, req.0);
+                put_u32(out, obj.0);
+                put_u64(out, req.0);
             }
         }
-        let len = (out.len() - 4) as u32;
+        let len = (out.len() - base - 4) as u32;
         debug_assert!(len <= MAX_FRAME_LEN);
-        out[..4].copy_from_slice(&len.to_le_bytes());
-        out
+        out[base..base + 4].copy_from_slice(&len.to_le_bytes());
     }
 
     /// Decode one frame from the front of `buf`. Returns the frame and the number of
@@ -316,6 +329,30 @@ impl Frame {
         let bytes = self.encode();
         w.write_all(&bytes)?;
         Ok(bytes.len())
+    }
+
+    /// Scan one frame out of the front of a growing receive buffer.
+    ///
+    /// Unlike [`Frame::decode`], an *incomplete* frame (the length prefix or the
+    /// declared payload has not fully arrived yet) is `Ok(None)` — the caller
+    /// should read more bytes and try again — while a frame that is complete but
+    /// malformed is a hard error. This is the distinction the batched reader
+    /// needs: it reads whole kernel buffers at a time and decodes every complete
+    /// frame out of its scratch buffer, so "not enough bytes yet" is routine and
+    /// must not be confused with corruption.
+    pub fn scan(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+        let Some(prefix) = buf.get(..4) else {
+            return Ok(None);
+        };
+        let len = u32::from_le_bytes(prefix.try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge(len));
+        }
+        let total = 4 + len as usize;
+        let Some(body) = buf.get(4..total) else {
+            return Ok(None);
+        };
+        Ok(Some((Frame::decode_body(body)?, total)))
     }
 
     /// Read exactly one frame from a stream (blocking until it is complete).
@@ -417,6 +454,87 @@ mod tests {
             WireError::Truncated,
             "clean EOF at a frame boundary reads as truncation"
         );
+    }
+
+    #[test]
+    fn encode_into_appends_without_disturbing_earlier_frames() {
+        let mut buf = Vec::new();
+        let frames = [
+            Frame::Hello { node: 3 },
+            Frame::Token {
+                obj: ObjectId(1),
+                req: RequestId(9),
+            },
+            Frame::Goodbye,
+        ];
+        for f in &frames {
+            f.encode_into(&mut buf);
+        }
+        let mut at = 0;
+        for f in &frames {
+            let (decoded, used) = Frame::decode(&buf[at..]).unwrap();
+            assert_eq!(decoded, *f);
+            at += used;
+        }
+        assert_eq!(at, buf.len(), "no stray bytes between coalesced frames");
+    }
+
+    #[test]
+    fn scan_distinguishes_incomplete_from_malformed() {
+        let bytes = Frame::Hello { node: 7 }.encode();
+        // Every strict prefix is "not yet": more bytes may complete it.
+        for cut in 0..bytes.len() {
+            assert_eq!(Frame::scan(&bytes[..cut]).unwrap(), None, "cut at {cut}");
+        }
+        // The complete frame scans out with its exact length.
+        let (frame, used) = Frame::scan(&bytes).unwrap().unwrap();
+        assert_eq!(frame, Frame::Hello { node: 7 });
+        assert_eq!(used, bytes.len());
+        // A complete frame whose payload is short for its kind is corruption,
+        // not "need more data" — waiting for more bytes would hang the link.
+        let mut short = Frame::Hello { node: 7 }.encode();
+        short.truncate(short.len() - 1);
+        let len = (short.len() - 4) as u32;
+        short[..4].copy_from_slice(&len.to_le_bytes());
+        assert_eq!(Frame::scan(&short).unwrap_err(), WireError::Truncated);
+        // An oversized length prefix is rejected before any allocation.
+        let mut huge = bytes.clone();
+        huge[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Frame::scan(&huge).unwrap_err(),
+            WireError::FrameTooLarge(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn scan_walks_a_coalesced_batch() {
+        let frames = [
+            Frame::Proto(ProtoMsg::Queue {
+                req: RequestId(5),
+                obj: ObjectId(0),
+                origin: 2,
+            }),
+            Frame::Token {
+                obj: ObjectId(0),
+                req: RequestId(5),
+            },
+            Frame::Goodbye,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut buf);
+        }
+        // Append a partial fourth frame: the scan must stop cleanly before it.
+        let tail = Frame::Hello { node: 1 }.encode();
+        buf.extend_from_slice(&tail[..5]);
+        let mut at = 0;
+        let mut seen = Vec::new();
+        while let Some((frame, used)) = Frame::scan(&buf[at..]).unwrap() {
+            seen.push(frame);
+            at += used;
+        }
+        assert_eq!(seen, frames);
+        assert_eq!(buf.len() - at, 5, "partial frame left in the buffer");
     }
 
     #[test]

@@ -1,11 +1,25 @@
-//! Minimal offline benchmark harness.
+//! # criterion (offline shim) — minimal benchmark harness stand-in
 //!
 //! Implements the subset of the criterion 0.5 API used by this workspace's benches:
 //! `Criterion::default().sample_size(..)`, `benchmark_group`, `bench_with_input`,
 //! `bench_function`, `BenchmarkId`, `Bencher::iter`, `black_box`, and the
 //! `criterion_group!` / `criterion_main!` macros. Timing is a plain
 //! mean-over-samples measurement printed to stdout — enough to track relative
-//! regressions without a registry dependency.
+//! regressions without a registry dependency. Swap for the real crate via
+//! `[workspace.dependencies]` when a registry is available.
+//!
+//! ```
+//! use criterion::{black_box, BenchmarkId, Criterion};
+//!
+//! let mut c = Criterion::default().sample_size(3);
+//! c.bench_function("sum-100", |b| {
+//!     b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+//! });
+//! let mut group = c.benchmark_group("sums");
+//! group.bench_with_input(BenchmarkId::from_parameter(100), &100u64, |b, &n| {
+//!     b.iter(|| (0..n).sum::<u64>())
+//! });
+//! ```
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

@@ -1,10 +1,24 @@
-//! Deterministic offline PRNG shim.
+//! # rand (offline shim) — deterministic PRNG stand-in
 //!
 //! Implements the slice of the `rand` 0.8 API this workspace uses — `StdRng`,
 //! `SeedableRng::seed_from_u64`, `Rng::gen_range` over the integer/float range types
 //! that appear in-tree, and `Rng::gen_bool` — on top of xoshiro256** seeded through
 //! SplitMix64. Streams are fully deterministic per seed (which is all the simulator
-//! requires); they do NOT bit-match the real `rand::rngs::StdRng`.
+//! requires); they do NOT bit-match the real `rand::rngs::StdRng`. The container
+//! this workspace builds in has no registry access; swap for the real crate via
+//! `[workspace.dependencies]` when one is available.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! let xs: Vec<u32> = (0..4).map(|_| a.gen_range(0u32..100)).collect();
+//! let ys: Vec<u32> = (0..4).map(|_| b.gen_range(0u32..100)).collect();
+//! assert_eq!(xs, ys, "same seed, same stream");
+//! assert!(xs.iter().all(|&x| x < 100));
+//! ```
 
 use std::ops::{Range, RangeInclusive};
 

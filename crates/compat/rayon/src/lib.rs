@@ -1,11 +1,20 @@
-//! Deterministic data-parallelism shim.
+//! # rayon (offline shim) — deterministic data-parallelism stand-in
 //!
 //! Provides the rayon idioms the experiment harness uses — `into_par_iter().map(f)
 //! .collect::<Vec<_>>()` over owned vectors and index ranges — executed on
 //! `std::thread::scope` with one contiguous chunk per available core. Results are
 //! reassembled in input-index order, so output is bit-identical to the serial
 //! `iter().map().collect()` regardless of thread count or scheduling. On a
-//! single-core host the items run inline with zero thread overhead.
+//! single-core host the items run inline with zero thread overhead. Swap for the
+//! real crate via `[workspace.dependencies]` when a registry is available.
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let parallel: Vec<usize> = (0..100).into_par_iter().map(|x| x * x).collect();
+//! let serial: Vec<usize> = (0..100).map(|x| x * x).collect();
+//! assert_eq!(parallel, serial, "index order is preserved exactly");
+//! ```
 
 use std::num::NonZeroUsize;
 

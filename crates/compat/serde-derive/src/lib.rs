@@ -1,10 +1,25 @@
-//! No-op `Serialize` / `Deserialize` derive macros.
+//! # serde-derive (offline shim) — no-op `Serialize` / `Deserialize` derives
 //!
 //! The workspace annotates its data types with serde derives so the real serde can be
 //! dropped in when a registry is available, but nothing in-tree performs serde-driven
 //! serialization (JSON artifacts are written by hand). These derives therefore expand
 //! to nothing; they only accept the `#[serde(...)]` helper attribute so existing
-//! annotations keep compiling.
+//! annotations keep compiling. Use through the `serde` facade crate, which
+//! re-exports both macros.
+//!
+//! ```
+//! use serde_derive::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize)]
+//! struct Point {
+//!     #[serde(default)] // helper attribute: accepted, ignored
+//!     x: f64,
+//!     y: f64,
+//! }
+//!
+//! let p = Point { x: 1.0, y: 2.0 };
+//! assert_eq!(p.x + p.y, 3.0);
+//! ```
 
 use proc_macro::TokenStream;
 

@@ -1,8 +1,24 @@
-//! Offline serde facade.
+//! # serde (offline facade) — no-op serialization stand-in
 //!
 //! Re-exports the no-op derive macros so `use serde::{Deserialize, Serialize}` and
 //! `#[derive(Serialize, Deserialize)]` compile without a registry. The marker traits
-//! are provided for code that writes `T: Serialize` bounds.
+//! are provided for code that writes `T: Serialize` bounds. Nothing in this
+//! workspace performs serde-driven serialization (JSON artifacts are written by
+//! hand), so the derives exist purely so the annotations survive until the real
+//! serde is swapped in via `[workspace.dependencies]`.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+//! struct Row {
+//!     #[serde(rename = "n")] // helper attributes are accepted and ignored
+//!     nodes: usize,
+//! }
+//!
+//! let row = Row { nodes: 64 };
+//! assert_eq!(row.clone(), row, "derives expand to nothing but still compile");
+//! ```
 
 pub use serde_derive::{Deserialize, Serialize};
 
