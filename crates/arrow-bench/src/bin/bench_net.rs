@@ -14,9 +14,11 @@
 //! * **large scale** — 256 peers × K = 64 objects, closed loop (2 workers/object
 //!   × 50 acquires) *and* an open-loop burst of 3,200 Zipf-distributed requests
 //!   (s = 1.1, object 0 hottest) issued without waiting for completions. The
-//!   burst size keeps the worst-case lazily-dialed token-channel count (two file
-//!   descriptors per connection, since every peer lives in this one process)
-//!   inside common `ulimit -n` budgets.
+//!   burst is sized against the process's soft `RLIMIT_NOFILE` (read from
+//!   `/proc/self/limits`): every peer lives in this one process, so each
+//!   lazily-dialed token channel costs two file descriptors, and the worst case
+//!   is one new channel per burst request. A limit too low for even a minimal
+//!   burst is a clear up-front error, not a mid-run `EMFILE` panic.
 //!
 //! Every `queue()` and token frame crosses a real loopback TCP connection; every
 //! per-object queuing order is validated at shutdown (the measurement panics
@@ -28,6 +30,66 @@
 //! compile but would tank the batched hot path.
 
 use arrow_bench::net_throughput::{measure_net_open_loop, net_sweep, NetReportJson, NetRow};
+
+/// The soft "Max open files" limit of this process (RLIMIT_NOFILE), read from
+/// `/proc/self/limits`. `None` when the file is missing (non-Linux) or the line
+/// does not parse — callers fall back to the requested scale with a note rather
+/// than guessing a limit.
+fn nofile_soft_limit() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let rest = text
+        .lines()
+        .find_map(|l| l.strip_prefix("Max open files"))?;
+    let soft = rest.split_whitespace().next()?;
+    if soft == "unlimited" {
+        return Some(u64::MAX);
+    }
+    soft.parse().ok()
+}
+
+/// Fit the open-loop burst to the file-descriptor budget. Every peer lives in
+/// this one process, so each connection costs **two** descriptors, and the
+/// large-scale profile's worst case is: one listener per node, the eager
+/// spanning-tree links, then up to one lazily-dialed token channel per burst
+/// request (token handoffs between nodes that never spoke before). Returns the
+/// largest burst ≤ `target` whose worst case fits under the soft limit, or
+/// exits with a clear error when even a minimal burst cannot fit.
+fn sized_burst(nodes: usize, target: usize) -> usize {
+    /// Descriptors held by things that are not token channels: stdio, the
+    /// baseline file, allocator/runtime internals, transient accept queues.
+    const MARGIN: u64 = 64;
+    /// Below this the open-loop row stops being a meaningful measurement.
+    const MIN_BURST: usize = 256;
+    let Some(limit) = nofile_soft_limit() else {
+        println!(
+            "note: cannot read the open-files limit from /proc/self/limits; \
+             assuming the default burst of {target} fits"
+        );
+        return target;
+    };
+    let fixed = nodes as u64 + 2 * (nodes as u64 - 1) + MARGIN;
+    let needed_min = fixed + 2 * MIN_BURST as u64;
+    if limit < needed_min {
+        eprintln!(
+            "error: the open-files soft limit ({limit}) is too low for the \
+             large-scale socket benchmark: {nodes} in-process peers need at \
+             least {needed_min} descriptors ({nodes} listeners + {} eager tree \
+             links x 2 + a {MIN_BURST}-request burst x 2 + {MARGIN} margin). \
+             Raise it (`ulimit -n {needed_min}`) or run with --smoke.",
+            nodes - 1
+        );
+        std::process::exit(2);
+    }
+    let burst = (((limit - fixed) / 2) as usize).min(target);
+    if burst < target {
+        println!(
+            "note: open-files soft limit {limit} caps the open-loop burst at \
+             {burst} requests (target {target}); raise `ulimit -n` for the full \
+             committed profile"
+        );
+    }
+    burst
+}
 
 fn print_rows(rows: &[NetRow]) {
     for r in rows {
@@ -135,10 +197,12 @@ fn main() {
         );
     }
 
-    // Large scale: 256 peers, 64 objects — closed loop and the open-loop burst.
+    // Large scale: 256 peers, 64 objects — closed loop and the open-loop burst,
+    // with the burst sized to the process's descriptor budget (RLIMIT_NOFILE).
     println!("large scale (256 peers, K = 64):");
+    let burst = sized_burst(256, 3_200);
     let big_closed = net_sweep(256, &[64], 2, 50, pipeline, seed);
-    let big_open = measure_net_open_loop(256, 64, 3_200, 1.1, seed);
+    let big_open = measure_net_open_loop(256, 64, burst, 1.1, seed);
     print_rows(&big_closed);
     print_rows(std::slice::from_ref(&big_open));
     assert_eq!(big_closed[0].valid_orders, 64);

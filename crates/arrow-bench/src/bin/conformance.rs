@@ -17,8 +17,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: conformance [--smoke | --full] [--cases N] [--seed N] [--max-nodes N] \
-         [--max-requests N] [--no-thread] [--no-net] [--no-shrink] [--out DIR] \
-         [--replay FILE]\n(try --help for the replay file format)"
+         [--max-requests N] [--faults] [--fault-episodes N] [--no-thread] [--no-net] \
+         [--no-shrink] [--out DIR] [--replay FILE]\n(try --help for the replay file format)"
     );
     std::process::exit(2);
 }
@@ -40,6 +40,10 @@ OPTIONS:
     --seed N             master seed (case i derives from seed + i)
     --max-nodes N        per-case node budget
     --max-requests N     per-case request budget
+    --faults             inject a seeded fault schedule (crashes, restarts, link
+                         drops) into every case and check the churn contract
+                         instead of the fault-free suite (2 episodes per case)
+    --fault-episodes N   like --faults with an explicit per-case episode budget
     --no-thread          skip the thread tier
     --no-net             skip the socket tier
     --no-shrink          report failures without shrinking them first
@@ -64,6 +68,11 @@ REPLAY FILES:
         workload zipf                burst|poisson|uniform|zipf|sequential
         sync async                   sync|async timing model
         async-lo 0.05                async delay floor in [0, 1]
+        faults 2                     number of fault lines that follow (omitted
+                                     entirely for fault-free cases)
+        fault 3 crash 5              one per fault event: tick, then
+                                     crash|restart|partition NODE or
+                                     drop|restore U V
         req 7 1500000 2              one per request: node, time in subticks, object
 
     Reproduce any failure with:
@@ -110,6 +119,8 @@ fn main() -> ExitCode {
             }
             "--max-nodes" => opts.max_nodes = num(&mut args),
             "--max-requests" => opts.max_requests = num(&mut args),
+            "--faults" => opts.fault_episodes = 2,
+            "--fault-episodes" => opts.fault_episodes = num(&mut args),
             "--no-thread" => opts.include_thread = false,
             "--no-net" => opts.include_net = false,
             "--no-shrink" => opts.shrink_failures = false,
@@ -149,11 +160,16 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "conformance sweep: {} cases, master seed {:#x}, max {} nodes / {} requests, tiers: sim, sim-centralized{}{}",
+        "conformance sweep: {} cases, master seed {:#x}, max {} nodes / {} requests, tiers: sim{}{}{}",
         opts.cases,
         opts.master_seed,
         opts.max_nodes,
         opts.max_requests,
+        if opts.fault_episodes == 0 {
+            ", sim-centralized".to_string()
+        } else {
+            format!(" (churn contract, ≤{} fault episodes/case)", opts.fault_episodes)
+        },
         if opts.include_thread { ", thread" } else { "" },
         if opts.include_net { ", net" } else { "" },
     );
@@ -169,6 +185,12 @@ fn main() -> ExitCode {
             .collect::<Vec<_>>()
             .join(" "),
     );
+    if report.fault_events > 0 {
+        println!(
+            "injected {} fault events; observed {} token regenerations across tiers",
+            report.fault_events, report.token_regenerations,
+        );
+    }
     if report.all_passed() {
         println!("PASS: zero invariant violations across all tiers");
         return ExitCode::SUCCESS;

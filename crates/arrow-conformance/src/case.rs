@@ -44,6 +44,8 @@
 //! | `workload KIND` | `burst` \| `poisson` \| `uniform` \| `zipf` \| `sequential` | The generator the requests came from ([`WorkloadKind`]); informational once requests are explicit. |
 //! | `sync MODE` | `sync` \| `async` | Timing model for the simulator tier and the socket tier's latency law. |
 //! | `async-lo F` | `f64` in `[0, 1]` | The asynchronous model's delay floor (only meaningful with `sync async`). |
+//! | `faults N` | `usize` | Number of `fault` lines that follow (checked exactly). Optional; omitted entirely for fault-free cases. |
+//! | `fault EVENT` | [`FaultEvent`] text form | One fault event, e.g. `fault 3 crash 5` or `fault 4 drop 1 2` — `<tick> crash\|restart\|partition <node>` or `<tick> drop\|restore <u> <v>`. A case with fault lines runs the churn contract instead of the fault-free invariants. |
 //! | `req NODE SUBTICKS OBJ` | `usize u64 u32` | One request: issuing node, issue time in [`desim::SimTime`] subticks, object id. Repeated exactly `requests` times; request ids are assigned densely in time order at load. |
 //!
 //! Unknown keys, missing keys, out-of-order `req` counts and non-numeric values
@@ -304,6 +306,10 @@ pub struct ReplayCase {
     pub spec: CaseSpec,
     /// Explicit requests as `(node, issue time in subticks, object id)` triples.
     pub requests: Vec<(NodeId, u64, u32)>,
+    /// Explicit fault events injected during the run (empty = fault-free case).
+    /// A non-empty list switches the case onto the churn contract: epoch-based
+    /// recovery, per-epoch order validation, liveness-with-retries.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl ReplayCase {
@@ -317,7 +323,27 @@ impl ReplayCase {
             .iter()
             .map(|r| (r.node, r.time.subticks(), r.obj.0))
             .collect();
-        ReplayCase { spec, requests }
+        ReplayCase {
+            spec,
+            requests,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Generate the explicit case plus a seeded fault schedule of up to
+    /// `max_episodes` crash/restart or link drop/restore episodes against the
+    /// case's spanning tree (seeded by the case seed, so the whole churn scenario
+    /// is pinned by the spec).
+    pub fn generate_with_faults(spec: CaseSpec, max_episodes: usize) -> Self {
+        let mut case = ReplayCase::generate(spec);
+        let instance = spec.build_instance();
+        case.faults = FaultSchedule::generate(spec.seed, instance.tree(), max_episodes).events;
+        case
+    }
+
+    /// The case's fault schedule (empty for fault-free cases).
+    pub fn fault_schedule(&self) -> FaultSchedule {
+        FaultSchedule::new(self.faults.clone())
     }
 
     /// The case's schedule (ids assigned densely in time order).
@@ -349,6 +375,12 @@ impl ReplayCase {
             }
         ));
         out.push_str(&format!("async-lo {}\n", self.spec.async_lo));
+        if !self.faults.is_empty() {
+            out.push_str(&format!("faults {}\n", self.faults.len()));
+            for event in &self.faults {
+                out.push_str(&format!("fault {event}\n"));
+            }
+        }
         for &(node, subticks, obj) in &self.requests {
             out.push_str(&format!("req {node} {subticks} {obj}\n"));
         }
@@ -375,6 +407,8 @@ impl ReplayCase {
             async_lo: SimConfig::DEFAULT_ASYNC_LO,
         };
         let mut requests = Vec::new();
+        let mut faults = Vec::new();
+        let mut declared_faults: Option<usize> = None;
         for (idx, line) in lines {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -403,6 +437,10 @@ impl ReplayCase {
                     }
                 }
                 "async-lo" => spec.async_lo = rest.parse().map_err(|_| bad("bad async-lo"))?,
+                "faults" => {
+                    declared_faults = Some(rest.parse().map_err(|_| bad("bad faults count"))?)
+                }
+                "fault" => faults.push(rest.parse().map_err(|e| bad(&format!("bad fault: {e}")))?),
                 "req" => {
                     let mut parts = rest.split_whitespace();
                     let node = parts
@@ -425,7 +463,19 @@ impl ReplayCase {
                 _ => return Err(bad("unknown key")),
             }
         }
-        Ok(ReplayCase { spec, requests })
+        if let Some(declared) = declared_faults {
+            if declared != faults.len() {
+                return Err(format!(
+                    "faults line declares {declared} events but {} fault lines follow",
+                    faults.len()
+                ));
+            }
+        }
+        Ok(ReplayCase {
+            spec,
+            requests,
+            faults,
+        })
     }
 }
 
@@ -465,6 +515,33 @@ mod tests {
         let a = case.schedule();
         let b = parsed.schedule();
         assert_eq!(a.requests(), b.requests());
+    }
+
+    #[test]
+    fn replay_text_roundtrips_fault_schedules() {
+        let case = ReplayCase::generate_with_faults(spec(), 3);
+        assert!(!case.faults.is_empty());
+        // The seeded schedule is valid against the case's own tree.
+        let instance = case.spec.build_instance();
+        case.fault_schedule().validate(instance.tree()).unwrap();
+        let text = case.to_replay_text();
+        assert!(text.contains(&format!("faults {}\n", case.faults.len())));
+        let parsed = ReplayCase::from_replay_text(&text).unwrap();
+        assert_eq!(parsed, case);
+        assert_eq!(parsed.fault_schedule(), case.fault_schedule());
+        // A fault-free case emits no fault lines at all.
+        let clean = ReplayCase::generate(spec());
+        assert!(!clean.to_replay_text().contains("fault"));
+    }
+
+    #[test]
+    fn replay_parser_rejects_bad_fault_lines() {
+        let header = "arrow-conformance-replay v1\n";
+        let bad_verb = format!("{header}fault 3 explode 5\n");
+        assert!(ReplayCase::from_replay_text(&bad_verb).is_err());
+        let bad_count = format!("{header}faults 2\nfault 3 crash 5\n");
+        let err = ReplayCase::from_replay_text(&bad_count).unwrap_err();
+        assert!(err.contains("declares 2"), "{err}");
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub enum InvariantKind {
     LatencyBound,
     /// Cross-tier agreement on the per-object request multiset.
     CrossTier,
+    /// The churn contract on fault-injected cases: every issued request granted,
+    /// every `(object, epoch)` order chain fork-free, the final epoch one
+    /// complete chain per object (see [`arrow_core::prelude::ChurnOutcome`]).
+    ChurnContract,
 }
 
 /// One invariant violation observed while checking a tier's outcome.
@@ -349,6 +353,7 @@ mod tests {
                 obj: ObjectId::DEFAULT,
                 at_node: 0,
                 informed_at: SimTime::from_units(1),
+                epoch: 0,
             })
             .collect();
         let outcome = outcome_from_records(

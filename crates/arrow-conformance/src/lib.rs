@@ -51,15 +51,18 @@
 #![forbid(unsafe_code)]
 
 pub mod case;
+pub mod churn;
 pub mod invariants;
 pub mod net_driver;
 pub mod shrink;
 pub mod sweep;
 
 pub use case::{CaseSpec, GraphKind, ReplayCase, WorkloadKind};
+pub use churn::run_churn_case;
 pub use invariants::{InvariantKind, Violation};
 pub use net_driver::NetDriver;
 pub use shrink::shrink;
 pub use sweep::{
-    derive_spec, run_case, run_replay, run_sweep, CaseResult, SweepOptions, SweepReport,
+    derive_spec, run_case, run_case_counted, run_replay, run_sweep, CaseResult, SweepOptions,
+    SweepReport,
 };

@@ -8,7 +8,7 @@
 //! as [`RunError::Transport`], not panics, so a conformance sweep records them as
 //! ordinary failures.
 
-use arrow_core::driver::{acquire_sequences, Driver, GRANT_TIMEOUT};
+use arrow_core::driver::{acquire_sequences, Driver};
 use arrow_core::prelude::*;
 use arrow_net::{NetConfig, NetRuntime};
 use desim::SimTime;
@@ -64,6 +64,7 @@ impl Driver for NetDriver {
         } else {
             NetConfig::from_run_config(config, self.unit_latency)
         };
+        let grant_timeout = config.grant_timeout();
         let rt = NetRuntime::spawn_multi(instance.tree(), k, cfg);
         let mut workers = Vec::new();
         for ((node, obj), count) in acquire_sequences(schedule) {
@@ -71,12 +72,24 @@ impl Driver for NetDriver {
             workers.push(std::thread::spawn(move || -> Result<(), RunError> {
                 for _ in 0..count {
                     // Bounded wait: a grant that never arrives (lost token) must
-                    // become a recorded failure, not a hung sweep.
+                    // become a recorded failure, not a hung sweep. A timeout maps
+                    // to the typed starvation error; a transport failure keeps
+                    // its own variant.
                     let req = h
-                        .try_acquire_object_timeout(obj, GRANT_TIMEOUT)
-                        .map_err(|f| RunError::Transport {
-                            node: f.node,
-                            description: f.description,
+                        .try_acquire_object_timeout(obj, grant_timeout)
+                        .map_err(|f| {
+                            if f.description.contains("not granted within") {
+                                RunError::GrantTimeout {
+                                    node: f.node,
+                                    obj,
+                                    waited_ms: grant_timeout.as_millis() as u64,
+                                }
+                            } else {
+                                RunError::Transport {
+                                    node: f.node,
+                                    description: f.description,
+                                }
+                            }
                         })?;
                     h.release_object(obj, req);
                 }

@@ -7,19 +7,110 @@
 //! The predicate is arbitrary — the sweep passes "re-running the case still
 //! produces at least one violation" — and every accepted step re-runs it, so the
 //! shrunk case is a genuine repro, not a guess.
+//!
+//! Fault-injected cases get an extra leading pass over the fault schedule. Events
+//! cannot be dropped one at a time — removing a crash while keeping its restart
+//! (or a drop while keeping its restore) produces a schedule
+//! [`FaultSchedule::validate`](arrow_core::prelude::FaultSchedule::validate)
+//! rejects — so the shrinker works at **episode**
+//! granularity: events are grouped by their recovery target (the crashed node,
+//! or the dropped link a partition lowers to) and whole groups are dropped while
+//! the failure keeps reproducing. Every candidate — including the node-reduction
+//! pass, which could otherwise orphan a fault's target — is additionally gated on
+//! schedule validity against the candidate's own tree, so a shrunk replay file
+//! always re-runs.
 
 use crate::case::ReplayCase;
+use arrow_core::prelude::{FaultAction, FaultEvent};
+use netgraph::NodeId;
 
 /// Upper bound on predicate evaluations, so a flaky failure cannot spin the
 /// shrinker forever (live tiers are nondeterministic; a failure that reproduces
 /// only sometimes will simply shrink less).
 const MAX_CHECKS: usize = 200;
 
+/// The recovery target a fault event belongs to: crash/restart episodes key on
+/// the node, link episodes on the normalized edge (a tree partition is keyed on
+/// the parent edge it lowers to, pairing it with its `RestoreLink`). Dropping
+/// *all* events of one target leaves every other target's alternation history
+/// untouched, so validity is preserved episode by episode.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum FaultTarget {
+    Node(NodeId),
+    Link(NodeId, NodeId),
+}
+
+fn fault_target(event: &FaultEvent, case: &ReplayCase) -> FaultTarget {
+    match event.action {
+        FaultAction::CrashNode(v) | FaultAction::RestartNode(v) => FaultTarget::Node(v),
+        FaultAction::DropLink(u, v) | FaultAction::RestoreLink(u, v) => {
+            FaultTarget::Link(u.min(v), u.max(v))
+        }
+        FaultAction::PartitionTree(v) => {
+            let instance = case.spec.build_instance();
+            match instance.tree().parent(v) {
+                Some(p) => FaultTarget::Link(v.min(p), v.max(p)),
+                // Root or out-of-range target: an invalid schedule; key on the
+                // node so the group is still well-defined.
+                None => FaultTarget::Node(v),
+            }
+        }
+    }
+}
+
+/// True if the candidate's fault schedule (possibly empty) is valid against the
+/// candidate's own tree — the gate every shrink step must pass so the shrunk
+/// case remains runnable.
+fn faults_valid(case: &ReplayCase) -> bool {
+    case.faults.is_empty()
+        || case
+            .fault_schedule()
+            .validate(case.spec.build_instance().tree())
+            .is_ok()
+}
+
 /// Shrink `case` while `fails` keeps returning true for the candidate. Returns
 /// the smallest reproducing case found (possibly the input itself).
 pub fn shrink(case: &ReplayCase, mut fails: impl FnMut(&ReplayCase) -> bool) -> ReplayCase {
     let mut current = case.clone();
     let mut checks = 0usize;
+
+    // Pass 0: drop whole fault episodes (ddmin over recovery targets) while the
+    // failure keeps reproducing. Removing the last group turns the case
+    // fault-free, which is accepted only if the failure survives without churn.
+    loop {
+        let mut progressed = false;
+        let mut tried: Vec<FaultTarget> = Vec::new();
+        let mut i = 0;
+        while i < current.faults.len() && checks < MAX_CHECKS {
+            let target = fault_target(&current.faults[i], &current);
+            if tried.contains(&target) {
+                i += 1;
+                continue;
+            }
+            tried.push(target);
+            let mut candidate = current.clone();
+            candidate
+                .faults
+                .retain(|e| fault_target(e, &current) != target);
+            if !faults_valid(&candidate) {
+                i += 1;
+                continue;
+            }
+            checks += 1;
+            if fails(&candidate) {
+                current = candidate;
+                progressed = true;
+                // Restart the scan: indices shifted under us.
+                i = 0;
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed || checks >= MAX_CHECKS {
+            break;
+        }
+    }
 
     // Pass 1: drop request chunks, halving the chunk size until single requests.
     let mut chunk = current.requests.len().div_ceil(2).max(1);
@@ -65,7 +156,9 @@ pub fn shrink(case: &ReplayCase, mut fails: impl FnMut(&ReplayCase) -> bool) -> 
     if max_node + 1 < current.spec.nodes && checks < MAX_CHECKS {
         let mut candidate = current.clone();
         candidate.spec.nodes = (max_node + 1).max(2);
-        if fails(&candidate) {
+        // A smaller tree must still host every fault target (and keep the
+        // schedule's root/alternation contract) or the shrunk file won't re-run.
+        if faults_valid(&candidate) && fails(&candidate) {
             current = candidate;
         }
     }
@@ -111,6 +204,82 @@ mod tests {
         let case = case_with_requests(8);
         let shrunk = shrink(&case, |_| false);
         assert_eq!(shrunk, case);
+    }
+
+    #[test]
+    fn fault_episodes_shrink_whole_groups_and_stay_valid() {
+        let mut case = case_with_requests(6);
+        case.spec.graph = GraphKind::Complete;
+        case.spec.tree = SpanningTreeKind::BalancedBinary;
+        // Three episodes: a crash/restart of node 3, a link drop/restore of the
+        // 1–4 tree edge, and a partition of node 5 (restored via its parent edge).
+        case.faults = vec![
+            FaultEvent {
+                at: 1,
+                action: FaultAction::CrashNode(3),
+            },
+            FaultEvent {
+                at: 2,
+                action: FaultAction::DropLink(1, 4),
+            },
+            FaultEvent {
+                at: 3,
+                action: FaultAction::PartitionTree(5),
+            },
+            FaultEvent {
+                at: 4,
+                action: FaultAction::RestartNode(3),
+            },
+            FaultEvent {
+                at: 5,
+                action: FaultAction::RestoreLink(4, 1),
+            },
+            FaultEvent {
+                at: 6,
+                action: FaultAction::RestoreLink(5, 2),
+            },
+        ];
+        assert!(faults_valid(&case));
+        // "Failure" = the crash of node 3 is present; everything else can go.
+        let shrunk = shrink(&case, |c| {
+            c.faults
+                .iter()
+                .any(|e| e.action == FaultAction::CrashNode(3))
+        });
+        assert_eq!(shrunk.faults.len(), 2, "{:?}", shrunk.faults);
+        assert!(matches!(shrunk.faults[0].action, FaultAction::CrashNode(3)));
+        assert!(matches!(
+            shrunk.faults[1].action,
+            FaultAction::RestartNode(3)
+        ));
+        assert!(faults_valid(&shrunk));
+        // A failure independent of churn shrinks to a fault-free case.
+        let fault_free = shrink(&case, |c| !c.requests.is_empty());
+        assert!(fault_free.faults.is_empty());
+    }
+
+    #[test]
+    fn node_reduction_never_orphans_a_fault_target() {
+        let mut case = case_with_requests(4);
+        case.spec.graph = GraphKind::Complete;
+        case.spec.tree = SpanningTreeKind::BalancedBinary;
+        // Requests all live on low nodes, but the fault targets node 10: the
+        // node budget must not shrink below the fault's reach.
+        case.requests = vec![(1, 0, 0), (2, 1, 0)];
+        case.faults = vec![
+            FaultEvent {
+                at: 1,
+                action: FaultAction::CrashNode(10),
+            },
+            FaultEvent {
+                at: 2,
+                action: FaultAction::RestartNode(10),
+            },
+        ];
+        assert!(faults_valid(&case));
+        let shrunk = shrink(&case, |c| !c.faults.is_empty());
+        assert_eq!(shrunk.spec.nodes, 12, "kept the tree large enough");
+        assert!(faults_valid(&shrunk));
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! Any violation (or typed [`RunError`]) fails the case; failing cases are
 //! shrunk ([`crate::shrink::shrink`]) and can be written out as one-command
 //! replay files.
+//!
+//! With [`SweepOptions::fault_episodes`] `> 0` every case additionally carries a
+//! seeded fault schedule (crashes, restarts, link drops) and runs the churn
+//! contract ([`crate::churn`]) on the sim, thread and net tiers instead of the
+//! fault-free suite; the report then also counts observed token regenerations.
 
 use crate::case::{CaseSpec, GraphKind, ReplayCase, WorkloadKind};
 use crate::invariants::{self, InvariantKind, Violation};
@@ -44,6 +49,11 @@ pub struct SweepOptions {
     /// Directory to write replay files for failing cases into (created on first
     /// failure); `None` disables replay files.
     pub replay_dir: Option<PathBuf>,
+    /// Maximum fault episodes injected per case (`0` = fault-free sweep). When
+    /// positive, every case carries a seeded [`arrow_core::prelude::FaultSchedule`]
+    /// and is held to the churn contract ([`crate::churn`]) instead of the
+    /// fault-free invariant suite.
+    pub fault_episodes: usize,
 }
 
 impl SweepOptions {
@@ -58,6 +68,7 @@ impl SweepOptions {
             include_net: true,
             shrink_failures: true,
             replay_dir: None,
+            fault_episodes: 0,
         }
     }
 
@@ -72,6 +83,7 @@ impl SweepOptions {
             include_net: true,
             shrink_failures: true,
             replay_dir: Some(PathBuf::from("conformance-failures")),
+            fault_episodes: 0,
         }
     }
 }
@@ -102,6 +114,13 @@ pub struct SweepReport {
     pub tier_counts: Vec<(String, usize)>,
     /// Failing cases (shrunk when enabled), with their violations.
     pub failures: Vec<CaseResult>,
+    /// Total fault events injected across all cases (0 for a fault-free sweep).
+    pub fault_events: usize,
+    /// Token regenerations observed across all cases and tiers: order chains
+    /// rebuilt behind the virtual root in a recovery epoch — direct evidence the
+    /// sweep destroyed and regenerated tokens rather than merely surviving
+    /// benign faults.
+    pub token_regenerations: u64,
 }
 
 impl SweepReport {
@@ -168,6 +187,27 @@ fn violations_from_error(tier: &str, err: &RunError) -> Vec<Violation> {
 
 /// Run one case through every applicable tier and collect violations.
 pub fn run_case(case: &ReplayCase, opts: &SweepOptions) -> (Vec<String>, Vec<Violation>) {
+    let (tiers, violations, _) = run_case_counted(case, opts);
+    (tiers, violations)
+}
+
+/// [`run_case`] plus the number of token regenerations observed (always `0` on
+/// the fault-free path; the sweep surfaces the total so a fault run visibly
+/// exercised recovery).
+pub fn run_case_counted(
+    case: &ReplayCase,
+    opts: &SweepOptions,
+) -> (Vec<String>, Vec<Violation>, u64) {
+    if !case.faults.is_empty() {
+        // Fault-injected case: the churn contract replaces the fault-free suite
+        // (no centralized baseline, no latency bound — epochs reshape both).
+        return crate::churn::run_churn_case(case, opts.include_thread, opts.include_net);
+    }
+    let (tiers, violations) = run_case_fault_free(case, opts);
+    (tiers, violations, 0)
+}
+
+fn run_case_fault_free(case: &ReplayCase, opts: &SweepOptions) -> (Vec<String>, Vec<Violation>) {
     let instance = case.spec.build_instance();
     let schedule = case.schedule();
     let expected = invariants::request_multiset(&schedule);
@@ -257,11 +297,19 @@ pub fn run_sweep(opts: &SweepOptions) -> SweepReport {
     let mut total_requests = 0usize;
     let mut tier_counts: Vec<(String, usize)> = Vec::new();
     let mut failures = Vec::new();
+    let mut fault_events = 0usize;
+    let mut token_regenerations = 0u64;
     for i in 0..opts.cases {
         let spec = derive_spec(opts, i);
-        let case = ReplayCase::generate(spec);
+        let case = if opts.fault_episodes > 0 {
+            ReplayCase::generate_with_faults(spec, opts.fault_episodes)
+        } else {
+            ReplayCase::generate(spec)
+        };
         total_requests += case.requests.len();
-        let (tiers_run, violations) = run_case(&case, opts);
+        fault_events += case.faults.len();
+        let (tiers_run, violations, regens) = run_case_counted(&case, opts);
+        token_regenerations += regens;
         for tier in &tiers_run {
             match tier_counts.iter_mut().find(|(t, _)| t == tier) {
                 Some((_, c)) => *c += 1,
@@ -310,6 +358,8 @@ pub fn run_sweep(opts: &SweepOptions) -> SweepReport {
         total_requests,
         tier_counts,
         failures,
+        fault_events,
+        token_regenerations,
     }
 }
 

@@ -29,6 +29,7 @@ use crate::request::{ObjectId, RequestId};
 use crate::workload::ClosedLoopSpec;
 use desim::{Context, Process, SimDuration, SimTime};
 use netgraph::{DistanceMatrix, NodeId};
+use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 
 /// Per-object arrow state at one node: the link pointer and the last issued id.
@@ -70,6 +71,21 @@ pub struct ArrowNode {
     /// input is dropped and described here instead of aborting the simulation, so
     /// the harness can surface it as a typed [`crate::run::RunError`].
     violation: Option<String>,
+    /// Current recovery epoch (0 until a fault detection signal arrives).
+    epoch: u64,
+    /// The initial link pointers, kept so an epoch bump can reset the tree
+    /// orientation (all pointers back towards each object's initial root).
+    initial_links: Vec<NodeId>,
+    /// This node's own requests that have not completed yet: re-issued (under the
+    /// same ids) after every epoch bump, so requests lost to a fault recover.
+    pending: BTreeSet<(ObjectId, RequestId)>,
+    /// Own requests that have completed, used to drop duplicate completion
+    /// notifications arriving across epochs (first one wins).
+    completed: HashSet<RequestId>,
+    /// Stale-epoch messages dropped at this node.
+    stale_drops: u64,
+    /// Duplicate completion notifications suppressed at this node.
+    duplicate_grants: u64,
 }
 
 #[derive(Debug)]
@@ -140,6 +156,12 @@ impl ArrowNode {
             own_completions: Vec::new(),
             queue_hops: 0,
             violation: None,
+            epoch: 0,
+            initial_links: initial_links.to_vec(),
+            pending: BTreeSet::new(),
+            completed: HashSet::new(),
+            stale_drops: 0,
+            duplicate_grants: 0,
         }
     }
 
@@ -248,12 +270,47 @@ impl ArrowNode {
         self.violation.as_deref()
     }
 
+    /// The recovery epoch this node has reached (0 in fault-free runs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// This node's own requests still awaiting completion.
+    pub fn pending(&self) -> impl Iterator<Item = (ObjectId, RequestId)> + '_ {
+        self.pending.iter().copied()
+    }
+
+    /// Stale-epoch messages dropped at this node.
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_drops
+    }
+
+    /// Duplicate cross-epoch completion notifications suppressed (first one wins).
+    pub fn duplicate_grants(&self) -> u64 {
+        self.duplicate_grants
+    }
+
     /// The actual protocol logic, invoked once the service queue releases a work item.
     fn process(&mut self, ctx: &mut Context<ProtoMsg>, from: NodeId, msg: ProtoMsg) {
         match msg {
             ProtoMsg::Issue { req, obj } => self.handle_issue(ctx, req, obj),
-            ProtoMsg::Queue { req, obj, origin } => self.handle_queue(ctx, from, req, obj, origin),
-            ProtoMsg::Found { req, pred, .. } => self.handle_found(ctx, req, pred),
+            ProtoMsg::Queue {
+                req,
+                obj,
+                origin,
+                epoch,
+            } => self.handle_queue(ctx, from, req, obj, origin, epoch),
+            ProtoMsg::Found {
+                req,
+                obj,
+                pred,
+                epoch,
+            } => self.handle_found(ctx, req, obj, pred, epoch),
+            ProtoMsg::Epoch { epoch } => {
+                if epoch > self.epoch {
+                    self.apply_epoch(ctx, epoch);
+                }
+            }
             other => {
                 // A non-arrow message is a protocol bug; record it (first one wins)
                 // and drop the message rather than tearing the whole process down.
@@ -264,12 +321,53 @@ impl ArrowNode {
         }
     }
 
+    /// Epoch guard shared by the in-band message handlers: drop stale-epoch traffic
+    /// (returns `false`), fast-forward when the sender is ahead (a restarted node
+    /// can miss detection signals and learn the current epoch from live traffic).
+    fn admit_epoch(&mut self, ctx: &mut Context<ProtoMsg>, epoch: u64) -> bool {
+        if epoch < self.epoch {
+            self.stale_drops += 1;
+            return false;
+        }
+        if epoch > self.epoch {
+            self.apply_epoch(ctx, epoch);
+        }
+        true
+    }
+
+    /// Advance to recovery epoch `epoch`: reset every object's link pointer to the
+    /// initial tree orientation (the initial root becomes the sink again, holding
+    /// the regenerated virtual request `r0`), then re-issue every still-pending own
+    /// request under its original id.
+    fn apply_epoch(&mut self, ctx: &mut Context<ProtoMsg>, epoch: u64) {
+        self.epoch = epoch;
+        let me = self.me;
+        for (state, &initial) in self.objects.iter_mut().zip(&self.initial_links) {
+            state.link = initial;
+            state.last_id = if initial == me {
+                Some(RequestId::ROOT)
+            } else {
+                None
+            };
+        }
+        for (obj, req) in self.pending.clone() {
+            self.issue_inner(ctx, req, obj);
+        }
+    }
+
     /// Node `v` issues request `a` for object `o` (paper, Section 2):
     /// `id_o(v) ← a`; send `queue(a, o)` to `link_o(v)`; `link_o(v) ← v`.
     fn handle_issue(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId, obj: ObjectId) {
         assert!(!req.is_root(), "cannot issue the virtual root request");
         self.issued.push((req, obj, ctx.now()));
+        self.pending.insert((obj, req));
+        self.issue_inner(ctx, req, obj);
+    }
+
+    /// The issue state transition, shared by fresh issues and post-bump re-issues.
+    fn issue_inner(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId, obj: ObjectId) {
         let me = self.me;
+        let epoch = self.epoch;
         let state = self.object_mut(obj);
         let previous = state.last_id;
         state.last_id = Some(req);
@@ -290,6 +388,7 @@ impl ArrowNode {
                     req,
                     obj,
                     origin: me,
+                    epoch,
                 },
             );
         }
@@ -305,8 +404,13 @@ impl ArrowNode {
         req: RequestId,
         obj: ObjectId,
         origin: NodeId,
+        epoch: u64,
     ) {
+        if !self.admit_epoch(ctx, epoch) {
+            return;
+        }
         let me = self.me;
+        let epoch = self.epoch;
         let state = self.object_mut(obj);
         let old_link = state.link;
         state.link = from;
@@ -319,7 +423,15 @@ impl ArrowNode {
             self.complete_queuing(ctx, req, obj, pred, origin);
         } else {
             self.queue_hops += 1;
-            ctx.send(old_link, ProtoMsg::Queue { req, obj, origin });
+            ctx.send(
+                old_link,
+                ProtoMsg::Queue {
+                    req,
+                    obj,
+                    origin,
+                    epoch,
+                },
+            );
         }
     }
 
@@ -339,13 +451,19 @@ impl ArrowNode {
             obj,
             at_node: self.me,
             informed_at: ctx.now(),
+            epoch: self.epoch,
         });
         ctx.record_completion(req.0);
         if origin == self.me {
             // The requester is local: its request completed right here.
-            self.note_own_completion(ctx, req);
+            self.note_own_completion(ctx, req, obj);
         } else if self.send_ack {
-            let found = ProtoMsg::Found { req, obj, pred };
+            let found = ProtoMsg::Found {
+                req,
+                obj,
+                pred,
+                epoch: self.epoch,
+            };
             match &self.distances {
                 // With a graph metric available, the ack pays d_G(me, origin): the
                 // notification travels over the shortest graph path, not over the
@@ -360,12 +478,29 @@ impl ArrowNode {
         }
     }
 
-    fn handle_found(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId, _pred: RequestId) {
-        self.note_own_completion(ctx, req);
+    fn handle_found(
+        &mut self,
+        ctx: &mut Context<ProtoMsg>,
+        req: RequestId,
+        obj: ObjectId,
+        _pred: RequestId,
+        epoch: u64,
+    ) {
+        if !self.admit_epoch(ctx, epoch) {
+            return;
+        }
+        self.note_own_completion(ctx, req, obj);
     }
 
     /// One of this node's own requests completed; in closed-loop mode, issue the next.
-    fn note_own_completion(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId) {
+    fn note_own_completion(&mut self, ctx: &mut Context<ProtoMsg>, req: RequestId, obj: ObjectId) {
+        self.pending.remove(&(obj, req));
+        if !self.completed.insert(req) {
+            // A request can complete once per epoch it was re-issued in; only the
+            // first notification counts (and feeds the closed loop).
+            self.duplicate_grants += 1;
+            return;
+        }
         self.own_completions.push((req, ctx.now()));
         if let Some(cl) = &mut self.closed_loop {
             if cl.remaining > 0 {

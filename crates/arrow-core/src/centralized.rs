@@ -170,6 +170,7 @@ impl CentralizedNode {
             obj,
             at_node: self.me,
             informed_at: ctx.now(),
+            epoch: 0,
         });
         ctx.record_completion(req.0);
         if origin == self.me {
@@ -389,6 +390,7 @@ mod tests {
                 req: RequestId(1),
                 obj: ObjectId::DEFAULT,
                 origin: 1,
+                epoch: 0,
             },
         );
         let violation = node.protocol_violation().expect("violation recorded");

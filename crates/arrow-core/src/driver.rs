@@ -39,13 +39,17 @@ use netgraph::NodeId;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-/// How long a live-tier replay worker waits for one token grant before declaring
-/// the grant chain wedged (a lost token is exactly the class of protocol bug the
-/// conformance harness exists to catch — it must surface as a recorded
-/// [`RunError::Transport`], not hang the sweep). Conformance cases complete in
-/// milliseconds; half a minute of silence on an instant-latency mesh is a
-/// deadlock, not contention.
-pub const GRANT_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default live-tier grant timeout: how long a replay worker waits for one token
+/// grant before declaring the grant chain wedged (a lost token is exactly the
+/// class of protocol bug the conformance harness exists to catch — it must
+/// surface as a typed [`RunError::GrantTimeout`], not hang the sweep).
+/// Conformance cases complete in milliseconds; half a minute of silence on an
+/// instant-latency mesh is a deadlock, not contention.
+///
+/// Per-run override: [`RunConfig::with_grant_timeout_ms`] — the drivers read
+/// [`RunConfig::grant_timeout`], and fault sweeps lower it so a genuinely lost
+/// token fails fast.
+pub const GRANT_TIMEOUT: Duration = Duration::from_millis(RunConfig::DEFAULT_GRANT_TIMEOUT_MS);
 
 /// Run a [`RequestSchedule`] on an [`Instance`] in one execution tier and return
 /// the outcome with failures as data.
@@ -138,21 +142,20 @@ impl Driver for ThreadDriver {
             });
         }
         let k = schedule.object_id_bound();
+        let grant_timeout = config.grant_timeout();
         let rt = ArrowRuntime::spawn_multi(instance.tree(), k);
         let mut workers = Vec::new();
         for ((node, obj), count) in acquire_sequences(schedule) {
             let h = rt.handle(node);
             workers.push(std::thread::spawn(move || -> Result<(), RunError> {
                 for _ in 0..count {
-                    let req = h
-                        .acquire_object_timeout(obj, GRANT_TIMEOUT)
-                        .ok_or_else(|| RunError::Transport {
+                    let req = h.acquire_object_timeout(obj, grant_timeout).ok_or(
+                        RunError::GrantTimeout {
                             node,
-                            description: format!(
-                                "acquire of {obj} at node {node} not granted within \
-                                 {GRANT_TIMEOUT:?} — possible lost token"
-                            ),
-                        })?;
+                            obj,
+                            waited_ms: grant_timeout.as_millis() as u64,
+                        },
+                    )?;
                     h.release_object(obj, req);
                 }
                 Ok(())

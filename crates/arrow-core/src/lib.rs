@@ -79,6 +79,7 @@
 pub mod arrow;
 pub mod centralized;
 pub mod driver;
+pub mod fault;
 pub mod live;
 pub mod order;
 pub mod protocol;
@@ -89,12 +90,14 @@ pub mod workload;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::driver::{Driver, SimDriver, ThreadDriver};
-    pub use crate::order::{OrderRecord, QueuingOrder};
+    pub use crate::fault::{FaultAction, FaultEvent, FaultSchedule};
+    pub use crate::order::{validate_churn_records, ChurnOrderError, OrderRecord, QueuingOrder};
     pub use crate::protocol::{ProtoMsg, ProtocolKind};
     pub use crate::request::{ObjectId, Request, RequestId, RequestSchedule};
     pub use crate::run::{
         outcome_from_records, run, run_checked, run_schedule, run_schedule_checked,
-        run_schedule_traced, Instance, QueuingOutcome, RunConfig, RunError, SyncMode,
+        run_schedule_faulted, run_schedule_traced, ChurnOutcome, Instance, QueuingOutcome,
+        RunConfig, RunError, SyncMode, FAULT_DETECTION_DELAY,
     };
     pub use crate::workload::{self, ClosedLoopSpec, Workload};
     pub use netgraph::spanning::SpanningTreeKind;

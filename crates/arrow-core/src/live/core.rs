@@ -52,6 +52,9 @@ pub enum CoreAction {
         req: RequestId,
         /// Node that issued the request.
         origin: NodeId,
+        /// Recovery epoch the message belongs to (stamped on the wire; receivers
+        /// reject stale epochs).
+        epoch: u64,
     },
     /// Send `obj`'s exclusion token to `to`, granting its request `req`.
     SendToken {
@@ -61,6 +64,9 @@ pub enum CoreAction {
         obj: ObjectId,
         /// The request being granted.
         req: RequestId,
+        /// Recovery epoch the token belongs to (a stale-epoch token is a ghost
+        /// from before a regeneration and is rejected on receipt).
+        epoch: u64,
     },
     /// This node's own request `req` now holds `obj`'s token: wake the application.
     Granted {
@@ -80,12 +86,19 @@ pub enum CoreAction {
         succ: RequestId,
         /// Node that issued `succ`.
         origin: NodeId,
+        /// Recovery epoch the succession belongs to (journaled into the order
+        /// records for per-epoch validation).
+        epoch: u64,
     },
 }
 
 /// Per-own-request token bookkeeping at the issuing node.
 #[derive(Debug, Default)]
 struct TokenState {
+    /// The token has arrived for this request (the application holds it, or held
+    /// it and released). Requests with `granted == false` are still *pending* and
+    /// get re-issued after an epoch bump.
+    granted: bool,
     /// The token for this request has been (or never needed to be) released.
     released: bool,
     /// The successor of this request, once known: `(request, origin node)`.
@@ -114,6 +127,14 @@ pub struct ArrowCore {
     /// Token bookkeeping for requests issued by this node, keyed by
     /// (object, request id).
     tokens: HashMap<(ObjectId, RequestId), TokenState>,
+    /// Current recovery epoch (0 until a fault is detected). Stamped on outgoing
+    /// messages; inputs from older epochs are rejected, newer ones fast-forward.
+    epoch: u64,
+    /// The initial link pointer (tree parent, or `me` at the root), kept so an
+    /// epoch bump can reset every object to the initial tree orientation.
+    initial_link: NodeId,
+    /// Stale-epoch inputs rejected by this node.
+    stale_drops: u64,
 }
 
 impl ArrowCore {
@@ -141,6 +162,9 @@ impl ArrowCore {
                 })
                 .collect(),
             tokens: HashMap::new(),
+            epoch: 0,
+            initial_link,
+            stale_drops: 0,
         }
     }
 
@@ -164,6 +188,110 @@ impl ArrowCore {
     /// Number of objects served.
     pub fn object_count(&self) -> usize {
         self.objects.len()
+    }
+
+    /// The recovery epoch this node has reached (0 in fault-free runs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stale-epoch inputs this node rejected.
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_drops
+    }
+
+    /// This node's own requests still awaiting their token, sorted.
+    pub fn pending(&self) -> Vec<(ObjectId, RequestId)> {
+        let mut pending: Vec<_> = self
+            .tokens
+            .iter()
+            .filter(|(_, st)| !st.granted)
+            .map(|(&key, _)| key)
+            .collect();
+        pending.sort();
+        pending
+    }
+
+    /// Crash-restart: volatile protocol state (link pointers, token bookkeeping,
+    /// the recovery epoch) is lost and reset to the initial tree orientation. The
+    /// request-id counter survives — it models a counter in stable storage — so
+    /// requests issued after the restart never collide with pre-crash ids. The
+    /// node re-learns the current epoch from the next detection signal or from
+    /// the first newer-epoch message it receives.
+    pub fn reboot(&mut self) {
+        for state in &mut self.objects {
+            state.link = self.initial_link;
+            state.last_id = RequestId::ROOT;
+        }
+        self.tokens.clear();
+        self.epoch = 0;
+    }
+
+    /// Epoch guard for in-band inputs: `false` means the input is stale and must be
+    /// dropped; a newer epoch first fast-forwards this node (a restarted or
+    /// partitioned-away node can miss detection signals and learns the current
+    /// epoch from live traffic).
+    fn admit_epoch(&mut self, epoch: u64, actions: &mut Vec<CoreAction>) -> bool {
+        if epoch < self.epoch {
+            self.stale_drops += 1;
+            return false;
+        }
+        if epoch > self.epoch {
+            self.bump_epoch(epoch, actions);
+        }
+        true
+    }
+
+    /// Fault detection signal: advance to recovery epoch `epoch` (no-op unless it
+    /// is newer than the local epoch).
+    ///
+    /// A bump resets every object's link pointer to the initial tree orientation
+    /// — the initial root becomes every object's sink again, holding a
+    /// *regenerated* token behind the virtual request `r0` — discards token state
+    /// of already-granted requests (a token held across a bump is a ghost of the
+    /// old epoch; its release becomes a no-op and stale-epoch sends of it are
+    /// rejected by receivers), and re-issues every still-pending own request under
+    /// its original request id, so transports' waiting maps stay valid.
+    pub fn on_epoch(&mut self, epoch: u64, actions: &mut Vec<CoreAction>) {
+        if epoch > self.epoch {
+            self.bump_epoch(epoch, actions);
+        }
+    }
+
+    fn bump_epoch(&mut self, epoch: u64, actions: &mut Vec<CoreAction>) {
+        self.epoch = epoch;
+        let me = self.me;
+        for state in &mut self.objects {
+            state.link = self.initial_link;
+            state.last_id = RequestId::ROOT;
+        }
+        // Granted tokens die with their epoch; pending requests survive and are
+        // re-issued below, with any old-epoch successor linkage cleared.
+        self.tokens.retain(|_, st| !st.granted);
+        for st in self.tokens.values_mut() {
+            st.released = false;
+            st.successor = None;
+        }
+        let mut pending: Vec<(ObjectId, RequestId)> = self.tokens.keys().copied().collect();
+        pending.sort();
+        for (obj, req) in pending {
+            let state = self.object_mut(obj);
+            let previous = state.last_id;
+            state.last_id = req;
+            if state.link == me {
+                self.queuing_complete(obj, previous, req, me, actions);
+            } else {
+                let target = state.link;
+                state.link = me;
+                actions.push(CoreAction::SendQueue {
+                    to: target,
+                    obj,
+                    req,
+                    origin: me,
+                    epoch: self.epoch,
+                });
+            }
+        }
     }
 
     fn fresh_request_id(&mut self) -> RequestId {
@@ -206,13 +334,16 @@ impl ArrowCore {
                 obj,
                 req,
                 origin: me,
+                epoch: self.epoch,
             });
         }
         req
     }
 
     /// Arrow path reversal for one object: a `queue()` message for request `req`
-    /// (issued at `origin`) arrived from tree neighbour `from`.
+    /// (issued at `origin`, stamped with the sender's `epoch`) arrived from tree
+    /// neighbour `from`. Stale-epoch messages are dropped; newer ones fast-forward
+    /// this node first.
     ///
     /// # Panics
     /// If `obj` is out of range for this node.
@@ -222,9 +353,14 @@ impl ArrowCore {
         obj: ObjectId,
         req: RequestId,
         origin: NodeId,
+        epoch: u64,
         actions: &mut Vec<CoreAction>,
     ) {
+        if !self.admit_epoch(epoch, actions) {
+            return;
+        }
         let me = self.me;
+        let current = self.epoch;
         let state = self.object_mut(obj);
         let old_link = state.link;
         state.link = from;
@@ -237,18 +373,42 @@ impl ArrowCore {
                 obj,
                 req,
                 origin,
+                epoch: current,
             });
         }
     }
 
-    /// `obj`'s exclusion token arrived for this node's own request `req`.
-    pub fn on_token(&mut self, obj: ObjectId, req: RequestId, actions: &mut Vec<CoreAction>) {
+    /// `obj`'s exclusion token arrived for this node's own request `req`, stamped
+    /// with the sender's `epoch`. A stale-epoch token is a ghost of a pre-recovery
+    /// epoch and is dropped — the request it would have granted has already been
+    /// re-issued under the current epoch.
+    pub fn on_token(
+        &mut self,
+        obj: ObjectId,
+        req: RequestId,
+        epoch: u64,
+        actions: &mut Vec<CoreAction>,
+    ) {
+        if !self.admit_epoch(epoch, actions) {
+            return;
+        }
+        self.token_received(obj, req, actions);
+    }
+
+    fn token_received(&mut self, obj: ObjectId, req: RequestId, actions: &mut Vec<CoreAction>) {
+        self.tokens.entry((obj, req)).or_default().granted = true;
         actions.push(CoreAction::Granted { obj, req });
     }
 
     /// The local application released `obj`'s token it held for `req`.
+    ///
+    /// A release of a token granted before an epoch bump finds no bookkeeping
+    /// entry (the bump discarded it) and is a no-op: that token died with its
+    /// epoch and must not grant anyone.
     pub fn on_release(&mut self, obj: ObjectId, req: RequestId, actions: &mut Vec<CoreAction>) {
-        let state = self.tokens.entry((obj, req)).or_default();
+        let Some(state) = self.tokens.get_mut(&(obj, req)) else {
+            return;
+        };
         if let Some((succ, origin)) = state.successor.take() {
             self.tokens.remove(&(obj, req));
             self.grant(obj, succ, origin, actions);
@@ -272,6 +432,7 @@ impl ArrowCore {
             pred,
             succ,
             origin,
+            epoch: self.epoch,
         });
         if pred.is_root() {
             // The token has been sitting at the object's initial root, already free.
@@ -296,12 +457,13 @@ impl ArrowCore {
         actions: &mut Vec<CoreAction>,
     ) {
         if origin == self.me {
-            self.on_token(obj, req, actions);
+            self.token_received(obj, req, actions);
         } else {
             actions.push(CoreAction::SendToken {
                 to: origin,
                 obj,
                 req,
+                epoch: self.epoch,
             });
         }
     }
@@ -330,6 +492,7 @@ mod tests {
                     pred: RequestId::ROOT,
                     succ: req,
                     origin: 0,
+                    epoch: 0,
                 },
                 CoreAction::Granted {
                     obj: ObjectId::DEFAULT,
@@ -352,6 +515,7 @@ mod tests {
                 obj: ObjectId::DEFAULT,
                 req,
                 origin: 5,
+                epoch: 0,
             }]
         );
     }
@@ -363,7 +527,7 @@ mod tests {
         // child 3 must be forwarded to 0 and the link must flip to 3.
         let mut core = ArrowCore::for_tree(1, &t, 1);
         let mut out = Vec::new();
-        core.on_queue(3, ObjectId::DEFAULT, RequestId(9), 3, &mut out);
+        core.on_queue(3, ObjectId::DEFAULT, RequestId(9), 3, 0, &mut out);
         assert_eq!(
             out,
             vec![CoreAction::SendQueue {
@@ -371,11 +535,12 @@ mod tests {
                 obj: ObjectId::DEFAULT,
                 req: RequestId(9),
                 origin: 3,
+                epoch: 0,
             }]
         );
         out.clear();
         // A second queue() arriving from 0 must now chase the flipped link to 3.
-        core.on_queue(0, ObjectId::DEFAULT, RequestId(10), 6, &mut out);
+        core.on_queue(0, ObjectId::DEFAULT, RequestId(10), 6, 0, &mut out);
         assert_eq!(
             out,
             vec![CoreAction::SendQueue {
@@ -383,6 +548,7 @@ mod tests {
                 obj: ObjectId::DEFAULT,
                 req: RequestId(10),
                 origin: 6,
+                epoch: 0,
             }]
         );
     }
@@ -394,7 +560,7 @@ mod tests {
         let own = core.acquire(ObjectId::DEFAULT, &mut out);
         out.clear();
         // A remote request queues behind ours before we release.
-        core.on_queue(1, ObjectId::DEFAULT, RequestId(40), 2, &mut out);
+        core.on_queue(1, ObjectId::DEFAULT, RequestId(40), 2, 0, &mut out);
         assert_eq!(
             out,
             vec![CoreAction::Queued {
@@ -402,6 +568,7 @@ mod tests {
                 pred: own,
                 succ: RequestId(40),
                 origin: 2,
+                epoch: 0,
             }],
             "token is still held: no grant yet"
         );
@@ -413,6 +580,7 @@ mod tests {
                 to: 2,
                 obj: ObjectId::DEFAULT,
                 req: RequestId(40),
+                epoch: 0,
             }]
         );
     }
@@ -425,7 +593,7 @@ mod tests {
         out.clear();
         core.on_release(ObjectId::DEFAULT, own, &mut out);
         assert!(out.is_empty(), "no successor yet: nothing to do");
-        core.on_queue(1, ObjectId::DEFAULT, RequestId(7), 1, &mut out);
+        core.on_queue(1, ObjectId::DEFAULT, RequestId(7), 1, 0, &mut out);
         assert_eq!(
             out,
             vec![
@@ -434,11 +602,13 @@ mod tests {
                     pred: own,
                     succ: RequestId(7),
                     origin: 1,
+                    epoch: 0,
                 },
                 CoreAction::SendToken {
                     to: 1,
                     obj: ObjectId::DEFAULT,
                     req: RequestId(7),
+                    epoch: 0,
                 },
             ]
         );

@@ -23,4 +23,4 @@ mod runtime;
 
 pub use core::{ArrowCore, CoreAction};
 pub use lock::{CriticalSectionLog, DistributedLock, LockGuard, SectionRecord};
-pub use runtime::{ArrowRuntime, LiveReport, NodeHandle, RuntimeStats, EVENT_BATCH};
+pub use runtime::{ArrowRuntime, FaultHandle, LiveReport, NodeHandle, RuntimeStats, EVENT_BATCH};

@@ -14,28 +14,36 @@
 //! channels, node threads, and the map from pending requests to application wakeups.
 
 use super::core::{ArrowCore, CoreAction};
+use crate::fault::{FaultAction, FaultSchedule};
 use crate::order::{OrderError, OrderRecord, QueuingOrder};
 use crate::request::{ObjectId, Request, RequestId, RequestSchedule};
 use desim::{SimTime, SUBTICKS_PER_UNIT};
 use netgraph::{NodeId, RootedTree};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Messages exchanged between node threads (and commands from handles).
 #[derive(Debug, Clone)]
 enum LiveMsg {
-    /// The arrow `queue()` message for one object.
+    /// The arrow `queue()` message for one object, stamped with the sender's
+    /// recovery epoch.
     Queue {
         obj: ObjectId,
         req: RequestId,
         origin: NodeId,
+        epoch: u64,
     },
-    /// Object `obj`'s exclusion token, granted to the node that issued `req`.
-    Token { obj: ObjectId, req: RequestId },
+    /// Object `obj`'s exclusion token, granted to the node that issued `req`,
+    /// stamped with the sender's recovery epoch.
+    Token {
+        obj: ObjectId,
+        req: RequestId,
+        epoch: u64,
+    },
     /// Application command: acquire `obj`'s token; reply on the channel once held.
     Acquire {
         obj: ObjectId,
@@ -43,6 +51,15 @@ enum LiveMsg {
     },
     /// Application command: release `obj`'s token held for `req`.
     Release { obj: ObjectId, req: RequestId },
+    /// Fault injection: the node crashes, losing volatile protocol state and
+    /// failing local waiters promptly. Until restarted it ignores all traffic.
+    Crash,
+    /// Fault injection: the crashed node comes back up with freshly initialised
+    /// protocol state (it re-learns the current epoch from the next detection
+    /// broadcast or from live traffic).
+    Restart,
+    /// Fault detection broadcast: advance to recovery epoch `epoch`.
+    Epoch { epoch: u64 },
     /// Stop the node thread.
     Shutdown,
 }
@@ -56,6 +73,10 @@ pub struct RuntimeStats {
     pub token_messages: AtomicU64,
     /// Total acquisitions granted (all objects).
     pub acquisitions: AtomicU64,
+    /// Messages dropped at a blocked link or discarded by a crashed node.
+    pub messages_dropped: AtomicU64,
+    /// Stale-epoch inputs rejected by the cores (summed at shutdown).
+    pub stale_drops: AtomicU64,
 }
 
 impl RuntimeStats {
@@ -83,32 +104,46 @@ struct NodeState {
     me: NodeId,
     /// The shared per-node protocol automaton.
     core: ArrowCore,
+    /// True while a fault injection has this node down: all traffic is discarded
+    /// and local acquires fail promptly until a [`LiveMsg::Restart`].
+    crashed: bool,
     /// Scratch buffer for core actions (reused across events; steady state allocates
     /// nothing).
     actions: Vec<CoreAction>,
     /// Outstanding local acquires: (object, request id) -> reply channel.
     waiting: HashMap<(ObjectId, RequestId), Sender<RequestId>>,
     senders: Vec<Sender<(NodeId, LiveMsg)>>,
+    /// Tree links currently severed by fault injection, as `(min, max)` node
+    /// pairs; sends across them are dropped (both directions).
+    blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
     stats: Arc<RuntimeStats>,
     /// Shared runtime start instant: issue/record times are measured from it.
-    epoch: Instant,
+    started: Instant,
     journal: NodeJournal,
 }
 
 impl NodeState {
     fn now(&self) -> SimTime {
-        let units = self.epoch.elapsed().as_secs_f64();
+        let units = self.started.elapsed().as_secs_f64();
         SimTime::from_subticks((units * SUBTICKS_PER_UNIT as f64) as u64)
     }
 
     fn send(&self, to: NodeId, msg: LiveMsg) {
         // Sending to self is delivered through the same channel to preserve ordering.
+        if to != self.me {
+            let key = (self.me.min(to), self.me.max(to));
+            if self.blocked.lock().unwrap().contains(&key) {
+                self.stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
         let _ = self.senders[to].send((self.me, msg));
     }
 
     /// Translate the core's pending actions into channel sends and wakeups.
     fn apply_actions(&mut self) {
         let mut actions = std::mem::take(&mut self.actions);
+        let mut orphaned: Vec<(ObjectId, RequestId)> = Vec::new();
         for action in actions.drain(..) {
             match action {
                 CoreAction::SendQueue {
@@ -116,20 +151,38 @@ impl NodeState {
                     obj,
                     req,
                     origin,
+                    epoch,
                 } => {
                     // The core never queues or grants to itself (local cases surface
                     // as Queued/Granted), so every send is inter-node.
                     self.stats.queue_messages.fetch_add(1, Ordering::Relaxed);
-                    self.send(to, LiveMsg::Queue { obj, req, origin });
+                    self.send(
+                        to,
+                        LiveMsg::Queue {
+                            obj,
+                            req,
+                            origin,
+                            epoch,
+                        },
+                    );
                 }
-                CoreAction::SendToken { to, obj, req } => {
+                CoreAction::SendToken {
+                    to,
+                    obj,
+                    req,
+                    epoch,
+                } => {
                     self.stats.token_messages.fetch_add(1, Ordering::Relaxed);
-                    self.send(to, LiveMsg::Token { obj, req });
+                    self.send(to, LiveMsg::Token { obj, req, epoch });
                 }
                 CoreAction::Granted { obj, req } => {
                     self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
-                    if let Some(reply) = self.waiting.remove(&(obj, req)) {
-                        let _ = reply.send(req);
+                    let delivered = self
+                        .waiting
+                        .remove(&(obj, req))
+                        .is_some_and(|reply| reply.send(req).is_ok());
+                    if !delivered {
+                        orphaned.push((obj, req));
                     }
                 }
                 CoreAction::Queued {
@@ -137,6 +190,7 @@ impl NodeState {
                     pred,
                     succ,
                     origin,
+                    epoch,
                 } => {
                     // Journal the successor notification so the run can be held to
                     // the same per-object order validation as the other tiers
@@ -148,24 +202,55 @@ impl NodeState {
                         obj,
                         at_node: self.me,
                         informed_at: self.now(),
+                        epoch,
                     });
                     let _ = origin;
                 }
             }
         }
         self.actions = actions;
+        // A grant nobody can receive — the waiter timed out and dropped its
+        // reply channel, or a crash cleared the waiting map while the request
+        // lived on in the token chain — must not wedge the token here forever:
+        // release it on the vanished waiter's behalf so the queue keeps
+        // draining. (Recursion is bounded: each pass consumes its orphans.)
+        if !orphaned.is_empty() {
+            for (obj, req) in orphaned {
+                self.core.on_release(obj, req, &mut self.actions);
+            }
+            self.apply_actions();
+        }
     }
 
     /// Feed one message into the node's state. Core actions accumulate in
     /// `self.actions`; the event loop applies them once per drained batch (see
     /// [`ArrowCore`]'s batching contract).
     fn handle(&mut self, from: NodeId, msg: LiveMsg) {
-        match msg {
-            LiveMsg::Queue { obj, req, origin } => {
-                self.core
-                    .on_queue(from, obj, req, origin, &mut self.actions)
+        if self.crashed {
+            match msg {
+                LiveMsg::Restart => self.crashed = false,
+                // Dropping the reply sender errors the caller's recv immediately:
+                // an acquire against a crashed node fails promptly, it does not
+                // hang until a timeout.
+                LiveMsg::Acquire { reply, .. } => drop(reply),
+                _ => {
+                    self.stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            LiveMsg::Token { obj, req } => self.core.on_token(obj, req, &mut self.actions),
+            return;
+        }
+        match msg {
+            LiveMsg::Queue {
+                obj,
+                req,
+                origin,
+                epoch,
+            } => self
+                .core
+                .on_queue(from, obj, req, origin, epoch, &mut self.actions),
+            LiveMsg::Token { obj, req, epoch } => {
+                self.core.on_token(obj, req, epoch, &mut self.actions)
+            }
             LiveMsg::Acquire { obj, reply } => {
                 let time = self.now();
                 let req = self.core.acquire(obj, &mut self.actions);
@@ -180,6 +265,18 @@ impl NodeState {
                 });
             }
             LiveMsg::Release { obj, req } => self.core.on_release(obj, req, &mut self.actions),
+            LiveMsg::Crash => {
+                self.crashed = true;
+                // Volatile protocol state dies with the node; the request-id
+                // counter survives (stable storage) so post-restart ids never
+                // collide with pre-crash ones. Dropping the reply senders fails
+                // every in-flight local acquire promptly.
+                self.core.reboot();
+                self.waiting.clear();
+                self.actions.clear();
+            }
+            LiveMsg::Restart => {}
+            LiveMsg::Epoch { epoch } => self.core.on_epoch(epoch, &mut self.actions),
             LiveMsg::Shutdown => unreachable!("handled by the event loop"),
         }
     }
@@ -198,6 +295,7 @@ pub struct ArrowRuntime {
     senders: Vec<Sender<(NodeId, LiveMsg)>>,
     threads: Vec<JoinHandle<NodeJournal>>,
     stats: Arc<RuntimeStats>,
+    blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
     n: usize,
     k: usize,
 }
@@ -227,17 +325,20 @@ impl ArrowRuntime {
             senders.push(tx);
             receivers.push(rx);
         }
-        let epoch = Instant::now();
+        let started = Instant::now();
+        let blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>> = Arc::default();
         let mut threads = Vec::with_capacity(n);
         for (v, rx) in receivers.into_iter().enumerate() {
             let mut state = NodeState {
                 me: v,
                 core: ArrowCore::for_tree(v, tree, objects),
+                crashed: false,
                 actions: Vec::new(),
                 waiting: HashMap::new(),
                 senders: senders.clone(),
+                blocked: Arc::clone(&blocked),
                 stats: Arc::clone(&stats),
-                epoch,
+                started,
                 journal: NodeJournal::default(),
             };
             let handle = std::thread::Builder::new()
@@ -267,6 +368,10 @@ impl ArrowRuntime {
                         }
                         state.apply_actions();
                     }
+                    state
+                        .stats
+                        .stale_drops
+                        .fetch_add(state.core.stale_drops(), Ordering::Relaxed);
                     state.journal
                 })
                 .expect("failed to spawn node thread");
@@ -276,6 +381,7 @@ impl ArrowRuntime {
             senders,
             threads,
             stats,
+            blocked,
             n,
             k: objects,
         }
@@ -294,6 +400,17 @@ impl ArrowRuntime {
     /// Shared runtime statistics.
     pub fn stats(&self) -> &RuntimeStats {
         &self.stats
+    }
+
+    /// A handle for injecting faults into the running system (crash/restart
+    /// nodes, sever/restore links, broadcast epoch bumps). Cloneable and
+    /// independent of the application handles; typically driven from a dedicated
+    /// injector thread via [`FaultHandle::run_schedule`].
+    pub fn fault_handle(&self) -> FaultHandle {
+        FaultHandle {
+            senders: self.senders.clone(),
+            blocked: Arc::clone(&self.blocked),
+        }
     }
 
     /// A handle for the application running at node `v`.
@@ -369,6 +486,89 @@ impl LiveReport {
     /// enforces ([`crate::order::per_object_orders`]).
     pub fn validated_orders(&self) -> Result<Vec<(ObjectId, QueuingOrder)>, OrderError> {
         crate::order::per_object_orders(&self.records, &self.schedule).map_err(|(_, e)| e)
+    }
+}
+
+/// Fault-injection handle of a running [`ArrowRuntime`]: kill and respawn nodes,
+/// sever and restore links, and broadcast the detection-driven epoch bumps that
+/// trigger token regeneration — the thread-tier counterpart of the simulator's
+/// scheduled [`desim::SimFault`]s.
+#[derive(Debug, Clone)]
+pub struct FaultHandle {
+    senders: Vec<Sender<(NodeId, LiveMsg)>>,
+    blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
+}
+
+impl FaultHandle {
+    /// Crash node `v`: it discards volatile protocol state, fails its in-flight
+    /// local acquires promptly, and ignores all traffic until [`restart`].
+    ///
+    /// [`restart`]: FaultHandle::restart
+    pub fn crash(&self, v: NodeId) {
+        let _ = self.senders[v].send((v, LiveMsg::Crash));
+    }
+
+    /// Restart crashed node `v` with freshly initialised protocol state.
+    pub fn restart(&self, v: NodeId) {
+        let _ = self.senders[v].send((v, LiveMsg::Restart));
+    }
+
+    /// Sever the link between `u` and `v` (both directions): subsequent sends
+    /// across it are silently dropped until [`restore_link`].
+    ///
+    /// [`restore_link`]: FaultHandle::restore_link
+    pub fn drop_link(&self, u: NodeId, v: NodeId) {
+        self.blocked.lock().unwrap().insert((u.min(v), u.max(v)));
+    }
+
+    /// Restore a severed link.
+    pub fn restore_link(&self, u: NodeId, v: NodeId) {
+        self.blocked.lock().unwrap().remove(&(u.min(v), u.max(v)));
+    }
+
+    /// Broadcast a detection-driven epoch bump to every node (crashed nodes miss
+    /// it and catch up from live traffic or a later broadcast).
+    pub fn broadcast_epoch(&self, epoch: u64) {
+        for (v, tx) in self.senders.iter().enumerate() {
+            let _ = tx.send((v, LiveMsg::Epoch { epoch }));
+        }
+    }
+
+    /// Apply one fault action and broadcast the epoch bump that detection of it
+    /// triggers. A crash is applied *before* the broadcast, so the crashed node
+    /// misses its own bump (it learns the epoch later); a restart is applied
+    /// before too, so the restarted node receives it (channel FIFO).
+    ///
+    /// # Panics
+    /// On [`FaultAction::PartitionTree`] — lower the schedule against a tree
+    /// first ([`FaultSchedule::lowered`]).
+    pub fn apply(&self, action: &FaultAction, epoch: u64) {
+        match *action {
+            FaultAction::CrashNode(v) => self.crash(v),
+            FaultAction::RestartNode(v) => self.restart(v),
+            FaultAction::DropLink(u, v) => self.drop_link(u, v),
+            FaultAction::RestoreLink(u, v) => self.restore_link(u, v),
+            FaultAction::PartitionTree(_) => {
+                panic!("partition faults must be lowered to link drops first")
+            }
+        }
+        self.broadcast_epoch(epoch);
+    }
+
+    /// Drive a whole fault schedule against the running system, pacing event
+    /// ticks to `tick` of wall clock (blocking; run it on a dedicated injector
+    /// thread). Event `i` is followed by the broadcast of epoch `i + 1`,
+    /// mirroring the simulator harness's detection model.
+    pub fn run_schedule(&self, schedule: &FaultSchedule, tree: &RootedTree, tick: Duration) {
+        let lowered = schedule.lowered(tree);
+        let started = Instant::now();
+        for (i, ev) in lowered.events.iter().enumerate() {
+            let due = started + tick * ev.at as u32;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            self.apply(&ev.action, (i + 1) as u64);
+        }
     }
 }
 
@@ -610,6 +810,143 @@ mod tests {
     fn handle_for_missing_node_panics() {
         let rt = ArrowRuntime::spawn(&tree(3));
         let _ = rt.handle(9);
+    }
+
+    #[test]
+    fn acquire_against_a_crashed_node_fails_fast() {
+        let rt = ArrowRuntime::spawn(&tree(7));
+        let fh = rt.fault_handle();
+        fh.crash(5);
+        let started = Instant::now();
+        // The generous timeout must not be consumed: the crashed node drops the
+        // reply channel, failing the acquire promptly.
+        let got = rt
+            .handle(5)
+            .acquire_object_timeout(ObjectId::DEFAULT, Duration::from_secs(10));
+        assert!(got.is_none());
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "crashed node must fail acquires promptly, not by timeout"
+        );
+        fh.restart(5);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn crash_fails_in_flight_acquires_promptly() {
+        let rt = ArrowRuntime::spawn(&tree(7));
+        // The root holds the token, so node 5's acquire stays pending...
+        let root = rt.handle(0);
+        let held = root.acquire();
+        let waiter = rt.handle(5);
+        let join = std::thread::spawn(move || {
+            let started = Instant::now();
+            let got = waiter.acquire_object_timeout(ObjectId::DEFAULT, Duration::from_secs(10));
+            (got, started.elapsed())
+        });
+        // ...give the request time to queue, then crash the waiter's node.
+        std::thread::sleep(Duration::from_millis(50));
+        let fh = rt.fault_handle();
+        fh.crash(5);
+        let (got, elapsed) = join.join().unwrap();
+        assert!(got.is_none());
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "pending acquire at a crashing node must fail promptly"
+        );
+        fh.restart(5);
+        root.release(held);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn crashing_the_token_holder_regenerates_the_token() {
+        let rt = ArrowRuntime::spawn(&tree(7));
+        let fh = rt.fault_handle();
+        // Node 5 wins the token and crashes while holding it: the token is lost.
+        let holder = rt.handle(5);
+        let req = holder.acquire();
+        assert!(!req.is_root());
+        fh.apply(&FaultAction::CrashNode(5), 1);
+        // After the detection bump the root holds a regenerated token, so node 6
+        // must still be granted — the lost token cannot wedge the directory.
+        let got = rt
+            .handle(6)
+            .acquire_object_timeout(ObjectId::DEFAULT, Duration::from_secs(10))
+            .expect("regenerated token grants the surviving node");
+        rt.handle(6).release_object(ObjectId::DEFAULT, got);
+        fh.apply(&FaultAction::RestartNode(5), 2);
+        let report = rt.shutdown_report();
+        assert!(
+            report
+                .records()
+                .iter()
+                .any(|r| r.epoch > 0 && r.predecessor.is_root()),
+            "the post-crash grant chains from the regenerated root token"
+        );
+        crate::order::validate_churn_records(report.records(), 2)
+            .expect("per-epoch order contract under churn");
+    }
+
+    #[test]
+    fn generated_fault_schedule_churn_run_converges() {
+        use std::sync::atomic::AtomicBool;
+        let t = tree(9);
+        let faults = FaultSchedule::generate(11, &t, 3);
+        let final_epoch = faults.final_epoch();
+        let rt = Arc::new(ArrowRuntime::spawn_multi(&t, 2));
+        let fh = rt.fault_handle();
+        let injector_done = Arc::new(AtomicBool::new(false));
+        let injector = {
+            let fh = fh.clone();
+            let t = t.clone();
+            let faults = faults.clone();
+            let done = Arc::clone(&injector_done);
+            std::thread::spawn(move || {
+                fh.run_schedule(&faults, &t, Duration::from_millis(10));
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        let mut joins = Vec::new();
+        for v in 0..9 {
+            let h = rt.handle(v);
+            let fh = fh.clone();
+            let done = Arc::clone(&injector_done);
+            joins.push(std::thread::spawn(move || {
+                for round in 0..4u32 {
+                    let obj = ObjectId((v as u32 + round) % 2);
+                    let mut attempts = 0;
+                    loop {
+                        attempts += 1;
+                        assert!(attempts <= 200, "node {v} round {round} never granted");
+                        match h.acquire_object_timeout(obj, Duration::from_millis(300)) {
+                            Some(req) => {
+                                h.release_object(obj, req);
+                                break;
+                            }
+                            None => {
+                                // Crashed-node failure or a grant lost to churn:
+                                // once injection is over, a timeout doubles as
+                                // fault detection — re-broadcasting the final
+                                // epoch is idempotent and heals any straggler.
+                                if done.load(Ordering::SeqCst) {
+                                    fh.broadcast_epoch(final_epoch);
+                                }
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        injector.join().unwrap();
+        let report = Arc::try_unwrap(rt).ok().unwrap().shutdown_report();
+        crate::order::validate_churn_records(report.records(), final_epoch)
+            .expect("per-epoch order contract across a generated churn schedule");
+        assert!(report.stats().2 >= 9 * 4, "every worker round was granted");
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct OrderRecord {
     /// Time the notification happened — the end point of the latency of `successor`
     /// per Definition 3.2.
     pub informed_at: SimTime,
+    /// Recovery epoch the notification happened in (0 in fault-free runs). Under
+    /// churn each epoch builds its own chain; see [`validate_churn_records`].
+    pub epoch: u64,
 }
 
 /// Errors that make a set of order records an invalid queuing order.
@@ -194,6 +197,126 @@ pub fn per_object_orders(
     Ok(orders)
 }
 
+/// An order-validity violation in a run with faults (see [`validate_churn_records`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChurnOrderError {
+    /// A request was queued more than once within a single epoch of one object.
+    DuplicateSuccessor {
+        /// Object whose queue is inconsistent.
+        obj: ObjectId,
+        /// Epoch the duplicate appeared in.
+        epoch: u64,
+        /// The request queued twice.
+        req: RequestId,
+    },
+    /// A request gained two direct successors within a single epoch of one object.
+    DuplicatePredecessor {
+        /// Object whose queue is inconsistent.
+        obj: ObjectId,
+        /// Epoch the fork appeared in.
+        epoch: u64,
+        /// The forked predecessor.
+        req: RequestId,
+    },
+    /// The final epoch's records do not form one chain from the root.
+    BrokenFinalChain {
+        /// Object whose final chain is broken.
+        obj: ObjectId,
+        /// The final epoch.
+        epoch: u64,
+        /// Requests reachable from the root.
+        reached: usize,
+        /// Records the final epoch contains.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for ChurnOrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnOrderError::DuplicateSuccessor { obj, epoch, req } => {
+                write!(
+                    f,
+                    "object {obj}: request {req} queued twice in epoch {epoch}"
+                )
+            }
+            ChurnOrderError::DuplicatePredecessor { obj, epoch, req } => {
+                write!(f, "object {obj}: request {req} forked in epoch {epoch}")
+            }
+            ChurnOrderError::BrokenFinalChain {
+                obj,
+                epoch,
+                reached,
+                expected,
+            } => write!(
+                f,
+                "object {obj}: final epoch {epoch} chain reaches {reached} of {expected} records"
+            ),
+        }
+    }
+}
+
+/// Validate per-object order records from a run with faults.
+///
+/// Each recovery epoch of each object builds its own successor chain from the
+/// (regenerated) virtual root request, so the fault-free contract — one complete
+/// chain per object — splits in two:
+///
+/// * **Every epoch** must be fork-free: within one `(object, epoch)` group a
+///   request is queued at most once and gains at most one direct successor.
+///   Abandoned epochs may leave *disconnected* chain segments behind (the fault cut
+///   them short); that is legal.
+/// * **The final epoch** (`final_epoch`, the one the system converged to after the
+///   last fault's detection bump) must additionally form a single connected chain
+///   from [`RequestId::ROOT`] covering all of its records — after recovery the
+///   directory behaves like a fresh fault-free instance.
+pub fn validate_churn_records(
+    records: &[OrderRecord],
+    final_epoch: u64,
+) -> Result<(), ChurnOrderError> {
+    let mut groups: HashMap<(ObjectId, u64), Vec<&OrderRecord>> = HashMap::new();
+    for rec in records {
+        groups.entry((rec.obj, rec.epoch)).or_default().push(rec);
+    }
+    for (&(obj, epoch), group) in &groups {
+        let mut succ_of: HashMap<RequestId, RequestId> = HashMap::new();
+        let mut seen_succ: std::collections::HashSet<RequestId> = Default::default();
+        for rec in group {
+            if !seen_succ.insert(rec.successor) {
+                return Err(ChurnOrderError::DuplicateSuccessor {
+                    obj,
+                    epoch,
+                    req: rec.successor,
+                });
+            }
+            if succ_of.insert(rec.predecessor, rec.successor).is_some() {
+                return Err(ChurnOrderError::DuplicatePredecessor {
+                    obj,
+                    epoch,
+                    req: rec.predecessor,
+                });
+            }
+        }
+        if epoch == final_epoch {
+            let mut reached = 0;
+            let mut cur = RequestId::ROOT;
+            while let Some(&next) = succ_of.get(&cur) {
+                reached += 1;
+                cur = next;
+            }
+            if reached != group.len() {
+                return Err(ChurnOrderError::BrokenFinalChain {
+                    obj,
+                    epoch,
+                    reached,
+                    expected: group.len(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +337,7 @@ mod tests {
             obj: ObjectId::DEFAULT,
             at_node: 0,
             informed_at: SimTime::from_units(at),
+            epoch: 0,
         }
     }
 
@@ -279,6 +403,53 @@ mod tests {
         let records = vec![rec(0, 9, 1)];
         let err = QueuingOrder::from_records(&records, &schedule3()).unwrap_err();
         assert_eq!(err, OrderError::UnknownRequest(RequestId(9)));
+    }
+
+    fn erec(epoch: u64, pred: u64, succ: u64) -> OrderRecord {
+        OrderRecord {
+            epoch,
+            ..rec(pred, succ, 1)
+        }
+    }
+
+    #[test]
+    fn churn_records_allow_disconnected_segments_in_abandoned_epochs() {
+        // Epoch 0: segment 5 <- 6 not anchored at the root (the fault cut the run
+        // short). Epoch 1 (final): complete chain 0 <- 1 <- 2.
+        let records = vec![erec(0, 5, 6), erec(1, 0, 1), erec(1, 1, 2)];
+        validate_churn_records(&records, 1).expect("legal churn history");
+    }
+
+    #[test]
+    fn churn_records_reject_forks_in_any_epoch() {
+        let dup_succ = vec![erec(0, 1, 2), erec(0, 3, 2)];
+        assert!(matches!(
+            validate_churn_records(&dup_succ, 1),
+            Err(ChurnOrderError::DuplicateSuccessor { .. })
+        ));
+        let dup_pred = vec![erec(0, 1, 2), erec(0, 1, 3)];
+        assert!(matches!(
+            validate_churn_records(&dup_pred, 1),
+            Err(ChurnOrderError::DuplicatePredecessor { .. })
+        ));
+    }
+
+    #[test]
+    fn churn_records_require_a_complete_final_chain() {
+        // Final epoch has a segment not anchored at the root.
+        let records = vec![erec(2, 0, 1), erec(2, 7, 8)];
+        let err = validate_churn_records(&records, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            ChurnOrderError::BrokenFinalChain {
+                reached: 1,
+                expected: 2,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("final epoch"));
+        // The same records are legal when epoch 2 is not final.
+        validate_churn_records(&records, 3).expect("non-final epochs may fragment");
     }
 
     #[test]

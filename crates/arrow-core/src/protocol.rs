@@ -37,6 +37,9 @@ pub enum ProtoMsg {
         obj: ObjectId,
         /// Node that issued the request (carried for the optional ack).
         origin: NodeId,
+        /// Sender's recovery epoch (0 in fault-free runs); receivers drop the
+        /// message when it is stale and fast-forward when it is ahead.
+        epoch: u64,
     },
     /// Optional notification sent back to the requester once its request has found its
     /// predecessor ("the identity of the predecessor was returned to the processor",
@@ -48,6 +51,16 @@ pub enum ProtoMsg {
         obj: ObjectId,
         /// Its predecessor in the object's total order.
         pred: RequestId,
+        /// Sender's recovery epoch (0 in fault-free runs); stale acks are dropped.
+        epoch: u64,
+    },
+    /// Fault detection signal: advance to recovery epoch `epoch` (reset link
+    /// pointers to the initial tree orientation, regenerate tokens at the root,
+    /// re-issue pending requests). Injected as an external input by the harness
+    /// after each fault event; ignored when not newer than the local epoch.
+    Epoch {
+        /// The epoch to advance to.
+        epoch: u64,
     },
     /// Centralized baseline: ask the central node to enqueue a request.
     CentralEnqueue {

@@ -15,11 +15,12 @@
 
 use crate::arrow::ArrowNode;
 use crate::centralized::CentralizedNode;
-use crate::order::{OrderRecord, QueuingOrder};
+use crate::fault::FaultSchedule;
+use crate::order::{validate_churn_records, OrderRecord, QueuingOrder};
 use crate::protocol::{ProtoMsg, ProtocolKind};
-use crate::request::{ObjectId, Request, RequestSchedule};
+use crate::request::{ObjectId, Request, RequestId, RequestSchedule};
 use crate::workload::{ClosedLoopSpec, Workload};
-use desim::{LatencyModel, LocalOrder, SimConfig, SimTime, Simulator};
+use desim::{LatencyModel, LocalOrder, SimConfig, SimDuration, SimTime, Simulator};
 use netgraph::spanning::{build_spanning_tree, SpanningTreeKind};
 use netgraph::{DistanceMatrix, Graph, NodeId, RootedTree, StretchReport};
 use serde::{Deserialize, Serialize};
@@ -162,9 +163,18 @@ pub struct RunConfig {
     pub async_lo_factor: f64,
     /// Record a full message trace.
     pub trace: bool,
+    /// How long a live-tier acquire may wait for its token before the driver fails
+    /// the run with [`RunError::GrantTimeout`] (ignored by the simulator tiers,
+    /// which have no wall clock). Defaults to [`RunConfig::DEFAULT_GRANT_TIMEOUT_MS`];
+    /// fault sweeps lower it so a genuinely lost token fails fast.
+    pub grant_timeout_ms: u64,
 }
 
 impl RunConfig {
+    /// Default live-tier grant timeout: generous enough that a loaded fault-free
+    /// run never trips it, short enough that a deadlocked sweep still terminates.
+    pub const DEFAULT_GRANT_TIMEOUT_MS: u64 = 30_000;
+
     /// Analysis mode: the model of Section 3 (free local computation, no acks).
     pub fn analysis(protocol: ProtocolKind) -> Self {
         RunConfig {
@@ -175,6 +185,7 @@ impl RunConfig {
             local_service_time: 0.0,
             async_lo_factor: SimConfig::DEFAULT_ASYNC_LO,
             trace: false,
+            grant_timeout_ms: RunConfig::DEFAULT_GRANT_TIMEOUT_MS,
         }
     }
 
@@ -189,7 +200,19 @@ impl RunConfig {
             local_service_time: service_time,
             async_lo_factor: SimConfig::DEFAULT_ASYNC_LO,
             trace: false,
+            grant_timeout_ms: RunConfig::DEFAULT_GRANT_TIMEOUT_MS,
         }
+    }
+
+    /// Set the live-tier grant timeout (milliseconds).
+    pub fn with_grant_timeout_ms(mut self, ms: u64) -> Self {
+        self.grant_timeout_ms = ms;
+        self
+    }
+
+    /// The live-tier grant timeout as a [`std::time::Duration`].
+    pub fn grant_timeout(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.grant_timeout_ms)
     }
 
     /// Switch to the asynchronous model with the given seed.
@@ -298,6 +321,25 @@ pub enum RunError {
         /// Human-readable description of the failure.
         description: String,
     },
+    /// A live-tier acquire waited longer than [`RunConfig::grant_timeout_ms`] for
+    /// its token — the classic symptom of a lost token (e.g. its holder crashed
+    /// and recovery failed). Distinct from [`RunError::Transport`] so sweeps can
+    /// tell a deadlock from an I/O failure.
+    GrantTimeout {
+        /// The node whose acquire starved.
+        node: NodeId,
+        /// The object it was waiting for.
+        obj: ObjectId,
+        /// How long it waited, in milliseconds.
+        waited_ms: u64,
+    },
+    /// A run with fault injection broke the churn contract: a surviving request
+    /// was never granted (or granted twice), or the per-epoch order records are
+    /// inconsistent (see [`crate::order::validate_churn_records`]).
+    ChurnViolation {
+        /// Human-readable description of the violated invariant.
+        description: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -314,6 +356,20 @@ impl std::fmt::Display for RunError {
             }
             RunError::Transport { node, description } => {
                 write!(f, "transport failure at node {node}: {description}")
+            }
+            RunError::GrantTimeout {
+                node,
+                obj,
+                waited_ms,
+            } => {
+                write!(
+                    f,
+                    "grant timed out at node {node} for {obj} after {waited_ms} ms \
+                     (possible lost token)"
+                )
+            }
+            RunError::ChurnViolation { description } => {
+                write!(f, "churn contract violated: {description}")
             }
         }
     }
@@ -403,6 +459,221 @@ pub fn run_schedule_traced(
     let mut config = config.clone();
     config.trace = true;
     run_ref(instance, WorkloadRef::Open(schedule), &config)
+}
+
+/// Delay, in time units, between a fault event and the detection signal that bumps
+/// every surviving node to the next recovery epoch. Correctness does not depend on
+/// the value (stale-epoch traffic is rejected on receipt); it only controls how long
+/// the directory runs in a degraded state.
+pub const FAULT_DETECTION_DELAY: f64 = 1.5;
+
+/// Everything observed in one simulator run under fault injection.
+///
+/// The fault-free outcome type ([`QueuingOutcome`]) cannot describe a churn run:
+/// requests may never be issued (their node was crashed), each recovery epoch
+/// builds its own order chain, and completion counts — not a single total order —
+/// are the liveness evidence. [`ChurnOutcome::validate`] checks the churn contract:
+/// every issued request granted exactly once, every epoch fork-free, the final
+/// epoch one complete chain per object.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnOutcome {
+    /// The scheduled (input) requests.
+    pub schedule: RequestSchedule,
+    /// Requests actually issued by their node (sorted by id).
+    pub issued: Vec<RequestId>,
+    /// Scheduled requests that were never issued because their node was crashed at
+    /// issue time — excused from the liveness contract (sorted by id).
+    pub excused: Vec<RequestId>,
+    /// Requests whose requester observed completion, first notification per
+    /// request (sorted by id).
+    pub granted: Vec<RequestId>,
+    /// All successor records, epoch-stamped.
+    pub records: Vec<OrderRecord>,
+    /// The epoch the run converged to (= number of fault events).
+    pub final_epoch: u64,
+    /// Messages lost to crashes and severed links.
+    pub messages_dropped: u64,
+    /// Externals/timers silenced at crashed nodes.
+    pub silenced_inputs: u64,
+    /// Stale-epoch messages rejected by nodes.
+    pub stale_drops: u64,
+    /// Duplicate cross-epoch completion notifications suppressed (first one wins).
+    pub duplicate_grants: u64,
+    /// Virtual time at which the system drained.
+    pub makespan: f64,
+}
+
+impl ChurnOutcome {
+    /// Records proving the directory rebuilt a queue from a *regenerated* root
+    /// token: successions recorded behind the virtual root request in an epoch
+    /// bumped by fault recovery (> 0). At least one of these means the token was
+    /// regenerated after being lost.
+    pub fn token_regenerations(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.epoch > 0 && r.predecessor.is_root())
+            .count() as u64
+    }
+
+    /// Check the churn liveness and order contract: every issued request granted
+    /// exactly once (never-issued requests are excused), every `(object, epoch)`
+    /// record group fork-free, and the final epoch forming one complete chain per
+    /// object.
+    pub fn validate(&self) -> Result<(), RunError> {
+        for req in &self.issued {
+            if self.granted.binary_search(req).is_err() {
+                return Err(RunError::ChurnViolation {
+                    description: format!("request {req} was issued but never granted"),
+                });
+            }
+        }
+        for req in &self.granted {
+            if self.issued.binary_search(req).is_err() {
+                return Err(RunError::ChurnViolation {
+                    description: format!("request {req} was granted but never issued"),
+                });
+            }
+        }
+        validate_churn_records(&self.records, self.final_epoch).map_err(|e| {
+            RunError::ChurnViolation {
+                description: e.to_string(),
+            }
+        })
+    }
+}
+
+/// Run the arrow protocol on an open-loop schedule while injecting the given
+/// fault schedule, with epoch-based recovery: after each fault event every
+/// surviving node receives a detection signal ([`ProtoMsg::Epoch`]) that resets
+/// the tree orientation, regenerates the object tokens at the root and re-issues
+/// still-pending requests under their original ids.
+///
+/// Acknowledgements are forced on (the requester must observe completion for the
+/// liveness contract to be checkable). Returns the raw observations; call
+/// [`ChurnOutcome::validate`] for the contract check.
+///
+/// # Panics
+/// If the config selects the centralized protocol (fault recovery is an arrow
+/// protocol extension) or a positive local service time (a crash would strand the
+/// service timer).
+pub fn run_schedule_faulted(
+    instance: &Instance,
+    schedule: &RequestSchedule,
+    config: &RunConfig,
+    faults: &FaultSchedule,
+) -> Result<ChurnOutcome, RunError> {
+    assert_eq!(
+        config.protocol,
+        ProtocolKind::Arrow,
+        "fault injection supports the arrow protocol only"
+    );
+    assert_eq!(
+        config.local_service_time, 0.0,
+        "faulted runs require free local computation (a crash would strand the \
+         service-queue timer and wedge the node)"
+    );
+    let n = instance.node_count();
+    let tree = &instance.tree;
+    let root = tree.root();
+    faults
+        .validate(tree)
+        .map_err(|description| RunError::ChurnViolation { description })?;
+
+    let k = schedule.object_id_bound();
+    let mut nodes: Vec<ArrowNode> = (0..n)
+        .map(|v| {
+            let link = if v == root {
+                v
+            } else {
+                tree.parent(v).unwrap()
+            };
+            ArrowNode::new_multi(v, &vec![link; k], true, 0.0)
+        })
+        .collect();
+    let dm = instance.distances();
+    for node in &mut nodes {
+        node.set_distances(Arc::clone(&dm));
+    }
+
+    let mut config = config.clone();
+    config.ack_to_requester = true;
+    let mut sim = Simulator::new(nodes, sim_config(&config));
+    for v in 0..n {
+        if let Some(p) = tree.parent(v) {
+            sim.set_link_weight(v, p, tree.parent_edge_weight(v));
+        }
+    }
+    for r in schedule.requests() {
+        sim.schedule_external(
+            r.time,
+            r.node,
+            ProtoMsg::Issue {
+                req: r.id,
+                obj: r.obj,
+            },
+        );
+    }
+    // Inject the faults, and after each one a detection signal to every node
+    // advancing the recovery epoch (crashed nodes miss it — silenced — and catch up
+    // from the next signal or fast-forward from live traffic after restarting).
+    for (t, fault) in faults.events_for_sim(tree) {
+        sim.schedule_fault(t, fault);
+    }
+    for (i, ev) in faults.events.iter().enumerate() {
+        let t = SimTime::from_units(ev.at) + SimDuration::from_units_f64(FAULT_DETECTION_DELAY);
+        for v in 0..n {
+            sim.schedule_external(
+                t,
+                v,
+                ProtoMsg::Epoch {
+                    epoch: i as u64 + 1,
+                },
+            );
+        }
+    }
+    let outcome = sim.run();
+
+    let mut records: Vec<OrderRecord> = Vec::new();
+    let mut issued: Vec<RequestId> = Vec::new();
+    let mut granted: Vec<RequestId> = Vec::new();
+    let mut stale_drops = 0u64;
+    let mut duplicate_grants = 0u64;
+    for v in 0..n {
+        let node = sim.node(v);
+        if let Some(description) = node.protocol_violation() {
+            return Err(RunError::ProtocolViolation {
+                node: v,
+                description: description.to_string(),
+            });
+        }
+        records.extend_from_slice(node.records());
+        issued.extend(node.issued().iter().map(|&(id, _, _)| id));
+        granted.extend(node.own_completions().iter().map(|&(id, _)| id));
+        stale_drops += node.stale_drops();
+        duplicate_grants += node.duplicate_grants();
+    }
+    issued.sort_unstable();
+    granted.sort_unstable();
+    let issued_set: std::collections::HashSet<RequestId> = issued.iter().copied().collect();
+    let excused: Vec<RequestId> = schedule
+        .requests()
+        .iter()
+        .map(|r| r.id)
+        .filter(|id| !issued_set.contains(id))
+        .collect();
+    Ok(ChurnOutcome {
+        schedule: schedule.clone(),
+        issued,
+        excused,
+        granted,
+        records,
+        final_epoch: faults.final_epoch(),
+        messages_dropped: sim.stats().messages_dropped,
+        silenced_inputs: sim.stats().silenced_inputs,
+        stale_drops,
+        duplicate_grants,
+        makespan: outcome.final_time.as_units_f64(),
+    })
 }
 
 /// Borrowed view of a workload, so harness entry points never clone schedules.
@@ -945,6 +1216,7 @@ mod tests {
                 obj: ObjectId::DEFAULT,
                 at_node: 0,
                 informed_at: SimTime::from_units(1),
+                epoch: 0,
             })
             .collect();
         let err = outcome_from_records(
@@ -1028,5 +1300,120 @@ mod tests {
         let graph = netgraph::generators::path(4);
         let bad_tree = RootedTree::from_tree_graph(&netgraph::generators::star(4), 0);
         Instance::new(graph, bad_tree);
+    }
+
+    #[test]
+    fn faulted_run_with_no_faults_matches_fault_free_liveness() {
+        let instance = Instance::complete_uniform(8, SpanningTreeKind::BalancedBinary);
+        let schedule = workload::poisson(8, 1.0, 10.0, 5);
+        let cfg = RunConfig::analysis(ProtocolKind::Arrow);
+        let outcome =
+            run_schedule_faulted(&instance, &schedule, &cfg, &FaultSchedule::none()).unwrap();
+        outcome.validate().expect("fault-free churn contract");
+        assert_eq!(outcome.issued.len(), schedule.len());
+        assert_eq!(outcome.granted.len(), schedule.len());
+        assert!(outcome.excused.is_empty());
+        assert_eq!(outcome.final_epoch, 0);
+        assert_eq!(outcome.token_regenerations(), 0);
+        assert_eq!(outcome.stale_drops, 0);
+    }
+
+    #[test]
+    fn crashing_a_request_holder_regenerates_the_token() {
+        // Node 3 queues first and becomes the sink; crashing it strands any state
+        // it held, and the detection bump must regenerate the token at the root so
+        // node 4's later request (epoch 1) queues behind the virtual root request.
+        let instance = Instance::complete_uniform(7, SpanningTreeKind::BalancedBinary);
+        let schedule =
+            RequestSchedule::from_pairs(&[(3, SimTime::ZERO), (4, SimTime::from_units(4))]);
+        let faults = FaultSchedule::new(vec![
+            crate::fault::FaultEvent {
+                at: 2,
+                action: crate::fault::FaultAction::CrashNode(3),
+            },
+            crate::fault::FaultEvent {
+                at: 6,
+                action: crate::fault::FaultAction::RestartNode(3),
+            },
+        ]);
+        let cfg = RunConfig::analysis(ProtocolKind::Arrow);
+        let outcome = run_schedule_faulted(&instance, &schedule, &cfg, &faults).unwrap();
+        outcome.validate().expect("churn contract under a crash");
+        assert_eq!(outcome.final_epoch, 2);
+        assert_eq!(outcome.issued.len(), 2, "both nodes were up at issue time");
+        assert_eq!(outcome.granted.len(), 2, "both grants survive the crash");
+        assert!(
+            outcome.token_regenerations() >= 1,
+            "a post-crash epoch must rebuild its queue from a regenerated root token"
+        );
+    }
+
+    #[test]
+    fn request_scheduled_at_a_crashed_node_is_excused() {
+        let instance = Instance::complete_uniform(7, SpanningTreeKind::BalancedBinary);
+        // Node 5 is down for ticks [1, 4); its request at t = 2 is never issued.
+        let schedule = RequestSchedule::from_pairs(&[
+            (5, SimTime::from_units(2)),
+            (6, SimTime::from_units(6)),
+        ]);
+        let faults = FaultSchedule::new(vec![
+            crate::fault::FaultEvent {
+                at: 1,
+                action: crate::fault::FaultAction::CrashNode(5),
+            },
+            crate::fault::FaultEvent {
+                at: 4,
+                action: crate::fault::FaultAction::RestartNode(5),
+            },
+        ]);
+        let cfg = RunConfig::analysis(ProtocolKind::Arrow);
+        let outcome = run_schedule_faulted(&instance, &schedule, &cfg, &faults).unwrap();
+        outcome
+            .validate()
+            .expect("excused request does not break liveness");
+        assert_eq!(outcome.issued.len(), 1);
+        assert_eq!(outcome.excused.len(), 1);
+        assert!(
+            outcome.silenced_inputs >= 1,
+            "the issue external was silenced"
+        );
+    }
+
+    #[test]
+    fn generated_fault_schedules_converge_across_seeds() {
+        // A miniature of the conformance sweep: seeded generated churn over a
+        // steady workload must always satisfy the liveness and per-epoch order
+        // contract, whatever mix of crashes, link drops and partitions comes up.
+        let instance = Instance::complete_uniform(9, SpanningTreeKind::BalancedBinary);
+        let cfg = RunConfig::analysis(ProtocolKind::Arrow);
+        let mut regenerations = 0u64;
+        for seed in 0..12 {
+            let faults = FaultSchedule::generate(seed, &instance.tree, 3);
+            let schedule = workload::poisson(9, 0.8, 25.0, seed);
+            let outcome = run_schedule_faulted(&instance, &schedule, &cfg, &faults)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            outcome
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            regenerations += outcome.token_regenerations();
+        }
+        assert!(
+            regenerations > 0,
+            "across 12 seeded churn runs at least one token regeneration happens"
+        );
+    }
+
+    #[test]
+    fn invalid_fault_schedule_is_a_typed_churn_violation() {
+        let instance = Instance::complete_uniform(7, SpanningTreeKind::BalancedBinary);
+        let schedule = workload::one_shot_burst(&[1], SimTime::ZERO);
+        let faults = FaultSchedule::new(vec![crate::fault::FaultEvent {
+            at: 1,
+            action: crate::fault::FaultAction::CrashNode(2),
+        }]);
+        let cfg = RunConfig::analysis(ProtocolKind::Arrow);
+        let err = run_schedule_faulted(&instance, &schedule, &cfg, &faults).unwrap_err();
+        assert!(matches!(err, RunError::ChurnViolation { .. }));
+        assert!(err.to_string().contains("still crashed"));
     }
 }

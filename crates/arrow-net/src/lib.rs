@@ -64,5 +64,7 @@ pub mod runtime;
 pub mod wire;
 
 pub use mesh::{NetConfig, NetStats, NetStatsSnapshot};
-pub use runtime::{Grant, NetFailure, NetHandle, NetReport, NetRuntime, PendingAcquire};
+pub use runtime::{
+    Grant, NetFailure, NetFaultHandle, NetHandle, NetReport, NetRuntime, PendingAcquire,
+};
 pub use wire::{Frame, WireError, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION};

@@ -85,6 +85,14 @@ pub struct NetConfig {
     /// acquires on it error out, and the failure is surfaced in the shutdown
     /// report — it no longer panics a node thread.
     pub dial_retries: u32,
+    /// Churn mode. With `false` (the default) an unreachable peer is fatal: the
+    /// dialing node marks itself failed, and the failure is broadcast so every
+    /// pending acquire in the mesh errors out — correct when nodes are not
+    /// *supposed* to disappear. With `true` the frame towards the unreachable
+    /// peer is dropped (counted in [`NetStats::frames_dropped`]) and the node
+    /// stays up: under fault injection a dropped frame is recovered by the next
+    /// epoch bump regenerating the token, so losing it must not condemn the run.
+    pub fault_tolerant: bool,
 }
 
 impl NetConfig {
@@ -97,6 +105,7 @@ impl NetConfig {
             unit_latency: Duration::ZERO,
             jitter: None,
             dial_retries: Self::DEFAULT_DIAL_RETRIES,
+            fault_tolerant: false,
         }
     }
 
@@ -107,6 +116,7 @@ impl NetConfig {
             unit_latency,
             jitter: None,
             dial_retries: Self::DEFAULT_DIAL_RETRIES,
+            fault_tolerant: false,
         }
     }
 
@@ -117,12 +127,20 @@ impl NetConfig {
             unit_latency,
             jitter: Some((lo_factor, seed)),
             dial_retries: Self::DEFAULT_DIAL_RETRIES,
+            fault_tolerant: false,
         }
     }
 
     /// Override the dial retry budget.
     pub fn with_dial_retries(mut self, retries: u32) -> Self {
         self.dial_retries = retries;
+        self
+    }
+
+    /// Enable churn mode (see [`NetConfig::fault_tolerant`]): an unreachable peer
+    /// costs the frame, not the run.
+    pub fn with_fault_tolerance(mut self) -> Self {
+        self.fault_tolerant = true;
         self
     }
 
@@ -175,6 +193,15 @@ pub struct NetStats {
     /// Dials that exhausted their retry budget ([`NetConfig::dial_retries`]) and
     /// marked the dialing node failed; should stay zero on a healthy mesh.
     pub dial_failures: AtomicU64,
+    /// Frames dropped by fault injection: sends across a severed link, sends by or
+    /// towards a crashed node, and (in [`NetConfig::fault_tolerant`] mode) frames
+    /// towards an unreachable peer. Zero on a fault-free run.
+    pub frames_dropped: AtomicU64,
+    /// Protocol messages rejected because they carried a recovery epoch older than
+    /// the receiving node's — the stale-token defence of the recovery layer
+    /// (summed from every node's [`arrow_core::live::ArrowCore::stale_drops`] at
+    /// shutdown).
+    pub stale_drops: AtomicU64,
 }
 
 /// A plain-number snapshot of [`NetStats`].
@@ -204,6 +231,11 @@ pub struct NetStatsSnapshot {
     pub unexpected_frames: u64,
     /// Dials that exhausted their retry budget.
     pub dial_failures: u64,
+    /// Frames dropped by fault injection (severed links, crashed endpoints,
+    /// unreachable peers in fault-tolerant mode).
+    pub frames_dropped: u64,
+    /// Stale-epoch protocol messages rejected by the recovery layer.
+    pub stale_drops: u64,
 }
 
 impl NetStatsSnapshot {
@@ -234,6 +266,8 @@ impl NetStats {
             acquisitions: self.acquisitions.load(Ordering::Relaxed),
             unexpected_frames: self.unexpected_frames.load(Ordering::Relaxed),
             dial_failures: self.dial_failures.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            stale_drops: self.stale_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -826,6 +860,7 @@ mod tests {
                 frame: Frame::Token {
                     obj: arrow_core::prelude::ObjectId(0),
                     req: arrow_core::prelude::RequestId(i),
+                    epoch: 0,
                 },
             });
         }
@@ -841,6 +876,7 @@ mod tests {
                 Frame::Token {
                     obj: arrow_core::prelude::ObjectId(0),
                     req: arrow_core::prelude::RequestId(i),
+                    epoch: 0,
                 }
             );
         }
@@ -913,6 +949,7 @@ mod tests {
             let frame = Frame::Token {
                 obj: arrow_core::prelude::ObjectId(0),
                 req: arrow_core::prelude::RequestId(i),
+                epoch: 0,
             };
             expected_bytes += frame.encode().len() as u64;
             w.send(WriterCmd::Send { peer: 1, frame });
@@ -926,6 +963,7 @@ mod tests {
                 Frame::Token {
                     obj: arrow_core::prelude::ObjectId(0),
                     req: arrow_core::prelude::RequestId(i),
+                    epoch: 0,
                 }
             );
         }
@@ -955,6 +993,7 @@ mod tests {
                 frame: Frame::Token {
                     obj: arrow_core::prelude::ObjectId(0),
                     req: arrow_core::prelude::RequestId(i),
+                    epoch: 0,
                 },
             });
         }
@@ -967,6 +1006,7 @@ mod tests {
                 Frame::Token {
                     obj: arrow_core::prelude::ObjectId(0),
                     req: arrow_core::prelude::RequestId(i),
+                    epoch: 0,
                 },
                 "frame {i} out of order"
             );
@@ -987,6 +1027,7 @@ mod tests {
             Frame::Token {
                 obj: arrow_core::prelude::ObjectId(1),
                 req: arrow_core::prelude::RequestId(i),
+                epoch: 0,
             }
             .encode_into(&mut batch);
         }
@@ -1004,6 +1045,7 @@ mod tests {
                 Frame::Token {
                     obj: arrow_core::prelude::ObjectId(1),
                     req: arrow_core::prelude::RequestId(i as u64),
+                    epoch: 0,
                 }
             );
         }

@@ -34,7 +34,8 @@ use crate::wire::Frame;
 use arrow_core::live::{ArrowCore, CoreAction};
 use arrow_core::order::OrderError;
 use arrow_core::prelude::{
-    ObjectId, OrderRecord, ProtoMsg, QueuingOrder, Request, RequestId, RequestSchedule,
+    validate_churn_records, ChurnOrderError, FaultAction, FaultSchedule, ObjectId, OrderRecord,
+    ProtoMsg, QueuingOrder, Request, RequestId, RequestSchedule,
 };
 use desim::{SimTime, SUBTICKS_PER_UNIT};
 use netgraph::{NodeId, RootedTree};
@@ -42,7 +43,7 @@ use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -74,6 +75,17 @@ enum NetEvent {
     /// complete, so every node fails its pending acquires instead of letting an
     /// acquirer whose grant depended on a dropped frame block forever.
     PeerFailed { failure: NetFailure },
+    /// Fault injection ([`NetFaultHandle::crash`]): sever every TCP link abruptly,
+    /// discard volatile protocol state, fail in-flight local acquires, and ignore
+    /// all traffic until [`NetEvent::Restart`].
+    Crash,
+    /// Fault injection ([`NetFaultHandle::restart`]): bring a crashed node back
+    /// with freshly reset protocol state and re-dial its tree parent.
+    Restart,
+    /// Recovery-epoch detection broadcast ([`NetFaultHandle::broadcast_epoch`]) —
+    /// the control-plane counterpart of an on-wire
+    /// [`arrow_core::prelude::ProtoMsg::Epoch`] frame.
+    Epoch { epoch: u64 },
     /// Stop the node: send goodbyes, close links, report history.
     Shutdown,
 }
@@ -160,6 +172,16 @@ struct NetNode {
     /// Set once a dial exhausted its retry budget: the node stops sending, fails
     /// all pending and future acquires, and reports the failure at shutdown.
     failed: Option<NetFailure>,
+    /// Set while fault injection holds this node down: links are severed, inbound
+    /// traffic is swallowed, acquires fail immediately. Cleared by
+    /// [`NetEvent::Restart`].
+    crashed: bool,
+    /// Links severed by fault injection, normalized `(min, max)` and shared with
+    /// the [`NetFaultHandle`]; consulted on every send once `faults_armed` is set.
+    blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
+    /// Cheap hot-path gate: `true` once a fault handle exists, so fault-free runs
+    /// never pay the `blocked` lock.
+    faults_armed: Arc<AtomicBool>,
     /// The node's send paths.
     out: Outbound,
     addrs: Arc<Vec<SocketAddr>>,
@@ -296,8 +318,29 @@ impl NetNode {
         if self.failed.is_some() {
             return;
         }
+        // Fault injection: a crashed node is mute, and a severed link swallows
+        // traffic in both directions (the set is shared, so either endpoint's
+        // send-side check covers the link).
+        if self.faults_armed.load(Ordering::Relaxed)
+            && (self.crashed
+                || self
+                    .blocked
+                    .lock()
+                    .expect("blocked-link set")
+                    .contains(&(self.me.min(to), self.me.max(to))))
+        {
+            self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         if let Err(e) = self.ensure_link(to) {
-            self.fail(to, &e);
+            if self.cfg.fault_tolerant {
+                // Churn mode: the peer is likely down or partitioned. The frame
+                // is lost; the next detection-driven epoch bump regenerates any
+                // token that died with it, so the run survives.
+                self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.fail(to, &e);
+            }
             return;
         }
         match &mut self.out {
@@ -342,6 +385,7 @@ impl NetNode {
     /// one burst and coalesces into at most one `write` per link.
     fn apply_actions(&mut self) {
         let mut actions = std::mem::take(&mut self.actions);
+        let mut orphaned: Vec<(ObjectId, RequestId)> = Vec::new();
         for action in actions.drain(..) {
             match action {
                 CoreAction::SendQueue {
@@ -349,23 +393,45 @@ impl NetNode {
                     obj,
                     req,
                     origin,
+                    epoch,
                 } => {
                     self.stats.queue_frames.fetch_add(1, Ordering::Relaxed);
-                    self.send_frame(to, Frame::Proto(ProtoMsg::Queue { req, obj, origin }));
+                    self.send_frame(
+                        to,
+                        Frame::Proto(ProtoMsg::Queue {
+                            req,
+                            obj,
+                            origin,
+                            epoch,
+                        }),
+                    );
                 }
-                CoreAction::SendToken { to, obj, req } => {
+                CoreAction::SendToken {
+                    to,
+                    obj,
+                    req,
+                    epoch,
+                } => {
                     self.stats.token_frames.fetch_add(1, Ordering::Relaxed);
-                    self.send_frame(to, Frame::Token { obj, req });
+                    self.send_frame(to, Frame::Token { obj, req, epoch });
                 }
                 CoreAction::Granted { obj, req } => {
                     self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
-                    if let Some((reply, issued)) = self.waiting.remove(&(obj, req)) {
-                        let _ = reply.send(Grant {
-                            node: self.me,
-                            obj,
-                            result: Ok(req),
-                            wait: issued.elapsed(),
-                        });
+                    let delivered =
+                        self.waiting
+                            .remove(&(obj, req))
+                            .is_some_and(|(reply, issued)| {
+                                reply
+                                    .send(Grant {
+                                        node: self.me,
+                                        obj,
+                                        result: Ok(req),
+                                        wait: issued.elapsed(),
+                                    })
+                                    .is_ok()
+                            });
+                    if !delivered {
+                        orphaned.push((obj, req));
                     }
                 }
                 CoreAction::Queued {
@@ -373,6 +439,7 @@ impl NetNode {
                     pred,
                     succ,
                     origin,
+                    epoch,
                 } => {
                     self.journal.records.push(OrderRecord {
                         predecessor: pred,
@@ -380,20 +447,79 @@ impl NetNode {
                         obj,
                         at_node: self.me,
                         informed_at: self.now(),
+                        epoch,
                     });
                     let _ = origin;
                 }
             }
         }
         self.actions = actions;
+        // A grant nobody can receive — the waiter timed out and dropped its
+        // reply channel, or a crash cleared the waiting map while the request
+        // lived on in the token chain — must not wedge the token here forever:
+        // release it on the vanished waiter's behalf so the queue keeps
+        // draining. (Recursion is bounded: each pass consumes its orphans.)
+        if !orphaned.is_empty() {
+            for (obj, req) in orphaned {
+                self.core.on_release(obj, req, &mut self.actions);
+            }
+            self.apply_actions();
+        }
     }
 
     /// Feed one event into the node's state. Core actions accumulate in
     /// `self.actions`; the event loop applies them once per drained batch.
     fn handle(&mut self, event: NetEvent) {
+        if self.crashed {
+            match event {
+                NetEvent::Restart => {
+                    self.crashed = false;
+                    // Re-attach to the tree like at bootstrap: the crash severed
+                    // the parent edge. Best-effort — if the parent is itself down
+                    // right now, the next send re-dials (or drops, per the
+                    // fault-tolerance policy).
+                    if let Some(p) = self.tree.parent(self.me) {
+                        let _ = self.ensure_link(p);
+                    }
+                }
+                NetEvent::Acquire { obj, reply } => {
+                    // A crashed node refuses work immediately instead of issuing
+                    // a request that died with its state.
+                    let _ = reply.send(Grant {
+                        node: self.me,
+                        obj,
+                        result: Err(NetFailure {
+                            node: self.me,
+                            description: "node is crashed (fault injection)".into(),
+                        }),
+                        wait: Duration::ZERO,
+                    });
+                }
+                NetEvent::LinkUp { stream, .. } => {
+                    // A peer may still connect while we are down (the listener is
+                    // OS-owned). Dropping the write half closes the socket; the
+                    // peer observes the reset and re-dials after our restart.
+                    drop(stream);
+                }
+                NetEvent::Frame { .. } => {
+                    // Inbound protocol traffic is swallowed whole — exactly the
+                    // silencing the simulator applies to a crashed node.
+                    self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                // Releases, link-down notices, failure broadcasts and epoch bumps
+                // all die with the node: a crashed node must not learn anything.
+                _ => {}
+            }
+            return;
+        }
         match event {
             NetEvent::Frame { from, frame } => match frame {
-                Frame::Proto(ProtoMsg::Queue { req, obj, origin }) => {
+                Frame::Proto(ProtoMsg::Queue {
+                    req,
+                    obj,
+                    origin,
+                    epoch,
+                }) => {
                     if origin >= self.addrs.len() {
                         // A corrupt origin decoded off the wire must not become an
                         // out-of-bounds dial target when the token is granted.
@@ -401,9 +527,14 @@ impl NetNode {
                         return;
                     }
                     self.core
-                        .on_queue(from, obj, req, origin, &mut self.actions)
+                        .on_queue(from, obj, req, origin, epoch, &mut self.actions)
                 }
-                Frame::Token { obj, req } => self.core.on_token(obj, req, &mut self.actions),
+                Frame::Token { obj, req, epoch } => {
+                    self.core.on_token(obj, req, epoch, &mut self.actions)
+                }
+                Frame::Proto(ProtoMsg::Epoch { epoch }) => {
+                    self.core.on_epoch(epoch, &mut self.actions)
+                }
                 _ => {
                     self.stats.unexpected_frames.fetch_add(1, Ordering::Relaxed);
                 }
@@ -452,7 +583,58 @@ impl NetNode {
                     self.enter_failed_state(failure);
                 }
             }
+            NetEvent::Crash => {
+                // Order matters: sever first (peers observe an abrupt close, not
+                // a polite Goodbye), then lose the volatile state, then fail the
+                // in-flight acquires — their requests just died with the core.
+                self.sever_links();
+                self.core.reboot();
+                self.actions.clear();
+                let failure = NetFailure {
+                    node: self.me,
+                    description: "node crashed (fault injection)".into(),
+                };
+                for ((obj, _req), (reply, issued)) in self.waiting.drain() {
+                    let _ = reply.send(Grant {
+                        node: self.me,
+                        obj,
+                        result: Err(failure.clone()),
+                        wait: issued.elapsed(),
+                    });
+                }
+                self.crashed = true;
+            }
+            NetEvent::Restart => {} // not crashed: a stray restart is a no-op
+            NetEvent::Epoch { epoch } => self.core.on_epoch(epoch, &mut self.actions),
             NetEvent::Shutdown => unreachable!("handled by the event loop"),
+        }
+    }
+
+    /// Cut every established connection without a Goodbye — the TCP half of a
+    /// crash. Peers' readers observe EOF/reset; their next frame towards this
+    /// node re-dials (the listener is OS-owned and stays up even while crashed).
+    fn sever_links(&mut self) {
+        match &mut self.out {
+            Outbound::Direct {
+                links,
+                spares,
+                dirty,
+            } => {
+                dirty.clear();
+                for (_, link) in links.drain() {
+                    link.shutdown();
+                }
+                for spare in spares.drain(..) {
+                    let _ = spare.shutdown(std::net::Shutdown::Both);
+                }
+            }
+            Outbound::Timed { links, .. } => {
+                // The timer writer owns the sockets. Forgetting the peers here
+                // makes the node re-register links after restart (the writer
+                // parks duplicates as spares); crash silencing itself is enforced
+                // by the event-loop guard and the send-side drop either way.
+                links.clear();
+            }
         }
     }
 
@@ -508,6 +690,11 @@ pub struct NetRuntime {
     listen_addrs: Vec<SocketAddr>,
     stop: Arc<AtomicBool>,
     stats: Arc<NetStats>,
+    /// Links severed by fault injection, shared with every node and the
+    /// [`NetFaultHandle`].
+    blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
+    /// Hot-path gate for the `blocked` check; set by [`NetRuntime::fault_handle`].
+    faults_armed: Arc<AtomicBool>,
     n: usize,
     k: usize,
 }
@@ -672,6 +859,8 @@ impl NetRuntime {
 
         // Node event loops; each non-root node dials its parent during startup.
         let peers_tx = Arc::new(events_txs.clone());
+        let blocked = Arc::new(Mutex::new(HashSet::new()));
+        let faults_armed = Arc::new(AtomicBool::new(false));
         let mut node_threads = Vec::with_capacity(n);
         for (me, rx) in events_rxs.into_iter().enumerate() {
             let mut node = NetNode {
@@ -680,6 +869,9 @@ impl NetRuntime {
                 actions: Vec::new(),
                 waiting: HashMap::new(),
                 failed: None,
+                crashed: false,
+                blocked: Arc::clone(&blocked),
+                faults_armed: Arc::clone(&faults_armed),
                 out: if timed {
                     Outbound::Timed {
                         links: HashSet::new(),
@@ -739,6 +931,9 @@ impl NetRuntime {
                         node.apply_actions();
                         node.flush_links();
                     }
+                    node.stats
+                        .stale_drops
+                        .fetch_add(node.core.stale_drops(), Ordering::Relaxed);
                     node.disconnect();
                     node.journal
                 })
@@ -755,6 +950,8 @@ impl NetRuntime {
             listen_addrs,
             stop,
             stats,
+            blocked,
+            faults_armed,
             n,
             k: objects,
         }
@@ -782,6 +979,21 @@ impl NetRuntime {
             node: v,
             objects: self.k,
             sender: self.events_txs[v].clone(),
+        }
+    }
+
+    /// Fault-injection handle: kill and respawn nodes, sever and restore TCP
+    /// links, and broadcast the detection-driven epoch bumps that trigger token
+    /// regeneration — the socket-tier counterpart of the thread tier's
+    /// [`arrow_core::live::FaultHandle`] and the simulator's scheduled
+    /// [`desim::SimFault`]s. Pair it with [`NetConfig::with_fault_tolerance`] so a
+    /// node dialing a currently-dead peer drops the frame instead of failing the
+    /// whole run.
+    pub fn fault_handle(&self) -> NetFaultHandle {
+        self.faults_armed.store(true, Ordering::Relaxed);
+        NetFaultHandle {
+            senders: self.events_txs.clone(),
+            blocked: Arc::clone(&self.blocked),
         }
     }
 
@@ -832,6 +1044,99 @@ impl NetRuntime {
             records,
             failures,
             stats: self.stats.snapshot(),
+        }
+    }
+}
+
+/// Fault-injection handle of a running [`NetRuntime`] (see
+/// [`NetRuntime::fault_handle`]). Crash/restart are delivered through the target
+/// node's own event channel; link drops act through a shared blocked-set checked
+/// on every send. The epoch numbering contract is shared with the thread tier:
+/// fault event `i` of a schedule is followed by the broadcast of epoch `i + 1`.
+#[derive(Debug, Clone)]
+pub struct NetFaultHandle {
+    senders: Vec<Sender<NetEvent>>,
+    blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
+}
+
+impl NetFaultHandle {
+    /// Crash node `v`: its TCP links are cut abruptly, its volatile protocol
+    /// state is discarded, in-flight local acquires fail promptly, and all
+    /// traffic is ignored until [`restart`].
+    ///
+    /// [`restart`]: NetFaultHandle::restart
+    pub fn crash(&self, v: NodeId) {
+        let _ = self.senders[v].send(NetEvent::Crash);
+    }
+
+    /// Restart crashed node `v` with freshly reset protocol state; it re-dials
+    /// its tree parent and rejoins at the next epoch bump.
+    pub fn restart(&self, v: NodeId) {
+        let _ = self.senders[v].send(NetEvent::Restart);
+    }
+
+    /// Sever the link between `u` and `v` (both directions): frames staged across
+    /// it are dropped at the sender until [`restore_link`].
+    ///
+    /// [`restore_link`]: NetFaultHandle::restore_link
+    pub fn drop_link(&self, u: NodeId, v: NodeId) {
+        self.blocked
+            .lock()
+            .expect("blocked-link set")
+            .insert((u.min(v), u.max(v)));
+    }
+
+    /// Restore a severed link.
+    pub fn restore_link(&self, u: NodeId, v: NodeId) {
+        self.blocked
+            .lock()
+            .expect("blocked-link set")
+            .remove(&(u.min(v), u.max(v)));
+    }
+
+    /// Broadcast a detection-driven epoch bump to every node. Crashed nodes miss
+    /// it (a crashed node must not learn anything) and catch up from stamped live
+    /// traffic or a later broadcast after restart.
+    pub fn broadcast_epoch(&self, epoch: u64) {
+        for tx in &self.senders {
+            let _ = tx.send(NetEvent::Epoch { epoch });
+        }
+    }
+
+    /// Apply one fault action, then broadcast the epoch bump its detection
+    /// triggers. The ordering mirrors the thread tier: per-channel FIFO
+    /// guarantees a crashed node misses its own bump and a restarted node sees
+    /// the Restart before the Epoch.
+    ///
+    /// # Panics
+    /// On [`FaultAction::PartitionTree`] — lower the schedule against a tree
+    /// first ([`FaultSchedule::lowered`]).
+    pub fn apply(&self, action: &FaultAction, epoch: u64) {
+        match *action {
+            FaultAction::CrashNode(v) => self.crash(v),
+            FaultAction::RestartNode(v) => self.restart(v),
+            FaultAction::DropLink(u, v) => self.drop_link(u, v),
+            FaultAction::RestoreLink(u, v) => self.restore_link(u, v),
+            FaultAction::PartitionTree(_) => {
+                panic!("partition faults must be lowered to link drops first")
+            }
+        }
+        self.broadcast_epoch(epoch);
+    }
+
+    /// Drive a whole fault schedule against the running mesh, pacing schedule
+    /// ticks to `tick` of wall clock (blocking; run it on a dedicated injector
+    /// thread). Event `i` is followed by the broadcast of epoch `i + 1` —
+    /// the same detection model as the simulator harness and the thread tier.
+    pub fn run_schedule(&self, schedule: &FaultSchedule, tree: &RootedTree, tick: Duration) {
+        let lowered = schedule.lowered(tree);
+        let started = Instant::now();
+        for (i, ev) in lowered.events.iter().enumerate() {
+            let due = started + tick * ev.at as u32;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            self.apply(&ev.action, (i + 1) as u64);
         }
     }
 }
@@ -1064,6 +1369,29 @@ impl NetReport {
     pub fn validated_orders(&self) -> Result<Vec<(ObjectId, QueuingOrder)>, OrderError> {
         arrow_core::order::per_object_orders(&self.records, &self.schedule).map_err(|(_, e)| e)
     }
+
+    /// Validate the run's order records under churn: every `(object, epoch)`
+    /// group must be fork-free, and `final_epoch` (the epoch the mesh converged
+    /// to after the last fault's detection bump) must form one complete successor
+    /// chain per object — the relaxed contract of
+    /// [`arrow_core::order::validate_churn_records`], replacing
+    /// [`validated_orders`](NetReport::validated_orders) for runs with faults
+    /// (across epochs a request may legitimately be queued twice: once in an
+    /// abandoned epoch, once re-issued after recovery).
+    pub fn validate_churn(&self, final_epoch: u64) -> Result<(), ChurnOrderError> {
+        validate_churn_records(&self.records, final_epoch)
+    }
+
+    /// Successor records that evidence a token regeneration: a request queued
+    /// directly behind the *regenerated* virtual root request of a recovery
+    /// epoch. At least one of these proves a token died with a fault and the
+    /// directory minted a replacement at the tree root.
+    pub fn token_regenerations(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.epoch > 0 && r.predecessor.is_root())
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -1284,5 +1612,191 @@ mod tests {
         let report = rt.shutdown();
         assert!(report.failures().is_empty());
         assert_eq!(report.stats().dial_failures, 0);
+    }
+
+    #[test]
+    fn pipelined_acquires_fail_promptly_when_the_bootstrap_parent_is_unreachable() {
+        // Regression for the pipelined path: acquires issued through
+        // start_acquire_object while the node's bootstrap dial is failing must
+        // resolve to typed errors promptly — not block until the caller's own
+        // timeout. The child fails itself once the retry budget is spent, and
+        // every queued Acquire is refused at the event loop.
+        let cfg = NetConfig::instant().with_dial_retries(1);
+        let rt =
+            NetRuntime::spawn_multi_with_addr_overrides(&tree(2), 1, cfg, &[(0, refused_addr())]);
+        let pendings: Vec<PendingAcquire> = (0..4)
+            .map(|_| rt.handle(1).start_acquire_object(ObjectId::DEFAULT))
+            .collect();
+        let started = Instant::now();
+        for p in pendings {
+            let failure = p
+                .wait_timeout(Duration::from_secs(10))
+                .expect_err("no grant can cross a refused parent edge");
+            assert_eq!(failure.node, 1);
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "pipelined acquires on a failed node must error out promptly"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn pipelined_acquires_fail_promptly_when_the_lazy_token_channel_is_refused() {
+        // Regression for the pipelined path across the mesh: node 3's queue()
+        // frames reach the root over healthy tree edges, but the root cannot
+        // dial node 3's (refused) advertised address to deliver the first token
+        // grant. The PeerFailed broadcast must fail *all* of node 3's in-flight
+        // pipelined acquires promptly, including the ones queued behind the
+        // undeliverable head-of-line grant.
+        let cfg = NetConfig::instant().with_dial_retries(1);
+        let rt =
+            NetRuntime::spawn_multi_with_addr_overrides(&tree(7), 1, cfg, &[(3, refused_addr())]);
+        let pendings: Vec<PendingAcquire> = (0..3)
+            .map(|_| rt.handle(3).start_acquire_object(ObjectId::DEFAULT))
+            .collect();
+        let started = Instant::now();
+        for p in pendings {
+            assert!(
+                p.wait_timeout(Duration::from_secs(10)).is_err(),
+                "a grant whose token channel is refused must fail, not hang"
+            );
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(8),
+            "the failure broadcast must fail queued pipelined acquires promptly"
+        );
+        let report = rt.shutdown();
+        assert_eq!(report.failures().len(), 1, "only the root journals it");
+    }
+
+    #[test]
+    fn crashing_the_token_holder_regenerates_the_token_over_sockets() {
+        let cfg = NetConfig::instant()
+            .with_dial_retries(1)
+            .with_fault_tolerance();
+        let rt = NetRuntime::spawn(&tree(7), cfg);
+        let fh = rt.fault_handle();
+        // Leaf 5 wins the token over real sockets and crashes while holding it:
+        // its links are cut mid-run and the token dies with its state.
+        let req = rt.handle(5).try_acquire().expect("healthy mesh grants");
+        assert!(!req.is_root());
+        fh.apply(&FaultAction::CrashNode(5), 1);
+        // After the detection bump the root holds a regenerated token; the
+        // surviving leaf 6 must still be granted.
+        let got = rt
+            .handle(6)
+            .try_acquire_object_timeout(ObjectId::DEFAULT, Duration::from_secs(10))
+            .expect("regenerated token grants the surviving node");
+        rt.handle(6).release_object(ObjectId::DEFAULT, got);
+        fh.apply(&FaultAction::RestartNode(5), 2);
+        let report = rt.shutdown();
+        assert!(
+            report.token_regenerations() >= 1,
+            "the post-crash grant chains from the regenerated root token"
+        );
+        report
+            .validate_churn(2)
+            .expect("per-epoch order contract under churn");
+        assert!(report.failures().is_empty(), "churn is not a mesh failure");
+    }
+
+    #[test]
+    fn epoch_bump_reissues_a_request_lost_to_a_severed_link() {
+        // Leaf 1's queue() frame is swallowed by a severed tree edge; restoring
+        // the link and broadcasting the next epoch makes the leaf re-issue its
+        // still-pending request (same id, new stamp), which then completes.
+        let cfg = NetConfig::instant().with_fault_tolerance();
+        let rt = NetRuntime::spawn(&tree(3), cfg);
+        let fh = rt.fault_handle();
+        fh.apply(&FaultAction::DropLink(0, 1), 1);
+        let pending = rt.handle(1).start_acquire_object(ObjectId::DEFAULT);
+        // Give the dropped queue() frame time to be (not) delivered.
+        std::thread::sleep(Duration::from_millis(100));
+        fh.apply(&FaultAction::RestoreLink(0, 1), 2);
+        let req = pending
+            .wait_timeout(Duration::from_secs(10))
+            .expect("the re-issued request must complete after the link heals");
+        rt.handle(1).release_object(ObjectId::DEFAULT, req);
+        let report = rt.shutdown();
+        assert!(
+            report.stats().frames_dropped >= 1,
+            "the severed link must have swallowed the original frame"
+        );
+        report
+            .validate_churn(2)
+            .expect("per-epoch order contract under churn");
+    }
+
+    #[test]
+    fn generated_fault_schedule_churn_run_converges_over_sockets() {
+        // The socket-tier analogue of the thread runtime's churn test: workers
+        // acquire/release through real TCP links while a generated fault schedule
+        // (crashes, restarts, partitions) runs against the mesh. Liveness: every
+        // surviving worker round is eventually granted; safety: the journaled
+        // orders satisfy the per-epoch churn contract.
+        let t = tree(7);
+        let faults = FaultSchedule::generate(7, &t, 2);
+        let final_epoch = faults.final_epoch();
+        let cfg = NetConfig::instant()
+            .with_dial_retries(1)
+            .with_fault_tolerance();
+        let rt = NetRuntime::spawn_multi(&t, 2, cfg);
+        let fh = rt.fault_handle();
+        let injector_done = Arc::new(AtomicBool::new(false));
+        let injector = {
+            let fh = fh.clone();
+            let t = t.clone();
+            let faults = faults.clone();
+            let done = Arc::clone(&injector_done);
+            std::thread::spawn(move || {
+                fh.run_schedule(&faults, &t, Duration::from_millis(20));
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        let mut joins = Vec::new();
+        for v in 0..7 {
+            let h = rt.handle(v);
+            let fh = fh.clone();
+            let done = Arc::clone(&injector_done);
+            joins.push(std::thread::spawn(move || {
+                for round in 0..3u32 {
+                    let obj = ObjectId((v as u32 + round) % 2);
+                    let mut attempts = 0;
+                    loop {
+                        attempts += 1;
+                        assert!(attempts <= 200, "node {v} round {round} never granted");
+                        match h.try_acquire_object_timeout(obj, Duration::from_millis(1000)) {
+                            Ok(req) => {
+                                h.release_object(obj, req);
+                                break;
+                            }
+                            Err(_) => {
+                                // Crashed-node refusal or a grant lost to churn:
+                                // once injection is over, a timeout doubles as
+                                // fault detection — re-broadcasting the final
+                                // epoch is idempotent and heals any straggler.
+                                if done.load(Ordering::SeqCst) {
+                                    fh.broadcast_epoch(final_epoch);
+                                }
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        injector.join().unwrap();
+        let report = rt.shutdown();
+        report
+            .validate_churn(final_epoch)
+            .expect("per-epoch order contract across a generated churn schedule");
+        assert!(
+            report.stats().acquisitions >= 7 * 3,
+            "every worker round was granted"
+        );
     }
 }

@@ -31,9 +31,11 @@ use std::io::{Read, Write};
 pub const WIRE_MAGIC: u8 = 0xA7;
 
 /// Wire protocol revision. Bump on any layout change; peers reject mismatches.
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 added the recovery-epoch stamp to `Queue`, `Found` and `Token`
+/// frames and the `Epoch` detection broadcast.
+pub const WIRE_VERSION: u8 = 2;
 
-/// Upper bound on the length prefix. Arrow frames are tiny (≤ 23 bytes today); any
+/// Upper bound on the length prefix. Arrow frames are tiny (≤ 35 bytes today); any
 /// larger claim is a corrupt or hostile stream and is rejected before allocation.
 pub const MAX_FRAME_LEN: u32 = 256;
 
@@ -46,6 +48,7 @@ mod kind {
     pub const FOUND: u8 = 0x12;
     pub const CENTRAL_ENQUEUE: u8 = 0x13;
     pub const CENTRAL_REPLY: u8 = 0x14;
+    pub const EPOCH: u8 = 0x15;
     pub const TOKEN: u8 = 0x20;
 }
 
@@ -67,12 +70,16 @@ pub enum Frame {
     /// A queuing-protocol message (shared with the simulator tier).
     Proto(ProtoMsg),
     /// Object `obj`'s exclusion token, granting request `req` (the socket analogue of
-    /// the thread runtime's token transfer).
+    /// the thread runtime's token transfer), stamped with the sender's recovery
+    /// epoch — a stale-epoch token is a ghost from before a regeneration and is
+    /// rejected on receipt.
     Token {
         /// Object whose token moves.
         obj: ObjectId,
         /// The request being granted.
         req: RequestId,
+        /// Recovery epoch the token belongs to.
+        epoch: u64,
     },
 }
 
@@ -199,6 +206,7 @@ impl Frame {
             Frame::Proto(ProtoMsg::Found { .. }) => kind::FOUND,
             Frame::Proto(ProtoMsg::CentralEnqueue { .. }) => kind::CENTRAL_ENQUEUE,
             Frame::Proto(ProtoMsg::CentralReply { .. }) => kind::CENTRAL_REPLY,
+            Frame::Proto(ProtoMsg::Epoch { .. }) => kind::EPOCH,
             Frame::Token { .. } => kind::TOKEN,
         }
     }
@@ -234,21 +242,43 @@ impl Frame {
                 put_u64(out, req.0);
                 put_u32(out, obj.0);
             }
-            Frame::Proto(ProtoMsg::Queue { req, obj, origin })
-            | Frame::Proto(ProtoMsg::CentralEnqueue { req, obj, origin }) => {
+            Frame::Proto(ProtoMsg::Queue {
+                req,
+                obj,
+                origin,
+                epoch,
+            }) => {
+                put_u64(out, req.0);
+                put_u32(out, obj.0);
+                put_node(out, origin);
+                put_u64(out, epoch);
+            }
+            Frame::Proto(ProtoMsg::CentralEnqueue { req, obj, origin }) => {
                 put_u64(out, req.0);
                 put_u32(out, obj.0);
                 put_node(out, origin);
             }
-            Frame::Proto(ProtoMsg::Found { req, obj, pred })
-            | Frame::Proto(ProtoMsg::CentralReply { req, obj, pred }) => {
+            Frame::Proto(ProtoMsg::Found {
+                req,
+                obj,
+                pred,
+                epoch,
+            }) => {
+                put_u64(out, req.0);
+                put_u32(out, obj.0);
+                put_u64(out, pred.0);
+                put_u64(out, epoch);
+            }
+            Frame::Proto(ProtoMsg::CentralReply { req, obj, pred }) => {
                 put_u64(out, req.0);
                 put_u32(out, obj.0);
                 put_u64(out, pred.0);
             }
-            Frame::Token { obj, req } => {
+            Frame::Proto(ProtoMsg::Epoch { epoch }) => put_u64(out, epoch),
+            Frame::Token { obj, req, epoch } => {
                 put_u32(out, obj.0);
                 put_u64(out, req.0);
+                put_u64(out, epoch);
             }
         }
         let len = (out.len() - base - 4) as u32;
@@ -298,11 +328,13 @@ impl Frame {
                 req: RequestId(p.u64()?),
                 obj: ObjectId(p.u32()?),
                 origin: p.node()?,
+                epoch: p.u64()?,
             }),
             kind::FOUND => Frame::Proto(ProtoMsg::Found {
                 req: RequestId(p.u64()?),
                 obj: ObjectId(p.u32()?),
                 pred: RequestId(p.u64()?),
+                epoch: p.u64()?,
             }),
             kind::CENTRAL_ENQUEUE => Frame::Proto(ProtoMsg::CentralEnqueue {
                 req: RequestId(p.u64()?),
@@ -314,9 +346,11 @@ impl Frame {
                 obj: ObjectId(p.u32()?),
                 pred: RequestId(p.u64()?),
             }),
+            kind::EPOCH => Frame::Proto(ProtoMsg::Epoch { epoch: p.u64()? }),
             kind::TOKEN => Frame::Token {
                 obj: ObjectId(p.u32()?),
                 req: RequestId(p.u64()?),
+                epoch: p.u64()?,
             },
             other => return Err(WireError::UnknownKind(other)),
         };
@@ -384,6 +418,7 @@ mod tests {
             Frame::Token {
                 obj: ObjectId(u32::MAX),
                 req: RequestId(u64::MAX),
+                epoch: 0,
             },
         ] {
             let bytes = frame.encode();
@@ -403,11 +438,13 @@ mod tests {
                 req,
                 obj,
                 origin: 42,
+                epoch: 0,
             },
             ProtoMsg::Found {
                 req,
                 obj,
                 pred: RequestId::ROOT,
+                epoch: 0,
             },
             ProtoMsg::CentralEnqueue {
                 req,
@@ -419,6 +456,7 @@ mod tests {
                 obj,
                 pred: RequestId(1),
             },
+            ProtoMsg::Epoch { epoch: 0xDEAD_BEEF },
         ] {
             let frame = Frame::Proto(msg);
             let (decoded, _) = Frame::decode(&frame.encode()).unwrap();
@@ -434,10 +472,12 @@ mod tests {
                 req: RequestId(9),
                 obj: ObjectId(1),
                 origin: 3,
+                epoch: 0,
             }),
             Frame::Token {
                 obj: ObjectId(1),
                 req: RequestId(9),
+                epoch: 0,
             },
             Frame::Goodbye,
         ];
@@ -464,6 +504,7 @@ mod tests {
             Frame::Token {
                 obj: ObjectId(1),
                 req: RequestId(9),
+                epoch: 0,
             },
             Frame::Goodbye,
         ];
@@ -513,10 +554,12 @@ mod tests {
                 req: RequestId(5),
                 obj: ObjectId(0),
                 origin: 2,
+                epoch: 0,
             }),
             Frame::Token {
                 obj: ObjectId(0),
                 req: RequestId(5),
+                epoch: 0,
             },
             Frame::Goodbye,
         ];

@@ -57,7 +57,7 @@ pub use event::{Event, EventKind, EventQueue};
 pub use link::{LatencyModel, LinkState};
 pub use node::{Context, NodeId, Process};
 pub use rng::SimRng;
-pub use sim::{Completion, LocalOrder, RunOutcome, SimConfig, Simulator, StopReason};
+pub use sim::{Completion, LocalOrder, RunOutcome, SimConfig, SimFault, Simulator, StopReason};
 pub use stats::{Histogram, SimStats};
 pub use time::{SimDuration, SimTime, SUBTICKS_PER_UNIT};
 pub use trace::{Trace, TraceEvent};

@@ -92,6 +92,29 @@ impl SimConfig {
     }
 }
 
+/// A scheduled fault, applied at a virtual time during the run (see
+/// [`Simulator::schedule_fault`]).
+///
+/// Faults model churn at the network substrate level: a **crashed** node has its
+/// inbox and outbox silenced — deliveries, external inputs and timer firings
+/// addressed to it are dropped (counted in [`SimStats::messages_dropped`] /
+/// [`SimStats::silenced_inputs`]) until a matching [`SimFault::Restart`] — and a
+/// **blocked** link `{u, v}` drops every message that would be delivered over it,
+/// in either direction, until unblocked. The simulator does not touch process
+/// state: what a restarted node remembers (or forgets) is protocol business, which
+/// is exactly where the arrow recovery layer hooks in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimFault {
+    /// Silence `node`'s inbox and outbox from the fault time on.
+    Crash(NodeId),
+    /// Lift a previous [`SimFault::Crash`] of `node`.
+    Restart(NodeId),
+    /// Drop every delivery over the undirected link `{u, v}`.
+    BlockLink(NodeId, NodeId),
+    /// Lift a previous [`SimFault::BlockLink`] of `{u, v}`.
+    UnblockLink(NodeId, NodeId),
+}
+
 /// Why the run loop stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StopReason {
@@ -142,6 +165,14 @@ pub struct Simulator<M, P: Process<M>> {
     trace: Trace,
     completions: Vec<Completion>,
     events_processed: u64,
+    /// Scheduled faults, sorted by time once the run starts; `next_fault` indexes
+    /// the first not-yet-applied entry.
+    faults: Vec<(SimTime, SimFault)>,
+    next_fault: usize,
+    /// Per-node crash flags (inbox/outbox silenced while set).
+    crashed: Vec<bool>,
+    /// Blocked undirected links, stored as `(min, max)` node pairs.
+    blocked: std::collections::HashSet<(NodeId, NodeId)>,
     /// Reusable handler context: cleared (capacity kept) before every handler call,
     /// so the steady state of the event loop allocates nothing per event.
     scratch: Context<M>,
@@ -168,6 +199,10 @@ impl<M: std::fmt::Debug, P: Process<M>> Simulator<M, P> {
             trace,
             completions: Vec::new(),
             events_processed: 0,
+            faults: Vec::new(),
+            next_fault: 0,
+            crashed: vec![false; n],
+            blocked: std::collections::HashSet::new(),
             scratch: Context::new(0, SimTime::ZERO),
         }
     }
@@ -192,6 +227,56 @@ impl<M: std::fmt::Debug, P: Process<M>> Simulator<M, P> {
         assert!(node < self.nodes.len(), "node {node} out of range");
         self.queue
             .schedule(time, EventKind::External { node, payload });
+    }
+
+    /// Schedule a [`SimFault`] at absolute virtual time `time`. Faults take effect
+    /// just before the first event at or after `time` is processed, so a crash at
+    /// `t` silences deliveries scheduled for `t` as well.
+    ///
+    /// # Panics
+    /// If the run has already started (faults are sorted once, at start), or a
+    /// fault names a node out of range.
+    pub fn schedule_fault(&mut self, time: SimTime, fault: SimFault) {
+        assert!(
+            !self.started,
+            "faults must be scheduled before the run starts"
+        );
+        let check = |v: NodeId| assert!(v < self.nodes.len(), "node {v} out of range");
+        match fault {
+            SimFault::Crash(v) | SimFault::Restart(v) => check(v),
+            SimFault::BlockLink(u, v) | SimFault::UnblockLink(u, v) => {
+                check(u);
+                check(v);
+            }
+        }
+        self.faults.push((time, fault));
+    }
+
+    /// True if `node` is currently crashed (silenced by an applied
+    /// [`SimFault::Crash`] without a later restart). After [`Simulator::run`]
+    /// returns, this reports whether the node survived the run.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node]
+    }
+
+    /// Apply every scheduled fault with fault time `<= now`.
+    fn apply_due_faults(&mut self, now: SimTime) {
+        while let Some(&(t, fault)) = self.faults.get(self.next_fault) {
+            if t > now {
+                break;
+            }
+            self.next_fault += 1;
+            match fault {
+                SimFault::Crash(v) => self.crashed[v] = true,
+                SimFault::Restart(v) => self.crashed[v] = false,
+                SimFault::BlockLink(u, v) => {
+                    self.blocked.insert((u.min(v), u.max(v)));
+                }
+                SimFault::UnblockLink(u, v) => {
+                    self.blocked.remove(&(u.min(v), u.max(v)));
+                }
+            }
+        }
     }
 
     /// Immutable access to a node's process (for post-run inspection).
@@ -300,6 +385,7 @@ impl<M: std::fmt::Debug, P: Process<M>> Simulator<M, P> {
             return;
         }
         self.started = true;
+        self.faults.sort_by_key(|&(t, _)| t);
         for i in 0..self.nodes.len() {
             let mut ctx = self.take_scratch(i, SimTime::ZERO);
             self.nodes[i].on_start(&mut ctx);
@@ -315,10 +401,17 @@ impl<M: std::fmt::Debug, P: Process<M>> Simulator<M, P> {
             return false;
         };
         self.now = self.now.max(event.time);
+        self.apply_due_faults(self.now);
         self.events_processed += 1;
         self.stats.events_processed += 1;
         match event.kind {
             EventKind::Deliver { from, to, payload } => {
+                if self.crashed[to] || self.blocked.contains(&(from.min(to), from.max(to))) {
+                    // The receiver is crashed or the link is severed: the message
+                    // is lost in flight. Recovery is the protocol's business.
+                    self.stats.messages_dropped += 1;
+                    return true;
+                }
                 self.stats.note_delivery(to);
                 if self.trace.is_enabled() {
                     self.trace.push(TraceEvent::Deliver {
@@ -334,6 +427,10 @@ impl<M: std::fmt::Debug, P: Process<M>> Simulator<M, P> {
                 self.put_scratch(ctx);
             }
             EventKind::External { node, payload } => {
+                if self.crashed[node] {
+                    self.stats.silenced_inputs += 1;
+                    return true;
+                }
                 self.stats.external_inputs += 1;
                 if self.trace.is_enabled() {
                     self.trace.push(TraceEvent::External {
@@ -348,6 +445,10 @@ impl<M: std::fmt::Debug, P: Process<M>> Simulator<M, P> {
                 self.put_scratch(ctx);
             }
             EventKind::Timer { node, tag } => {
+                if self.crashed[node] {
+                    self.stats.silenced_inputs += 1;
+                    return true;
+                }
                 self.stats.timer_firings += 1;
                 if self.trace.is_enabled() {
                     self.trace.push(TraceEvent::Timer {
@@ -636,5 +737,72 @@ mod tests {
     fn scheduling_for_missing_node_panics() {
         let mut sim = ring(2, SimConfig::synchronous());
         sim.schedule_external(SimTime::ZERO, 5, 1);
+    }
+
+    #[test]
+    fn crashed_node_drops_deliveries_externals_and_timers() {
+        struct Ticker;
+        impl Process<u32> for Ticker {
+            fn on_external(&mut self, ctx: &mut Context<u32>, _input: u32) {
+                ctx.set_timer(SimDuration::from_units(2), 1);
+                ctx.send(1, 7);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<u32>, tag: u64) {
+                ctx.record_completion(tag);
+            }
+            fn on_message(&mut self, ctx: &mut Context<u32>, _from: NodeId, msg: u32) {
+                ctx.record_completion(msg as u64);
+            }
+        }
+        let mut sim = Simulator::new(vec![Ticker, Ticker], SimConfig::synchronous());
+        sim.schedule_external(SimTime::ZERO, 0, 0);
+        // A second external for node 0 after the crash, and the crash itself at t=1:
+        // the pending timer (t=2), the in-flight delivery to node 1 (crashed below),
+        // and the later external are all dropped.
+        sim.schedule_external(SimTime::from_units(3), 0, 0);
+        sim.schedule_fault(SimTime::from_units(1), SimFault::Crash(0));
+        sim.schedule_fault(SimTime::from_units(0), SimFault::Crash(1));
+        let outcome = sim.run();
+        assert_eq!(outcome.stop, StopReason::Quiescent);
+        assert!(sim.completions().is_empty());
+        assert_eq!(sim.stats().messages_dropped, 1); // send to crashed node 1
+        assert_eq!(sim.stats().silenced_inputs, 2); // node 0's timer + late external
+        assert!(sim.is_crashed(0));
+        assert!(sim.is_crashed(1));
+    }
+
+    #[test]
+    fn restart_lifts_a_crash() {
+        let mut sim = ring(3, SimConfig::synchronous());
+        // Crash node 1 before the relay reaches it, restart it later, then issue a
+        // second relay that passes through it cleanly.
+        sim.schedule_fault(SimTime::ZERO, SimFault::Crash(1));
+        sim.schedule_fault(SimTime::from_units(5), SimFault::Restart(1));
+        sim.schedule_external(SimTime::ZERO, 0, 2);
+        sim.schedule_external(SimTime::from_units(10), 0, 2);
+        let outcome = sim.run();
+        assert_eq!(outcome.stop, StopReason::Quiescent);
+        // First relay dies at node 1; second one completes 0 -> 1 -> 2.
+        assert_eq!(sim.stats().messages_dropped, 1);
+        assert_eq!(sim.node(1).received, vec![1]);
+        assert_eq!(sim.node(2).received, vec![0]);
+        assert!(!sim.is_crashed(1));
+    }
+
+    #[test]
+    fn blocked_link_drops_both_directions_until_unblocked() {
+        let mut sim = ring(2, SimConfig::synchronous());
+        // Block {0,1}, relay 1 -> 0 is dropped; unblock, relay passes.
+        sim.schedule_fault(SimTime::ZERO, SimFault::BlockLink(0, 1));
+        sim.schedule_fault(SimTime::from_units(5), SimFault::UnblockLink(1, 0));
+        sim.schedule_external(SimTime::ZERO, 1, 1);
+        sim.schedule_external(SimTime::ZERO, 0, 1);
+        sim.schedule_external(SimTime::from_units(6), 0, 1);
+        let outcome = sim.run();
+        assert_eq!(outcome.stop, StopReason::Quiescent);
+        // The first two relays (one per direction) are dropped at the blocked link;
+        // the third makes its single hop.
+        assert_eq!(sim.stats().messages_dropped, 2);
+        assert_eq!(sim.stats().messages_delivered, 1);
     }
 }

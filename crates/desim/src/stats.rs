@@ -162,6 +162,11 @@ pub struct SimStats {
     pub timer_firings: u64,
     /// Events processed in total.
     pub events_processed: u64,
+    /// Messages lost to faults: deliveries to a crashed node or over a blocked
+    /// link (see [`crate::SimFault`]).
+    pub messages_dropped: u64,
+    /// External inputs and timer firings silenced because their node was crashed.
+    pub silenced_inputs: u64,
     /// Per-node count of messages sent.
     pub sent_per_node: Vec<u64>,
     /// Per-node count of messages received.
@@ -181,6 +186,8 @@ impl SimStats {
             external_inputs: 0,
             timer_firings: 0,
             events_processed: 0,
+            messages_dropped: 0,
+            silenced_inputs: 0,
             sent_per_node: vec![0; n],
             received_per_node: vec![0; n],
             per_link: HashMap::new(),

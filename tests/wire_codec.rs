@@ -36,7 +36,8 @@ fn random_frame(rng: &mut SimRng) -> Frame {
     let obj = ObjectId(random_u32(rng));
     let pred = RequestId(random_u64(rng));
     let node = random_u32(rng) as usize;
-    match rng.index(9) {
+    let epoch = random_u64(rng);
+    match rng.index(10) {
         0 => Frame::Hello { node },
         1 => Frame::Welcome { node },
         2 => Frame::Goodbye,
@@ -45,15 +46,22 @@ fn random_frame(rng: &mut SimRng) -> Frame {
             req,
             obj,
             origin: node,
+            epoch,
         }),
-        5 => Frame::Proto(ProtoMsg::Found { req, obj, pred }),
+        5 => Frame::Proto(ProtoMsg::Found {
+            req,
+            obj,
+            pred,
+            epoch,
+        }),
         6 => Frame::Proto(ProtoMsg::CentralEnqueue {
             req,
             obj,
             origin: node,
         }),
         7 => Frame::Proto(ProtoMsg::CentralReply { req, obj, pred }),
-        _ => Frame::Token { obj, req },
+        8 => Frame::Proto(ProtoMsg::Epoch { epoch }),
+        _ => Frame::Token { obj, req, epoch },
     }
 }
 
