@@ -47,7 +47,7 @@
 //! assert!(violations.is_empty(), "{violations:?}");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod case;

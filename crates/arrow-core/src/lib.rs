@@ -73,7 +73,7 @@
 //! assert_eq!(outcome.order.len(), 8);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod arrow;

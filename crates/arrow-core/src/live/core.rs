@@ -38,6 +38,7 @@
 use crate::request::{ObjectId, RequestId};
 use netgraph::{NodeId, RootedTree};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// What a transport must do after feeding an input to [`ArrowCore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,7 +94,7 @@ pub enum CoreAction {
 }
 
 /// Per-own-request token bookkeeping at the issuing node.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct TokenState {
     /// The token has arrived for this request (the application holds it, or held
     /// it and released). Requests with `granted == false` are still *pending* and
@@ -106,7 +107,7 @@ struct TokenState {
 }
 
 /// Per-object arrow state at one node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ObjectState {
     /// `link_o(v)`: a tree neighbour, or the node itself when it is the sink.
     link: NodeId,
@@ -116,9 +117,40 @@ struct ObjectState {
     last_id: RequestId,
 }
 
+/// A deterministic, canonically ordered copy of one [`ArrowCore`]'s protocol
+/// state, exposed for the `arrow-model` explicit-state model checker.
+///
+/// Two cores that would behave identically on every future input produce equal
+/// snapshots: the token map is flattened into a sorted vector, so iteration
+/// order of the underlying `HashMap` never leaks into the snapshot. `Hash`,
+/// `Eq` and `Ord` are derived, which makes the snapshot directly usable as a
+/// key in visited-state sets and as input to canonical state hashing.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreSnapshot {
+    /// The node the snapshot was taken at.
+    pub node: NodeId,
+    /// Current recovery epoch.
+    pub epoch: u64,
+    /// Next value of the per-node request-id sequence (captured because two
+    /// cores that differ only here still assign different future ids).
+    pub next_seq: u64,
+    /// Per-object `(link, last_id)` pairs, indexed by object id.
+    pub objects: Vec<(NodeId, RequestId)>,
+    /// Token bookkeeping rows, sorted by `(object, request)`.
+    pub tokens: Vec<TokenRow>,
+}
+
+/// One row of [`CoreSnapshot::tokens`]:
+/// `(object, request, granted, released, successor)`.
+pub type TokenRow = (ObjectId, RequestId, bool, bool, Option<(RequestId, NodeId)>);
+
 /// The per-node arrow automaton for `K` objects: link pointers, path reversal and
 /// token bookkeeping, independent of how messages actually travel.
-#[derive(Debug)]
+///
+/// `Clone` is derived so an explicit-state model checker can branch a system
+/// state into successors; the clone is an independent automaton with identical
+/// behaviour.
+#[derive(Debug, Clone)]
 pub struct ArrowCore {
     me: NodeId,
     total_nodes: u64,
@@ -198,6 +230,67 @@ impl ArrowCore {
     /// Stale-epoch inputs this node rejected.
     pub fn stale_drops(&self) -> u64 {
         self.stale_drops
+    }
+
+    /// The current link pointer for `obj` (a tree neighbour, or this node itself
+    /// when it is the object's sink).
+    ///
+    /// # Panics
+    /// If `obj` is out of range for this node.
+    pub fn link_of(&self, obj: ObjectId) -> NodeId {
+        self.objects
+            .get(obj.0 as usize)
+            .unwrap_or_else(|| panic!("node {} does not serve object {obj}", self.me))
+            .link
+    }
+
+    /// A deterministic, canonically ordered copy of this core's protocol state.
+    ///
+    /// Used by the `arrow-model` checker both to test state equality (dedup) and
+    /// to read protocol facts — link pointers, pending requests, epochs — without
+    /// reaching into private fields. The snapshot is independent of `HashMap`
+    /// iteration order, so equal protocol states always snapshot equal.
+    pub fn snapshot(&self) -> CoreSnapshot {
+        let mut tokens: Vec<_> = self
+            .tokens
+            .iter()
+            .map(|(&(obj, req), st)| (obj, req, st.granted, st.released, st.successor))
+            .collect();
+        tokens.sort();
+        CoreSnapshot {
+            node: self.me,
+            epoch: self.epoch,
+            next_seq: self.next_seq,
+            objects: self
+                .objects
+                .iter()
+                .map(|st| (st.link, st.last_id))
+                .collect(),
+            tokens,
+        }
+    }
+
+    /// Feed this core's canonical state into a hasher (a cheaper alternative to
+    /// building a full [`CoreSnapshot`] when only a state hash is needed).
+    ///
+    /// Deterministic across runs for the same protocol state: the token map is
+    /// folded in sorted order and the hasher sees exactly the fields a
+    /// [`CoreSnapshot`] carries.
+    pub fn hash_into<H: Hasher>(&self, hasher: &mut H) {
+        self.me.hash(hasher);
+        self.epoch.hash(hasher);
+        self.next_seq.hash(hasher);
+        for st in &self.objects {
+            st.link.hash(hasher);
+            st.last_id.hash(hasher);
+        }
+        let mut tokens: Vec<_> = self
+            .tokens
+            .iter()
+            .map(|(&(obj, req), st)| (obj, req, st.granted, st.released, st.successor))
+            .collect();
+        tokens.sort();
+        tokens.hash(hasher);
     }
 
     /// This node's own requests still awaiting their token, sorted.
@@ -654,5 +747,60 @@ mod tests {
         let mut core = ArrowCore::for_tree(0, &tree(3), 1);
         let mut out = Vec::new();
         core.acquire(ObjectId(1), &mut out);
+    }
+
+    fn hash_of(core: &ArrowCore) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        core.hash_into(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn snapshots_are_canonical_and_track_state_changes() {
+        let t = tree(7);
+        let mut a = ArrowCore::for_tree(3, &t, 2);
+        let mut b = ArrowCore::for_tree(3, &t, 2);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(hash_of(&a), hash_of(&b));
+
+        // Identical input sequences keep the snapshots (and hashes) equal even
+        // though the token HashMaps were populated independently.
+        let mut out = Vec::new();
+        for core in [&mut a, &mut b] {
+            core.acquire(ObjectId(0), &mut out);
+            core.acquire(ObjectId(1), &mut out);
+            core.on_queue(
+                t.parent(3).unwrap(),
+                ObjectId(0),
+                RequestId(99),
+                0,
+                0,
+                &mut out,
+            );
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(hash_of(&a), hash_of(&b));
+
+        // Any further input changes the snapshot.
+        let before = a.snapshot();
+        a.acquire(ObjectId(0), &mut out);
+        assert_ne!(a.snapshot(), before);
+        assert_ne!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn snapshot_exposes_links_and_clone_is_independent() {
+        let t = tree(7);
+        let mut core = ArrowCore::for_tree(1, &t, 1);
+        assert_eq!(core.link_of(ObjectId::DEFAULT), t.parent(1).unwrap());
+        let frozen = core.clone();
+        let mut out = Vec::new();
+        core.acquire(ObjectId::DEFAULT, &mut out);
+        // The issuing node becomes the object's sink; the clone is unaffected.
+        assert_eq!(core.link_of(ObjectId::DEFAULT), 1);
+        assert_eq!(core.snapshot().objects[0].0, 1);
+        assert_eq!(frozen.snapshot().objects[0].0, t.parent(1).unwrap());
+        assert_eq!(core.snapshot().tokens.len(), 1);
+        assert!(frozen.snapshot().tokens.is_empty());
     }
 }

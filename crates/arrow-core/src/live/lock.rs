@@ -38,30 +38,39 @@ impl CriticalSectionLog {
         Self::default()
     }
 
+    /// Lock the record list, recovering from poisoning: each record is pushed
+    /// atomically, so a panic in some other holder cannot leave the Vec
+    /// half-updated, and the log must stay readable from panicking tests.
+    fn guard(&self) -> std::sync::MutexGuard<'_, Vec<SectionRecord>> {
+        self.records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Record one completed critical section.
     pub fn record(&self, record: SectionRecord) {
-        self.records.lock().unwrap().push(record);
+        self.guard().push(record);
     }
 
     /// All records so far.
     pub fn records(&self) -> Vec<SectionRecord> {
-        self.records.lock().unwrap().clone()
+        self.guard().clone()
     }
 
     /// Number of completed critical sections.
     pub fn len(&self) -> usize {
-        self.records.lock().unwrap().len()
+        self.guard().len()
     }
 
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.records.lock().unwrap().is_empty()
+        self.guard().is_empty()
     }
 
     /// Check the mutual-exclusion invariant: no two recorded critical sections
     /// overlap in time. Returns the first offending pair if any.
     pub fn find_overlap(&self) -> Option<(SectionRecord, SectionRecord)> {
-        let mut records = self.records.lock().unwrap().clone();
+        let mut records = self.guard().clone();
         records.sort_by_key(|r| r.entered);
         for w in records.windows(2) {
             if w[1].entered < w[0].exited {

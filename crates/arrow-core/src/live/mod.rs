@@ -21,6 +21,6 @@ pub mod core;
 mod lock;
 mod runtime;
 
-pub use core::{ArrowCore, CoreAction};
+pub use core::{ArrowCore, CoreAction, CoreSnapshot};
 pub use lock::{CriticalSectionLog, DistributedLock, LockGuard, SectionRecord};
 pub use runtime::{ArrowRuntime, FaultHandle, LiveReport, NodeHandle, RuntimeStats, EVENT_BATCH};

@@ -132,7 +132,12 @@ impl NodeState {
         // Sending to self is delivered through the same channel to preserve ordering.
         if to != self.me {
             let key = (self.me.min(to), self.me.max(to));
-            if self.blocked.lock().unwrap().contains(&key) {
+            if self
+                .blocked
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .contains(&key)
+            {
                 self.stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -518,12 +523,18 @@ impl FaultHandle {
     ///
     /// [`restore_link`]: FaultHandle::restore_link
     pub fn drop_link(&self, u: NodeId, v: NodeId) {
-        self.blocked.lock().unwrap().insert((u.min(v), u.max(v)));
+        self.blocked
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert((u.min(v), u.max(v)));
     }
 
     /// Restore a severed link.
     pub fn restore_link(&self, u: NodeId, v: NodeId) {
-        self.blocked.lock().unwrap().remove(&(u.min(v), u.max(v)));
+        self.blocked
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&(u.min(v), u.max(v)));
     }
 
     /// Broadcast a detection-driven epoch bump to every node (crashed nodes miss

@@ -1,0 +1,367 @@
+//! The bounded DFS itself: canonical-hash deduplication, sleep-set pruning,
+//! invariant checking at every state, quiescence checking at drained states,
+//! and counterexample extraction.
+//!
+//! # Dedup × sleep sets
+//!
+//! Combining a visited set with sleep sets needs care: reaching an old state
+//! with a *smaller* sleep set means more behaviour must be explored from it
+//! than last time. The classic rule is applied here — alongside each canonical
+//! hash the visited map stores the sleep set the state was explored with; a
+//! revisit is skipped only when the stored sleep set is a subset of the new
+//! one, and otherwise the state is re-explored with the intersection (and the
+//! stored set is lowered to it, so the process converges).
+
+use crate::invariants::{check_quiescent, check_state, ModelViolation};
+use crate::reduce::child_sleep_set;
+use crate::state::SysState;
+use crate::transition::{apply, enabled, BugSwitch, Transition};
+use crate::Scenario;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Knobs for one exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Deduplicate states by canonical 128-bit hash (`--no-dedup` disables).
+    pub dedup: bool,
+    /// Sleep-set partial-order reduction (`--no-reduce` disables).
+    pub reduce: bool,
+    /// Historical-bug injection for regression runs.
+    pub bug: BugSwitch,
+    /// Hard cap on transitions applied; exploration stops (with
+    /// [`ExploreStats::capped`] set) rather than run away. Chiefly a guard for
+    /// `--no-dedup` runs, which can cycle through post-crash message loops.
+    pub max_transitions: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            dedup: true,
+            reduce: true,
+            bug: BugSwitch::None,
+            max_transitions: 50_000_000,
+        }
+    }
+}
+
+/// Counters describing how the exploration went.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreStats {
+    /// States entered (re-entries after a sleep-set lowering count again).
+    pub states: u64,
+    /// Revisits skipped by the canonical-hash visited set.
+    pub deduped: u64,
+    /// Enabled transitions skipped because they were asleep.
+    pub sleep_pruned: u64,
+    /// Transitions applied.
+    pub transitions: u64,
+    /// Drained (quiescent) states encountered.
+    pub quiescent: u64,
+    /// Deepest DFS path, in transitions.
+    pub max_depth: usize,
+    /// True if the run stopped at [`ExploreConfig::max_transitions`].
+    pub capped: bool,
+}
+
+impl fmt::Display for ExploreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "states={} transitions={} deduped={} sleep-pruned={} quiescent={} max-depth={}{}",
+            self.states,
+            self.transitions,
+            self.deduped,
+            self.sleep_pruned,
+            self.quiescent,
+            self.max_depth,
+            if self.capped { " CAPPED" } else { "" }
+        )
+    }
+}
+
+/// A violating execution: the transition sequence from the initial state and
+/// the invariant violations observed at its end.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Transitions from the initial state to the violating state.
+    pub trace: Vec<Transition>,
+    /// Everything that was violated there (at least one entry).
+    pub violations: Vec<ModelViolation>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.trace.iter().enumerate() {
+            writeln!(f, "  step {i:3}: {t}")?;
+        }
+        for v in &self.violations {
+            writeln!(f, "  VIOLATION: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one exploration.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Exploration counters.
+    pub stats: ExploreStats,
+    /// The first violating execution found, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl CheckReport {
+    /// True when no invariant was violated anywhere in the explored space.
+    pub fn ok(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+struct Frame {
+    state: SysState,
+    sleep: Vec<Transition>,
+    todo: Vec<Transition>,
+    idx: usize,
+    explored: Vec<Transition>,
+}
+
+fn is_subset(small: &[Transition], big: &[Transition]) -> bool {
+    small.iter().all(|t| big.contains(t))
+}
+
+fn intersect(a: &[Transition], b: &[Transition]) -> Vec<Transition> {
+    let mut out: Vec<Transition> = a.iter().copied().filter(|t| b.contains(t)).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Exhaustively explore `scenario` under `config`, checking every invariant,
+/// and return the stats plus the first counterexample (if any).
+pub fn explore(scenario: &Scenario, config: &ExploreConfig) -> CheckReport {
+    let mut stats = ExploreStats::default();
+    let mut visited: HashMap<u128, Vec<Transition>> = HashMap::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut path: Vec<Transition> = Vec::new();
+
+    let root = SysState::initial(&scenario.tree, scenario.objects);
+    let violations = check_state(&root, scenario.objects);
+    if !violations.is_empty() {
+        return CheckReport {
+            stats,
+            counterexample: Some(Counterexample {
+                trace: Vec::new(),
+                violations,
+            }),
+        };
+    }
+    if config.dedup {
+        visited.insert(root.hash128(), Vec::new());
+    }
+    match enter(root, Vec::new(), scenario, &mut stats, 0) {
+        Ok(frame) => stack.push(frame),
+        Err(violations) => {
+            return CheckReport {
+                stats,
+                counterexample: Some(Counterexample {
+                    trace: Vec::new(),
+                    violations,
+                }),
+            }
+        }
+    }
+
+    while let Some(top) = stack.len().checked_sub(1) {
+        if stack[top].idx >= stack[top].todo.len() {
+            stack.pop();
+            path.pop();
+            continue;
+        }
+        let t = stack[top].todo[stack[top].idx];
+        stack[top].idx += 1;
+
+        if stats.transitions >= config.max_transitions {
+            stats.capped = true;
+            return CheckReport {
+                stats,
+                counterexample: None,
+            };
+        }
+        stats.transitions += 1;
+
+        let (next, mut violations) = apply(&stack[top].state, t, scenario, config.bug);
+        violations.extend(check_state(&next, scenario.objects));
+        if !violations.is_empty() {
+            let mut trace = path.clone();
+            trace.push(t);
+            return CheckReport {
+                stats,
+                counterexample: Some(Counterexample { trace, violations }),
+            };
+        }
+
+        let mut child_sleep = if config.reduce {
+            child_sleep_set(
+                &stack[top].sleep,
+                &stack[top].explored,
+                t,
+                &stack[top].state,
+                scenario,
+            )
+        } else {
+            Vec::new()
+        };
+        stack[top].explored.push(t);
+
+        if config.dedup {
+            match visited.entry(next.hash128()) {
+                Entry::Vacant(e) => {
+                    e.insert(child_sleep.clone());
+                }
+                Entry::Occupied(mut e) => {
+                    if is_subset(e.get(), &child_sleep) {
+                        // Everything the new visit would skip was already
+                        // covered (or also skipped, soundly) last time.
+                        stats.deduped += 1;
+                        continue;
+                    }
+                    // Smaller sleep set: more behaviour to cover. Re-explore
+                    // with the intersection and remember the lowered set.
+                    let lowered = intersect(e.get(), &child_sleep);
+                    e.insert(lowered.clone());
+                    child_sleep = lowered;
+                }
+            }
+        }
+
+        match enter(next, child_sleep, scenario, &mut stats, path.len() + 1) {
+            Ok(frame) => {
+                stack.push(frame);
+                path.push(t);
+            }
+            Err(violations) => {
+                let mut trace = path.clone();
+                trace.push(t);
+                return CheckReport {
+                    stats,
+                    counterexample: Some(Counterexample { trace, violations }),
+                };
+            }
+        }
+    }
+
+    CheckReport {
+        stats,
+        counterexample: None,
+    }
+}
+
+/// Book a newly reached state in: bump counters, run the quiescence checks if
+/// it is drained, and build its DFS frame (enabled transitions minus sleepers).
+fn enter(
+    state: SysState,
+    sleep: Vec<Transition>,
+    scenario: &Scenario,
+    stats: &mut ExploreStats,
+    depth: usize,
+) -> Result<Frame, Vec<ModelViolation>> {
+    stats.states += 1;
+    stats.max_depth = stats.max_depth.max(depth);
+    let all = enabled(&state, scenario);
+    if !all.iter().any(Transition::is_draining) {
+        // Nothing left that moves the protocol: the quiescence contract must
+        // hold here, whatever issue/crash budget remains unspent.
+        stats.quiescent += 1;
+        let violations = check_quiescent(&state, scenario.objects);
+        if !violations.is_empty() {
+            return Err(violations);
+        }
+    }
+    let todo: Vec<Transition> = all
+        .into_iter()
+        .filter(|t| {
+            let asleep = sleep.contains(t);
+            if asleep {
+                stats.sleep_pruned += 1;
+            }
+            !asleep
+        })
+        .collect();
+    Ok(Frame {
+        state,
+        sleep,
+        todo,
+        idx: 0,
+        explored: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{generators, RootedTree};
+
+    fn scenario(n: usize, objects: usize, requests: usize, crashes: usize) -> Scenario {
+        Scenario {
+            tree: RootedTree::from_tree_graph(&generators::path(n), 0),
+            objects,
+            max_requests: requests,
+            crash_episodes: crashes,
+            abandons: 0,
+        }
+    }
+
+    #[test]
+    fn tiny_fault_free_scenario_is_clean() {
+        let report = explore(&scenario(2, 1, 1, 0), &ExploreConfig::default());
+        assert!(report.ok(), "{:?}", report.counterexample);
+        assert!(report.stats.quiescent >= 1);
+        assert!(report.stats.states > 1);
+        assert!(!report.stats.capped);
+    }
+
+    #[test]
+    fn reduction_and_dedup_shrink_the_search_without_changing_the_verdict() {
+        let sc = scenario(3, 1, 2, 0);
+        let full = explore(&sc, &ExploreConfig::default());
+        let naive = explore(
+            &sc,
+            &ExploreConfig {
+                dedup: false,
+                reduce: false,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(full.ok() && naive.ok());
+        assert!(!naive.stats.capped, "naive must terminate fault-free");
+        assert!(
+            full.stats.transitions < naive.stats.transitions,
+            "pruning must shrink the search: {} vs {}",
+            full.stats.transitions,
+            naive.stats.transitions
+        );
+        assert!(full.stats.deduped + full.stats.sleep_pruned > 0);
+    }
+
+    #[test]
+    fn transition_cap_stops_the_run() {
+        let report = explore(
+            &scenario(4, 2, 4, 1),
+            &ExploreConfig {
+                max_transitions: 10,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(report.stats.capped);
+        assert!(report.stats.transitions <= 10);
+    }
+
+    #[test]
+    fn crash_scenarios_explore_clean() {
+        let report = explore(&scenario(3, 1, 2, 1), &ExploreConfig::default());
+        assert!(report.ok(), "{:?}", report.counterexample);
+        assert!(report.stats.quiescent >= 1);
+    }
+}

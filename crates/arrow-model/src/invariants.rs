@@ -1,0 +1,347 @@
+//! The safety and quiescence invariants checked during exploration.
+//!
+//! **Safety invariants** hold in *every* reachable state and are checked after
+//! every transition; some are structural and enforced inline while a transition
+//! is applied (self-targeted sends, non-tree `queue()` routing, duplicate
+//! grants, duplicate `Queued` events, chain forks). **Quiescence invariants**
+//! hold in every *drained* state — one with no deliverable frame, no pending
+//! release, no undelivered detection signal and no node down — and are what
+//! turns the conformance suite's sampled churn contract into an exhaustively
+//! verified one: deadlock-freedom (every surviving request granted) and one
+//! complete, fork-free token chain per object in the final epoch.
+
+use crate::state::{Frame, SysState};
+use arrow_core::prelude::{ObjectId, RequestId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The invariant classes the checker can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelInvariant {
+    /// A `SendToken`/`SendQueue` action targeted the acting node itself.
+    SelfSend,
+    /// A `queue()` frame was sent to a node that is not a tree neighbour.
+    NonTreeSend,
+    /// A request's token was granted to a live waiter more than once.
+    GrantedTwice,
+    /// A `Granted` action fired for a request id the model never issued
+    /// (internal consistency guard — tokens are only ever sent to the node
+    /// that issued the granted request).
+    UnknownGrant,
+    /// More than one `Queued` event for the same `(request, epoch)`
+    /// (Definition 3.2 gives each request exactly one predecessor per epoch).
+    ExactlyOnce,
+    /// Two different successors queued behind the same `(object, epoch,
+    /// predecessor)` — a fork in the token chain.
+    ChainFork,
+    /// More than one token materialised for one `(object, epoch)`: the sum of
+    /// in-flight token frames and granted-token bookkeeping entries exceeded 1.
+    TokenCustody,
+    /// In a uniform-epoch, fault-quiet state some object's sink count differed
+    /// from `1 + (queue() frames in flight)` — the path-reversal conservation
+    /// law (at most one un-granted chain head per object and epoch).
+    SinkCount,
+    /// A drained state left a surviving request ungranted (deadlock / wedged
+    /// token).
+    Deadlock,
+    /// The final epoch's succession records do not form one complete chain
+    /// from the virtual root request covering every participant.
+    BrokenChain,
+}
+
+impl fmt::Display for ModelInvariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ModelInvariant::SelfSend => "self-send",
+            ModelInvariant::NonTreeSend => "non-tree-send",
+            ModelInvariant::GrantedTwice => "granted-twice",
+            ModelInvariant::UnknownGrant => "unknown-grant",
+            ModelInvariant::ExactlyOnce => "exactly-once",
+            ModelInvariant::ChainFork => "chain-fork",
+            ModelInvariant::TokenCustody => "token-custody",
+            ModelInvariant::SinkCount => "sink-count",
+            ModelInvariant::Deadlock => "deadlock",
+            ModelInvariant::BrokenChain => "broken-chain",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One invariant violation, with the offending values rendered into `detail`.
+#[derive(Debug, Clone)]
+pub struct ModelViolation {
+    /// Which invariant broke.
+    pub invariant: ModelInvariant,
+    /// Human-readable description with the offending values.
+    pub detail: String,
+}
+
+impl ModelViolation {
+    /// Convenience constructor.
+    pub fn new(invariant: ModelInvariant, detail: impl Into<String>) -> Self {
+        ModelViolation {
+            invariant,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// Safety checks evaluated on every reachable state.
+///
+/// Token custody is counted per `(object, epoch)` as in-flight token frames of
+/// that epoch plus granted-token bookkeeping entries at nodes currently in that
+/// epoch (an epoch bump discards granted entries, so a core's entries always
+/// belong to its current epoch). The sink-conservation law is only evaluated
+/// when it is meaningful: every node alive and at the target epoch, and no
+/// stale frame in flight — mid-recovery states legitimately break it.
+pub fn check_state(state: &SysState, objects: usize) -> Vec<ModelViolation> {
+    let mut violations = Vec::new();
+
+    // Token custody: per (object, epoch), frames + granted entries <= 1.
+    let mut custody: BTreeMap<(ObjectId, u64), u32> = BTreeMap::new();
+    for queue in state.channels.values() {
+        for frame in queue {
+            if let Frame::Token { obj, epoch, .. } = *frame {
+                *custody.entry((obj, epoch)).or_insert(0) += 1;
+            }
+        }
+    }
+    for core in &state.cores {
+        let snap = core.snapshot();
+        for &(obj, _req, granted, _released, _succ) in &snap.tokens {
+            if granted {
+                *custody.entry((obj, snap.epoch)).or_insert(0) += 1;
+            }
+        }
+    }
+    for (&(obj, epoch), &count) in &custody {
+        if count > 1 {
+            violations.push(ModelViolation::new(
+                ModelInvariant::TokenCustody,
+                format!("{count} tokens materialised for {obj} in epoch {epoch}"),
+            ));
+        }
+    }
+
+    // Sink conservation, in fault-quiet uniform-epoch states only.
+    let target = state.target_epoch();
+    let uniform = state.crash.down.is_none()
+        && state.cores.iter().all(|c| c.epoch() == target)
+        && state
+            .channels
+            .values()
+            .flatten()
+            .all(|f| f.epoch() == target);
+    if uniform {
+        for obj in (0..objects).map(|o| ObjectId(o as u32)) {
+            let sinks = state
+                .cores
+                .iter()
+                .filter(|c| c.link_of(obj) == c.node())
+                .count();
+            let in_flight = state
+                .channels
+                .values()
+                .flatten()
+                .filter(|f| matches!(f, Frame::Queue { obj: o, .. } if *o == obj))
+                .count();
+            if sinks != 1 + in_flight {
+                violations.push(ModelViolation::new(
+                    ModelInvariant::SinkCount,
+                    format!(
+                        "{obj}: {sinks} sinks with {in_flight} queue() frames in flight \
+                         (conservation requires sinks == 1 + in-flight)"
+                    ),
+                ));
+            }
+        }
+    }
+
+    violations
+}
+
+/// Quiescence checks, evaluated on every *drained* state (no frame deliverable,
+/// no release pending, no detection signal undelivered, no node down — whether
+/// or not the issue budget or a crash episode is still unspent).
+///
+/// * **Deadlock-freedom**: every request whose waiter survived is granted.
+///   (A granted-but-unreleased request cannot occur here: its release
+///   transition would still be enabled, so the state would not be drained.)
+/// * **Churn contract, exhaustively**: for each object, the `Queued` records of
+///   the final epoch form one fork-free chain starting at the virtual root
+///   request and covering every request queued in that epoch. Forks were
+///   already rejected incrementally; what remains is detecting *orphan loops*
+///   (a group of requests queued behind each other but unreachable from `r0`).
+pub fn check_quiescent(state: &SysState, objects: usize) -> Vec<ModelViolation> {
+    let mut violations = Vec::new();
+    for s in &state.slots {
+        if !s.lost && s.granted != 1 {
+            violations.push(ModelViolation::new(
+                ModelInvariant::Deadlock,
+                format!(
+                    "request {} at node {} for {} drained with {} grants (lost={})",
+                    s.req, s.node, s.obj, s.granted, s.lost
+                ),
+            ));
+        }
+    }
+
+    let epoch = state.target_epoch();
+    for obj in (0..objects).map(|o| ObjectId(o as u32)) {
+        let succ_of: BTreeMap<RequestId, RequestId> = state
+            .queued_links
+            .iter()
+            .filter(|&&(o, e, _, _)| o == obj && e == epoch)
+            .map(|&(_, _, pred, succ)| (pred, succ))
+            .collect();
+        let mut chain = BTreeSet::new();
+        let mut cursor = RequestId::ROOT;
+        while let Some(&next) = succ_of.get(&cursor) {
+            if !chain.insert(next) {
+                break; // Cycle through the chain itself; coverage check reports.
+            }
+            cursor = next;
+        }
+        for s in &state.slots {
+            if s.obj == obj && s.queued_epochs.contains(&epoch) && !chain.contains(&s.req) {
+                violations.push(ModelViolation::new(
+                    ModelInvariant::BrokenChain,
+                    format!(
+                        "{obj}: request {} was queued in final epoch {epoch} but is not \
+                         reachable from r0 (chain {chain:?}, successors {succ_of:?})",
+                        s.req
+                    ),
+                ));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{ChannelClass, ReqSlot};
+    use netgraph::{generators, RootedTree};
+
+    fn tree(n: usize) -> RootedTree {
+        RootedTree::from_tree_graph(&generators::path(n), 0)
+    }
+
+    #[test]
+    fn initial_state_is_clean() {
+        let s = SysState::initial(&tree(4), 2);
+        assert!(check_state(&s, 2).is_empty());
+        assert!(check_quiescent(&s, 2).is_empty());
+    }
+
+    #[test]
+    fn two_token_frames_break_custody() {
+        let mut s = SysState::initial(&tree(3), 1);
+        for to in [1, 2] {
+            s.push_frame(
+                (0, to, ChannelClass::Direct),
+                Frame::Token {
+                    obj: ObjectId(0),
+                    req: RequestId(to as u64),
+                    epoch: 0,
+                },
+            );
+        }
+        let violations = check_state(&s, 1);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == ModelInvariant::TokenCustody),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn stale_epoch_token_does_not_break_current_custody() {
+        let mut s = SysState::initial(&tree(3), 1);
+        s.crash.fault_events = 1; // target epoch 1
+        s.push_frame(
+            (0, 1, ChannelClass::Direct),
+            Frame::Token {
+                obj: ObjectId(0),
+                req: RequestId(1),
+                epoch: 0,
+            },
+        );
+        s.push_frame(
+            (0, 2, ChannelClass::Direct),
+            Frame::Token {
+                obj: ObjectId(0),
+                req: RequestId(2),
+                epoch: 1,
+            },
+        );
+        // One token per epoch: fine. (The sink law is skipped: a stale frame is
+        // in flight.)
+        assert!(check_state(&s, 1).is_empty());
+    }
+
+    #[test]
+    fn ungranted_slot_in_drained_state_is_a_deadlock() {
+        let mut s = SysState::initial(&tree(3), 1);
+        s.slots.push(ReqSlot {
+            req: RequestId(4),
+            node: 1,
+            obj: ObjectId(0),
+            granted: 0,
+            released: false,
+            lost: false,
+            grant_epoch: 0,
+            queued_epochs: vec![0],
+        });
+        let violations = check_quiescent(&s, 1);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == ModelInvariant::Deadlock),
+            "{violations:?}"
+        );
+        // A lost waiter is excused.
+        s.slots[0].lost = true;
+        // ...but its absence from the final chain is also excused only because
+        // the chain check skips requests not queued in the final epoch of a
+        // *granted* run; mark it unqueued to isolate the deadlock check.
+        s.slots[0].queued_epochs.clear();
+        assert!(check_quiescent(&s, 1).is_empty());
+    }
+
+    #[test]
+    fn orphan_loop_is_a_broken_chain() {
+        let mut s = SysState::initial(&tree(3), 1);
+        let (a, b) = (RequestId(4), RequestId(5));
+        for (req, node) in [(a, 1), (b, 2)] {
+            s.slots.push(ReqSlot {
+                req,
+                node,
+                obj: ObjectId(0),
+                granted: 1,
+                released: true,
+                lost: false,
+                grant_epoch: 0,
+                queued_epochs: vec![0],
+            });
+        }
+        // a and b queued behind each other, disconnected from r0.
+        s.queued_links.insert((ObjectId(0), 0, a, b));
+        s.queued_links.insert((ObjectId(0), 0, b, a));
+        let violations = check_quiescent(&s, 1);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == ModelInvariant::BrokenChain),
+            "{violations:?}"
+        );
+    }
+}

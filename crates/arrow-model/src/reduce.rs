@@ -1,0 +1,232 @@
+//! Partial-order reduction: a conservative independence relation and the
+//! sleep-set bookkeeping built on it.
+//!
+//! Two transitions are *independent* in a state when both are enabled, neither
+//! disables the other, and executing them in either order reaches the same
+//! state. Sleep sets (Godefroid) use independence to skip interleavings that
+//! only permute independent steps: unlike ample/persistent-set reductions,
+//! sleep sets still visit **every reachable state**, so all state- and
+//! transition-level invariant checks retain full coverage — only redundant
+//! *paths* are pruned.
+//!
+//! The relation here is deliberately conservative: fault-model transitions
+//! (crash / restart / detection signal) are declared dependent on everything,
+//! and two deliveries commute only when their channel and node footprints are
+//! completely disjoint. Soundness never rests on the reduction — `--no-reduce`
+//! runs the same exploration without it — but the pruning is what makes the
+//! 5-node sweeps tractable.
+
+use crate::state::SysState;
+use crate::transition::Transition;
+use crate::Scenario;
+
+/// Conservative state-dependent independence check.
+///
+/// Returns `true` only when `a` and `b` provably commute from `state` (both
+/// assumed enabled there). Any pair involving the fault model, or sharing a
+/// node or channel footprint, is declared dependent.
+pub fn independent(a: Transition, b: Transition, state: &SysState, scenario: &Scenario) -> bool {
+    use Transition::*;
+    // The fault model rewrites global structure (severed channels, lost
+    // waiters, epoch targets): never commuted with anything. Waiter
+    // abandonment is rare enough in practice (a per-scenario budget of 0 or 1)
+    // that it is lumped in conservatively rather than given its own relation.
+    if matches!(
+        a,
+        Crash { .. } | Restart { .. } | EpochSignal { .. } | Abandon { .. }
+    ) || matches!(
+        b,
+        Crash { .. } | Restart { .. } | EpochSignal { .. } | Abandon { .. }
+    ) {
+        return false;
+    }
+    match (a, b) {
+        (Issue { node: n1, .. }, Issue { node: n2, .. }) => {
+            // Different issuers draw from per-node id sequences, so the steps
+            // commute — unless only one issue slot is left in the budget, in
+            // which case each disables the other.
+            n1 != n2 && state.slots.len() + 2 <= scenario.max_requests
+        }
+        (Issue { node, .. }, Deliver { from, to, .. })
+        | (Deliver { from, to, .. }, Issue { node, .. }) => node != from && node != to,
+        (Issue { node: n1, .. }, Release { req }) | (Release { req }, Issue { node: n1, .. }) => {
+            state.slot(req).map(|s| s.node) != Some(n1)
+        }
+        (Release { req: r1 }, Release { req: r2 }) => {
+            let n1 = state.slot(r1).map(|s| s.node);
+            let n2 = state.slot(r2).map(|s| s.node);
+            n1.is_some() && n2.is_some() && n1 != n2
+        }
+        (Release { req }, Deliver { from, to, .. })
+        | (Deliver { from, to, .. }, Release { req }) => {
+            let node = state.slot(req).map(|s| s.node);
+            node.is_some() && node != Some(from) && node != Some(to)
+        }
+        (
+            Deliver {
+                from: f1,
+                to: t1,
+                class: c1,
+            },
+            Deliver {
+                from: f2,
+                to: t2,
+                class: c2,
+            },
+        ) => {
+            // Disjoint channels AND disjoint node footprints: neither delivery
+            // can touch the other's queue or the other's receiving core.
+            (f1, t1, c1) != (f2, t2, c2) && t1 != t2 && t1 != f2 && t2 != f1
+        }
+        _ => false,
+    }
+}
+
+/// The sleep set a child inherits when the parent explores `chosen` while
+/// `parent_sleep ∪ already_explored` were asleep/behind it: every sleeping
+/// transition that is independent of `chosen` stays asleep in the child.
+pub fn child_sleep_set(
+    parent_sleep: &[Transition],
+    already_explored: &[Transition],
+    chosen: Transition,
+    state: &SysState,
+    scenario: &Scenario,
+) -> Vec<Transition> {
+    let mut child: Vec<Transition> = Vec::new();
+    for &t in parent_sleep.iter().chain(already_explored.iter()) {
+        if t != chosen && independent(t, chosen, state, scenario) && !child.contains(&t) {
+            child.push(t);
+        }
+    }
+    child.sort_unstable();
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ChannelClass;
+    use crate::transition::{apply, BugSwitch};
+    use arrow_core::prelude::ObjectId;
+    use netgraph::{generators, RootedTree};
+
+    fn scenario(n: usize) -> Scenario {
+        Scenario {
+            tree: RootedTree::from_tree_graph(&generators::star(n), 0),
+            objects: 1,
+            max_requests: 4,
+            crash_episodes: 1,
+            abandons: 0,
+        }
+    }
+
+    #[test]
+    fn fault_transitions_are_dependent_on_everything() {
+        let sc = scenario(3);
+        let s = SysState::initial(&sc.tree, 1);
+        let crash = Transition::Crash { node: 1 };
+        let issue = Transition::Issue {
+            node: 2,
+            obj: ObjectId(0),
+        };
+        assert!(!independent(crash, issue, &s, &sc));
+        assert!(!independent(issue, crash, &s, &sc));
+        assert!(!independent(
+            Transition::EpochSignal { node: 2 },
+            issue,
+            &s,
+            &sc
+        ));
+    }
+
+    #[test]
+    fn issues_at_distinct_nodes_commute_to_the_same_state() {
+        let sc = scenario(3);
+        let s = SysState::initial(&sc.tree, 1);
+        let a = Transition::Issue {
+            node: 1,
+            obj: ObjectId(0),
+        };
+        let b = Transition::Issue {
+            node: 2,
+            obj: ObjectId(0),
+        };
+        assert!(independent(a, b, &s, &sc));
+        let (sab, _) = apply(
+            &apply(&s, a, &sc, BugSwitch::None).0,
+            b,
+            &sc,
+            BugSwitch::None,
+        );
+        let (sba, _) = apply(
+            &apply(&s, b, &sc, BugSwitch::None).0,
+            a,
+            &sc,
+            BugSwitch::None,
+        );
+        assert_eq!(sab.hash128(), sba.hash128(), "orders must converge");
+    }
+
+    #[test]
+    fn issues_fighting_over_the_last_budget_slot_are_dependent() {
+        let mut sc = scenario(3);
+        sc.max_requests = 1;
+        let s = SysState::initial(&sc.tree, 1);
+        let a = Transition::Issue {
+            node: 1,
+            obj: ObjectId(0),
+        };
+        let b = Transition::Issue {
+            node: 2,
+            obj: ObjectId(0),
+        };
+        assert!(!independent(a, b, &s, &sc), "one disables the other");
+    }
+
+    #[test]
+    fn deliveries_with_shared_endpoints_are_dependent() {
+        let sc = scenario(4);
+        let s = SysState::initial(&sc.tree, 1);
+        let d = |from, to| Transition::Deliver {
+            from,
+            to,
+            class: ChannelClass::Tree,
+        };
+        assert!(!independent(d(1, 0), d(2, 0), &s, &sc), "same receiver");
+        assert!(!independent(d(1, 0), d(0, 2), &s, &sc), "t1 == f2");
+        // Star graphs give no fully disjoint pair; a path does.
+        let sc2 = Scenario {
+            tree: RootedTree::from_tree_graph(&generators::path(4), 0),
+            ..scenario(4)
+        };
+        assert!(independent(d(3, 2), d(1, 0), &s, &sc2));
+    }
+
+    #[test]
+    fn child_sleep_keeps_only_independent_sleepers() {
+        let sc = Scenario {
+            tree: RootedTree::from_tree_graph(&generators::path(4), 0),
+            objects: 1,
+            max_requests: 8,
+            crash_episodes: 0,
+            abandons: 0,
+        };
+        let s = SysState::initial(&sc.tree, 1);
+        let i = |node| Transition::Issue {
+            node,
+            obj: ObjectId(0),
+        };
+        // After exploring issue@1 and issue@2, choosing issue@3 keeps both
+        // asleep (all pairwise independent with budget to spare)...
+        let sleep = child_sleep_set(&[i(1)], &[i(2)], i(3), &s, &sc);
+        assert_eq!(sleep, vec![i(1), i(2)]);
+        // ...but choosing a dependent delivery wakes everything sharing a node.
+        let d = Transition::Deliver {
+            from: 1,
+            to: 0,
+            class: ChannelClass::Tree,
+        };
+        let sleep = child_sleep_set(&[i(1), i(3)], &[], d, &s, &sc);
+        assert_eq!(sleep, vec![i(3)]);
+    }
+}

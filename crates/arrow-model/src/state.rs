@@ -1,0 +1,374 @@
+//! The explicit system state the checker explores.
+//!
+//! A [`SysState`] is everything the distributed system *is* at one instant:
+//! one [`ArrowCore`] automaton per node, one FIFO frame queue per directed
+//! channel, the tracker rows for every request issued so far, the crash-episode
+//! status, and the per-`(object, epoch)` succession records the quiescence
+//! invariants read. Everything that can influence future behaviour is part of
+//! the state and feeds the canonical hash; everything else is deliberately
+//! excluded so equivalent histories dedup.
+
+use arrow_core::live::ArrowCore;
+use arrow_core::prelude::{ObjectId, RequestId};
+use netgraph::{NodeId, RootedTree};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Which lane of the transport a frame travels on.
+///
+/// The real tiers keep `queue()` traffic on spanning-tree links and token
+/// grants on lazily dialed direct channels (simulator: `send_direct`; sockets:
+/// lazy token connections). Each lane is its own FIFO, so modelling them as
+/// separate channels explores a *superset* of the interleavings any tier can
+/// produce (a tier that multiplexes both lanes onto one connection only ever
+/// realises a subset of the orderings explored here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChannelClass {
+    /// Spanning-tree edge: carries `queue()` frames between tree neighbours.
+    Tree,
+    /// Direct point-to-point channel: carries token grants to the requester.
+    Direct,
+}
+
+/// A directed FIFO channel `(from, to, class)`.
+pub type ChannelId = (NodeId, NodeId, ChannelClass);
+
+/// A protocol frame in flight on a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Frame {
+    /// The arrow `queue()` message for `req` (issued at `origin`).
+    Queue {
+        /// Object whose queue the request joins.
+        obj: ObjectId,
+        /// The request being queued.
+        req: RequestId,
+        /// Node that issued the request.
+        origin: NodeId,
+        /// Sender's recovery epoch.
+        epoch: u64,
+    },
+    /// `obj`'s exclusion token, granting `req`.
+    Token {
+        /// Object whose token moves.
+        obj: ObjectId,
+        /// The request being granted.
+        req: RequestId,
+        /// Sender's recovery epoch.
+        epoch: u64,
+    },
+}
+
+impl Frame {
+    /// The epoch stamped on the frame.
+    pub fn epoch(&self) -> u64 {
+        match *self {
+            Frame::Queue { epoch, .. } | Frame::Token { epoch, .. } => epoch,
+        }
+    }
+
+    /// The object the frame concerns.
+    pub fn obj(&self) -> ObjectId {
+        match *self {
+            Frame::Queue { obj, .. } | Frame::Token { obj, .. } => obj,
+        }
+    }
+}
+
+/// Tracker row for one issued request — the model's stand-in for the
+/// application-side waiter the real runtimes keep in their waiting maps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReqSlot {
+    /// The request id the core assigned at issue.
+    pub req: RequestId,
+    /// Node the request was issued at.
+    pub node: NodeId,
+    /// Object requested.
+    pub obj: ObjectId,
+    /// Times the token was granted to a *live* waiter (must end at exactly 1).
+    pub granted: u32,
+    /// The waiter released the token (or the crash that killed it did).
+    pub released: bool,
+    /// The waiter vanished: the issuing node crashed while the request was
+    /// still pending, so no application thread is left to receive a grant.
+    /// A token that arrives for a lost request is an *orphaned grant* — the
+    /// runtime must self-release it (the PR 6 bug class).
+    pub lost: bool,
+    /// Epoch of the most recent grant (for per-epoch custody attribution).
+    pub grant_epoch: u64,
+    /// Epochs in which a `Queued` event fired for this request, sorted.
+    /// Definition 3.2 requires exactly one per epoch the request participates in.
+    pub queued_epochs: Vec<u64>,
+}
+
+/// Crash-episode bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrashState {
+    /// Episodes consumed so far (a crash starts one).
+    pub episodes_used: u32,
+    /// Fault events applied so far. The live runtimes broadcast one detection
+    /// signal per fault *event* — crash AND restart each bump the epoch — so
+    /// the detection target epoch equals this count, and the post-restart bump
+    /// is what re-issues requests whose mid-outage retry was dropped at the
+    /// downed node.
+    pub fault_events: u32,
+    /// The node currently down, if any.
+    pub down: Option<NodeId>,
+    /// Waiters abandoned so far (a pending acquire timing out and dropping its
+    /// reply channel — no fault event, no epoch bump, just a vanished waiter).
+    pub abandoned: u32,
+}
+
+/// One reachable state of the whole system.
+#[derive(Debug, Clone)]
+pub struct SysState {
+    /// Per-node protocol automata, indexed by node id.
+    pub cores: Vec<ArrowCore>,
+    /// Non-empty FIFO channels only (an empty channel is removed, so states
+    /// that differ only by once-used-now-empty queues hash identically).
+    pub channels: BTreeMap<ChannelId, VecDeque<Frame>>,
+    /// Issued requests, in issue order.
+    pub slots: Vec<ReqSlot>,
+    /// Crash-episode status.
+    pub crash: CrashState,
+    /// Succession records `(obj, epoch, pred, succ)` observed so far. Part of
+    /// the state because the terminal chain invariants read them; two runs
+    /// with different succession structure are genuinely different outcomes.
+    pub queued_links: BTreeSet<(ObjectId, u64, RequestId, RequestId)>,
+}
+
+impl SysState {
+    /// The initial state: every core in the initial tree orientation, all
+    /// channels empty, nothing issued, no faults.
+    pub fn initial(tree: &RootedTree, objects: usize) -> Self {
+        SysState {
+            cores: (0..tree.node_count())
+                .map(|v| ArrowCore::for_tree(v, tree, objects))
+                .collect(),
+            channels: BTreeMap::new(),
+            slots: Vec::new(),
+            crash: CrashState {
+                episodes_used: 0,
+                fault_events: 0,
+                down: None,
+                abandoned: 0,
+            },
+            queued_links: BTreeSet::new(),
+        }
+    }
+
+    /// True if the node's event loop is running (not currently crashed).
+    pub fn alive(&self, v: NodeId) -> bool {
+        self.crash.down != Some(v)
+    }
+
+    /// The epoch the whole system is converging to: one bump per fault event
+    /// applied — both the crash and the restart of an episode count, mirroring
+    /// the runtimes' per-event detection broadcast (0 in fault-free
+    /// exploration).
+    pub fn target_epoch(&self) -> u64 {
+        self.crash.fault_events as u64
+    }
+
+    /// The tracker row for a request, if issued.
+    pub fn slot(&self, req: RequestId) -> Option<&ReqSlot> {
+        self.slots.iter().find(|s| s.req == req)
+    }
+
+    /// Mutable tracker row for a request.
+    pub fn slot_mut(&mut self, req: RequestId) -> Option<&mut ReqSlot> {
+        self.slots.iter_mut().find(|s| s.req == req)
+    }
+
+    /// Push a frame onto a channel (creating the queue on first use).
+    pub fn push_frame(&mut self, channel: ChannelId, frame: Frame) {
+        self.channels.entry(channel).or_default().push_back(frame);
+    }
+
+    /// Pop the head-of-line frame of a channel, removing the queue when it
+    /// empties (keeps the channel map canonical for hashing).
+    pub fn pop_frame(&mut self, channel: ChannelId) -> Option<Frame> {
+        let queue = self.channels.get_mut(&channel)?;
+        let frame = queue.pop_front();
+        if queue.is_empty() {
+            self.channels.remove(&channel);
+        }
+        frame
+    }
+
+    /// Drop every in-flight frame on channels incident to `v`, in both
+    /// directions and on both lanes (what a crash does to a node's sockets).
+    pub fn sever_node(&mut self, v: NodeId) {
+        self.channels
+            .retain(|&(from, to, _), _| from != v && to != v);
+    }
+
+    /// Canonical 128-bit state hash.
+    ///
+    /// Two independently seeded 64-bit SipHash streams are combined, which
+    /// makes an accidental collision between two of even 10^9 distinct states
+    /// (~2^-68) negligible — important because a collision would silently
+    /// merge two different states and could mask a violation. Slot rows are
+    /// folded in request-id order so that interleavings that issued the same
+    /// requests in a different order (the ids are node-interleaved and
+    /// order-independent) hash identically.
+    pub fn hash128(&self) -> u128 {
+        let mut lo = DefaultHasher::new();
+        let mut hi = DefaultHasher::new();
+        hi.write_u64(0x9E37_79B9_7F4A_7C15);
+        for hasher in [&mut lo, &mut hi] {
+            for core in &self.cores {
+                core.hash_into(hasher);
+            }
+            for (channel, queue) in &self.channels {
+                channel.hash(hasher);
+                queue.hash(hasher);
+            }
+            let mut order: Vec<usize> = (0..self.slots.len()).collect();
+            order.sort_by_key(|&i| self.slots[i].req);
+            for i in order {
+                let s = &self.slots[i];
+                (
+                    s.req,
+                    s.node,
+                    s.obj,
+                    s.granted,
+                    s.released,
+                    s.lost,
+                    s.grant_epoch,
+                )
+                    .hash(hasher);
+                s.queued_epochs.hash(hasher);
+            }
+            self.crash.hash(hasher);
+            self.queued_links.hash(hasher);
+        }
+        ((hi.finish() as u128) << 64) | lo.finish() as u128
+    }
+
+    /// Total frames in flight (for stats and sanity bounds).
+    pub fn frames_in_flight(&self) -> usize {
+        self.channels.values().map(|q| q.len()).sum()
+    }
+}
+
+impl fmt::Display for SysState {
+    /// A compact multi-line rendering used in counterexample reports.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "crash: used={} down={:?} abandoned={}  target_epoch={}",
+            self.crash.episodes_used,
+            self.crash.down,
+            self.crash.abandoned,
+            self.target_epoch()
+        )?;
+        for core in &self.cores {
+            let snap = core.snapshot();
+            writeln!(
+                f,
+                "node {}: epoch={} links={:?} tokens={:?}",
+                snap.node, snap.epoch, snap.objects, snap.tokens
+            )?;
+        }
+        for ((from, to, class), queue) in &self.channels {
+            writeln!(f, "channel {from}->{to} {class:?}: {queue:?}")?;
+        }
+        for s in &self.slots {
+            writeln!(
+                f,
+                "req {} @node {} {}: granted={} released={} lost={} queued@{:?}",
+                s.req, s.node, s.obj, s.granted, s.released, s.lost, s.queued_epochs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+
+    fn tree(n: usize) -> RootedTree {
+        RootedTree::from_tree_graph(&generators::path(n), 0)
+    }
+
+    #[test]
+    fn initial_states_hash_equal_and_differ_from_mutated() {
+        let t = tree(4);
+        let a = SysState::initial(&t, 2);
+        let b = SysState::initial(&t, 2);
+        assert_eq!(a.hash128(), b.hash128());
+        let mut c = SysState::initial(&t, 2);
+        c.push_frame(
+            (0, 1, ChannelClass::Tree),
+            Frame::Queue {
+                obj: ObjectId(0),
+                req: RequestId(5),
+                origin: 0,
+                epoch: 0,
+            },
+        );
+        assert_ne!(a.hash128(), c.hash128());
+    }
+
+    #[test]
+    fn popping_the_last_frame_restores_the_canonical_hash() {
+        let t = tree(3);
+        let empty = SysState::initial(&t, 1);
+        let mut s = SysState::initial(&t, 1);
+        let ch = (1, 0, ChannelClass::Direct);
+        let frame = Frame::Token {
+            obj: ObjectId(0),
+            req: RequestId(2),
+            epoch: 0,
+        };
+        s.push_frame(ch, frame);
+        assert_ne!(s.hash128(), empty.hash128());
+        assert_eq!(s.pop_frame(ch), Some(frame));
+        // The emptied queue is removed, so the state is *identical* to one that
+        // never used the channel.
+        assert_eq!(s.hash128(), empty.hash128());
+        assert!(s.pop_frame(ch).is_none());
+    }
+
+    #[test]
+    fn slot_order_does_not_change_the_hash() {
+        let t = tree(3);
+        let slot = |req: u64, node: NodeId| ReqSlot {
+            req: RequestId(req),
+            node,
+            obj: ObjectId(0),
+            granted: 0,
+            released: false,
+            lost: false,
+            grant_epoch: 0,
+            queued_epochs: Vec::new(),
+        };
+        let mut a = SysState::initial(&t, 1);
+        a.slots = vec![slot(1, 0), slot(2, 1)];
+        let mut b = SysState::initial(&t, 1);
+        b.slots = vec![slot(2, 1), slot(1, 0)];
+        assert_eq!(a.hash128(), b.hash128());
+    }
+
+    #[test]
+    fn sever_node_drops_both_directions() {
+        let t = tree(3);
+        let mut s = SysState::initial(&t, 1);
+        let f = Frame::Queue {
+            obj: ObjectId(0),
+            req: RequestId(4),
+            origin: 2,
+            epoch: 0,
+        };
+        s.push_frame((2, 1, ChannelClass::Tree), f);
+        s.push_frame((0, 1, ChannelClass::Tree), f);
+        s.push_frame((0, 2, ChannelClass::Direct), f);
+        s.sever_node(1);
+        assert_eq!(s.frames_in_flight(), 1);
+        assert!(s.channels.contains_key(&(0, 2, ChannelClass::Direct)));
+    }
+}

@@ -1,0 +1,593 @@
+//! The transition relation: what the system can do next, and how doing it
+//! changes the state.
+//!
+//! Each [`Transition`] is one atomic step of one component — exactly the
+//! granularity at which the real tiers interleave (a node's event loop handles
+//! one input, emits its [`CoreAction`]s, and the transport carries them). The
+//! checker enumerates every enabled transition in every reachable state, so all
+//! interleavings the transports could produce are covered, plus some they
+//! cannot (separate token/queue lanes; see
+//! [`crate::state::ChannelClass`]).
+//!
+//! Historical-bug injection lives here too: a [`BugSwitch`] hand-mutates one
+//! transition rule, reverting a fixed bug so regression tests can confirm the
+//! checker finds the violation the fix prevents.
+
+use crate::invariants::{ModelInvariant, ModelViolation};
+use crate::state::{ChannelClass, Frame, ReqSlot, SysState};
+use crate::Scenario;
+use arrow_core::live::CoreAction;
+use arrow_core::prelude::{ObjectId, RequestId};
+use netgraph::NodeId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Re-introduce a fixed historical bug by mutating one transition rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BugSwitch {
+    /// The protocol as shipped (all fixes in place).
+    #[default]
+    None,
+    /// PR 6's orphaned-grant token wedge: a token granted to a request whose
+    /// waiter vanished (a timed-out acquire dropped its reply channel, or the
+    /// issuing node crashed while it was pending) is *not* self-released by
+    /// the runtime — the token wedges at that node forever and every request
+    /// queued behind it starves. The crash flavour is eventually masked by the
+    /// detection-driven epoch bump (which discards granted tokens and
+    /// regenerates at the root); the timeout flavour ([`Transition::Abandon`])
+    /// bumps no epoch, so only the self-release fix can keep the token moving.
+    OrphanedGrantWedge,
+    /// PR 5's stale-frame class: the link layer forgets epoch hygiene and
+    /// delivers stale-epoch frames as if they were current (the receiving core
+    /// never gets the chance to reject the ghost), so a pre-recovery token can
+    /// grant a request in the recovered epoch alongside the regenerated token.
+    StaleFrameAccept,
+}
+
+/// One atomic step of the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Transition {
+    /// The application at `node` issues a request for `obj`.
+    Issue {
+        /// Issuing node.
+        node: NodeId,
+        /// Requested object.
+        obj: ObjectId,
+    },
+    /// Deliver the head-of-line frame of channel `(from, to, class)`.
+    Deliver {
+        /// Sending side of the channel.
+        from: NodeId,
+        /// Receiving side of the channel.
+        to: NodeId,
+        /// Which transport lane.
+        class: ChannelClass,
+    },
+    /// The waiter holding the token for `req` releases it.
+    Release {
+        /// The granted request being released.
+        req: RequestId,
+    },
+    /// The waiter for the still-pending `req` gives up: its acquire times out
+    /// and the reply channel is dropped. The protocol state is untouched — the
+    /// request stays queued and the token will still be granted to it — but
+    /// nobody is left to receive (or release) that grant.
+    Abandon {
+        /// The pending request whose waiter vanishes.
+        req: RequestId,
+    },
+    /// Crash `node`: volatile state lost, incident frames dropped, waiters die.
+    Crash {
+        /// The victim (never the tree root).
+        node: NodeId,
+    },
+    /// Restart the crashed node with freshly reset protocol state.
+    Restart {
+        /// The restarting node.
+        node: NodeId,
+    },
+    /// Deliver the fault-detection signal to `node`, advancing it to the
+    /// current target epoch (models the epoch broadcast of the live tiers).
+    EpochSignal {
+        /// The node receiving the detection signal.
+        node: NodeId,
+    },
+}
+
+impl Transition {
+    /// True for transitions that *drain* the system (deliver, release, heal).
+    /// A state with none of these enabled is quiescent: the quiescence
+    /// invariants must hold there even if the issue budget or a crash episode
+    /// is still unspent.
+    pub fn is_draining(&self) -> bool {
+        matches!(
+            self,
+            Transition::Deliver { .. }
+                | Transition::Release { .. }
+                | Transition::Restart { .. }
+                | Transition::EpochSignal { .. }
+        )
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Transition::Issue { node, obj } => write!(f, "issue node={node} {obj}"),
+            Transition::Deliver { from, to, class } => {
+                write!(f, "deliver {from}->{to} {class:?}")
+            }
+            Transition::Release { req } => write!(f, "release {req}"),
+            Transition::Abandon { req } => write!(f, "abandon {req}"),
+            Transition::Crash { node } => write!(f, "crash {node}"),
+            Transition::Restart { node } => write!(f, "restart {node}"),
+            Transition::EpochSignal { node } => write!(f, "epoch-signal {node}"),
+        }
+    }
+}
+
+/// Every transition enabled in `state`, in a fixed deterministic order:
+/// draining transitions first (deliveries in channel order, then releases,
+/// detection signals, restart), then issues, then crashes. The order shapes
+/// the DFS and the sleep-set computation but never the set of states covered.
+pub fn enabled(state: &SysState, scenario: &Scenario) -> Vec<Transition> {
+    let mut out = Vec::new();
+    for &(from, to, class) in state.channels.keys() {
+        out.push(Transition::Deliver { from, to, class });
+    }
+    for s in &state.slots {
+        if s.granted > 0 && !s.released && !s.lost && state.alive(s.node) {
+            out.push(Transition::Release { req: s.req });
+        }
+    }
+    let target = state.target_epoch();
+    for core in &state.cores {
+        if state.alive(core.node()) && core.epoch() < target {
+            out.push(Transition::EpochSignal { node: core.node() });
+        }
+    }
+    if let Some(v) = state.crash.down {
+        out.push(Transition::Restart { node: v });
+    }
+    if (state.crash.abandoned as usize) < scenario.abandons {
+        for s in &state.slots {
+            if s.granted == 0 && !s.lost && !s.released && state.alive(s.node) {
+                out.push(Transition::Abandon { req: s.req });
+            }
+        }
+    }
+    if state.slots.len() < scenario.max_requests {
+        for core in &state.cores {
+            if state.alive(core.node()) {
+                for obj in 0..scenario.objects {
+                    out.push(Transition::Issue {
+                        node: core.node(),
+                        obj: ObjectId(obj as u32),
+                    });
+                }
+            }
+        }
+    }
+    if state.crash.down.is_none() && (state.crash.episodes_used as usize) < scenario.crash_episodes
+    {
+        for v in 0..scenario.tree.node_count() {
+            if v != scenario.tree.root() {
+                out.push(Transition::Crash { node: v });
+            }
+        }
+    }
+    out
+}
+
+/// Apply `transition` to a copy of `state`, returning the successor and any
+/// safety violations the step itself surfaced (structural action checks,
+/// duplicate grants, duplicate `Queued` events, chain forks).
+pub fn apply(
+    state: &SysState,
+    transition: Transition,
+    scenario: &Scenario,
+    bug: BugSwitch,
+) -> (SysState, Vec<ModelViolation>) {
+    let mut next = state.clone();
+    let mut violations = Vec::new();
+    match transition {
+        Transition::Issue { node, obj } => {
+            let mut actions = Vec::new();
+            let req = next.cores[node].acquire(obj, &mut actions);
+            next.slots.push(ReqSlot {
+                req,
+                node,
+                obj,
+                granted: 0,
+                released: false,
+                lost: false,
+                grant_epoch: 0,
+                queued_epochs: Vec::new(),
+            });
+            process_actions(&mut next, node, actions, scenario, bug, &mut violations);
+        }
+        Transition::Deliver { from, to, class } => {
+            let Some(mut frame) = next.pop_frame((from, to, class)) else {
+                return (next, violations); // Not enabled; nothing to do.
+            };
+            if !next.alive(to) {
+                return (next, violations); // Dropped at the downed node.
+            }
+            if bug == BugSwitch::StaleFrameAccept {
+                // Reverted fix: the link layer re-stamps stale frames with the
+                // receiver's epoch, so the core's rejection path never fires.
+                let current = next.cores[to].epoch();
+                match &mut frame {
+                    Frame::Queue { epoch, .. } | Frame::Token { epoch, .. } => {
+                        if *epoch < current {
+                            *epoch = current;
+                        }
+                    }
+                }
+            }
+            let mut actions = Vec::new();
+            match frame {
+                Frame::Queue {
+                    obj,
+                    req,
+                    origin,
+                    epoch,
+                } => next.cores[to].on_queue(from, obj, req, origin, epoch, &mut actions),
+                Frame::Token { obj, req, epoch } => {
+                    next.cores[to].on_token(obj, req, epoch, &mut actions)
+                }
+            }
+            process_actions(&mut next, to, actions, scenario, bug, &mut violations);
+        }
+        Transition::Release { req } => {
+            let Some((node, obj)) = next.slot(req).map(|s| (s.node, s.obj)) else {
+                return (next, violations);
+            };
+            let mut actions = Vec::new();
+            next.cores[node].on_release(obj, req, &mut actions);
+            if let Some(s) = next.slot_mut(req) {
+                s.released = true;
+            }
+            process_actions(&mut next, node, actions, scenario, bug, &mut violations);
+        }
+        Transition::Abandon { req } => {
+            // Only the application-side waiter disappears; the cores and every
+            // queued link still carry the request, so the grant will arrive
+            // and must be self-released by the runtime (the PR 6 fix).
+            next.crash.abandoned += 1;
+            if let Some(s) = next.slot_mut(req) {
+                s.lost = true;
+            }
+        }
+        Transition::Crash { node } => {
+            next.crash.episodes_used += 1;
+            next.crash.fault_events += 1;
+            next.crash.down = Some(node);
+            // Volatile protocol state is lost and in-flight frames on incident
+            // links are dropped in both directions.
+            next.cores[node].reboot();
+            next.sever_node(node);
+            for s in &mut next.slots {
+                if s.node != node {
+                    continue;
+                }
+                if s.granted == 0 {
+                    // The waiter died with the node: nobody is left to receive
+                    // a grant for this request.
+                    s.lost = true;
+                } else if !s.released {
+                    // The held token died with the reboot; the epoch bump will
+                    // regenerate it. The waiter can never release explicitly.
+                    s.released = true;
+                }
+            }
+        }
+        Transition::Restart { node } => {
+            // The core was already reset at crash time (volatile state loss);
+            // restarting brings the event loop back and, like every fault
+            // event in the live runtimes, triggers a fresh detection broadcast
+            // (which is what rescues requests whose mid-outage re-issue was
+            // dropped at the downed node).
+            if next.crash.down == Some(node) {
+                next.crash.down = None;
+                next.crash.fault_events += 1;
+            }
+        }
+        Transition::EpochSignal { node } => {
+            let target = next.target_epoch();
+            let mut actions = Vec::new();
+            next.cores[node].on_epoch(target, &mut actions);
+            process_actions(&mut next, node, actions, scenario, bug, &mut violations);
+        }
+    }
+    (next, violations)
+}
+
+/// Translate a batch of [`CoreAction`]s emitted at `me` into state updates,
+/// exactly like the live runtimes' `apply_actions`: sends become frames on the
+/// corresponding channels (with structural checks), grants update the waiter
+/// bookkeeping (self-releasing orphaned grants, the PR 6 fix), and `Queued`
+/// events feed the succession records.
+///
+/// Works through a FIFO worklist because an orphaned-grant self-release can
+/// itself emit further actions (the token moving on to the successor).
+fn process_actions(
+    state: &mut SysState,
+    me: NodeId,
+    actions: Vec<CoreAction>,
+    scenario: &Scenario,
+    bug: BugSwitch,
+    violations: &mut Vec<ModelViolation>,
+) {
+    let mut work: VecDeque<(NodeId, CoreAction)> = actions.into_iter().map(|a| (me, a)).collect();
+    while let Some((me, action)) = work.pop_front() {
+        match action {
+            CoreAction::SendQueue {
+                to,
+                obj,
+                req,
+                origin,
+                epoch,
+            } => {
+                if to == me {
+                    violations.push(ModelViolation::new(
+                        ModelInvariant::SelfSend,
+                        format!("node {me} sent queue({req}, {obj}) to itself"),
+                    ));
+                } else if !is_tree_edge(scenario, me, to) {
+                    violations.push(ModelViolation::new(
+                        ModelInvariant::NonTreeSend,
+                        format!("node {me} sent queue({req}, {obj}) to non-neighbour {to}"),
+                    ));
+                } else {
+                    state.push_frame(
+                        (me, to, ChannelClass::Tree),
+                        Frame::Queue {
+                            obj,
+                            req,
+                            origin,
+                            epoch,
+                        },
+                    );
+                }
+            }
+            CoreAction::SendToken {
+                to,
+                obj,
+                req,
+                epoch,
+            } => {
+                if to == me {
+                    violations.push(ModelViolation::new(
+                        ModelInvariant::SelfSend,
+                        format!("node {me} sent {obj}'s token for {req} to itself"),
+                    ));
+                } else {
+                    state.push_frame(
+                        (me, to, ChannelClass::Direct),
+                        Frame::Token { obj, req, epoch },
+                    );
+                }
+            }
+            CoreAction::Granted { obj, req } => {
+                let Some(lost) = state.slot(req).map(|s| s.lost) else {
+                    violations.push(ModelViolation::new(
+                        ModelInvariant::UnknownGrant,
+                        format!("node {me} was granted unknown request {req} for {obj}"),
+                    ));
+                    continue;
+                };
+                if lost {
+                    // Orphaned grant: the waiter is gone. The fixed runtimes
+                    // self-release so the token keeps flowing; the reverted bug
+                    // leaves it wedged at this node forever.
+                    if bug != BugSwitch::OrphanedGrantWedge {
+                        let mut actions = Vec::new();
+                        state.cores[me].on_release(obj, req, &mut actions);
+                        work.extend(actions.into_iter().map(|a| (me, a)));
+                    }
+                } else {
+                    let epoch = state.cores[me].epoch();
+                    if let Some(s) = state.slot_mut(req) {
+                        if s.granted >= 1 {
+                            violations.push(ModelViolation::new(
+                                ModelInvariant::GrantedTwice,
+                                format!(
+                                    "request {req} for {obj} granted again in epoch {epoch} \
+                                     (already granted in epoch {})",
+                                    s.grant_epoch
+                                ),
+                            ));
+                        }
+                        s.granted += 1;
+                        s.grant_epoch = epoch;
+                    }
+                }
+            }
+            CoreAction::Queued {
+                obj,
+                pred,
+                succ,
+                origin: _,
+                epoch,
+            } => {
+                if let Some(s) = state.slot_mut(succ) {
+                    if s.queued_epochs.contains(&epoch) {
+                        violations.push(ModelViolation::new(
+                            ModelInvariant::ExactlyOnce,
+                            format!("request {succ} for {obj} queued twice in epoch {epoch}"),
+                        ));
+                    } else {
+                        s.queued_epochs.push(epoch);
+                        s.queued_epochs.sort_unstable();
+                    }
+                }
+                let fork = state
+                    .queued_links
+                    .iter()
+                    .any(|&(o, e, p, s2)| o == obj && e == epoch && p == pred && s2 != succ);
+                if fork {
+                    violations.push(ModelViolation::new(
+                        ModelInvariant::ChainFork,
+                        format!(
+                            "{obj} epoch {epoch}: two successors queued behind {pred} \
+                             (second: {succ})"
+                        ),
+                    ));
+                }
+                state.queued_links.insert((obj, epoch, pred, succ));
+            }
+        }
+    }
+}
+
+fn is_tree_edge(scenario: &Scenario, u: NodeId, v: NodeId) -> bool {
+    scenario.tree.parent(u) == Some(v) || scenario.tree.parent(v) == Some(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SysState;
+    use netgraph::{generators, RootedTree};
+
+    fn scenario(n: usize, objects: usize, requests: usize, crashes: usize) -> Scenario {
+        Scenario {
+            tree: RootedTree::from_tree_graph(&generators::path(n), 0),
+            objects,
+            max_requests: requests,
+            crash_episodes: crashes,
+            abandons: 0,
+        }
+    }
+
+    #[test]
+    fn initial_enabled_set_is_issues_plus_crashes() {
+        let sc = scenario(3, 2, 2, 1);
+        let s = SysState::initial(&sc.tree, sc.objects);
+        let ts = enabled(&s, &sc);
+        let issues = ts
+            .iter()
+            .filter(|t| matches!(t, Transition::Issue { .. }))
+            .count();
+        let crashes = ts
+            .iter()
+            .filter(|t| matches!(t, Transition::Crash { .. }))
+            .count();
+        assert_eq!(issues, 6, "3 nodes x 2 objects");
+        assert_eq!(crashes, 2, "both non-root nodes");
+        assert_eq!(ts.len(), issues + crashes, "nothing to drain yet");
+        assert!(ts.iter().all(|t| !t.is_draining()));
+    }
+
+    #[test]
+    fn a_request_flows_to_the_root_and_back() {
+        // Path 0-1-2, one object: node 2 issues; the queue() frame hops 2->1->0,
+        // the root grants, the token frame travels 0->2 directly.
+        let sc = scenario(3, 1, 1, 0);
+        let mut s = SysState::initial(&sc.tree, sc.objects);
+        let issue = Transition::Issue {
+            node: 2,
+            obj: ObjectId(0),
+        };
+        let (s1, v) = apply(&s, issue, &sc, BugSwitch::None);
+        assert!(v.is_empty());
+        assert_eq!(s1.frames_in_flight(), 1);
+        let deliver1 = Transition::Deliver {
+            from: 2,
+            to: 1,
+            class: ChannelClass::Tree,
+        };
+        let (s2, v) = apply(&s1, deliver1, &sc, BugSwitch::None);
+        assert!(v.is_empty());
+        let deliver2 = Transition::Deliver {
+            from: 1,
+            to: 0,
+            class: ChannelClass::Tree,
+        };
+        let (s3, v) = apply(&s2, deliver2, &sc, BugSwitch::None);
+        assert!(v.is_empty());
+        // The root was the sink of r0 (already released): token sent directly.
+        assert!(s3.channels.contains_key(&(0, 2, ChannelClass::Direct)));
+        let deliver3 = Transition::Deliver {
+            from: 0,
+            to: 2,
+            class: ChannelClass::Direct,
+        };
+        let (s4, v) = apply(&s3, deliver3, &sc, BugSwitch::None);
+        assert!(v.is_empty());
+        let slot = s4.slot(s4.slots[0].req).unwrap();
+        assert_eq!(slot.granted, 1);
+        assert_eq!(slot.queued_epochs, vec![0]);
+        assert!(enabled(&s4, &sc)
+            .iter()
+            .any(|t| matches!(t, Transition::Release { .. })));
+        s = s4;
+        let release = Transition::Release {
+            req: s.slots[0].req,
+        };
+        let (s5, v) = apply(&s, release, &sc, BugSwitch::None);
+        assert!(v.is_empty());
+        assert!(s5.slots[0].released);
+    }
+
+    #[test]
+    fn crash_drops_incident_frames_and_marks_waiters() {
+        let sc = scenario(3, 1, 2, 1);
+        let s = SysState::initial(&sc.tree, sc.objects);
+        let (s1, _) = apply(
+            &s,
+            Transition::Issue {
+                node: 2,
+                obj: ObjectId(0),
+            },
+            &sc,
+            BugSwitch::None,
+        );
+        assert_eq!(s1.frames_in_flight(), 1);
+        let (s2, v) = apply(&s1, Transition::Crash { node: 2 }, &sc, BugSwitch::None);
+        assert!(v.is_empty());
+        assert!(!s2.alive(2));
+        assert_eq!(s2.frames_in_flight(), 0, "incident frame dropped");
+        assert!(s2.slots[0].lost, "pending waiter died with the node");
+        assert_eq!(s2.target_epoch(), 1);
+        // Restart and detection signals are what remains before quiescence.
+        let ts = enabled(&s2, &sc);
+        assert!(ts.contains(&Transition::Restart { node: 2 }));
+        assert!(ts.contains(&Transition::EpochSignal { node: 0 }));
+        assert!(!ts.contains(&Transition::EpochSignal { node: 2 }), "down");
+    }
+
+    #[test]
+    fn epoch_signal_reissues_pending_requests() {
+        let sc = scenario(3, 1, 2, 1);
+        let s = SysState::initial(&sc.tree, sc.objects);
+        // Node 1 issues; frame still in flight when node 2 crashes.
+        let (s1, _) = apply(
+            &s,
+            Transition::Issue {
+                node: 1,
+                obj: ObjectId(0),
+            },
+            &sc,
+            BugSwitch::None,
+        );
+        let (s2, _) = apply(&s1, Transition::Crash { node: 2 }, &sc, BugSwitch::None);
+        // Node 1 hears the detection signal: resets to the tree orientation and
+        // re-issues its pending request under epoch 1.
+        let (s3, v) = apply(
+            &s2,
+            Transition::EpochSignal { node: 1 },
+            &sc,
+            BugSwitch::None,
+        );
+        assert!(v.is_empty());
+        assert_eq!(s3.cores[1].epoch(), 1);
+        let reissued = s3
+            .channels
+            .get(&(1, 0, ChannelClass::Tree))
+            .map(|q| q.iter().any(|f| f.epoch() == 1))
+            .unwrap_or(false);
+        assert!(reissued, "pending request re-sent under the new epoch");
+    }
+}

@@ -56,7 +56,7 @@
 //! assert!(report.validated_orders().is_ok());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod mesh;

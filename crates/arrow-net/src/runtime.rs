@@ -265,7 +265,10 @@ impl NetNode {
             Arc::clone(&self.stats),
             move |from, frame| events.send(NetEvent::Frame { from, frame }),
         );
-        self.readers.lock().expect("reader registry").push(reader);
+        self.readers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(reader);
         Ok(())
     }
 
@@ -326,7 +329,7 @@ impl NetNode {
                 || self
                     .blocked
                     .lock()
-                    .expect("blocked-link set")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .contains(&(self.me.min(to), self.me.max(to))))
         {
             self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
@@ -851,7 +854,10 @@ impl NetRuntime {
                         Arc::clone(&stats),
                         move |from, frame| forward.send(NetEvent::Frame { from, frame }),
                     );
-                    readers.lock().expect("reader registry").push(reader);
+                    readers
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(reader);
                 })
                 .expect("failed to spawn accept thread");
             accept_threads.push(handle);
@@ -1034,7 +1040,12 @@ impl NetRuntime {
         // Every node closed its sockets in disconnect(), so all readers observe
         // EOF promptly; joining them releases their fds before this returns,
         // keeping back-to-back runtimes inside the process fd budget.
-        let readers = std::mem::take(&mut *self.readers.lock().expect("reader registry"));
+        let readers = std::mem::take(
+            &mut *self
+                .readers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         for t in readers {
             let _ = t.join();
         }
@@ -1082,7 +1093,7 @@ impl NetFaultHandle {
     pub fn drop_link(&self, u: NodeId, v: NodeId) {
         self.blocked
             .lock()
-            .expect("blocked-link set")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert((u.min(v), u.max(v)));
     }
 
@@ -1090,7 +1101,7 @@ impl NetFaultHandle {
     pub fn restore_link(&self, u: NodeId, v: NodeId) {
         self.blocked
             .lock()
-            .expect("blocked-link set")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .remove(&(u.min(v), u.max(v)));
     }
 

@@ -168,7 +168,9 @@ impl<'a> Payload<'a> {
         let end = self.pos.checked_add(N).ok_or(WireError::Truncated)?;
         let slice = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
-        Ok(slice.try_into().expect("slice has length N"))
+        // `slice` has exactly N bytes by construction; map the impossible
+        // mismatch into the error path rather than panicking in the decoder.
+        slice.try_into().map_err(|_| WireError::Truncated)
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
@@ -293,7 +295,7 @@ impl Frame {
             .get(..4)
             .ok_or(WireError::Truncated)?
             .try_into()
-            .unwrap();
+            .map_err(|_| WireError::Truncated)?;
         let len = u32::from_le_bytes(prefix);
         if len > MAX_FRAME_LEN {
             return Err(WireError::FrameTooLarge(len));
@@ -378,7 +380,8 @@ impl Frame {
         let Some(prefix) = buf.get(..4) else {
             return Ok(None);
         };
-        let len = u32::from_le_bytes(prefix.try_into().unwrap());
+        let prefix: [u8; 4] = prefix.try_into().map_err(|_| WireError::Truncated)?;
+        let len = u32::from_le_bytes(prefix);
         if len > MAX_FRAME_LEN {
             return Err(WireError::FrameTooLarge(len));
         }

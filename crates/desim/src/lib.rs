@@ -41,7 +41,7 @@
 //! assert_eq!(outcome.final_time, SimTime::from_units(8));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod event;

@@ -33,7 +33,7 @@
 //! assert!(report.max_stretch >= 2.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod generators;

@@ -38,7 +38,7 @@
 //! assert!(nn_tsp::check_nearest_neighbor(&rs, &order, RequestSet::cost_t, 1e-9).is_none());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod compress;

@@ -1,0 +1,179 @@
+//! Model-checker regression suite: the two historical bugs must be *caught*
+//! when their fixes are reverted via [`BugSwitch`], with counterexamples that
+//! export to grammar-valid conformance replay files — and the shipped protocol
+//! must verify clean under the exact same budgets. Also pins down the claims
+//! the checker's design rests on: pruning actually prunes (dedup + sleep sets
+//! beat the naive search by far more than 2x on the same scenario) and
+//! isomorphism-representative sweeps reach the same verdicts as full labelled
+//! enumeration.
+
+use arrow_conformance::ReplayCase;
+use arrow_model::{
+    enumerate_trees, explore, export_replay, representative_trees, sweep, BugSwitch,
+    Counterexample, ExploreConfig, ModelInvariant, Scenario, SweepOutcome,
+};
+use netgraph::{generators, RootedTree};
+
+/// Budgets that exhaust PR 6's orphaned-grant scenario: no crashes (so no
+/// detection-driven epoch bump can mask the wedge), one waiter abandonment,
+/// and enough requests that something can starve behind the wedged token.
+fn orphaned_grant_sweep(bound: usize, bug: BugSwitch) -> SweepOutcome {
+    let config = ExploreConfig {
+        bug,
+        ..ExploreConfig::default()
+    };
+    let trees = (2..=bound).flat_map(representative_trees).collect();
+    sweep(trees, 1, 3, 0, 1, &config, |_, _| {})
+}
+
+/// Budgets that exhaust PR 5's stale-frame scenario: one crash/restart episode
+/// puts pre-recovery frames next to post-recovery epochs on the same links.
+fn stale_frame_sweep(bound: usize, bug: BugSwitch) -> SweepOutcome {
+    let config = ExploreConfig {
+        bug,
+        ..ExploreConfig::default()
+    };
+    let trees = (2..=bound).flat_map(representative_trees).collect();
+    sweep(trees, 1, 2, 1, 0, &config, |_, _| {})
+}
+
+/// The counterexample must round-trip through the conformance replay grammar:
+/// parse back, carry the model's exact tree, and pass fault-schedule
+/// validation — that is what makes it *replayable* against the live tiers.
+fn assert_replayable(scenario: &Scenario, cx: &Counterexample) {
+    let text = export_replay(scenario, cx).expect("replay export must find a tree seed");
+    let case = ReplayCase::from_replay_text(&text).expect("export must be grammar-valid");
+    let instance = case.spec.build_instance();
+    case.fault_schedule()
+        .validate(instance.tree())
+        .expect("exported fault schedule must validate");
+    for v in 0..scenario.tree.node_count() {
+        assert_eq!(
+            instance.tree().parent(v),
+            scenario.tree.parent(v),
+            "replay case must rebuild the model's exact tree (node {v})"
+        );
+    }
+    assert!(
+        text.contains("# Counterexample"),
+        "trace comments must be embedded"
+    );
+}
+
+#[test]
+fn orphaned_grant_wedge_is_caught_with_replayable_counterexample() {
+    let outcome = orphaned_grant_sweep(3, BugSwitch::OrphanedGrantWedge);
+    let (scenario, cx) = outcome
+        .failure
+        .expect("reverting the orphaned-grant fix must produce a violation");
+    assert!(
+        cx.violations
+            .iter()
+            .any(|v| v.invariant == ModelInvariant::Deadlock),
+        "the wedged token must starve a queued request: {:?}",
+        cx.violations
+    );
+    assert!(
+        cx.trace
+            .iter()
+            .any(|t| t.to_string().starts_with("abandon")),
+        "the counterexample must involve an abandoned waiter: {:?}",
+        cx.trace
+    );
+    assert_replayable(&scenario, &cx);
+}
+
+#[test]
+fn stale_frame_accept_is_caught_with_replayable_counterexample() {
+    let outcome = stale_frame_sweep(3, BugSwitch::StaleFrameAccept);
+    let (scenario, cx) = outcome
+        .failure
+        .expect("reverting the stale-frame rejection must produce a violation");
+    assert!(
+        !cx.violations.is_empty(),
+        "counterexample must carry at least one violation"
+    );
+    assert!(
+        cx.trace.iter().any(|t| t.to_string().starts_with("crash")),
+        "stale frames only exist across a crash episode: {:?}",
+        cx.trace
+    );
+    assert_replayable(&scenario, &cx);
+}
+
+#[test]
+fn fixed_protocol_is_clean_under_the_regression_budgets() {
+    // The same budgets that catch the reverted bugs verify clean as shipped,
+    // so the regression tests above are evidence about the bugs, not noise.
+    let orphan = orphaned_grant_sweep(3, BugSwitch::None);
+    assert!(orphan.ok(), "orphaned-grant budgets: {:?}", orphan.failure);
+    let stale = stale_frame_sweep(3, BugSwitch::None);
+    assert!(stale.ok(), "stale-frame budgets: {:?}", stale.failure);
+}
+
+#[test]
+fn dedup_and_reduction_prune_more_than_2x_vs_naive() {
+    // Same scenario, two searches: the default (canonical-hash dedup +
+    // sleep-set reduction) against the naive full DFS. Identical verdicts,
+    // and the optimized search must expand less than half the transitions —
+    // the acceptance bar for the pruning machinery actually earning its keep.
+    let scenario = Scenario::fault_free(RootedTree::from_tree_graph(&generators::path(3), 0), 1, 3);
+    let optimized = explore(&scenario, &ExploreConfig::default());
+    let naive = explore(
+        &scenario,
+        &ExploreConfig {
+            dedup: false,
+            reduce: false,
+            ..ExploreConfig::default()
+        },
+    );
+    assert!(optimized.ok() && naive.ok(), "both searches must be clean");
+    assert!(!naive.stats.capped, "naive search must run to completion");
+    assert_eq!(
+        optimized.stats.quiescent > 0,
+        naive.stats.quiescent > 0,
+        "both must reach drained states"
+    );
+    assert!(
+        naive.stats.transitions > 2 * optimized.stats.transitions,
+        "pruning must beat naive by >2x: naive={} optimized={}",
+        naive.stats.transitions,
+        optimized.stats.transitions
+    );
+    // Dedup skips revisits, so every state the optimized search *enters* is
+    // distinct; the naive entry count exceeds the true state count.
+    assert!(naive.stats.states > optimized.stats.states);
+}
+
+#[test]
+fn representative_trees_reach_the_same_verdict_as_all_labellings() {
+    // Paranoia check for the isomorphism-class shortcut (lib.rs promises this
+    // lives here): verdicts must agree on both a clean and a buggy sweep.
+    for (bug, expect_clean) in [
+        (BugSwitch::None, true),
+        (BugSwitch::StaleFrameAccept, false),
+    ] {
+        let config = ExploreConfig {
+            bug,
+            ..ExploreConfig::default()
+        };
+        let all = sweep(enumerate_trees(3), 1, 2, 1, 0, &config, |_, _| {});
+        let reps = sweep(representative_trees(3), 1, 2, 1, 0, &config, |_, _| {});
+        assert_eq!(all.ok(), reps.ok(), "verdicts must agree under {bug:?}");
+        assert_eq!(all.ok(), expect_clean, "expected verdict under {bug:?}");
+    }
+}
+
+#[test]
+fn abandoned_waiter_counterexample_documents_the_abandon_step() {
+    // The replay grammar cannot force a timeout, so the abandon step must at
+    // least be preserved in the exported comment trace for human diagnosis.
+    let outcome = orphaned_grant_sweep(2, BugSwitch::OrphanedGrantWedge);
+    let (scenario, cx) = outcome.failure.expect("n=2 already exhibits the wedge");
+    let text = export_replay(&scenario, &cx).expect("export");
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with('#') && l.contains("abandon")),
+        "abandon step missing from the comment trace:\n{text}"
+    );
+}

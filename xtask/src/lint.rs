@@ -1,0 +1,377 @@
+//! Registry-free source lints for the workspace's concurrency-critical code.
+//!
+//! Three passes, all line-based (no syn/proc-macro dependencies — the
+//! container has no registry access, and these lints only need to be as smart
+//! as the code they police):
+//!
+//! 1. **panic hygiene** — `unwrap()` / `expect(` / `panic!(` are forbidden in
+//!    non-test code under `crates/arrow-net/src` and `crates/arrow-core/src/live`
+//!    (the two trees that run on live threads, where a panic kills a node
+//!    rather than failing a test). Findings are suppressed by
+//!    `xtask/lint-allow.txt` entries — documented panic contracts belong
+//!    there, silent ones get fixed.
+//! 2. **guard across send** — a `let` binding holding a `Mutex` guard that is
+//!    still alive on a line that calls `.send(` risks blocking every other
+//!    user of the lock behind channel backpressure (and deadlock if the
+//!    receiver needs the same lock).
+//! 3. **protocol/wire cross-check** — every `ProtoMsg` variant must appear in
+//!    `arrow-net/src/wire.rs` non-test code (a frame encoding exists) *and* in
+//!    its test module (a codec test exercises it).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+pub struct Finding {
+    /// File the finding is in, workspace-relative.
+    pub file: PathBuf,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Which pass produced it.
+    pub lint: &'static str,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// An allowlist entry: `path-suffix: substring` (see `xtask/lint-allow.txt`).
+struct Allow {
+    path_suffix: String,
+    substring: String,
+}
+
+fn load_allowlist(root: &Path) -> Vec<Allow> {
+    let path = root.join("xtask/lint-allow.txt");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (path_suffix, substring) = l.split_once(": ")?;
+            Some(Allow {
+                path_suffix: path_suffix.trim().to_string(),
+                substring: substring.trim().to_string(),
+            })
+        })
+        .collect()
+}
+
+fn allowed(allows: &[Allow], file: &Path, line_text: &str) -> bool {
+    let file = file.to_string_lossy();
+    allows
+        .iter()
+        .any(|a| file.ends_with(&a.path_suffix) && line_text.contains(&a.substring))
+}
+
+/// Strip line comments (everything from the first `//` onward). Good enough
+/// for this workspace: `//` inside string literals does not occur in the
+/// policed trees, and over-stripping only makes the lint more conservative.
+fn code_of(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn net_delta(code: &str) -> i32 {
+    code.chars().fold(0, |acc, c| match c {
+        '{' => acc + 1,
+        '}' => acc - 1,
+        _ => acc,
+    })
+}
+
+/// Iterate the non-test lines of a source file: `(line_number, raw_line)`.
+/// A `#[cfg(test)]` item (module or fn) and everything inside its braces is
+/// skipped, tracked by brace counting.
+fn non_test_lines(text: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut skip_depth: Option<i32> = None; // brace depth at which the skip ends
+    let mut depth = 0i32;
+    let mut pending_cfg_test = false;
+    for (i, line) in text.lines().enumerate() {
+        let code = code_of(line);
+        if skip_depth.is_none() {
+            if line.trim_start().starts_with("#[cfg(test)]") {
+                pending_cfg_test = true;
+                depth += net_delta(code);
+                continue;
+            }
+            if pending_cfg_test {
+                // The attribute's item starts here; skip until its braces close.
+                if code.contains('{') {
+                    skip_depth = Some(depth);
+                    pending_cfg_test = false;
+                } else if code.contains(';') {
+                    pending_cfg_test = false; // e.g. `#[cfg(test)] use ...;`
+                }
+                depth += net_delta(code);
+                continue;
+            }
+            out.push((i + 1, line));
+            depth += net_delta(code);
+        } else {
+            depth += net_delta(code);
+            if Some(depth) <= skip_depth {
+                skip_depth = None;
+            }
+        }
+    }
+    out
+}
+
+/// The directories policed by the panic-hygiene and guard lints.
+fn policed_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for dir in ["crates/arrow-net/src", "crates/arrow-core/src/live"] {
+        let Ok(entries) = std::fs::read_dir(root.join(dir)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn rel<'p>(root: &Path, path: &'p Path) -> &'p Path {
+    path.strip_prefix(root).unwrap_or(path)
+}
+
+/// Pass 1: forbid `unwrap()` / `expect(` / `panic!(` in non-test code.
+fn lint_panic_hygiene(root: &Path, allows: &[Allow], findings: &mut Vec<Finding>) {
+    for path in policed_files(root) {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let file = rel(root, &path).to_path_buf();
+        for (line_no, line) in non_test_lines(&text) {
+            let code = code_of(line);
+            for (needle, what) in [
+                (".unwrap()", "unwrap() in non-test live-path code"),
+                (".expect(", "expect() in non-test live-path code"),
+                ("panic!(", "panic!() in non-test live-path code"),
+            ] {
+                if code.contains(needle) && !allowed(allows, &file, line) {
+                    findings.push(Finding {
+                        file: file.clone(),
+                        line: line_no,
+                        lint: "panic-hygiene",
+                        message: format!("{what}: {}", line.trim()),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Pass 2: flag `Mutex` guards held across `.send(` calls.
+///
+/// A `let` binding whose initializer contains `.lock()` keeps its guard alive
+/// until the end of the enclosing block; any `.send(` before that point runs
+/// under the lock. (Single-statement `.lock().x()` temporaries are fine: the
+/// guard drops at the end of the statement, and the same line holding `.send(`
+/// is flagged too.)
+fn lint_guard_across_send(root: &Path, allows: &[Allow], findings: &mut Vec<Finding>) {
+    for path in policed_files(root) {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let file = rel(root, &path).to_path_buf();
+        let mut depth = 0i32;
+        // Open guard scopes: brace depth the binding lives at.
+        let mut guards: Vec<i32> = Vec::new();
+        for (line_no, line) in non_test_lines(&text) {
+            let code = code_of(line);
+            let trimmed = code.trim_start();
+            let binds_guard = trimmed.starts_with("let ")
+                && code.contains(".lock()")
+                // `let _ = ...` / shed bindings drop immediately.
+                && !trimmed.starts_with("let _ =")
+                // A binding that extracts owned data out of the guard within
+                // the same statement (take/clone at the end) does not hold it.
+                && !code.contains("std::mem::take")
+                && !code.trim_end().ends_with(".clone();");
+            let sends = code.contains(".send(");
+            if sends
+                && (binds_guard || code.contains(".lock()") || !guards.is_empty())
+                && !allowed(allows, &file, line)
+            {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: line_no,
+                    lint: "guard-across-send",
+                    message: format!(
+                        "send() while a Mutex guard is (or may be) held: {}",
+                        line.trim()
+                    ),
+                });
+            }
+            if binds_guard {
+                guards.push(depth);
+            }
+            depth += net_delta(code);
+            guards.retain(|&d| depth > d);
+        }
+    }
+}
+
+/// Extract the variant names of `pub enum ProtoMsg` from protocol.rs.
+fn proto_msg_variants(text: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut in_enum = false;
+    let mut depth = 0i32;
+    for line in text.lines() {
+        let code = code_of(line);
+        if code.contains("pub enum ProtoMsg") {
+            in_enum = true;
+            depth = 0;
+        }
+        if in_enum {
+            // Variants sit at depth 1, as `Name {`, `Name(`, or `Name,`.
+            if depth == 1 {
+                let t = code.trim();
+                if let Some(name) = t.split([' ', '{', '(', ',']).next() {
+                    if !name.is_empty()
+                        && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                        && name.chars().all(|c| c.is_ascii_alphanumeric())
+                    {
+                        variants.push(name.to_string());
+                    }
+                }
+            }
+            depth += net_delta(code);
+            if depth <= 0 && code.contains('}') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+/// Pass 3: every `ProtoMsg` variant has a wire encoding and a codec test.
+fn lint_proto_wire(root: &Path, findings: &mut Vec<Finding>) {
+    let proto_path = root.join("crates/arrow-core/src/protocol.rs");
+    let wire_path = root.join("crates/arrow-net/src/wire.rs");
+    let (Ok(proto), Ok(wire)) = (
+        std::fs::read_to_string(&proto_path),
+        std::fs::read_to_string(&wire_path),
+    ) else {
+        findings.push(Finding {
+            file: PathBuf::from("crates/arrow-core/src/protocol.rs"),
+            line: 0,
+            lint: "proto-wire",
+            message: "cannot read protocol.rs / wire.rs for the cross-check".to_string(),
+        });
+        return;
+    };
+    let variants = proto_msg_variants(&proto);
+    if variants.is_empty() {
+        findings.push(Finding {
+            file: rel(root, &proto_path).to_path_buf(),
+            line: 0,
+            lint: "proto-wire",
+            message: "found no ProtoMsg variants (parser out of sync?)".to_string(),
+        });
+        return;
+    }
+    // Split wire.rs at its test module: encodings live before, tests after.
+    let split = wire.find("#[cfg(test)]").unwrap_or(wire.len());
+    let (wire_code, wire_tests) = wire.split_at(split);
+    let wire_file = rel(root, &wire_path).to_path_buf();
+    for v in &variants {
+        let pattern = format!("ProtoMsg::{v}");
+        if !wire_code.contains(&pattern) {
+            findings.push(Finding {
+                file: wire_file.clone(),
+                line: 0,
+                lint: "proto-wire",
+                message: format!("ProtoMsg::{v} has no frame encoding in wire.rs non-test code"),
+            });
+        }
+        if !wire_tests.contains(&pattern) {
+            findings.push(Finding {
+                file: wire_file.clone(),
+                line: 0,
+                lint: "proto-wire",
+                message: format!("ProtoMsg::{v} is not exercised by any wire.rs codec test"),
+            });
+        }
+    }
+}
+
+/// Run every pass; returns all findings (empty = clean tree).
+pub fn run(root: &Path) -> Vec<Finding> {
+    let allows = load_allowlist(root);
+    let mut findings = Vec::new();
+    lint_panic_hygiene(root, &allows, &mut findings);
+    lint_guard_across_send(root, &allows, &mut findings);
+    lint_proto_wire(root, &mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_test_lines_skip_test_modules() {
+        let src = "fn a() {\n    x.unwrap();\n}\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let lines: Vec<usize> = non_test_lines(src).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(lines, vec![1, 2, 3, 8]);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_is_skipped() {
+        let src = "#[cfg(test)]\nfn helper() {\n    panic!(\"x\");\n}\nfn live() {}\n";
+        let lines: Vec<usize> = non_test_lines(src).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(lines, vec![5]);
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        assert_eq!(code_of("x(); // y.unwrap()"), "x(); ");
+        assert_eq!(code_of("// all comment"), "");
+    }
+
+    #[test]
+    fn proto_variants_are_extracted() {
+        let src = "pub enum ProtoMsg {\n    Issue {\n        req: RequestId,\n    },\n    Queue { x: u8 },\n    Found,\n}\n";
+        assert_eq!(proto_msg_variants(src), vec!["Issue", "Queue", "Found"]);
+    }
+
+    #[test]
+    fn workspace_is_lint_clean() {
+        // The real check CI runs; keeping it as a test means `cargo test`
+        // alone catches regressions too.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
+        let findings = run(root);
+        assert!(
+            findings.is_empty(),
+            "lint findings:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

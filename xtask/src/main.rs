@@ -1,0 +1,58 @@
+//! Workspace automation tasks (no registry dependencies).
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! `lint` runs the source lints described in [`lint`] and exits non-zero on
+//! any finding. Suppressions live in `xtask/lint-allow.txt`, one
+//! `path-suffix: substring` entry per line — every entry is expected to carry
+//! a comment explaining the documented panic contract it covers.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask/ sits directly under the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives inside the workspace")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = workspace_root();
+            let findings = lint::run(&root);
+            if findings.is_empty() {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("xtask lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some("--help") | Some("-h") | None => {
+            println!(
+                "xtask — workspace automation\n\nTASKS:\n    lint    panic-hygiene, \
+                 guard-across-send and ProtoMsg/wire cross-checks\n            \
+                 (suppressions: xtask/lint-allow.txt)"
+            );
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown task {other:?} (try: lint)");
+            ExitCode::FAILURE
+        }
+    }
+}
