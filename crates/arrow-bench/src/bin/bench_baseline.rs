@@ -9,6 +9,7 @@
 //! keeps the fastest run, and writes `BENCH_sim_throughput.json` (default: the
 //! current directory — run from the repository root to refresh the committed file).
 
+use arrow_bench::meta::BenchMeta;
 use arrow_bench::throughput::measure_sim_throughput;
 
 fn main() {
@@ -35,6 +36,7 @@ fn main() {
         "sim throughput: {} nodes, {} requests -> {} events in {:.3}s = {:.0} events/sec",
         best.nodes, best.requests, best.sim_events, best.wall_seconds, best.events_per_sec
     );
-    std::fs::write(&out_path, best.to_json()).expect("failed to write baseline file");
+    let doc = BenchMeta::capture().inject(&best.to_json());
+    std::fs::write(&out_path, doc).expect("failed to write baseline file");
     println!("baseline written to {out_path}");
 }

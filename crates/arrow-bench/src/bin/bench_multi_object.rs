@@ -11,6 +11,7 @@
 //! (default: the current directory — run from the repository root to refresh the
 //! committed file).
 
+use arrow_bench::meta::BenchMeta;
 use arrow_bench::multi_object::{multi_object_sweep, MultiObjectReport};
 
 fn main() {
@@ -45,6 +46,7 @@ fn main() {
     }
 
     let report = MultiObjectReport { rows };
-    std::fs::write(&out_path, report.to_json()).expect("failed to write baseline file");
+    let doc = BenchMeta::capture().inject(&report.to_json());
+    std::fs::write(&out_path, doc).expect("failed to write baseline file");
     println!("baseline written to {out_path}");
 }

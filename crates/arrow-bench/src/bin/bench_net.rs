@@ -28,8 +28,23 @@
 //! `--smoke` runs a reduced-scale profile (16 nodes, K = 2, plus a tiny open-loop
 //! burst) and writes no file — CI uses it to catch socket-tier regressions that
 //! compile but would tank the batched hot path.
+//!
+//! `--trace [FILE]` switches to the causal-trace study instead of the baseline
+//! sweep: one closed-loop run executes with wall-clock recording probes on every
+//! node (64 peers × K = 16 — the acceptance shape — or the reduced smoke shape
+//! with `--smoke`), an untraced twin measures the tracing overhead, and the
+//! reconstructed per-request traces are checked for complete hop chains,
+//! per-phase latency breakdowns and a per-request stretch distribution whose max
+//! is held to the Theorem 3.19 bound. The run is exported as Chrome trace-event
+//! JSON (default `bench_net_trace.json`) — open it at <https://ui.perfetto.dev>.
 
-use arrow_bench::net_throughput::{measure_net_open_loop, net_sweep, NetReportJson, NetRow};
+use arrow_bench::meta::BenchMeta;
+use arrow_bench::net_throughput::{
+    measure_net, measure_net_open_loop, measure_net_traced, net_sweep, NetReportJson, NetRow,
+};
+use arrow_trace::TraceRecorder;
+use netgraph::{generators, RootedTree};
+use std::sync::Arc;
 
 /// The soft "Max open files" limit of this process (RLIMIT_NOFILE), read from
 /// `/proc/self/limits`. `None` when the file is missing (non-Linux) or the line
@@ -114,18 +129,188 @@ fn print_rows(rows: &[NetRow]) {
     }
 }
 
+/// The `--trace` study: one traced closed-loop run (every node carrying a
+/// wall-clock recording probe) next to an untraced twin of the same shape, so
+/// the tracing overhead is a measured number rather than a claim. The traced
+/// run's events are reconstructed into per-request causal chains and held to
+/// the acceptance contract: every issued acquire leaves a complete hop chain,
+/// every request gets a phase breakdown (transit / queue-wait / grant-wait)
+/// and a stretch value, and the maximum observed stretch sits under the
+/// Theorem 3.19 bound for this instance. The run is then exported as Chrome
+/// trace-event JSON.
+fn trace_study(smoke: bool, trace_path: &str) {
+    let (nodes, objects, workers, acquires, pipeline, seed) = if smoke {
+        (16usize, 2usize, 2usize, 10usize, 4usize, 1u64)
+    } else {
+        (64, 16, 4, 50, 16, 1)
+    };
+    let runs = if smoke { 1 } else { 3 };
+    println!(
+        "socket-tier causal trace study ({nodes} peers, K = {objects}, {workers} workers/object \
+         x {acquires} acquires, pipeline {pipeline}, best of {runs}):"
+    );
+
+    // Untraced twin first (after a warm-up that binds ports and spins the
+    // thread pools): same shape, `NoProbe` monomorphization — the overhead
+    // baseline the traced run is compared against.
+    if !smoke {
+        let _ = net_sweep(nodes, &[1], workers, 10, pipeline, seed);
+    }
+    let mut plain = measure_net(nodes, objects, workers, acquires, pipeline, seed);
+    for _ in 1..runs {
+        let r = measure_net(nodes, objects, workers, acquires, pipeline, seed);
+        if r.acquisitions_per_sec > plain.acquisitions_per_sec {
+            plain = r;
+        }
+    }
+
+    let traced_run = || {
+        let recorder = Arc::new(TraceRecorder::new());
+        let row = measure_net_traced(nodes, objects, workers, acquires, pipeline, seed, &recorder);
+        let events = Arc::try_unwrap(recorder)
+            .expect("probes flushed when the runtime shut down")
+            .finish();
+        (row, arrow_trace::analysis::reconstruct(&events))
+    };
+    let (traced, traces) = {
+        let mut best = traced_run();
+        for _ in 1..runs {
+            let cand = traced_run();
+            if cand.0.acquisitions_per_sec > best.0.acquisitions_per_sec {
+                best = cand;
+            }
+        }
+        best
+    };
+
+    println!("untraced twin:");
+    print_rows(std::slice::from_ref(&plain));
+    println!("traced run:");
+    print_rows(std::slice::from_ref(&traced));
+    let overhead = if traced.acquisitions_per_sec > 0.0 {
+        (plain.acquisitions_per_sec / traced.acquisitions_per_sec - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "tracing overhead: {overhead:+.1}% closed-loop throughput \
+         ({:.0} acq/sec untraced vs {:.0} traced)",
+        plain.acquisitions_per_sec, traced.acquisitions_per_sec
+    );
+
+    // Score the traces against the measurement geometry. The graph here IS its
+    // spanning tree (balanced binary), so d_G = d_T: every per-request stretch
+    // must come out 1.0, and the tree stretch for the Theorem 3.19 constant is
+    // s = 1.
+    let expected = objects * workers * acquires;
+    let tree = RootedTree::from_tree_graph(&generators::balanced_binary_tree(nodes), 0);
+    let weight = |u: usize, v: usize| {
+        if tree.parent(u) == Some(v) {
+            tree.parent_edge_weight(u)
+        } else {
+            tree.parent_edge_weight(v)
+        }
+    };
+    let direct = |u: usize, v: usize| tree.distance(u, v);
+    let report = arrow_trace::analysis::report(traces, &weight, &direct);
+    assert_eq!(
+        report.traces.len(),
+        expected,
+        "every issued acquire must leave a reconstructed trace"
+    );
+    assert_eq!(
+        report.complete, expected,
+        "every request's hop chain must reconstruct completely"
+    );
+
+    let mut sums = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut counted = 0usize;
+    for t in &report.traces {
+        if let Some(p) = t.phases() {
+            sums.0 += p.transit;
+            sums.1 += p.queue_wait;
+            sums.2 += p.grant_wait;
+            sums.3 += p.total;
+            counted += 1;
+        }
+    }
+    assert_eq!(
+        counted, expected,
+        "every request must have a phase breakdown"
+    );
+    let mean_ms = |total: f64| 1e3 * total / counted.max(1) as f64;
+    println!(
+        "  phase means over {counted} requests: transit {:.3} ms, queue-wait {:.3} ms, \
+         grant-wait {:.3} ms, total {:.3} ms",
+        mean_ms(sums.0),
+        mean_ms(sums.1),
+        mean_ms(sums.2),
+        mean_ms(sums.3)
+    );
+
+    let bound = queuing_analysis::theory::upper_bound_constant(1.0, tree.diameter());
+    println!(
+        "  stretch: mean {:.3}, max {:.3} over {} requests \
+         (Theorem 3.19 bound for s = 1, D = {:.0}: {:.1})",
+        report.mean_stretch,
+        report.max_stretch,
+        report.stretches.len(),
+        tree.diameter(),
+        bound
+    );
+    assert!(
+        (report.max_stretch - 1.0).abs() < 1e-6,
+        "the graph is the tree, so observed stretch must be exactly 1.0 (got {})",
+        report.max_stretch
+    );
+    assert!(
+        report.max_stretch <= bound,
+        "max observed stretch {} exceeds the Theorem 3.19 bound {bound}",
+        report.max_stretch
+    );
+
+    // Chrome trace-event JSON: wall-clock probes stamp seconds, Chrome `ts`
+    // fields are microseconds.
+    let json = arrow_trace::chrome::export(&report.traces, 1e6);
+    let events = arrow_trace::chrome::parse_check(&json).expect("chrome export must parse");
+    std::fs::write(trace_path, &json).expect("failed to write trace file");
+    println!(
+        "trace written to {trace_path} ({} requests, {events} events; \
+         load at https://ui.perfetto.dev)",
+        report.traces.len()
+    );
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_net_throughput.json".to_string();
-    for arg in std::env::args().skip(1) {
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            // Optional value: bare `--trace` uses the default file, so the CI
+            // invocation stays `bench_net --smoke --trace`.
+            "--trace" => {
+                let path = match args.peek() {
+                    Some(next) if !next.starts_with('-') => args.next().unwrap(),
+                    _ => "bench_net_trace.json".to_string(),
+                };
+                trace_path = Some(path);
+            }
             flag if flag.starts_with('-') => {
-                eprintln!("usage: bench_net [--smoke] [out_path] (unknown flag {flag})");
+                eprintln!(
+                    "usage: bench_net [--smoke] [--trace [FILE]] [out_path] (unknown flag {flag})"
+                );
                 std::process::exit(2);
             }
             path => out_path = path.to_string(),
         }
+    }
+
+    if let Some(path) = trace_path {
+        trace_study(smoke, &path);
+        return;
     }
 
     if smoke {
@@ -210,6 +395,7 @@ fn main() {
     rows.push(big_open);
 
     let report = NetReportJson { rows };
-    std::fs::write(&out_path, report.to_json()).expect("failed to write baseline file");
+    let doc = BenchMeta::capture().inject(&report.to_json());
+    std::fs::write(&out_path, doc).expect("failed to write baseline file");
     println!("baseline written to {out_path}");
 }

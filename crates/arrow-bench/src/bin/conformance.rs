@@ -18,7 +18,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: conformance [--smoke | --full] [--cases N] [--seed N] [--max-nodes N] \
          [--max-requests N] [--faults] [--fault-episodes N] [--no-thread] [--no-net] \
-         [--no-shrink] [--out DIR] [--replay FILE]\n(try --help for the replay file format)"
+         [--no-shrink] [--out DIR] [--trace [DIR]] [--replay FILE]\n(try --help for the \
+         replay file format)"
     );
     std::process::exit(2);
 }
@@ -49,6 +50,13 @@ OPTIONS:
     --no-shrink          report failures without shrinking them first
     --out DIR            where failing cases' replay files go
                          (default: conformance-failures/)
+    --trace [DIR]        re-run every fault-free case's sim tier with recording
+                         probes, validate that the causal trace covers every
+                         issued request (complete hop chains whose path cost
+                         matches the validated order's c_A adjacency), and write
+                         Chrome trace-event JSON (case-<seed>.trace.json,
+                         Perfetto-loadable) into DIR
+                         (default: conformance-traces/)
     --replay FILE        re-run one previously written replay file
     --help               this text
 
@@ -89,7 +97,7 @@ fn main() -> ExitCode {
     opts.replay_dir = Some(PathBuf::from("conformance-failures"));
     let mut replay_file: Option<PathBuf> = None;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         let num = |args: &mut dyn Iterator<Item = String>| -> usize {
             args.next()
@@ -98,17 +106,19 @@ fn main() -> ExitCode {
         };
         match arg.as_str() {
             "--help" | "-h" => help(),
-            // Profile switches preserve an already-chosen --out directory (flag
-            // order must not silently change where replay files land).
+            // Profile switches preserve already-chosen --out/--trace directories
+            // (flag order must not silently change where artifacts land).
             "--smoke" => {
-                let dir = opts.replay_dir.clone();
+                let (dir, traces) = (opts.replay_dir.clone(), opts.trace_dir.clone());
                 opts = SweepOptions::smoke();
                 opts.replay_dir = dir;
+                opts.trace_dir = traces;
             }
             "--full" => {
-                let dir = opts.replay_dir.clone();
+                let (dir, traces) = (opts.replay_dir.clone(), opts.trace_dir.clone());
                 opts = SweepOptions::full();
                 opts.replay_dir = dir;
+                opts.trace_dir = traces;
             }
             "--cases" => opts.cases = num(&mut args),
             "--seed" => {
@@ -126,6 +136,15 @@ fn main() -> ExitCode {
             "--no-shrink" => opts.shrink_failures = false,
             "--out" => {
                 opts.replay_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            // Optional value: `--trace` alone uses the default directory, so the
+            // CI invocation stays `conformance --smoke --trace`.
+            "--trace" => {
+                let dir = match args.peek() {
+                    Some(next) if !next.starts_with("--") => args.next().unwrap(),
+                    _ => "conformance-traces".to_string(),
+                };
+                opts.trace_dir = Some(PathBuf::from(dir));
             }
             "--replay" => replay_file = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             _ => usage(),
@@ -174,6 +193,12 @@ fn main() -> ExitCode {
         if opts.include_net { ", net" } else { "" },
     );
     let report = run_sweep(&opts);
+    if let Some(dir) = &opts.trace_dir {
+        println!(
+            "causal traces: {}/case-<seed>.trace.json (probed sim tier, Chrome trace-event JSON)",
+            dir.display()
+        );
+    }
     println!(
         "ran {} cases / {} requests; per-tier: {}",
         report.cases,

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod meta;
 pub mod multi_object;
 pub mod net_throughput;
 pub mod table;

@@ -1,0 +1,119 @@
+//! Provenance metadata for the committed `BENCH_*.json` baselines.
+//!
+//! A baseline number without its generating context is unreviewable: a later
+//! regeneration cannot tell "the code got faster" apart from "someone ran it
+//! on a bigger machine". Every baseline writer therefore embeds a `meta`
+//! block — the generating command line, the git revision, the UTC date and
+//! the core count — as the first member of the report document.
+
+use std::process::Command;
+
+/// Provenance of one baseline regeneration.
+#[derive(Debug, Clone)]
+pub struct BenchMeta {
+    /// The generating command line (argv, space-joined).
+    pub command: String,
+    /// Short git revision at generation time (`"unknown"` outside a checkout).
+    pub git_rev: String,
+    /// UTC generation date, RFC 3339 (falls back to seconds since the epoch
+    /// when the `date` utility is unavailable).
+    pub date: String,
+    /// Cores available to the generating process.
+    pub cores: usize,
+}
+
+/// First line of a command's stdout, or `None` on any failure.
+fn command_line(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let line = text.lines().next()?.trim();
+    (!line.is_empty()).then(|| line.to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl BenchMeta {
+    /// Capture the current process's provenance.
+    pub fn capture() -> Self {
+        let command = std::env::args().collect::<Vec<_>>().join(" ");
+        let git_rev = command_line("git", &["rev-parse", "--short", "HEAD"])
+            .unwrap_or_else(|| "unknown".to_string());
+        let date = command_line("date", &["-u", "+%Y-%m-%dT%H:%M:%SZ"]).unwrap_or_else(|| {
+            let secs = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            format!("@{secs}")
+        });
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        BenchMeta {
+            command,
+            git_rev,
+            date,
+            cores,
+        }
+    }
+
+    /// Render as the `"meta"` member of a report object (two-space indent, no
+    /// trailing comma).
+    pub fn to_json_entry(&self) -> String {
+        format!(
+            "  \"meta\": {{\n    \"command\": \"{}\",\n    \"git_rev\": \"{}\",\n    \
+             \"date\": \"{}\",\n    \"cores\": {}\n  }}",
+            json_escape(&self.command),
+            json_escape(&self.git_rev),
+            json_escape(&self.date),
+            self.cores
+        )
+    }
+
+    /// Insert this meta block as the first member of a report document (all the
+    /// hand-written `to_json` renderers open with `{\n`).
+    ///
+    /// # Panics
+    /// If `report_json` does not open with `{\n`.
+    pub fn inject(&self, report_json: &str) -> String {
+        let rest = report_json
+            .strip_prefix("{\n")
+            .expect("report documents open with '{\\n'");
+        format!("{{\n{},\n{rest}", self.to_json_entry())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_produces_plausible_provenance() {
+        let meta = BenchMeta::capture();
+        assert!(meta.cores >= 1);
+        assert!(!meta.command.is_empty());
+        assert!(!meta.date.is_empty());
+        assert!(!meta.git_rev.is_empty());
+    }
+
+    #[test]
+    fn inject_puts_meta_first_and_keeps_the_report_members() {
+        let meta = BenchMeta {
+            command: "bench_x --full \"quoted\"".to_string(),
+            git_rev: "abc1234".to_string(),
+            date: "2026-01-01T00:00:00Z".to_string(),
+            cores: 8,
+        };
+        let doc = meta.inject("{\n  \"rows\": []\n}\n");
+        assert!(
+            doc.starts_with("{\n  \"meta\": {\n    \"command\": \"bench_x --full \\\"quoted\\\"\"")
+        );
+        assert!(doc.contains("\"git_rev\": \"abc1234\""));
+        assert!(doc.contains("\"cores\": 8"));
+        assert!(doc.ends_with("  \"rows\": []\n}\n"));
+    }
+}

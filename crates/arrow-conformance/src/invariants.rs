@@ -44,6 +44,10 @@ pub enum InvariantKind {
     LatencyBound,
     /// Cross-tier agreement on the per-object request multiset.
     CrossTier,
+    /// Causal-trace coverage (`--trace` runs): every issued request must leave a
+    /// complete reconstructed hop chain whose tree-path cost equals the `c_A`
+    /// adjacency of the validated queuing order (see [`crate::trace`]).
+    TraceCoverage,
     /// The churn contract on fault-injected cases: every issued request granted,
     /// every `(object, epoch)` order chain fork-free, the final epoch one
     /// complete chain per object (see [`arrow_core::prelude::ChurnOutcome`]).

@@ -56,6 +56,7 @@ pub mod invariants;
 pub mod net_driver;
 pub mod shrink;
 pub mod sweep;
+pub mod trace;
 
 pub use case::{CaseSpec, GraphKind, ReplayCase, WorkloadKind};
 pub use churn::run_churn_case;
@@ -66,3 +67,4 @@ pub use sweep::{
     derive_spec, run_case, run_case_counted, run_replay, run_sweep, CaseResult, SweepOptions,
     SweepReport,
 };
+pub use trace::{check_trace_coverage, trace_case, trace_sim_case, write_case_trace};

@@ -11,7 +11,9 @@
 use arrow_core::driver::{acquire_sequences, Driver};
 use arrow_core::prelude::*;
 use arrow_net::{NetConfig, NetRuntime};
+use arrow_trace::{NoProbe, Probe};
 use desim::SimTime;
+use netgraph::NodeId;
 use std::time::Duration;
 
 /// Tier 3: the socket runtime (loopback TCP peers, wire codec, latency injection).
@@ -32,20 +34,18 @@ impl Default for NetDriver {
     }
 }
 
-impl Driver for NetDriver {
-    fn name(&self) -> &'static str {
-        "net"
-    }
-
-    fn supports(&self, config: &RunConfig) -> bool {
-        config.protocol == ProtocolKind::Arrow
-    }
-
-    fn run(
+impl NetDriver {
+    /// Like [`Driver::run`], with a recording probe per node (typically
+    /// [`arrow_trace::TraceRecorder::wall_probe`]) so the replay leaves a causal
+    /// event trace behind. [`NetRuntime::shutdown`] joins the node threads — and
+    /// drops (flushes) the probes — inside this call, so the recorder holds every
+    /// event once this returns.
+    pub fn run_probed<P: Probe>(
         &self,
         instance: &Instance,
         schedule: &RequestSchedule,
         config: &RunConfig,
+        probe_for: impl FnMut(NodeId) -> P,
     ) -> Result<QueuingOutcome, RunError> {
         debug_assert!(self.supports(config));
         if let Some(r) = schedule
@@ -65,7 +65,7 @@ impl Driver for NetDriver {
             NetConfig::from_run_config(config, self.unit_latency)
         };
         let grant_timeout = config.grant_timeout();
-        let rt = NetRuntime::spawn_multi(instance.tree(), k, cfg);
+        let rt = NetRuntime::spawn_multi_probed(instance.tree(), k, cfg, probe_for);
         let mut workers = Vec::new();
         for ((node, obj), count) in acquire_sequences(schedule) {
             let h = rt.handle(node);
@@ -136,6 +136,25 @@ impl Driver for NetDriver {
             stats.queue_frames + stats.token_frames,
             makespan,
         )
+    }
+}
+
+impl Driver for NetDriver {
+    fn name(&self) -> &'static str {
+        "net"
+    }
+
+    fn supports(&self, config: &RunConfig) -> bool {
+        config.protocol == ProtocolKind::Arrow
+    }
+
+    fn run(
+        &self,
+        instance: &Instance,
+        schedule: &RequestSchedule,
+        config: &RunConfig,
+    ) -> Result<QueuingOutcome, RunError> {
+        self.run_probed(instance, schedule, config, |_| NoProbe)
     }
 }
 

@@ -54,6 +54,14 @@ pub struct SweepOptions {
     /// and is held to the churn contract ([`crate::churn`]) instead of the
     /// fault-free invariant suite.
     pub fault_episodes: usize,
+    /// Directory for causal-trace exports (`--trace`): every fault-free case's
+    /// sim tier is re-run with recording probes, held to the
+    /// [`InvariantKind::TraceCoverage`] contract (every issued request leaves a
+    /// complete hop chain whose cost matches the validated order's `c_A`
+    /// adjacency), and written as Chrome trace-event JSON
+    /// (`case-<seed>.trace.json`, see [`crate::trace`]). `None` disables
+    /// tracing.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl SweepOptions {
@@ -69,6 +77,7 @@ impl SweepOptions {
             shrink_failures: true,
             replay_dir: None,
             fault_episodes: 0,
+            trace_dir: None,
         }
     }
 
@@ -84,6 +93,7 @@ impl SweepOptions {
             shrink_failures: true,
             replay_dir: Some(PathBuf::from("conformance-failures")),
             fault_episodes: 0,
+            trace_dir: None,
         }
     }
 }
@@ -308,8 +318,14 @@ pub fn run_sweep(opts: &SweepOptions) -> SweepReport {
         };
         total_requests += case.requests.len();
         fault_events += case.faults.len();
-        let (tiers_run, violations, regens) = run_case_counted(&case, opts);
+        let (tiers_run, mut violations, regens) = run_case_counted(&case, opts);
         token_regenerations += regens;
+        if let Some(dir) = &opts.trace_dir {
+            // Probed re-run of the sim tier: coverage failures fail the sweep
+            // like any other invariant (fault cases are skipped inside).
+            let (trace_violations, _) = crate::trace::trace_case(&case, Some(dir));
+            violations.extend(trace_violations);
+        }
         for tier in &tiers_run {
             match tier_counts.iter_mut().find(|(t, _)| t == tier) {
                 Some((_, c)) => *c += 1,
@@ -343,6 +359,10 @@ pub fn run_sweep(opts: &SweepOptions) -> SweepReport {
             let _ = std::fs::create_dir_all(dir);
             let path = dir.join(format!("case-{}.replay", reported_case.spec.seed));
             let _ = std::fs::write(&path, reported_case.to_replay_text());
+            // Attach the causal trace of the (shrunk) failing case next to its
+            // replay file, so the repro ships with the hop-level story.
+            // Best effort: a fault-injected or crashing case simply has none.
+            let _ = crate::trace::trace_case(&reported_case, Some(dir));
             path.display().to_string()
         });
         failures.push(CaseResult {

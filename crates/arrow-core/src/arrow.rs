@@ -27,6 +27,7 @@ use crate::order::OrderRecord;
 use crate::protocol::{ProtoMsg, ServiceQueue, WorkItem, SERVICE_TIMER_TAG};
 use crate::request::{ObjectId, RequestId};
 use crate::workload::ClosedLoopSpec;
+use arrow_trace::{NoProbe, Probe, ProbeEvent};
 use desim::{Context, Process, SimDuration, SimTime};
 use netgraph::{DistanceMatrix, NodeId};
 use std::collections::{BTreeSet, HashSet};
@@ -43,8 +44,14 @@ struct ObjectState {
 }
 
 /// Per-node state of the arrow protocol (one independent arrow automaton per object).
+///
+/// `P` is the observability hook ([`arrow_trace::Probe`]); the default
+/// [`NoProbe`] compiles the instrumentation out. A recording node (see
+/// [`ArrowNode::new_multi_with_probe`]) emits a [`ProbeEvent::Tick`] carrying
+/// the simulation clock before each dispatch, so a shared sim-mode recorder
+/// timestamps events in simulation units.
 #[derive(Debug)]
-pub struct ArrowNode {
+pub struct ArrowNode<P: Probe = NoProbe> {
     me: NodeId,
     /// Per-object arrow state, indexed by [`ObjectId`].
     objects: Vec<ObjectState>,
@@ -86,6 +93,8 @@ pub struct ArrowNode {
     stale_drops: u64,
     /// Duplicate completion notifications suppressed at this node.
     duplicate_grants: u64,
+    /// The observability hook (zero-sized and inert for [`NoProbe`]).
+    probe: P,
 }
 
 #[derive(Debug)]
@@ -129,6 +138,23 @@ impl ArrowNode {
         send_ack: bool,
         service_time: f64,
     ) -> Self {
+        ArrowNode::new_multi_with_probe(me, initial_links, send_ack, service_time, NoProbe)
+    }
+}
+
+impl<P: Probe> ArrowNode<P> {
+    /// Like [`ArrowNode::new_multi`], with a recording probe observing every
+    /// protocol transition of this node.
+    ///
+    /// # Panics
+    /// If `initial_links` is empty (a directory serves at least one object).
+    pub fn new_multi_with_probe(
+        me: NodeId,
+        initial_links: &[NodeId],
+        send_ack: bool,
+        service_time: f64,
+        probe: P,
+    ) -> Self {
         assert!(
             !initial_links.is_empty(),
             "a directory node serves at least one object"
@@ -162,6 +188,7 @@ impl ArrowNode {
             completed: HashSet::new(),
             stale_drops: 0,
             duplicate_grants: 0,
+            probe,
         }
     }
 
@@ -292,6 +319,11 @@ impl ArrowNode {
 
     /// The actual protocol logic, invoked once the service queue releases a work item.
     fn process(&mut self, ctx: &mut Context<ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        // Sync a sim-mode recorder to the simulation clock before any event from
+        // this dispatch; compiles to nothing under `NoProbe`.
+        self.probe.record(ProbeEvent::Tick {
+            units: ctx.now().as_units_f64(),
+        });
         match msg {
             ProtoMsg::Issue { req, obj } => self.handle_issue(ctx, req, obj),
             ProtoMsg::Queue {
@@ -324,9 +356,10 @@ impl ArrowNode {
     /// Epoch guard shared by the in-band message handlers: drop stale-epoch traffic
     /// (returns `false`), fast-forward when the sender is ahead (a restarted node
     /// can miss detection signals and learn the current epoch from live traffic).
-    fn admit_epoch(&mut self, ctx: &mut Context<ProtoMsg>, epoch: u64) -> bool {
+    fn admit_epoch(&mut self, ctx: &mut Context<ProtoMsg>, obj: ObjectId, epoch: u64) -> bool {
         if epoch < self.epoch {
             self.stale_drops += 1;
+            self.probe.record(ProbeEvent::StaleDrop { obj: obj.0 });
             return false;
         }
         if epoch > self.epoch {
@@ -341,6 +374,7 @@ impl ArrowNode {
     /// request under its original id.
     fn apply_epoch(&mut self, ctx: &mut Context<ProtoMsg>, epoch: u64) {
         self.epoch = epoch;
+        self.probe.record(ProbeEvent::EpochAdopted { epoch });
         let me = self.me;
         for (state, &initial) in self.objects.iter_mut().zip(&self.initial_links) {
             state.link = initial;
@@ -361,6 +395,11 @@ impl ArrowNode {
         assert!(!req.is_root(), "cannot issue the virtual root request");
         self.issued.push((req, obj, ctx.now()));
         self.pending.insert((obj, req));
+        self.probe.record(ProbeEvent::RequestIssued {
+            obj: obj.0,
+            req: req.0,
+            origin: self.me,
+        });
         self.issue_inner(ctx, req, obj);
     }
 
@@ -382,6 +421,12 @@ impl ArrowNode {
             let target = state.link;
             state.link = me;
             self.queue_hops += 1;
+            self.probe.record(ProbeEvent::QueueSent {
+                obj: obj.0,
+                req: req.0,
+                origin: me,
+                to: target,
+            });
             ctx.send(
                 target,
                 ProtoMsg::Queue {
@@ -406,9 +451,15 @@ impl ArrowNode {
         origin: NodeId,
         epoch: u64,
     ) {
-        if !self.admit_epoch(ctx, epoch) {
+        if !self.admit_epoch(ctx, obj, epoch) {
             return;
         }
+        self.probe.record(ProbeEvent::QueueReceived {
+            obj: obj.0,
+            req: req.0,
+            origin,
+            from,
+        });
         let me = self.me;
         let epoch = self.epoch;
         let state = self.object_mut(obj);
@@ -423,6 +474,12 @@ impl ArrowNode {
             self.complete_queuing(ctx, req, obj, pred, origin);
         } else {
             self.queue_hops += 1;
+            self.probe.record(ProbeEvent::QueueSent {
+                obj: obj.0,
+                req: req.0,
+                origin,
+                to: old_link,
+            });
             ctx.send(
                 old_link,
                 ProtoMsg::Queue {
@@ -445,6 +502,12 @@ impl ArrowNode {
         pred: RequestId,
         origin: NodeId,
     ) {
+        self.probe.record(ProbeEvent::QueuedBehind {
+            obj: obj.0,
+            req: req.0,
+            pred: pred.0,
+            origin,
+        });
         self.records.push(OrderRecord {
             predecessor: pred,
             successor: req,
@@ -486,7 +549,7 @@ impl ArrowNode {
         _pred: RequestId,
         epoch: u64,
     ) {
-        if !self.admit_epoch(ctx, epoch) {
+        if !self.admit_epoch(ctx, obj, epoch) {
             return;
         }
         self.note_own_completion(ctx, req, obj);
@@ -501,6 +564,10 @@ impl ArrowNode {
             self.duplicate_grants += 1;
             return;
         }
+        self.probe.record(ProbeEvent::Granted {
+            obj: obj.0,
+            req: req.0,
+        });
         self.own_completions.push((req, ctx.now()));
         if let Some(cl) = &mut self.closed_loop {
             if cl.remaining > 0 {
@@ -523,7 +590,7 @@ impl ArrowNode {
     }
 }
 
-impl Process<ProtoMsg> for ArrowNode {
+impl<P: Probe> Process<ProtoMsg> for ArrowNode<P> {
     fn on_start(&mut self, ctx: &mut Context<ProtoMsg>) {
         // Closed-loop mode: issue the first request at time zero.
         if let Some(cl) = &mut self.closed_loop {

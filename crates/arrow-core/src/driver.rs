@@ -34,6 +34,7 @@ use crate::request::{ObjectId, RequestSchedule};
 use crate::run::{
     outcome_from_records, run_schedule_checked, Instance, QueuingOutcome, RunConfig, RunError,
 };
+use arrow_trace::{NoProbe, Probe};
 use desim::SimTime;
 use netgraph::NodeId;
 use std::collections::BTreeMap;
@@ -115,20 +116,18 @@ pub fn acquire_sequences(schedule: &RequestSchedule) -> BTreeMap<(NodeId, Object
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ThreadDriver;
 
-impl Driver for ThreadDriver {
-    fn name(&self) -> &'static str {
-        "thread"
-    }
-
-    fn supports(&self, config: &RunConfig) -> bool {
-        config.protocol == ProtocolKind::Arrow
-    }
-
-    fn run(
+impl ThreadDriver {
+    /// Like [`Driver::run`], with a recording probe per node (typically
+    /// [`arrow_trace::TraceRecorder::wall_probe`]) so the replay leaves a causal
+    /// event trace behind. The runtime's node threads — and therefore the probes,
+    /// which flush on drop — exit inside this call, so the recorder holds every
+    /// event once this returns.
+    pub fn run_probed<P: Probe>(
         &self,
         instance: &Instance,
         schedule: &RequestSchedule,
         config: &RunConfig,
+        probe_for: impl FnMut(NodeId) -> P,
     ) -> Result<QueuingOutcome, RunError> {
         debug_assert!(self.supports(config));
         if let Some(r) = schedule
@@ -143,7 +142,7 @@ impl Driver for ThreadDriver {
         }
         let k = schedule.object_id_bound();
         let grant_timeout = config.grant_timeout();
-        let rt = ArrowRuntime::spawn_multi(instance.tree(), k);
+        let rt = ArrowRuntime::spawn_multi_probed(instance.tree(), k, probe_for);
         let mut workers = Vec::new();
         for ((node, obj), count) in acquire_sequences(schedule) {
             let h = rt.handle(node);
@@ -197,6 +196,25 @@ impl Driver for ThreadDriver {
             queue_msgs + token_msgs,
             makespan,
         )
+    }
+}
+
+impl Driver for ThreadDriver {
+    fn name(&self) -> &'static str {
+        "thread"
+    }
+
+    fn supports(&self, config: &RunConfig) -> bool {
+        config.protocol == ProtocolKind::Arrow
+    }
+
+    fn run(
+        &self,
+        instance: &Instance,
+        schedule: &RequestSchedule,
+        config: &RunConfig,
+    ) -> Result<QueuingOutcome, RunError> {
+        self.run_probed(instance, schedule, config, |_| NoProbe)
     }
 }
 

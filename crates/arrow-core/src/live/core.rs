@@ -36,6 +36,7 @@
 //! because correctness only requires that each link delivers in FIFO order.
 
 use crate::request::{ObjectId, RequestId};
+use arrow_trace::{NoProbe, Probe, ProbeEvent};
 use netgraph::{NodeId, RootedTree};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -150,8 +151,17 @@ pub type TokenRow = (ObjectId, RequestId, bool, bool, Option<(RequestId, NodeId)
 /// `Clone` is derived so an explicit-state model checker can branch a system
 /// state into successors; the clone is an independent automaton with identical
 /// behaviour.
+///
+/// The `P` parameter is the observability hook ([`arrow_trace::Probe`]): every
+/// protocol transition is reported to `probe.record(..)`. The default
+/// [`NoProbe`] monomorphizes those calls to nothing, so existing constructors
+/// ([`ArrowCore::new`], [`ArrowCore::for_tree`]) build the probe-free automaton
+/// unchanged; recording cores come from [`ArrowCore::with_probe`] /
+/// [`ArrowCore::for_tree_with_probe`]. The probe is *not* protocol state: it is
+/// excluded from [`ArrowCore::snapshot`] and [`ArrowCore::hash_into`], so the
+/// model checker's state space is identical whether or not a run is traced.
 #[derive(Debug, Clone)]
-pub struct ArrowCore {
+pub struct ArrowCore<P: Probe = NoProbe> {
     me: NodeId,
     total_nodes: u64,
     next_seq: u64,
@@ -167,6 +177,8 @@ pub struct ArrowCore {
     initial_link: NodeId,
     /// Stale-epoch inputs rejected by this node.
     stale_drops: u64,
+    /// The observability hook (zero-sized and inert for [`NoProbe`]).
+    probe: P,
 }
 
 impl ArrowCore {
@@ -182,6 +194,30 @@ impl ArrowCore {
     /// # Panics
     /// If `objects` is zero.
     pub fn new(me: NodeId, initial_link: NodeId, objects: usize, total_nodes: usize) -> Self {
+        ArrowCore::with_probe(me, initial_link, objects, total_nodes, NoProbe)
+    }
+
+    /// Arrow state for node `me` of the given rooted spanning tree: the initial link
+    /// is the tree parent (or `me` itself at the root), so following pointers from
+    /// anywhere leads to the root, which holds every object's initial token.
+    pub fn for_tree(me: NodeId, tree: &RootedTree, objects: usize) -> Self {
+        ArrowCore::for_tree_with_probe(me, tree, objects, NoProbe)
+    }
+}
+
+impl<P: Probe> ArrowCore<P> {
+    /// Like [`ArrowCore::new`], with a recording probe observing every protocol
+    /// transition of this node.
+    ///
+    /// # Panics
+    /// If `objects` is zero.
+    pub fn with_probe(
+        me: NodeId,
+        initial_link: NodeId,
+        objects: usize,
+        total_nodes: usize,
+        probe: P,
+    ) -> Self {
         assert!(objects > 0, "a directory serves at least one object");
         ArrowCore {
             me,
@@ -197,19 +233,24 @@ impl ArrowCore {
             epoch: 0,
             initial_link,
             stale_drops: 0,
+            probe,
         }
     }
 
-    /// Arrow state for node `me` of the given rooted spanning tree: the initial link
-    /// is the tree parent (or `me` itself at the root), so following pointers from
-    /// anywhere leads to the root, which holds every object's initial token.
-    pub fn for_tree(me: NodeId, tree: &RootedTree, objects: usize) -> Self {
+    /// Like [`ArrowCore::for_tree`], with a recording probe.
+    pub fn for_tree_with_probe(me: NodeId, tree: &RootedTree, objects: usize, probe: P) -> Self {
         let link = if me == tree.root() {
             me
         } else {
             tree.parent(me).expect("non-root node has a parent")
         };
-        ArrowCore::new(me, link, objects, tree.node_count())
+        ArrowCore::with_probe(me, link, objects, tree.node_count(), probe)
+    }
+
+    /// The probe, for transports that emit runtime-level events (e.g. the
+    /// orphaned-grant self-release) through the node's recording channel.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
     }
 
     /// This node's id.
@@ -324,9 +365,10 @@ impl ArrowCore {
     /// dropped; a newer epoch first fast-forwards this node (a restarted or
     /// partitioned-away node can miss detection signals and learns the current
     /// epoch from live traffic).
-    fn admit_epoch(&mut self, epoch: u64, actions: &mut Vec<CoreAction>) -> bool {
+    fn admit_epoch(&mut self, obj: ObjectId, epoch: u64, actions: &mut Vec<CoreAction>) -> bool {
         if epoch < self.epoch {
             self.stale_drops += 1;
+            self.probe.record(ProbeEvent::StaleDrop { obj: obj.0 });
             return false;
         }
         if epoch > self.epoch {
@@ -353,6 +395,7 @@ impl ArrowCore {
 
     fn bump_epoch(&mut self, epoch: u64, actions: &mut Vec<CoreAction>) {
         self.epoch = epoch;
+        self.probe.record(ProbeEvent::EpochAdopted { epoch });
         let me = self.me;
         for state in &mut self.objects {
             state.link = self.initial_link;
@@ -376,6 +419,14 @@ impl ArrowCore {
             } else {
                 let target = state.link;
                 state.link = me;
+                // A re-issue, not a new request: no second RequestIssued event,
+                // but the fresh hop chain is traced like any other.
+                self.probe.record(ProbeEvent::QueueSent {
+                    obj: obj.0,
+                    req: req.0,
+                    origin: me,
+                    to: target,
+                });
                 actions.push(CoreAction::SendQueue {
                     to: target,
                     obj,
@@ -413,6 +464,11 @@ impl ArrowCore {
         let req = self.fresh_request_id();
         self.tokens.insert((obj, req), TokenState::default());
         let me = self.me;
+        self.probe.record(ProbeEvent::RequestIssued {
+            obj: obj.0,
+            req: req.0,
+            origin: me,
+        });
         let state = self.object_mut(obj);
         let previous = state.last_id;
         state.last_id = req;
@@ -422,6 +478,12 @@ impl ArrowCore {
         } else {
             let target = state.link;
             state.link = me;
+            self.probe.record(ProbeEvent::QueueSent {
+                obj: obj.0,
+                req: req.0,
+                origin: me,
+                to: target,
+            });
             actions.push(CoreAction::SendQueue {
                 to: target,
                 obj,
@@ -449,9 +511,15 @@ impl ArrowCore {
         epoch: u64,
         actions: &mut Vec<CoreAction>,
     ) {
-        if !self.admit_epoch(epoch, actions) {
+        if !self.admit_epoch(obj, epoch, actions) {
             return;
         }
+        self.probe.record(ProbeEvent::QueueReceived {
+            obj: obj.0,
+            req: req.0,
+            origin,
+            from,
+        });
         let me = self.me;
         let current = self.epoch;
         let state = self.object_mut(obj);
@@ -461,6 +529,12 @@ impl ArrowCore {
             let pred = state.last_id;
             self.queuing_complete(obj, pred, req, origin, actions);
         } else {
+            self.probe.record(ProbeEvent::QueueSent {
+                obj: obj.0,
+                req: req.0,
+                origin,
+                to: old_link,
+            });
             actions.push(CoreAction::SendQueue {
                 to: old_link,
                 obj,
@@ -482,14 +556,24 @@ impl ArrowCore {
         epoch: u64,
         actions: &mut Vec<CoreAction>,
     ) {
-        if !self.admit_epoch(epoch, actions) {
+        if !self.admit_epoch(obj, epoch, actions) {
             return;
         }
+        self.probe.record(ProbeEvent::TokenReceived {
+            obj: obj.0,
+            req: req.0,
+        });
         self.token_received(obj, req, actions);
     }
 
     fn token_received(&mut self, obj: ObjectId, req: RequestId, actions: &mut Vec<CoreAction>) {
         self.tokens.entry((obj, req)).or_default().granted = true;
+        // No TokenReceived event here: a local handoff (grant to self) has no
+        // token flight, and the analysis reads its absence as grant_wait = 0.
+        self.probe.record(ProbeEvent::Granted {
+            obj: obj.0,
+            req: req.0,
+        });
         actions.push(CoreAction::Granted { obj, req });
     }
 
@@ -502,6 +586,10 @@ impl ArrowCore {
         let Some(state) = self.tokens.get_mut(&(obj, req)) else {
             return;
         };
+        self.probe.record(ProbeEvent::Released {
+            obj: obj.0,
+            req: req.0,
+        });
         if let Some((succ, origin)) = state.successor.take() {
             self.tokens.remove(&(obj, req));
             self.grant(obj, succ, origin, actions);
@@ -520,6 +608,12 @@ impl ArrowCore {
         origin: NodeId,
         actions: &mut Vec<CoreAction>,
     ) {
+        self.probe.record(ProbeEvent::QueuedBehind {
+            obj: obj.0,
+            req: succ.0,
+            pred: pred.0,
+            origin,
+        });
         actions.push(CoreAction::Queued {
             obj,
             pred,
@@ -552,6 +646,11 @@ impl ArrowCore {
         if origin == self.me {
             self.token_received(obj, req, actions);
         } else {
+            self.probe.record(ProbeEvent::TokenSent {
+                obj: obj.0,
+                req: req.0,
+                to: origin,
+            });
             actions.push(CoreAction::SendToken {
                 to: origin,
                 obj,

@@ -17,10 +17,10 @@ use super::core::{ArrowCore, CoreAction};
 use crate::fault::{FaultAction, FaultSchedule};
 use crate::order::{OrderError, OrderRecord, QueuingOrder};
 use crate::request::{ObjectId, Request, RequestId, RequestSchedule};
+use arrow_trace::{Metric, MetricsRegistry, MetricsSnapshot, NoProbe, Probe, ProbeEvent};
 use desim::{SimTime, SUBTICKS_PER_UNIT};
 use netgraph::{NodeId, RootedTree};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -64,28 +64,37 @@ enum LiveMsg {
     Shutdown,
 }
 
-/// Counters shared by all node threads.
+/// Counters shared by all node threads: a façade over the cross-tier
+/// [`MetricsRegistry`] schema (`arrow-trace`), so the thread tier reports under
+/// the same metric names as the simulator harness and the socket tier.
+///
+/// Queue messages land in [`Metric::QueueFrames`], token transfers in
+/// [`Metric::TokenFrames`], grants in [`Metric::Acquisitions`], blocked-link and
+/// crashed-node discards in [`Metric::FramesDropped`], and stale-epoch
+/// rejections (summed from the cores at shutdown) in
+/// [`Metric::StaleEpochDrops`].
 #[derive(Debug, Default)]
 pub struct RuntimeStats {
-    /// Arrow `queue()` messages sent between different nodes (all objects).
-    pub queue_messages: AtomicU64,
-    /// Token transfer messages sent between different nodes (all objects).
-    pub token_messages: AtomicU64,
-    /// Total acquisitions granted (all objects).
-    pub acquisitions: AtomicU64,
-    /// Messages dropped at a blocked link or discarded by a crashed node.
-    pub messages_dropped: AtomicU64,
-    /// Stale-epoch inputs rejected by the cores (summed at shutdown).
-    pub stale_drops: AtomicU64,
+    registry: MetricsRegistry,
 }
 
 impl RuntimeStats {
+    /// The shared metrics registry backing these statistics.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// A full snapshot over the shared cross-tier metric schema.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
     /// Snapshot of (queue messages, token messages, acquisitions).
     pub fn snapshot(&self) -> (u64, u64, u64) {
         (
-            self.queue_messages.load(Ordering::Relaxed),
-            self.token_messages.load(Ordering::Relaxed),
-            self.acquisitions.load(Ordering::Relaxed),
+            self.registry.get(Metric::QueueFrames),
+            self.registry.get(Metric::TokenFrames),
+            self.registry.get(Metric::Acquisitions),
         )
     }
 }
@@ -100,10 +109,11 @@ struct NodeJournal {
     records: Vec<OrderRecord>,
 }
 
-struct NodeState {
+struct NodeState<P: Probe> {
     me: NodeId,
-    /// The shared per-node protocol automaton.
-    core: ArrowCore,
+    /// The shared per-node protocol automaton (probed when the runtime was
+    /// spawned with [`ArrowRuntime::spawn_multi_probed`]).
+    core: ArrowCore<P>,
     /// True while a fault injection has this node down: all traffic is discarded
     /// and local acquires fail promptly until a [`LiveMsg::Restart`].
     crashed: bool,
@@ -122,7 +132,7 @@ struct NodeState {
     journal: NodeJournal,
 }
 
-impl NodeState {
+impl<P: Probe> NodeState<P> {
     fn now(&self) -> SimTime {
         let units = self.started.elapsed().as_secs_f64();
         SimTime::from_subticks((units * SUBTICKS_PER_UNIT as f64) as u64)
@@ -138,7 +148,7 @@ impl NodeState {
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .contains(&key)
             {
-                self.stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
+                self.stats.registry.inc(Metric::FramesDropped);
                 return;
             }
         }
@@ -160,7 +170,7 @@ impl NodeState {
                 } => {
                     // The core never queues or grants to itself (local cases surface
                     // as Queued/Granted), so every send is inter-node.
-                    self.stats.queue_messages.fetch_add(1, Ordering::Relaxed);
+                    self.stats.registry.inc(Metric::QueueFrames);
                     self.send(
                         to,
                         LiveMsg::Queue {
@@ -177,11 +187,11 @@ impl NodeState {
                     req,
                     epoch,
                 } => {
-                    self.stats.token_messages.fetch_add(1, Ordering::Relaxed);
+                    self.stats.registry.inc(Metric::TokenFrames);
                     self.send(to, LiveMsg::Token { obj, req, epoch });
                 }
                 CoreAction::Granted { obj, req } => {
-                    self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+                    self.stats.registry.inc(Metric::Acquisitions);
                     let delivered = self
                         .waiting
                         .remove(&(obj, req))
@@ -221,6 +231,11 @@ impl NodeState {
         // draining. (Recursion is bounded: each pass consumes its orphans.)
         if !orphaned.is_empty() {
             for (obj, req) in orphaned {
+                self.stats.registry.inc(Metric::OrphanReleases);
+                self.core.probe_mut().record(ProbeEvent::OrphanRelease {
+                    obj: obj.0,
+                    req: req.0,
+                });
                 self.core.on_release(obj, req, &mut self.actions);
             }
             self.apply_actions();
@@ -239,7 +254,7 @@ impl NodeState {
                 // hang until a timeout.
                 LiveMsg::Acquire { reply, .. } => drop(reply),
                 _ => {
-                    self.stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.stats.registry.inc(Metric::FramesDropped);
                 }
             }
             return;
@@ -258,6 +273,7 @@ impl NodeState {
             }
             LiveMsg::Acquire { obj, reply } => {
                 let time = self.now();
+                self.stats.registry.inc(Metric::RequestsIssued);
                 let req = self.core.acquire(obj, &mut self.actions);
                 // Register the waiter before applying actions: the grant may already
                 // be among them (local sink whose predecessor was released).
@@ -281,7 +297,13 @@ impl NodeState {
                 self.actions.clear();
             }
             LiveMsg::Restart => {}
-            LiveMsg::Epoch { epoch } => self.core.on_epoch(epoch, &mut self.actions),
+            LiveMsg::Epoch { epoch } => {
+                let before = self.core.epoch();
+                self.core.on_epoch(epoch, &mut self.actions);
+                if self.core.epoch() > before {
+                    self.stats.registry.inc(Metric::EpochsAdopted);
+                }
+            }
             LiveMsg::Shutdown => unreachable!("handled by the event loop"),
         }
     }
@@ -320,6 +342,26 @@ impl ArrowRuntime {
     /// # Panics
     /// If `objects` is zero.
     pub fn spawn_multi(tree: &RootedTree, objects: usize) -> Self {
+        ArrowRuntime::spawn_multi_probed(tree, objects, |_| NoProbe)
+    }
+
+    /// Like [`spawn_multi`], with a recording probe per node (typically
+    /// [`arrow_trace::TraceRecorder::wall_probe`]): every node's protocol
+    /// transitions — plus the runtime-level orphaned-grant self-releases — are
+    /// reported to `probe_for(v)`'s recorder. Probes are dropped (flushed) when
+    /// the node threads exit, so a [`shutdown_report`] precedes any complete
+    /// trace read.
+    ///
+    /// [`spawn_multi`]: ArrowRuntime::spawn_multi
+    /// [`shutdown_report`]: ArrowRuntime::shutdown_report
+    ///
+    /// # Panics
+    /// If `objects` is zero.
+    pub fn spawn_multi_probed<P: Probe>(
+        tree: &RootedTree,
+        objects: usize,
+        mut probe_for: impl FnMut(NodeId) -> P,
+    ) -> Self {
         assert!(objects > 0, "a directory serves at least one object");
         let n = tree.node_count();
         let stats = Arc::new(RuntimeStats::default());
@@ -336,7 +378,7 @@ impl ArrowRuntime {
         for (v, rx) in receivers.into_iter().enumerate() {
             let mut state = NodeState {
                 me: v,
-                core: ArrowCore::for_tree(v, tree, objects),
+                core: ArrowCore::for_tree_with_probe(v, tree, objects, probe_for(v)),
                 crashed: false,
                 actions: Vec::new(),
                 waiting: HashMap::new(),
@@ -375,8 +417,8 @@ impl ArrowRuntime {
                     }
                     state
                         .stats
-                        .stale_drops
-                        .fetch_add(state.core.stale_drops(), Ordering::Relaxed);
+                        .registry
+                        .add(Metric::StaleEpochDrops, state.core.stale_drops());
                     state.journal
                 })
                 .expect("failed to spawn node thread");
@@ -455,6 +497,7 @@ impl ArrowRuntime {
             schedule: RequestSchedule::from_requests(issued),
             records,
             stats: self.stats.snapshot(),
+            metrics: self.stats.metrics(),
         }
     }
 }
@@ -468,9 +511,16 @@ pub struct LiveReport {
     schedule: RequestSchedule,
     records: Vec<OrderRecord>,
     stats: (u64, u64, u64),
+    metrics: MetricsSnapshot,
 }
 
 impl LiveReport {
+    /// The full cross-tier metrics snapshot at shutdown (shared schema with the
+    /// simulator harness and the socket tier).
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
+    }
+
     /// The requests issued during the run, in non-decreasing issue-time order.
     pub fn schedule(&self) -> &RequestSchedule {
         &self.schedule
@@ -678,6 +728,7 @@ impl NodeHandle {
 mod tests {
     use super::*;
     use netgraph::generators;
+    use std::sync::atomic::Ordering;
 
     fn tree(n: usize) -> RootedTree {
         RootedTree::from_tree_graph(&generators::balanced_binary_tree(n), 0)

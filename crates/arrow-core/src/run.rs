@@ -461,6 +461,33 @@ pub fn run_schedule_traced(
     run_ref(instance, WorkloadRef::Open(schedule), &config)
 }
 
+/// Like [`run_schedule_checked`], but every arrow node carries a recording probe
+/// built by `probe_for` (typically [`arrow_trace::TraceRecorder::sim_probe`]), so
+/// the run leaves a causal event trace behind. The probes are dropped — and
+/// therefore flushed to their recorder — before this returns.
+///
+/// The simulator advances virtual time, so use sim-mode probes: each node emits
+/// a [`arrow_trace::ProbeEvent::Tick`] carrying the simulation clock before
+/// every dispatch.
+///
+/// # Panics
+/// If the config selects the centralized protocol (probes instrument the arrow
+/// automaton).
+pub fn run_schedule_probed<P: arrow_trace::Probe>(
+    instance: &Instance,
+    schedule: &RequestSchedule,
+    config: &RunConfig,
+    probe_for: impl FnMut(NodeId) -> P,
+) -> Result<QueuingOutcome, RunError> {
+    assert_eq!(
+        config.protocol,
+        ProtocolKind::Arrow,
+        "probed runs instrument the arrow protocol only"
+    );
+    run_arrow_with(instance, WorkloadRef::Open(schedule), config, probe_for)
+        .map(|(outcome, _)| outcome)
+}
+
 /// Delay, in time units, between a fault event and the detection signal that bumps
 /// every surviving node to the next recovery epoch. Correctness does not depend on
 /// the value (stale-epoch traffic is rejected on receipt); it only controls how long
@@ -724,6 +751,15 @@ fn run_arrow(
     workload: WorkloadRef<'_>,
     config: &RunConfig,
 ) -> Result<(QueuingOutcome, desim::Trace), RunError> {
+    run_arrow_with(instance, workload, config, |_| arrow_trace::NoProbe)
+}
+
+fn run_arrow_with<P: arrow_trace::Probe>(
+    instance: &Instance,
+    workload: WorkloadRef<'_>,
+    config: &RunConfig,
+    mut probe_for: impl FnMut(NodeId) -> P,
+) -> Result<(QueuingOutcome, desim::Trace), RunError> {
     let n = instance.node_count();
     let tree = &instance.tree;
     let root = tree.root();
@@ -751,7 +787,7 @@ fn run_arrow(
          {k} object states per node — use dense object ids starting at 0",
         k - 1
     );
-    let mut nodes: Vec<ArrowNode> = (0..n)
+    let mut nodes: Vec<ArrowNode<P>> = (0..n)
         .map(|v| {
             let link = if v == root {
                 v
@@ -759,11 +795,12 @@ fn run_arrow(
                 tree.parent(v).unwrap()
             };
             let links = vec![link; k];
-            ArrowNode::new_multi(
+            ArrowNode::new_multi_with_probe(
                 v,
                 &links,
                 config.ack_to_requester,
                 config.local_service_time,
+                probe_for(v),
             )
         })
         .collect();

@@ -45,12 +45,12 @@
 
 use crate::wire::{Frame, WireError};
 use arrow_core::prelude::{RunConfig, SyncMode};
+use arrow_trace::{HistMetric, Metric, MetricsRegistry, MetricsSnapshot};
 use desim::SimRng;
 use netgraph::NodeId;
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -89,7 +89,8 @@ pub struct NetConfig {
     /// dialing node marks itself failed, and the failure is broadcast so every
     /// pending acquire in the mesh errors out — correct when nodes are not
     /// *supposed* to disappear. With `true` the frame towards the unreachable
-    /// peer is dropped (counted in [`NetStats::frames_dropped`]) and the node
+    /// peer is dropped (counted by [`arrow_trace::Metric::FramesDropped`] in
+    /// the node's metrics registry) and the node
     /// stays up: under fault injection a dropped frame is recovered by the next
     /// epoch bump regenerating the token, so losing it must not condemn the run.
     pub fault_tolerant: bool,
@@ -159,49 +160,21 @@ impl NetConfig {
     }
 }
 
-/// Counters shared by all threads of one [`crate::NetRuntime`].
+/// Counters shared by all threads of one [`crate::NetRuntime`], backed by the
+/// cross-tier [`arrow_trace::MetricsRegistry`] schema — the same lock-free
+/// atomics the ad-hoc `AtomicU64` fields used, so the hot-path cost is still
+/// one relaxed `fetch_add` per count. Beyond the counters the registry also
+/// carries the socket tier's histograms: frames coalesced per `write`
+/// ([`HistMetric::WriteBatchFrames`]), timer-heap staging lateness
+/// ([`HistMetric::TimerDwellNanos`]) and acquire latency
+/// ([`HistMetric::AcquireNanos`]).
+///
+/// [`NetStats::snapshot`] renders the counters as the traditional
+/// [`NetStatsSnapshot`] plain-number view; [`NetStats::metrics`] exposes the
+/// full registry snapshot (histograms included) for cross-tier tooling.
 #[derive(Debug, Default)]
 pub struct NetStats {
-    /// Arrow `queue()` frames sent (all objects).
-    pub queue_frames: AtomicU64,
-    /// Token grant frames sent (all objects).
-    pub token_frames: AtomicU64,
-    /// Every frame written to a socket, handshakes and goodbyes included.
-    pub frames_sent: AtomicU64,
-    /// Total bytes written to sockets (wire encoding, length prefixes included).
-    pub bytes_sent: AtomicU64,
-    /// Total bytes read off sockets by the batched readers (handshake bytes read
-    /// through [`Frame::read_from`] during dials are not counted — they precede
-    /// the link's reader).
-    pub bytes_received: AtomicU64,
-    /// `write` syscalls issued by the node writers. Each write carries every frame
-    /// of one link that is due in the current flush, so
-    /// `frames_sent / socket_writes` is the mean coalescing batch size.
-    pub socket_writes: AtomicU64,
-    /// `read` syscalls that returned data to a batched reader (the final EOF or
-    /// error read is not counted).
-    pub socket_reads: AtomicU64,
-    /// Connections this runtime's nodes dialed (tree edges + lazy token channels).
-    pub connections_dialed: AtomicU64,
-    /// Connections this runtime's nodes accepted.
-    pub connections_accepted: AtomicU64,
-    /// Acquisitions granted (all objects).
-    pub acquisitions: AtomicU64,
-    /// Frames that arrived outside the protocol (stray handshakes, unsupported
-    /// [`arrow_core::prelude::ProtoMsg`] variants); should stay zero.
-    pub unexpected_frames: AtomicU64,
-    /// Dials that exhausted their retry budget ([`NetConfig::dial_retries`]) and
-    /// marked the dialing node failed; should stay zero on a healthy mesh.
-    pub dial_failures: AtomicU64,
-    /// Frames dropped by fault injection: sends across a severed link, sends by or
-    /// towards a crashed node, and (in [`NetConfig::fault_tolerant`] mode) frames
-    /// towards an unreachable peer. Zero on a fault-free run.
-    pub frames_dropped: AtomicU64,
-    /// Protocol messages rejected because they carried a recovery epoch older than
-    /// the receiving node's — the stale-token defence of the recovery layer
-    /// (summed from every node's [`arrow_core::live::ArrowCore::stale_drops`] at
-    /// shutdown).
-    pub stale_drops: AtomicU64,
+    registry: MetricsRegistry,
 }
 
 /// A plain-number snapshot of [`NetStats`].
@@ -211,11 +184,23 @@ pub struct NetStatsSnapshot {
     pub queue_frames: u64,
     /// Token grant frames sent.
     pub token_frames: u64,
-    /// Every frame written to a socket.
+    /// Every frame written to a socket: link batches and spare-connection
+    /// goodbyes alike. Handshake frames (`Hello`/`Welcome`) are excluded.
     pub frames_sent: u64,
-    /// Total bytes written to sockets.
+    /// Total bytes written to sockets (wire encoding, length prefixes
+    /// included). Counts exactly the bytes that `bytes_received` counts on the
+    /// receiving side: link-batch flushes and spare-connection goodbyes, but
+    /// not handshake frames (`Hello`/`Welcome` travel through
+    /// [`Frame::write_to`] before the link exists). On a quiescent fault-free
+    /// mesh `bytes_sent == bytes_received` exactly — see the
+    /// `quiescent_run_byte_accounting_is_symmetric` regression test.
     pub bytes_sent: u64,
-    /// Total bytes read off sockets by the batched readers.
+    /// Total bytes read off sockets by the batched readers. Handshake bytes
+    /// are excluded symmetrically with `bytes_sent`: both `Hello` and
+    /// `Welcome` are consumed through [`Frame::read_from`] before the link's
+    /// reader spawns. Faults break the symmetry in one direction only
+    /// (severed links and crashed nodes lose written bytes), so
+    /// `bytes_received <= bytes_sent` always holds once the mesh is quiescent.
     pub bytes_received: u64,
     /// `write` syscalls issued by the node writers (one per link per flush).
     pub socket_writes: u64,
@@ -251,23 +236,50 @@ impl NetStatsSnapshot {
 }
 
 impl NetStats {
+    /// The underlying cross-tier metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Full registry snapshot: the counters of [`NetStats::snapshot`] plus the
+    /// socket tier's histograms, in the schema shared with the thread tier's
+    /// [`arrow_core::live::LiveReport`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Bump counter `m` by one (relaxed).
+    pub(crate) fn inc(&self, m: Metric) {
+        self.registry.inc(m);
+    }
+
+    /// Bump counter `m` by `n` (relaxed).
+    pub(crate) fn add(&self, m: Metric, n: u64) {
+        self.registry.add(m, n);
+    }
+
+    /// Record `v` into histogram `h`.
+    pub(crate) fn observe(&self, h: HistMetric, v: u64) {
+        self.registry.observe(h, v);
+    }
+
     /// Read all counters at once (relaxed; exact once the runtime is quiescent).
     pub fn snapshot(&self) -> NetStatsSnapshot {
         NetStatsSnapshot {
-            queue_frames: self.queue_frames.load(Ordering::Relaxed),
-            token_frames: self.token_frames.load(Ordering::Relaxed),
-            frames_sent: self.frames_sent.load(Ordering::Relaxed),
-            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
-            bytes_received: self.bytes_received.load(Ordering::Relaxed),
-            socket_writes: self.socket_writes.load(Ordering::Relaxed),
-            socket_reads: self.socket_reads.load(Ordering::Relaxed),
-            connections_dialed: self.connections_dialed.load(Ordering::Relaxed),
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            acquisitions: self.acquisitions.load(Ordering::Relaxed),
-            unexpected_frames: self.unexpected_frames.load(Ordering::Relaxed),
-            dial_failures: self.dial_failures.load(Ordering::Relaxed),
-            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
-            stale_drops: self.stale_drops.load(Ordering::Relaxed),
+            queue_frames: self.registry.get(Metric::QueueFrames),
+            token_frames: self.registry.get(Metric::TokenFrames),
+            frames_sent: self.registry.get(Metric::FramesSent),
+            bytes_sent: self.registry.get(Metric::BytesSent),
+            bytes_received: self.registry.get(Metric::BytesReceived),
+            socket_writes: self.registry.get(Metric::SocketWrites),
+            socket_reads: self.registry.get(Metric::SocketReads),
+            connections_dialed: self.registry.get(Metric::ConnectionsDialed),
+            connections_accepted: self.registry.get(Metric::ConnectionsAccepted),
+            acquisitions: self.registry.get(Metric::Acquisitions),
+            unexpected_frames: self.registry.get(Metric::UnexpectedFrames),
+            dial_failures: self.registry.get(Metric::DialFailures),
+            frames_dropped: self.registry.get(Metric::FramesDropped),
+            stale_drops: self.registry.get(Metric::StaleEpochDrops),
         }
     }
 }
@@ -379,20 +391,31 @@ impl LinkBatch {
         }
         let result = self.stream.write_all(&self.buf);
         if result.is_ok() {
-            stats.socket_writes.fetch_add(1, Ordering::Relaxed);
-            stats.frames_sent.fetch_add(self.pending, Ordering::Relaxed);
-            stats
-                .bytes_sent
-                .fetch_add(self.buf.len() as u64, Ordering::Relaxed);
+            stats.inc(Metric::SocketWrites);
+            stats.add(Metric::FramesSent, self.pending);
+            stats.add(Metric::BytesSent, self.buf.len() as u64);
+            stats.observe(HistMetric::WriteBatchFrames, self.pending);
         }
         self.buf.clear();
         self.pending = 0;
         result
     }
 
-    /// Close both directions of the socket (the peer's reader observes EOF).
+    /// Close both directions of the socket abruptly (the peer's reader observes
+    /// EOF, and anything unread in our receive queue is discarded) — the crash
+    /// half-close. Graceful shutdown uses [`LinkBatch::close_write`].
     pub(crate) fn shutdown(&self) {
         let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Close only the write direction: the goodbye just flushed is followed by
+    /// `FIN`, the peer's reader drains it before observing end-of-stream, and
+    /// our own reader stays open to drain the peer's final bytes in turn. A
+    /// `Both` shutdown here would race the peer's goodbye and discard it
+    /// unread, breaking the sent/received byte symmetry
+    /// (see [`NetStatsSnapshot::bytes_sent`]).
+    pub(crate) fn close_write(&self) {
+        let _ = self.stream.shutdown(Shutdown::Write);
     }
 }
 
@@ -494,11 +517,20 @@ impl NodeWriter {
     }
 
     /// Move every frame due at or before `now` (or *every* frame, at shutdown)
-    /// from the heap into its link's encode buffer.
+    /// from the heap into its link's encode buffer. Each staged frame's
+    /// lateness — how long past its due instant it dwelt in the heap before
+    /// this pass picked it up — is recorded into
+    /// [`HistMetric::TimerDwellNanos`]; a shutdown drain stages not-yet-due
+    /// frames at lateness zero (saturated), which keeps the histogram a pure
+    /// measure of timer slop.
     fn stage_due(&mut self, now: Instant, drain_all: bool) {
         while self.heap.peek().is_some_and(|s| drain_all || s.due <= now) {
             let s = self.heap.pop().expect("peeked");
             if let Some(link) = self.links.get_mut(&s.peer) {
+                self.stats.observe(
+                    HistMetric::TimerDwellNanos,
+                    now.saturating_duration_since(s.due).as_nanos() as u64,
+                );
                 link.batch.stage(&s.frame);
             }
         }
@@ -531,18 +563,26 @@ impl NodeWriter {
         self.heap.peek().map(|s| s.due)
     }
 
-    /// Flush everything immediately, close every socket, and end the thread.
+    /// Flush everything immediately, half-close every socket (write side, so
+    /// the peers drain the goodbyes), and end the thread.
     fn close(mut self) {
         self.stage_due(Instant::now(), true);
         self.flush();
         for link in self.links.values() {
-            link.batch.shutdown();
+            link.batch.close_write();
         }
-        for mut spare in self.spares {
+        let goodbye_len = Frame::Goodbye.encode().len() as u64;
+        for mut spare in std::mem::take(&mut self.spares) {
             // The node never staged traffic on spares, but the peer may still be
-            // reading: a goodbye lets its reader finish cleanly.
-            let _ = Frame::Goodbye.write_to(&mut spare);
-            let _ = spare.shutdown(Shutdown::Both);
+            // reading: a goodbye lets its reader finish cleanly. Count it like a
+            // link write — the peer's reader counts the bytes, and the
+            // sent/received symmetry contract holds only if we do too.
+            if Frame::Goodbye.write_to(&mut spare).is_ok() {
+                self.stats.inc(Metric::SocketWrites);
+                self.stats.inc(Metric::FramesSent);
+                self.stats.add(Metric::BytesSent, goodbye_len);
+            }
+            let _ = spare.shutdown(Shutdown::Write);
         }
     }
 }
@@ -673,8 +713,8 @@ where
                     Ok(0) | Err(_) => return, // EOF or connection error
                     Ok(n) => {
                         end += n;
-                        stats.socket_reads.fetch_add(1, Ordering::Relaxed);
-                        stats.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
+                        stats.inc(Metric::SocketReads);
+                        stats.add(Metric::BytesReceived, n as u64);
                     }
                 }
             }

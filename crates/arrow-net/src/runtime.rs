@@ -37,6 +37,7 @@ use arrow_core::prelude::{
     validate_churn_records, ChurnOrderError, FaultAction, FaultSchedule, ObjectId, OrderRecord,
     ProtoMsg, QueuingOrder, Request, RequestId, RequestSchedule,
 };
+use arrow_trace::{HistMetric, Metric, MetricsSnapshot, NoProbe, Probe, ProbeEvent};
 use desim::{SimTime, SUBTICKS_PER_UNIT};
 use netgraph::{NodeId, RootedTree};
 use std::collections::{HashMap, HashSet};
@@ -162,9 +163,14 @@ enum Outbound {
 }
 
 /// The state of one socket-tier node, driven by its event loop thread.
-struct NetNode {
+///
+/// Generic over the probe instrumented into its [`ArrowCore`] — [`NoProbe`]
+/// (the default spawn path) compiles every probe hook away, a
+/// [`arrow_trace::TraceProbe`] (via [`NetRuntime::spawn_multi_probed`])
+/// records the node's protocol transitions for causal trace reconstruction.
+struct NetNode<P: Probe> {
     me: NodeId,
-    core: ArrowCore,
+    core: ArrowCore<P>,
     actions: Vec<CoreAction>,
     /// Outstanding local acquires: (object, request id) -> (reply channel, issue
     /// instant for the grant's `wait` measurement).
@@ -202,7 +208,7 @@ struct NetNode {
     journal: NodeJournal,
 }
 
-impl NetNode {
+impl<P: Probe> NetNode<P> {
     fn now(&self) -> SimTime {
         let units = self.epoch.elapsed().as_secs_f64();
         SimTime::from_subticks((units * SUBTICKS_PER_UNIT as f64) as u64)
@@ -250,9 +256,7 @@ impl NetNode {
         let (stream, confirmed) =
             mesh::dial_with_budget(self.addrs[peer], self.me, self.cfg.dial_retries)?;
         debug_assert_eq!(confirmed, peer, "address table out of sync");
-        self.stats
-            .connections_dialed
-            .fetch_add(1, Ordering::Relaxed);
+        self.stats.inc(Metric::ConnectionsDialed);
         let weight = self.tree.distance(self.me, peer);
         let reader_stream = stream.try_clone()?;
         // Register the write half before spawning the reader: any reply the peer
@@ -284,7 +288,7 @@ impl NetNode {
             node: self.me,
             description: format!("failed to dial peer {peer}: {error}"),
         };
-        self.stats.dial_failures.fetch_add(1, Ordering::Relaxed);
+        self.stats.inc(Metric::DialFailures);
         self.journal.failures.push(failure.clone());
         self.enter_failed_state(failure.clone());
         for (v, tx) in self.peers_tx.iter().enumerate() {
@@ -332,7 +336,7 @@ impl NetNode {
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .contains(&(self.me.min(to), self.me.max(to))))
         {
-            self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            self.stats.inc(Metric::FramesDropped);
             return;
         }
         if let Err(e) = self.ensure_link(to) {
@@ -340,7 +344,7 @@ impl NetNode {
                 // Churn mode: the peer is likely down or partitioned. The frame
                 // is lost; the next detection-driven epoch bump regenerates any
                 // token that died with it, so the run survives.
-                self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                self.stats.inc(Metric::FramesDropped);
             } else {
                 self.fail(to, &e);
             }
@@ -398,7 +402,7 @@ impl NetNode {
                     origin,
                     epoch,
                 } => {
-                    self.stats.queue_frames.fetch_add(1, Ordering::Relaxed);
+                    self.stats.inc(Metric::QueueFrames);
                     self.send_frame(
                         to,
                         Frame::Proto(ProtoMsg::Queue {
@@ -415,21 +419,24 @@ impl NetNode {
                     req,
                     epoch,
                 } => {
-                    self.stats.token_frames.fetch_add(1, Ordering::Relaxed);
+                    self.stats.inc(Metric::TokenFrames);
                     self.send_frame(to, Frame::Token { obj, req, epoch });
                 }
                 CoreAction::Granted { obj, req } => {
-                    self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+                    self.stats.inc(Metric::Acquisitions);
                     let delivered =
                         self.waiting
                             .remove(&(obj, req))
                             .is_some_and(|(reply, issued)| {
+                                let wait = issued.elapsed();
+                                self.stats
+                                    .observe(HistMetric::AcquireNanos, wait.as_nanos() as u64);
                                 reply
                                     .send(Grant {
                                         node: self.me,
                                         obj,
                                         result: Ok(req),
-                                        wait: issued.elapsed(),
+                                        wait,
                                     })
                                     .is_ok()
                             });
@@ -464,6 +471,11 @@ impl NetNode {
         // draining. (Recursion is bounded: each pass consumes its orphans.)
         if !orphaned.is_empty() {
             for (obj, req) in orphaned {
+                self.stats.inc(Metric::OrphanReleases);
+                self.core.probe_mut().record(ProbeEvent::OrphanRelease {
+                    obj: obj.0,
+                    req: req.0,
+                });
                 self.core.on_release(obj, req, &mut self.actions);
             }
             self.apply_actions();
@@ -507,7 +519,7 @@ impl NetNode {
                 NetEvent::Frame { .. } => {
                     // Inbound protocol traffic is swallowed whole — exactly the
                     // silencing the simulator applies to a crashed node.
-                    self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.stats.inc(Metric::FramesDropped);
                 }
                 // Releases, link-down notices, failure broadcasts and epoch bumps
                 // all die with the node: a crashed node must not learn anything.
@@ -526,7 +538,7 @@ impl NetNode {
                     if origin >= self.addrs.len() {
                         // A corrupt origin decoded off the wire must not become an
                         // out-of-bounds dial target when the token is granted.
-                        self.stats.unexpected_frames.fetch_add(1, Ordering::Relaxed);
+                        self.stats.inc(Metric::UnexpectedFrames);
                         return;
                     }
                     self.core
@@ -535,11 +547,9 @@ impl NetNode {
                 Frame::Token { obj, req, epoch } => {
                     self.core.on_token(obj, req, epoch, &mut self.actions)
                 }
-                Frame::Proto(ProtoMsg::Epoch { epoch }) => {
-                    self.core.on_epoch(epoch, &mut self.actions)
-                }
+                Frame::Proto(ProtoMsg::Epoch { epoch }) => self.adopt_epoch(epoch),
                 _ => {
-                    self.stats.unexpected_frames.fetch_add(1, Ordering::Relaxed);
+                    self.stats.inc(Metric::UnexpectedFrames);
                 }
             },
             NetEvent::LinkUp {
@@ -562,6 +572,7 @@ impl NetNode {
                     return;
                 }
                 let time = self.now();
+                self.stats.inc(Metric::RequestsIssued);
                 let req = self.core.acquire(obj, &mut self.actions);
                 // Register the waiter before applying actions: the grant may already
                 // be among them (local sink whose predecessor was released).
@@ -608,8 +619,20 @@ impl NetNode {
                 self.crashed = true;
             }
             NetEvent::Restart => {} // not crashed: a stray restart is a no-op
-            NetEvent::Epoch { epoch } => self.core.on_epoch(epoch, &mut self.actions),
+            NetEvent::Epoch { epoch } => self.adopt_epoch(epoch),
             NetEvent::Shutdown => unreachable!("handled by the event loop"),
+        }
+    }
+
+    /// Feed an epoch announcement (on-wire frame or control-plane broadcast) to
+    /// the core, counting actual adoptions — the core ignores epochs it has
+    /// already reached, so comparing before/after distinguishes an adoption
+    /// from a redundant re-broadcast.
+    fn adopt_epoch(&mut self, epoch: u64) {
+        let before = self.core.epoch();
+        self.core.on_epoch(epoch, &mut self.actions);
+        if self.core.epoch() > before {
+            self.stats.inc(Metric::EpochsAdopted);
         }
     }
 
@@ -650,13 +673,25 @@ impl NetNode {
                 for link in links.values_mut() {
                     link.stage(&Frame::Goodbye);
                     let _ = link.flush(&self.stats);
-                    link.shutdown();
+                    // Write-side half-close only: a full shutdown would race
+                    // the peer's own goodbye and discard it unread, breaking
+                    // the sent/received byte symmetry.
+                    link.close_write();
                 }
                 links.clear();
+                let goodbye_len = Frame::Goodbye.encode().len() as u64;
                 for spare in spares.drain(..) {
                     let mut spare = spare;
-                    let _ = Frame::Goodbye.write_to(&mut spare);
-                    let _ = spare.shutdown(std::net::Shutdown::Both);
+                    // Counted like a link write: the peer's reader counts these
+                    // bytes, and the sent/received symmetry contract
+                    // (see [`NetStatsSnapshot::bytes_sent`]) holds only if the
+                    // sender does too.
+                    if Frame::Goodbye.write_to(&mut spare).is_ok() {
+                        self.stats.inc(Metric::SocketWrites);
+                        self.stats.inc(Metric::FramesSent);
+                        self.stats.add(Metric::BytesSent, goodbye_len);
+                    }
+                    let _ = spare.shutdown(std::net::Shutdown::Write);
                 }
             }
             Outbound::Timed { links, writer } => {
@@ -741,6 +776,32 @@ impl NetRuntime {
         cfg: NetConfig,
         addr_overrides: &[(NodeId, SocketAddr)],
     ) -> Self {
+        NetRuntime::spawn_inner(tree, objects, cfg, addr_overrides, |_| NoProbe)
+    }
+
+    /// Like [`NetRuntime::spawn_multi`], with a per-node probe instrumented into
+    /// every node's [`ArrowCore`] — `probe_for(v)` builds node `v`'s probe
+    /// (typically [`arrow_trace::TraceRecorder::wall_probe`]). Probes ride the
+    /// node event-loop threads and are dropped — flushing any buffered trace
+    /// events — before [`NetRuntime::shutdown`] returns, so a recorder can be
+    /// finished immediately afterwards. The default spawn path monomorphizes
+    /// with [`NoProbe`] and pays nothing.
+    pub fn spawn_multi_probed<P: Probe>(
+        tree: &RootedTree,
+        objects: usize,
+        cfg: NetConfig,
+        probe_for: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        NetRuntime::spawn_inner(tree, objects, cfg, &[], probe_for)
+    }
+
+    fn spawn_inner<P: Probe>(
+        tree: &RootedTree,
+        objects: usize,
+        cfg: NetConfig,
+        addr_overrides: &[(NodeId, SocketAddr)],
+        mut probe_for: impl FnMut(NodeId) -> P,
+    ) -> Self {
         assert!(objects > 0, "a directory serves at least one object");
         let n = tree.node_count();
         let tree = Arc::new(tree.clone());
@@ -824,10 +885,10 @@ impl NetRuntime {
                         // A dialer claiming an out-of-range id is not part of this
                         // mesh; admitting it would index tree/address tables out of
                         // bounds.
-                        stats.unexpected_frames.fetch_add(1, Ordering::Relaxed);
+                        stats.inc(Metric::UnexpectedFrames);
                         continue;
                     }
-                    stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                    stats.inc(Metric::ConnectionsAccepted);
                     let reader_stream = match stream.try_clone() {
                         Ok(s) => s,
                         Err(_) => continue,
@@ -871,7 +932,7 @@ impl NetRuntime {
         for (me, rx) in events_rxs.into_iter().enumerate() {
             let mut node = NetNode {
                 me,
-                core: ArrowCore::for_tree(me, &tree, objects),
+                core: ArrowCore::for_tree_with_probe(me, &tree, objects, probe_for(me)),
                 actions: Vec::new(),
                 waiting: HashMap::new(),
                 failed: None,
@@ -938,8 +999,7 @@ impl NetRuntime {
                         node.flush_links();
                     }
                     node.stats
-                        .stale_drops
-                        .fetch_add(node.core.stale_drops(), Ordering::Relaxed);
+                        .add(Metric::StaleEpochDrops, node.core.stale_drops());
                     node.disconnect();
                     node.journal
                 })
@@ -1055,6 +1115,7 @@ impl NetRuntime {
             records,
             failures,
             stats: self.stats.snapshot(),
+            metrics: self.stats.metrics(),
         }
     }
 }
@@ -1348,6 +1409,7 @@ pub struct NetReport {
     records: Vec<OrderRecord>,
     failures: Vec<NetFailure>,
     stats: NetStatsSnapshot,
+    metrics: MetricsSnapshot,
 }
 
 impl NetReport {
@@ -1371,6 +1433,14 @@ impl NetReport {
     /// Runtime statistics at shutdown.
     pub fn stats(&self) -> NetStatsSnapshot {
         self.stats
+    }
+
+    /// The full metrics-registry snapshot at shutdown: the counters of
+    /// [`NetReport::stats`] plus the socket tier's histograms (write coalescing,
+    /// timer-heap lateness, acquire latency), in the schema shared with the
+    /// thread tier's [`arrow_core::live::LiveReport::metrics`].
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
     }
 
     /// Assemble and validate the queuing order of every object that saw at least
@@ -1612,6 +1682,78 @@ mod tests {
         // 2 retries × 5ms-linear backoff stays well under a second.
         assert!(start.elapsed() < std::time::Duration::from_secs(2));
         let _ = err;
+    }
+
+    #[test]
+    fn quiescent_run_byte_accounting_is_symmetric() {
+        // The symmetry contract on NetStatsSnapshot::bytes_sent: handshakes are
+        // excluded on both sides (they precede the link readers), everything
+        // else — link batches and spare goodbyes — is counted on both, and with
+        // no injected latency and no faults nothing is dropped. So once the
+        // mesh is quiescent the two byte totals must match exactly.
+        let rt = NetRuntime::spawn(&tree(7), NetConfig::instant());
+        for v in 0..7 {
+            let h = rt.handle(v);
+            let req = h.acquire();
+            h.release(req);
+        }
+        let report = rt.shutdown();
+        let s = report.stats();
+        assert!(s.bytes_sent > 0, "seven acquires crossed the mesh");
+        assert_eq!(
+            s.bytes_sent, s.bytes_received,
+            "every written byte is read before its reader exits"
+        );
+    }
+
+    #[test]
+    fn report_metrics_mirror_the_snapshot_and_carry_histograms() {
+        let rt = NetRuntime::spawn(&tree(7), NetConfig::instant());
+        let h = rt.handle(6);
+        let req = h.acquire();
+        h.release(req);
+        let report = rt.shutdown();
+        let s = report.stats();
+        let m = report.metrics();
+        // One schema: the snapshot façade and the registry agree exactly.
+        assert_eq!(m.get(Metric::QueueFrames), s.queue_frames);
+        assert_eq!(m.get(Metric::Acquisitions), s.acquisitions);
+        assert_eq!(m.get(Metric::BytesSent), s.bytes_sent);
+        assert_eq!(m.get(Metric::RequestsIssued), 1);
+        // The histograms only the registry carries: every flush records its
+        // batch size, every delivered grant its latency.
+        assert_eq!(m.hist(HistMetric::WriteBatchFrames).count, s.socket_writes);
+        assert_eq!(m.hist(HistMetric::AcquireNanos).count, 1);
+    }
+
+    #[test]
+    fn probed_run_records_a_complete_hop_chain() {
+        // A leaf acquire over real sockets, with every node instrumented by a
+        // wall-clock trace probe: the recorder must reconstruct the request's
+        // full causal path — issue, per-hop queue frames, token flight, grant.
+        let recorder = Arc::new(arrow_trace::TraceRecorder::new());
+        let rt = NetRuntime::spawn_multi_probed(&tree(7), 1, NetConfig::instant(), |v| {
+            recorder.wall_probe(v)
+        });
+        let h = rt.handle(6);
+        let req = h.acquire();
+        h.release(req);
+        rt.shutdown();
+        let events = Arc::try_unwrap(recorder)
+            .expect("all probes flushed and dropped at shutdown")
+            .finish();
+        let traces = arrow_trace::analysis::reconstruct(&events);
+        let t = traces
+            .iter()
+            .find(|t| t.req == req.0 && t.origin == 6)
+            .expect("the acquire was traced");
+        assert!(t.complete(), "issue, hops, grant all recorded: {t:?}");
+        // Leaf 6 of a 7-node balanced binary tree is two tree edges from the
+        // root, where the token initially rests: 6 -> 2 -> 0.
+        assert_eq!(t.hops.len(), 2);
+        assert_eq!(t.hops[0].from, 6);
+        assert_eq!(t.hops[1].to, 0);
+        assert!(t.granted_at.is_some());
     }
 
     #[test]

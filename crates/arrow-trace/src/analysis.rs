@@ -1,0 +1,551 @@
+//! Causal reconstruction: from a flat probe-event log to per-request traces.
+//!
+//! Keyed by `(object, request-id)`, [`reconstruct`] rebuilds each request's
+//! life: issue at its origin, the chain of `queue()` hops across tree edges,
+//! the queuing completion at its predecessor's origin (the arrow invariant:
+//! a request's `queue()` path always terminates at the node that issued its
+//! predecessor — links along the predecessor's path all point back there), the
+//! token transfer, and the grant. From that, the per-phase latency breakdown
+//! ([`RequestTrace::phases`]):
+//!
+//! * **transit** — issue → queuing complete: the find phase, whose cost is the
+//!   paper's `c_A` (the tree distance to the predecessor's origin);
+//! * **queue-wait** — queuing complete → token sent: how long the token stayed
+//!   with the predecessor (holder think time + upstream queue);
+//! * **grant-wait** — token sent → grant delivered: token transit plus local
+//!   delivery.
+//!
+//! [`report`] then scores each request against the instance geometry: observed
+//! path cost (sum of traversed tree-edge weights) versus the direct graph
+//! distance to the predecessor's origin — the *per-request* stretch whose
+//! distribution Theorem 3.19 bounds in aggregate.
+
+use crate::probe::ProbeEvent;
+use crate::recorder::TraceEventRecord;
+use std::collections::BTreeMap;
+
+/// One traversed `queue()` hop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hop {
+    /// Sending node.
+    pub from: usize,
+    /// Receiving tree neighbour.
+    pub to: usize,
+    /// When the frame left `from` (recorder time base).
+    pub sent: f64,
+    /// When it arrived at `to` (`None` if the receive event is missing).
+    pub received: Option<f64>,
+}
+
+/// Where and behind whom a request finished queuing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedAt {
+    /// Completion time.
+    pub t: f64,
+    /// Node where the path terminated (the predecessor's origin).
+    pub node: usize,
+    /// The predecessor request (0 = the virtual root request).
+    pub pred: u64,
+}
+
+/// The per-phase latency breakdown of one completed acquisition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phases {
+    /// Issue → queuing complete.
+    pub transit: f64,
+    /// Queuing complete → token sent (or granted, for local handoffs).
+    pub queue_wait: f64,
+    /// Token sent → grant delivered (0 for local handoffs).
+    pub grant_wait: f64,
+    /// Issue → grant delivered.
+    pub total: f64,
+}
+
+/// Everything the trace knows about one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// Object requested.
+    pub obj: u32,
+    /// Request id.
+    pub req: u64,
+    /// Origin node (from the issue event, or the first hop's sender).
+    pub origin: usize,
+    /// Issue time, if the issue event was captured.
+    pub issued_at: Option<f64>,
+    /// The causal chain of `queue()` hops, origin outwards.
+    pub hops: Vec<Hop>,
+    /// Queuing completion (path termination at the predecessor's origin).
+    pub queued: Option<QueuedAt>,
+    /// Token departure towards this request's origin: `(time, from node)`.
+    /// `None` for local handoffs (predecessor shares the origin).
+    pub token_sent: Option<(f64, usize)>,
+    /// Token arrival at the origin.
+    pub token_received: Option<f64>,
+    /// Grant delivery to the local application.
+    pub granted_at: Option<f64>,
+    /// Release by the local application.
+    pub released_at: Option<f64>,
+}
+
+impl RequestTrace {
+    /// True when the trace is causally complete: issued, every hop's receive
+    /// captured, the chain links origin → … → the queuing node without gaps,
+    /// and the grant was delivered.
+    pub fn complete(&self) -> bool {
+        let Some(q) = &self.queued else { return false };
+        if self.issued_at.is_none() || self.granted_at.is_none() {
+            return false;
+        }
+        let mut at = self.origin;
+        for hop in &self.hops {
+            if hop.from != at || hop.received.is_none() {
+                return false;
+            }
+            at = hop.to;
+        }
+        at == q.node
+    }
+
+    /// Sum of traversed tree-edge weights — the observed find cost, equal to
+    /// the paper's `c_A` contribution `d_T(origin, predecessor origin)` when
+    /// the chain is complete (queue frames travel tree edges only).
+    pub fn path_cost(&self, edge_weight: &dyn Fn(usize, usize) -> f64) -> f64 {
+        self.hops.iter().map(|h| edge_weight(h.from, h.to)).sum()
+    }
+
+    /// The per-phase breakdown; `None` until issue, queuing and grant have all
+    /// been observed.
+    pub fn phases(&self) -> Option<Phases> {
+        let issued = self.issued_at?;
+        let queued = self.queued.as_ref()?.t;
+        let granted = self.granted_at?;
+        let (queue_end, grant_wait) = match self.token_sent {
+            Some((sent, _)) => (sent, granted - sent),
+            // Local handoff: the token never crossed a link, the whole wait
+            // was spent queued behind the predecessor.
+            None => (granted, 0.0),
+        };
+        Some(Phases {
+            transit: queued - issued,
+            queue_wait: queue_end - queued,
+            grant_wait,
+            total: granted - issued,
+        })
+    }
+}
+
+/// Rebuild per-request traces from a flat (time-sorted or not) event log.
+/// Requests appear in ascending `(obj, req)` order.
+pub fn reconstruct(events: &[TraceEventRecord]) -> Vec<RequestTrace> {
+    // Bucket the raw events per (obj, req); BTreeMap gives a stable output order.
+    #[derive(Default)]
+    struct Raw {
+        issued: Option<(f64, usize)>,
+        sends: Vec<(f64, usize, usize)>, // (t, from, to)
+        recvs: Vec<(f64, usize, usize)>, // (t, at, from)
+        queued: Option<QueuedAt>,
+        token_sent: Option<(f64, usize)>,
+        token_received: Option<f64>,
+        granted: Option<f64>,
+        released: Option<f64>,
+    }
+    let mut raw: BTreeMap<(u32, u64), Raw> = BTreeMap::new();
+    for r in events {
+        match r.ev {
+            ProbeEvent::RequestIssued { obj, req, .. } => {
+                let e = raw.entry((obj, req)).or_default();
+                e.issued.get_or_insert((r.t, r.node));
+            }
+            ProbeEvent::QueueSent { obj, req, to, .. } => {
+                raw.entry((obj, req))
+                    .or_default()
+                    .sends
+                    .push((r.t, r.node, to));
+            }
+            ProbeEvent::QueueReceived { obj, req, from, .. } => {
+                raw.entry((obj, req))
+                    .or_default()
+                    .recvs
+                    .push((r.t, r.node, from));
+            }
+            ProbeEvent::QueuedBehind { obj, req, pred, .. } => {
+                let e = raw.entry((obj, req)).or_default();
+                e.queued.get_or_insert(QueuedAt {
+                    t: r.t,
+                    node: r.node,
+                    pred,
+                });
+            }
+            ProbeEvent::TokenSent { obj, req, to: _ } => {
+                let e = raw.entry((obj, req)).or_default();
+                e.token_sent.get_or_insert((r.t, r.node));
+            }
+            ProbeEvent::TokenReceived { obj, req } => {
+                let e = raw.entry((obj, req)).or_default();
+                e.token_received.get_or_insert(r.t);
+            }
+            ProbeEvent::Granted { obj, req } => {
+                let e = raw.entry((obj, req)).or_default();
+                e.granted.get_or_insert(r.t);
+            }
+            ProbeEvent::Released { obj, req } => {
+                let e = raw.entry((obj, req)).or_default();
+                e.released.get_or_insert(r.t);
+            }
+            ProbeEvent::Tick { .. }
+            | ProbeEvent::EpochAdopted { .. }
+            | ProbeEvent::OrphanRelease { .. }
+            | ProbeEvent::StaleDrop { .. } => {}
+        }
+    }
+
+    raw.into_iter()
+        .map(|((obj, req), mut e)| {
+            // Causal chain walk: wall clocks on different threads may disagree
+            // by scheduling jitter, so hops are chained by topology (each hop
+            // starts where the previous one landed), not by timestamp order.
+            e.sends.sort_by(|a, b| a.0.total_cmp(&b.0));
+            e.recvs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let origin = e
+                .issued
+                .map(|(_, n)| n)
+                .or(e.sends.first().map(|&(_, from, _)| from))
+                .or(e.queued.map(|q| q.node))
+                .unwrap_or(0);
+            let mut hops = Vec::with_capacity(e.sends.len());
+            let mut used = vec![false; e.sends.len()];
+            let mut used_recv = vec![false; e.recvs.len()];
+            let mut at = origin;
+            while let Some(i) = (0..e.sends.len()).find(|&i| !used[i] && e.sends[i].1 == at) {
+                used[i] = true;
+                let (sent, from, to) = e.sends[i];
+                let received = (0..e.recvs.len())
+                    .find(|&j| !used_recv[j] && e.recvs[j].1 == to && e.recvs[j].2 == from)
+                    .map(|j| {
+                        used_recv[j] = true;
+                        e.recvs[j].0
+                    });
+                hops.push(Hop {
+                    from,
+                    to,
+                    sent,
+                    received,
+                });
+                at = to;
+            }
+            RequestTrace {
+                obj,
+                req,
+                origin,
+                issued_at: e.issued.map(|(t, _)| t),
+                hops,
+                queued: e.queued,
+                token_sent: e.token_sent,
+                token_received: e.token_received,
+                granted_at: e.granted,
+                released_at: e.released,
+            }
+        })
+        .collect()
+}
+
+/// One request's observed stretch against the instance geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchRow {
+    /// Object requested.
+    pub obj: u32,
+    /// Request id.
+    pub req: u64,
+    /// The request's origin node.
+    pub origin: usize,
+    /// Its predecessor's origin (where the `queue()` path terminated).
+    pub pred_origin: usize,
+    /// Observed find cost: traversed tree-edge weights (= `d_T` of the pair).
+    pub path_cost: f64,
+    /// Direct graph distance between the pair — the cost an optimal directory
+    /// would pay for this adjacency.
+    pub direct_cost: f64,
+    /// `path_cost / direct_cost` (1.0 for co-located pairs).
+    pub stretch: f64,
+}
+
+/// A run-level view: every reconstructed trace plus the per-request stretch
+/// distribution.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Every reconstructed request.
+    pub traces: Vec<RequestTrace>,
+    /// Per-request stretch rows (requests with a complete chain only).
+    pub stretches: Vec<StretchRow>,
+    /// Requests whose causal chain is complete ([`RequestTrace::complete`]).
+    pub complete: usize,
+    /// Maximum observed per-request stretch (0.0 when no rows).
+    pub max_stretch: f64,
+    /// Mean observed per-request stretch (0.0 when no rows).
+    pub mean_stretch: f64,
+}
+
+/// Score reconstructed traces against the instance geometry. `edge_weight`
+/// maps a traversed tree edge to its weight; `direct_dist` is the graph
+/// distance `d_G` between two nodes.
+pub fn report(
+    traces: Vec<RequestTrace>,
+    edge_weight: &dyn Fn(usize, usize) -> f64,
+    direct_dist: &dyn Fn(usize, usize) -> f64,
+) -> TraceReport {
+    let mut stretches = Vec::new();
+    let mut complete = 0;
+    for t in &traces {
+        if !t.complete() {
+            continue;
+        }
+        complete += 1;
+        let q = t.queued.as_ref().expect("complete implies queued");
+        let path_cost = t.path_cost(edge_weight);
+        let direct_cost = direct_dist(t.origin, q.node);
+        let stretch = if direct_cost > 0.0 {
+            path_cost / direct_cost
+        } else {
+            1.0
+        };
+        stretches.push(StretchRow {
+            obj: t.obj,
+            req: t.req,
+            origin: t.origin,
+            pred_origin: q.node,
+            path_cost,
+            direct_cost,
+            stretch,
+        });
+    }
+    let max_stretch = stretches.iter().map(|s| s.stretch).fold(0.0, f64::max);
+    let mean_stretch = if stretches.is_empty() {
+        0.0
+    } else {
+        stretches.iter().map(|s| s.stretch).sum::<f64>() / stretches.len() as f64
+    };
+    TraceReport {
+        traces,
+        stretches,
+        complete,
+        max_stretch,
+        mean_stretch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: usize, t: f64, ev: ProbeEvent) -> TraceEventRecord {
+        TraceEventRecord { node, t, ev }
+    }
+
+    /// A two-hop acquisition: node 4 issues r5, path 4 → 2 → 1, queued behind
+    /// r3 at node 1, token flies 1 → 4, granted.
+    fn two_hop_events() -> Vec<TraceEventRecord> {
+        vec![
+            ev(
+                4,
+                0.0,
+                ProbeEvent::RequestIssued {
+                    obj: 0,
+                    req: 5,
+                    origin: 4,
+                },
+            ),
+            ev(
+                4,
+                0.0,
+                ProbeEvent::QueueSent {
+                    obj: 0,
+                    req: 5,
+                    origin: 4,
+                    to: 2,
+                },
+            ),
+            ev(
+                2,
+                1.0,
+                ProbeEvent::QueueReceived {
+                    obj: 0,
+                    req: 5,
+                    origin: 4,
+                    from: 4,
+                },
+            ),
+            ev(
+                2,
+                1.0,
+                ProbeEvent::QueueSent {
+                    obj: 0,
+                    req: 5,
+                    origin: 4,
+                    to: 1,
+                },
+            ),
+            ev(
+                1,
+                2.0,
+                ProbeEvent::QueueReceived {
+                    obj: 0,
+                    req: 5,
+                    origin: 4,
+                    from: 2,
+                },
+            ),
+            ev(
+                1,
+                2.0,
+                ProbeEvent::QueuedBehind {
+                    obj: 0,
+                    req: 5,
+                    pred: 3,
+                    origin: 4,
+                },
+            ),
+            ev(
+                1,
+                5.0,
+                ProbeEvent::TokenSent {
+                    obj: 0,
+                    req: 5,
+                    to: 4,
+                },
+            ),
+            ev(4, 6.5, ProbeEvent::TokenReceived { obj: 0, req: 5 }),
+            ev(4, 6.5, ProbeEvent::Granted { obj: 0, req: 5 }),
+            ev(4, 7.0, ProbeEvent::Released { obj: 0, req: 5 }),
+        ]
+    }
+
+    #[test]
+    fn reconstructs_the_full_chain() {
+        let traces = reconstruct(&two_hop_events());
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.origin, 4);
+        assert_eq!(
+            t.hops.iter().map(|h| (h.from, h.to)).collect::<Vec<_>>(),
+            vec![(4, 2), (2, 1)]
+        );
+        assert_eq!(t.queued.unwrap().pred, 3);
+        assert_eq!(t.queued.unwrap().node, 1);
+        assert!(t.complete());
+        let p = t.phases().unwrap();
+        assert_eq!(p.transit, 2.0);
+        assert_eq!(p.queue_wait, 3.0);
+        assert_eq!(p.grant_wait, 1.5);
+        assert_eq!(p.total, 6.5);
+    }
+
+    #[test]
+    fn chain_walk_survives_clock_skew() {
+        // The second hop's receive is stamped *earlier* than the first hop's
+        // (cross-thread clock jitter); topology ordering must still chain them.
+        let mut events = two_hop_events();
+        events[4].t = 0.5; // recv at node 1 "before" recv at node 2
+        let traces = reconstruct(&events);
+        assert_eq!(
+            traces[0]
+                .hops
+                .iter()
+                .map(|h| (h.from, h.to))
+                .collect::<Vec<_>>(),
+            vec![(4, 2), (2, 1)]
+        );
+        assert!(traces[0].complete());
+    }
+
+    #[test]
+    fn incomplete_chain_is_flagged() {
+        let mut events = two_hop_events();
+        events.remove(4); // drop the second hop's receive
+        let traces = reconstruct(&events);
+        assert!(!traces[0].complete());
+        // Phases still report (queuing + grant observed) even if a hop recv is
+        // missing; completeness is a separate, stricter predicate.
+        assert!(traces[0].phases().is_some());
+    }
+
+    #[test]
+    fn local_handoff_has_zero_grant_wait() {
+        let events = vec![
+            ev(
+                2,
+                0.0,
+                ProbeEvent::RequestIssued {
+                    obj: 1,
+                    req: 8,
+                    origin: 2,
+                },
+            ),
+            ev(
+                2,
+                0.0,
+                ProbeEvent::QueuedBehind {
+                    obj: 1,
+                    req: 8,
+                    pred: 6,
+                    origin: 2,
+                },
+            ),
+            ev(2, 3.0, ProbeEvent::Granted { obj: 1, req: 8 }),
+        ];
+        let traces = reconstruct(&events);
+        let t = &traces[0];
+        assert!(t.complete(), "no hops: origin is the queuing node");
+        let p = t.phases().unwrap();
+        assert_eq!(p.transit, 0.0);
+        assert_eq!(p.queue_wait, 3.0);
+        assert_eq!(p.grant_wait, 0.0);
+    }
+
+    #[test]
+    fn report_scores_path_cost_and_stretch() {
+        let traces = reconstruct(&two_hop_events());
+        // Tree edges weigh 1.0; the direct graph distance 4→1 is 1.2.
+        let rep = report(traces, &|_, _| 1.0, &|u, v| {
+            if (u, v) == (4, 1) || (v, u) == (4, 1) {
+                1.2
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(rep.complete, 1);
+        assert_eq!(rep.stretches.len(), 1);
+        let s = &rep.stretches[0];
+        assert_eq!(s.path_cost, 2.0);
+        assert_eq!(s.direct_cost, 1.2);
+        assert!((s.stretch - 2.0 / 1.2).abs() < 1e-12);
+        assert_eq!(rep.max_stretch, rep.mean_stretch);
+    }
+
+    #[test]
+    fn colocated_pair_scores_stretch_one() {
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                ProbeEvent::RequestIssued {
+                    obj: 0,
+                    req: 1,
+                    origin: 0,
+                },
+            ),
+            ev(
+                0,
+                0.0,
+                ProbeEvent::QueuedBehind {
+                    obj: 0,
+                    req: 1,
+                    pred: 0,
+                    origin: 0,
+                },
+            ),
+            ev(0, 0.1, ProbeEvent::Granted { obj: 0, req: 1 }),
+        ];
+        let rep = report(reconstruct(&events), &|_, _| 1.0, &|_, _| 0.0);
+        assert_eq!(rep.stretches[0].stretch, 1.0);
+    }
+}

@@ -1,0 +1,403 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+//!
+//! One process (`pid` 0), one track per directory node (`tid` = node id).
+//! Each request contributes:
+//!
+//! * a `queue r<id>` complete-span (`ph: "X"`) per hop, on the *sending*
+//!   node's track, lasting from frame departure to arrival;
+//! * `transit` / `queue-wait` / `grant-wait` phase spans on the request's
+//!   origin track, so a request's whole life reads left-to-right on one row;
+//! * a `token r<id>` span on the granting node's track for the token flight;
+//! * a `grant r<id>` instant event (`ph: "i"`) at delivery.
+//!
+//! Timestamps are microseconds (the format's native unit); callers pass the
+//! scale from the recorder's time base (`1e6` for wall-clock seconds and for
+//! simulation units alike). Load the file in [ui.perfetto.dev] via *Open
+//! trace file* — see the README's Perfetto quickstart.
+//!
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use crate::analysis::RequestTrace;
+
+fn push_event(out: &mut String, first: &mut bool, body: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("    ");
+    out.push_str(body);
+}
+
+/// Render reconstructed traces as a Chrome trace-event JSON document.
+/// `us_per_unit` converts recorder time to microseconds (use `1e6` when the
+/// recorder's base is seconds or simulation units).
+pub fn export(traces: &[RequestTrace], us_per_unit: f64) -> String {
+    let us = |t: f64| t * us_per_unit;
+    let mut nodes: Vec<usize> = Vec::new();
+    let note = |n: usize, nodes: &mut Vec<usize>| {
+        if !nodes.contains(&n) {
+            nodes.push(n);
+        }
+    };
+    for t in traces {
+        note(t.origin, &mut nodes);
+        for h in &t.hops {
+            note(h.from, &mut nodes);
+            note(h.to, &mut nodes);
+        }
+        if let Some(q) = &t.queued {
+            note(q.node, &mut nodes);
+        }
+    }
+    nodes.sort_unstable();
+
+    let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    let mut first = true;
+    for &n in &nodes {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\": \"M\", \"pid\": 0, \"tid\": {n}, \"name\": \"thread_name\", \
+                 \"args\": {{\"name\": \"node {n}\"}}}}"
+            ),
+        );
+    }
+    for t in traces {
+        let label = format!("o{} r{}", t.obj, t.req);
+        for h in &t.hops {
+            let Some(received) = h.received else { continue };
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \
+                     \"name\": \"queue {label}\", \"cat\": \"hop\", \
+                     \"args\": {{\"from\": {}, \"to\": {}}}}}",
+                    h.from,
+                    us(h.sent),
+                    (us(received) - us(h.sent)).max(0.0),
+                    h.from,
+                    h.to
+                ),
+            );
+        }
+        if let (Some(p), Some(issued)) = (t.phases(), t.issued_at) {
+            let mut t0 = issued;
+            for (name, dur) in [
+                ("transit", p.transit),
+                ("queue-wait", p.queue_wait),
+                ("grant-wait", p.grant_wait),
+            ] {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "{{\"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"ts\": {:.3}, \
+                         \"dur\": {:.3}, \"name\": \"{name} {label}\", \"cat\": \"phase\", \
+                         \"args\": {{}}}}",
+                        t.origin,
+                        us(t0),
+                        us(dur).max(0.0)
+                    ),
+                );
+                t0 += dur;
+            }
+        }
+        if let (Some((sent, from)), Some(received)) = (t.token_sent, t.token_received) {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\": \"X\", \"pid\": 0, \"tid\": {from}, \"ts\": {:.3}, \
+                     \"dur\": {:.3}, \"name\": \"token {label}\", \"cat\": \"token\", \
+                     \"args\": {{}}}}",
+                    us(sent),
+                    (us(received) - us(sent)).max(0.0)
+                ),
+            );
+        }
+        if let Some(granted) = t.granted_at {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\": \"i\", \"pid\": 0, \"tid\": {}, \"ts\": {:.3}, \"s\": \"t\", \
+                     \"name\": \"grant {label}\"}}",
+                    t.origin,
+                    us(granted)
+                ),
+            );
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Minimal JSON well-formedness check, returning the number of elements in the
+/// top-level object's `traceEvents` array. Exists so the CI trace-smoke step
+/// (and tests) can validate emitted documents without a JSON dependency; it
+/// accepts exactly standard JSON, it is just not a full deserializer.
+pub fn parse_check(text: &str) -> Result<usize, String> {
+    struct P<'a> {
+        s: &'a [u8],
+        i: usize,
+        events: usize,
+        depth: usize,
+        in_trace_events: Option<usize>,
+    }
+    impl<'a> P<'a> {
+        fn ws(&mut self) {
+            while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&self) -> Option<u8> {
+            self.s.get(self.i).copied()
+        }
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected '{}' at byte {} (found {:?})",
+                    c as char,
+                    self.i,
+                    self.peek().map(|b| b as char)
+                ))
+            }
+        }
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let start = self.i;
+            while let Some(c) = self.peek() {
+                match c {
+                    b'"' => {
+                        let s = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+                        self.i += 1;
+                        return Ok(s);
+                    }
+                    b'\\' => self.i += 2,
+                    _ => self.i += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+        fn value(&mut self) -> Result<(), String> {
+            self.ws();
+            match self.peek() {
+                Some(b'{') => {
+                    self.i += 1;
+                    self.depth += 1;
+                    self.ws();
+                    if self.peek() == Some(b'}') {
+                        self.i += 1;
+                        self.depth -= 1;
+                        return Ok(());
+                    }
+                    loop {
+                        self.ws();
+                        let key = self.string()?;
+                        self.ws();
+                        self.eat(b':')?;
+                        self.ws();
+                        let counting =
+                            key == "traceEvents" && self.depth == 1 && self.peek() == Some(b'[');
+                        if counting {
+                            self.in_trace_events = Some(self.depth);
+                        }
+                        self.value()?;
+                        if counting {
+                            self.in_trace_events = None;
+                        }
+                        self.ws();
+                        match self.peek() {
+                            Some(b',') => self.i += 1,
+                            Some(b'}') => {
+                                self.i += 1;
+                                self.depth -= 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("bad object at byte {}", self.i)),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    self.i += 1;
+                    self.ws();
+                    if self.peek() == Some(b']') {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        if self.in_trace_events == Some(self.depth) {
+                            self.events += 1;
+                        }
+                        self.value()?;
+                        self.ws();
+                        match self.peek() {
+                            Some(b',') => self.i += 1,
+                            Some(b']') => {
+                                self.i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("bad array at byte {}", self.i)),
+                        }
+                    }
+                }
+                Some(b'"') => self.string().map(|_| ()),
+                Some(b't') => self.lit("true"),
+                Some(b'f') => self.lit("false"),
+                Some(b'n') => self.lit("null"),
+                Some(c) if c == b'-' || c.is_ascii_digit() => {
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                            self.i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    Ok(())
+                }
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other.map(|b| b as char),
+                    self.i
+                )),
+            }
+        }
+        fn lit(&mut self, word: &str) -> Result<(), String> {
+            if self.s[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at byte {}", self.i))
+            }
+        }
+    }
+    let mut p = P {
+        s: text.as_bytes(),
+        i: 0,
+        events: 0,
+        depth: 0,
+        in_trace_events: None,
+    };
+    p.value()?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(format!("trailing bytes at {}", p.i));
+    }
+    Ok(p.events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::reconstruct;
+    use crate::probe::ProbeEvent;
+    use crate::recorder::TraceEventRecord;
+
+    fn ev(node: usize, t: f64, ev: ProbeEvent) -> TraceEventRecord {
+        TraceEventRecord { node, t, ev }
+    }
+
+    fn sample_traces() -> Vec<RequestTrace> {
+        reconstruct(&[
+            ev(
+                2,
+                0.0,
+                ProbeEvent::RequestIssued {
+                    obj: 0,
+                    req: 4,
+                    origin: 2,
+                },
+            ),
+            ev(
+                2,
+                0.0,
+                ProbeEvent::QueueSent {
+                    obj: 0,
+                    req: 4,
+                    origin: 2,
+                    to: 0,
+                },
+            ),
+            ev(
+                0,
+                1.0,
+                ProbeEvent::QueueReceived {
+                    obj: 0,
+                    req: 4,
+                    origin: 2,
+                    from: 2,
+                },
+            ),
+            ev(
+                0,
+                1.0,
+                ProbeEvent::QueuedBehind {
+                    obj: 0,
+                    req: 4,
+                    pred: 0,
+                    origin: 2,
+                },
+            ),
+            ev(
+                0,
+                1.5,
+                ProbeEvent::TokenSent {
+                    obj: 0,
+                    req: 4,
+                    to: 2,
+                },
+            ),
+            ev(2, 2.5, ProbeEvent::TokenReceived { obj: 0, req: 4 }),
+            ev(2, 2.5, ProbeEvent::Granted { obj: 0, req: 4 }),
+        ])
+    }
+
+    #[test]
+    fn export_emits_tracks_hops_phases_and_grants() {
+        let json = export(&sample_traces(), 1e6);
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("queue o0 r4"));
+        assert!(json.contains("transit o0 r4"));
+        assert!(json.contains("queue-wait o0 r4"));
+        assert!(json.contains("grant-wait o0 r4"));
+        assert!(json.contains("token o0 r4"));
+        assert!(json.contains("grant o0 r4"));
+        // node tracks 0 and 2 both declared
+        assert!(json.contains("\"name\": \"node 0\""));
+        assert!(json.contains("\"name\": \"node 2\""));
+    }
+
+    #[test]
+    fn exported_document_passes_the_parser() {
+        let json = export(&sample_traces(), 1e6);
+        let events = parse_check(&json).expect("well-formed");
+        // 2 track-name records + 1 hop + 3 phases + 1 token + 1 grant = 8.
+        assert_eq!(events, 8);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_check("{").is_err());
+        assert!(parse_check("{\"a\": }").is_err());
+        assert!(parse_check("[1, 2,]").is_err());
+        assert!(parse_check("{} trailing").is_err());
+        assert_eq!(parse_check("{\"traceEvents\": [1, 2, 3]}"), Ok(3));
+        assert_eq!(parse_check("{\"traceEvents\": []}"), Ok(0));
+        // Nested arrays inside events are not double-counted.
+        assert_eq!(
+            parse_check("{\"traceEvents\": [{\"x\": [1, 2]}, {}]}"),
+            Ok(2)
+        );
+    }
+
+    #[test]
+    fn empty_trace_exports_an_empty_event_list() {
+        let json = export(&[], 1e6);
+        assert_eq!(parse_check(&json), Ok(0));
+    }
+}

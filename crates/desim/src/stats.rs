@@ -147,6 +147,43 @@ impl Histogram {
     pub fn p99(&self) -> f64 {
         self.percentile(99.0)
     }
+
+    /// Fold another histogram of the **same bucket width** into this one, as if
+    /// every sample recorded into `other` had been recorded here instead.
+    ///
+    /// Bucket counts add index-wise. In particular, `other`'s shared *overflow*
+    /// bucket (index [`Histogram::MAX_BUCKETS`]` - 1`, see
+    /// [`Histogram::record`]) folds into this histogram's overflow bucket:
+    /// samples that saturated bucket resolution there stay saturated here —
+    /// merging never re-buckets or un-saturates anything. `count`, `sum`, `min`
+    /// and `max` combine exactly, so [`Histogram::mean`], [`Histogram::min`]
+    /// and [`Histogram::max`] equal what single-histogram recording would have
+    /// produced; [`Histogram::percentile`] keeps its usual bucket-edge
+    /// resolution. Merging an empty histogram is a no-op (the sentinel
+    /// infinities its min/max trackers start from never leak into `self`);
+    /// merging *into* an empty one makes it equal to `other`.
+    ///
+    /// # Panics
+    /// If the bucket widths differ: counts are only index-compatible at equal
+    /// widths, and silently re-bucketing would corrupt percentiles.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.bucket_width == other.bucket_width,
+            "cannot merge histograms with different bucket widths ({} vs {})",
+            self.bucket_width,
+            other.bucket_width
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += *theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Counters collected during a simulation run.
@@ -334,6 +371,88 @@ mod tests {
         assert_eq!(h.count(), 100);
         assert!(h.percentile(50.0) <= 1.05 + 1e-9);
         assert_eq!(h.percentile(100.0), 1e12);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one_histogram() {
+        let a_samples = [0.1, 1.7, 3.2, 9.9];
+        let b_samples = [0.4, 0.4, 25.0];
+        let mut a = Histogram::new(0.5);
+        let mut b = Histogram::new(0.5);
+        let mut reference = Histogram::new(0.5);
+        for &x in &a_samples {
+            a.record(x);
+            reference.record(x);
+        }
+        for &x in &b_samples {
+            b.record(x);
+            reference.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), reference.count());
+        assert_eq!(a.sum(), reference.sum());
+        assert_eq!(a.min(), reference.min());
+        assert_eq!(a.max(), reference.max());
+        assert_eq!(a.mean(), reference.mean());
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), reference.percentile(p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_in_both_directions() {
+        let mut recorded = Histogram::new(1.0);
+        recorded.record(2.5);
+        recorded.record(7.0);
+
+        // Empty into recorded: a no-op — the empty side's sentinel infinities
+        // (min = +inf, max = -inf) must not leak.
+        let mut a = recorded.clone();
+        a.merge(&Histogram::new(1.0));
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 2.5);
+        assert_eq!(a.max(), 7.0);
+
+        // Recorded into empty: the empty side becomes the recorded one.
+        let mut b = Histogram::new(1.0);
+        b.merge(&recorded);
+        assert_eq!(b.count(), 2);
+        assert_eq!(b.min(), recorded.min());
+        assert_eq!(b.max(), recorded.max());
+        assert_eq!(b.p50(), recorded.p50());
+
+        // Empty into empty stays empty and all-zeros.
+        let mut c = Histogram::new(1.0);
+        c.merge(&Histogram::new(1.0));
+        assert!(c.is_empty());
+        assert_eq!(c.min(), 0.0);
+        assert_eq!(c.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_folds_overflow_buckets_together() {
+        // Both sides hold samples saturated into the shared overflow bucket;
+        // the merge adds those counts index-wise without re-bucketing, and the
+        // exact maxima still combine.
+        let mut a = Histogram::new(0.05);
+        let mut b = Histogram::new(0.05);
+        a.record(1e12);
+        b.record(2e12);
+        b.record(1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!(a.counts.len() <= Histogram::MAX_BUCKETS);
+        assert_eq!(a.counts[Histogram::MAX_BUCKETS - 1], 2);
+        assert_eq!(a.max(), 2e12);
+        // Percentiles inside the overflow bucket saturate to the exact max.
+        assert_eq!(a.percentile(100.0), 2e12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket widths")]
+    fn merge_rejects_mismatched_bucket_widths() {
+        let mut a = Histogram::new(0.5);
+        a.merge(&Histogram::new(1.0));
     }
 
     #[test]

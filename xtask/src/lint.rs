@@ -1,6 +1,6 @@
 //! Registry-free source lints for the workspace's concurrency-critical code.
 //!
-//! Three passes, all line-based (no syn/proc-macro dependencies — the
+//! Four passes, all line-based (no syn/proc-macro dependencies — the
 //! container has no registry access, and these lints only need to be as smart
 //! as the code they police):
 //!
@@ -17,6 +17,11 @@
 //! 3. **protocol/wire cross-check** — every `ProtoMsg` variant must appear in
 //!    `arrow-net/src/wire.rs` non-test code (a frame encoding exists) *and* in
 //!    its test module (a codec test exercises it).
+//! 4. **metrics bypass** — counters in the live tiers route through the shared
+//!    `arrow_trace::MetricsRegistry` (one schema for every tier's reporting);
+//!    a direct `fetch_add` on an ad-hoc atomic in the policed trees is a
+//!    counter the observability plane cannot see. Registry internals live in
+//!    `arrow-trace`, outside the policed directories.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -318,6 +323,36 @@ fn lint_proto_wire(root: &Path, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Pass 4: no ad-hoc counter increments beside the metrics registry.
+///
+/// The live tiers report through `arrow_trace::MetricsRegistry` snapshots; a
+/// raw `.fetch_add(` in the policed trees is a counter that bypasses the one
+/// shared schema (it will not show up in snapshots, diffs or the JSON
+/// reports). Legitimate non-counter atomics (e.g. id allocation) belong on
+/// the allowlist with a documented reason.
+fn lint_metrics_bypass(root: &Path, allows: &[Allow], findings: &mut Vec<Finding>) {
+    for path in policed_files(root) {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let file = rel(root, &path).to_path_buf();
+        for (line_no, line) in non_test_lines(&text) {
+            let code = code_of(line);
+            if code.contains(".fetch_add(") && !allowed(allows, &file, line) {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: line_no,
+                    lint: "metrics-bypass",
+                    message: format!(
+                        "direct counter increment bypasses the MetricsRegistry: {}",
+                        line.trim()
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Run every pass; returns all findings (empty = clean tree).
 pub fn run(root: &Path) -> Vec<Finding> {
     let allows = load_allowlist(root);
@@ -325,6 +360,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
     lint_panic_hygiene(root, &allows, &mut findings);
     lint_guard_across_send(root, &allows, &mut findings);
     lint_proto_wire(root, &mut findings);
+    lint_metrics_bypass(root, &allows, &mut findings);
     findings
 }
 
