@@ -16,9 +16,15 @@
 //!   (s = 1.1, object 0 hottest) issued without waiting for completions. The
 //!   burst is sized against the process's soft `RLIMIT_NOFILE` (read from
 //!   `/proc/self/limits`): every peer lives in this one process, so each
-//!   lazily-dialed token channel costs two file descriptors, and the worst case
-//!   is one new channel per burst request. A limit too low for even a minimal
-//!   burst is a clear up-front error, not a mid-run `EMFILE` panic.
+//!   lazily-dialed token channel costs two file descriptors on top of the fixed
+//!   reactor footprint (one listener per node, two descriptors per eager tree
+//!   link, and an epoll instance plus eventfd waker per reactor shard), and the
+//!   worst case is one new channel per burst request. A limit too low for even
+//!   a minimal burst is a clear up-front error, not a mid-run `EMFILE` panic;
+//! * **scale ceiling** — 1,024 peers × K = 8 objects, closed loop. The sharded
+//!   reactor keeps thread count O(shards) regardless of node count, so the only
+//!   real resource this row needs is descriptors — it runs behind the same
+//!   `RLIMIT_NOFILE` guard.
 //!
 //! Every `queue()` and token frame crosses a real loopback TCP connection; every
 //! per-object queuing order is validated at shutdown (the measurement panics
@@ -42,6 +48,7 @@ use arrow_bench::meta::BenchMeta;
 use arrow_bench::net_throughput::{
     measure_net, measure_net_open_loop, measure_net_traced, net_sweep, NetReportJson, NetRow,
 };
+use arrow_net::NetConfig;
 use arrow_trace::TraceRecorder;
 use netgraph::{generators, RootedTree};
 use std::sync::Arc;
@@ -62,17 +69,49 @@ fn nofile_soft_limit() -> Option<u64> {
     soft.parse().ok()
 }
 
+/// Descriptors held by things that are not token channels: stdio, the
+/// baseline file, allocator/runtime internals, transient accept queues.
+const FD_MARGIN: u64 = 64;
+
+/// The descriptors a freshly spawned `nodes`-peer mesh pins before any lazy
+/// token channel is dialed: one listener per node, two per eager tree link
+/// (both endpoints live in this process), and — per reactor shard — an epoll
+/// instance plus its eventfd inbox waker, with [`FD_MARGIN`] on top.
+fn fixed_descriptors(nodes: usize, cfg: &NetConfig) -> u64 {
+    let shards = cfg.effective_shards(nodes) as u64;
+    nodes as u64 + 2 * (nodes as u64 - 1) + 2 * shards + FD_MARGIN
+}
+
+/// Require `needed` descriptors under the soft `RLIMIT_NOFILE` for the row
+/// named `what`, or exit with a clear up-front error instead of a mid-run
+/// `EMFILE` panic. An unreadable limit passes with a note.
+fn require_descriptors(needed: u64, what: &str) {
+    match nofile_soft_limit() {
+        None => println!(
+            "note: cannot read the open-files limit from /proc/self/limits; \
+             assuming the {what} row's {needed} descriptors fit"
+        ),
+        Some(limit) if limit < needed => {
+            eprintln!(
+                "error: the open-files soft limit ({limit}) is too low for the \
+                 {what} socket benchmark row, which needs {needed} descriptors. \
+                 Raise it (`ulimit -n {needed}`) or run with --smoke."
+            );
+            std::process::exit(2);
+        }
+        Some(_) => {}
+    }
+}
+
 /// Fit the open-loop burst to the file-descriptor budget. Every peer lives in
 /// this one process, so each connection costs **two** descriptors, and the
-/// large-scale profile's worst case is: one listener per node, the eager
-/// spanning-tree links, then up to one lazily-dialed token channel per burst
-/// request (token handoffs between nodes that never spoke before). Returns the
-/// largest burst ≤ `target` whose worst case fits under the soft limit, or
-/// exits with a clear error when even a minimal burst cannot fit.
-fn sized_burst(nodes: usize, target: usize) -> usize {
-    /// Descriptors held by things that are not token channels: stdio, the
-    /// baseline file, allocator/runtime internals, transient accept queues.
-    const MARGIN: u64 = 64;
+/// large-scale profile's worst case is: the fixed reactor footprint
+/// ([`fixed_descriptors`] — listeners, eager tree links, per-shard epoll and
+/// waker), then up to one lazily-dialed token channel per burst request (token
+/// handoffs between nodes that never spoke before). Returns the largest burst
+/// ≤ `target` whose worst case fits under the soft limit, or exits with a
+/// clear error when even a minimal burst cannot fit.
+fn sized_burst(nodes: usize, cfg: &NetConfig, target: usize) -> usize {
     /// Below this the open-loop row stops being a meaningful measurement.
     const MIN_BURST: usize = 256;
     let Some(limit) = nofile_soft_limit() else {
@@ -82,16 +121,18 @@ fn sized_burst(nodes: usize, target: usize) -> usize {
         );
         return target;
     };
-    let fixed = nodes as u64 + 2 * (nodes as u64 - 1) + MARGIN;
+    let fixed = fixed_descriptors(nodes, cfg);
     let needed_min = fixed + 2 * MIN_BURST as u64;
     if limit < needed_min {
         eprintln!(
             "error: the open-files soft limit ({limit}) is too low for the \
              large-scale socket benchmark: {nodes} in-process peers need at \
              least {needed_min} descriptors ({nodes} listeners + {} eager tree \
-             links x 2 + a {MIN_BURST}-request burst x 2 + {MARGIN} margin). \
-             Raise it (`ulimit -n {needed_min}`) or run with --smoke.",
-            nodes - 1
+             links x 2 + 2 per reactor shard ({} shards) + a {MIN_BURST}-request \
+             burst x 2 + {FD_MARGIN} margin). Raise it (`ulimit -n {needed_min}`) \
+             or run with --smoke.",
+            nodes - 1,
+            cfg.effective_shards(nodes)
         );
         std::process::exit(2);
     }
@@ -385,7 +426,8 @@ fn main() {
     // Large scale: 256 peers, 64 objects — closed loop and the open-loop burst,
     // with the burst sized to the process's descriptor budget (RLIMIT_NOFILE).
     println!("large scale (256 peers, K = 64):");
-    let burst = sized_burst(256, 3_200);
+    let cfg = NetConfig::instant();
+    let burst = sized_burst(256, &cfg, 3_200);
     let big_closed = net_sweep(256, &[64], 2, 50, pipeline, seed);
     let big_open = measure_net_open_loop(256, 64, burst, 1.1, seed);
     print_rows(&big_closed);
@@ -393,6 +435,30 @@ fn main() {
     assert_eq!(big_closed[0].valid_orders, 64);
     rows.extend(big_closed);
     rows.push(big_open);
+
+    // Scale ceiling: 1,024 peers in this one process. The sharded reactor's
+    // thread count is O(shards) no matter the node count, so the only scarce
+    // resource is descriptors — the closed loop's lazy token channels are
+    // bounded by one per (granter, origin) pair, K x workers of them at worst.
+    let ceiling_nodes = 1_024;
+    let ceiling_objects = 8;
+    let ceiling_workers = 1;
+    require_descriptors(
+        fixed_descriptors(ceiling_nodes, &cfg) + 2 * (ceiling_objects * ceiling_workers) as u64,
+        "scale-ceiling (1024 peers)",
+    );
+    println!("scale ceiling ({ceiling_nodes} peers, K = {ceiling_objects}):");
+    let ceiling = net_sweep(
+        ceiling_nodes,
+        &[ceiling_objects],
+        ceiling_workers,
+        25,
+        pipeline,
+        seed,
+    );
+    print_rows(&ceiling);
+    assert_eq!(ceiling[0].valid_orders, ceiling_objects);
+    rows.extend(ceiling);
 
     let report = NetReportJson { rows };
     let doc = BenchMeta::capture().inject(&report.to_json());

@@ -24,17 +24,23 @@
 //!   grants). No serde involved; the bytes are the contract. Encoding appends into
 //!   pooled buffers ([`Frame::encode_into`]); decoding scans complete frames out
 //!   of a growing receive buffer ([`Frame::scan`]).
-//! * [`mesh`] — peer bootstrap and link plumbing. Only the spanning-tree edges are
-//!   materialized eagerly (each non-root node dials its parent); direct token
-//!   channels are dialed lazily on first grant. Each node runs **one** writer
-//!   thread for all of its links: frames are scheduled on a single binary-heap
-//!   timer at the link's tree distance × [`mesh::NetConfig::unit_latency`] (scaled
-//!   by the seeded async factor in the asynchronous model, FIFO-preserving — the
-//!   same latency law as a simulator run), and every flush coalesces all frames
-//!   due on one link into a single `write` syscall. Each connection's reader
-//!   pulls whole kernel buffers and scans frames out in batches.
-//! * [`runtime`] — the [`NetRuntime`]: one event loop per node draining its inbox
-//!   in batches, application-facing [`NetHandle`]s with blocking *and* pipelined
+//! * [`mesh`] — mesh policy: the [`NetConfig`] knobs (latency model, dial
+//!   retries, reactor [`mesh::NetConfig::shards`]), the per-link latency law
+//!   (tree distance × [`mesh::NetConfig::unit_latency`], scaled by the seeded
+//!   async factor in the asynchronous model, FIFO-preserving — the same law as
+//!   a simulator run), the shared [`NetStats`] counters, and the blocking dial
+//!   helpers external tooling uses.
+//! * `reactor` (internal) — the event-driven socket engine: nodes are
+//!   partitioned across a small pool of shard threads, each running one `epoll`
+//!   loop (via the `netpoll` shim) over the nonblocking listeners and
+//!   connections of its nodes. Handshakes are nonblocking state machines,
+//!   simultaneous-dial races collapse onto one canonical connection per peer
+//!   pair, injected latency rides a per-shard timer wheel whose next deadline
+//!   doubles as the `epoll_wait` timeout, and every flush coalesces a link's
+//!   staged frames into a single `write` syscall. Thread count is O(shards),
+//!   not O(nodes) — a single process hosts ≥1024 nodes.
+//! * [`runtime`] — the [`NetRuntime`]: spawn/shutdown over the shard pool,
+//!   application-facing [`NetHandle`]s with blocking *and* pipelined
 //!   `acquire`/`release` per object ([`NetHandle::start_acquire_object`],
 //!   [`Grant`] routing for open-loop drivers), and a shutdown [`NetReport`] whose
 //!   per-object queuing orders validate through the same machinery as the
@@ -60,10 +66,12 @@
 #![forbid(unsafe_code)]
 
 pub mod mesh;
+mod reactor;
 pub mod runtime;
+mod wheel;
 pub mod wire;
 
-pub use mesh::{NetConfig, NetStats, NetStatsSnapshot};
+pub use mesh::{dial_with_budget, NetConfig, NetStats, NetStatsSnapshot};
 pub use runtime::{
     Grant, NetFailure, NetFaultHandle, NetHandle, NetReport, NetRuntime, PendingAcquire,
 };

@@ -1,5 +1,4 @@
-//! The peer mesh: loopback TCP connections, join/shutdown handshakes, per-link
-//! latency injection, and the batched writer/reader hot path.
+//! Mesh policy of the socket tier: latency law, dial budget, stats schema.
 //!
 //! Topology is deliberately sparse: the mesh materializes only the spanning-tree
 //! edges (dialed eagerly at bootstrap — every non-root node dials its parent), plus
@@ -9,33 +8,19 @@
 //! request's origin (the socket analogue of the simulator's direct-ack sends).
 //!
 //! Every connection starts with a `Hello`/`Welcome` handshake so each side knows the
-//! peer's node id, and ends with a `Goodbye` notice at shutdown.
+//! peer's node id, and ends with a `Goodbye` notice at shutdown. The handshake,
+//! socket I/O, and timers all run inside the sharded reactors (the crate's
+//! internal `reactor` module); this module holds the *policy* the reactors apply:
 //!
-//! # The hot path
-//!
-//! Each node owns at most **one writer thread** for *all* of its outbound links (the
-//! timer writer, used when latency injection is on). The writer keeps, per link, a reusable encode buffer and
-//! the link's running FIFO due time, plus one binary heap of `(due, seq)`-ordered
-//! scheduled frames across every link. One loop iteration drains the command
-//! channel, schedules each frame at `max(link_due, now + delay)` (the running
-//! maximum keeps every link FIFO, which the arrow protocol requires), then flushes
-//! **all frames that are due now in one `write_all` per link** — so a burst of
-//! protocol traffic towards one peer costs one syscall, not one per frame, and a
-//! node with `d` links needs one timer thread, not `d` sleeping writers.
-//!
-//! The delay of a frame on the link `{u, v}` is the link's tree distance scaled by
-//! [`NetConfig::unit_latency`] (and, in the asynchronous model, by a seeded
-//! per-frame factor drawn from `[lo_factor, 1.0]` — the same latency law and floor
-//! the simulator applies). With [`NetConfig::instant`] the heap is bypassed
-//! entirely: frames encode straight into their link's buffer and flush at the end
-//! of the drain cycle.
-//!
-//! Each established connection additionally gets a **reader** thread with a
-//! single growable receive buffer: every `read` syscall
-//! pulls in as many bytes as the kernel has, and complete frames are scanned out of
-//! the buffer ([`crate::wire::Frame::scan`]) — one syscall can deliver a whole
-//! coalesced batch, where the old per-frame `read_exact` pair paid two syscalls per
-//! frame.
+//! - [`NetConfig`]: latency model, dial retry budget, churn mode, and the
+//!   [`shards`](NetConfig::shards) knob sizing the reactor pool.
+//! - `DelayPolicy` (internal): the per-link latency law. The delay of a frame on the
+//!   link `{u, v}` is the link's tree distance scaled by
+//!   [`NetConfig::unit_latency`] (and, in the asynchronous model, by a seeded
+//!   per-frame factor drawn from `[lo_factor, 1.0]` — the same latency law and
+//!   floor the simulator applies).
+//! - [`NetStats`] / [`NetStatsSnapshot`]: the counter and histogram schema all
+//!   reactor shards share.
 //!
 //! The runtime is handed only the spanning tree, so the tree *is* its
 //! communication graph: direct token channels pay the tree distance `d_T(u, v)`.
@@ -48,20 +33,16 @@ use arrow_core::prelude::{RunConfig, SyncMode};
 use arrow_trace::{HistMetric, Metric, MetricsRegistry, MetricsSnapshot};
 use desim::SimRng;
 use netgraph::NodeId;
-use std::collections::{BinaryHeap, HashMap};
-use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 /// How long a handshake partner may stall before the connection is abandoned.
-const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+pub(crate) const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// Initial capacity of a reader's receive buffer. Grows on demand; a full batch of
-/// coalesced arrow frames (≤ 23 bytes each) fits hundreds of frames.
-const RECV_BUF_INIT: usize = 16 * 1024;
+/// Initial capacity of a connection's receive buffer. Grows on demand; a full
+/// batch of coalesced arrow frames (≤ 23 bytes each) fits hundreds of frames.
+pub(crate) const RECV_BUF_INIT: usize = 16 * 1024;
 
 /// Latency configuration of the socket runtime.
 ///
@@ -94,19 +75,27 @@ pub struct NetConfig {
     /// stays up: under fault injection a dropped frame is recovered by the next
     /// epoch bump regenerating the token, so losing it must not condemn the run.
     pub fault_tolerant: bool,
+    /// Number of reactor shards (event-loop threads) the runtime spawns. Each
+    /// shard owns `n / shards` nodes and multiplexes all of their sockets over
+    /// one `epoll` loop, so the process's thread count is `O(shards)` rather
+    /// than `O(nodes)`. `0` (the default) auto-sizes to the machine's
+    /// available parallelism (at least 2); any other value is clamped to
+    /// `[1, node count]` at spawn time.
+    pub shards: usize,
 }
 
 impl NetConfig {
     /// Default dial retry budget (see [`NetConfig::dial_retries`]).
     pub const DEFAULT_DIAL_RETRIES: u32 = 3;
 
-    /// No injected latency: frames hit the socket as fast as the writer drains.
+    /// No injected latency: frames hit the socket as fast as the shards drain.
     pub fn instant() -> Self {
         NetConfig {
             unit_latency: Duration::ZERO,
             jitter: None,
             dial_retries: Self::DEFAULT_DIAL_RETRIES,
             fault_tolerant: false,
+            shards: 0,
         }
     }
 
@@ -118,6 +107,7 @@ impl NetConfig {
             jitter: None,
             dial_retries: Self::DEFAULT_DIAL_RETRIES,
             fault_tolerant: false,
+            shards: 0,
         }
     }
 
@@ -129,6 +119,7 @@ impl NetConfig {
             jitter: Some((lo_factor, seed)),
             dial_retries: Self::DEFAULT_DIAL_RETRIES,
             fault_tolerant: false,
+            shards: 0,
         }
     }
 
@@ -143,6 +134,27 @@ impl NetConfig {
     pub fn with_fault_tolerance(mut self) -> Self {
         self.fault_tolerant = true;
         self
+    }
+
+    /// Override the reactor shard count (see [`NetConfig::shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count a runtime hosting `nodes` nodes actually spawns:
+    /// [`NetConfig::shards`], auto-sized when 0, clamped to `[1, nodes]` (one
+    /// shard per node is the most that does anything).
+    pub fn effective_shards(&self, nodes: usize) -> usize {
+        let requested = if self.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(2)
+                .max(2)
+        } else {
+            self.shards
+        };
+        requested.clamp(1, nodes.max(1))
     }
 
     /// Derive the socket latency model from a simulator [`RunConfig`], so socket
@@ -160,14 +172,15 @@ impl NetConfig {
     }
 }
 
-/// Counters shared by all threads of one [`crate::NetRuntime`], backed by the
-/// cross-tier [`arrow_trace::MetricsRegistry`] schema — the same lock-free
-/// atomics the ad-hoc `AtomicU64` fields used, so the hot-path cost is still
-/// one relaxed `fetch_add` per count. Beyond the counters the registry also
-/// carries the socket tier's histograms: frames coalesced per `write`
-/// ([`HistMetric::WriteBatchFrames`]), timer-heap staging lateness
-/// ([`HistMetric::TimerDwellNanos`]) and acquire latency
-/// ([`HistMetric::AcquireNanos`]).
+/// Counters shared by all shards of one [`crate::NetRuntime`], backed by the
+/// cross-tier [`arrow_trace::MetricsRegistry`] schema — lock-free atomics, so
+/// the hot-path cost is one relaxed `fetch_add` per count. Beyond the counters
+/// the registry also carries the socket tier's histograms: frames coalesced
+/// per `write` ([`HistMetric::WriteBatchFrames`]), timer-wheel staging
+/// lateness ([`HistMetric::TimerDwellNanos`]), acquire latency
+/// ([`HistMetric::AcquireNanos`]), events per reactor wakeup
+/// ([`HistMetric::EventsPerWakeup`]) and shard inbox depth
+/// ([`HistMetric::ShardQueueDepth`]).
 ///
 /// [`NetStats::snapshot`] renders the counters as the traditional
 /// [`NetStatsSnapshot`] plain-number view; [`NetStats::metrics`] exposes the
@@ -184,31 +197,29 @@ pub struct NetStatsSnapshot {
     pub queue_frames: u64,
     /// Token grant frames sent.
     pub token_frames: u64,
-    /// Every frame written to a socket: link batches and spare-connection
-    /// goodbyes alike. Handshake frames (`Hello`/`Welcome`) are excluded.
+    /// Every frame written to a socket, handshake frames included: the
+    /// reactors stage `Hello`/`Welcome`/`Goodbye` through the same send
+    /// buffers as protocol traffic, so the count is symmetric with what the
+    /// peer's reader scans out.
     pub frames_sent: u64,
     /// Total bytes written to sockets (wire encoding, length prefixes
-    /// included). Counts exactly the bytes that `bytes_received` counts on the
-    /// receiving side: link-batch flushes and spare-connection goodbyes, but
-    /// not handshake frames (`Hello`/`Welcome` travel through
-    /// [`Frame::write_to`] before the link exists). On a quiescent fault-free
-    /// mesh `bytes_sent == bytes_received` exactly — see the
-    /// `quiescent_run_byte_accounting_is_symmetric` regression test.
+    /// included), handshake frames included. Every byte leaves through a
+    /// reactor send buffer and arrives through a reactor receive buffer, so
+    /// on a quiescent fault-free mesh `bytes_sent == bytes_received` exactly —
+    /// see the `quiescent_run_byte_accounting_is_symmetric` regression test.
     pub bytes_sent: u64,
-    /// Total bytes read off sockets by the batched readers. Handshake bytes
-    /// are excluded symmetrically with `bytes_sent`: both `Hello` and
-    /// `Welcome` are consumed through [`Frame::read_from`] before the link's
-    /// reader spawns. Faults break the symmetry in one direction only
+    /// Total bytes read off sockets, handshake bytes included (symmetric with
+    /// `bytes_sent`). Faults break the symmetry in one direction only
     /// (severed links and crashed nodes lose written bytes), so
     /// `bytes_received <= bytes_sent` always holds once the mesh is quiescent.
     pub bytes_received: u64,
-    /// `write` syscalls issued by the node writers (one per link per flush).
+    /// `write` syscalls issued by the reactor shards.
     pub socket_writes: u64,
-    /// `read` syscalls that returned data to a batched reader.
+    /// `read` syscalls that returned data to a reactor shard.
     pub socket_reads: u64,
-    /// Connections dialed.
+    /// Connections dialed (handshake completed on the dialing side).
     pub connections_dialed: u64,
-    /// Connections accepted.
+    /// Connections accepted (handshake completed on the accepting side).
     pub connections_accepted: u64,
     /// Acquisitions granted.
     pub acquisitions: u64,
@@ -221,6 +232,13 @@ pub struct NetStatsSnapshot {
     pub frames_dropped: u64,
     /// Stale-epoch protocol messages rejected by the recovery layer.
     pub stale_drops: u64,
+    /// Times a reactor shard returned from `epoll_wait` (timer expiry or I/O).
+    pub reactor_wakeups: u64,
+    /// Nonblocking writes that returned `EWOULDBLOCK` (kernel send buffer
+    /// full; the shard re-armed write interest and retried later).
+    pub would_block_retries: u64,
+    /// Simultaneous-dial races collapsed onto a single surviving link.
+    pub dial_races_collapsed: u64,
 }
 
 impl NetStatsSnapshot {
@@ -280,50 +298,22 @@ impl NetStats {
             dial_failures: self.registry.get(Metric::DialFailures),
             frames_dropped: self.registry.get(Metric::FramesDropped),
             stale_drops: self.registry.get(Metric::StaleEpochDrops),
+            reactor_wakeups: self.registry.get(Metric::ReactorWakeups),
+            would_block_retries: self.registry.get(Metric::WouldBlockRetries),
+            dial_races_collapsed: self.registry.get(Metric::DialRacesCollapsed),
         }
     }
 }
 
-/// Commands consumed by a node's writer thread.
-pub(crate) enum WriterCmd {
-    /// Register an established connection to `peer` with tree distance `weight`.
-    /// A second connection to an already-registered peer (simultaneous-dial race)
-    /// is parked as a spare so the peer's send path stays open.
-    AddLink {
-        peer: NodeId,
-        stream: TcpStream,
-        weight: f64,
-    },
-    /// Queue `frame` for (delayed, coalesced) transmission to `peer`.
-    Send { peer: NodeId, frame: Frame },
-    /// Flush everything still scheduled (ignoring remaining delays), say goodbye
-    /// on spare connections, close every socket, and exit.
-    Shutdown,
-}
-
-/// The sending half of one node's writer thread. Cloned into the accept loop so
-/// accepted connections can register themselves.
-#[derive(Debug, Clone)]
-pub(crate) struct WriterHandle {
-    tx: Sender<WriterCmd>,
-}
-
-impl WriterHandle {
-    /// Enqueue a command. Returns false if the writer is gone.
-    pub(crate) fn send(&self, cmd: WriterCmd) -> bool {
-        self.tx.send(cmd).is_ok()
-    }
-}
-
-/// Per-frame latency policy of one link.
-struct DelayPolicy {
+/// Per-frame latency policy of one directed link.
+pub(crate) struct DelayPolicy {
     base: Duration,
     jitter: Option<(f64, SimRng)>,
 }
 
 impl DelayPolicy {
     /// Build the policy for the link `{me, peer}` with tree distance `weight`.
-    fn new(cfg: &NetConfig, weight: f64, me: NodeId, peer: NodeId) -> Self {
+    pub(crate) fn new(cfg: &NetConfig, weight: f64, me: NodeId, peer: NodeId) -> Self {
         let base = cfg.unit_latency.mul_f64(weight.max(0.0));
         let jitter = cfg.jitter.map(|(lo, seed)| {
             // One deterministic stream per directed link: mix the endpoints into the
@@ -336,7 +326,7 @@ impl DelayPolicy {
         DelayPolicy { base, jitter }
     }
 
-    fn sample(&mut self) -> Duration {
+    pub(crate) fn sample(&mut self) -> Duration {
         if self.base.is_zero() {
             return Duration::ZERO;
         }
@@ -350,387 +340,16 @@ impl DelayPolicy {
     }
 }
 
-/// One outbound link's write half with its pooled encode buffer — the batching
-/// unit shared by the direct-write event loop (instant config) and the timer
-/// writer (injected latency), so write accounting and dead-link policy cannot
-/// drift between the two modes.
-pub(crate) struct LinkBatch {
-    stream: TcpStream,
-    /// Pooled encode buffer; frames of one flush are appended here and leave in
-    /// a single `write_all`.
-    buf: Vec<u8>,
-    /// Frames currently encoded in `buf`.
-    pending: u64,
-}
-
-impl LinkBatch {
-    pub(crate) fn new(stream: TcpStream) -> Self {
-        LinkBatch {
-            stream,
-            buf: Vec::with_capacity(1024),
-            pending: 0,
-        }
-    }
-
-    /// Append one frame to the staged batch. Returns true if the batch was
-    /// empty (the caller's cue to mark the link dirty).
-    pub(crate) fn stage(&mut self, frame: &Frame) -> bool {
-        let first = self.pending == 0;
-        frame.encode_into(&mut self.buf);
-        self.pending += 1;
-        first
-    }
-
-    /// Write the whole staged batch with one `write_all` (no-op when empty),
-    /// counting `socket_writes` / `frames_sent` / `bytes_sent`. An `Err` means
-    /// the socket is dead: the caller must drop the link (and let a later frame
-    /// re-dial or fail the node cleanly).
-    pub(crate) fn flush(&mut self, stats: &NetStats) -> io::Result<()> {
-        if self.pending == 0 {
-            return Ok(());
-        }
-        let result = self.stream.write_all(&self.buf);
-        if result.is_ok() {
-            stats.inc(Metric::SocketWrites);
-            stats.add(Metric::FramesSent, self.pending);
-            stats.add(Metric::BytesSent, self.buf.len() as u64);
-            stats.observe(HistMetric::WriteBatchFrames, self.pending);
-        }
-        self.buf.clear();
-        self.pending = 0;
-        result
-    }
-
-    /// Close both directions of the socket abruptly (the peer's reader observes
-    /// EOF, and anything unread in our receive queue is discarded) — the crash
-    /// half-close. Graceful shutdown uses [`LinkBatch::close_write`].
-    pub(crate) fn shutdown(&self) {
-        let _ = self.stream.shutdown(Shutdown::Both);
-    }
-
-    /// Close only the write direction: the goodbye just flushed is followed by
-    /// `FIN`, the peer's reader drains it before observing end-of-stream, and
-    /// our own reader stays open to drain the peer's final bytes in turn. A
-    /// `Both` shutdown here would race the peer's goodbye and discard it
-    /// unread, breaking the sent/received byte symmetry
-    /// (see [`NetStatsSnapshot::bytes_sent`]).
-    pub(crate) fn close_write(&self) {
-        let _ = self.stream.shutdown(Shutdown::Write);
-    }
-}
-
-/// One registered outbound link inside the timer writer: the shared batching
-/// unit plus the link's latency law and FIFO due-time floor.
-struct OutLink {
-    batch: LinkBatch,
-    policy: DelayPolicy,
-    /// Running due-time maximum: a frame is never written before its predecessor
-    /// on the same link, so injected jitter cannot reorder a link.
-    last_due: Instant,
-}
-
-/// One frame waiting in the writer's timer heap.
-struct Scheduled {
-    due: Instant,
-    /// Tie-breaker: frames with equal due times flush in scheduling order, which
-    /// preserves per-link FIFO among same-instant frames.
-    seq: u64,
-    peer: NodeId,
-    frame: Frame,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest frame on top.
-        (other.due, other.seq).cmp(&(self.due, self.seq))
-    }
-}
-
-/// The writer thread's whole state: every outbound link of one node plus the
-/// shared timer heap.
-struct NodeWriter {
-    me: NodeId,
-    cfg: NetConfig,
-    links: HashMap<NodeId, OutLink>,
-    /// Redundant connections from simultaneous-dial races; kept open (the peer may
-    /// be sending on them) and told goodbye at shutdown.
-    spares: Vec<TcpStream>,
-    heap: BinaryHeap<Scheduled>,
-    next_seq: u64,
-    stats: Arc<NetStats>,
-    /// Tells the owning node that a link's socket died and was dropped, so the
-    /// node forgets the peer and a later frame re-dials (or fails the node
-    /// cleanly) — the same dead-link policy as the direct-write mode.
-    link_down: Box<dyn Fn(NodeId) + Send>,
-}
-
-impl NodeWriter {
-    fn add_link(&mut self, peer: NodeId, stream: TcpStream, weight: f64) {
-        match self.links.entry(peer) {
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(OutLink {
-                    batch: LinkBatch::new(stream),
-                    policy: DelayPolicy::new(&self.cfg, weight, self.me, peer),
-                    last_due: Instant::now(),
-                });
-            }
-            std::collections::hash_map::Entry::Occupied(_) => {
-                self.spares.push(stream);
-            }
-        }
-    }
-
-    /// Schedule (or, with no injected latency, directly stage) one frame.
-    fn send(&mut self, peer: NodeId, frame: Frame) {
-        let Some(link) = self.links.get_mut(&peer) else {
-            // The link died and was dropped (heap entries included) in an
-            // earlier flush; frames still in flight towards it race the node's
-            // LinkDown processing and are lost, exactly like the batch that
-            // failed the write.
-            return;
-        };
-        if self.cfg.unit_latency.is_zero() {
-            // Instant fast path: no timer heap, straight into the link's batch.
-            link.batch.stage(&frame);
-        } else {
-            let due = link.last_due.max(Instant::now() + link.policy.sample());
-            link.last_due = due;
-            self.heap.push(Scheduled {
-                due,
-                seq: self.next_seq,
-                peer,
-                frame,
-            });
-            self.next_seq += 1;
-        }
-    }
-
-    /// Move every frame due at or before `now` (or *every* frame, at shutdown)
-    /// from the heap into its link's encode buffer. Each staged frame's
-    /// lateness — how long past its due instant it dwelt in the heap before
-    /// this pass picked it up — is recorded into
-    /// [`HistMetric::TimerDwellNanos`]; a shutdown drain stages not-yet-due
-    /// frames at lateness zero (saturated), which keeps the histogram a pure
-    /// measure of timer slop.
-    fn stage_due(&mut self, now: Instant, drain_all: bool) {
-        while self.heap.peek().is_some_and(|s| drain_all || s.due <= now) {
-            let s = self.heap.pop().expect("peeked");
-            if let Some(link) = self.links.get_mut(&s.peer) {
-                self.stats.observe(
-                    HistMetric::TimerDwellNanos,
-                    now.saturating_duration_since(s.due).as_nanos() as u64,
-                );
-                link.batch.stage(&s.frame);
-            }
-        }
-    }
-
-    /// Write every non-empty link buffer with one syscall, clearing it for
-    /// reuse. A link whose socket errors is dropped (its peer observes EOF) and
-    /// reported to the node through `link_down` so a later frame can re-dial.
-    fn flush(&mut self) {
-        let mut dead = Vec::new();
-        for (&peer, link) in &mut self.links {
-            if link.batch.flush(&self.stats).is_err() {
-                dead.push(peer);
-            }
-        }
-        for peer in dead {
-            self.links.remove(&peer);
-            // Purge the peer's scheduled frames too: leaving them in the heap
-            // would let them race frames staged on a re-dialed replacement link
-            // and break per-link FIFO under jitter (their due times predate the
-            // new link's). The whole in-flight window to a dead peer is lost,
-            // exactly like the batch that failed the write.
-            self.heap.retain(|s| s.peer != peer);
-            (self.link_down)(peer);
-        }
-    }
-
-    /// The earliest scheduled due time, if any frame is waiting in the heap.
-    fn next_due(&self) -> Option<Instant> {
-        self.heap.peek().map(|s| s.due)
-    }
-
-    /// Flush everything immediately, half-close every socket (write side, so
-    /// the peers drain the goodbyes), and end the thread.
-    fn close(mut self) {
-        self.stage_due(Instant::now(), true);
-        self.flush();
-        for link in self.links.values() {
-            link.batch.close_write();
-        }
-        let goodbye_len = Frame::Goodbye.encode().len() as u64;
-        for mut spare in std::mem::take(&mut self.spares) {
-            // The node never staged traffic on spares, but the peer may still be
-            // reading: a goodbye lets its reader finish cleanly. Count it like a
-            // link write — the peer's reader counts the bytes, and the
-            // sent/received symmetry contract holds only if we do too.
-            if Frame::Goodbye.write_to(&mut spare).is_ok() {
-                self.stats.inc(Metric::SocketWrites);
-                self.stats.inc(Metric::FramesSent);
-                self.stats.add(Metric::BytesSent, goodbye_len);
-            }
-            let _ = spare.shutdown(Shutdown::Write);
-        }
-    }
-}
-
-/// Spawn the single writer thread of node `me`, serving every outbound link the
-/// node will ever register. `link_down` is invoked (from the writer thread) for
-/// every peer whose socket dies, so the node can forget the link and re-dial.
-/// Returns the command handle and the join handle (the runtime joins writers at
-/// shutdown so goodbyes are flushed before stats are read).
-pub(crate) fn spawn_node_writer(
-    me: NodeId,
-    cfg: NetConfig,
-    stats: Arc<NetStats>,
-    link_down: impl Fn(NodeId) + Send + 'static,
-) -> (WriterHandle, JoinHandle<()>) {
-    let (tx, rx): (Sender<WriterCmd>, Receiver<WriterCmd>) = channel();
-    let mut w = NodeWriter {
-        me,
-        cfg,
-        links: HashMap::new(),
-        spares: Vec::new(),
-        heap: BinaryHeap::new(),
-        next_seq: 0,
-        stats,
-        link_down: Box::new(link_down),
-    };
-    let handle = std::thread::Builder::new()
-        .name(format!("arrow-net-writer-{me}"))
-        .spawn(move || {
-            loop {
-                // Block for the next command, or only until the next scheduled
-                // frame comes due — whichever happens first.
-                let first = match w.next_due() {
-                    None => match rx.recv() {
-                        Ok(cmd) => Some(cmd),
-                        Err(_) => break, // every sender gone: same as Shutdown
-                    },
-                    Some(due) => {
-                        let now = Instant::now();
-                        if due <= now {
-                            None
-                        } else {
-                            match rx.recv_timeout(due - now) {
-                                Ok(cmd) => Some(cmd),
-                                Err(RecvTimeoutError::Timeout) => None,
-                                Err(RecvTimeoutError::Disconnected) => break,
-                            }
-                        }
-                    }
-                };
-                let mut shutdown = false;
-                let mut apply = |w: &mut NodeWriter, cmd: WriterCmd| match cmd {
-                    WriterCmd::AddLink {
-                        peer,
-                        stream,
-                        weight,
-                    } => w.add_link(peer, stream, weight),
-                    WriterCmd::Send { peer, frame } => w.send(peer, frame),
-                    WriterCmd::Shutdown => shutdown = true,
-                };
-                if let Some(cmd) = first {
-                    apply(&mut w, cmd);
-                }
-                // Drain the backlog without blocking: everything already enqueued
-                // joins this flush cycle, which is what makes bursts coalesce.
-                while let Ok(cmd) = rx.try_recv() {
-                    apply(&mut w, cmd);
-                }
-                if shutdown {
-                    break;
-                }
-                w.stage_due(Instant::now(), false);
-                w.flush();
-            }
-            w.close();
-        })
-        .expect("failed to spawn node writer thread");
-    (WriterHandle { tx }, handle)
-}
-
-/// Spawn the batched reader for an established connection: whole kernel buffers are
-/// read at a time, complete frames are scanned out ([`Frame::scan`]) and forwarded
-/// to the node's event loop tagged with the peer they came from. The thread ends on
-/// `Goodbye`, EOF, undecodable bytes, or a closed event channel. The returned join
-/// handle lets the runtime wait for readers at shutdown, so their file
-/// descriptors are provably released before the next runtime spawns.
-pub(crate) fn spawn_reader<E, F>(
-    mut stream: TcpStream,
-    peer: NodeId,
-    stats: Arc<NetStats>,
-    forward: F,
-) -> JoinHandle<()>
-where
-    F: Fn(NodeId, Frame) -> Result<(), E> + Send + 'static,
-{
-    std::thread::Builder::new()
-        .name(format!("arrow-net-reader-{peer}"))
-        .spawn(move || {
-            let mut buf = vec![0u8; RECV_BUF_INIT];
-            let mut start = 0usize; // first unconsumed byte
-            let mut end = 0usize; // one past the last filled byte
-            loop {
-                // Scan every complete frame out of the buffer.
-                loop {
-                    match Frame::scan(&buf[start..end]) {
-                        Ok(Some((Frame::Goodbye, _))) => return, // clean end
-                        Ok(Some((frame, used))) => {
-                            start += used;
-                            if forward(peer, frame).is_err() {
-                                return;
-                            }
-                        }
-                        Ok(None) => break, // partial frame: read more
-                        Err(_) => return,  // corrupt stream
-                    }
-                }
-                // Compact the consumed prefix away, then make sure at least one
-                // maximal frame fits behind `end` before the next read.
-                if start > 0 {
-                    buf.copy_within(start..end, 0);
-                    end -= start;
-                    start = 0;
-                }
-                if buf.len() - end < 4 + crate::wire::MAX_FRAME_LEN as usize {
-                    buf.resize(buf.len() * 2, 0);
-                }
-                match stream.read(&mut buf[end..]) {
-                    Ok(0) | Err(_) => return, // EOF or connection error
-                    Ok(n) => {
-                        end += n;
-                        stats.inc(Metric::SocketReads);
-                        stats.add(Metric::BytesReceived, n as u64);
-                    }
-                }
-            }
-        })
-        .expect("failed to spawn link reader thread")
-}
-
 fn wire_to_io(e: WireError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
 }
 
 /// Dial a peer and run the join handshake (send `Hello{me}`, await `Welcome`),
 /// retrying transient failures up to `retries` times with linear backoff before
-/// reporting the peer unreachable. This is the budgeted dial the runtime uses
-/// ([`NetConfig::dial_retries`]); it is public so failure-injection tests can
-/// exercise the budget against a refused address directly.
+/// reporting the peer unreachable. This is the blocking counterpart of the
+/// reactors' nonblocking dial machinery, kept public so external tooling and
+/// failure-injection tests can join a mesh (or exercise the retry budget
+/// against a refused address) without standing up a reactor.
 pub fn dial_with_budget(
     addr: SocketAddr,
     me: NodeId,
@@ -768,8 +387,11 @@ pub(crate) fn dial(addr: SocketAddr, me: NodeId) -> io::Result<(TcpStream, NodeI
     }
 }
 
-/// Accepter half of the join handshake: await `Hello`, reply `Welcome{me}`.
-/// Returns the stream and the dialing peer's node id.
+/// Accepter half of the blocking join handshake: await `Hello`, reply
+/// `Welcome{me}`. Test-only — live accepts run through the reactors' state
+/// machines — but kept as the reference implementation the nonblocking
+/// handshake must stay wire-compatible with.
+#[cfg(test)]
 pub(crate) fn accept_handshake(
     mut stream: TcpStream,
     me: NodeId,
@@ -794,6 +416,7 @@ pub(crate) fn accept_handshake(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
     use std::net::TcpListener;
 
     #[test]
@@ -819,7 +442,6 @@ mod tests {
             accept_handshake(stream, 0)
         });
         let mut stream = TcpStream::connect(addr).unwrap();
-        use std::io::Write;
         stream.write_all(&[0xFF; 16]).unwrap();
         assert!(accepter.join().unwrap().is_err());
     }
@@ -870,226 +492,13 @@ mod tests {
         assert_eq!(net.jitter, Some((0.25, 9)));
     }
 
-    /// A loopback socket pair (dialer side, accepter side), already connected.
-    fn socket_pair() -> (TcpStream, TcpStream) {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let dial = std::thread::spawn(move || TcpStream::connect(addr).unwrap());
-        let (accepted, _) = listener.accept().unwrap();
-        (dial.join().unwrap(), accepted)
-    }
-
     #[test]
-    fn writer_coalesces_a_burst_into_few_writes() {
-        let (ours, theirs) = socket_pair();
-        let stats = Arc::new(NetStats::default());
-        // A 20 ms synchronous delay makes the test deterministic: the whole burst
-        // is enqueued (microseconds) long before the first frame comes due, so
-        // when the timer fires every frame is stageable in the same flush.
-        let cfg = NetConfig::synchronous(Duration::from_millis(20));
-        let (w, join) = spawn_node_writer(0, cfg, Arc::clone(&stats), |_| {});
-        assert!(w.send(WriterCmd::AddLink {
-            peer: 1,
-            stream: ours,
-            weight: 1.0,
-        }));
-        const BURST: u64 = 200;
-        for i in 0..BURST {
-            w.send(WriterCmd::Send {
-                peer: 1,
-                frame: Frame::Token {
-                    obj: arrow_core::prelude::ObjectId(0),
-                    req: arrow_core::prelude::RequestId(i),
-                    epoch: 0,
-                },
-            });
-        }
-        std::thread::sleep(Duration::from_millis(60));
-        w.send(WriterCmd::Shutdown);
-        join.join().unwrap();
-        // The peer received every frame intact, in order.
-        let mut cursor = std::io::BufReader::new(theirs);
-        for i in 0..BURST {
-            let frame = Frame::read_from(&mut cursor).unwrap();
-            assert_eq!(
-                frame,
-                Frame::Token {
-                    obj: arrow_core::prelude::ObjectId(0),
-                    req: arrow_core::prelude::RequestId(i),
-                    epoch: 0,
-                }
-            );
-        }
-        let snap = stats.snapshot();
-        assert_eq!(snap.frames_sent, BURST);
-        assert!(
-            snap.socket_writes < BURST / 4,
-            "{} writes for {BURST} frames: no coalescing",
-            snap.socket_writes
-        );
-        assert!(snap.frames_per_write() > 4.0);
-    }
-
-    #[test]
-    fn writer_reports_a_dead_link_through_the_link_down_callback() {
-        // Regression: the timer writer used to drop a dead link silently, so the
-        // node's link set stayed stale and later frames to the peer were lost
-        // with no re-dial. Now every dropped link is reported via link_down.
-        let (ours, theirs) = socket_pair();
-        let (down_tx, down_rx) = channel();
-        let stats = Arc::new(NetStats::default());
-        let (w, join) = spawn_node_writer(0, NetConfig::instant(), stats, move |peer| {
-            down_tx.send(peer).unwrap();
-        });
-        w.send(WriterCmd::AddLink {
-            peer: 9,
-            stream: ours,
-            weight: 1.0,
-        });
-        // Kill the peer side, then push frames until a write fails. One write
-        // may still succeed into the kernel buffer after the peer closes, so a
-        // few frames (with small sleeps so flushes don't coalesce into a single
-        // pre-error write) are needed before the socket reports the reset.
-        drop(theirs);
-        let peer = loop {
-            w.send(WriterCmd::Send {
-                peer: 9,
-                frame: Frame::Goodbye,
-            });
-            match down_rx.recv_timeout(Duration::from_millis(200)) {
-                Ok(peer) => break peer,
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => panic!("writer died unreported"),
-            }
-        };
-        assert_eq!(peer, 9);
-        // Frames to the dropped peer are discarded, not a panic (they race the
-        // node's LinkDown processing).
-        w.send(WriterCmd::Send {
-            peer: 9,
-            frame: Frame::Goodbye,
-        });
-        w.send(WriterCmd::Shutdown);
-        join.join().unwrap();
-    }
-
-    #[test]
-    fn instant_writer_fast_path_delivers_in_order_with_exact_byte_accounting() {
-        let (ours, theirs) = socket_pair();
-        let stats = Arc::new(NetStats::default());
-        let (w, join) = spawn_node_writer(0, NetConfig::instant(), Arc::clone(&stats), |_| {});
-        w.send(WriterCmd::AddLink {
-            peer: 1,
-            stream: ours,
-            weight: 1.0,
-        });
-        const N: u64 = 100;
-        let mut expected_bytes = 0u64;
-        for i in 0..N {
-            let frame = Frame::Token {
-                obj: arrow_core::prelude::ObjectId(0),
-                req: arrow_core::prelude::RequestId(i),
-                epoch: 0,
-            };
-            expected_bytes += frame.encode().len() as u64;
-            w.send(WriterCmd::Send { peer: 1, frame });
-        }
-        w.send(WriterCmd::Shutdown);
-        join.join().unwrap();
-        let mut cursor = std::io::BufReader::new(theirs);
-        for i in 0..N {
-            assert_eq!(
-                Frame::read_from(&mut cursor).unwrap(),
-                Frame::Token {
-                    obj: arrow_core::prelude::ObjectId(0),
-                    req: arrow_core::prelude::RequestId(i),
-                    epoch: 0,
-                }
-            );
-        }
-        let snap = stats.snapshot();
-        assert_eq!(snap.frames_sent, N);
-        assert_eq!(snap.bytes_sent, expected_bytes);
-        assert!(snap.socket_writes >= 1 && snap.socket_writes <= N);
-    }
-
-    #[test]
-    fn writer_timer_heap_preserves_link_fifo_under_jitter() {
-        let (ours, theirs) = socket_pair();
-        let stats = Arc::new(NetStats::default());
-        // Heavy jitter on a short latency: frames would reorder without the
-        // running due-time floor.
-        let cfg = NetConfig::asynchronous(Duration::from_millis(2), 0.0, 99);
-        let (w, join) = spawn_node_writer(0, cfg, Arc::clone(&stats), |_| {});
-        w.send(WriterCmd::AddLink {
-            peer: 1,
-            stream: ours,
-            weight: 1.0,
-        });
-        const N: u64 = 50;
-        for i in 0..N {
-            w.send(WriterCmd::Send {
-                peer: 1,
-                frame: Frame::Token {
-                    obj: arrow_core::prelude::ObjectId(0),
-                    req: arrow_core::prelude::RequestId(i),
-                    epoch: 0,
-                },
-            });
-        }
-        w.send(WriterCmd::Shutdown);
-        join.join().unwrap();
-        let mut cursor = std::io::BufReader::new(theirs);
-        for i in 0..N {
-            assert_eq!(
-                Frame::read_from(&mut cursor).unwrap(),
-                Frame::Token {
-                    obj: arrow_core::prelude::ObjectId(0),
-                    req: arrow_core::prelude::RequestId(i),
-                    epoch: 0,
-                },
-                "frame {i} out of order"
-            );
-        }
-    }
-
-    #[test]
-    fn batched_reader_forwards_a_coalesced_batch() {
-        let (mut ours, theirs) = socket_pair();
-        let stats = Arc::new(NetStats::default());
-        let (tx, rx) = channel();
-        let reader = spawn_reader(theirs, 3, Arc::clone(&stats), move |from, frame| {
-            tx.send((from, frame))
-        });
-        // One write carrying many frames: the reader must scan them all out.
-        let mut batch = Vec::new();
-        for i in 0..64u64 {
-            Frame::Token {
-                obj: arrow_core::prelude::ObjectId(1),
-                req: arrow_core::prelude::RequestId(i),
-                epoch: 0,
-            }
-            .encode_into(&mut batch);
-        }
-        Frame::Goodbye.encode_into(&mut batch);
-        ours.write_all(&batch).unwrap();
-        let mut got = Vec::new();
-        while let Ok((from, frame)) = rx.recv() {
-            assert_eq!(from, 3);
-            got.push(frame);
-        }
-        assert_eq!(got.len(), 64, "goodbye ends the stream after the batch");
-        for (i, frame) in got.into_iter().enumerate() {
-            assert_eq!(
-                frame,
-                Frame::Token {
-                    obj: arrow_core::prelude::ObjectId(1),
-                    req: arrow_core::prelude::RequestId(i as u64),
-                    epoch: 0,
-                }
-            );
-        }
-        reader.join().unwrap();
-        assert!(stats.snapshot().bytes_received >= batch.len() as u64 - 8);
+    fn effective_shards_clamps_and_autosizes() {
+        let cfg = NetConfig::instant().with_shards(4);
+        assert_eq!(cfg.effective_shards(100), 4);
+        assert_eq!(cfg.effective_shards(2), 2, "never more shards than nodes");
+        assert_eq!(cfg.effective_shards(0), 1, "at least one shard");
+        let auto = NetConfig::instant();
+        assert!(auto.effective_shards(4096) >= 2, "auto-sizing floor is 2");
     }
 }

@@ -1,0 +1,2048 @@
+//! The sharded reactor core of the socket tier.
+//!
+//! Instead of three threads per node (accept/read/write), the runtime spawns a
+//! small fixed pool of *shards*. Each shard owns a disjoint subset of the
+//! nodes, runs one epoll loop over all of their listeners and connections, and
+//! drives every per-node Arrow core, handshake state machine, timer, and send
+//! buffer from that single thread. Thread count is `O(shards)`, not
+//! `O(nodes)`, which is what lets one process host ≥1024 nodes.
+//!
+//! A TCP connection between nodes on different shards appears as two
+//! independent [`Conn`] entries, one in each shard's slab; the kernel socket
+//! is the only shared state. Cross-shard control (acquire, crash, epoch,
+//! shutdown) travels through each shard's [`Inbox`], woken via an eventfd.
+//!
+//! Handshakes are nonblocking state machines ([`ConnState`]): a dialer drives
+//! `Connecting → AwaitWelcome → Established`, an acceptor `AwaitHello →
+//! Established`. When two nodes dial each other simultaneously, both sides
+//! deterministically keep the connection dialed by the lower node id and
+//! drain the loser (see [`Shard::promote`]), so exactly one link survives and
+//! no staged frame is lost.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::mem;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use arrow_core::live::{ArrowCore, CoreAction};
+use arrow_core::prelude::{ObjectId, OrderRecord, ProtoMsg, Request, RequestId};
+use arrow_trace::{HistMetric, Metric, Probe, ProbeEvent};
+use desim::{SimTime, SUBTICKS_PER_UNIT};
+use netgraph::{NodeId, RootedTree};
+
+use crate::mesh::{DelayPolicy, NetConfig, NetStats, HANDSHAKE_TIMEOUT, RECV_BUF_INIT};
+use crate::runtime::{Grant, NetFailure, NodeJournal};
+use crate::wheel::TimerWheel;
+use crate::wire::{Frame, MAX_FRAME_LEN};
+
+/// Poll token reserved for the shard's inbox eventfd waker.
+const WAKER_TOKEN: u64 = u64::MAX;
+/// Base backoff between dial retries (scaled by attempt number).
+const DIAL_BACKOFF: Duration = Duration::from_millis(5);
+/// How long a dedupe-losing connection may keep draining before being cut.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+/// A draining connection idle (no reads) this long is assumed flushed.
+const DRAIN_IDLE: Duration = Duration::from_secs(2);
+/// Hard deadline for graceful shutdown before remaining sockets are cut.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+/// Max `read(2)` calls per readiness event before yielding to other sockets.
+const READS_PER_EVENT: usize = 16;
+
+/// A control-plane command injected into a shard from outside its thread.
+pub(crate) enum ShardCmd {
+    /// Issue an acquire on `node` for `obj`; the grant goes to `reply`.
+    Acquire {
+        node: NodeId,
+        obj: ObjectId,
+        reply: Sender<Grant>,
+    },
+    /// Release the token for `obj` held by `node` under request `req`.
+    Release {
+        node: NodeId,
+        obj: ObjectId,
+        req: RequestId,
+    },
+    /// Another shard's node failed; propagate to this shard's nodes.
+    PeerFailed { failure: NetFailure },
+    /// Fault injection: crash `node` (sever sockets, reboot core).
+    Crash { node: NodeId },
+    /// Fault injection: restart a crashed `node`.
+    Restart { node: NodeId },
+    /// Adopt recovery epoch `epoch` on every node of this shard.
+    Epoch { epoch: u64 },
+    /// Begin graceful shutdown of the shard.
+    Shutdown,
+}
+
+/// The cross-thread mailbox of one shard: a locked queue plus an eventfd that
+/// pulls the shard out of `epoll_wait` when a command lands.
+pub(crate) struct Inbox {
+    queue: Mutex<VecDeque<ShardCmd>>,
+    waker: netpoll::Waker,
+    /// Set by the shard as it exits; late senders see `send` return `false`.
+    closed: AtomicBool,
+}
+
+/// A cheap cloneable handle for injecting commands into one shard.
+pub(crate) struct ShardInjector {
+    inbox: Arc<Inbox>,
+}
+
+impl Clone for ShardInjector {
+    fn clone(&self) -> Self {
+        ShardInjector {
+            inbox: Arc::clone(&self.inbox),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ShardInjector")
+    }
+}
+
+impl ShardInjector {
+    /// Enqueue `cmd` and wake the shard. Returns `false` if the shard has
+    /// already drained its inbox for the last time and exited.
+    pub(crate) fn send(&self, cmd: ShardCmd) -> bool {
+        // The closed check happens before the push: once `closed` is set the
+        // shard never locks the queue again, so a command enqueued after a
+        // `true` load here may be dropped — callers treat `false` (and only
+        // `false`) as "runtime has shut down".
+        if self.inbox.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        self.inbox
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(cmd);
+        let _ = self.inbox.waker.wake();
+        true
+    }
+}
+
+/// One slab slot: a generation counter (folded into poll tokens so stale
+/// epoll events for a reused slot are ignored) plus the event source.
+struct SlabEntry {
+    gen: u32,
+    src: Option<Source>,
+}
+
+/// Anything a shard registers with its poller.
+enum Source {
+    /// A node's accept socket.
+    Listener { node: NodeId, listener: TcpListener },
+    /// A live or in-handshake connection.
+    Conn(Box<Conn>),
+}
+
+/// Handshake progression of a connection.
+#[derive(Clone, Copy, PartialEq)]
+enum ConnState {
+    /// Dialer: `connect(2)` in flight, waiting for writability.
+    Connecting,
+    /// Dialer: `Hello` sent, waiting for the peer's `Welcome`.
+    AwaitWelcome,
+    /// Acceptor: waiting for the peer's `Hello`.
+    AwaitHello,
+    /// Handshake complete; protocol frames flow.
+    Established,
+}
+
+/// Per-connection state: socket, framing buffer, send buffer, lifecycle.
+struct Conn {
+    stream: TcpStream,
+    /// The local node that owns this endpoint.
+    node: NodeId,
+    /// The remote node, once known (dialers know at creation, acceptors after
+    /// `Hello`).
+    peer: Option<NodeId>,
+    /// Whether this endpoint initiated the connection.
+    dialed: bool,
+    state: ConnState,
+    /// Read buffer; frames are scanned out of `buf[start..end]`.
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    out: SendBuf,
+    /// Last interest registered with the poller (read, write).
+    interest: (bool, bool),
+    /// Peer sent `Goodbye`: no more inbound frames expected.
+    peer_closed: bool,
+    /// Half-close the write side once `out` fully flushes.
+    close_write_after_flush: bool,
+    /// Write side has been shut down.
+    write_closed: bool,
+    /// Lost a dial-race dedupe; being drained of in-flight frames.
+    draining: bool,
+    /// Already queued in the shard's flush list this cycle.
+    in_flushq: bool,
+    last_read: Instant,
+}
+
+/// A connection's pending outbound bytes, with frame accounting for the
+/// write-batch histogram.
+struct SendBuf {
+    buf: Vec<u8>,
+    written: usize,
+    frames: u64,
+}
+
+impl SendBuf {
+    fn new() -> Self {
+        SendBuf {
+            buf: Vec::new(),
+            written: 0,
+            frames: 0,
+        }
+    }
+
+    fn stage(&mut self, frame: &Frame) {
+        frame.encode_into(&mut self.buf);
+        self.frames += 1;
+    }
+}
+
+enum FlushOutcome {
+    Done,
+    Blocked,
+    Dead(io::Error),
+}
+
+/// Write as much of `c.out` as the socket accepts right now.
+fn flush_send_buf(c: &mut Conn, stats: &NetStats) -> FlushOutcome {
+    while c.out.written < c.out.buf.len() {
+        match (&c.stream).write(&c.out.buf[c.out.written..]) {
+            Ok(0) => return FlushOutcome::Dead(io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                stats.inc(Metric::SocketWrites);
+                stats.add(Metric::BytesSent, n as u64);
+                c.out.written += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                stats.inc(Metric::WouldBlockRetries);
+                return FlushOutcome::Blocked;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return FlushOutcome::Dead(e),
+        }
+    }
+    if c.out.frames > 0 {
+        stats.add(Metric::FramesSent, c.out.frames);
+        stats.observe(HistMetric::WriteBatchFrames, c.out.frames);
+    }
+    c.out.buf.clear();
+    c.out.written = 0;
+    c.out.frames = 0;
+    FlushOutcome::Done
+}
+
+/// Why a node started a dial; decides how a final dial failure is handled.
+#[derive(Clone, Copy, PartialEq)]
+enum DialIntent {
+    /// Initial parent dial at startup: failure fails the node.
+    Bootstrap,
+    /// Re-dial of the parent after a restart: failure is ignored.
+    Restart,
+    /// Dial carrying protocol traffic: failure drops or fails per config.
+    Traffic,
+}
+
+/// A dial in flight: frames staged for the link pile up here until the
+/// handshake completes.
+struct PendingDial {
+    /// Slab index of the connecting socket, if one is currently open.
+    conn: Option<usize>,
+    frames: Vec<Frame>,
+    attempt: u32,
+    intent: DialIntent,
+}
+
+/// The established link a node holds toward one peer.
+struct Link {
+    /// Slab index of the winning connection.
+    conn: usize,
+    /// Slab index of a dedupe loser still draining, if any.
+    loser: Option<usize>,
+    /// Frames read from the loser while the race was unresolved; replayed in
+    /// order once the loser finishes draining.
+    deferred: Vec<Frame>,
+}
+
+/// Injected-latency state for one directed link.
+struct LinkDelay {
+    policy: DelayPolicy,
+    /// Running maximum of scheduled due times, enforcing per-link FIFO.
+    last_due: Instant,
+}
+
+/// Everything one node carries inside its shard.
+struct NodeState<P: Probe> {
+    me: NodeId,
+    core: ArrowCore<P>,
+    /// Scratch buffer for core actions (reused across dispatches).
+    actions: Vec<CoreAction>,
+    /// In-flight acquires awaiting a `Granted` action.
+    waiting: HashMap<(ObjectId, RequestId), (Sender<Grant>, Instant)>,
+    failed: Option<NetFailure>,
+    crashed: bool,
+    links: HashMap<NodeId, Link>,
+    pending: HashMap<NodeId, PendingDial>,
+    delay: HashMap<NodeId, LinkDelay>,
+    journal: NodeJournal,
+    /// Core actions are pending dispatch (node is queued in `dirtyq`).
+    dirty: bool,
+}
+
+/// A timer wheel entry.
+enum TimerEntry {
+    /// Injected-latency release of one frame toward `peer`.
+    FlushFrame {
+        node: NodeId,
+        peer: NodeId,
+        frame: Frame,
+        due: Instant,
+    },
+    /// Backoff expiry for a failed dial attempt.
+    RetryDial { node: NodeId, peer: NodeId },
+    /// Handshake/drain deadline for the connection behind `token`.
+    ConnDeadline { token: u64 },
+    /// Graceful-shutdown grace period expired: cut remaining sockets.
+    ShutdownDeadline,
+}
+
+/// Immutable state shared by every shard, built once by the runtime.
+#[derive(Clone)]
+pub(crate) struct ReactorShared {
+    pub(crate) cfg: NetConfig,
+    pub(crate) tree: Arc<RootedTree>,
+    pub(crate) addrs: Arc<Vec<SocketAddr>>,
+    pub(crate) stats: Arc<NetStats>,
+    /// Normalized `(min, max)` pairs of links currently severed by faults.
+    pub(crate) blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
+    /// Fast path: skip the `blocked` lock entirely until faults are armed.
+    pub(crate) faults_armed: Arc<AtomicBool>,
+    /// Wall-clock origin for journal timestamps and the timer wheels.
+    pub(crate) epoch0: Instant,
+}
+
+/// One node's slice of the spawn manifest: its id, protocol core, and bound
+/// listener.
+pub(crate) type NodeSeed<P> = (NodeId, ArrowCore<P>, TcpListener);
+
+/// A shard thread's join handle; joining yields the shard's node journals.
+pub(crate) type ShardJoin = JoinHandle<Vec<(NodeId, NodeJournal)>>;
+
+/// Spawn the shard threads. `shard_nodes[s]` lists the nodes shard `s` owns,
+/// each with its protocol core and bound listener. Returns one injector per
+/// shard plus the join handles (each yields the shard's node journals).
+pub(crate) fn spawn_shards<P: Probe + Send + 'static>(
+    shared: &ReactorShared,
+    shard_nodes: Vec<Vec<NodeSeed<P>>>,
+) -> (Vec<ShardInjector>, Vec<ShardJoin>) {
+    let inboxes: Vec<Arc<Inbox>> = shard_nodes
+        .iter()
+        .map(|_| {
+            Arc::new(Inbox {
+                queue: Mutex::new(VecDeque::new()),
+                waker: netpoll::Waker::new().expect("eventfd waker"),
+                closed: AtomicBool::new(false),
+            })
+        })
+        .collect();
+    let injectors: Vec<ShardInjector> = inboxes
+        .iter()
+        .map(|inbox| ShardInjector {
+            inbox: Arc::clone(inbox),
+        })
+        .collect();
+    let peers = Arc::new(injectors.clone());
+    let mut threads = Vec::with_capacity(shard_nodes.len());
+    for (s, nodes) in shard_nodes.into_iter().enumerate() {
+        let shared = shared.clone();
+        let inbox = Arc::clone(&inboxes[s]);
+        let peers = Arc::clone(&peers);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("arrow-net-shard-{s}"))
+                .spawn(move || Shard::new(&shared, inbox, peers, nodes).run())
+                .expect("spawn shard thread"),
+        );
+    }
+    (injectors, threads)
+}
+
+/// One reactor shard: a single-threaded event loop over a subset of nodes.
+struct Shard<P: Probe> {
+    cfg: NetConfig,
+    tree: Arc<RootedTree>,
+    addrs: Arc<Vec<SocketAddr>>,
+    stats: Arc<NetStats>,
+    blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
+    faults_armed: Arc<AtomicBool>,
+    epoch0: Instant,
+    poller: netpoll::Poller,
+    slab: Vec<SlabEntry>,
+    free: Vec<usize>,
+    nodes: HashMap<NodeId, NodeState<P>>,
+    wheel: TimerWheel<TimerEntry>,
+    inbox: Arc<Inbox>,
+    peers: Arc<Vec<ShardInjector>>,
+    /// Connections (by token) with staged bytes to flush this cycle.
+    flushq: Vec<u64>,
+    /// Nodes with undispatched core actions this cycle.
+    dirtyq: Vec<NodeId>,
+    shutting_down: bool,
+    shutdown_forced: bool,
+}
+
+/// Drain `state.waiting` into failure grants and mark the node failed.
+fn enter_failed_state<P: Probe>(state: &mut NodeState<P>, failure: NetFailure) {
+    for ((obj, _req), (reply, issued)) in state.waiting.drain() {
+        let _ = reply.send(Grant {
+            node: state.me,
+            obj,
+            result: Err(failure.clone()),
+            wait: issued.elapsed(),
+        });
+    }
+    state.failed = Some(failure);
+}
+
+impl<P: Probe> Shard<P> {
+    fn new(
+        shared: &ReactorShared,
+        inbox: Arc<Inbox>,
+        peers: Arc<Vec<ShardInjector>>,
+        owned: Vec<(NodeId, ArrowCore<P>, TcpListener)>,
+    ) -> Self {
+        let poller = netpoll::Poller::new().expect("epoll instance");
+        poller
+            .register(inbox.waker.as_raw_fd(), WAKER_TOKEN, true, false)
+            .expect("register waker");
+        let mut shard = Shard {
+            cfg: shared.cfg,
+            tree: Arc::clone(&shared.tree),
+            addrs: Arc::clone(&shared.addrs),
+            stats: Arc::clone(&shared.stats),
+            blocked: Arc::clone(&shared.blocked),
+            faults_armed: Arc::clone(&shared.faults_armed),
+            epoch0: shared.epoch0,
+            poller,
+            slab: Vec::new(),
+            free: Vec::new(),
+            nodes: HashMap::with_capacity(owned.len()),
+            wheel: TimerWheel::new(shared.epoch0),
+            inbox,
+            peers,
+            flushq: Vec::new(),
+            dirtyq: Vec::new(),
+            shutting_down: false,
+            shutdown_forced: false,
+        };
+        for (v, core, listener) in owned {
+            listener
+                .set_nonblocking(true)
+                .expect("nonblocking listener");
+            let fd = listener.as_raw_fd();
+            let (_, tok) = shard.slab_insert(Source::Listener { node: v, listener });
+            shard
+                .poller
+                .register(fd, tok, true, false)
+                .expect("register listener");
+            shard.nodes.insert(
+                v,
+                NodeState {
+                    me: v,
+                    core,
+                    actions: Vec::new(),
+                    waiting: HashMap::new(),
+                    failed: None,
+                    crashed: false,
+                    links: HashMap::new(),
+                    pending: HashMap::new(),
+                    delay: HashMap::new(),
+                    journal: NodeJournal::default(),
+                    dirty: false,
+                },
+            );
+        }
+        shard
+    }
+
+    // ---- slab --------------------------------------------------------------
+
+    /// Insert an event source, returning its slot index and poll token. The
+    /// token packs `(generation << 32) | index` so a stale event for a reused
+    /// slot fails to resolve instead of hitting the wrong connection.
+    fn slab_insert(&mut self, src: Source) -> (usize, u64) {
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slab.push(SlabEntry { gen: 0, src: None });
+                self.slab.len() - 1
+            }
+        };
+        let entry = &mut self.slab[idx];
+        entry.gen = entry.gen.wrapping_add(1);
+        entry.src = Some(src);
+        (idx, ((entry.gen as u64) << 32) | idx as u64)
+    }
+
+    /// Remove and return the source at `idx`, deregistering its fd.
+    fn slab_remove(&mut self, idx: usize) -> Source {
+        let src = self.slab[idx].src.take().expect("slab slot occupied");
+        let fd = match &src {
+            Source::Listener { listener, .. } => listener.as_raw_fd(),
+            Source::Conn(c) => c.stream.as_raw_fd(),
+        };
+        let _ = self.poller.deregister(fd);
+        self.free.push(idx);
+        src
+    }
+
+    /// Map a poll token back to a live slab index, or `None` if stale.
+    fn resolve(&self, token: u64) -> Option<usize> {
+        if token == WAKER_TOKEN {
+            return None;
+        }
+        let idx = (token & 0xFFFF_FFFF) as usize;
+        let gen = (token >> 32) as u32;
+        if idx < self.slab.len() && self.slab[idx].gen == gen && self.slab[idx].src.is_some() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// The current token of an occupied slot.
+    fn token_of(&self, idx: usize) -> u64 {
+        ((self.slab[idx].gen as u64) << 32) | idx as u64
+    }
+
+    fn conn(&self, idx: usize) -> &Conn {
+        match self.slab[idx].src.as_ref().expect("occupied") {
+            Source::Conn(c) => c,
+            Source::Listener { .. } => panic!("slot {idx} is a listener"),
+        }
+    }
+
+    fn conn_mut(&mut self, idx: usize) -> &mut Conn {
+        match self.slab[idx].src.as_mut().expect("occupied") {
+            Source::Conn(c) => c,
+            Source::Listener { .. } => panic!("slot {idx} is a listener"),
+        }
+    }
+
+    // ---- loop --------------------------------------------------------------
+
+    fn now(&self) -> SimTime {
+        SimTime::from_subticks(
+            (self.epoch0.elapsed().as_secs_f64() * SUBTICKS_PER_UNIT as f64) as u64,
+        )
+    }
+
+    fn mark_dirty(&mut self, v: NodeId) {
+        let node = self.nodes.get_mut(&v).expect("owned node");
+        if !node.dirty {
+            node.dirty = true;
+            self.dirtyq.push(v);
+        }
+    }
+
+    fn run(mut self) -> Vec<(NodeId, NodeJournal)> {
+        // Bootstrap: every non-root node dials its tree parent.
+        let owned: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for v in owned {
+            if let Some(p) = self.tree.parent(v) {
+                self.start_dial(v, p, DialIntent::Bootstrap, Vec::new());
+            }
+        }
+        let mut events = Vec::new();
+        let mut due = Vec::new();
+        loop {
+            let timeout = self
+                .wheel
+                .next_due()
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            let _ = self.poller.wait(&mut events, timeout);
+            self.stats.inc(Metric::ReactorWakeups);
+            self.stats
+                .observe(HistMetric::EventsPerWakeup, events.len() as u64);
+            for ev in &events {
+                let ev = *ev;
+                if ev.token == WAKER_TOKEN {
+                    self.inbox.waker.drain();
+                    continue;
+                }
+                if ev.readable {
+                    if let Some(idx) = self.resolve(ev.token) {
+                        self.handle_readable(idx);
+                    }
+                }
+                // Re-resolve: the readable half may have closed the conn.
+                if ev.writable {
+                    if let Some(idx) = self.resolve(ev.token) {
+                        self.handle_writable(idx);
+                    }
+                }
+            }
+            let cmds = mem::take(
+                &mut *self
+                    .inbox
+                    .queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+            if !cmds.is_empty() {
+                self.stats
+                    .observe(HistMetric::ShardQueueDepth, cmds.len() as u64);
+            }
+            for cmd in cmds {
+                self.handle_cmd(cmd);
+            }
+            due.clear();
+            self.wheel.pop_due(Instant::now(), &mut due);
+            for entry in due.drain(..) {
+                self.handle_timer(entry);
+            }
+            let dirty = mem::take(&mut self.dirtyq);
+            for v in dirty {
+                if self.nodes.get(&v).is_some_and(|n| n.dirty) {
+                    self.apply_actions(v);
+                }
+            }
+            let flush = mem::take(&mut self.flushq);
+            for tok in flush {
+                if let Some(idx) = self.resolve(tok) {
+                    self.conn_mut(idx).in_flushq = false;
+                    self.flush_conn(idx);
+                }
+            }
+            if self.shutting_down {
+                if self.shutdown_forced {
+                    let conns: Vec<usize> = self
+                        .slab
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| matches!(e.src, Some(Source::Conn(_))))
+                        .map(|(i, _)| i)
+                        .collect();
+                    for idx in conns {
+                        if let Source::Conn(c) = self.slab_remove(idx) {
+                            let _ = c.stream.shutdown(Shutdown::Both);
+                        }
+                    }
+                }
+                let live = self
+                    .slab
+                    .iter()
+                    .any(|e| matches!(e.src, Some(Source::Conn(_))));
+                if !live {
+                    break;
+                }
+            }
+        }
+        self.inbox.closed.store(true, Ordering::Release);
+        let mut out = Vec::with_capacity(self.nodes.len());
+        for (v, node) in self.nodes.drain() {
+            self.stats
+                .add(Metric::StaleEpochDrops, node.core.stale_drops());
+            out.push((v, node.journal));
+        }
+        out
+    }
+
+    // ---- control plane -----------------------------------------------------
+
+    fn handle_cmd(&mut self, cmd: ShardCmd) {
+        match cmd {
+            ShardCmd::Acquire { node, obj, reply } => self.cmd_acquire(node, obj, reply),
+            ShardCmd::Release { node, obj, req } => {
+                let state = self.nodes.get_mut(&node).expect("owned node");
+                if state.crashed {
+                    return;
+                }
+                state.core.on_release(obj, req, &mut state.actions);
+                self.mark_dirty(node);
+            }
+            ShardCmd::PeerFailed { failure } => {
+                for state in self.nodes.values_mut() {
+                    if !state.crashed && state.failed.is_none() {
+                        enter_failed_state(state, failure.clone());
+                    }
+                }
+            }
+            ShardCmd::Crash { node } => self.cmd_crash(node),
+            ShardCmd::Restart { node } => self.cmd_restart(node),
+            ShardCmd::Epoch { epoch } => {
+                let owned: Vec<NodeId> = self.nodes.keys().copied().collect();
+                for v in owned {
+                    if !self.nodes[&v].crashed {
+                        self.adopt_epoch(v, epoch);
+                    }
+                }
+            }
+            ShardCmd::Shutdown => self.begin_shutdown(),
+        }
+    }
+
+    fn cmd_acquire(&mut self, v: NodeId, obj: ObjectId, reply: Sender<Grant>) {
+        let time = self.now();
+        let state = self.nodes.get_mut(&v).expect("owned node");
+        if state.crashed {
+            let _ = reply.send(Grant {
+                node: v,
+                obj,
+                result: Err(NetFailure {
+                    node: v,
+                    description: "node is crashed (fault injection)".into(),
+                }),
+                wait: Duration::ZERO,
+            });
+            return;
+        }
+        if let Some(failure) = &state.failed {
+            let _ = reply.send(Grant {
+                node: v,
+                obj,
+                result: Err(failure.clone()),
+                wait: Duration::ZERO,
+            });
+            return;
+        }
+        self.stats.inc(Metric::RequestsIssued);
+        let req = state.core.acquire(obj, &mut state.actions);
+        state.waiting.insert((obj, req), (reply, Instant::now()));
+        state.journal.issued.push(Request {
+            id: req,
+            node: v,
+            time,
+            obj,
+        });
+        self.mark_dirty(v);
+    }
+
+    fn cmd_crash(&mut self, v: NodeId) {
+        let state = self.nodes.get_mut(&v).expect("owned node");
+        if state.crashed {
+            return;
+        }
+        // Sever every socket this node owns, bypassing close_conn bookkeeping
+        // — the links/pending maps are wiped wholesale below.
+        let victims: Vec<usize> = self
+            .slab
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(&e.src, Some(Source::Conn(c)) if c.node == v))
+            .map(|(i, _)| i)
+            .collect();
+        for idx in victims {
+            if let Source::Conn(c) = self.slab_remove(idx) {
+                let _ = c.stream.shutdown(Shutdown::Both);
+            }
+        }
+        let state = self.nodes.get_mut(&v).expect("owned node");
+        state.links.clear();
+        state.pending.clear();
+        state.core.reboot();
+        state.actions.clear();
+        let me = state.me;
+        for ((obj, _req), (reply, issued)) in state.waiting.drain() {
+            let _ = reply.send(Grant {
+                node: me,
+                obj,
+                result: Err(NetFailure {
+                    node: me,
+                    description: "node crashed (fault injection)".into(),
+                }),
+                wait: issued.elapsed(),
+            });
+        }
+        state.crashed = true;
+    }
+
+    fn cmd_restart(&mut self, v: NodeId) {
+        let state = self.nodes.get_mut(&v).expect("owned node");
+        if !state.crashed {
+            return;
+        }
+        state.crashed = false;
+        if let Some(p) = self.tree.parent(v) {
+            let state = &self.nodes[&v];
+            if !state.links.contains_key(&p) && !state.pending.contains_key(&p) {
+                self.start_dial(v, p, DialIntent::Restart, Vec::new());
+            }
+        }
+    }
+
+    fn adopt_epoch(&mut self, v: NodeId, epoch: u64) {
+        let state = self.nodes.get_mut(&v).expect("owned node");
+        let before = state.core.epoch();
+        state.core.on_epoch(epoch, &mut state.actions);
+        if state.core.epoch() > before {
+            self.stats.inc(Metric::EpochsAdopted);
+        }
+        self.mark_dirty(v);
+    }
+
+    // ---- core action dispatch ----------------------------------------------
+
+    fn apply_actions(&mut self, v: NodeId) {
+        loop {
+            let mut orphaned: Vec<(ObjectId, RequestId)> = Vec::new();
+            let state = self.nodes.get_mut(&v).expect("owned node");
+            let actions = mem::take(&mut state.actions);
+            state.dirty = false;
+            if actions.is_empty() {
+                return;
+            }
+            for action in &actions {
+                match *action {
+                    CoreAction::SendQueue {
+                        to,
+                        obj,
+                        req,
+                        origin,
+                        epoch,
+                    } => {
+                        self.stats.inc(Metric::QueueFrames);
+                        self.send_frame(
+                            v,
+                            to,
+                            Frame::Proto(ProtoMsg::Queue {
+                                req,
+                                obj,
+                                origin,
+                                epoch,
+                            }),
+                        );
+                    }
+                    CoreAction::SendToken {
+                        to,
+                        obj,
+                        req,
+                        epoch,
+                    } => {
+                        self.stats.inc(Metric::TokenFrames);
+                        self.send_frame(v, to, Frame::Token { obj, req, epoch });
+                    }
+                    CoreAction::Granted { obj, req } => {
+                        self.stats.inc(Metric::Acquisitions);
+                        let state = self.nodes.get_mut(&v).expect("owned node");
+                        match state.waiting.remove(&(obj, req)) {
+                            Some((reply, issued)) => {
+                                let wait = issued.elapsed();
+                                self.stats
+                                    .observe(HistMetric::AcquireNanos, wait.as_nanos() as u64);
+                                let _ = reply.send(Grant {
+                                    node: v,
+                                    obj,
+                                    result: Ok(req),
+                                    wait,
+                                });
+                            }
+                            // A grant with no waiter (the waiter was dropped
+                            // by a crash/restart cycle) releases the token
+                            // straight back into the tree.
+                            None => orphaned.push((obj, req)),
+                        }
+                    }
+                    CoreAction::Queued {
+                        obj,
+                        pred,
+                        succ,
+                        origin,
+                        epoch,
+                    } => {
+                        let at = self.now();
+                        let state = self.nodes.get_mut(&v).expect("owned node");
+                        state.journal.records.push(OrderRecord {
+                            predecessor: pred,
+                            successor: succ,
+                            obj,
+                            at_node: v,
+                            informed_at: at,
+                            epoch,
+                        });
+                        let _ = origin;
+                    }
+                }
+            }
+            let state = self.nodes.get_mut(&v).expect("owned node");
+            let mut drained = actions;
+            drained.clear();
+            // Give the emptied buffer's capacity back to the node; actions
+            // emitted during dispatch were pushed into the fresh Vec left by
+            // mem::take and are carried over for the next pass.
+            drained.append(&mut state.actions);
+            state.actions = drained;
+            if orphaned.is_empty() {
+                if state.actions.is_empty() {
+                    return;
+                }
+                continue;
+            }
+            for (obj, req) in orphaned {
+                self.stats.inc(Metric::OrphanReleases);
+                let state = self.nodes.get_mut(&v).expect("owned node");
+                state.core.probe_mut().record(ProbeEvent::OrphanRelease {
+                    obj: obj.0,
+                    req: req.0,
+                });
+                state.core.on_release(obj, req, &mut state.actions);
+            }
+        }
+    }
+
+    // ---- outbound frames ---------------------------------------------------
+
+    /// Entry point for protocol frames leaving node `v` toward `to`: applies
+    /// injected latency, then delivers (or schedules delivery of) the frame.
+    fn send_frame(&mut self, v: NodeId, to: NodeId, frame: Frame) {
+        let state = &self.nodes[&v];
+        if state.failed.is_some() {
+            return;
+        }
+        if self.faults_armed.load(Ordering::Relaxed) {
+            let severed = state.crashed || {
+                let key = (v.min(to), v.max(to));
+                self.blocked
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .contains(&key)
+            };
+            if severed {
+                self.stats.inc(Metric::FramesDropped);
+                return;
+            }
+        }
+        if self.cfg.unit_latency.is_zero() {
+            self.deliver_frame(v, to, frame);
+            return;
+        }
+        let now = Instant::now();
+        let cfg = self.cfg;
+        let dist = self.tree.distance(v, to);
+        let state = self.nodes.get_mut(&v).expect("owned node");
+        let delay = state.delay.entry(to).or_insert_with(|| LinkDelay {
+            policy: DelayPolicy::new(&cfg, dist, v, to),
+            last_due: now,
+        });
+        let due = delay.last_due.max(now + delay.policy.sample());
+        delay.last_due = due;
+        self.wheel.insert(
+            due,
+            TimerEntry::FlushFrame {
+                node: v,
+                peer: to,
+                frame,
+                due,
+            },
+        );
+    }
+
+    /// Hand a frame to the link toward `to`, dialing it if absent.
+    fn deliver_frame(&mut self, v: NodeId, to: NodeId, frame: Frame) {
+        let state = &self.nodes[&v];
+        if state.failed.is_some() {
+            return;
+        }
+        if state.crashed {
+            self.stats.inc(Metric::FramesDropped);
+            return;
+        }
+        if let Some(link) = state.links.get(&to) {
+            let idx = link.conn;
+            self.stage_frame(idx, &frame);
+            return;
+        }
+        if self.shutting_down {
+            return;
+        }
+        let state = self.nodes.get_mut(&v).expect("owned node");
+        if let Some(p) = state.pending.get_mut(&to) {
+            p.frames.push(frame);
+            return;
+        }
+        self.start_dial(v, to, DialIntent::Traffic, vec![frame]);
+    }
+
+    /// Append `frame` to a connection's send buffer and queue it for flush.
+    fn stage_frame(&mut self, idx: usize, frame: &Frame) {
+        let tok = self.token_of(idx);
+        let c = self.conn_mut(idx);
+        c.out.stage(frame);
+        if !c.in_flushq {
+            c.in_flushq = true;
+            self.flushq.push(tok);
+        }
+    }
+
+    // ---- dialing -----------------------------------------------------------
+
+    fn start_dial(&mut self, v: NodeId, to: NodeId, intent: DialIntent, frames: Vec<Frame>) {
+        let state = self.nodes.get_mut(&v).expect("owned node");
+        state.pending.insert(
+            to,
+            PendingDial {
+                conn: None,
+                frames,
+                attempt: 0,
+                intent,
+            },
+        );
+        self.dial_now(v, to);
+    }
+
+    fn dial_now(&mut self, v: NodeId, to: NodeId) {
+        match netpoll::connect_stream(&self.addrs[to]) {
+            Ok(stream) => {
+                let fd = stream.as_raw_fd();
+                let (idx, tok) = self.slab_insert(Source::Conn(Box::new(Conn {
+                    stream,
+                    node: v,
+                    peer: Some(to),
+                    dialed: true,
+                    state: ConnState::Connecting,
+                    buf: vec![0; RECV_BUF_INIT],
+                    start: 0,
+                    end: 0,
+                    out: SendBuf::new(),
+                    interest: (false, true),
+                    peer_closed: false,
+                    close_write_after_flush: false,
+                    write_closed: false,
+                    draining: false,
+                    in_flushq: false,
+                    last_read: Instant::now(),
+                })));
+                if let Err(e) = self.poller.register(fd, tok, false, true) {
+                    self.slab_remove(idx);
+                    self.dial_failed(v, to, e);
+                    return;
+                }
+                self.wheel.insert(
+                    Instant::now() + HANDSHAKE_TIMEOUT,
+                    TimerEntry::ConnDeadline { token: tok },
+                );
+                self.nodes
+                    .get_mut(&v)
+                    .expect("owned node")
+                    .pending
+                    .get_mut(&to)
+                    .expect("pending dial")
+                    .conn = Some(idx);
+            }
+            Err(e) => self.dial_failed(v, to, e),
+        }
+    }
+
+    fn dial_failed(&mut self, v: NodeId, to: NodeId, err: io::Error) {
+        if self.shutting_down {
+            self.nodes
+                .get_mut(&v)
+                .expect("owned node")
+                .pending
+                .remove(&to);
+            return;
+        }
+        let dial_retries = self.cfg.dial_retries;
+        let state = self.nodes.get_mut(&v).expect("owned node");
+        let Some(p) = state.pending.get_mut(&to) else {
+            // The pending dial resolved some other way (e.g. the peer dialed
+            // us and the race collapsed onto their connection).
+            return;
+        };
+        p.conn = None;
+        if p.attempt < dial_retries {
+            p.attempt += 1;
+            let backoff = DIAL_BACKOFF * p.attempt;
+            self.wheel.insert(
+                Instant::now() + backoff,
+                TimerEntry::RetryDial { node: v, peer: to },
+            );
+            return;
+        }
+        let p = state.pending.remove(&to).expect("pending dial");
+        match p.intent {
+            DialIntent::Bootstrap => self.fail_node(v, to, &err),
+            DialIntent::Restart if p.frames.is_empty() => {}
+            _ => {
+                if self.cfg.fault_tolerant {
+                    self.stats.add(Metric::FramesDropped, p.frames.len() as u64);
+                } else {
+                    self.fail_node(v, to, &err);
+                }
+            }
+        }
+    }
+
+    /// Permanently fail node `v` and propagate the failure to every shard.
+    fn fail_node(&mut self, v: NodeId, peer: NodeId, error: &io::Error) {
+        let state = self.nodes.get_mut(&v).expect("owned node");
+        if state.failed.is_some() {
+            return;
+        }
+        let failure = NetFailure {
+            node: v,
+            description: format!("failed to dial peer {peer}: {error}"),
+        };
+        self.stats.inc(Metric::DialFailures);
+        state.journal.failures.push(failure.clone());
+        // The waiting requests' queue() frames died with the failed dial: they
+        // never entered the distributed queue, so they must not appear in the
+        // reconstructed schedule (a scheduled request that no surviving node
+        // ever queued would fail order validation as missing). Un-journal them
+        // before the drain below fails their acquirers.
+        let doomed: HashSet<(ObjectId, RequestId)> = state.waiting.keys().copied().collect();
+        state
+            .journal
+            .issued
+            .retain(|r| !doomed.contains(&(r.obj, r.id)));
+        state
+            .journal
+            .records
+            .retain(|rec| !doomed.contains(&(rec.obj, rec.successor)));
+        enter_failed_state(state, failure.clone());
+        for injector in self.peers.iter() {
+            let _ = injector.send(ShardCmd::PeerFailed {
+                failure: failure.clone(),
+            });
+        }
+    }
+
+    // ---- inbound I/O -------------------------------------------------------
+
+    fn handle_accept(&mut self, idx: usize) {
+        // Phase 1: drain the accept queue while the listener is borrowed.
+        let (owner, streams) = {
+            let (node, listener) = match self.slab[idx].src.as_ref().expect("occupied") {
+                Source::Listener { node, listener } => (*node, listener),
+                Source::Conn(_) => panic!("accept on a connection slot"),
+            };
+            let mut streams = Vec::new();
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => streams.push(stream),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+            (node, streams)
+        };
+        // Phase 2: register each accepted socket as an AwaitHello connection.
+        for stream in streams {
+            let refuse = self.shutting_down || self.nodes[&owner].crashed;
+            if refuse {
+                drop(stream);
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let fd = stream.as_raw_fd();
+            let (cidx, tok) = self.slab_insert(Source::Conn(Box::new(Conn {
+                stream,
+                node: owner,
+                peer: None,
+                dialed: false,
+                state: ConnState::AwaitHello,
+                buf: vec![0; RECV_BUF_INIT],
+                start: 0,
+                end: 0,
+                out: SendBuf::new(),
+                interest: (true, false),
+                peer_closed: false,
+                close_write_after_flush: false,
+                write_closed: false,
+                draining: false,
+                in_flushq: false,
+                last_read: Instant::now(),
+            })));
+            if self.poller.register(fd, tok, true, false).is_err() {
+                self.slab_remove(cidx);
+                continue;
+            }
+            self.wheel.insert(
+                Instant::now() + HANDSHAKE_TIMEOUT,
+                TimerEntry::ConnDeadline { token: tok },
+            );
+        }
+    }
+
+    fn handle_readable(&mut self, idx: usize) {
+        if matches!(self.slab[idx].src, Some(Source::Listener { .. })) {
+            self.handle_accept(idx);
+            return;
+        }
+        if self.conn(idx).state == ConnState::Connecting {
+            // Spurious (error-folded) readability; the writable handler owns
+            // connect completion and error surfacing.
+            return;
+        }
+        // Phase 1: pull bytes and scan frames, touching only the connection
+        // and the stats handle (disjoint struct fields).
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut ended: Option<io::Error> = None;
+        {
+            let stats = &self.stats;
+            let c = match self.slab[idx].src.as_mut().expect("occupied") {
+                Source::Conn(c) => c,
+                Source::Listener { .. } => unreachable!(),
+            };
+            'reads: for _ in 0..READS_PER_EVENT {
+                if c.start > 0 {
+                    c.buf.copy_within(c.start..c.end, 0);
+                    c.end -= c.start;
+                    c.start = 0;
+                }
+                while c.buf.len() - c.end < 4 + MAX_FRAME_LEN as usize {
+                    let double = c.buf.len() * 2;
+                    c.buf.resize(double, 0);
+                }
+                match (&c.stream).read(&mut c.buf[c.end..]) {
+                    Ok(0) => {
+                        ended = Some(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed by peer",
+                        ));
+                        break 'reads;
+                    }
+                    Ok(n) => {
+                        c.end += n;
+                        c.last_read = Instant::now();
+                        stats.inc(Metric::SocketReads);
+                        stats.add(Metric::BytesReceived, n as u64);
+                        loop {
+                            match Frame::scan(&c.buf[c.start..c.end]) {
+                                Ok(Some((frame, used))) => {
+                                    c.start += used;
+                                    let bye = matches!(frame, Frame::Goodbye);
+                                    frames.push(frame);
+                                    if bye {
+                                        break 'reads;
+                                    }
+                                }
+                                Ok(None) => break,
+                                Err(_) => {
+                                    ended = Some(io::Error::new(
+                                        io::ErrorKind::InvalidData,
+                                        "undecodable bytes on the wire",
+                                    ));
+                                    break 'reads;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break 'reads,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        ended = Some(e);
+                        break 'reads;
+                    }
+                }
+            }
+        }
+        if frames.is_empty() && ended.is_none() {
+            return;
+        }
+        // Phase 2: run the frames through the handshake/protocol machinery.
+        self.process_inbound(idx, frames, ended);
+    }
+
+    fn process_inbound(&mut self, idx: usize, frames: Vec<Frame>, ended: Option<io::Error>) {
+        let tok = self.token_of(idx);
+        for frame in frames {
+            // Processing a frame can close this connection (protocol error,
+            // dedupe collapse): stop feeding it if it died.
+            if self.resolve(tok).is_none() {
+                return;
+            }
+            let (state, v, peer) = {
+                let c = self.conn(idx);
+                (c.state, c.node, c.peer)
+            };
+            match state {
+                ConnState::Connecting => {}
+                ConnState::AwaitWelcome => match frame {
+                    Frame::Welcome { node } if Some(node) == peer => self.promote(idx),
+                    other => {
+                        self.close_conn(
+                            idx,
+                            Some(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("expected Welcome during handshake, got {other:?}"),
+                            )),
+                        );
+                        return;
+                    }
+                },
+                ConnState::AwaitHello => match frame {
+                    Frame::Hello { node } => {
+                        if node >= self.addrs.len() {
+                            self.stats.inc(Metric::UnexpectedFrames);
+                            self.close_conn(idx, None);
+                            return;
+                        }
+                        self.conn_mut(idx).peer = Some(node);
+                        self.stage_frame(idx, &Frame::Welcome { node: v });
+                        self.promote(idx);
+                    }
+                    _ => {
+                        self.close_conn(idx, None);
+                        return;
+                    }
+                },
+                ConnState::Established => {
+                    let from = peer.expect("established conn has a peer");
+                    // While a dial race is unresolved, frames arriving on the
+                    // winner are deferred behind the loser's drain so the
+                    // per-link order (loser's in-flight frames first) holds.
+                    let gated = self.nodes[&v]
+                        .links
+                        .get(&from)
+                        .is_some_and(|l| l.conn == idx && l.loser.is_some());
+                    if gated {
+                        self.nodes
+                            .get_mut(&v)
+                            .expect("owned node")
+                            .links
+                            .get_mut(&from)
+                            .expect("link")
+                            .deferred
+                            .push(frame);
+                    } else if matches!(frame, Frame::Goodbye) {
+                        self.on_goodbye(idx);
+                    } else {
+                        self.on_frame(v, from, frame);
+                    }
+                }
+            }
+        }
+        if let Some(e) = ended {
+            if self.resolve(tok).is_some() {
+                self.close_conn(idx, Some(e));
+            }
+        }
+    }
+
+    /// A handshake completed on `idx`: install the connection as the node's
+    /// link toward its peer, resolving any dial race deterministically.
+    fn promote(&mut self, idx: usize) {
+        let (v, peer, dialed) = {
+            let c = self.conn_mut(idx);
+            c.state = ConnState::Established;
+            (c.node, c.peer.expect("peer known at promote"), c.dialed)
+        };
+        if dialed {
+            self.stats.inc(Metric::ConnectionsDialed);
+        } else {
+            self.stats.inc(Metric::ConnectionsAccepted);
+        }
+        if self.nodes[&v].crashed {
+            if let Source::Conn(c) = self.slab_remove(idx) {
+                let _ = c.stream.shutdown(Shutdown::Both);
+            }
+            return;
+        }
+        // Frames staged while dialing follow the surviving link, whichever
+        // connection that turns out to be. A different still-handshaking dial
+        // socket (if any) collapses on its own promote.
+        let pending_frames = self
+            .nodes
+            .get_mut(&v)
+            .expect("owned node")
+            .pending
+            .remove(&peer)
+            .map(|p| p.frames);
+        let old = self.nodes[&v].links.get(&peer).map(|l| l.conn);
+        match old {
+            None => {
+                self.nodes.get_mut(&v).expect("owned node").links.insert(
+                    peer,
+                    Link {
+                        conn: idx,
+                        loser: None,
+                        deferred: Vec::new(),
+                    },
+                );
+            }
+            Some(old_idx) => {
+                // Simultaneous dial: both endpoints keep the connection
+                // dialed by the lower node id, so they agree on the winner.
+                self.stats.inc(Metric::DialRacesCollapsed);
+                let old_dialed = self.conn(old_idx).dialed;
+                let canon_dialer = v.min(peer);
+                let new_dialer = if dialed { v } else { peer };
+                let old_dialer = if old_dialed { v } else { peer };
+                let new_wins = if (new_dialer == canon_dialer) != (old_dialer == canon_dialer) {
+                    new_dialer == canon_dialer
+                } else {
+                    // Same direction twice (reconnect overtaking a stale
+                    // link): the newest connection wins.
+                    true
+                };
+                let (winner, loser) = if new_wins {
+                    (idx, old_idx)
+                } else {
+                    (old_idx, idx)
+                };
+                let prev_loser = {
+                    let link = self
+                        .nodes
+                        .get_mut(&v)
+                        .expect("owned node")
+                        .links
+                        .get_mut(&peer)
+                        .expect("link");
+                    link.loser.take()
+                };
+                if let Some(pl) = prev_loser {
+                    // A third connection raced in while an older loser was
+                    // still draining: that drain is done being waited on.
+                    let deferred = {
+                        let link = self
+                            .nodes
+                            .get_mut(&v)
+                            .expect("owned node")
+                            .links
+                            .get_mut(&peer)
+                            .expect("link");
+                        mem::take(&mut link.deferred)
+                    };
+                    self.replay_frames(v, peer, deferred);
+                    if let Source::Conn(c) = self.slab_remove(pl) {
+                        let _ = c.stream.shutdown(Shutdown::Both);
+                    }
+                }
+                let link = self
+                    .nodes
+                    .get_mut(&v)
+                    .expect("owned node")
+                    .links
+                    .get_mut(&peer)
+                    .expect("link");
+                link.conn = winner;
+                link.loser = Some(loser);
+                self.demote(loser);
+            }
+        }
+        if let Some(frames) = pending_frames {
+            let target = self.nodes[&v].links[&peer].conn;
+            for frame in &frames {
+                self.stage_frame(target, frame);
+            }
+        }
+        self.update_interest(idx);
+    }
+
+    /// Start draining a dedupe-losing connection: flush and half-close its
+    /// write side, keep reading until the peer closes or it idles out.
+    fn demote(&mut self, loser: usize) {
+        let tok = self.token_of(loser);
+        let c = self.conn_mut(loser);
+        c.draining = true;
+        c.close_write_after_flush = true;
+        if !c.in_flushq {
+            c.in_flushq = true;
+            self.flushq.push(tok);
+        }
+        self.wheel.insert(
+            Instant::now() + DRAIN_GRACE,
+            TimerEntry::ConnDeadline { token: tok },
+        );
+    }
+
+    fn on_goodbye(&mut self, idx: usize) {
+        let (v, peer) = {
+            let c = self.conn_mut(idx);
+            c.peer_closed = true;
+            (c.node, c.peer.expect("established conn has a peer"))
+        };
+        self.unlink_established(v, peer, idx);
+        self.maybe_reap(idx);
+    }
+
+    /// Detach connection `idx` from node `v`'s link toward `peer`, replaying
+    /// any frames that were deferred behind it.
+    fn unlink_established(&mut self, v: NodeId, peer: NodeId, idx: usize) {
+        let state = self.nodes.get_mut(&v).expect("owned node");
+        let (was_live, was_loser) = match state.links.get(&peer) {
+            Some(link) => (link.conn == idx, link.loser == Some(idx)),
+            None => return,
+        };
+        let deferred = if was_live {
+            // The live link went away; an unresolved loser (if any) lives on
+            // as an orphan and reaps itself when its drain completes.
+            state.links.remove(&peer).expect("link").deferred
+        } else if was_loser {
+            let link = state.links.get_mut(&peer).expect("link");
+            link.loser = None;
+            mem::take(&mut link.deferred)
+        } else {
+            return;
+        };
+        if !deferred.is_empty() {
+            self.replay_frames(v, peer, deferred);
+        }
+    }
+
+    /// Feed frames that were deferred behind a draining loser into the
+    /// protocol as if they had just arrived from `peer`.
+    fn replay_frames(&mut self, v: NodeId, peer: NodeId, frames: Vec<Frame>) {
+        for frame in frames {
+            if matches!(frame, Frame::Goodbye) {
+                let live = self.nodes[&v].links.get(&peer).map(|l| l.conn);
+                if let Some(idx) = live {
+                    self.on_goodbye(idx);
+                }
+            } else {
+                self.on_frame(v, peer, frame);
+            }
+        }
+    }
+
+    /// Drop a connection whose peer said Goodbye once its sendbuf is flushed.
+    fn maybe_reap(&mut self, idx: usize) {
+        let done = {
+            let c = self.conn(idx);
+            c.peer_closed && c.out.buf.is_empty()
+        };
+        if done {
+            // Link bookkeeping already happened in on_goodbye.
+            if let Source::Conn(c) = self.slab_remove(idx) {
+                let _ = c.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// A protocol frame arrived at node `v` from `from`.
+    fn on_frame(&mut self, v: NodeId, from: NodeId, frame: Frame) {
+        let state = self.nodes.get_mut(&v).expect("owned node");
+        if state.crashed {
+            self.stats.inc(Metric::FramesDropped);
+            return;
+        }
+        match frame {
+            Frame::Proto(ProtoMsg::Queue {
+                req,
+                obj,
+                origin,
+                epoch,
+            }) => {
+                if origin >= self.addrs.len() {
+                    self.stats.inc(Metric::UnexpectedFrames);
+                    return;
+                }
+                state
+                    .core
+                    .on_queue(from, obj, req, origin, epoch, &mut state.actions);
+            }
+            Frame::Token { obj, req, epoch } => {
+                state.core.on_token(obj, req, epoch, &mut state.actions);
+            }
+            Frame::Proto(ProtoMsg::Epoch { epoch }) => {
+                let before = state.core.epoch();
+                state.core.on_epoch(epoch, &mut state.actions);
+                if state.core.epoch() > before {
+                    self.stats.inc(Metric::EpochsAdopted);
+                }
+            }
+            _ => {
+                self.stats.inc(Metric::UnexpectedFrames);
+                return;
+            }
+        }
+        self.mark_dirty(v);
+    }
+
+    // ---- outbound I/O ------------------------------------------------------
+
+    fn handle_writable(&mut self, idx: usize) {
+        if self.conn(idx).state == ConnState::Connecting {
+            match netpoll::take_socket_error(&self.conn(idx).stream) {
+                Ok(None) => {
+                    let v = {
+                        let c = self.conn_mut(idx);
+                        let _ = c.stream.set_nodelay(true);
+                        c.state = ConnState::AwaitWelcome;
+                        c.node
+                    };
+                    self.stage_frame(idx, &Frame::Hello { node: v });
+                    self.update_interest(idx);
+                }
+                Ok(Some(e)) | Err(e) => self.close_conn(idx, Some(e)),
+            }
+            return;
+        }
+        self.flush_conn(idx);
+    }
+
+    fn flush_conn(&mut self, idx: usize) {
+        let outcome = {
+            let stats = &self.stats;
+            let c = match self.slab[idx].src.as_mut().expect("occupied") {
+                Source::Conn(c) => c,
+                Source::Listener { .. } => unreachable!(),
+            };
+            if c.write_closed {
+                c.out.buf.clear();
+                c.out.written = 0;
+                c.out.frames = 0;
+                FlushOutcome::Done
+            } else {
+                flush_send_buf(c, stats)
+            }
+        };
+        match outcome {
+            FlushOutcome::Done => {
+                let c = self.conn_mut(idx);
+                if c.close_write_after_flush && !c.write_closed {
+                    let _ = c.stream.shutdown(Shutdown::Write);
+                    c.write_closed = true;
+                }
+                self.update_interest(idx);
+                self.maybe_reap(idx);
+            }
+            FlushOutcome::Blocked => self.update_interest(idx),
+            FlushOutcome::Dead(e) => self.close_conn(idx, Some(e)),
+        }
+    }
+
+    /// Re-register the poller interest to match what the connection needs
+    /// right now (level-triggered epoll: a stale EPOLLOUT would busy-loop).
+    fn update_interest(&mut self, idx: usize) {
+        let tok = self.token_of(idx);
+        let (fd, want, have) = {
+            let c = self.conn(idx);
+            let want = if c.state == ConnState::Connecting {
+                (false, true)
+            } else {
+                (!c.peer_closed, !c.out.buf.is_empty())
+            };
+            (c.stream.as_raw_fd(), want, c.interest)
+        };
+        if want != have && self.poller.modify(fd, tok, want.0, want.1).is_ok() {
+            self.conn_mut(idx).interest = want;
+        }
+    }
+
+    /// Tear down connection `idx`, propagating the failure according to its
+    /// handshake state.
+    fn close_conn(&mut self, idx: usize, err: Option<io::Error>) {
+        let src = self.slab_remove(idx);
+        let Source::Conn(c) = src else {
+            panic!("close_conn on a listener slot");
+        };
+        let _ = c.stream.shutdown(Shutdown::Both);
+        match c.state {
+            ConnState::Connecting | ConnState::AwaitWelcome => {
+                if !self.shutting_down {
+                    if let Some(to) = c.peer {
+                        let e = err.unwrap_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::ConnectionAborted,
+                                "connection closed during handshake",
+                            )
+                        });
+                        self.dial_failed(c.node, to, e);
+                    }
+                }
+            }
+            // An acceptor that never identified itself needs no bookkeeping.
+            ConnState::AwaitHello => {}
+            ConnState::Established => {
+                let peer = c.peer.expect("established conn has a peer");
+                self.unlink_established(c.node, peer, idx);
+            }
+        }
+    }
+
+    // ---- timers ------------------------------------------------------------
+
+    fn handle_timer(&mut self, entry: TimerEntry) {
+        match entry {
+            TimerEntry::FlushFrame {
+                node,
+                peer,
+                frame,
+                due,
+            } => {
+                let dwell = Instant::now().saturating_duration_since(due);
+                self.stats
+                    .observe(HistMetric::TimerDwellNanos, dwell.as_nanos() as u64);
+                self.deliver_frame(node, peer, frame);
+            }
+            TimerEntry::RetryDial { node, peer } => {
+                if self.shutting_down {
+                    return;
+                }
+                let state = self.nodes.get_mut(&node).expect("owned node");
+                if state.crashed || state.failed.is_some() {
+                    state.pending.remove(&peer);
+                    return;
+                }
+                if state.pending.get(&peer).is_some_and(|p| p.conn.is_none()) {
+                    self.dial_now(node, peer);
+                }
+            }
+            TimerEntry::ConnDeadline { token } => {
+                let Some(idx) = self.resolve(token) else {
+                    return;
+                };
+                let state = self.conn(idx).state;
+                match state {
+                    ConnState::Connecting | ConnState::AwaitWelcome | ConnState::AwaitHello => {
+                        self.close_conn(
+                            idx,
+                            Some(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "handshake timed out",
+                            )),
+                        );
+                    }
+                    ConnState::Established => {
+                        let c = self.conn(idx);
+                        if c.draining || c.close_write_after_flush {
+                            if c.last_read.elapsed() >= DRAIN_IDLE {
+                                self.close_conn(idx, None);
+                            } else {
+                                self.wheel.insert(
+                                    Instant::now() + DRAIN_IDLE,
+                                    TimerEntry::ConnDeadline { token },
+                                );
+                            }
+                        }
+                        // A healthy established conn simply outlived its
+                        // handshake deadline; nothing to do.
+                    }
+                }
+            }
+            TimerEntry::ShutdownDeadline => self.shutdown_forced = true,
+        }
+    }
+
+    // ---- shutdown ----------------------------------------------------------
+
+    fn begin_shutdown(&mut self) {
+        if self.shutting_down {
+            return;
+        }
+        self.shutting_down = true;
+        // 1. Deliver every latency-delayed frame immediately so the protocol
+        //    quiesces with nothing stuck in the wheel.
+        let mut entries = Vec::new();
+        self.wheel.drain_all(&mut entries);
+        debug_assert!(self.wheel.is_empty(), "drain_all empties the wheel");
+        for (_, entry) in entries {
+            if let TimerEntry::FlushFrame {
+                node,
+                peer,
+                frame,
+                due,
+            } = entry
+            {
+                let dwell = Instant::now().saturating_duration_since(due);
+                self.stats
+                    .observe(HistMetric::TimerDwellNanos, dwell.as_nanos() as u64);
+                self.deliver_frame(node, peer, frame);
+            }
+        }
+        // 2. Stop accepting and abandon half-done handshakes.
+        let stale: Vec<usize> = self
+            .slab
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| match &e.src {
+                Some(Source::Listener { .. }) => true,
+                Some(Source::Conn(c)) => c.state != ConnState::Established,
+                None => false,
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for idx in stale {
+            if let Source::Conn(c) = self.slab_remove(idx) {
+                let _ = c.stream.shutdown(Shutdown::Both);
+            }
+        }
+        for state in self.nodes.values_mut() {
+            state.pending.clear();
+        }
+        // 3. Say Goodbye on every live link and half-close once flushed.
+        let live: Vec<usize> = self
+            .nodes
+            .values()
+            .flat_map(|n| n.links.values().map(|l| l.conn))
+            .collect();
+        for idx in live {
+            self.stage_frame(idx, &Frame::Goodbye);
+            self.conn_mut(idx).close_write_after_flush = true;
+        }
+        // 4. Whatever is left after the grace period gets cut.
+        self.wheel.insert(
+            Instant::now() + SHUTDOWN_GRACE,
+            TimerEntry::ShutdownDeadline,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrow_trace::NoProbe;
+    use netgraph::generators;
+
+    /// A [`ReactorShared`] for a tiny hand-driven mesh.
+    fn shared_for(tree: RootedTree, addrs: Vec<SocketAddr>) -> ReactorShared {
+        ReactorShared {
+            cfg: NetConfig::instant(),
+            tree: Arc::new(tree),
+            addrs: Arc::new(addrs),
+            stats: Arc::new(NetStats::default()),
+            blocked: Arc::new(Mutex::new(HashSet::new())),
+            faults_armed: Arc::new(AtomicBool::new(false)),
+            epoch0: Instant::now(),
+        }
+    }
+
+    /// Read frames off a blocking socket until `want` have been scanned out.
+    fn read_frames(stream: &mut TcpStream, want: usize) -> Vec<Frame> {
+        let mut got = Vec::new();
+        let mut buf = Vec::new();
+        let mut tmp = [0u8; 1024];
+        while got.len() < want {
+            while let Some((frame, used)) = Frame::scan(&buf).expect("valid frame bytes") {
+                buf.drain(..used);
+                got.push(frame);
+            }
+            if got.len() >= want {
+                break;
+            }
+            let n = stream.read(&mut tmp).expect("read within timeout");
+            assert!(n > 0, "peer closed after {} of {want} frames", got.len());
+            buf.extend_from_slice(&tmp[..n]);
+        }
+        got
+    }
+
+    /// A frame dribbled in over several readiness events must reassemble: a
+    /// fake peer splits its `Hello` across two delayed writes and then feeds a
+    /// `queue()` frame one byte at a time. The shard has to buffer the partial
+    /// prefixes, scan each frame exactly once it completes, and answer with
+    /// `Welcome` and the token grant as if the bytes had arrived whole.
+    #[test]
+    fn partial_frames_reassemble_across_readiness_events() {
+        let tree = RootedTree::from_tree_graph(&generators::path(2), 0);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr0 = listener.local_addr().expect("listener addr");
+        // Node 1 is played by this test over a plain blocking socket; its
+        // address is never dialed.
+        let addrs = vec![addr0, "127.0.0.1:1".parse().expect("addr literal")];
+        let shared = shared_for(tree, addrs);
+        let core = ArrowCore::for_tree_with_probe(0, &shared.tree, 1, NoProbe);
+        let (injectors, threads) = spawn_shards(&shared, vec![vec![(0, core, listener)]]);
+
+        let mut peer = TcpStream::connect(addr0).expect("dial the shard");
+        peer.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        peer.set_nodelay(true).expect("nodelay");
+
+        // Handshake: Hello split across two kernel-visible writes.
+        let hello = Frame::Hello { node: 1 }.encode();
+        peer.write_all(&hello[..2]).expect("hello prefix");
+        peer.flush().expect("flush prefix");
+        std::thread::sleep(Duration::from_millis(40));
+        peer.write_all(&hello[2..]).expect("hello suffix");
+        assert_eq!(
+            read_frames(&mut peer, 1),
+            vec![Frame::Welcome { node: 0 }],
+            "acceptor must answer the reassembled Hello"
+        );
+
+        // A queue() for the root's token, one byte per write.
+        let queue = Frame::Proto(ProtoMsg::Queue {
+            req: RequestId(7),
+            obj: ObjectId(0),
+            origin: 1,
+            epoch: 0,
+        })
+        .encode();
+        for byte in &queue {
+            peer.write_all(std::slice::from_ref(byte)).expect("dribble");
+            peer.flush().expect("flush byte");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let token = read_frames(&mut peer, 1);
+        assert!(
+            matches!(
+                token[0],
+                Frame::Token {
+                    obj: ObjectId(0),
+                    req: RequestId(7),
+                    ..
+                }
+            ),
+            "the dribbled queue() must win the root token, got {token:?}"
+        );
+
+        let goodbye = Frame::Goodbye.encode();
+        peer.write_all(&goodbye).expect("goodbye");
+
+        // Every dribbled byte must land before shutdown: poll the shared
+        // counters until the receive side accounts for all three frames.
+        let sent = (hello.len() + queue.len() + goodbye.len()) as u64;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let snap = shared.stats.snapshot();
+            if snap.bytes_received == sent {
+                assert_eq!(snap.unexpected_frames, 0);
+                assert_eq!(snap.connections_accepted, 1);
+                assert!(
+                    snap.socket_reads >= 3,
+                    "dribbled writes must arrive across separate readiness events, \
+                     saw {} reads",
+                    snap.socket_reads
+                );
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "reactor never scanned the dribbled bytes: {snap:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        drop(peer);
+        assert!(injectors[0].send(ShardCmd::Shutdown));
+        for t in threads {
+            t.join().expect("shard joins");
+        }
+    }
+
+    /// EPOLLOUT backpressure: with nobody reading, staged frames must fill the
+    /// kernel send buffer until `flush_send_buf` reports [`FlushOutcome::Blocked`]
+    /// (counting a `WouldBlock` retry) instead of spinning or dropping bytes;
+    /// once the slow reader drains, the flush resumes and every staged frame
+    /// arrives intact and in order.
+    #[test]
+    fn backpressure_flush_blocks_then_drains_without_loss() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("listener addr");
+        let writer = TcpStream::connect(addr).expect("dial");
+        writer.set_nonblocking(true).expect("nonblocking writer");
+        let (reader, _) = listener.accept().expect("accept");
+
+        let stats = NetStats::default();
+        let mut conn = Conn {
+            stream: writer,
+            node: 0,
+            peer: Some(1),
+            dialed: true,
+            state: ConnState::Established,
+            buf: vec![0; RECV_BUF_INIT],
+            start: 0,
+            end: 0,
+            out: SendBuf::new(),
+            interest: (true, false),
+            peer_closed: false,
+            close_write_after_flush: false,
+            write_closed: false,
+            draining: false,
+            in_flushq: false,
+            last_read: Instant::now(),
+        };
+
+        let frame = Frame::Token {
+            obj: ObjectId(0),
+            req: RequestId(1),
+            epoch: 0,
+        };
+        let frame_len = frame.encode().len() as u64;
+        let mut staged: u64 = 0;
+        let mut blocked = false;
+        // Stage batches until the kernel buffer fills; 512 * 4096 frames is far
+        // beyond any autotuned loopback send buffer.
+        for _ in 0..512 {
+            for _ in 0..4096 {
+                conn.out.stage(&frame);
+                staged += 1;
+            }
+            match flush_send_buf(&mut conn, &stats) {
+                FlushOutcome::Blocked => {
+                    blocked = true;
+                    break;
+                }
+                FlushOutcome::Done => continue,
+                FlushOutcome::Dead(e) => panic!("healthy loopback socket died: {e}"),
+            }
+        }
+        assert!(blocked, "the unread socket never exerted backpressure");
+        assert!(stats.snapshot().would_block_retries >= 1);
+
+        // Slow reader starts draining only after the writer is already blocked.
+        let drainer = std::thread::spawn(move || {
+            let mut reader = reader;
+            let mut buf: Vec<u8> = Vec::new();
+            let mut tmp = [0u8; 64 * 1024];
+            let mut bytes: u64 = 0;
+            let mut frames: u64 = 0;
+            loop {
+                let n = reader.read(&mut tmp).expect("drain read");
+                if n == 0 {
+                    break;
+                }
+                bytes += n as u64;
+                buf.extend_from_slice(&tmp[..n]);
+                let mut used_total = 0;
+                while let Some((frame, used)) =
+                    Frame::scan(&buf[used_total..]).expect("staged bytes stay well-framed")
+                {
+                    assert!(matches!(frame, Frame::Token { .. }));
+                    frames += 1;
+                    used_total += used;
+                }
+                buf.drain(..used_total);
+            }
+            assert!(buf.is_empty(), "trailing partial frame after EOF");
+            (bytes, frames)
+        });
+
+        // Re-flush until the drained socket accepts the backlog.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match flush_send_buf(&mut conn, &stats) {
+                FlushOutcome::Done => break,
+                FlushOutcome::Blocked => {
+                    assert!(Instant::now() < deadline, "flush never completed");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                FlushOutcome::Dead(e) => panic!("healthy loopback socket died: {e}"),
+            }
+        }
+        conn.stream
+            .shutdown(Shutdown::Write)
+            .expect("half-close after flush");
+        let (bytes, frames) = drainer.join().expect("drainer joins");
+
+        let snap = stats.snapshot();
+        assert_eq!(frames, staged, "every staged frame arrived exactly once");
+        assert_eq!(bytes, staged * frame_len);
+        assert_eq!(snap.bytes_sent, bytes, "sender accounting matches the wire");
+        assert_eq!(snap.frames_sent, staged);
+        assert!(
+            snap.socket_writes >= 2,
+            "a blocked flush must take more than one write syscall"
+        );
+    }
+}

@@ -1,24 +1,29 @@
-//! The socket-tier arrow runtime: one event loop per node, protocol traffic over
-//! loopback TCP, application commands over local handles.
+//! The socket-tier arrow runtime: a small pool of event-loop shards drives every
+//! node, protocol traffic over loopback TCP, application commands over local
+//! handles.
 //!
 //! Protocol logic is [`arrow_core::live::ArrowCore`] — the exact state machine the
 //! thread runtime uses — so the two real-concurrency tiers cannot drift. What this
-//! module adds is the distribution: each node owns a listener, an accept loop, and
-//! its outbound links (see [`crate::mesh`]); `queue()` frames travel the
-//! spanning-tree edges, token grants travel lazily-dialed direct channels.
+//! module adds is the distribution: nodes are partitioned across
+//! [`NetConfig::shards`] reactor threads (the crate's internal `reactor`
+//! module), each running
+//! one `epoll` loop over the nonblocking listeners and connections of its nodes;
+//! `queue()` frames travel the spanning-tree edges, token grants travel
+//! lazily-dialed direct channels.
 //!
 //! # Hot-path shape
 //!
-//! The event loop drains its inbound channel in batches (up to `EVENT_BATCH`
-//! events per cycle) and translates the accumulated [`CoreAction`]s into frames
-//! once per batch. With no injected latency the event loop owns every socket
-//! write half itself and flushes each link's coalesced batch with one
-//! `write_all`; with injected latency the frames go to the node's single
-//! binary-heap timer thread, which coalesces everything due into one write per
-//! link. Applications that want to overlap round-trips use the pipelined acquire
-//! API ([`NetHandle::start_acquire_object`]): acquires issued from one node for
-//! one object are granted in issue order, so a worker can keep several requests
-//! in flight and reap grants FIFO instead of lock-stepping on each round trip.
+//! A shard wakes once per readiness batch, drains every ready socket, feeds the
+//! decoded frames through the owning node's core, and flushes each dirty link's
+//! coalesced frame batch with one `write` — no per-node threads, no per-frame
+//! wakeups, and thread count is O(shards) rather than O(nodes), which is what
+//! lets a single process host ≥1024 nodes. With injected latency frames are
+//! scheduled on the shard's timer wheel, whose next deadline doubles as the
+//! `epoll_wait` timeout, so a shard sleeps in exactly one place. Applications
+//! that want to overlap round-trips use the pipelined acquire API
+//! ([`NetHandle::start_acquire_object`]): acquires issued from one node for one
+//! object are granted in issue order, so a worker can keep several requests in
+//! flight and reap grants FIFO instead of lock-stepping on each round trip.
 //!
 //! Unlike the thread runtime, every node here also journals its protocol history:
 //! which requests it issued (with wall-clock issue times) and which
@@ -27,69 +32,23 @@
 //! [`QueuingOrder`] machinery the simulator harness uses — so a socket run is held
 //! to the same correctness contract as a simulated one.
 
-use crate::mesh::{
-    self, LinkBatch, NetConfig, NetStats, NetStatsSnapshot, WriterCmd, WriterHandle,
-};
-use crate::wire::Frame;
-use arrow_core::live::{ArrowCore, CoreAction};
+use crate::mesh::{NetConfig, NetStats, NetStatsSnapshot};
+use crate::reactor::{spawn_shards, ReactorShared, ShardCmd, ShardInjector};
+use arrow_core::live::ArrowCore;
 use arrow_core::order::OrderError;
 use arrow_core::prelude::{
     validate_churn_records, ChurnOrderError, FaultAction, FaultSchedule, ObjectId, OrderRecord,
-    ProtoMsg, QueuingOrder, Request, RequestId, RequestSchedule,
+    QueuingOrder, Request, RequestId, RequestSchedule,
 };
-use arrow_trace::{HistMetric, Metric, MetricsSnapshot, NoProbe, Probe, ProbeEvent};
-use desim::{SimTime, SUBTICKS_PER_UNIT};
+use arrow_trace::{MetricsSnapshot, NoProbe, Probe};
 use netgraph::{NodeId, RootedTree};
-use std::collections::{HashMap, HashSet};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashSet;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// Maximum events one event-loop cycle drains before translating the accumulated
-/// core actions into frames — the same batching policy as the thread tier, per
-/// the "Batched draining" contract in [`arrow_core::live::core`].
-const EVENT_BATCH: usize = arrow_core::live::EVENT_BATCH;
-
-/// Events multiplexed into one node's event loop.
-enum NetEvent {
-    /// A protocol frame arrived from an established link.
-    Frame { from: NodeId, frame: Frame },
-    /// The accept loop established an inbound link to `peer`; the node registers
-    /// the write half (directly, or with its timer writer).
-    LinkUp {
-        peer: NodeId,
-        stream: TcpStream,
-        weight: f64,
-    },
-    /// The node's timer writer dropped a link whose socket died; forget the
-    /// peer so a later frame re-dials (or fails the node cleanly).
-    LinkDown { peer: NodeId },
-    /// Application command: acquire `obj`'s token; deliver the [`Grant`] on the
-    /// reply channel once held (or once the node fails).
-    Acquire { obj: ObjectId, reply: Sender<Grant> },
-    /// Application command: release `obj`'s token held for `req`.
-    Release { obj: ObjectId, req: RequestId },
-    /// Some node in the mesh failed (dial retry budget exhausted); the run cannot
-    /// complete, so every node fails its pending acquires instead of letting an
-    /// acquirer whose grant depended on a dropped frame block forever.
-    PeerFailed { failure: NetFailure },
-    /// Fault injection ([`NetFaultHandle::crash`]): sever every TCP link abruptly,
-    /// discard volatile protocol state, fail in-flight local acquires, and ignore
-    /// all traffic until [`NetEvent::Restart`].
-    Crash,
-    /// Fault injection ([`NetFaultHandle::restart`]): bring a crashed node back
-    /// with freshly reset protocol state and re-dial its tree parent.
-    Restart,
-    /// Recovery-epoch detection broadcast ([`NetFaultHandle::broadcast_epoch`]) —
-    /// the control-plane counterpart of an on-wire
-    /// [`arrow_core::prelude::ProtoMsg::Epoch`] frame.
-    Epoch { epoch: u64 },
-    /// Stop the node: send goodbyes, close links, report history.
-    Shutdown,
-}
 
 /// The outcome of one acquire, delivered on the acquire's reply channel.
 ///
@@ -131,581 +90,12 @@ impl std::fmt::Display for NetFailure {
     }
 }
 
-/// What one node thread hands back when it stops.
-struct NodeJournal {
-    issued: Vec<Request>,
-    records: Vec<OrderRecord>,
-    failures: Vec<NetFailure>,
-}
-
-/// How a node's frames reach its sockets.
-enum Outbound {
-    /// No injected latency: the event loop owns every write half and flushes each
-    /// link's coalesced batch with one `write_all` at the end of every drained
-    /// event batch — zero intermediate thread wakeups on the token critical path.
-    /// Blocking writes cannot deadlock the mesh: readers forward into unbounded
-    /// channels and never stall, so every TCP receive buffer always drains.
-    Direct {
-        links: HashMap<NodeId, LinkBatch>,
-        /// Redundant connections from simultaneous-dial races; kept open (the
-        /// peer may send on them) and told goodbye at shutdown.
-        spares: Vec<TcpStream>,
-        /// Peers with frames staged in this batch, in first-staged order.
-        dirty: Vec<NodeId>,
-    },
-    /// Injected latency: frames are scheduled on the node's single binary-heap
-    /// timer thread (see [`mesh::spawn_node_writer`]), which coalesces everything
-    /// due at flush time into one write per link.
-    Timed {
-        links: HashSet<NodeId>,
-        writer: WriterHandle,
-    },
-}
-
-/// The state of one socket-tier node, driven by its event loop thread.
-///
-/// Generic over the probe instrumented into its [`ArrowCore`] — [`NoProbe`]
-/// (the default spawn path) compiles every probe hook away, a
-/// [`arrow_trace::TraceProbe`] (via [`NetRuntime::spawn_multi_probed`])
-/// records the node's protocol transitions for causal trace reconstruction.
-struct NetNode<P: Probe> {
-    me: NodeId,
-    core: ArrowCore<P>,
-    actions: Vec<CoreAction>,
-    /// Outstanding local acquires: (object, request id) -> (reply channel, issue
-    /// instant for the grant's `wait` measurement).
-    waiting: HashMap<(ObjectId, RequestId), (Sender<Grant>, Instant)>,
-    /// Set once a dial exhausted its retry budget: the node stops sending, fails
-    /// all pending and future acquires, and reports the failure at shutdown.
-    failed: Option<NetFailure>,
-    /// Set while fault injection holds this node down: links are severed, inbound
-    /// traffic is swallowed, acquires fail immediately. Cleared by
-    /// [`NetEvent::Restart`].
-    crashed: bool,
-    /// Links severed by fault injection, normalized `(min, max)` and shared with
-    /// the [`NetFaultHandle`]; consulted on every send once `faults_armed` is set.
-    blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
-    /// Cheap hot-path gate: `true` once a fault handle exists, so fault-free runs
-    /// never pay the `blocked` lock.
-    faults_armed: Arc<AtomicBool>,
-    /// The node's send paths.
-    out: Outbound,
-    addrs: Arc<Vec<SocketAddr>>,
-    tree: Arc<RootedTree>,
-    cfg: NetConfig,
-    stats: Arc<NetStats>,
-    /// Sender side of this node's own event channel, cloned into readers this node
-    /// spawns when it dials out.
-    events_tx: Sender<NetEvent>,
-    /// Event channels of *every* node (self included), used only to broadcast
-    /// [`NetEvent::PeerFailed`] — a control-plane side channel, like the shared
-    /// stop flag, so one node's transport failure fails the whole run cleanly
-    /// instead of leaving remote acquirers blocked on frames that were dropped.
-    peers_tx: Arc<Vec<Sender<NetEvent>>>,
-    /// Shared registry of reader join handles (see [`NetRuntime::shutdown`]).
-    readers: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>>,
-    epoch: Instant,
-    journal: NodeJournal,
-}
-
-impl<P: Probe> NetNode<P> {
-    fn now(&self) -> SimTime {
-        let units = self.epoch.elapsed().as_secs_f64();
-        SimTime::from_subticks((units * SUBTICKS_PER_UNIT as f64) as u64)
-    }
-
-    fn has_link(&self, peer: NodeId) -> bool {
-        match &self.out {
-            Outbound::Direct { links, .. } => links.contains_key(&peer),
-            Outbound::Timed { links, .. } => links.contains(&peer),
-        }
-    }
-
-    /// Register an established connection's write half (first connection to a
-    /// peer wins; later ones from simultaneous-dial races are parked as spares so
-    /// the peer's send path stays open).
-    fn register_link(&mut self, peer: NodeId, stream: TcpStream, weight: f64) {
-        match &mut self.out {
-            Outbound::Direct { links, spares, .. } => match links.entry(peer) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(LinkBatch::new(stream));
-                }
-                std::collections::hash_map::Entry::Occupied(_) => spares.push(stream),
-            },
-            Outbound::Timed { links, writer } => {
-                // The writer parks duplicate registrations as spares itself.
-                writer.send(WriterCmd::AddLink {
-                    peer,
-                    stream,
-                    weight,
-                });
-                links.insert(peer);
-            }
-        }
-    }
-
-    /// Make sure a send path to `peer` exists, dialing a direct channel on first
-    /// use. Transient dial failures (ephemeral-port or fd pressure) are retried up
-    /// to the configured budget ([`NetConfig::dial_retries`]); a peer that stays
-    /// unreachable is an error — the frame that needed the link cannot be
-    /// delivered, so its acquirer must error out rather than block forever.
-    fn ensure_link(&mut self, peer: NodeId) -> std::io::Result<()> {
-        if self.has_link(peer) {
-            return Ok(());
-        }
-        let (stream, confirmed) =
-            mesh::dial_with_budget(self.addrs[peer], self.me, self.cfg.dial_retries)?;
-        debug_assert_eq!(confirmed, peer, "address table out of sync");
-        self.stats.inc(Metric::ConnectionsDialed);
-        let weight = self.tree.distance(self.me, peer);
-        let reader_stream = stream.try_clone()?;
-        // Register the write half before spawning the reader: any reply the peer
-        // provokes must find the link already known.
-        self.register_link(peer, stream, weight);
-        let events = self.events_tx.clone();
-        let reader = mesh::spawn_reader(
-            reader_stream,
-            peer,
-            Arc::clone(&self.stats),
-            move |from, frame| events.send(NetEvent::Frame { from, frame }),
-        );
-        self.readers
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(reader);
-        Ok(())
-    }
-
-    /// Mark this node failed: record the failure, stop accepting work, fail every
-    /// pending local acquire, and broadcast the failure to every other node — an
-    /// acquirer elsewhere may be waiting on a token grant whose frame this node
-    /// just dropped, and it must error out rather than block forever.
-    fn fail(&mut self, peer: NodeId, error: &std::io::Error) {
-        if self.failed.is_some() {
-            return;
-        }
-        let failure = NetFailure {
-            node: self.me,
-            description: format!("failed to dial peer {peer}: {error}"),
-        };
-        self.stats.inc(Metric::DialFailures);
-        self.journal.failures.push(failure.clone());
-        self.enter_failed_state(failure.clone());
-        for (v, tx) in self.peers_tx.iter().enumerate() {
-            if v != self.me {
-                let _ = tx.send(NetEvent::PeerFailed {
-                    failure: failure.clone(),
-                });
-            }
-        }
-    }
-
-    /// Fail all pending waiters and refuse future acquires (does not journal —
-    /// only the node that observed the dial failure reports it).
-    fn enter_failed_state(&mut self, failure: NetFailure) {
-        for ((obj, _req), (reply, issued)) in self.waiting.drain() {
-            let _ = reply.send(Grant {
-                node: self.me,
-                obj,
-                result: Err(failure.clone()),
-                wait: issued.elapsed(),
-            });
-        }
-        self.failed = Some(failure);
-    }
-
-    /// Stage one frame towards `to`: straight into the link's batch buffer
-    /// (instant config) or onto the node's timer writer (injected latency). The
-    /// batch buffers are flushed by [`flush_links`](NetNode::flush_links) at the
-    /// end of the current event batch.
-    fn send_frame(&mut self, to: NodeId, frame: Frame) {
-        // A failed node drops frames immediately: re-running the dial retry
-        // budget (with its backoff sleeps) for every frame would stall the event
-        // loop and record the same root cause over and over.
-        if self.failed.is_some() {
-            return;
-        }
-        // Fault injection: a crashed node is mute, and a severed link swallows
-        // traffic in both directions (the set is shared, so either endpoint's
-        // send-side check covers the link).
-        if self.faults_armed.load(Ordering::Relaxed)
-            && (self.crashed
-                || self
-                    .blocked
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .contains(&(self.me.min(to), self.me.max(to))))
-        {
-            self.stats.inc(Metric::FramesDropped);
-            return;
-        }
-        if let Err(e) = self.ensure_link(to) {
-            if self.cfg.fault_tolerant {
-                // Churn mode: the peer is likely down or partitioned. The frame
-                // is lost; the next detection-driven epoch bump regenerates any
-                // token that died with it, so the run survives.
-                self.stats.inc(Metric::FramesDropped);
-            } else {
-                self.fail(to, &e);
-            }
-            return;
-        }
-        match &mut self.out {
-            Outbound::Direct { links, dirty, .. } => {
-                let link = links.get_mut(&to).expect("ensured above");
-                if link.stage(&frame) {
-                    dirty.push(to);
-                }
-            }
-            Outbound::Timed { writer, .. } => {
-                writer.send(WriterCmd::Send { peer: to, frame });
-            }
-        }
-    }
-
-    /// Write every link batch staged during this event cycle — one `write_all`
-    /// per dirty link. No-op in timed mode (the writer thread flushes on its own
-    /// clock) and between batches (nothing staged).
-    fn flush_links(&mut self) {
-        let Outbound::Direct { links, dirty, .. } = &mut self.out else {
-            return;
-        };
-        let mut dead = Vec::new();
-        for peer in dirty.drain(..) {
-            let Some(link) = links.get_mut(&peer) else {
-                continue;
-            };
-            if link.flush(&self.stats).is_err() {
-                dead.push(peer);
-            }
-        }
-        // A link whose socket errored is dropped; its peer observes EOF. A later
-        // frame towards that peer re-dials (and fails the node cleanly if the
-        // peer is really gone).
-        for peer in dead {
-            links.remove(&peer);
-        }
-    }
-
-    /// Translate the core's pending actions into wire frames and wakeups. Called
-    /// once per drained event batch: every frame staged here reaches the writer in
-    /// one burst and coalesces into at most one `write` per link.
-    fn apply_actions(&mut self) {
-        let mut actions = std::mem::take(&mut self.actions);
-        let mut orphaned: Vec<(ObjectId, RequestId)> = Vec::new();
-        for action in actions.drain(..) {
-            match action {
-                CoreAction::SendQueue {
-                    to,
-                    obj,
-                    req,
-                    origin,
-                    epoch,
-                } => {
-                    self.stats.inc(Metric::QueueFrames);
-                    self.send_frame(
-                        to,
-                        Frame::Proto(ProtoMsg::Queue {
-                            req,
-                            obj,
-                            origin,
-                            epoch,
-                        }),
-                    );
-                }
-                CoreAction::SendToken {
-                    to,
-                    obj,
-                    req,
-                    epoch,
-                } => {
-                    self.stats.inc(Metric::TokenFrames);
-                    self.send_frame(to, Frame::Token { obj, req, epoch });
-                }
-                CoreAction::Granted { obj, req } => {
-                    self.stats.inc(Metric::Acquisitions);
-                    let delivered =
-                        self.waiting
-                            .remove(&(obj, req))
-                            .is_some_and(|(reply, issued)| {
-                                let wait = issued.elapsed();
-                                self.stats
-                                    .observe(HistMetric::AcquireNanos, wait.as_nanos() as u64);
-                                reply
-                                    .send(Grant {
-                                        node: self.me,
-                                        obj,
-                                        result: Ok(req),
-                                        wait,
-                                    })
-                                    .is_ok()
-                            });
-                    if !delivered {
-                        orphaned.push((obj, req));
-                    }
-                }
-                CoreAction::Queued {
-                    obj,
-                    pred,
-                    succ,
-                    origin,
-                    epoch,
-                } => {
-                    self.journal.records.push(OrderRecord {
-                        predecessor: pred,
-                        successor: succ,
-                        obj,
-                        at_node: self.me,
-                        informed_at: self.now(),
-                        epoch,
-                    });
-                    let _ = origin;
-                }
-            }
-        }
-        self.actions = actions;
-        // A grant nobody can receive — the waiter timed out and dropped its
-        // reply channel, or a crash cleared the waiting map while the request
-        // lived on in the token chain — must not wedge the token here forever:
-        // release it on the vanished waiter's behalf so the queue keeps
-        // draining. (Recursion is bounded: each pass consumes its orphans.)
-        if !orphaned.is_empty() {
-            for (obj, req) in orphaned {
-                self.stats.inc(Metric::OrphanReleases);
-                self.core.probe_mut().record(ProbeEvent::OrphanRelease {
-                    obj: obj.0,
-                    req: req.0,
-                });
-                self.core.on_release(obj, req, &mut self.actions);
-            }
-            self.apply_actions();
-        }
-    }
-
-    /// Feed one event into the node's state. Core actions accumulate in
-    /// `self.actions`; the event loop applies them once per drained batch.
-    fn handle(&mut self, event: NetEvent) {
-        if self.crashed {
-            match event {
-                NetEvent::Restart => {
-                    self.crashed = false;
-                    // Re-attach to the tree like at bootstrap: the crash severed
-                    // the parent edge. Best-effort — if the parent is itself down
-                    // right now, the next send re-dials (or drops, per the
-                    // fault-tolerance policy).
-                    if let Some(p) = self.tree.parent(self.me) {
-                        let _ = self.ensure_link(p);
-                    }
-                }
-                NetEvent::Acquire { obj, reply } => {
-                    // A crashed node refuses work immediately instead of issuing
-                    // a request that died with its state.
-                    let _ = reply.send(Grant {
-                        node: self.me,
-                        obj,
-                        result: Err(NetFailure {
-                            node: self.me,
-                            description: "node is crashed (fault injection)".into(),
-                        }),
-                        wait: Duration::ZERO,
-                    });
-                }
-                NetEvent::LinkUp { stream, .. } => {
-                    // A peer may still connect while we are down (the listener is
-                    // OS-owned). Dropping the write half closes the socket; the
-                    // peer observes the reset and re-dials after our restart.
-                    drop(stream);
-                }
-                NetEvent::Frame { .. } => {
-                    // Inbound protocol traffic is swallowed whole — exactly the
-                    // silencing the simulator applies to a crashed node.
-                    self.stats.inc(Metric::FramesDropped);
-                }
-                // Releases, link-down notices, failure broadcasts and epoch bumps
-                // all die with the node: a crashed node must not learn anything.
-                _ => {}
-            }
-            return;
-        }
-        match event {
-            NetEvent::Frame { from, frame } => match frame {
-                Frame::Proto(ProtoMsg::Queue {
-                    req,
-                    obj,
-                    origin,
-                    epoch,
-                }) => {
-                    if origin >= self.addrs.len() {
-                        // A corrupt origin decoded off the wire must not become an
-                        // out-of-bounds dial target when the token is granted.
-                        self.stats.inc(Metric::UnexpectedFrames);
-                        return;
-                    }
-                    self.core
-                        .on_queue(from, obj, req, origin, epoch, &mut self.actions)
-                }
-                Frame::Token { obj, req, epoch } => {
-                    self.core.on_token(obj, req, epoch, &mut self.actions)
-                }
-                Frame::Proto(ProtoMsg::Epoch { epoch }) => self.adopt_epoch(epoch),
-                _ => {
-                    self.stats.inc(Metric::UnexpectedFrames);
-                }
-            },
-            NetEvent::LinkUp {
-                peer,
-                stream,
-                weight,
-            } => {
-                self.register_link(peer, stream, weight);
-            }
-            NetEvent::Acquire { obj, reply } => {
-                // A failed node cannot reach the mesh: error out immediately
-                // instead of issuing a request whose token can never arrive.
-                if let Some(failure) = &self.failed {
-                    let _ = reply.send(Grant {
-                        node: self.me,
-                        obj,
-                        result: Err(failure.clone()),
-                        wait: Duration::ZERO,
-                    });
-                    return;
-                }
-                let time = self.now();
-                self.stats.inc(Metric::RequestsIssued);
-                let req = self.core.acquire(obj, &mut self.actions);
-                // Register the waiter before applying actions: the grant may already
-                // be among them (local sink whose predecessor was released).
-                self.waiting.insert((obj, req), (reply, Instant::now()));
-                self.journal.issued.push(Request {
-                    id: req,
-                    node: self.me,
-                    time,
-                    obj,
-                });
-            }
-            NetEvent::LinkDown { peer } => {
-                // Only the timer writer reports these (the direct-write mode
-                // drops dead links inline in flush_links).
-                if let Outbound::Timed { links, .. } = &mut self.out {
-                    links.remove(&peer);
-                }
-            }
-            NetEvent::Release { obj, req } => self.core.on_release(obj, req, &mut self.actions),
-            NetEvent::PeerFailed { failure } => {
-                if self.failed.is_none() {
-                    self.enter_failed_state(failure);
-                }
-            }
-            NetEvent::Crash => {
-                // Order matters: sever first (peers observe an abrupt close, not
-                // a polite Goodbye), then lose the volatile state, then fail the
-                // in-flight acquires — their requests just died with the core.
-                self.sever_links();
-                self.core.reboot();
-                self.actions.clear();
-                let failure = NetFailure {
-                    node: self.me,
-                    description: "node crashed (fault injection)".into(),
-                };
-                for ((obj, _req), (reply, issued)) in self.waiting.drain() {
-                    let _ = reply.send(Grant {
-                        node: self.me,
-                        obj,
-                        result: Err(failure.clone()),
-                        wait: issued.elapsed(),
-                    });
-                }
-                self.crashed = true;
-            }
-            NetEvent::Restart => {} // not crashed: a stray restart is a no-op
-            NetEvent::Epoch { epoch } => self.adopt_epoch(epoch),
-            NetEvent::Shutdown => unreachable!("handled by the event loop"),
-        }
-    }
-
-    /// Feed an epoch announcement (on-wire frame or control-plane broadcast) to
-    /// the core, counting actual adoptions — the core ignores epochs it has
-    /// already reached, so comparing before/after distinguishes an adoption
-    /// from a redundant re-broadcast.
-    fn adopt_epoch(&mut self, epoch: u64) {
-        let before = self.core.epoch();
-        self.core.on_epoch(epoch, &mut self.actions);
-        if self.core.epoch() > before {
-            self.stats.inc(Metric::EpochsAdopted);
-        }
-    }
-
-    /// Cut every established connection without a Goodbye — the TCP half of a
-    /// crash. Peers' readers observe EOF/reset; their next frame towards this
-    /// node re-dials (the listener is OS-owned and stays up even while crashed).
-    fn sever_links(&mut self) {
-        match &mut self.out {
-            Outbound::Direct {
-                links,
-                spares,
-                dirty,
-            } => {
-                dirty.clear();
-                for (_, link) in links.drain() {
-                    link.shutdown();
-                }
-                for spare in spares.drain(..) {
-                    let _ = spare.shutdown(std::net::Shutdown::Both);
-                }
-            }
-            Outbound::Timed { links, .. } => {
-                // The timer writer owns the sockets. Forgetting the peers here
-                // makes the node re-register links after restart (the writer
-                // parks duplicates as spares); crash silencing itself is enforced
-                // by the event-loop guard and the send-side drop either way.
-                links.clear();
-            }
-        }
-    }
-
-    /// Say goodbye on every link and close the sockets: directly (instant
-    /// config), or by stopping the timer writer, which flushes everything still
-    /// scheduled first (injected latency).
-    fn disconnect(&mut self) {
-        match &mut self.out {
-            Outbound::Direct { links, spares, .. } => {
-                for link in links.values_mut() {
-                    link.stage(&Frame::Goodbye);
-                    let _ = link.flush(&self.stats);
-                    // Write-side half-close only: a full shutdown would race
-                    // the peer's own goodbye and discard it unread, breaking
-                    // the sent/received byte symmetry.
-                    link.close_write();
-                }
-                links.clear();
-                let goodbye_len = Frame::Goodbye.encode().len() as u64;
-                for spare in spares.drain(..) {
-                    let mut spare = spare;
-                    // Counted like a link write: the peer's reader counts these
-                    // bytes, and the sent/received symmetry contract
-                    // (see [`NetStatsSnapshot::bytes_sent`]) holds only if the
-                    // sender does too.
-                    if Frame::Goodbye.write_to(&mut spare).is_ok() {
-                        self.stats.inc(Metric::SocketWrites);
-                        self.stats.inc(Metric::FramesSent);
-                        self.stats.add(Metric::BytesSent, goodbye_len);
-                    }
-                    let _ = spare.shutdown(std::net::Shutdown::Write);
-                }
-            }
-            Outbound::Timed { links, writer } => {
-                for &peer in links.iter() {
-                    writer.send(WriterCmd::Send {
-                        peer,
-                        frame: Frame::Goodbye,
-                    });
-                }
-                links.clear();
-                writer.send(WriterCmd::Shutdown);
-            }
-        }
-    }
+/// What one node hands back when its shard stops.
+#[derive(Default)]
+pub(crate) struct NodeJournal {
+    pub(crate) issued: Vec<Request>,
+    pub(crate) records: Vec<OrderRecord>,
+    pub(crate) failures: Vec<NetFailure>,
 }
 
 /// The distributed arrow directory runtime: every node of the spanning tree is an
@@ -714,21 +104,12 @@ impl<P: Probe> NetNode<P> {
 /// See the [crate docs](crate) for the architecture; see [`NetRuntime::shutdown`]
 /// for the validation story.
 pub struct NetRuntime {
-    events_txs: Vec<Sender<NetEvent>>,
-    node_threads: Vec<JoinHandle<NodeJournal>>,
-    accept_threads: Vec<JoinHandle<()>>,
-    writer_threads: Vec<JoinHandle<()>>,
-    /// Reader threads of every connection (pushed by accept loops and dialing
-    /// nodes); joined at shutdown so every socket fd is released before
-    /// [`NetRuntime::shutdown`] returns — back-to-back runtimes on one machine
-    /// would otherwise accumulate fds of still-exiting readers.
-    readers: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>>,
-    /// The *real* listener addresses (shutdown wakes every accept loop through
-    /// them, even when the dial table advertises overridden addresses).
-    listen_addrs: Vec<SocketAddr>,
-    stop: Arc<AtomicBool>,
+    /// One command injector per reactor shard; node `v` is served by shard
+    /// `v % injectors.len()`.
+    injectors: Vec<ShardInjector>,
+    shard_threads: Vec<JoinHandle<Vec<(NodeId, NodeJournal)>>>,
     stats: Arc<NetStats>,
-    /// Links severed by fault injection, shared with every node and the
+    /// Links severed by fault injection, shared with every shard and the
     /// [`NetFaultHandle`].
     blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
     /// Hot-path gate for the `blocked` check; set by [`NetRuntime::fault_handle`].
@@ -749,8 +130,9 @@ impl NetRuntime {
     ///
     /// Bootstrap: every node binds a loopback listener; once all listeners exist,
     /// every non-root node dials its tree parent and runs the `Hello`/`Welcome`
-    /// handshake, materializing exactly the spanning-tree edges. Direct token
-    /// channels are dialed lazily on first grant.
+    /// handshake (nonblocking, driven by the node's shard), materializing exactly
+    /// the spanning-tree edges. Direct token channels are dialed lazily on first
+    /// grant.
     ///
     /// # Panics
     /// If `objects` is zero, or a loopback socket cannot be bound.
@@ -782,7 +164,7 @@ impl NetRuntime {
     /// Like [`NetRuntime::spawn_multi`], with a per-node probe instrumented into
     /// every node's [`ArrowCore`] — `probe_for(v)` builds node `v`'s probe
     /// (typically [`arrow_trace::TraceRecorder::wall_probe`]). Probes ride the
-    /// node event-loop threads and are dropped — flushing any buffered trace
+    /// reactor shard threads and are dropped — flushing any buffered trace
     /// events — before [`NetRuntime::shutdown`] returns, so a recorder can be
     /// finished immediately afterwards. The default spawn path monomorphizes
     /// with [`NoProbe`] and pays nothing.
@@ -804,10 +186,7 @@ impl NetRuntime {
     ) -> Self {
         assert!(objects > 0, "a directory serves at least one object");
         let n = tree.node_count();
-        let tree = Arc::new(tree.clone());
         let stats = Arc::new(NetStats::default());
-        let stop = Arc::new(AtomicBool::new(false));
-        let epoch = Instant::now();
 
         let mut listeners = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
@@ -816,205 +195,38 @@ impl NetRuntime {
             addrs.push(listener.local_addr().expect("listener has an address"));
             listeners.push(listener);
         }
-        let listen_addrs = addrs.clone();
         for &(node, addr) in addr_overrides {
             assert!(node < n, "override names node {node} outside the tree");
             addrs[node] = addr;
         }
-        let addrs = Arc::new(addrs);
 
-        let mut events_txs = Vec::with_capacity(n);
-        let mut events_rxs: Vec<Receiver<NetEvent>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = channel();
-            events_txs.push(tx);
-            events_rxs.push(rx);
+        // Partition the nodes across the shard pool round-robin: node `v` lives
+        // on shard `v % shard_count`, so handles and fault injectors can route
+        // commands without a lookup table.
+        let shard_count = cfg.effective_shards(n);
+        let mut shard_nodes: Vec<Vec<(NodeId, ArrowCore<P>, TcpListener)>> =
+            (0..shard_count).map(|_| Vec::new()).collect();
+        for (v, listener) in listeners.into_iter().enumerate() {
+            let core = ArrowCore::for_tree_with_probe(v, tree, objects, probe_for(v));
+            shard_nodes[v % shard_count].push((v, core, listener));
         }
 
-        // With injected latency, one timer-writer thread per node serves all of
-        // the node's outbound links; with the instant config the event loops
-        // write directly and no writer threads exist at all.
-        let timed = !cfg.unit_latency.is_zero();
-        let mut writers = Vec::new();
-        let mut writer_threads = Vec::new();
-        if timed {
-            for (me, events_tx) in events_txs.iter().enumerate() {
-                let events = events_tx.clone();
-                let (handle, join) =
-                    mesh::spawn_node_writer(me, cfg, Arc::clone(&stats), move |peer| {
-                        let _ = events.send(NetEvent::LinkDown { peer });
-                    });
-                writers.push(handle);
-                writer_threads.push(join);
-            }
-        }
-
-        // Accept loops next: once these run, any node can dial any listener.
-        let readers: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>> =
-            Arc::new(std::sync::Mutex::new(Vec::new()));
-        let mut accept_threads = Vec::with_capacity(n);
-        for (me, listener) in listeners.into_iter().enumerate() {
-            let events = events_txs[me].clone();
-            let readers = Arc::clone(&readers);
-            let stats = Arc::clone(&stats);
-            let stop = Arc::clone(&stop);
-            let tree = Arc::clone(&tree);
-            let handle = std::thread::Builder::new()
-                .name(format!("arrow-net-accept-{me}"))
-                .spawn(move || loop {
-                    let (stream, _) = match listener.accept() {
-                        Ok(pair) => pair,
-                        Err(_) => {
-                            if stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            // Back off on persistent errors (e.g. fd exhaustion)
-                            // instead of spinning the CPU the writers need.
-                            std::thread::sleep(std::time::Duration::from_millis(10));
-                            continue;
-                        }
-                    };
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let (stream, peer) = match mesh::accept_handshake(stream, me) {
-                        Ok(pair) => pair,
-                        Err(_) => continue,
-                    };
-                    if peer >= tree.node_count() {
-                        // A dialer claiming an out-of-range id is not part of this
-                        // mesh; admitting it would index tree/address tables out of
-                        // bounds.
-                        stats.inc(Metric::UnexpectedFrames);
-                        continue;
-                    }
-                    stats.inc(Metric::ConnectionsAccepted);
-                    let reader_stream = match stream.try_clone() {
-                        Ok(s) => s,
-                        Err(_) => continue,
-                    };
-                    let weight = tree.distance(me, peer);
-                    // Hand the write half to the event loop, then start reading:
-                    // a frame can only provoke a reply after the node processed
-                    // LinkUp, so the send path always exists before the first
-                    // send.
-                    if events
-                        .send(NetEvent::LinkUp {
-                            peer,
-                            stream,
-                            weight,
-                        })
-                        .is_err()
-                    {
-                        break;
-                    }
-                    let forward = events.clone();
-                    let reader = mesh::spawn_reader(
-                        reader_stream,
-                        peer,
-                        Arc::clone(&stats),
-                        move |from, frame| forward.send(NetEvent::Frame { from, frame }),
-                    );
-                    readers
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .push(reader);
-                })
-                .expect("failed to spawn accept thread");
-            accept_threads.push(handle);
-        }
-
-        // Node event loops; each non-root node dials its parent during startup.
-        let peers_tx = Arc::new(events_txs.clone());
         let blocked = Arc::new(Mutex::new(HashSet::new()));
         let faults_armed = Arc::new(AtomicBool::new(false));
-        let mut node_threads = Vec::with_capacity(n);
-        for (me, rx) in events_rxs.into_iter().enumerate() {
-            let mut node = NetNode {
-                me,
-                core: ArrowCore::for_tree_with_probe(me, &tree, objects, probe_for(me)),
-                actions: Vec::new(),
-                waiting: HashMap::new(),
-                failed: None,
-                crashed: false,
-                blocked: Arc::clone(&blocked),
-                faults_armed: Arc::clone(&faults_armed),
-                out: if timed {
-                    Outbound::Timed {
-                        links: HashSet::new(),
-                        writer: writers[me].clone(),
-                    }
-                } else {
-                    Outbound::Direct {
-                        links: HashMap::new(),
-                        spares: Vec::new(),
-                        dirty: Vec::new(),
-                    }
-                },
-                addrs: Arc::clone(&addrs),
-                tree: Arc::clone(&tree),
-                cfg,
-                stats: Arc::clone(&stats),
-                events_tx: events_txs[me].clone(),
-                peers_tx: Arc::clone(&peers_tx),
-                readers: Arc::clone(&readers),
-                epoch,
-                journal: NodeJournal {
-                    issued: Vec::new(),
-                    records: Vec::new(),
-                    failures: Vec::new(),
-                },
-            };
-            let parent = tree.parent(me);
-            let handle = std::thread::Builder::new()
-                .name(format!("arrow-net-node-{me}"))
-                .spawn(move || {
-                    if let Some(p) = parent {
-                        // Materialize the tree edge to the parent eagerly. An
-                        // unreachable parent marks the node failed instead of
-                        // panicking the thread: the event loop still runs, so
-                        // acquires error out and shutdown joins stay clean.
-                        if let Err(e) = node.ensure_link(p) {
-                            node.fail(p, &e);
-                        }
-                    }
-                    let mut stop = false;
-                    while !stop {
-                        let Ok(first) = rx.recv() else { break };
-                        let mut next = Some(first);
-                        let mut drained = 0;
-                        while let Some(event) = next.take() {
-                            if matches!(event, NetEvent::Shutdown) {
-                                stop = true;
-                                break;
-                            }
-                            node.handle(event);
-                            drained += 1;
-                            if drained >= EVENT_BATCH {
-                                break;
-                            }
-                            next = rx.try_recv().ok();
-                        }
-                        node.apply_actions();
-                        node.flush_links();
-                    }
-                    node.stats
-                        .add(Metric::StaleEpochDrops, node.core.stale_drops());
-                    node.disconnect();
-                    node.journal
-                })
-                .expect("failed to spawn node thread");
-            node_threads.push(handle);
-        }
+        let shared = ReactorShared {
+            cfg,
+            tree: Arc::new(tree.clone()),
+            addrs: Arc::new(addrs),
+            stats: Arc::clone(&stats),
+            blocked: Arc::clone(&blocked),
+            faults_armed: Arc::clone(&faults_armed),
+            epoch0: Instant::now(),
+        };
+        let (injectors, shard_threads) = spawn_shards(&shared, shard_nodes);
 
         NetRuntime {
-            events_txs,
-            node_threads,
-            accept_threads,
-            writer_threads,
-            readers,
-            listen_addrs,
-            stop,
+            injectors,
+            shard_threads,
             stats,
             blocked,
             faults_armed,
@@ -1044,7 +256,7 @@ impl NetRuntime {
         NetHandle {
             node: v,
             objects: self.k,
-            sender: self.events_txs[v].clone(),
+            injector: self.injectors[v % self.injectors.len()].clone(),
         }
     }
 
@@ -1058,7 +270,7 @@ impl NetRuntime {
     pub fn fault_handle(&self) -> NetFaultHandle {
         self.faults_armed.store(true, Ordering::Relaxed);
         NetFaultHandle {
-            senders: self.events_txs.clone(),
+            injectors: self.injectors.clone(),
             blocked: Arc::clone(&self.blocked),
         }
     }
@@ -1067,47 +279,28 @@ impl NetRuntime {
     /// [`NetReport`]. Call only once all application-level acquires have returned —
     /// a request still waiting for its token would never be granted.
     pub fn shutdown(mut self) -> NetReport {
-        self.stop.store(true, Ordering::Relaxed);
-        for tx in &self.events_txs {
-            let _ = tx.send(NetEvent::Shutdown);
+        for inj in &self.injectors {
+            let _ = inj.send(ShardCmd::Shutdown);
         }
+        // Each shard drains its links (Goodbye, flush, half-close), closes every
+        // socket, and returns its nodes' journals; joining the shards releases
+        // every fd before this returns, keeping back-to-back runtimes inside the
+        // process fd budget, and makes the frames/bytes counters final before
+        // the snapshot below.
+        let mut journals: Vec<(NodeId, NodeJournal)> = Vec::new();
+        for t in self.shard_threads.drain(..) {
+            if let Ok(mut j) = t.join() {
+                journals.append(&mut j);
+            }
+        }
+        journals.sort_by_key(|(v, _)| *v);
         let mut issued = Vec::new();
         let mut records = Vec::new();
         let mut failures = Vec::new();
-        for t in self.node_threads.drain(..) {
-            if let Ok(journal) = t.join() {
-                issued.extend(journal.issued);
-                records.extend(journal.records);
-                failures.extend(journal.failures);
-            }
-        }
-        // Wake the accept loops: a bare connection that never handshakes makes
-        // accept() return, after which the loop observes the stop flag. Use the
-        // real listener addresses — the dial table may carry fault-injection
-        // overrides that would miss the listeners.
-        for addr in &self.listen_addrs {
-            let _ = TcpStream::connect(addr);
-        }
-        for t in self.accept_threads.drain(..) {
-            let _ = t.join();
-        }
-        // Writers exit on the Shutdown command their node sent in disconnect()
-        // (or when the last command sender drops); joining them makes the
-        // frames/bytes counters final before the snapshot below.
-        for t in self.writer_threads.drain(..) {
-            let _ = t.join();
-        }
-        // Every node closed its sockets in disconnect(), so all readers observe
-        // EOF promptly; joining them releases their fds before this returns,
-        // keeping back-to-back runtimes inside the process fd budget.
-        let readers = std::mem::take(
-            &mut *self
-                .readers
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
-        );
-        for t in readers {
-            let _ = t.join();
+        for (_, journal) in journals {
+            issued.extend(journal.issued);
+            records.extend(journal.records);
+            failures.extend(journal.failures);
         }
         issued.sort_by_key(|r| (r.time, r.id));
         NetReport {
@@ -1122,12 +315,12 @@ impl NetRuntime {
 
 /// Fault-injection handle of a running [`NetRuntime`] (see
 /// [`NetRuntime::fault_handle`]). Crash/restart are delivered through the target
-/// node's own event channel; link drops act through a shared blocked-set checked
+/// node's own shard inbox; link drops act through a shared blocked-set checked
 /// on every send. The epoch numbering contract is shared with the thread tier:
 /// fault event `i` of a schedule is followed by the broadcast of epoch `i + 1`.
 #[derive(Debug, Clone)]
 pub struct NetFaultHandle {
-    senders: Vec<Sender<NetEvent>>,
+    injectors: Vec<ShardInjector>,
     blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
 }
 
@@ -1138,13 +331,13 @@ impl NetFaultHandle {
     ///
     /// [`restart`]: NetFaultHandle::restart
     pub fn crash(&self, v: NodeId) {
-        let _ = self.senders[v].send(NetEvent::Crash);
+        let _ = self.injectors[v % self.injectors.len()].send(ShardCmd::Crash { node: v });
     }
 
     /// Restart crashed node `v` with freshly reset protocol state; it re-dials
     /// its tree parent and rejoins at the next epoch bump.
     pub fn restart(&self, v: NodeId) {
-        let _ = self.senders[v].send(NetEvent::Restart);
+        let _ = self.injectors[v % self.injectors.len()].send(ShardCmd::Restart { node: v });
     }
 
     /// Sever the link between `u` and `v` (both directions): frames staged across
@@ -1170,13 +363,13 @@ impl NetFaultHandle {
     /// it (a crashed node must not learn anything) and catch up from stamped live
     /// traffic or a later broadcast after restart.
     pub fn broadcast_epoch(&self, epoch: u64) {
-        for tx in &self.senders {
-            let _ = tx.send(NetEvent::Epoch { epoch });
+        for inj in &self.injectors {
+            let _ = inj.send(ShardCmd::Epoch { epoch });
         }
     }
 
     /// Apply one fault action, then broadcast the epoch bump its detection
-    /// triggers. The ordering mirrors the thread tier: per-channel FIFO
+    /// triggers. The ordering mirrors the thread tier: per-inbox FIFO
     /// guarantees a crashed node misses its own bump and a restarted node sees
     /// the Restart before the Epoch.
     ///
@@ -1224,7 +417,7 @@ impl NetFaultHandle {
 pub struct NetHandle {
     node: NodeId,
     objects: usize,
-    sender: Sender<NetEvent>,
+    injector: ShardInjector,
 }
 
 impl NetHandle {
@@ -1306,12 +499,14 @@ impl NetHandle {
     pub fn start_acquire_object(&self, obj: ObjectId) -> PendingAcquire {
         self.check_object(obj);
         let (reply_tx, reply_rx) = channel();
-        self.sender
-            .send(NetEvent::Acquire {
+        assert!(
+            self.injector.send(ShardCmd::Acquire {
+                node: self.node,
                 obj,
                 reply: reply_tx,
-            })
-            .expect("runtime has shut down");
+            }),
+            "runtime has shut down"
+        );
         PendingAcquire {
             node: self.node,
             obj,
@@ -1333,12 +528,14 @@ impl NetHandle {
     /// If `obj` is out of range or the runtime has shut down.
     pub fn start_acquire_object_routed(&self, obj: ObjectId, reply: &Sender<Grant>) {
         self.check_object(obj);
-        self.sender
-            .send(NetEvent::Acquire {
+        assert!(
+            self.injector.send(ShardCmd::Acquire {
+                node: self.node,
                 obj,
                 reply: reply.clone(),
-            })
-            .expect("runtime has shut down");
+            }),
+            "runtime has shut down"
+        );
     }
 
     /// Release the default object's token held for `req`.
@@ -1348,9 +545,14 @@ impl NetHandle {
 
     /// Release `obj`'s token held for `req`, letting it move on to the successor.
     pub fn release_object(&self, obj: ObjectId, req: RequestId) {
-        self.sender
-            .send(NetEvent::Release { obj, req })
-            .expect("runtime has shut down");
+        assert!(
+            self.injector.send(ShardCmd::Release {
+                node: self.node,
+                obj,
+                req,
+            }),
+            "runtime has shut down"
+        );
     }
 }
 
@@ -1437,7 +639,7 @@ impl NetReport {
 
     /// The full metrics-registry snapshot at shutdown: the counters of
     /// [`NetReport::stats`] plus the socket tier's histograms (write coalescing,
-    /// timer-heap lateness, acquire latency), in the schema shared with the
+    /// timer-wheel lateness, acquire latency), in the schema shared with the
     /// thread tier's [`arrow_core::live::LiveReport::metrics`].
     pub fn metrics(&self) -> &MetricsSnapshot {
         &self.metrics
@@ -1478,6 +680,8 @@ impl NetReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mesh;
+    use arrow_trace::{HistMetric, Metric};
     use netgraph::generators;
 
     fn tree(n: usize) -> RootedTree {
@@ -1686,11 +890,11 @@ mod tests {
 
     #[test]
     fn quiescent_run_byte_accounting_is_symmetric() {
-        // The symmetry contract on NetStatsSnapshot::bytes_sent: handshakes are
-        // excluded on both sides (they precede the link readers), everything
-        // else — link batches and spare goodbyes — is counted on both, and with
-        // no injected latency and no faults nothing is dropped. So once the
-        // mesh is quiescent the two byte totals must match exactly.
+        // The symmetry contract on NetStatsSnapshot::bytes_sent: every frame —
+        // handshakes included — flows through the reactor's send and receive
+        // buffers and is counted on both sides, and with no injected latency
+        // and no faults nothing is dropped. So once the mesh is quiescent the
+        // two byte totals must match exactly.
         let rt = NetRuntime::spawn(&tree(7), NetConfig::instant());
         for v in 0..7 {
             let h = rt.handle(v);
@@ -1773,7 +977,7 @@ mod tests {
         // start_acquire_object while the node's bootstrap dial is failing must
         // resolve to typed errors promptly — not block until the caller's own
         // timeout. The child fails itself once the retry budget is spent, and
-        // every queued Acquire is refused at the event loop.
+        // every queued Acquire is refused at the shard.
         let cfg = NetConfig::instant().with_dial_retries(1);
         let rt =
             NetRuntime::spawn_multi_with_addr_overrides(&tree(2), 1, cfg, &[(0, refused_addr())]);

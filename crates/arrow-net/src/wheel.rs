@@ -1,0 +1,249 @@
+//! The per-shard timer wheel: a slotted ring of millisecond buckets with an
+//! overflow list, replacing the per-node binary-heap timer threads.
+//!
+//! Every time-driven concern of a reactor shard lives here — injected-latency
+//! frame release, dial-retry backoff, handshake and drain deadlines — and the
+//! wheel's [`next_due`](TimerWheel::next_due) feeds the shard's `epoll_wait`
+//! timeout, so a shard sleeps in exactly one place.
+//!
+//! Ordering contract: entries inserted with non-decreasing due times pop in
+//! insertion order (same-slot entries keep insertion order, earlier slots pop
+//! first). The reactor relies on this for per-link FIFO: a link's due times
+//! are a running maximum, so its frames can never overtake each other.
+
+use std::time::{Duration, Instant};
+
+/// Ring granularity: one slot per millisecond.
+const GRANULARITY: Duration = Duration::from_millis(1);
+/// Slots in the ring: ~half a second of horizon before entries overflow.
+const SLOTS: usize = 512;
+
+/// A monotonic millisecond-slotted timer wheel.
+pub(crate) struct TimerWheel<T> {
+    origin: Instant,
+    slots: Vec<Vec<(Instant, T)>>,
+    /// Entries due beyond the ring horizon; re-bucketed as the cursor wraps.
+    overflow: Vec<(Instant, T)>,
+    /// Absolute slot index (monotone, not wrapped) the cursor sits in.
+    cursor: u64,
+    /// Entries currently in `slots` (not counting `overflow`).
+    in_ring: usize,
+}
+
+impl<T> TimerWheel<T> {
+    pub(crate) fn new(origin: Instant) -> Self {
+        TimerWheel {
+            origin,
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            cursor: 0,
+            in_ring: 0,
+        }
+    }
+
+    fn abs_slot(&self, t: Instant) -> u64 {
+        (t.saturating_duration_since(self.origin).as_nanos() / GRANULARITY.as_nanos()) as u64
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.in_ring == 0 && self.overflow.is_empty()
+    }
+
+    /// Schedule `item` at `due`. A due time in the past lands in the cursor's
+    /// slot and pops on the next [`pop_due`](TimerWheel::pop_due).
+    pub(crate) fn insert(&mut self, due: Instant, item: T) {
+        let abs = self.abs_slot(due).max(self.cursor);
+        if abs >= self.cursor + SLOTS as u64 {
+            self.overflow.push((due, item));
+        } else {
+            self.slots[(abs % SLOTS as u64) as usize].push((due, item));
+            self.in_ring += 1;
+        }
+    }
+
+    /// Move every overflow entry now within the ring horizon into its slot.
+    fn rebucket(&mut self) {
+        let horizon = self.cursor + SLOTS as u64;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let abs = self.abs_slot(self.overflow[i].0).max(self.cursor);
+            if abs < horizon {
+                let (due, item) = self.overflow.swap_remove(i);
+                self.slots[(abs % SLOTS as u64) as usize].push((due, item));
+                self.in_ring += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Pop every entry due at or before `now` into `out`, preserving the
+    /// ordering contract (see module docs).
+    pub(crate) fn pop_due(&mut self, now: Instant, out: &mut Vec<T>) {
+        let now_abs = self.abs_slot(now);
+        loop {
+            if self.in_ring == 0 {
+                // Nothing in the ring: jump the cursor instead of stepping
+                // through empty slots one by one, then see if the jump brought
+                // overflow entries inside the horizon.
+                self.cursor = self.cursor.max(now_abs);
+                if self.overflow.is_empty() {
+                    return;
+                }
+                self.rebucket();
+                if self.in_ring == 0 {
+                    return;
+                }
+            }
+            if self.cursor >= now_abs {
+                // The cursor's own slot may mix due and not-yet-due entries
+                // (sub-millisecond resolution): take only what is due.
+                let slot = &mut self.slots[(self.cursor % SLOTS as u64) as usize];
+                let before = slot.len();
+                let mut kept = Vec::new();
+                for (due, item) in slot.drain(..) {
+                    if due <= now {
+                        out.push(item);
+                    } else {
+                        kept.push((due, item));
+                    }
+                }
+                self.in_ring -= before - kept.len();
+                *slot = kept;
+                return;
+            }
+            // Every entry in a slot strictly behind `now`'s slot is due.
+            let slot = &mut self.slots[(self.cursor % SLOTS as u64) as usize];
+            self.in_ring -= slot.len();
+            out.extend(slot.drain(..).map(|(_, item)| item));
+            self.cursor += 1;
+            if self.cursor.is_multiple_of(SLOTS as u64) {
+                self.rebucket();
+            }
+        }
+    }
+
+    /// Drain *every* pending entry into `out`, due or not, preserving the
+    /// per-link FIFO contract: ring slots drain in cursor order, then overflow
+    /// entries in due order (stable, so equal dues keep insertion order). A
+    /// link's dues are non-decreasing and overflow dues sit beyond every ring
+    /// due, so a link's frames still come out in insertion order. Used by
+    /// shutdown to deliver all scheduled frames immediately.
+    pub(crate) fn drain_all(&mut self, out: &mut Vec<(Instant, T)>) {
+        for off in 0..SLOTS as u64 {
+            let slot = &mut self.slots[((self.cursor + off) % SLOTS as u64) as usize];
+            out.append(slot);
+        }
+        self.in_ring = 0;
+        self.overflow.sort_by_key(|(due, _)| *due);
+        out.append(&mut self.overflow);
+    }
+
+    /// The earliest due time of any pending entry (ring or overflow).
+    pub(crate) fn next_due(&self) -> Option<Instant> {
+        let mut best: Option<Instant> = None;
+        if self.in_ring > 0 {
+            for off in 0..SLOTS as u64 {
+                let slot = &self.slots[((self.cursor + off) % SLOTS as u64) as usize];
+                if let Some(m) = slot.iter().map(|(due, _)| *due).min() {
+                    best = Some(m);
+                    break;
+                }
+            }
+        }
+        for (due, _) in &self.overflow {
+            if best.is_none_or(|b| *due < b) {
+                best = Some(*due);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_only_what_is_due() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        w.insert(t0 + Duration::from_millis(5), "a");
+        w.insert(t0 + Duration::from_millis(50), "b");
+        let mut out = Vec::new();
+        w.pop_due(t0 + Duration::from_millis(10), &mut out);
+        assert_eq!(out, vec!["a"]);
+        assert_eq!(w.next_due(), Some(t0 + Duration::from_millis(50)));
+        w.pop_due(t0 + Duration::from_millis(60), &mut out);
+        assert_eq!(out, vec!["a", "b"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_slot_entries_keep_insertion_order() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        let due = t0 + Duration::from_millis(3);
+        for i in 0..10 {
+            w.insert(due, i);
+        }
+        let mut out = Vec::new();
+        w.pop_due(t0 + Duration::from_millis(4), &mut out);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nondecreasing_dues_pop_in_insertion_order_across_slots() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        // A link's running-maximum due times, spanning ring and overflow.
+        let dues: Vec<u64> = vec![0, 1, 1, 7, 300, 300, 700, 1500];
+        for (i, ms) in dues.iter().enumerate() {
+            w.insert(t0 + Duration::from_millis(*ms), i);
+        }
+        let mut out = Vec::new();
+        w.pop_due(t0 + Duration::from_secs(10), &mut out);
+        assert_eq!(out, (0..dues.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_due_entries_pop_immediately() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        let mut out = Vec::new();
+        w.pop_due(t0 + Duration::from_secs(2), &mut out); // cursor well ahead
+        w.insert(t0, "late");
+        assert!(w.next_due().is_some());
+        w.pop_due(t0 + Duration::from_secs(2), &mut out);
+        assert_eq!(out, vec!["late"]);
+    }
+
+    #[test]
+    fn drain_all_returns_everything_in_link_fifo_order() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        let dues: Vec<u64> = vec![2, 2, 9, 400, 900, 2000];
+        for (i, ms) in dues.iter().enumerate() {
+            w.insert(t0 + Duration::from_millis(*ms), i);
+        }
+        let mut out = Vec::new();
+        w.drain_all(&mut out);
+        let items: Vec<usize> = out.into_iter().map(|(_, item)| item).collect();
+        assert_eq!(items, (0..dues.len()).collect::<Vec<_>>());
+        assert!(w.is_empty());
+        assert_eq!(w.next_due(), None);
+    }
+
+    #[test]
+    fn overflow_entries_survive_long_idle_gaps() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        w.insert(t0 + Duration::from_secs(5), "deadline");
+        assert_eq!(w.next_due(), Some(t0 + Duration::from_secs(5)));
+        let mut out = Vec::new();
+        w.pop_due(t0 + Duration::from_secs(4), &mut out);
+        assert!(out.is_empty());
+        w.pop_due(t0 + Duration::from_secs(6), &mut out);
+        assert_eq!(out, vec!["deadline"]);
+    }
+}

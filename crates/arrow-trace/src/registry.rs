@@ -54,11 +54,17 @@ pub enum Metric {
     EpochsAdopted,
     /// Grants self-released on behalf of vanished local waiters.
     OrphanReleases,
+    /// Reactor shard `epoll_wait` returns (socket tier; 0 on thread tiers).
+    ReactorWakeups,
+    /// Socket reads/writes that returned `WouldBlock` and re-armed interest.
+    WouldBlockRetries,
+    /// Simultaneous-dial duplicate connections collapsed to one live link.
+    DialRacesCollapsed,
 }
 
 impl Metric {
     /// Every counter, in discriminant order (the snapshot/JSON order).
-    pub const ALL: [Metric; 17] = [
+    pub const ALL: [Metric; 20] = [
         Metric::QueueFrames,
         Metric::TokenFrames,
         Metric::FramesSent,
@@ -76,6 +82,9 @@ impl Metric {
         Metric::RequestsIssued,
         Metric::EpochsAdopted,
         Metric::OrphanReleases,
+        Metric::ReactorWakeups,
+        Metric::WouldBlockRetries,
+        Metric::DialRacesCollapsed,
     ];
 
     /// Number of counters.
@@ -101,6 +110,9 @@ impl Metric {
             Metric::RequestsIssued => "requests_issued",
             Metric::EpochsAdopted => "epochs_adopted",
             Metric::OrphanReleases => "orphan_releases",
+            Metric::ReactorWakeups => "reactor_wakeups",
+            Metric::WouldBlockRetries => "would_block_retries",
+            Metric::DialRacesCollapsed => "dial_races_collapsed",
         }
     }
 }
@@ -119,14 +131,22 @@ pub enum HistMetric {
     AcquireNanos,
     /// Frames carried by one coalesced socket `write` call.
     WriteBatchFrames,
+    /// Readiness events delivered per reactor shard wakeup (batching factor
+    /// of the event loop; socket tier only).
+    EventsPerWakeup,
+    /// Shard command-inbox depth observed at each drain (backlog between the
+    /// handle threads and the owning shard).
+    ShardQueueDepth,
 }
 
 impl HistMetric {
     /// Every histogram, in discriminant order.
-    pub const ALL: [HistMetric; 3] = [
+    pub const ALL: [HistMetric; 5] = [
         HistMetric::TimerDwellNanos,
         HistMetric::AcquireNanos,
         HistMetric::WriteBatchFrames,
+        HistMetric::EventsPerWakeup,
+        HistMetric::ShardQueueDepth,
     ];
 
     /// Number of histograms.
@@ -138,6 +158,8 @@ impl HistMetric {
             HistMetric::TimerDwellNanos => "timer_dwell_nanos",
             HistMetric::AcquireNanos => "acquire_nanos",
             HistMetric::WriteBatchFrames => "write_batch_frames",
+            HistMetric::EventsPerWakeup => "events_per_wakeup",
+            HistMetric::ShardQueueDepth => "shard_queue_depth",
         }
     }
 }

@@ -206,3 +206,188 @@ fn mesh_stays_sparse() {
     assert_eq!(report.stats().unexpected_frames, 0);
     report.validated_orders().unwrap();
 }
+
+/// Regression for the reactor's dial-race dedupe. Siblings 1 and 2 (no direct
+/// tree edge, different shards under `with_shards(2)`) each hold one object's
+/// token while the other sibling's request is queued directly behind it.
+/// Barrier-synchronized releases then make both nodes dial each other at the
+/// same instant for the direct token handoff. Whichever round actually races,
+/// the two connections must collapse onto one canonical link with *both*
+/// tokens delivered — a lost frame would hang a `wait_timeout` or break the
+/// queuing order. The race is probabilistic, so fresh meshes are spun up until
+/// the `dial_races_collapsed` counter witnesses a collapse.
+#[test]
+fn simultaneous_cross_dials_collapse_onto_one_link() {
+    let mut collapsed = 0u64;
+    let mut rounds = 0u32;
+    for _ in 0..40 {
+        rounds += 1;
+        let cfg = NetConfig::instant().with_shards(2);
+        let rt = NetRuntime::spawn_multi(&tree(3), 2, cfg);
+        let h1 = rt.handle(1);
+        let h2 = rt.handle(2);
+        let held1 = h1.acquire_object(ObjectId(0));
+        let held2 = h2.acquire_object(ObjectId(1));
+        // Queue the crossing requests behind the held tokens so that each
+        // release immediately sends a token across the missing 1↔2 link.
+        let p2 = h2.start_acquire_object(ObjectId(0));
+        let p1 = h1.start_acquire_object(ObjectId(1));
+        std::thread::sleep(Duration::from_millis(20));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let releasers = [
+            (rt.handle(1), ObjectId(0), held1),
+            (rt.handle(2), ObjectId(1), held2),
+        ]
+        .map(|(h, obj, req)| {
+            let b = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                b.wait();
+                h.release_object(obj, req);
+            })
+        });
+        for r in releasers {
+            r.join().unwrap();
+        }
+        let got2 = p2
+            .wait_timeout(Duration::from_secs(10))
+            .expect("token 1→2 must survive the dial race");
+        let got1 = p1
+            .wait_timeout(Duration::from_secs(10))
+            .expect("token 2→1 must survive the dial race");
+        h2.release_object(ObjectId(0), got2);
+        h1.release_object(ObjectId(1), got1);
+        let report = rt.shutdown();
+        assert_eq!(report.stats().unexpected_frames, 0);
+        report
+            .validated_orders()
+            .expect("orders stay valid through the dial race");
+        collapsed += report.stats().dial_races_collapsed;
+        if collapsed >= 1 {
+            break;
+        }
+    }
+    assert!(
+        collapsed >= 1,
+        "{rounds} rounds of simultaneous cross-releases never collapsed a dial race"
+    );
+}
+
+/// A fault sever racing in-flight token writes: the 0↔1 tree edge is dropped
+/// and restored in rapid cycles while workers on both leaves keep the tokens
+/// moving through that edge. Token frames die mid-write when the sever lands;
+/// the epoch bumps must regenerate them, every surviving round must still be
+/// granted, and the journaled orders must satisfy the per-epoch churn
+/// contract.
+#[test]
+fn link_sever_racing_in_flight_tokens_recovers_per_epoch_orders() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let cycles = 6u64;
+    let final_epoch = 2 * cycles;
+    let cfg = NetConfig::instant()
+        .with_dial_retries(1)
+        .with_fault_tolerance();
+    let rt = NetRuntime::spawn_multi(&tree(3), 2, cfg);
+    let fh = rt.fault_handle();
+    let chaos_done = Arc::new(AtomicBool::new(false));
+    let chaos = {
+        let fh = fh.clone();
+        let done = Arc::clone(&chaos_done);
+        std::thread::spawn(move || {
+            for c in 0..cycles {
+                fh.apply(&FaultAction::DropLink(0, 1), 2 * c + 1);
+                std::thread::sleep(Duration::from_millis(15));
+                fh.apply(&FaultAction::RestoreLink(0, 1), 2 * c + 2);
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+    let mut joins = Vec::new();
+    for v in [1usize, 2] {
+        let h = rt.handle(v);
+        let fh = fh.clone();
+        let done = Arc::clone(&chaos_done);
+        joins.push(std::thread::spawn(move || {
+            for round in 0..4u32 {
+                let obj = ObjectId((v as u32 + round) % 2);
+                let mut attempts = 0;
+                loop {
+                    attempts += 1;
+                    assert!(attempts <= 200, "node {v} round {round} never granted");
+                    match h.try_acquire_object_timeout(obj, Duration::from_millis(500)) {
+                        Ok(req) => {
+                            h.release_object(obj, req);
+                            break;
+                        }
+                        Err(_) => {
+                            // A grant lost to a sever: once the chaos loop is
+                            // over, re-broadcasting the final epoch is
+                            // idempotent and heals any straggler.
+                            if done.load(Ordering::SeqCst) {
+                                fh.broadcast_epoch(final_epoch);
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    chaos.join().unwrap();
+    let report = rt.shutdown();
+    report
+        .validate_churn(final_epoch)
+        .expect("per-epoch order contract while severs race token writes");
+    assert!(
+        report.stats().acquisitions >= 8,
+        "every worker round was eventually granted"
+    );
+}
+
+/// The tentpole scaling claim: one process hosts ≥1024 nodes because thread
+/// count is O(shards), not O(nodes). A 1025-node mesh materializes its 1024
+/// tree links and serves a deep-leaf acquire while the whole process stays
+/// under a hundred threads — the old thread-per-connection tier would need
+/// thousands.
+#[test]
+fn process_hosts_1024_nodes_with_o_shards_threads() {
+    fn thread_count() -> usize {
+        let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .expect("Threads: line")
+            .trim()
+            .parse()
+            .expect("thread count")
+    }
+
+    let n = 1025;
+    let rt = NetRuntime::spawn(&tree(n), NetConfig::instant());
+    let threads = thread_count();
+    assert!(
+        threads < 100,
+        "hosting {n} nodes takes {threads} threads; the reactor pool must stay O(shards)"
+    );
+
+    // The mesh is real: every tree edge was dialed, and a deep leaf's acquire
+    // walks the full path to the root and back.
+    let h = rt.handle(n - 1);
+    let req = h.acquire();
+    h.release(req);
+    let report = rt.shutdown();
+    assert!(
+        report.stats().connections_dialed >= (n - 1) as u64,
+        "all {} tree edges must materialize, saw {}",
+        n - 1,
+        report.stats().connections_dialed
+    );
+    assert_eq!(report.stats().unexpected_frames, 0);
+    report
+        .validated_orders()
+        .expect("1025-node order validates");
+}

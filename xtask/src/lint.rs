@@ -22,6 +22,12 @@
 //!    a direct `fetch_add` on an ad-hoc atomic in the policed trees is a
 //!    counter the observability plane cannot see. Registry internals live in
 //!    `arrow-trace`, outside the policed directories.
+//! 5. **unsafe fencing** — every first-party crate root under `crates/` must
+//!    carry `#![forbid(unsafe_code)]`: the whole protocol stack, reactor
+//!    included, is safe Rust by construction, and `forbid` (unlike `deny`)
+//!    cannot be overridden by an inner `allow`. Only the vendored stand-ins
+//!    under `crates/compat/` are exempt — they take whatever license their
+//!    upstream APIs force on them.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -353,6 +359,53 @@ fn lint_metrics_bypass(root: &Path, allows: &[Allow], findings: &mut Vec<Finding
     }
 }
 
+/// Pass 5: every non-compat crate root carries `#![forbid(unsafe_code)]`.
+///
+/// Walks the `crates/` directory (the workspace's first-party crates; `xtask`
+/// itself is a build tool, not shipped code) and requires the attribute in
+/// each `src/lib.rs`. `crates/compat/` — the vendored offline stand-ins — is
+/// the only exemption: shims like `netpoll` may need `unsafe` for raw fd
+/// plumbing, and their roots decide for themselves.
+fn lint_unsafe_fencing(root: &Path, findings: &mut Vec<Finding>) {
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        findings.push(Finding {
+            file: PathBuf::from("crates"),
+            line: 0,
+            lint: "unsafe-fencing",
+            message: "cannot read the crates/ directory".to_string(),
+        });
+        return;
+    };
+    let mut roots: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "compat"))
+        .map(|p| p.join("src/lib.rs"))
+        .collect();
+    roots.sort();
+    for lib in roots {
+        let file = rel(root, &lib).to_path_buf();
+        let Ok(text) = std::fs::read_to_string(&lib) else {
+            findings.push(Finding {
+                file,
+                line: 0,
+                lint: "unsafe-fencing",
+                message: "crate has no readable src/lib.rs to carry the attribute".to_string(),
+            });
+            continue;
+        };
+        if !text.lines().any(|l| l.trim() == "#![forbid(unsafe_code)]") {
+            findings.push(Finding {
+                file,
+                line: 0,
+                lint: "unsafe-fencing",
+                message: "first-party crate root is missing #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+    }
+}
+
 /// Run every pass; returns all findings (empty = clean tree).
 pub fn run(root: &Path) -> Vec<Finding> {
     let allows = load_allowlist(root);
@@ -361,6 +414,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
     lint_guard_across_send(root, &allows, &mut findings);
     lint_proto_wire(root, &mut findings);
     lint_metrics_bypass(root, &allows, &mut findings);
+    lint_unsafe_fencing(root, &mut findings);
     findings
 }
 
@@ -392,6 +446,36 @@ mod tests {
     fn proto_variants_are_extracted() {
         let src = "pub enum ProtoMsg {\n    Issue {\n        req: RequestId,\n    },\n    Queue { x: u8 },\n    Found,\n}\n";
         assert_eq!(proto_msg_variants(src), vec!["Issue", "Queue", "Found"]);
+    }
+
+    #[test]
+    fn unsafe_fencing_exempts_compat_and_flags_bare_roots() {
+        let dir = std::env::temp_dir().join("xtask-unsafe-fencing-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        for sub in [
+            "crates/good/src",
+            "crates/bad/src",
+            "crates/compat/shim/src",
+        ] {
+            std::fs::create_dir_all(dir.join(sub)).unwrap();
+        }
+        std::fs::write(
+            dir.join("crates/good/src/lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("crates/bad/src/lib.rs"), "pub fn f() {}\n").unwrap();
+        std::fs::write(dir.join("crates/compat/shim/src/lib.rs"), "pub fn g() {}\n").unwrap();
+        let mut findings = Vec::new();
+        lint_unsafe_fencing(&dir, &mut findings);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(
+            findings.len(),
+            1,
+            "only the bare non-compat root is flagged"
+        );
+        assert!(findings[0].file.ends_with("crates/bad/src/lib.rs"));
+        assert_eq!(findings[0].lint, "unsafe-fencing");
     }
 
     #[test]
