@@ -1,0 +1,390 @@
+//! Regenerate the committed process-tier (cluster) throughput baseline.
+//!
+//! ```text
+//! cargo build --release -p arrow-cluster          # the arrowd binary
+//! cargo run --release -p arrow-bench --bin cluster -- [--smoke] [out_path]
+//! ```
+//!
+//! Default (baseline) profile — the acceptance scenario:
+//!
+//! * **closed loop** — 16 `arrowd` OS processes on a balanced binary spanning
+//!   tree, K = 4 objects under a Zipf-shaped assignment (object 0 hottest),
+//!   3,600 acquires total, every per-object queuing order validated across the
+//!   sixteen process-local journals;
+//! * **churn** — the same 3,600-acquire scenario with fault tolerance on: one
+//!   non-root daemon is `SIGKILL`ed mid-run (a real dead PID), the harness
+//!   broadcasts the detection epoch and restarts it, and the 15 survivors must
+//!   complete all 3,375 of their acquires (≥ the 3,200-acquire floor) with the
+//!   churn order contract intact.
+//!
+//! Both rows report wall-clock throughput, grant-latency percentiles from the
+//! merged per-process `AcquireNanos` histogram, and per-process CPU seconds
+//! and peak RSS scraped from `/proc/<pid>` — numbers the in-process tiers
+//! cannot honestly produce, because there every "node" shares one address
+//! space. Writes `BENCH_cluster_throughput.json` (default: the current
+//! directory — run from the repository root to refresh the committed file).
+//!
+//! `--smoke` runs a reduced profile (4 processes, K = 2, closed loop only) and
+//! writes no file — CI uses it to catch process-tier regressions in seconds.
+//!
+//! `--demo` is the README's one-command walkthrough: 8 `arrowd` processes,
+//! K = 4 Zipf objects, with the per-process `/proc` accounting printed as a
+//! table. Also writes no file.
+
+use arrow_bench::meta::BenchMeta;
+use arrow_cluster::{locate_arrowd, Cluster, ClusterConfig, ClusterReport, WorkOutcome};
+use arrow_core::prelude::ObjectId;
+use arrow_trace::HistMetric;
+use netgraph::{generators, NodeId, RootedTree};
+use std::time::{Duration, Instant};
+
+fn tree(n: usize) -> RootedTree {
+    RootedTree::from_tree_graph(&generators::balanced_binary_tree(n), 0)
+}
+
+/// Zipf-shaped per-(node, object) assignment: object `o` gets
+/// `⌈base / (o + 1)⌉` acquires per node, so the hottest object carries the
+/// contention the way directory workloads actually concentrate it.
+fn zipf_work(n: usize, k: usize, base: usize) -> Vec<(NodeId, ObjectId, usize)> {
+    let mut work = Vec::new();
+    for v in 0..n {
+        for o in 0..k {
+            work.push((v, ObjectId(o as u32), base.div_ceil(o + 1)));
+        }
+    }
+    work
+}
+
+/// One measured cluster run, ready for a JSON row.
+struct ClusterRow {
+    workload: &'static str,
+    processes: usize,
+    objects: usize,
+    /// Acquires granted (journaled) across the whole cluster.
+    acquisitions: usize,
+    wall_seconds: f64,
+    acquisitions_per_sec: f64,
+    acquire_p50_ms: f64,
+    acquire_p99_ms: f64,
+    queue_frames: u64,
+    token_frames: u64,
+    token_regenerations: usize,
+    valid_orders: usize,
+    per_process: Vec<ProcRow>,
+}
+
+struct ProcRow {
+    node: NodeId,
+    cpu_seconds: f64,
+    rss_kb: u64,
+    peak_rss_kb: u64,
+}
+
+fn proc_rows(report: &ClusterReport) -> Vec<ProcRow> {
+    report
+        .per_node()
+        .iter()
+        .filter_map(|nr| {
+            let u = nr.usage.as_ref()?;
+            Some(ProcRow {
+                node: nr.node,
+                cpu_seconds: u.cpu_seconds(),
+                rss_kb: u.rss_kb,
+                peak_rss_kb: u.peak_rss_kb,
+            })
+        })
+        .collect()
+}
+
+fn row_from_report(
+    workload: &'static str,
+    n: usize,
+    k: usize,
+    wall: Duration,
+    valid_orders: usize,
+    report: &ClusterReport,
+) -> ClusterRow {
+    let acquisitions = report.metrics().get(arrow_trace::Metric::Acquisitions) as usize;
+    let lat = report.metrics().hist(HistMetric::AcquireNanos);
+    let to_ms = |nanos: Option<u64>| nanos.unwrap_or(0) as f64 / 1e6;
+    let wall_seconds = wall.as_secs_f64();
+    ClusterRow {
+        workload,
+        processes: n,
+        objects: k,
+        acquisitions,
+        wall_seconds,
+        acquisitions_per_sec: acquisitions as f64 / wall_seconds.max(1e-9),
+        acquire_p50_ms: to_ms(lat.quantile(0.50)),
+        acquire_p99_ms: to_ms(lat.quantile(0.99)),
+        queue_frames: report.metrics().get(arrow_trace::Metric::QueueFrames),
+        token_frames: report.metrics().get(arrow_trace::Metric::TokenFrames),
+        token_regenerations: report.token_regenerations(),
+        valid_orders,
+        per_process: proc_rows(report),
+    }
+}
+
+fn print_row(r: &ClusterRow) {
+    println!(
+        "  {:>11} {:>2} procs K={}: {:>5} acquisitions, {:.3}s, {:>7.0} acq/sec, \
+         p50 {:.2} ms, p99 {:.2} ms, {} regenerations, {} valid orders",
+        r.workload,
+        r.processes,
+        r.objects,
+        r.acquisitions,
+        r.wall_seconds,
+        r.acquisitions_per_sec,
+        r.acquire_p50_ms,
+        r.acquire_p99_ms,
+        r.token_regenerations,
+        r.valid_orders
+    );
+    let cpu: f64 = r.per_process.iter().map(|p| p.cpu_seconds).sum();
+    let peak = r
+        .per_process
+        .iter()
+        .map(|p| p.peak_rss_kb)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "  {:>11} per-process: {:.2}s CPU total across {} daemons, peak RSS {} KiB",
+        "",
+        cpu,
+        r.per_process.len(),
+        peak
+    );
+}
+
+/// Fault-free closed loop: every daemon completes its whole assignment, every
+/// per-object order must assemble into one unbroken chain across journals.
+fn run_closed_loop(arrowd: &std::path::Path, n: usize, k: usize, base: usize) -> ClusterRow {
+    let cfg = ClusterConfig::new(arrowd, tree(n), k);
+    let mut cluster = Cluster::launch(cfg).expect("cluster launches");
+    let work = zipf_work(n, k, base);
+    let total: usize = work.iter().map(|&(_, _, c)| c).sum();
+
+    let t0 = Instant::now();
+    cluster
+        .start_workload(&work, Duration::from_secs(60), 1)
+        .expect("workload starts");
+    for (v, outcome) in cluster.await_done(Duration::from_secs(600)) {
+        assert!(
+            matches!(outcome, WorkOutcome::Done { failed: 0, .. }),
+            "node {v} must complete its assignment, got {outcome:?}"
+        );
+    }
+    let wall = t0.elapsed();
+
+    let report = cluster.shutdown().expect("graceful shutdown");
+    assert!(report.failures().is_empty(), "healthy cluster");
+    let orders = report
+        .validated_orders()
+        .expect("per-object orders validate");
+    let ordered: usize = orders.iter().map(|(_, o)| o.len()).sum();
+    assert_eq!(ordered, total, "every acquire appears in a validated order");
+    row_from_report("closed-loop", n, k, wall, orders.len(), &report)
+}
+
+/// The churn scenario: same assignment with fault tolerance on, one non-root
+/// daemon `SIGKILL`ed mid-run, detection epoch broadcast, victim restarted.
+/// Survivors must complete everything; the churn order contract must hold.
+fn run_churn(
+    arrowd: &std::path::Path,
+    n: usize,
+    k: usize,
+    base: usize,
+    floor: usize,
+) -> ClusterRow {
+    let victim: NodeId = n / 2;
+    let cfg = ClusterConfig::new(arrowd, tree(n), k).with_fault_tolerance();
+    let mut cluster = Cluster::launch(cfg).expect("cluster launches");
+    let work = zipf_work(n, k, base);
+    let survivor_total: usize = work
+        .iter()
+        .filter(|&&(v, _, _)| v != victim)
+        .map(|&(_, _, c)| c)
+        .sum();
+    assert!(
+        survivor_total >= floor,
+        "scenario must keep >= {floor} acquires on surviving processes"
+    );
+
+    let t0 = Instant::now();
+    cluster
+        .start_workload(&work, Duration::from_secs(1), 600)
+        .expect("workload starts");
+    // Early enough to land while thousands of acquires are still in flight
+    // (the fault-free run takes ~4x this long even on a fast machine).
+    std::thread::sleep(Duration::from_millis(80));
+    cluster.kill(victim).expect("SIGKILL lands");
+    cluster
+        .broadcast_epoch(1)
+        .expect("detection bump reaches survivors");
+    cluster
+        .restart(victim)
+        .expect("victim restarts and rejoins");
+    let mut completed = 0usize;
+    for (v, outcome) in cluster.await_done(Duration::from_secs(600)) {
+        match outcome {
+            WorkOutcome::Done {
+                completed: c,
+                failed: 0,
+                ..
+            } => completed += c as usize,
+            // The victim's workload died with its first incarnation.
+            WorkOutcome::Idle | WorkOutcome::Dead if v == victim => {}
+            other => panic!("node {v} did not complete through the churn: {other:?}"),
+        }
+    }
+    let wall = t0.elapsed();
+    assert!(
+        completed >= survivor_total.min(floor),
+        "survivors completed only {completed} of the {floor}-acquire floor"
+    );
+
+    let report = cluster.shutdown().expect("graceful shutdown");
+    report
+        .validate_churn(1)
+        .expect("churn order contract holds across the kill/restart cycle");
+    assert!(
+        report.token_regenerations() >= 1,
+        "the SIGKILL must land mid-run so the epoch bump regenerates a live token \
+         (it landed after the workload drained — lower the kill delay)"
+    );
+    // validate_churn checked fork-freedom per epoch and the final epoch's
+    // chains; count the objects seen so the row records coverage.
+    let objects_seen = {
+        let mut objs: Vec<u32> = report.records().iter().map(|r| r.obj.0).collect();
+        objs.sort_unstable();
+        objs.dedup();
+        objs.len()
+    };
+    row_from_report("churn", n, k, wall, objects_seen, &report)
+}
+
+fn json_report(rows: &[ClusterRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"workload\": \"arrowd OS processes over loopback TCP, balanced binary tree; \
+         closed loop = Zipf per-(node, object) assignments driven to completion, churn = same \
+         assignment surviving one SIGKILL + epoch bump + restart of a non-root daemon\",\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"processes\": {}, \"objects\": {}, \
+             \"acquisitions\": {}, \"wall_seconds\": {:.6}, \"acquisitions_per_sec\": {:.0}, \
+             \"acquire_p50_ms\": {:.3}, \"acquire_p99_ms\": {:.3}, \"queue_frames\": {}, \
+             \"token_frames\": {}, \"token_regenerations\": {}, \"valid_orders\": {},\n     \
+             \"per_process\": [\n",
+            r.workload,
+            r.processes,
+            r.objects,
+            r.acquisitions,
+            r.wall_seconds,
+            r.acquisitions_per_sec,
+            r.acquire_p50_ms,
+            r.acquire_p99_ms,
+            r.queue_frames,
+            r.token_frames,
+            r.token_regenerations,
+            r.valid_orders
+        ));
+        for (j, p) in r.per_process.iter().enumerate() {
+            out.push_str(&format!(
+                "       {{\"node\": {}, \"cpu_seconds\": {:.2}, \"rss_kb\": {}, \
+                 \"peak_rss_kb\": {}}}{}\n",
+                p.node,
+                p.cpu_seconds,
+                p.rss_kb,
+                p.peak_rss_kb,
+                if j + 1 == r.per_process.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "     ]}}{}\n",
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut demo = false;
+    let mut out_path = "BENCH_cluster_throughput.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--demo" => demo = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("usage: cluster [--smoke | --demo] [out_path] (unknown flag {flag})");
+                std::process::exit(2);
+            }
+            path => out_path = path.to_string(),
+        }
+    }
+
+    let arrowd = match locate_arrowd() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if demo {
+        // The README walkthrough: one command, eight real daemon processes.
+        println!("8-process arrow directory demo (one arrowd OS process per tree node):");
+        let row = run_closed_loop(&arrowd, 8, 4, 6);
+        print_row(&row);
+        println!("  per-process accounting (/proc/<pid>):");
+        println!("    node  cpu_seconds  rss_kb  peak_rss_kb");
+        for p in &row.per_process {
+            println!(
+                "    {:>4}  {:>11.2}  {:>6}  {:>11}",
+                p.node, p.cpu_seconds, p.rss_kb, p.peak_rss_kb
+            );
+        }
+        println!(
+            "every per-object queuing order validated across 8 process-local journals \
+             (no baseline written)"
+        );
+        return;
+    }
+
+    if smoke {
+        // CI profile: 4 real processes, seconds-scale, full order validation.
+        println!("process-tier smoke (4 arrowd processes, K = 2):");
+        let row = run_closed_loop(&arrowd, 4, 2, 6);
+        print_row(&row);
+        assert_eq!(row.valid_orders, 2, "every object produced a valid order");
+        assert_eq!(row.per_process.len(), 4, "every daemon's /proc was scraped");
+        println!("smoke OK (no baseline written)");
+        return;
+    }
+
+    // The acceptance shape: 16 processes, K = 4, (108 + 54 + 36 + 27) = 225
+    // acquires per node = 3,600 total; the churn row keeps 15 x 225 = 3,375
+    // acquires on survivors — over the 3,200-acquire floor.
+    let (n, k, base, floor) = (16usize, 4usize, 108usize, 3_200usize);
+    println!("process-tier baseline ({n} arrowd processes, K = {k}, Zipf base {base}):");
+    let closed = run_closed_loop(&arrowd, n, k, base);
+    print_row(&closed);
+    assert_eq!(closed.valid_orders, k);
+    assert!(closed.acquisitions >= floor);
+
+    let churn = run_churn(&arrowd, n, k, base, floor);
+    print_row(&churn);
+
+    let rows = vec![closed, churn];
+    let doc = BenchMeta::capture().inject(&json_report(&rows));
+    std::fs::write(&out_path, doc).expect("failed to write baseline file");
+    println!("baseline written to {out_path}");
+}

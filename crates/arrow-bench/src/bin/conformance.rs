@@ -10,7 +10,13 @@
 //!
 //! Exits non-zero if any case violates any invariant (CI runs `--smoke`).
 
-use arrow_conformance::{run_replay, run_sweep, SweepOptions};
+use arrow_cluster::{locate_arrowd, ClusterDriver};
+use arrow_conformance::{
+    invariants, run_replay, run_sweep, CaseSpec, GraphKind, SweepOptions, WorkloadKind,
+};
+use arrow_core::prelude::{Driver, ProtocolKind, SyncMode};
+use desim::SimConfig;
+use netgraph::spanning::SpanningTreeKind;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,8 +24,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: conformance [--smoke | --full] [--cases N] [--seed N] [--max-nodes N] \
          [--max-requests N] [--faults] [--fault-episodes N] [--no-thread] [--no-net] \
-         [--no-shrink] [--out DIR] [--trace [DIR]] [--replay FILE]\n(try --help for the \
-         replay file format)"
+         [--no-cluster] [--no-shrink] [--out DIR] [--trace [DIR]] [--replay FILE]\n(try --help \
+         for the replay file format)"
     );
     std::process::exit(2);
 }
@@ -47,6 +53,10 @@ OPTIONS:
     --fault-episodes N   like --faults with an explicit per-case episode budget
     --no-thread          skip the thread tier
     --no-net             skip the socket tier
+    --no-cluster         skip the process-cluster tier (the small fixed-seed
+                         subset replayed across real arrowd processes after
+                         the sweep; needs the arrowd binary —
+                         `cargo build --release -p arrow-cluster`)
     --no-shrink          report failures without shrinking them first
     --out DIR            where failing cases' replay files go
                          (default: conformance-failures/)
@@ -92,10 +102,74 @@ REPLAY FILES:
     std::process::exit(0);
 }
 
+/// The process-cluster tier's fixed-seed conformance subset: a few small
+/// cases (≤ 8 nodes, ≤ 12 requests — every case spawns that many real OS
+/// processes) replayed through [`ClusterDriver`] and held to the same
+/// invariant suite as the in-process tiers. The generated sweep stays on the
+/// cheap tiers; this pins the cross-tier agreement contract down to process
+/// isolation without multiplying the sweep's cost by a process launch.
+fn cluster_subset_specs() -> Vec<CaseSpec> {
+    let base = CaseSpec {
+        seed: 0,
+        nodes: 8,
+        graph: GraphKind::Complete,
+        tree: SpanningTreeKind::BalancedBinary,
+        objects: 2,
+        requests: 12,
+        workload: WorkloadKind::Zipf,
+        sync: SyncMode::Synchronous,
+        async_lo: SimConfig::DEFAULT_ASYNC_LO,
+    };
+    vec![
+        CaseSpec { seed: 11, ..base },
+        CaseSpec {
+            seed: 23,
+            nodes: 6,
+            graph: GraphKind::RandomTree,
+            tree: SpanningTreeKind::ShortestPath,
+            objects: 1,
+            requests: 10,
+            workload: WorkloadKind::Sequential,
+            ..base
+        },
+    ]
+}
+
+/// Run the cluster subset; returns `(cases_run, requests_run, violations)`.
+fn run_cluster_subset(driver: &ClusterDriver) -> (usize, usize, Vec<invariants::Violation>) {
+    let mut violations = Vec::new();
+    let mut requests = 0usize;
+    let specs = cluster_subset_specs();
+    let cases = specs.len();
+    for spec in specs {
+        let instance = spec.build_instance();
+        let schedule = spec.build_schedule(instance.node_count());
+        let expected = invariants::request_multiset(&schedule);
+        let cfg = spec.run_config(ProtocolKind::Arrow);
+        requests += schedule.len();
+        match driver.run(&instance, &schedule, &cfg) {
+            Err(e) => violations.push(invariants::Violation {
+                invariant: arrow_conformance::InvariantKind::RunFailed,
+                tier: "cluster".to_string(),
+                detail: format!("seed {}: {e}", spec.seed),
+            }),
+            Ok(outcome) => {
+                let n = instance.node_count();
+                violations.extend(invariants::check_exactly_once("cluster", &outcome));
+                violations.extend(invariants::check_token_conservation("cluster", &outcome));
+                violations.extend(invariants::check_message_sanity("cluster", &outcome, n));
+                violations.extend(invariants::check_cross_tier("cluster", &expected, &outcome));
+            }
+        }
+    }
+    (cases, requests, violations)
+}
+
 fn main() -> ExitCode {
     let mut opts = SweepOptions::smoke();
     opts.replay_dir = Some(PathBuf::from("conformance-failures"));
     let mut replay_file: Option<PathBuf> = None;
+    let mut include_cluster = true;
 
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -133,6 +207,7 @@ fn main() -> ExitCode {
             "--fault-episodes" => opts.fault_episodes = num(&mut args),
             "--no-thread" => opts.include_thread = false,
             "--no-net" => opts.include_net = false,
+            "--no-cluster" => include_cluster = false,
             "--no-shrink" => opts.shrink_failures = false,
             "--out" => {
                 opts.replay_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
@@ -193,6 +268,28 @@ fn main() -> ExitCode {
         if opts.include_net { ", net" } else { "" },
     );
     let report = run_sweep(&opts);
+
+    // The process-cluster tier: a fixed-seed subset replayed across real
+    // arrowd processes (skipped for fault sweeps — the cluster has its own
+    // process-granularity churn coverage in tests and the bench).
+    let mut cluster_violations = Vec::new();
+    if include_cluster && opts.fault_episodes == 0 {
+        let arrowd = match locate_arrowd() {
+            Ok(path) => path,
+            Err(e) => {
+                eprintln!("error: {e}\n(or skip the process tier with --no-cluster)");
+                return ExitCode::from(2);
+            }
+        };
+        let (cases, requests, violations) = run_cluster_subset(&ClusterDriver::new(arrowd));
+        println!(
+            "cluster subset: {cases} fixed-seed cases / {requests} requests across real arrowd \
+             processes; {} violations",
+            violations.len()
+        );
+        cluster_violations = violations;
+    }
+
     if let Some(dir) = &opts.trace_dir {
         println!(
             "causal traces: {}/case-<seed>.trace.json (probed sim tier, Chrome trace-event JSON)",
@@ -216,9 +313,12 @@ fn main() -> ExitCode {
             report.fault_events, report.token_regenerations,
         );
     }
-    if report.all_passed() {
+    if report.all_passed() && cluster_violations.is_empty() {
         println!("PASS: zero invariant violations across all tiers");
         return ExitCode::SUCCESS;
+    }
+    for v in &cluster_violations {
+        println!("FAIL cluster subset: {v}");
     }
     for failure in &report.failures {
         println!(

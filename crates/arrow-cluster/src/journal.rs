@@ -1,0 +1,192 @@
+//! The on-disk journal an `arrowd` daemon leaves behind at shutdown: its
+//! issued requests, observed successor-notification records, transport
+//! failures, and metrics snapshot — everything the harness needs to assemble a
+//! cluster-wide [`arrow_core::prelude::RequestSchedule`] and validate the
+//! per-object queuing orders, in a line-oriented text format matching the
+//! control channel's.
+//!
+//! Journals are written atomically (temp file + rename in the same directory),
+//! so the harness either sees a complete journal ending in its `end` marker or
+//! no journal at all (the SIGKILL case — a killed incarnation's history dies
+//! with it, exactly like a real crashed node's volatile state).
+
+use arrow_core::prelude::{ObjectId, OrderRecord, Request, RequestId};
+use arrow_net::NetReport;
+use arrow_trace::MetricsSnapshot;
+use desim::SimTime;
+use netgraph::NodeId;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Format tag on the journal's first line; bump on incompatible changes.
+const MAGIC: &str = "arrowd-journal v1";
+
+/// One daemon's decoded journal.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonJournal {
+    /// The node this daemon hosted.
+    pub node: NodeId,
+    /// Requests the node issued, in its local journal order.
+    pub issued: Vec<Request>,
+    /// Successor notifications the node observed.
+    pub records: Vec<OrderRecord>,
+    /// Transport failures the node reported (node id, description).
+    pub failures: Vec<(NodeId, String)>,
+    /// The daemon's full metrics snapshot at shutdown.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Atomically write `report` as node `node`'s journal at `path`.
+pub fn write_journal(path: &Path, node: NodeId, report: &NetReport) -> io::Result<()> {
+    let mut text = format!("{MAGIC} {node}\n");
+    for r in report.schedule().requests() {
+        text.push_str(&format!(
+            "req {} {} {} {}\n",
+            r.id.0,
+            r.node,
+            r.time.subticks(),
+            r.obj.0
+        ));
+    }
+    for r in report.records() {
+        text.push_str(&format!(
+            "rec {} {} {} {} {} {}\n",
+            r.predecessor.0,
+            r.successor.0,
+            r.obj.0,
+            r.at_node,
+            r.informed_at.subticks(),
+            r.epoch
+        ));
+    }
+    for f in report.failures() {
+        text.push_str(&format!("fail {} {}\n", f.node, f.description));
+    }
+    text.push_str(&report.metrics().to_wire());
+    text.push_str("end\n");
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Read and decode a journal written by [`write_journal`].
+pub fn read_journal(path: &Path) -> io::Result<DaemonJournal> {
+    let text = fs::read_to_string(path)?;
+    parse_journal(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+fn parse_journal(text: &str) -> Result<DaemonJournal, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty journal")?;
+    let node = header
+        .strip_prefix(MAGIC)
+        .ok_or_else(|| format!("bad journal header {header:?}"))?
+        .trim()
+        .parse::<NodeId>()
+        .map_err(|e| format!("bad journal node id: {e}"))?;
+
+    let mut journal = DaemonJournal {
+        node,
+        ..DaemonJournal::default()
+    };
+    let mut metrics_text = String::new();
+    let mut complete = false;
+    for line in lines {
+        let mut parts = line.split_ascii_whitespace();
+        let kind = parts.next().unwrap_or_default();
+        let num = |s: Option<&str>| -> Result<u64, String> {
+            s.ok_or_else(|| format!("short journal line {line:?}"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad number in journal line {line:?}: {e}"))
+        };
+        match kind {
+            "req" => journal.issued.push(Request {
+                id: RequestId(num(parts.next())?),
+                node: num(parts.next())? as NodeId,
+                time: SimTime::from_subticks(num(parts.next())?),
+                obj: ObjectId(num(parts.next())? as u32),
+            }),
+            "rec" => journal.records.push(OrderRecord {
+                predecessor: RequestId(num(parts.next())?),
+                successor: RequestId(num(parts.next())?),
+                obj: ObjectId(num(parts.next())? as u32),
+                at_node: num(parts.next())? as NodeId,
+                informed_at: SimTime::from_subticks(num(parts.next())?),
+                epoch: num(parts.next())?,
+            }),
+            "fail" => {
+                let node = num(parts.next())? as NodeId;
+                let description = parts.collect::<Vec<_>>().join(" ");
+                journal.failures.push((node, description));
+            }
+            "ctr" | "hist" => {
+                metrics_text.push_str(line);
+                metrics_text.push('\n');
+            }
+            "end" => {
+                complete = true;
+                break;
+            }
+            other => return Err(format!("unknown journal line kind {other:?}")),
+        }
+    }
+    if !complete {
+        return Err("journal is truncated (no end marker)".to_string());
+    }
+    journal.metrics = MetricsSnapshot::from_wire(&metrics_text)?;
+    Ok(journal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_truncated_and_malformed_journals() {
+        assert!(parse_journal("").is_err());
+        assert!(parse_journal("not a journal\nend\n").is_err());
+        assert!(
+            parse_journal(&format!("{MAGIC} 3\nreq 1 3 0 0\n")).is_err(),
+            "missing end marker"
+        );
+        assert!(parse_journal(&format!("{MAGIC} 3\nwhat 1\nend\n")).is_err());
+        assert!(parse_journal(&format!("{MAGIC} 3\nreq 1 3\nend\n")).is_err());
+    }
+
+    #[test]
+    fn parse_round_trips_a_hand_written_journal() {
+        let text = format!(
+            "{MAGIC} 2\n\
+             req 5 2 1000 0\n\
+             req 9 2 2000 1\n\
+             rec 0 5 0 0 1500 0\n\
+             fail 2 dial to peer 1 refused\n\
+             ctr acquisitions 2\n\
+             end\n"
+        );
+        let j = parse_journal(&text).unwrap();
+        assert_eq!(j.node, 2);
+        assert_eq!(j.issued.len(), 2);
+        assert_eq!(j.issued[0].id, RequestId(5));
+        assert_eq!(j.issued[1].obj, ObjectId(1));
+        assert_eq!(j.records.len(), 1);
+        assert_eq!(j.records[0].successor, RequestId(5));
+        assert_eq!(j.failures, vec![(2, "dial to peer 1 refused".to_string())]);
+        assert_eq!(
+            j.metrics.get(arrow_trace::Metric::Acquisitions),
+            2,
+            "metrics lines decode through the shared wire format"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-process resource usage scraped from `/proc/<pid>/stat` and
+//! `/proc/<pid>/status` — the harness's view of what each `arrowd` daemon
+//! actually cost, recorded into the cluster results JSON.
+
+use std::fs;
+use std::io;
+
+/// Kernel clock ticks per second for the `utime`/`stime` fields of
+/// `/proc/<pid>/stat`. `USER_HZ` is 100 on every Linux ABI this workspace
+/// targets (x86_64, aarch64); reading it properly needs `sysconf(_SC_CLK_TCK)`,
+/// which the offline toolchain has no libc binding for.
+pub const CLOCK_TICKS_PER_SEC: u64 = 100;
+
+/// One scrape of a live process's CPU and memory usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcUsage {
+    /// User-mode CPU, in `USER_HZ` ticks.
+    pub utime_ticks: u64,
+    /// Kernel-mode CPU, in `USER_HZ` ticks.
+    pub stime_ticks: u64,
+    /// Current resident set size, in kB (`VmRSS`).
+    pub rss_kb: u64,
+    /// Peak resident set size, in kB (`VmHWM`).
+    pub peak_rss_kb: u64,
+}
+
+impl ProcUsage {
+    /// Total CPU seconds (user + system).
+    pub fn cpu_seconds(&self) -> f64 {
+        (self.utime_ticks + self.stime_ticks) as f64 / CLOCK_TICKS_PER_SEC as f64
+    }
+}
+
+/// Scrape `pid`'s current usage. Fails if the process is gone (its `/proc`
+/// entry vanishes with it) — callers scrape *before* tearing a daemon down.
+pub fn scrape(pid: u32) -> io::Result<ProcUsage> {
+    let stat = fs::read_to_string(format!("/proc/{pid}/stat"))?;
+    let status = fs::read_to_string(format!("/proc/{pid}/status"))?;
+    let mut usage = ProcUsage::default();
+
+    // stat: `pid (comm) state ppid ...` — comm may contain spaces and
+    // parentheses, so fields are counted from after the *last* ')'. utime and
+    // stime are fields 14 and 15 (1-indexed); the slice after the comm starts
+    // at field 3.
+    let after_comm = stat
+        .rfind(')')
+        .map(|i| &stat[i + 1..])
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed /proc stat"))?;
+    let fields: Vec<&str> = after_comm.split_ascii_whitespace().collect();
+    let tick_field = |i: usize| -> io::Result<u64> {
+        fields
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "short /proc stat"))
+    };
+    usage.utime_ticks = tick_field(11)?;
+    usage.stime_ticks = tick_field(12)?;
+
+    for line in status.lines() {
+        let kb_of = |line: &str| -> u64 {
+            line.split_ascii_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+        };
+        if line.starts_with("VmRSS:") {
+            usage.rss_kb = kb_of(line);
+        } else if line.starts_with("VmHWM:") {
+            usage.peak_rss_kb = kb_of(line);
+        }
+    }
+    Ok(usage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scraping_our_own_process_yields_plausible_numbers() {
+        let usage = scrape(std::process::id()).unwrap();
+        // A running test process has mapped memory and its peak is an upper
+        // bound on the current RSS.
+        assert!(usage.rss_kb > 0, "live process has resident memory");
+        assert!(usage.peak_rss_kb >= usage.rss_kb);
+        // Burn a little CPU so the tick counters are defensibly monotone.
+        let before = usage.utime_ticks + usage.stime_ticks;
+        let mut x = 0u64;
+        for i in 0..20_000_000u64 {
+            x = x.wrapping_add(i ^ (x >> 3));
+        }
+        assert!(x != 42, "keep the loop alive");
+        let after = scrape(std::process::id()).unwrap();
+        assert!(after.utime_ticks + after.stime_ticks >= before);
+        assert!(after.cpu_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn scraping_a_dead_pid_fails() {
+        // PID 0 never has a /proc entry visible to us.
+        assert!(scrape(0).is_err());
+    }
+}

@@ -361,6 +361,20 @@ impl<P: Probe> ArrowCore<P> {
         self.epoch = 0;
     }
 
+    /// Restore the stable-storage request-id counter after a *process*-level
+    /// restart: advance `next_seq` to at least `seq` (never backwards).
+    ///
+    /// [`ArrowCore::reboot`] models an in-process crash, where the counter
+    /// genuinely survives. A killed and re-spawned process starts from a fresh
+    /// core whose counter is zero; re-issuing ids the dead incarnation already
+    /// used would collide with its requests still chained in surviving nodes'
+    /// journals. A restart supervisor passes a safe lower bound here (e.g. an
+    /// over-estimate of requests per incarnation) before the core issues
+    /// anything.
+    pub fn advance_request_seq(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq);
+    }
+
     /// Epoch guard for in-band inputs: `false` means the input is stale and must be
     /// dropped; a newer epoch first fast-forwards this node (a restarted or
     /// partitioned-away node can miss detection signals and learns the current

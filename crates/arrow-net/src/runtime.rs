@@ -114,6 +114,10 @@ pub struct NetRuntime {
     blocked: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
     /// Hot-path gate for the `blocked` check; set by [`NetRuntime::fault_handle`].
     faults_armed: Arc<AtomicBool>,
+    /// In daemon mode ([`NetRuntime::spawn_daemon`]) the single node this
+    /// process hosts; `handle()` refuses every other id, because a command for
+    /// a node the local shard does not own would panic inside the reactor.
+    hosted: Option<NodeId>,
     n: usize,
     k: usize,
 }
@@ -230,6 +234,75 @@ impl NetRuntime {
             stats,
             blocked,
             faults_armed,
+            hosted: None,
+            n,
+            k: objects,
+        }
+    }
+
+    /// Spawn the runtime in **daemon mode**: this process hosts exactly one
+    /// node (`me`) of an `n`-node directory whose other peers live in other
+    /// processes (or other hosts). The caller supplies the pre-bound listener
+    /// for `me` and the full advertised address table `addrs` (one entry per
+    /// tree node, `addrs[me]` being this listener's address) — typically
+    /// exchanged over a control channel before the mesh comes up.
+    ///
+    /// Protocol behaviour is identical to the in-process runtime: the node
+    /// dials its tree parent for the `Hello`/`Welcome` handshake at bootstrap,
+    /// token channels dial lazily, and the single local shard journals issued
+    /// requests and observed order records for [`NetRuntime::shutdown`].
+    /// `seq_base` restores the request-id counter after a process-granularity
+    /// restart (see [`ArrowCore::advance_request_seq`]); pass `0` for a fresh
+    /// incarnation.
+    ///
+    /// Pair daemon mode with [`NetConfig::with_fault_tolerance`] when peers
+    /// may die: frames towards a dead peer are then dropped (and re-issued by
+    /// the epoch machinery) instead of failing this node.
+    ///
+    /// # Panics
+    /// If `objects` is zero, `me` is outside the tree, or the address table
+    /// does not cover the tree.
+    pub fn spawn_daemon(
+        tree: &RootedTree,
+        objects: usize,
+        cfg: NetConfig,
+        me: NodeId,
+        listener: TcpListener,
+        addrs: Vec<SocketAddr>,
+        seq_base: u64,
+    ) -> Self {
+        assert!(objects > 0, "a directory serves at least one object");
+        let n = tree.node_count();
+        assert!(me < n, "daemon node {me} outside the {n}-node tree");
+        assert_eq!(
+            addrs.len(),
+            n,
+            "address table covers every tree node ({n}), got {}",
+            addrs.len()
+        );
+        let stats = Arc::new(NetStats::default());
+        let mut core = ArrowCore::for_tree_with_probe(me, tree, objects, NoProbe);
+        core.advance_request_seq(seq_base);
+        let shard_nodes = vec![vec![(me, core, listener)]];
+        let blocked = Arc::new(Mutex::new(HashSet::new()));
+        let faults_armed = Arc::new(AtomicBool::new(false));
+        let shared = ReactorShared {
+            cfg,
+            tree: Arc::new(tree.clone()),
+            addrs: Arc::new(addrs),
+            stats: Arc::clone(&stats),
+            blocked: Arc::clone(&blocked),
+            faults_armed: Arc::clone(&faults_armed),
+            epoch0: Instant::now(),
+        };
+        let (injectors, shard_threads) = spawn_shards(&shared, shard_nodes);
+        NetRuntime {
+            injectors,
+            shard_threads,
+            stats,
+            blocked,
+            faults_armed,
+            hosted: Some(me),
             n,
             k: objects,
         }
@@ -251,8 +324,15 @@ impl NetRuntime {
     }
 
     /// A handle for the application running at node `v`.
+    ///
+    /// # Panics
+    /// If `v` is out of range, or — in daemon mode — names a node this process
+    /// does not host.
     pub fn handle(&self, v: NodeId) -> NetHandle {
         assert!(v < self.n, "node {v} out of range");
+        if let Some(me) = self.hosted {
+            assert_eq!(v, me, "daemon process hosts only node {me}, not {v}");
+        }
         NetHandle {
             node: v,
             objects: self.k,
@@ -272,6 +352,20 @@ impl NetRuntime {
         NetFaultHandle {
             injectors: self.injectors.clone(),
             blocked: Arc::clone(&self.blocked),
+        }
+    }
+
+    /// Broadcast a detection-driven epoch bump to every local shard *without*
+    /// arming fault injection. In daemon mode this is how an external
+    /// supervisor (the cluster harness) delivers the bump its failure
+    /// detection decided on: the local node resets its links to the initial
+    /// tree orientation, regenerates the token if it is the root, and
+    /// re-issues its still-pending requests — the same recovery the in-process
+    /// [`NetFaultHandle::broadcast_epoch`] triggers, minus the per-send
+    /// blocked-link check that injected faults need.
+    pub fn broadcast_epoch(&self, epoch: u64) {
+        for inj in &self.injectors {
+            let _ = inj.send(ShardCmd::Epoch { epoch });
         }
     }
 
@@ -958,6 +1052,64 @@ mod tests {
         assert_eq!(t.hops[0].from, 6);
         assert_eq!(t.hops[1].to, 0);
         assert!(t.granted_at.is_some());
+    }
+
+    #[test]
+    fn daemon_mode_runtimes_interoperate_over_a_shared_address_table() {
+        // Two spawn_daemon runtimes — each hosting one node of a 2-node tree,
+        // exactly like two arrowd processes — handshake and exchange a real
+        // acquire through the advertised address table.
+        let t = tree(2);
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        let d0 = NetRuntime::spawn_daemon(&t, 1, NetConfig::instant(), 0, l0, addrs.clone(), 0);
+        let d1 = NetRuntime::spawn_daemon(&t, 1, NetConfig::instant(), 1, l1, addrs, 0);
+        let req = d1.handle(1).acquire();
+        d1.handle(1).release(req);
+        let r1 = d1.shutdown();
+        let r0 = d0.shutdown();
+        // The acquirer journals its request; assembling both journals yields
+        // one clean order — the cluster harness does exactly this merge.
+        let mut issued: Vec<Request> = Vec::new();
+        issued.extend_from_slice(r0.schedule().requests());
+        issued.extend_from_slice(r1.schedule().requests());
+        issued.sort_by_key(|r| (r.time, r.id));
+        let schedule = RequestSchedule::from_requests(issued);
+        let mut records = r0.records().to_vec();
+        records.extend_from_slice(r1.records());
+        let orders = arrow_core::order::per_object_orders(&records, &schedule).unwrap();
+        assert_eq!(orders.len(), 1);
+        assert_eq!(orders[0].1.order(), &[req]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hosts only node 1")]
+    fn daemon_mode_handle_refuses_non_hosted_nodes() {
+        let t = tree(2);
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![refused_addr(), l1.local_addr().unwrap()];
+        let cfg = NetConfig::instant().with_fault_tolerance();
+        let d1 = NetRuntime::spawn_daemon(&t, 1, cfg, 1, l1, addrs, 0);
+        let _ = d1.handle(0);
+    }
+
+    #[test]
+    fn daemon_seq_base_offsets_request_ids_past_a_dead_incarnation() {
+        // A restarted daemon passes the supervisor's seq_base so its fresh
+        // core never re-issues an id the dead incarnation already used: ids
+        // are 1 + me + seq * n, so seq_base=5 on node 1 of n=2 starts at 12.
+        let t = tree(2);
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        let d0 = NetRuntime::spawn_daemon(&t, 1, NetConfig::instant(), 0, l0, addrs.clone(), 0);
+        let d1 = NetRuntime::spawn_daemon(&t, 1, NetConfig::instant(), 1, l1, addrs, 5);
+        let req = d1.handle(1).acquire();
+        assert_eq!(req.0, 1 + 1 + 5 * 2);
+        d1.handle(1).release(req);
+        d1.shutdown();
+        d0.shutdown();
     }
 
     #[test]

@@ -399,6 +399,96 @@ impl MetricsSnapshot {
         out.push('}');
         out
     }
+
+    /// Render as a compact line-oriented wire text for cross-process transport
+    /// (daemon control channels, journal files): one `ctr <name> <value>` line
+    /// per non-zero counter, one `hist <name> <count> <sum> <b=c>...` line per
+    /// non-empty histogram with sparse `bucket=count` pairs. Zero counters and
+    /// empty histograms are omitted — [`from_wire`](MetricsSnapshot::from_wire)
+    /// restores them as zero — so the text stays small for quiet nodes.
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        for m in Metric::ALL {
+            let v = self.get(m);
+            if v != 0 {
+                out.push_str(&format!("ctr {} {v}\n", m.name()));
+            }
+        }
+        for h in HistMetric::ALL {
+            let s = self.hist(h);
+            if s.count == 0 {
+                continue;
+            }
+            out.push_str(&format!("hist {} {} {}", h.name(), s.count, s.sum));
+            for (b, &c) in s.buckets.iter().enumerate() {
+                if c != 0 {
+                    out.push_str(&format!(" {b}={c}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the text produced by [`to_wire`](MetricsSnapshot::to_wire).
+    /// Unknown metric names are an error (schema drift between the two ends
+    /// must be loud, not silently dropped); blank lines are ignored.
+    pub fn from_wire(text: &str) -> Result<MetricsSnapshot, String> {
+        let mut snap = MetricsSnapshot::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_ascii_whitespace();
+            let kind = parts.next().unwrap_or_default();
+            let num = |s: Option<&str>, what: &str| -> Result<u64, String> {
+                s.ok_or_else(|| format!("missing {what} in metrics line {line:?}"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad {what} in metrics line {line:?}: {e}"))
+            };
+            match kind {
+                "ctr" => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("missing counter name in {line:?}"))?;
+                    let m = Metric::ALL
+                        .iter()
+                        .find(|m| m.name() == name)
+                        .ok_or_else(|| format!("unknown counter {name:?}"))?;
+                    snap.counters[*m as usize] = num(parts.next(), "value")?;
+                }
+                "hist" => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("missing histogram name in {line:?}"))?;
+                    let h = HistMetric::ALL
+                        .iter()
+                        .find(|h| h.name() == name)
+                        .ok_or_else(|| format!("unknown histogram {name:?}"))?;
+                    let hs = &mut snap.hists[*h as usize];
+                    hs.count = num(parts.next(), "count")?;
+                    hs.sum = num(parts.next(), "sum")?;
+                    for pair in parts {
+                        let (b, c) = pair
+                            .split_once('=')
+                            .ok_or_else(|| format!("bad bucket pair {pair:?} in {line:?}"))?;
+                        let b: usize = b
+                            .parse()
+                            .map_err(|e| format!("bad bucket index {b:?}: {e}"))?;
+                        if b >= LOG_BUCKETS {
+                            return Err(format!("bucket index {b} out of range"));
+                        }
+                        hs.buckets[b] = c
+                            .parse()
+                            .map_err(|e| format!("bad bucket count {c:?}: {e}"))?;
+                    }
+                }
+                other => return Err(format!("unknown metrics line kind {other:?}")),
+            }
+        }
+        Ok(snap)
+    }
 }
 
 #[cfg(test)]
@@ -484,6 +574,36 @@ mod tests {
         for h in HistMetric::ALL {
             assert!(json.contains(h.name()), "missing {}", h.name());
         }
+    }
+
+    #[test]
+    fn wire_round_trips_counters_and_histograms() {
+        let r = MetricsRegistry::new();
+        r.add(Metric::QueueFrames, 42);
+        r.add(Metric::BytesSent, u64::MAX);
+        for v in [0u64, 1, 7, 100, 1_000_000] {
+            r.observe(HistMetric::AcquireNanos, v);
+        }
+        r.observe(HistMetric::WriteBatchFrames, 3);
+        let snap = r.snapshot();
+        let wire = snap.to_wire();
+        let back = MetricsSnapshot::from_wire(&wire).unwrap();
+        assert_eq!(back, snap);
+        // The empty snapshot is the empty text.
+        let empty = MetricsSnapshot::default();
+        assert_eq!(empty.to_wire(), "");
+        assert_eq!(MetricsSnapshot::from_wire("").unwrap(), empty);
+    }
+
+    #[test]
+    fn wire_rejects_schema_drift() {
+        assert!(MetricsSnapshot::from_wire("ctr no_such_counter 1").is_err());
+        assert!(MetricsSnapshot::from_wire("hist no_such_hist 1 2").is_err());
+        assert!(MetricsSnapshot::from_wire("bogus line").is_err());
+        assert!(MetricsSnapshot::from_wire("ctr queue_frames").is_err());
+        assert!(MetricsSnapshot::from_wire("hist acquire_nanos 1 2 99=1").is_err());
+        assert!(MetricsSnapshot::from_wire("hist acquire_nanos 1 2 65=1").is_err());
+        assert!(MetricsSnapshot::from_wire("ctr queue_frames -3").is_err());
     }
 
     #[test]

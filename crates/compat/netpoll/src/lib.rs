@@ -50,11 +50,17 @@ mod sys {
     pub mod nr {
         pub const READ: usize = 0;
         pub const WRITE: usize = 1;
+        pub const RT_SIGPROCMASK: usize = 14;
         pub const SOCKET: usize = 41;
         pub const CONNECT: usize = 42;
+        pub const BIND: usize = 49;
+        pub const LISTEN: usize = 50;
+        pub const SETSOCKOPT: usize = 54;
         pub const GETSOCKOPT: usize = 55;
+        pub const KILL: usize = 62;
         pub const EPOLL_CTL: usize = 233;
         pub const EPOLL_PWAIT: usize = 281;
+        pub const SIGNALFD4: usize = 289;
         pub const EVENTFD2: usize = 290;
         pub const EPOLL_CREATE1: usize = 291;
     }
@@ -63,12 +69,18 @@ mod sys {
     pub mod nr {
         pub const READ: usize = 63;
         pub const WRITE: usize = 64;
+        pub const RT_SIGPROCMASK: usize = 135;
         pub const SOCKET: usize = 198;
         pub const CONNECT: usize = 203;
+        pub const BIND: usize = 200;
+        pub const LISTEN: usize = 201;
+        pub const SETSOCKOPT: usize = 208;
         pub const GETSOCKOPT: usize = 209;
+        pub const KILL: usize = 129;
         pub const EPOLL_CREATE1: usize = 20;
         pub const EPOLL_CTL: usize = 21;
         pub const EPOLL_PWAIT: usize = 22;
+        pub const SIGNALFD4: usize = 74;
         pub const EVENTFD2: usize = 19;
     }
 
@@ -164,10 +176,20 @@ const SOCK_STREAM: usize = 1;
 const SOCK_NONBLOCK: usize = 0o4000;
 const SOCK_CLOEXEC: usize = 0o2000000;
 const SOL_SOCKET: usize = 1;
+const SO_REUSEADDR: usize = 2;
 const SO_ERROR: usize = 4;
 
 const EINTR: i32 = 4;
 const EINPROGRESS: i32 = 115;
+
+/// `SIGINT` (terminal interrupt).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` (polite termination request).
+pub const SIGTERM: i32 = 15;
+const SIG_BLOCK: usize = 0;
+const SFD_CLOEXEC: usize = 0o2000000;
+/// Kernel sigset size in bytes (`_NSIG / 8` on Linux).
+const SIGSET_LEN: usize = 8;
 
 /// Kernel `struct epoll_event`. Packed on x86_64 (the kernel ABI there has no
 /// padding between `events` and `data`), naturally aligned elsewhere.
@@ -467,6 +489,154 @@ pub fn take_socket_error(stream: &TcpStream) -> io::Result<Option<io::Error>> {
     }
 }
 
+/// Bind a TCP listener on `addr` with `SO_REUSEADDR` set before the bind.
+///
+/// `std::net::TcpListener::bind` does not set `SO_REUSEADDR`, so rebinding a
+/// port whose previous owner died with established connections (now in
+/// `TIME_WAIT`) fails with `EADDRINUSE` for up to a minute. A restarting
+/// daemon that must come back on its *advertised* address — its peers hold an
+/// immutable address table — goes through this helper instead.
+pub fn listen_reuse(addr: &SocketAddr) -> io::Result<std::net::TcpListener> {
+    let family = match addr {
+        SocketAddr::V4(_) => AF_INET as usize,
+        SocketAddr::V6(_) => AF_INET6 as usize,
+    };
+    // SAFETY: socket takes no pointers.
+    let fd = check(unsafe {
+        sys::syscall6(
+            sys::nr::SOCKET,
+            family,
+            SOCK_STREAM | SOCK_CLOEXEC,
+            0,
+            0,
+            0,
+            0,
+        )
+    })? as RawFd;
+    // SAFETY: the kernel just handed us ownership of this fd; wrapping it
+    // immediately guarantees it is closed on every early return below.
+    let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+    let one: i32 = 1;
+    // SAFETY: `one` is a valid i32 for the 4-byte option read.
+    check(unsafe {
+        sys::syscall6(
+            sys::nr::SETSOCKOPT,
+            fd as usize,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            &one as *const i32 as usize,
+            4,
+            0,
+        )
+    })?;
+    let (sa, len) = encode_sockaddr(addr);
+    // SAFETY: `sa` is a valid sockaddr buffer of `len` bytes.
+    check(unsafe {
+        sys::syscall6(
+            sys::nr::BIND,
+            fd as usize,
+            sa.as_ptr() as usize,
+            len,
+            0,
+            0,
+            0,
+        )
+    })?;
+    // SAFETY: listen takes no pointers.
+    check(unsafe { sys::syscall6(sys::nr::LISTEN, fd as usize, 128, 0, 0, 0, 0) })?;
+    Ok(std::net::TcpListener::from(owned))
+}
+
+/// Send signal `sig` to process `pid` (`kill(2)`), e.g. a graceful
+/// [`SIGTERM`] before escalating to the std library's `Child::kill`
+/// (`SIGKILL`).
+pub fn kill(pid: u32, sig: i32) -> io::Result<()> {
+    // SAFETY: kill takes no pointers.
+    check(unsafe { sys::syscall6(sys::nr::KILL, pid as usize, sig as usize, 0, 0, 0, 0) })
+        .map(|_| ())
+}
+
+/// A `signalfd(2)` delivering [`SIGTERM`]/[`SIGINT`] as readable events.
+///
+/// [`SignalFd::for_termination`] blocks both signals in the calling thread's
+/// mask *before* returning; call it from `main` before spawning any thread, so
+/// every thread inherits the mask and the process-directed signal is only ever
+/// consumed through the fd (a thread with the signal unblocked would take the
+/// default handler — immediate death — instead). Typically a dedicated watcher
+/// thread parks in [`SignalFd::wait`] and flips a shutdown flag.
+pub struct SignalFd {
+    fd: OwnedFd,
+}
+
+impl SignalFd {
+    /// Block `SIGTERM` and `SIGINT` in this thread's signal mask and return a
+    /// signalfd that receives them instead.
+    pub fn for_termination() -> io::Result<Self> {
+        let mask: u64 = (1u64 << (SIGTERM - 1)) | (1u64 << (SIGINT - 1));
+        // SAFETY: `mask` is a valid 8-byte kernel sigset; the old-mask pointer
+        // is null (not requested).
+        check(unsafe {
+            sys::syscall6(
+                sys::nr::RT_SIGPROCMASK,
+                SIG_BLOCK,
+                &mask as *const u64 as usize,
+                0,
+                SIGSET_LEN,
+                0,
+                0,
+            )
+        })?;
+        // SAFETY: `mask` is a valid sigset for the signalfd to subscribe to.
+        let fd = check(unsafe {
+            sys::syscall6(
+                sys::nr::SIGNALFD4,
+                usize::MAX, // -1: create a new signalfd
+                &mask as *const u64 as usize,
+                SIGSET_LEN,
+                SFD_CLOEXEC,
+                0,
+                0,
+            )
+        })?;
+        // SAFETY: the kernel just handed us ownership of this fd.
+        Ok(SignalFd {
+            fd: unsafe { OwnedFd::from_raw_fd(fd as RawFd) },
+        })
+    }
+
+    /// Block until one of the subscribed signals is delivered; returns its
+    /// number (`SIGTERM`/`SIGINT`). Retries on `EINTR`.
+    pub fn wait(&self) -> io::Result<i32> {
+        // struct signalfd_siginfo is 128 bytes; ssi_signo is its first u32.
+        let mut info = [0u8; 128];
+        loop {
+            // SAFETY: `info` is a valid writable 128-byte buffer.
+            let ret = unsafe {
+                sys::syscall6(
+                    sys::nr::READ,
+                    self.fd.as_raw_fd() as usize,
+                    info.as_mut_ptr() as usize,
+                    info.len(),
+                    0,
+                    0,
+                    0,
+                )
+            };
+            if ret == -(EINTR as isize) {
+                continue;
+            }
+            check(ret)?;
+            return Ok(u32::from_ne_bytes([info[0], info[1], info[2], info[3]]) as i32);
+        }
+    }
+}
+
+impl AsRawFd for SignalFd {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,6 +732,35 @@ mod tests {
             .unwrap()
             .expect("refused connect must leave SO_ERROR set");
         assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn listen_reuse_binds_accepts_and_rebinds() {
+        // First incarnation: pick a port, carry one connection.
+        let l1 = listen_reuse(&"127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = l1.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut srv, _) = l1.accept().unwrap();
+        srv.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        let mut client = client;
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        // Close server-side first so the (addr, port) tuples enter TIME_WAIT,
+        // then rebind the same port — the case a restarting daemon hits.
+        drop(srv);
+        drop(l1);
+        drop(client);
+        let l2 = listen_reuse(&addr).unwrap();
+        assert_eq!(l2.local_addr().unwrap(), addr);
+    }
+
+    #[test]
+    fn kill_signal_zero_probes_own_process() {
+        // Signal 0 performs permission/existence checks without delivering.
+        kill(std::process::id(), 0).unwrap();
+        // A pid from the far end of the space is almost surely dead.
+        assert!(kill(u32::MAX - 1, 0).is_err());
     }
 
     #[test]

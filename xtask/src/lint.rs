@@ -1,6 +1,6 @@
 //! Registry-free source lints for the workspace's concurrency-critical code.
 //!
-//! Four passes, all line-based (no syn/proc-macro dependencies — the
+//! Six passes, all line-based (no syn/proc-macro dependencies — the
 //! container has no registry access, and these lints only need to be as smart
 //! as the code they police):
 //!
@@ -28,6 +28,11 @@
 //!    cannot be overridden by an inner `allow`. Only the vendored stand-ins
 //!    under `crates/compat/` are exempt — they take whatever license their
 //!    upstream APIs force on them.
+//! 6. **daemon exit paths** — `arrowd` (the cluster tier's per-node daemon)
+//!    must exit through its typed `DaemonError` → `ExitCode` mapping, which
+//!    the harness and operators can enumerate. A bare `process::exit(`
+//!    outside `fn main` is an undocumented exit code that also skips the
+//!    destructors the journal flush rides on.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -406,6 +411,55 @@ fn lint_unsafe_fencing(root: &Path, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Pass 6: `arrowd` exits only through its typed error → exit-code mapping.
+///
+/// The daemon's contract with the harness is a closed set of exit codes
+/// (`DaemonError::code`), and its teardown path must run (the journal flush
+/// is what makes a `SIGTERM`ed daemon's records recoverable). `fn main` is
+/// the one place allowed to turn that typed error into a process exit; a
+/// `process::exit(` anywhere else in the binary is an escape hatch that
+/// bypasses both.
+fn lint_daemon_exit_paths(root: &Path, findings: &mut Vec<Finding>) {
+    let path = root.join("crates/arrow-cluster/src/bin/arrowd.rs");
+    let file = rel(root, &path).to_path_buf();
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        findings.push(Finding {
+            file,
+            line: 0,
+            lint: "daemon-exit",
+            message: "cannot read the arrowd binary source for the exit-path check".to_string(),
+        });
+        return;
+    };
+    let mut depth = 0i32;
+    // Depth at which `fn main`'s body opened; None = outside main.
+    let mut main_depth: Option<i32> = None;
+    for (line_no, line) in non_test_lines(&text) {
+        let code = code_of(line);
+        if code.trim_start().starts_with("fn main(") {
+            main_depth = Some(depth);
+        }
+        if code.contains("process::exit(") && main_depth.is_none() {
+            findings.push(Finding {
+                file: file.clone(),
+                line: line_no,
+                lint: "daemon-exit",
+                message: format!(
+                    "bare process::exit outside fn main — route through the typed \
+                     DaemonError exit codes: {}",
+                    line.trim()
+                ),
+            });
+        }
+        depth += net_delta(code);
+        if let Some(d) = main_depth {
+            if depth <= d && code.contains('}') {
+                main_depth = None;
+            }
+        }
+    }
+}
+
 /// Run every pass; returns all findings (empty = clean tree).
 pub fn run(root: &Path) -> Vec<Finding> {
     let allows = load_allowlist(root);
@@ -415,6 +469,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
     lint_proto_wire(root, &mut findings);
     lint_metrics_bypass(root, &allows, &mut findings);
     lint_unsafe_fencing(root, &mut findings);
+    lint_daemon_exit_paths(root, &mut findings);
     findings
 }
 
@@ -476,6 +531,22 @@ mod tests {
         );
         assert!(findings[0].file.ends_with("crates/bad/src/lib.rs"));
         assert_eq!(findings[0].lint, "unsafe-fencing");
+    }
+
+    #[test]
+    fn daemon_exit_lint_flags_exits_outside_main_only() {
+        let dir = std::env::temp_dir().join("xtask-daemon-exit-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/arrow-cluster/src/bin")).unwrap();
+        let src = "fn helper() {\n    std::process::exit(7);\n}\n\
+                   fn main() -> std::process::ExitCode {\n    std::process::exit(0);\n}\n";
+        std::fs::write(dir.join("crates/arrow-cluster/src/bin/arrowd.rs"), src).unwrap();
+        let mut findings = Vec::new();
+        lint_daemon_exit_paths(&dir, &mut findings);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(findings.len(), 1, "only the helper's exit is flagged");
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[0].lint, "daemon-exit");
     }
 
     #[test]
